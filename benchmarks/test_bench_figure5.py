@@ -1,0 +1,38 @@
+"""Bench: regenerate Fig. 5 (annotated classified sample table)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_figure5
+from repro.tables.labels import LevelKind
+
+
+def test_bench_figure5(benchmark, warm_pipelines):
+    figure = run_once(benchmark, run_figure5, SMOKE)
+    result = figure.result
+
+    # The sample is generated with HMD depth 3; the pipeline should
+    # recover a deep header block (allowing one level of slack).
+    assert result.hmd_depth >= 2
+
+    # The evidence must cover every row and expose the paper's deltas.
+    assert len(result.row_evidence) == result.table.n_rows
+    assert result.row_evidence[0].angle_to_prev is None
+    for evidence in result.row_evidence[1:]:
+        assert evidence.angle_to_prev is not None
+        assert 0.0 <= evidence.angle_to_prev <= 180.0
+
+    # The annotated rendering includes the centroid ranges.
+    text = figure.render()
+    assert "C_MDE" in text and "C_DE" in text and "C_MDE-DE" in text
+
+    # Fig. 5's key visual: the metadata->data boundary exists, and the
+    # header block is contiguous from the top (no DATA row sandwiched
+    # between HMD rows).
+    kinds = [e.label.kind for e in result.row_evidence]
+    first_data = kinds.index(LevelKind.DATA)
+    assert all(k is LevelKind.HMD for k in kinds[:first_data])
+    assert LevelKind.HMD not in kinds[first_data:]
+
+    print()
+    print(text)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Fig. 6 (HMD detection accuracy, levels 1-5)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_figure6
+
+
+def test_bench_figure6(benchmark, warm_pipelines):
+    figure = run_once(benchmark, run_figure6, SMOKE)
+
+    # All six datasets, each with exactly its profile's level count.
+    assert set(figure.series) == {
+        "cord19", "ckg", "wdc", "cius", "saus", "pubtables",
+    }
+    assert len(figure.series["ckg"]) == 5
+    assert len(figure.series["wdc"]) == 1
+
+    # Paper shape: level-1 HMD accuracy is high on every dataset, and
+    # no dataset's accuracy collapses at depth.
+    for dataset, bars in figure.series.items():
+        values = [v for v in bars.values() if v is not None]
+        assert values, dataset
+        assert values[0] >= 80.0, dataset  # level 1
+        assert min(values) >= 55.0, dataset
+
+    print()
+    print(figure.render())

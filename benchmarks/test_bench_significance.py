@@ -1,0 +1,36 @@
+"""Bench: paired significance tests for the paper's headline claims.
+
+Checks the paper's *wording*, not just the point estimates:
+
+* "Pytheas slightly outperforms us [at HMD level 1]" but the delta is
+  *insignificant* — the paired test must not reject the null there;
+* "we significantly outperformed LLMs ... up to 87% delta for VMD" —
+  the VMD comparisons must reject the null decisively.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_significance
+
+
+def test_bench_significance(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_significance, SMOKE)
+    rows = {(row[0], row[1]): row for row in result.rows}
+
+    # Level-1 losses to Pytheas/GPT-4 are small and insignificant.
+    pytheas = rows[("ours vs pytheas", "HMD1")]
+    assert pytheas[2] > -10.0  # delta within a few points
+    assert pytheas[4] == "no"
+
+    gpt4_hmd1 = rows[("ours vs gpt-4", "HMD1")]
+    assert gpt4_hmd1[4] == "no"
+
+    # The VMD wins are large and significant.
+    for level in ("VMD1", "VMD2", "VMD3"):
+        row = rows[("ours vs gpt-4", level)]
+        assert row[2] > 20.0, level
+        assert row[4] == "yes", level
+
+    print()
+    print(result.render())

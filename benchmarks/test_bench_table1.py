@@ -1,0 +1,29 @@
+"""Bench: regenerate Table I (centroids and deltas, HMD levels 2-5)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_table1
+from repro.experiments.centroid_tables import HMD_LEVEL_DATASETS
+
+
+def test_bench_table1(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_table1, SMOKE)
+    expected_rows = sum(len(v) for v in HMD_LEVEL_DATASETS.values())
+    assert len(result.rows) == expected_rows
+
+    # Paper shape: the metadata-metadata range sits below the
+    # metadata-data range at every depth, and the Δ to data is larger
+    # than the Δ between adjacent metadata levels for most rows.
+    closer_to_meta = 0
+    for row in result.rows:
+        mde_de, de, mde = row[2], row[3], row[4]
+        assert "to" in mde_de and "to" in de and "to" in mde
+        delta_prev, delta_data = row[5], row[6]
+        if delta_prev is not None and delta_data is not None:
+            if delta_data > delta_prev:
+                closer_to_meta += 1
+    assert closer_to_meta >= len(result.rows) // 2
+
+    print()
+    print(result.render())

@@ -1,0 +1,20 @@
+"""Bench: regenerate Table II (level-1 HMD centroids, six datasets)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_table2
+
+
+def test_bench_table2(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_table2, SMOKE)
+    assert [row[0] for row in result.rows] == [
+        "cord19", "ckg", "wdc", "cius", "saus", "pubtables",
+    ]
+    # Paper shape: Δ_MDE,DE (header vs data angle) is a separating
+    # angle — comfortably above the data-data floor on every dataset.
+    for row in result.rows:
+        delta = row[3]
+        assert delta is not None and delta > 10
+    print()
+    print(result.render())

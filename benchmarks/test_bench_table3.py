@@ -1,0 +1,16 @@
+"""Bench: regenerate Table III (level-1 VMD centroids, five datasets)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_table3
+
+
+def test_bench_table3(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_table3, SMOKE)
+    assert len(result.rows) == 5
+    assert all(row[0] != "pubtables" for row in result.rows)
+    for row in result.rows:
+        assert row[3] is not None  # Δ_MDE,DE estimated everywhere
+    print()
+    print(result.render())

@@ -1,0 +1,17 @@
+"""Bench: regenerate Table IV (VMD levels 2-3 centroids and deltas)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_table4
+from repro.experiments.centroid_tables import VMD_LEVEL_DATASETS
+
+
+def test_bench_table4(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_table4, SMOKE)
+    expected_rows = sum(len(v) for v in VMD_LEVEL_DATASETS.values())
+    assert len(result.rows) == expected_rows
+    levels = {row[1] for row in result.rows}
+    assert levels == {"Lev. 2", "Lev. 3"}
+    print()
+    print(result.render())

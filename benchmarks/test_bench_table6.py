@@ -1,0 +1,53 @@
+"""Bench: regenerate Table VI (simulated LLMs on CKG) and check shape.
+
+The claims checked (Sec. IV-H/I, Table VI):
+
+* all LLM variants are strong on HMD level 1 (>= 90%);
+* accuracy collapses beyond level 1 relative to level 1;
+* VMD level 3 is 0% without RAG, positive with RAG;
+* RAG+GPT-4 is at least as good as GPT-4 at almost every level.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import SMOKE, run_table6
+
+
+def _split(cell: object) -> tuple[float | None, float | None]:
+    if cell is None:
+        return None, None
+    text = str(cell)
+    if "/" in text:
+        left, right = text.split("/")
+        return (
+            None if left == "-" else float(left),
+            None if right == "-" else float(right),
+        )
+    return (None if text == "-" else float(text)), None
+
+
+def test_bench_table6(benchmark, warm_pipelines):
+    result = run_once(benchmark, run_table6, SMOKE)
+    rows = {row[0]: row for row in result.rows}
+
+    for column in (1, 2, 3):  # gpt-3.5, gpt-4, rag+gpt-4
+        hmd1, _ = _split(rows["HMD1/VMD1"][column])
+        hmd2, _ = _split(rows["HMD2/VMD2"][column])
+        assert hmd1 >= 90.0
+        assert hmd2 <= hmd1 - 10.0  # the collapse beyond level 1
+
+    _, vmd3_gpt35 = _split(rows["HMD3/VMD3"][1])
+    _, vmd3_gpt4 = _split(rows["HMD3/VMD3"][2])
+    _, vmd3_rag = _split(rows["HMD3/VMD3"][3])
+    assert vmd3_gpt35 == 0.0
+    assert vmd3_gpt4 == 0.0
+    assert vmd3_rag > 0.0
+
+    # RAG lifts deep HMD relative to plain GPT-4.
+    hmd2_gpt4, _ = _split(rows["HMD2/VMD2"][2])
+    hmd2_rag, _ = _split(rows["HMD2/VMD2"][3])
+    assert hmd2_rag >= hmd2_gpt4 - 1e-9
+
+    print()
+    print(result.render())

@@ -1,0 +1,53 @@
+"""Diagnose the angle geometry a fitted pipeline relies on.
+
+The classifier works only if the embedding space puts metadata-data
+level pairs at larger angles than same-kind pairs.  This example fits
+the pipeline on two corpora — one easy (CKG, rich markup, deep tables)
+and one hard (a deliberately tiny corpus) — and renders the angle
+spectra side by side, showing what "enough training data" looks like
+in the geometry itself.
+
+Run:  python examples/diagnose_geometry.py
+"""
+
+from repro import MetadataPipeline, PipelineConfig
+from repro.core.bootstrap import bootstrap_corpus
+from repro.core.diagnostics import (
+    angle_spectrum,
+    render_spectrum,
+    separability_report,
+)
+from repro.corpus import build_split
+from repro.embeddings import Word2VecConfig
+
+
+def fit_and_diagnose(n_train: int) -> None:
+    train, _ = build_split("ckg", n_train=n_train, n_eval=1, seed=13)
+    pipeline = MetadataPipeline(
+        PipelineConfig(
+            embedding="word2vec",
+            word2vec=Word2VecConfig(dim=32, epochs=2, seed=5),
+        )
+    ).fit(train)
+    labeled = bootstrap_corpus(train[:60])
+    spectrum = angle_spectrum(pipeline.embedder, labeled, axis="rows")
+    report = separability_report(spectrum)
+    print(f"=== trained on {n_train} tables: {report.verdict} "
+          f"(AUC {report.separation_auc}) ===")
+    print(render_spectrum(spectrum))
+    print()
+
+
+def main() -> None:
+    fit_and_diagnose(15)   # starved geometry
+    fit_and_diagnose(150)  # healthier: the AUC and the verdict improve
+    print(
+        "note: the AUC is a coarse one-number triage — the classifier "
+        "additionally uses the purified references and the per-kind "
+        "centroid ranges, so usable geometry already supports >90% "
+        "level-1 accuracy."
+    )
+
+
+if __name__ == "__main__":
+    main()

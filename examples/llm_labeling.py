@@ -1,0 +1,59 @@
+"""The LLM labeling loop of Sec. IV-H/I, end to end.
+
+Shows the actual prompt/response round trip: the system message, the
+structured user prompt with the CSV table, the (simulated) model's
+response text, the parsed labels — and how RAG-retrieved HTML changes
+the outcome on a numeric-header table the plain model gets wrong.
+
+Run:  python examples/llm_labeling.py
+"""
+
+from repro.baselines.llm import (
+    LLMHarness,
+    MockLLM,
+    RAGStore,
+    SYSTEM_MESSAGE,
+    build_user_prompt,
+)
+from repro.corpus import build_corpus
+
+
+def main() -> None:
+    corpus = build_corpus("ckg", n_tables=60, seed=21)
+    # Pick a table with deep headers and published HTML for retrieval.
+    sample = next(
+        item for item in corpus if item.hmd_depth >= 3 and item.html
+    )
+    table = sample.table
+
+    print("=== system message ===")
+    print(SYSTEM_MESSAGE)
+    prompt = build_user_prompt(table)
+    print("\n=== user prompt (truncated) ===")
+    print(prompt[:600] + ("..." if len(prompt) > 600 else ""))
+
+    llm = MockLLM.named("gpt-4")
+    print("\n=== gpt-4 (simulated) response ===")
+    print(llm.complete(SYSTEM_MESSAGE, prompt))
+
+    plain = LLMHarness(llm)
+    rag = LLMHarness(llm, rag=RAGStore(corpus))
+
+    plain_annotation = plain.classify(table)
+    rag_annotation = rag.classify(table)
+
+    print(f"\ntruth:       HMD depth {sample.hmd_depth}, "
+          f"VMD depth {sample.vmd_depth}")
+    print(f"gpt-4:       HMD depth {plain_annotation.hmd_depth}, "
+          f"VMD depth {plain_annotation.vmd_depth}")
+    print(f"rag+gpt-4:   HMD depth {rag_annotation.hmd_depth}, "
+          f"VMD depth {rag_annotation.vmd_depth}")
+    print(
+        "\nRAG feeds the published HTML (with its <thead>/<th> tags) "
+        "back into the prompt, letting the model correct missed deep "
+        "header rows — the mechanism of Sec. IV-I."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Baselines the paper compares against (Sec. IV-D, IV-H, IV-I).
+
+* :mod:`repro.baselines.pytheas` — fuzzy-rule CSV line classifier
+  (Pytheas, VLDB'20): HMD level 1 + subheaders only, no VMD, supervised.
+* :mod:`repro.baselines.forest` — Random-Forest header detection (Fang
+  et al., AAAI'12), built on a from-scratch NumPy random forest.
+* :mod:`repro.baselines.table_transformer` — a table-structure-
+  recognition baseline exposing Table Transformer's six object classes,
+  operating purely on layout (no vocabulary knowledge).
+* :mod:`repro.baselines.llm` — deterministic simulators of GPT-3.5/4
+  labeling with and without RAG, reproducing the behavioural failure
+  modes the paper documents.
+"""
+
+from repro.baselines.pytheas import PytheasClassifier, PytheasConfig
+from repro.baselines.forest import (
+    DecisionTree,
+    HeaderForestClassifier,
+    RandomForest,
+)
+from repro.baselines.table_transformer import (
+    TableObject,
+    TableTransformerBaseline,
+)
+from repro.baselines.llm import (
+    LLMHarness,
+    MockLLM,
+    RAGStore,
+)
+
+__all__ = [
+    "DecisionTree",
+    "HeaderForestClassifier",
+    "LLMHarness",
+    "MockLLM",
+    "PytheasClassifier",
+    "PytheasConfig",
+    "RAGStore",
+    "RandomForest",
+    "TableObject",
+    "TableTransformerBaseline",
+]

@@ -1,0 +1,24 @@
+"""Random-Forest header detection (Fang et al., AAAI 2012).
+
+scikit-learn is unavailable offline, so :mod:`tree` and :mod:`forest`
+implement CART decision trees and bagged random forests from scratch in
+NumPy; :mod:`features` computes the row/column features the original
+paper describes; :mod:`header_rf` assembles them into the baseline the
+ICDE paper compares against (monolithic HMD/VMD detection, no level
+separation).
+"""
+
+from repro.baselines.forest.tree import DecisionTree, TreeConfig
+from repro.baselines.forest.forest import ForestConfig, RandomForest
+from repro.baselines.forest.features import col_features, row_features
+from repro.baselines.forest.header_rf import HeaderForestClassifier
+
+__all__ = [
+    "DecisionTree",
+    "ForestConfig",
+    "HeaderForestClassifier",
+    "RandomForest",
+    "TreeConfig",
+    "col_features",
+    "row_features",
+]

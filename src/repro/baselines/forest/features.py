@@ -1,0 +1,72 @@
+"""Row and column features for header detection (after Fang et al.).
+
+The original uses "content, contextual and computational" cell features
+pooled per line: emptiness, position, data types, cell lengths, and
+similarity to the neighbouring lines.  These are *surface* features —
+deliberately no embeddings — which is exactly why the baseline cannot
+separate metadata levels the way the paper's method can.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tables.model import Table
+from repro.text import is_numeric_cell, numeric_fraction, tokenize
+
+N_FEATURES = 12
+
+
+def _level_features(
+    cells: tuple[str, ...],
+    index: int,
+    n_levels: int,
+    neighbour_numeric: float,
+    other_axis_numeric: float,
+) -> np.ndarray:
+    non_empty = [c for c in cells if c]
+    n = len(cells) if cells else 1
+    lengths = [len(c) for c in non_empty]
+    token_counts = [len(tokenize(c)) for c in non_empty]
+    numeric = numeric_fraction(cells)
+    first_numeric = 1.0 if (cells and is_numeric_cell(cells[0])) else 0.0
+    capitalized = 0.0
+    alpha_cells = [c for c in non_empty if c[0].isalpha()]
+    if alpha_cells:
+        capitalized = sum(1 for c in alpha_cells if c[0].isupper()) / len(alpha_cells)
+    distinct_ratio = len(set(non_empty)) / len(non_empty) if non_empty else 0.0
+    return np.array(
+        [
+            index / max(1, n_levels - 1),  # relative position
+            1.0 if index == 0 else 0.0,  # is first level
+            1.0 if index == n_levels - 1 else 0.0,  # is last level
+            1.0 - len(non_empty) / n,  # blank fraction
+            numeric,  # numeric fraction
+            first_numeric,
+            float(np.mean(lengths)) if lengths else 0.0,  # mean cell length
+            float(np.mean(token_counts)) if token_counts else 0.0,
+            capitalized,
+            distinct_ratio,
+            neighbour_numeric,  # numeric fraction of the next level
+            other_axis_numeric,  # numeric fraction of the rest of the table
+        ],
+        dtype=np.float64,
+    )
+
+
+def row_features(table: Table) -> np.ndarray:
+    """Feature matrix ``(n_rows, N_FEATURES)``."""
+    if table.n_rows == 0:
+        return np.empty((0, N_FEATURES))
+    fractions = [numeric_fraction(row) for row in table.rows]
+    overall = float(np.mean(fractions)) if fractions else 0.0
+    rows = []
+    for i, row in enumerate(table.rows):
+        neighbour = fractions[i + 1] if i + 1 < table.n_rows else 0.0
+        rows.append(_level_features(row, i, table.n_rows, neighbour, overall))
+    return np.stack(rows)
+
+
+def col_features(table: Table) -> np.ndarray:
+    """Feature matrix ``(n_cols, N_FEATURES)`` (the transposed view)."""
+    return row_features(table.transpose())

@@ -1,0 +1,88 @@
+"""Random forest: bagged CART trees with per-split feature subsampling."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.baselines.forest.tree import DecisionTree, TreeConfig
+
+
+@dataclass(frozen=True)
+class ForestConfig:
+    """Ensemble knobs."""
+
+    n_trees: int = 25
+    max_depth: int = 8
+    min_samples_split: int = 4
+    min_samples_leaf: int = 2
+    max_features: int | None = None  # default: round(sqrt(n_features))
+    bootstrap: bool = True
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_trees < 1:
+            raise ValueError("need at least one tree")
+
+
+class RandomForest:
+    """Majority-probability ensemble of :class:`DecisionTree`."""
+
+    def __init__(self, config: ForestConfig | None = None) -> None:
+        self.config = config or ForestConfig()
+        self.trees: list[DecisionTree] = []
+        self.n_classes: int = 0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForest":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on the number of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        rng = np.random.default_rng(self.config.seed)
+        n_samples, n_features = X.shape
+        max_features = self.config.max_features
+        if max_features is None:
+            max_features = max(1, int(round(np.sqrt(n_features))))
+        tree_config = TreeConfig(
+            max_depth=self.config.max_depth,
+            min_samples_split=self.config.min_samples_split,
+            min_samples_leaf=self.config.min_samples_leaf,
+            max_features=max_features,
+        )
+        self.n_classes = int(y.max()) + 1
+        self.trees = []
+        for t in range(self.config.n_trees):
+            if self.config.bootstrap:
+                idx = rng.integers(0, n_samples, size=n_samples)
+            else:
+                idx = np.arange(n_samples)
+            tree = DecisionTree(tree_config, seed=self.config.seed + 7919 * t)
+            tree.n_classes = self.n_classes  # keep class space consistent
+            tree.fit(X[idx], y[idx])
+            tree.n_classes = self.n_classes
+            self.trees.append(tree)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.trees)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees:
+            raise RuntimeError("forest is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        total = np.zeros((X.shape[0], self.n_classes))
+        for tree in self.trees:
+            proba = tree.predict_proba(X)
+            if proba.shape[1] < self.n_classes:
+                padded = np.zeros((X.shape[0], self.n_classes))
+                padded[:, : proba.shape[1]] = proba
+                proba = padded
+            total += proba
+        return total / len(self.trees)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)

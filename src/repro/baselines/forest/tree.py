@@ -1,0 +1,185 @@
+"""CART decision tree (binary splits, Gini impurity) in NumPy.
+
+A compact but complete implementation: numeric features, best-split
+search over candidate thresholds, depth / sample / impurity stopping
+rules, class-probability leaves.  It is the building block for
+:mod:`repro.baselines.forest.forest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TreeConfig:
+    """Growth limits for one tree."""
+
+    max_depth: int = 8
+    min_samples_split: int = 4
+    min_samples_leaf: int = 2
+    max_features: int | None = None  # per-split feature subsample (forests)
+    max_thresholds: int = 16  # candidate thresholds per feature
+
+    def __post_init__(self) -> None:
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be positive")
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be positive")
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    # Leaf payload: class-count distribution.
+    counts: np.ndarray | None = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini(counts: np.ndarray) -> float:
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    p = counts / total
+    return float(1.0 - np.sum(p * p))
+
+
+class DecisionTree:
+    """CART classifier: ``fit(X, y)`` then ``predict``/``predict_proba``."""
+
+    def __init__(self, config: TreeConfig | None = None, *, seed: int = 0) -> None:
+        self.config = config or TreeConfig()
+        self._rng = np.random.default_rng(seed)
+        self._root: _Node | None = None
+        self.n_classes: int = 0
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2:
+            raise ValueError("X must be a 2-D feature matrix")
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on the number of samples")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on zero samples")
+        if y.min() < 0:
+            raise ValueError("labels must be non-negative class indices")
+        # Respect a larger preset class space (a bootstrap resample may
+        # miss the highest class entirely).
+        self.n_classes = max(self.n_classes, int(y.max()) + 1)
+        self._root = self._grow(X, y, depth=0)
+        return self
+
+    def _class_counts(self, y: np.ndarray) -> np.ndarray:
+        return np.bincount(y, minlength=self.n_classes).astype(np.float64)
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int) -> _Node:
+        counts = self._class_counts(y)
+        node = _Node(counts=counts)
+        if (
+            depth >= self.config.max_depth
+            or len(y) < self.config.min_samples_split
+            or _gini(counts) == 0.0
+        ):
+            return node
+
+        split = self._best_split(X, y)
+        if split is None:
+            return node
+        feature, threshold = split
+        mask = X[:, feature] <= threshold
+        if (
+            mask.sum() < self.config.min_samples_leaf
+            or (~mask).sum() < self.config.min_samples_leaf
+        ):
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1)
+        return node
+
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> tuple[int, float] | None:
+        n_samples, n_features = X.shape
+        features = np.arange(n_features)
+        if self.config.max_features is not None and self.config.max_features < n_features:
+            features = self._rng.choice(
+                n_features, size=self.config.max_features, replace=False
+            )
+        parent_counts = self._class_counts(y)
+        parent_gini = _gini(parent_counts)
+        best: tuple[int, float] | None = None
+        best_gain = 1e-12
+        for feature in features:
+            column = X[:, feature]
+            values = np.unique(column)
+            if values.size < 2:
+                continue
+            midpoints = (values[:-1] + values[1:]) / 2.0
+            if midpoints.size > self.config.max_thresholds:
+                idx = np.linspace(
+                    0, midpoints.size - 1, self.config.max_thresholds
+                ).astype(int)
+                midpoints = midpoints[idx]
+            for threshold in midpoints:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                if n_left == 0 or n_left == n_samples:
+                    continue
+                left_gini = _gini(self._class_counts(y[mask]))
+                right_gini = _gini(self._class_counts(y[~mask]))
+                weighted = (
+                    n_left * left_gini + (n_samples - n_left) * right_gini
+                ) / n_samples
+                gain = parent_gini - weighted
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (int(feature), float(threshold))
+        return best
+
+    # ------------------------------------------------------------------
+    # prediction
+    # ------------------------------------------------------------------
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.zeros((X.shape[0], self.n_classes))
+        for i, row in enumerate(X):
+            node = self._root
+            while not node.is_leaf:
+                assert node.left is not None and node.right is not None
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            assert node.counts is not None
+            total = node.counts.sum()
+            out[i] = node.counts / total if total > 0 else 1.0 / self.n_classes
+        return out
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree (diagnostics)."""
+
+        def walk(node: _Node | None) -> int:
+            if node is None or node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)

@@ -1,0 +1,30 @@
+"""Simulated LLM labeling (Sec. IV-H) and RAG enhancement (Sec. IV-I).
+
+No network access is available, so GPT-3.5/GPT-4 are replaced by a
+deterministic behavioural simulator (:class:`MockLLM`) that reproduces
+the failure modes the paper documents — see the module docstring of
+:mod:`repro.baselines.llm.mock_llm` for the full behavioural model and
+DESIGN.md for the substitution rationale.  The prompt/response round
+trip is kept textual: the harness builds the paper's prompt, the mock
+completes it with the paper's response format, and the harness parses
+that text back into labels, so the full integration surface is real.
+"""
+
+from repro.baselines.llm.mock_llm import LLMBehavior, MockLLM
+from repro.baselines.llm.prompts import (
+    SYSTEM_MESSAGE,
+    build_user_prompt,
+    parse_llm_response,
+)
+from repro.baselines.llm.rag import RAGStore
+from repro.baselines.llm.harness import LLMHarness
+
+__all__ = [
+    "LLMBehavior",
+    "LLMHarness",
+    "MockLLM",
+    "RAGStore",
+    "SYSTEM_MESSAGE",
+    "build_user_prompt",
+    "parse_llm_response",
+]

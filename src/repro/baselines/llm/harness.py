@@ -1,0 +1,54 @@
+"""The LLM labeling harness: prompt -> completion -> parsed annotation.
+
+Mirrors the paper's interaction loop (Sec. IV-H): the table is
+pre-processed and serialized to CSV, the system message sets the
+database-administrator role, the user prompt carries the dimensions and
+the data, and the response text is parsed into labels.  With a
+:class:`~repro.baselines.llm.rag.RAGStore` attached, the retrieved HTML
+rides along in the prompt (Sec. IV-I).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.llm.mock_llm import MockLLM
+from repro.baselines.llm.prompts import (
+    SYSTEM_MESSAGE,
+    build_user_prompt,
+    parse_llm_response,
+)
+from repro.baselines.llm.rag import RAGStore
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+from repro.tables.transform import drop_empty_levels
+
+
+@dataclass
+class LLMHarness:
+    """Classify tables through a (mock) LLM, optionally with RAG."""
+
+    llm: MockLLM
+    rag: RAGStore | None = None
+
+    @property
+    def name(self) -> str:
+        base = self.llm.behavior.name
+        return f"rag+{base}" if self.rag is not None else base
+
+    def classify(self, table: Table) -> TableAnnotation:
+        """One labeling round trip for ``table``.
+
+        Note the annotation is computed for the *original* table shape:
+        pre-processing only standardizes content, it does not drop
+        levels here (dropping would desynchronize the labels from the
+        evaluation grid).
+        """
+        cleaned = drop_empty_levels(table)
+        target = cleaned if cleaned.shape == table.shape else table
+        rag_html = self.rag.retrieve(table) if self.rag is not None else None
+        prompt = build_user_prompt(target, rag_html=rag_html)
+        response = self.llm.complete(SYSTEM_MESSAGE, prompt)
+        return parse_llm_response(
+            response, n_rows=table.n_rows, n_cols=table.n_cols
+        )

@@ -1,0 +1,123 @@
+"""Prompt construction and response parsing for the LLM harness.
+
+The prompt format follows Sec. IV-H verbatim in structure: a system
+message describing the labeling role, then a user message with the
+row/column counts and the table as CSV.  The response format mirrors the
+paper's example output ("HMD: 'Row 1: ...' VMD: 'Column1, Column2'
+Table Data: ...") and :func:`parse_llm_response` turns it back into a
+:class:`~repro.tables.labels.TableAnnotation`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tables.csvio import table_to_csv
+from repro.tables.labels import LevelLabel, TableAnnotation
+from repro.tables.model import Table
+
+SYSTEM_MESSAGE = (
+    "You are a helpful assistant who understands table data. The general "
+    "table structure is as follows: HMD generally includes the first row, "
+    "but can extend to multiple rows depending on the table structure; VMD "
+    "consists of the vertical headers, which may include one or more "
+    "columns; any remaining rows/columns are classified as Table Data"
+)
+
+
+def build_user_prompt(table: Table, *, rag_html: str | None = None) -> str:
+    """The paper's structured request, optionally RAG-augmented."""
+    parts = [
+        "I am giving you table data. Please provide labels for HMD, VMD, "
+        "and Data, i.e., what each row belongs to.",
+        f"It has {table.n_rows} rows and {table.n_cols} columns followed "
+        "by the 'Table data':",
+        table_to_csv(table),
+    ]
+    if rag_html is not None:
+        parts.append(
+            "For reference, here is the published HTML version of this "
+            "table retrieved from PubMed:"
+        )
+        parts.append(rag_html)
+    return "\n".join(parts)
+
+
+def format_llm_response(
+    hmd_rows: dict[int, int], vmd_cols: dict[int, int], n_rows: int
+) -> str:
+    """Render labels in the paper's response style.
+
+    ``hmd_rows`` maps 0-based row index -> claimed HMD level;
+    ``vmd_cols`` maps 0-based column index -> claimed VMD level.
+    """
+    lines = []
+    if hmd_rows:
+        claims = ", ".join(
+            f"Row {i + 1} (level {level})" for i, level in sorted(hmd_rows.items())
+        )
+        lines.append(f"HMD: {claims}")
+    else:
+        lines.append("HMD: none")
+    if vmd_cols:
+        claims = ", ".join(
+            f"Column {j + 1} (level {level})" for j, level in sorted(vmd_cols.items())
+        )
+        lines.append(f"VMD: {claims}")
+    else:
+        lines.append("VMD: none")
+    data_rows = [i + 1 for i in range(n_rows) if i not in hmd_rows]
+    if data_rows:
+        lines.append(
+            f"Table Data: all entries in rows {data_rows[0]}-{data_rows[-1]} "
+            "not labeled above"
+        )
+    else:
+        lines.append("Table Data: none")
+    return "\n".join(lines)
+
+
+_ROW_RE = re.compile(r"Row\s+(\d+)\s*\(level\s+(\d+)\)")
+_COL_RE = re.compile(r"Column\s+(\d+)\s*\(level\s+(\d+)\)")
+
+
+def parse_llm_response(
+    response: str, *, n_rows: int, n_cols: int
+) -> TableAnnotation:
+    """Parse the response text back into a :class:`TableAnnotation`.
+
+    Out-of-range claims (LLMs hallucinate row numbers) are dropped.
+    Duplicate claims for one row keep the *first* level mentioned,
+    mirroring how a human annotator would read the answer.
+    """
+    hmd_section = ""
+    vmd_section = ""
+    for line in response.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("HMD:"):
+            hmd_section = stripped
+        elif stripped.startswith("VMD:"):
+            vmd_section = stripped
+
+    row_levels: dict[int, int] = {}
+    for match in _ROW_RE.finditer(hmd_section):
+        index = int(match.group(1)) - 1
+        level = int(match.group(2))
+        if 0 <= index < n_rows and index not in row_levels:
+            row_levels[index] = max(1, level)
+    col_levels: dict[int, int] = {}
+    for match in _COL_RE.finditer(vmd_section):
+        index = int(match.group(1)) - 1
+        level = int(match.group(2))
+        if 0 <= index < n_cols and index not in col_levels:
+            col_levels[index] = max(1, level)
+
+    row_labels = tuple(
+        LevelLabel.hmd(row_levels[i]) if i in row_levels else LevelLabel.data()
+        for i in range(n_rows)
+    )
+    col_labels = tuple(
+        LevelLabel.vmd(col_levels[j]) if j in col_levels else LevelLabel.data()
+        for j in range(n_cols)
+    )
+    return TableAnnotation(row_labels, col_labels)

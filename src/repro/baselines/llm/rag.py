@@ -1,0 +1,48 @@
+"""RAG store: the PubMed retrieval stand-in (Sec. IV-I).
+
+The paper retrieves the published HTML version of the table under
+analysis from PubMed; the retrieved markup's header tags let the LLM
+correct its labels.  Our CKG stand-in corpus generator keeps the noisy
+"published" HTML for a fraction of tables; :class:`RAGStore` indexes it
+by table name — retrieval by identity, exactly the paper's setup ("the
+RAG system fetches such table (if it exists) from our database").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.tables.model import AnnotatedTable, Table
+
+
+class RAGStore:
+    """Name-indexed store of published HTML for retrieval."""
+
+    def __init__(self, corpus: Iterable[AnnotatedTable] = ()) -> None:
+        self._html_by_name: dict[str, str] = {}
+        for item in corpus:
+            self.add(item)
+
+    def add(self, item: AnnotatedTable) -> None:
+        """Index one corpus item (no-op when it has no HTML)."""
+        if item.html:
+            self._html_by_name[item.table.name] = item.html
+
+    def __len__(self) -> int:
+        return len(self._html_by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._html_by_name
+
+    def retrieve(self, table: Table) -> str | None:
+        """The published HTML for ``table``, or None on a retrieval miss.
+
+        Misses are part of the experiment: the paper's RAG only helps
+        "if it exists" in the database.
+        """
+        return self._html_by_name.get(table.name)
+
+    @property
+    def coverage(self) -> float:
+        """Diagnostic only — fraction is relative to indexed items."""
+        return 1.0 if self._html_by_name else 0.0

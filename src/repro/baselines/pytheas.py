@@ -1,0 +1,284 @@
+"""Pytheas-style fuzzy-rule line classifier (Christodoulakis et al.,
+VLDB 2020), the paper's strongest HMD-level-1 baseline.
+
+Pytheas classifies CSV *lines* into header / data / subheader using a
+set of boolean rules whose weights are learned in an offline (training)
+phase and combined into per-line confidence scores online.  Following
+the original:
+
+* each rule is a predicate over a line and its context (the lines above
+  and below);
+* a rule's weight is its empirical precision on the annotated training
+  lines (Laplace-smoothed);
+* at inference the class confidence is the maximum weight among firing
+  rules per class (fuzzy OR), and the argmax class wins.
+
+Scope limits are the ones the paper states for the comparison: Pytheas
+detects HMD level 1 and subheaders (our CMD), does **not** separate
+deeper HMD levels, and does **not** classify VMD at all — its
+:meth:`PytheasClassifier.classify` output marks every detected header
+row as HMD level 1 and every column as data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.tables.labels import LevelKind, LevelLabel, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+from repro.text import is_numeric_cell, numeric_fraction
+
+HEADER, DATA, SUBHEADER = "header", "data", "subheader"
+CLASSES = (HEADER, DATA, SUBHEADER)
+
+_KEYWORDS = ("total", "number", "percent", "rate", "average", "median", "mean")
+
+
+@dataclass(frozen=True)
+class LineContext:
+    """One line plus its surroundings, the unit Pytheas rules see."""
+
+    index: int
+    cells: tuple[str, ...]
+    n_rows: int
+    below_numeric: float  # mean numeric fraction of the next lines
+    above_numeric: float
+
+    @property
+    def non_empty(self) -> tuple[str, ...]:
+        return tuple(c for c in self.cells if c)
+
+    @property
+    def blank_fraction(self) -> float:
+        if not self.cells:
+            return 1.0
+        return 1.0 - len(self.non_empty) / len(self.cells)
+
+    @property
+    def numeric_fraction(self) -> float:
+        return numeric_fraction(self.cells)
+
+
+Rule = Callable[[LineContext], bool]
+
+
+def _rule_first_line(ctx: LineContext) -> bool:
+    return ctx.index == 0
+
+
+def _rule_no_numbers(ctx: LineContext) -> bool:
+    return ctx.numeric_fraction == 0.0 and bool(ctx.non_empty)
+
+
+def _rule_mostly_numeric(ctx: LineContext) -> bool:
+    return ctx.numeric_fraction >= 0.6
+
+
+def _rule_some_numeric(ctx: LineContext) -> bool:
+    return 0.0 < ctx.numeric_fraction < 0.6
+
+
+def _rule_numeric_below(ctx: LineContext) -> bool:
+    return ctx.numeric_fraction == 0.0 and ctx.below_numeric >= 0.5
+
+
+def _rule_numeric_above_and_below(ctx: LineContext) -> bool:
+    return ctx.above_numeric >= 0.4 and ctx.below_numeric >= 0.4
+
+
+def _rule_single_populated_cell(ctx: LineContext) -> bool:
+    return len(ctx.non_empty) == 1 and len(ctx.cells) > 1
+
+
+def _rule_sparse_textual(ctx: LineContext) -> bool:
+    return ctx.blank_fraction >= 0.5 and ctx.numeric_fraction == 0.0 and bool(ctx.non_empty)
+
+
+def _rule_short_cells(ctx: LineContext) -> bool:
+    lengths = [len(c) for c in ctx.non_empty]
+    return bool(lengths) and max(lengths) <= 30
+
+
+def _rule_keyword_cells(ctx: LineContext) -> bool:
+    text = " ".join(ctx.non_empty).lower()
+    return any(kw in text for kw in _KEYWORDS)
+
+
+def _rule_capitalized(ctx: LineContext) -> bool:
+    words = [c for c in ctx.non_empty if c and c[0].isalpha()]
+    if not words:
+        return False
+    return sum(1 for c in words if c[0].isupper()) / len(words) >= 0.6
+
+
+def _rule_first_cell_numeric(ctx: LineContext) -> bool:
+    return bool(ctx.cells) and is_numeric_cell(ctx.cells[0])
+
+
+def _rule_dense_line(ctx: LineContext) -> bool:
+    return ctx.blank_fraction <= 0.1
+
+
+def _rule_last_lines(ctx: LineContext) -> bool:
+    return ctx.index >= max(0, ctx.n_rows - 2)
+
+
+DEFAULT_RULES: tuple[tuple[str, Rule], ...] = (
+    ("first_line", _rule_first_line),
+    ("no_numbers", _rule_no_numbers),
+    ("mostly_numeric", _rule_mostly_numeric),
+    ("some_numeric", _rule_some_numeric),
+    ("numeric_below", _rule_numeric_below),
+    ("numeric_above_and_below", _rule_numeric_above_and_below),
+    ("single_populated_cell", _rule_single_populated_cell),
+    ("sparse_textual", _rule_sparse_textual),
+    ("short_cells", _rule_short_cells),
+    ("keyword_cells", _rule_keyword_cells),
+    ("capitalized", _rule_capitalized),
+    ("first_cell_numeric", _rule_first_cell_numeric),
+    ("dense_line", _rule_dense_line),
+    ("last_lines", _rule_last_lines),
+)
+
+
+@dataclass(frozen=True)
+class PytheasConfig:
+    """Training knobs."""
+
+    laplace: float = 1.0  # precision smoothing
+    context_window: int = 2  # lines of context for above/below stats
+    min_confidence: float = 0.05  # below this the line defaults to data
+
+    def __post_init__(self) -> None:
+        if self.laplace < 0:
+            raise ValueError("laplace smoothing cannot be negative")
+        if self.context_window < 1:
+            raise ValueError("context_window must be positive")
+
+
+def _line_contexts(table: Table, window: int) -> list[LineContext]:
+    fractions = [numeric_fraction(row) for row in table.rows]
+    contexts = []
+    for i, row in enumerate(table.rows):
+        below = fractions[i + 1 : i + 1 + window]
+        above = fractions[max(0, i - window) : i]
+        contexts.append(
+            LineContext(
+                index=i,
+                cells=row,
+                n_rows=table.n_rows,
+                below_numeric=sum(below) / len(below) if below else 0.0,
+                above_numeric=sum(above) / len(above) if above else 0.0,
+            )
+        )
+    return contexts
+
+
+def _truth_class(label: LevelLabel) -> str:
+    if label.kind is LevelKind.HMD:
+        return HEADER
+    if label.kind is LevelKind.CMD:
+        return SUBHEADER
+    return DATA
+
+
+class PytheasClassifier:
+    """Two-phase fuzzy line classifier.
+
+    Offline: :meth:`fit` learns per-(rule, class) weights = smoothed
+    precision of the rule for the class on annotated training lines.
+    Online: :meth:`classify_lines` scores each line; :meth:`classify`
+    adapts the output to a :class:`TableAnnotation` (header rows ->
+    HMD level 1, subheaders -> CMD, all columns -> data).
+    """
+
+    def __init__(
+        self,
+        config: PytheasConfig | None = None,
+        rules: Sequence[tuple[str, Rule]] = DEFAULT_RULES,
+    ) -> None:
+        self.config = config or PytheasConfig()
+        self.rules = tuple(rules)
+        # weights[rule_name][class] = smoothed precision
+        self.weights: dict[str, dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    # offline phase
+    # ------------------------------------------------------------------
+    def fit(self, corpus: Sequence[AnnotatedTable]) -> "PytheasClassifier":
+        """Learn rule weights from annotated tables (Pytheas is
+        supervised; the paper notes the baselines "rely on manual
+        annotation")."""
+        if not corpus:
+            raise ValueError("cannot fit on an empty corpus")
+        fires: dict[str, dict[str, int]] = {
+            name: {c: 0 for c in CLASSES} for name, _ in self.rules
+        }
+        totals: dict[str, int] = {name: 0 for name, _ in self.rules}
+        for item in corpus:
+            contexts = _line_contexts(item.table, self.config.context_window)
+            for ctx, label in zip(contexts, item.annotation.row_labels):
+                truth = _truth_class(label)
+                for name, rule in self.rules:
+                    if rule(ctx):
+                        fires[name][truth] += 1
+                        totals[name] += 1
+        alpha = self.config.laplace
+        self.weights = {}
+        for name, _ in self.rules:
+            total = totals[name]
+            self.weights[name] = {
+                c: (fires[name][c] + alpha) / (total + alpha * len(CLASSES))
+                for c in CLASSES
+            }
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return bool(self.weights)
+
+    # ------------------------------------------------------------------
+    # online phase
+    # ------------------------------------------------------------------
+    def line_confidences(self, table: Table) -> list[dict[str, float]]:
+        """Per line, the fuzzy confidence per class (max firing weight)."""
+        if not self.is_fitted:
+            raise RuntimeError("Pytheas is not fitted; call fit() first")
+        results = []
+        for ctx in _line_contexts(table, self.config.context_window):
+            confidence = {c: 0.0 for c in CLASSES}
+            for name, rule in self.rules:
+                if rule(ctx):
+                    for c in CLASSES:
+                        confidence[c] = max(confidence[c], self.weights[name][c])
+            results.append(confidence)
+        return results
+
+    def classify_lines(self, table: Table) -> list[str]:
+        """The raw Pytheas output: header/data/subheader per line."""
+        labels = []
+        for confidence in self.line_confidences(table):
+            best = max(confidence, key=lambda c: confidence[c])
+            if confidence[best] < self.config.min_confidence:
+                best = DATA
+            labels.append(best)
+        return labels
+
+    def classify(self, table: Table) -> TableAnnotation:
+        """Adapter to the shared evaluation interface.
+
+        Every detected header row becomes HMD *level 1* (Pytheas has no
+        notion of header depth) and every column is data (no VMD
+        support) — the paper's Table V dashes.
+        """
+        row_labels = []
+        for line_class in self.classify_lines(table):
+            if line_class == HEADER:
+                row_labels.append(LevelLabel.hmd(1))
+            elif line_class == SUBHEADER:
+                row_labels.append(LevelLabel.cmd(1))
+            else:
+                row_labels.append(LevelLabel.data())
+        col_labels = [LevelLabel.data()] * table.n_cols
+        return TableAnnotation(tuple(row_labels), tuple(col_labels))

@@ -1,0 +1,227 @@
+"""Command-line interface.
+
+Usage (also via ``python -m repro``):
+
+    repro datasets
+    repro fit --dataset ckg --n-train 160 --out model.npz
+    repro classify table.csv --model model.npz [--evidence]
+    repro experiment table5 --scale smoke
+    repro experiment all --scale paper --out artifacts.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.core.pipeline import MetadataPipeline
+from repro.corpus.profiles import get_profile, list_profiles
+from repro.corpus.registry import build_split
+from repro.experiments.runner import PAPER, SMOKE, pipeline_config_for
+from repro.tables.csvio import table_from_csv
+from repro.tables.jsonio import table_from_json
+from repro.tables.model import Table
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Tabular hierarchical metadata classification (ICDE 2025 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("datasets", help="list the six dataset profiles")
+
+    fit = commands.add_parser("fit", help="fit a pipeline on a dataset")
+    fit.add_argument("--dataset", default="ckg", help="profile name")
+    fit.add_argument("--n-train", type=int, default=160)
+    fit.add_argument("--seed", type=int, default=1)
+    fit.add_argument("--out", required=True, help="output .npz archive")
+
+    classify = commands.add_parser(
+        "classify", help="classify a CSV/JSON table with a saved pipeline"
+    )
+    classify.add_argument("table", help="path to a .csv or .json table")
+    classify.add_argument("--model", required=True, help="saved .npz archive")
+    classify.add_argument(
+        "--evidence", action="store_true", help="print per-level angle evidence"
+    )
+
+    corpus = commands.add_parser(
+        "corpus", help="generate a dataset corpus to JSONL and/or describe it"
+    )
+    corpus.add_argument("--dataset", default="ckg")
+    corpus.add_argument("--n-tables", type=int, default=100)
+    corpus.add_argument("--seed", type=int, default=0)
+    corpus.add_argument("--out", help="write JSONL (.jsonl or .jsonl.gz)")
+
+    diagnose = commands.add_parser(
+        "diagnose",
+        help="render the angle-geometry diagnostics for a saved pipeline",
+    )
+    diagnose.add_argument("--model", required=True, help="saved .npz archive")
+    diagnose.add_argument("--dataset", default="ckg", help="corpus to probe with")
+    diagnose.add_argument("--n-tables", type=int, default=60)
+    diagnose.add_argument("--axis", choices=["rows", "cols"], default="rows")
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate a paper artifact"
+    )
+    experiment.add_argument(
+        "artifact",
+        choices=[
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "figure5", "figure6", "figure7", "runtime", "all",
+        ],
+    )
+    experiment.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
+    experiment.add_argument("--out", help="also write the rendering to a file")
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def _cmd_datasets() -> int:
+    for profile in list_profiles():
+        markup = "html markup" if profile.has_markup else "no markup"
+        print(
+            f"{profile.name:10s} HMD<= {profile.max_hmd_level}  "
+            f"VMD<= {profile.max_vmd_level}  [{markup}]  {profile.description}"
+        )
+    return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    profile = get_profile(args.dataset)
+    scale = SMOKE
+    config = pipeline_config_for(args.dataset, scale)
+    n_train = args.n_train * profile.train_multiplier
+    print(f"generating {n_train} training tables for {args.dataset} ...")
+    train, _ = build_split(args.dataset, n_train=n_train, n_eval=1, seed=args.seed)
+    print("fitting (embeddings -> bootstrap -> contrastive -> centroids) ...")
+    pipeline = MetadataPipeline(config).fit(train)
+    assert pipeline.fit_report is not None
+    print(f"fit in {pipeline.fit_report.total_seconds:.1f}s")
+    written = save_pipeline(pipeline, args.out)
+    print(f"saved pipeline to {written}")
+    return 0
+
+
+def _load_table(path: Path) -> Table:
+    text = path.read_text()
+    suffix = path.suffix.lower()
+    if suffix == ".json":
+        return table_from_json(text)
+    if suffix in (".md", ".markdown"):
+        from repro.tables.markdown import table_from_markdown
+
+        return table_from_markdown(text, name=path.stem)
+    return table_from_csv(text, name=path.stem)
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    pipeline = load_pipeline(args.model)
+    table = _load_table(Path(args.table))
+    result = pipeline.classify_result(table)
+    print(table.to_text(max_width=16))
+    print(f"\nHMD depth: {result.hmd_depth}   VMD depth: {result.vmd_depth}")
+    print("row labels:", " ".join(str(l) for l in result.annotation.row_labels))
+    print("col labels:", " ".join(str(l) for l in result.annotation.col_labels))
+    if args.evidence:
+        print("\nevidence:")
+        for evidence in result.row_evidence:
+            delta = (
+                f"Δ={evidence.angle_to_prev:5.1f}°"
+                if evidence.angle_to_prev is not None
+                else "Δ= ---  "
+            )
+            print(
+                f"  row {evidence.index}: {str(evidence.label):5s} {delta} "
+                f"{evidence.rule}"
+            )
+    return 0
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from repro.corpus.io import save_corpus
+    from repro.corpus.registry import build_corpus
+    from repro.corpus.stats import describe_corpus
+
+    corpus = build_corpus(args.dataset, n_tables=args.n_tables, seed=args.seed)
+    print(describe_corpus(corpus, name=args.dataset))
+    if args.out:
+        written = save_corpus(corpus, args.out)
+        print(f"wrote {written} tables to {args.out}")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    from repro.core.bootstrap import bootstrap_corpus
+    from repro.core.diagnostics import angle_spectrum, render_spectrum
+    from repro.corpus.registry import build_corpus
+
+    pipeline = load_pipeline(args.model)
+    assert pipeline.embedder is not None
+    corpus = build_corpus(args.dataset, n_tables=args.n_tables, seed=0)
+    labeled = bootstrap_corpus(corpus)
+    spectrum = angle_spectrum(pipeline.embedder, labeled, axis=args.axis)
+    print(render_spectrum(spectrum))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        run_figure5, run_figure6, run_figure7, run_runtime,
+        run_table1, run_table2, run_table3, run_table4, run_table5, run_table6,
+    )
+
+    scale = PAPER if args.scale == "paper" else SMOKE
+    runners = {
+        "table1": lambda: run_table1(scale).render(),
+        "table2": lambda: run_table2(scale).render(),
+        "table3": lambda: run_table3(scale).render(),
+        "table4": lambda: run_table4(scale).render(),
+        "table5": lambda: run_table5(scale).render(),
+        "table6": lambda: run_table6(scale).render(),
+        "figure5": lambda: run_figure5(scale).render(),
+        "figure6": lambda: run_figure6(scale).render(),
+        "figure7": lambda: run_figure7(scale).render(),
+        "runtime": lambda: run_runtime(scale).render(),
+    }
+    names = list(runners) if args.artifact == "all" else [args.artifact]
+    sections = []
+    for name in names:
+        print(f"[{name}] running ...", file=sys.stderr)
+        sections.append(runners[name]())
+    document = "\n\n".join(sections)
+    print(document)
+    if args.out:
+        Path(args.out).write_text(document + "\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "fit":
+        return _cmd_fit(args)
+    if args.command == "classify":
+        return _cmd_classify(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
+    if args.command == "diagnose":
+        return _cmd_diagnose(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

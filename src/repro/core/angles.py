@@ -1,0 +1,130 @@
+"""Angular similarity primitives (Sec. III-C, Eqs. 5-8).
+
+The paper's classification signal is the *angle in degrees* between
+aggregated level vectors.  This module implements the cosine/angle pair
+(Eq. 5 and Defs. 14-16), the alternative metrics the paper argues
+against (Euclidean, Jaccard — kept for the ablation bench), and the
+:class:`AngleRange` used to represent centroid intervals like
+"C_MDE-DE = 60 to 75".
+
+Zero aggregated vectors (fully blank levels, OOV-only levels under the
+"zero" back-off) have no direction; by convention their angle to
+anything is 90 degrees — maximally uninformative, which keeps them out
+of both the metadata and the data ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def cosine_similarity(a: np.ndarray, b: np.ndarray) -> float:
+    """Eq. 5.  Zero vectors yield similarity 0 (see module docstring)."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    norm = np.linalg.norm(a) * np.linalg.norm(b)
+    if norm < _EPS:
+        return 0.0
+    return float(np.clip(a @ b / norm, -1.0, 1.0))
+
+
+def angle_between(a: np.ndarray, b: np.ndarray) -> float:
+    """Angle in degrees between two vectors (Defs. 14-16)."""
+    return float(np.degrees(np.arccos(cosine_similarity(a, b))))
+
+
+def euclidean_distance(a: np.ndarray, b: np.ndarray) -> float:
+    """Magnitude-sensitive alternative the paper rejects (Sec. III-C)."""
+    return float(np.linalg.norm(np.asarray(a, dtype=np.float64) - np.asarray(b, dtype=np.float64)))
+
+
+def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
+    """Set-overlap alternative the paper rejects (Sec. III-C)."""
+    set_a, set_b = set(a), set(b)
+    if not set_a and not set_b:
+        return 1.0
+    union = set_a | set_b
+    return len(set_a & set_b) / len(union)
+
+
+def angle_matrix(levels: np.ndarray) -> np.ndarray:
+    """Pairwise angle matrix (degrees) for an ``(n, d)`` stack of levels.
+
+    Vectorized: normalize rows (zero rows stay zero), clip the Gram
+    matrix into [-1, 1], arccos.  Zero rows get 90 degrees against
+    everything including themselves, matching :func:`angle_between`.
+    """
+    levels = np.asarray(levels, dtype=np.float64)
+    if levels.ndim != 2:
+        raise ValueError("expected an (n, d) matrix of level vectors")
+    norms = np.linalg.norm(levels, axis=1)
+    safe = np.where(norms < _EPS, 1.0, norms)
+    unit = levels / safe[:, None]
+    gram = np.clip(unit @ unit.T, -1.0, 1.0)
+    angles = np.degrees(np.arccos(gram))
+    zero = norms < _EPS
+    angles[zero, :] = 90.0
+    angles[:, zero] = 90.0
+    # Numerical noise can make the diagonal slightly non-zero.
+    np.fill_diagonal(angles, np.where(zero, 90.0, 0.0))
+    return angles
+
+
+@dataclass(frozen=True)
+class AngleRange:
+    """A closed angle interval in degrees, e.g. the paper's "60 to 75"."""
+
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lo <= self.hi <= 180.0:
+            raise ValueError(f"invalid angle range [{self.lo}, {self.hi}]")
+
+    def __contains__(self, angle: float) -> bool:
+        return self.lo <= angle <= self.hi
+
+    @property
+    def width(self) -> float:
+        return self.hi - self.lo
+
+    @property
+    def midpoint(self) -> float:
+        return (self.lo + self.hi) / 2.0
+
+    def distance_to(self, angle: float) -> float:
+        """0 inside the range, else distance to the nearest endpoint."""
+        if angle in self:
+            return 0.0
+        return min(abs(angle - self.lo), abs(angle - self.hi))
+
+    def widened(self, margin: float) -> "AngleRange":
+        """Expand both ends by ``margin`` degrees, clipped to [0, 180]."""
+        return AngleRange(max(0.0, self.lo - margin), min(180.0, self.hi + margin))
+
+    @classmethod
+    def from_samples(
+        cls, samples: Sequence[float], *, trim: float = 0.05
+    ) -> "AngleRange":
+        """Robust range: [trim, 1-trim] percentiles of observed angles.
+
+        The bootstrap labels are noisy (Sec. III-B: "The tags are not
+        100% accurate"), so raw min/max would be dominated by mislabeled
+        outliers; trimming keeps the range where the mass is.
+        """
+        if not 0.0 <= trim < 0.5:
+            raise ValueError("trim must be in [0, 0.5)")
+        arr = np.asarray(list(samples), dtype=np.float64)
+        if arr.size == 0:
+            raise ValueError("cannot build a range from no samples")
+        lo = float(np.percentile(arr, 100 * trim))
+        hi = float(np.percentile(arr, 100 * (1 - trim)))
+        return cls(max(0.0, lo), min(180.0, hi))
+
+    def __str__(self) -> str:
+        return f"{self.lo:.0f} to {self.hi:.0f}"

@@ -1,0 +1,186 @@
+"""Bootstrap labeling from HTML markup (Sec. III-B).
+
+"To calculate centroids in unsupervised manner, we used a subset of our
+datasets that has markup for metadata in the HTML tags. ... The script
+labels HMD using tags like <thead>, <th>, and labels data using <tbody>,
+<td>.  For VMD labeling, it checks for bold tags/attributes or empty
+space characters in the first column of <td> tags."
+
+The labels produced here are *weak*: the markup is noisy and often
+missing (the generator degrades it on purpose), which is exactly the
+regime the paper's centroid estimation is designed to survive.  For
+datasets without markup (SAUS, CIUS) the paper falls back to treating
+the first row/column as the metadata reference —
+:func:`bootstrap_first_level`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.tables.html import ParsedHtmlTable, parse_html_table
+from repro.tables.labels import LevelKind
+from repro.tables.model import AnnotatedTable, Table
+
+
+@dataclass(frozen=True)
+class BootstrapLabels:
+    """Weak per-level kinds for one table.
+
+    ``None`` entries mean *unlabeled*: the bootstrap has no evidence
+    either way and downstream estimation must skip that level.  (The
+    first-level fallback uses this for the levels between the first
+    row/column and the clearly-data far half, which would otherwise
+    contaminate the data pool with undetected deep metadata.)
+    """
+
+    table: Table
+    row_kinds: tuple[LevelKind | None, ...]
+    col_kinds: tuple[LevelKind | None, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.row_kinds) != self.table.n_rows:
+            raise ValueError("row kinds do not match table height")
+        if len(self.col_kinds) != self.table.n_cols:
+            raise ValueError("col kinds do not match table width")
+
+    @property
+    def metadata_row_indices(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, k in enumerate(self.row_kinds) if k is LevelKind.HMD
+        )
+
+    @property
+    def data_row_indices(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, k in enumerate(self.row_kinds) if k is LevelKind.DATA
+        )
+
+    @property
+    def metadata_col_indices(self) -> tuple[int, ...]:
+        return tuple(
+            j for j, k in enumerate(self.col_kinds) if k is LevelKind.VMD
+        )
+
+    @property
+    def data_col_indices(self) -> tuple[int, ...]:
+        return tuple(
+            j for j, k in enumerate(self.col_kinds) if k is LevelKind.DATA
+        )
+
+    @property
+    def has_metadata(self) -> bool:
+        return bool(self.metadata_row_indices or self.metadata_col_indices)
+
+
+def bootstrap_from_html(
+    markup: str,
+    *,
+    name: str = "",
+    th_threshold: float = 0.5,
+    vmd_threshold: float = 0.3,
+    max_vmd_cols: int = 3,
+) -> BootstrapLabels:
+    """Weak labels from one HTML table.
+
+    * a row is HMD when it sits in ``<thead>`` or at least
+      ``th_threshold`` of its cells are ``<th>``;
+    * a leading column is VMD when at least ``vmd_threshold`` of its
+      non-empty cells are bold/indented, or when it mixes text with the
+      blank continuation cells characteristic of hierarchical VMD;
+    * everything else is data.
+    """
+    parsed = parse_html_table(markup)
+    return _labels_from_parsed(
+        parsed,
+        name=name,
+        th_threshold=th_threshold,
+        vmd_threshold=vmd_threshold,
+        max_vmd_cols=max_vmd_cols,
+    )
+
+
+def _labels_from_parsed(
+    parsed: ParsedHtmlTable,
+    *,
+    name: str,
+    th_threshold: float,
+    vmd_threshold: float,
+    max_vmd_cols: int,
+) -> BootstrapLabels:
+    table = parsed.to_table(name=name)
+    row_kinds: list[LevelKind] = []
+    for i in range(parsed.n_rows):
+        in_thead = i in parsed.thead_rows
+        th_heavy = parsed.th_fraction(i) >= th_threshold
+        row_kinds.append(LevelKind.HMD if (in_thead or th_heavy) else LevelKind.DATA)
+
+    n_cols = table.n_cols
+    col_kinds: list[LevelKind] = [LevelKind.DATA] * n_cols
+    for j in range(min(max_vmd_cols, n_cols)):
+        bold = parsed.bold_or_indent_fraction(j)
+        blank = parsed.blank_fraction(j)
+        # Hierarchical continuation blanks: mostly blank but not fully,
+        # with the non-blank cells being text (the markup cue from the
+        # paper: "empty space characters in the first column").
+        hierarchical_blanks = 0.2 <= blank <= 0.95
+        if bold >= vmd_threshold or (j == 0 and hierarchical_blanks):
+            col_kinds[j] = LevelKind.VMD
+        else:
+            break  # VMD columns are contiguous from the left
+    # A table that is all VMD makes no sense; drop the signal then.
+    if all(k is LevelKind.VMD for k in col_kinds) and n_cols > 0:
+        col_kinds = [LevelKind.DATA] * n_cols
+    return BootstrapLabels(table, tuple(row_kinds), tuple(col_kinds))
+
+
+def bootstrap_first_level(table: Table) -> BootstrapLabels:
+    """Markup-free fallback (SAUS/CIUS): first row HMD, first column VMD.
+
+    The paper: "In that case, we used the first row/column instead to
+    calculate the metadata centroids."  The fallback defines only the
+    *metadata* side confidently; for the data side it takes the far half
+    of the table (deep metadata never reaches there) and leaves the
+    ambiguous near-boundary levels unlabeled — marking them data would
+    pull the data reference toward undetected level-2+ metadata.
+    """
+    def kinds(n: int, meta: LevelKind) -> tuple[LevelKind | None, ...]:
+        data_start = max(1, n // 2)
+        out: list[LevelKind | None] = []
+        for i in range(n):
+            if i == 0:
+                out.append(meta)
+            elif i >= data_start:
+                out.append(LevelKind.DATA)
+            else:
+                out.append(None)
+        return tuple(out)
+
+    return BootstrapLabels(
+        table, kinds(table.n_rows, LevelKind.HMD), kinds(table.n_cols, LevelKind.VMD)
+    )
+
+
+def bootstrap_corpus(
+    corpus: Iterable[AnnotatedTable | Table],
+    *,
+    prefer_html: bool = True,
+) -> list[BootstrapLabels]:
+    """Bootstrap every table in a corpus.
+
+    ``AnnotatedTable`` items contribute their HTML markup when present
+    (ground-truth annotations are **never** read here — the pipeline is
+    unsupervised); bare tables and items without markup fall back to
+    first-row/column labeling.
+    """
+    labels: list[BootstrapLabels] = []
+    for item in corpus:
+        if isinstance(item, AnnotatedTable):
+            if prefer_html and item.html:
+                labels.append(bootstrap_from_html(item.html, name=item.table.name))
+            else:
+                labels.append(bootstrap_first_level(item.table))
+        else:
+            labels.append(bootstrap_first_level(item))
+    return labels

@@ -1,0 +1,275 @@
+"""Algorithm 1: metadata classification in generally structured tables.
+
+The classifier walks the table's rows top-down (then its columns
+left-to-right) and, for each level, measures
+
+* the angle to the previous level (the paper's Δ), and
+* the angles to the bootstrap reference metadata/data aggregates
+  (``row_mref``/``row_dref`` in Sec. III-D.1),
+
+then assigns HMD/CMD/DATA (rows) or VMD/DATA (columns) by testing which
+centroid range the angles fall into.  Membership decides when it is
+unambiguous; when an angle falls in none of the (possibly overlapping)
+ranges, the nearest-reference comparison breaks the tie — the same
+fallback the paper uses for the very first row.
+
+Every decision is recorded as a :class:`LevelEvidence` so experiments
+can render the annotated example of the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+from repro.core.aggregate import (
+    AggregationConfig,
+    aggregate_cols,
+    aggregate_rows,
+)
+from repro.core.angles import angle_between
+from repro.core.centroids import CentroidSet
+from repro.core.contrastive import ContrastiveProjection
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.labels import LevelKind, LevelLabel, TableAnnotation
+from repro.tables.model import Table
+
+
+@dataclass(frozen=True)
+class ClassifierConfig:
+    """Knobs for Algorithm 1."""
+
+    max_hmd_depth: int = 5  # deepest HMD the paper observes
+    max_vmd_depth: int = 3  # deepest VMD the paper observes
+    detect_cmd: bool = True  # central metadata rows (rows only)
+    range_margin: float = 2.0  # degrees of slack on centroid ranges
+    ref_slack: float = 10.0  # reference-angle tolerance in overlap ties
+    ref_override: float = 10.0  # min ref-angle gap to overrule a range hit
+    aggregation: AggregationConfig = field(default_factory=AggregationConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_hmd_depth < 1 or self.max_vmd_depth < 1:
+            raise ValueError("depth limits must be positive")
+        if self.range_margin < 0:
+            raise ValueError("range_margin cannot be negative")
+
+
+@dataclass(frozen=True)
+class LevelEvidence:
+    """Why one level got its label (consumed by Fig. 5 rendering)."""
+
+    index: int
+    label: LevelLabel
+    angle_to_prev: float | None  # Δ vs the previous level; None at index 0
+    angle_to_meta_ref: float
+    angle_to_data_ref: float
+    rule: str  # human-readable decision rule
+
+
+@dataclass(frozen=True)
+class ClassificationResult:
+    """Full classifier output for one table."""
+
+    table: Table
+    annotation: TableAnnotation
+    row_evidence: tuple[LevelEvidence, ...]
+    col_evidence: tuple[LevelEvidence, ...]
+
+    @property
+    def hmd_depth(self) -> int:
+        return self.annotation.hmd_depth
+
+    @property
+    def vmd_depth(self) -> int:
+        return self.annotation.vmd_depth
+
+
+class MetadataClassifier:
+    """Angle-based row/column classifier over fitted centroids."""
+
+    def __init__(
+        self,
+        embedder: TermEmbedder,
+        row_centroids: CentroidSet,
+        col_centroids: CentroidSet,
+        *,
+        projection: ContrastiveProjection | None = None,
+        config: ClassifierConfig | None = None,
+    ) -> None:
+        self.embedder = embedder
+        self.row_centroids = row_centroids
+        self.col_centroids = col_centroids
+        self.projection = projection
+        self.config = config or ClassifierConfig()
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def classify(self, table: Table) -> TableAnnotation:
+        """Classify every row/column of ``table``; labels only."""
+        return self.classify_result(table).annotation
+
+    def classify_result(self, table: Table) -> ClassificationResult:
+        """Classify every row and column of ``table`` (Algorithm 1)."""
+        row_vectors = aggregate_rows(self.embedder, table, self.config.aggregation)
+        col_vectors = aggregate_cols(self.embedder, table, self.config.aggregation)
+        if self.projection is not None:
+            row_vectors = self.projection.transform(row_vectors)
+            col_vectors = self.projection.transform(col_vectors)
+
+        row_labels, row_evidence = self._classify_axis(
+            row_vectors,
+            self.row_centroids,
+            max_depth=self.config.max_hmd_depth,
+            metadata_kind=LevelKind.HMD,
+            detect_cmd=self.config.detect_cmd,
+        )
+        col_labels, col_evidence = self._classify_axis(
+            col_vectors,
+            self.col_centroids,
+            max_depth=self.config.max_vmd_depth,
+            metadata_kind=LevelKind.VMD,
+            detect_cmd=False,  # CMD is defined for rows only (Def. 4)
+        )
+        annotation = TableAnnotation(tuple(row_labels), tuple(col_labels))
+        return ClassificationResult(
+            table=table,
+            annotation=annotation,
+            row_evidence=tuple(row_evidence),
+            col_evidence=tuple(col_evidence),
+        )
+
+    # ------------------------------------------------------------------
+    # the axis walk
+    # ------------------------------------------------------------------
+    def _classify_axis(
+        self,
+        vectors: np.ndarray,
+        centroids: CentroidSet,
+        *,
+        max_depth: int,
+        metadata_kind: LevelKind,
+        detect_cmd: bool,
+    ) -> tuple[list[LevelLabel], list[LevelEvidence]]:
+        margin = self.config.range_margin
+        c_mde = centroids.mde.widened(margin)
+        c_de = centroids.de.widened(margin)
+        c_mde_de = centroids.mde_de.widened(margin)
+
+        labels: list[LevelLabel] = []
+        evidence: list[LevelEvidence] = []
+        depth = 0
+        transitioned = False  # have we crossed the metadata->data boundary?
+        prev_vector: np.ndarray | None = None
+        prev_is_meta = False
+
+        for index in range(vectors.shape[0]):
+            vec = vectors[index]
+            a_meta = angle_between(vec, centroids.meta_ref)
+            a_data = angle_between(vec, centroids.data_ref)
+            delta = (
+                angle_between(vec, prev_vector) if prev_vector is not None else None
+            )
+
+            if index == 0:
+                # Sec. III-D.1: compare the first level against the
+                # bootstrap references.
+                is_meta = a_meta < a_data
+                rule = "first level: nearest reference"
+            elif prev_is_meta and not transitioned:
+                assert delta is not None
+                in_mde = delta in c_mde
+                in_mde_de = delta in c_mde_de
+                if depth >= max_depth:
+                    is_meta = False
+                    rule = f"depth cap {max_depth} reached"
+                elif in_mde and not in_mde_de:
+                    is_meta = True
+                    rule = f"Δ={delta:.0f}° ∈ C_MDE {centroids.mde}"
+                elif in_mde and in_mde_de:
+                    # Overlapping ranges: the nearest range midpoint
+                    # decides, with a soft reference guard — a level far
+                    # closer to the data reference is data regardless.
+                    to_mde = abs(delta - centroids.mde.midpoint)
+                    to_mde_de = abs(delta - centroids.mde_de.midpoint)
+                    refs_allow_meta = a_meta <= a_data + self.config.ref_slack
+                    refs_force_meta = (
+                        a_meta + self.config.ref_override < a_data
+                    )
+                    is_meta = (
+                        to_mde < to_mde_de and refs_allow_meta
+                    ) or refs_force_meta
+                    rule = (
+                        f"Δ={delta:.0f}° in C_MDE∩C_MDE-DE overlap: "
+                        f"nearest midpoint ({centroids.mde.midpoint:.0f} vs "
+                        f"{centroids.mde_de.midpoint:.0f}), refs "
+                        f"{'allow' if refs_allow_meta else 'veto'} metadata"
+                    )
+                elif in_mde_de:
+                    # A transition-range hit usually ends the block, but
+                    # hierarchical metadata levels drawn from disjoint
+                    # sub-vocabularies can sit this far apart too; when
+                    # the references *clearly* side with metadata, trust
+                    # them over the range.
+                    is_meta = a_meta + self.config.ref_override < a_data
+                    rule = (
+                        f"Δ={delta:.0f}° ∈ C_MDE-DE {centroids.mde_de}"
+                        + (", refs overrule: metadata" if is_meta else "")
+                    )
+                elif delta in c_de and a_data < a_meta:
+                    # Rare: two near-identical levels after a mislabeled
+                    # first level; defer to the references.
+                    is_meta = False
+                    rule = f"Δ={delta:.0f}° ∈ C_DE, references prefer data"
+                else:
+                    is_meta = a_meta < a_data
+                    rule = "Δ in no range: nearest reference"
+            else:
+                assert delta is not None
+                if delta in c_de:
+                    is_meta = False
+                    rule = f"Δ={delta:.0f}° ∈ C_DE {centroids.de}"
+                elif detect_cmd and delta in c_mde_de and a_meta < a_data:
+                    is_meta = True  # central metadata restarts a block
+                    rule = f"Δ={delta:.0f}° ∈ C_MDE-DE from data: CMD"
+                else:
+                    # CMD claims need positive range evidence; the plain
+                    # fallback past the boundary is always data.
+                    is_meta = False
+                    rule = f"Δ={delta:.0f}° past boundary: data"
+
+            if is_meta and not transitioned:
+                depth += 1
+                label = LevelLabel(metadata_kind, depth)
+            elif is_meta and transitioned:
+                label = LevelLabel.cmd(1)
+            else:
+                label = LevelLabel.data()
+                if prev_is_meta or index == 0:
+                    transitioned = True
+
+            labels.append(label)
+            evidence.append(
+                LevelEvidence(
+                    index=index,
+                    label=label,
+                    angle_to_prev=delta,
+                    angle_to_meta_ref=a_meta,
+                    angle_to_data_ref=a_data,
+                    rule=rule,
+                )
+            )
+            prev_vector = vec
+            prev_is_meta = is_meta
+        return labels, evidence
+
+    # ------------------------------------------------------------------
+    # depth-only conveniences (the paper reports depth per table)
+    # ------------------------------------------------------------------
+    def hmd_depth(self, table: Table) -> int:
+        """Predicted horizontal-metadata depth (Def. 7)."""
+        return self.classify(table).hmd_depth
+
+    def vmd_depth(self, table: Table) -> int:
+        """Predicted vertical-metadata depth."""
+        return self.classify(table).vmd_depth

@@ -1,0 +1,202 @@
+"""Siamese contrastive refinement (Fig. 4 of the paper).
+
+"During classification, each evaluated pair consists of a 'target'
+row/column and either a 'positive' or a 'negative' row/column. ... The
+angle between positive pairs is minimized ... whereas the angle between
+negative pairs is maximized."
+
+We implement the Siamese network as a shared linear projection ``W``
+applied to both branches — the same weights see both inputs, which is
+the defining property of a Siamese architecture.  The contrastive loss
+on cosine similarity ``s``:
+
+* positive pair: ``(1 - s)^2`` — pull together;
+* negative pair: ``max(0, s - margin)^2`` — push below the margin.
+
+Gradients through the cosine (including the normalization) are derived
+by hand and optimized with Adam; everything is vectorized NumPy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ContrastiveConfig:
+    """Hyper-parameters for the Siamese projection head."""
+
+    out_dim: int | None = None  # None: same as input (identity-init)
+    margin: float = 0.2  # cosine margin for negative pairs
+    epochs: int = 5
+    learning_rate: float = 0.002
+    batch_size: int = 256
+    init_noise: float = 0.01
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not -1.0 <= self.margin < 1.0:
+            raise ValueError("margin must be a cosine value in [-1, 1)")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+
+
+@dataclass(frozen=True)
+class PairBatch:
+    """A batch of (target, other, label) training pairs."""
+
+    left: np.ndarray  # (n, d)
+    right: np.ndarray  # (n, d)
+    labels: np.ndarray  # (n,) 1.0 positive / 0.0 negative
+
+    def __post_init__(self) -> None:
+        if not (len(self.left) == len(self.right) == len(self.labels)):
+            raise ValueError("pair arrays must have equal length")
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
+def build_pairs(
+    meta_vectors: Sequence[np.ndarray],
+    data_vectors: Sequence[np.ndarray],
+    *,
+    n_pairs: int = 2000,
+    seed: int = 0,
+) -> PairBatch:
+    """Sample contrastive pairs from bootstrap-labeled level vectors.
+
+    Positives: (meta, meta) and (data, data); negatives: (meta, data) —
+    exactly the pairings Fig. 4 illustrates.  The mix is balanced
+    50/50 positive/negative.
+    """
+    rng = np.random.default_rng(seed)
+    meta = [np.asarray(v, dtype=np.float64) for v in meta_vectors]
+    data = [np.asarray(v, dtype=np.float64) for v in data_vectors]
+    if len(meta) < 2 or len(data) < 2:
+        raise ValueError("need at least two metadata and two data vectors")
+
+    left, right, labels = [], [], []
+    n_pos = n_pairs // 2
+    n_neg = n_pairs - n_pos
+    for k in range(n_pos):
+        if k % 2 == 0:
+            i, j = rng.choice(len(meta), size=2, replace=False)
+            left.append(meta[i])
+            right.append(meta[j])
+        else:
+            i, j = rng.choice(len(data), size=2, replace=False)
+            left.append(data[i])
+            right.append(data[j])
+        labels.append(1.0)
+    for _ in range(n_neg):
+        left.append(meta[rng.integers(len(meta))])
+        right.append(data[rng.integers(len(data))])
+        labels.append(0.0)
+
+    order = rng.permutation(len(labels))
+    return PairBatch(
+        np.stack(left)[order],
+        np.stack(right)[order],
+        np.asarray(labels)[order],
+    )
+
+
+class ContrastiveProjection:
+    """Shared-weight (Siamese) linear projection trained contrastively."""
+
+    def __init__(self, dim: int, config: ContrastiveConfig | None = None) -> None:
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        self.config = config or ContrastiveConfig()
+        self.in_dim = dim
+        self.out_dim = self.config.out_dim or dim
+        rng = np.random.default_rng(self.config.seed)
+        noise = rng.normal(0.0, self.config.init_noise, size=(self.out_dim, dim))
+        if self.out_dim == dim:
+            # Identity init: refinement starts from "no change".
+            self.weights = np.eye(dim) + noise
+        else:
+            self.weights = noise + rng.normal(0.0, 1.0 / np.sqrt(dim), size=noise.shape)
+        self._history: list[float] = []
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def fit(self, pairs: PairBatch) -> "ContrastiveProjection":
+        cfg = self.config
+        rng = np.random.default_rng(cfg.seed + 1)
+        # Adam state.
+        m = np.zeros_like(self.weights)
+        v = np.zeros_like(self.weights)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        t = 0
+        n = len(pairs)
+        for _ in range(cfg.epochs):
+            order = rng.permutation(n)
+            epoch_loss = 0.0
+            for start in range(0, n, cfg.batch_size):
+                idx = order[start : start + cfg.batch_size]
+                loss, grad = self._loss_and_grad(
+                    pairs.left[idx], pairs.right[idx], pairs.labels[idx]
+                )
+                epoch_loss += loss * len(idx)
+                t += 1
+                m = beta1 * m + (1 - beta1) * grad
+                v = beta2 * v + (1 - beta2) * grad * grad
+                m_hat = m / (1 - beta1**t)
+                v_hat = v / (1 - beta2**t)
+                self.weights -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+            self._history.append(epoch_loss / n)
+        return self
+
+    def _loss_and_grad(
+        self, a: np.ndarray, b: np.ndarray, y: np.ndarray
+    ) -> tuple[float, np.ndarray]:
+        """Mean contrastive loss and gradient w.r.t. the shared weights."""
+        w = self.weights
+        u = a @ w.T  # (B, out)
+        v = b @ w.T
+        nu = np.maximum(np.linalg.norm(u, axis=1), _EPS)
+        nv = np.maximum(np.linalg.norm(v, axis=1), _EPS)
+        dot = np.einsum("bd,bd->b", u, v)
+        s = np.clip(dot / (nu * nv), -1.0, 1.0)
+
+        margin = self.config.margin
+        pos_loss = (1.0 - s) ** 2
+        neg_excess = np.maximum(0.0, s - margin)
+        neg_loss = neg_excess**2
+        loss = float(np.mean(y * pos_loss + (1.0 - y) * neg_loss))
+
+        # dL/ds per pair.
+        dl_ds = y * (-2.0 * (1.0 - s)) + (1.0 - y) * (2.0 * neg_excess)
+
+        # ds/du and ds/dv (cosine gradient with normalization).
+        inv = 1.0 / (nu * nv)
+        ds_du = v * inv[:, None] - (s / (nu**2))[:, None] * u
+        ds_dv = u * inv[:, None] - (s / (nv**2))[:, None] * v
+
+        scale = dl_ds[:, None] / len(y)
+        grad = (scale * ds_du).T @ a + (scale * ds_dv).T @ b
+        return loss, grad
+
+    # ------------------------------------------------------------------
+    # application
+    # ------------------------------------------------------------------
+    def transform(self, vectors: np.ndarray) -> np.ndarray:
+        """Project level vectors into the refined space."""
+        arr = np.asarray(vectors, dtype=np.float64)
+        single = arr.ndim == 1
+        if single:
+            arr = arr[None, :]
+        out = arr @ self.weights.T
+        return out[0] if single else out
+
+    @property
+    def loss_history(self) -> list[float]:
+        return list(self._history)

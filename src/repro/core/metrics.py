@@ -1,0 +1,282 @@
+"""Evaluation metrics (Sec. IV-E).
+
+The paper scores with accuracy (Eq. 9): ``(TP + TN) / (TP + TN + FP +
+FN)``.  Results are reported *per metadata level* ("HMD_2", "VMD_3", ...),
+so the central routine here is :func:`level_accuracy`: over the tables
+whose ground truth contains metadata at depth L, how often does the
+method place the correct label at that level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+
+@dataclass(frozen=True)
+class ConfusionCounts:
+    """Binary confusion counts for "is this level metadata?"."""
+
+    tp: int = 0
+    tn: int = 0
+    fp: int = 0
+    fn: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.tp + self.tn + self.fp + self.fn
+
+    @property
+    def accuracy(self) -> float:
+        """Eq. 9."""
+        return (self.tp + self.tn) / self.total if self.total else 0.0
+
+    @property
+    def precision(self) -> float:
+        denom = self.tp + self.fp
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def recall(self) -> float:
+        denom = self.tp + self.fn
+        return self.tp / denom if denom else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+    def __add__(self, other: "ConfusionCounts") -> "ConfusionCounts":
+        return ConfusionCounts(
+            self.tp + other.tp,
+            self.tn + other.tn,
+            self.fp + other.fp,
+            self.fn + other.fn,
+        )
+
+
+def confusion_counts(
+    truth: TableAnnotation, predicted: TableAnnotation, *, axis: str = "rows"
+) -> ConfusionCounts:
+    """Binary metadata-vs-data confusion over one table's levels."""
+    if axis == "rows":
+        true_labels, pred_labels = truth.row_labels, predicted.row_labels
+    elif axis == "cols":
+        true_labels, pred_labels = truth.col_labels, predicted.col_labels
+    else:
+        raise ValueError("axis must be 'rows' or 'cols'")
+    if len(true_labels) != len(pred_labels):
+        raise ValueError("annotations cover different numbers of levels")
+    tp = tn = fp = fn = 0
+    for t, p in zip(true_labels, pred_labels):
+        if t.kind.is_metadata and p.kind.is_metadata:
+            tp += 1
+        elif not t.kind.is_metadata and not p.kind.is_metadata:
+            tn += 1
+        elif p.kind.is_metadata:
+            fp += 1
+        else:
+            fn += 1
+    return ConfusionCounts(tp, tn, fp, fn)
+
+
+def binary_metadata_accuracy(
+    pairs: Sequence[tuple[TableAnnotation, TableAnnotation]], *, axis: str = "rows"
+) -> float:
+    """Pooled Eq. 9 accuracy over (truth, predicted) annotation pairs."""
+    total = ConfusionCounts()
+    for truth, predicted in pairs:
+        total = total + confusion_counts(truth, predicted, axis=axis)
+    return total.accuracy
+
+
+# ---------------------------------------------------------------------------
+# per-level accuracy (the Table V / Fig. 6-7 metric)
+# ---------------------------------------------------------------------------
+
+def _axis_labels(
+    annotation: TableAnnotation, kind: LevelKind
+) -> Sequence:
+    if kind is LevelKind.HMD:
+        return annotation.row_labels
+    if kind is LevelKind.VMD:
+        return annotation.col_labels
+    raise ValueError("level accuracy is defined for HMD and VMD")
+
+
+def level_confusion(
+    truth: TableAnnotation,
+    predicted: TableAnnotation,
+    *,
+    kind: LevelKind,
+    level: int,
+) -> ConfusionCounts | None:
+    """Eq. 9 confusion for "is this level metadata of depth L?".
+
+    Each level (row for HMD, column for VMD) of the table is one
+    instance: positive when its ground truth is (kind, L), predicted
+    positive when the classifier says (kind, L).  A data row predicted
+    HMD_3 is therefore a level-3 false positive — over-extended
+    hierarchies are penalized, not just missed headers.
+
+    Returns None when the table's ground truth has no metadata at depth
+    L (the table does not participate in the level-L experiment).
+    """
+    true_labels = _axis_labels(truth, kind)
+    pred_labels = _axis_labels(predicted, kind)
+    if len(true_labels) != len(pred_labels):
+        raise ValueError("annotations cover different numbers of levels")
+    if not any(t.kind is kind and t.level == level for t in true_labels):
+        return None
+    tp = tn = fp = fn = 0
+    for t, p in zip(true_labels, pred_labels):
+        true_pos = t.kind is kind and t.level == level
+        pred_pos = p.kind is kind and p.level == level
+        if true_pos and pred_pos:
+            tp += 1
+        elif not true_pos and not pred_pos:
+            tn += 1
+        elif pred_pos:
+            fp += 1
+        else:
+            fn += 1
+    return ConfusionCounts(tp, tn, fp, fn)
+
+
+def level_accuracy(
+    pairs: Sequence[tuple[TableAnnotation, TableAnnotation]],
+    *,
+    kind: LevelKind,
+    level: int,
+) -> float | None:
+    """Pooled Eq. 9 accuracy at metadata depth L over participating
+    tables.  Returns None when no table has metadata at that depth —
+    the dashes in the paper's Table V.
+    """
+    total = ConfusionCounts()
+    participated = False
+    for truth, predicted in pairs:
+        counts = level_confusion(truth, predicted, kind=kind, level=level)
+        if counts is None:
+            continue
+        participated = True
+        total = total + counts
+    if not participated:
+        return None
+    return total.accuracy
+
+
+def table_level_accuracy(
+    pairs: Sequence[tuple[TableAnnotation, TableAnnotation]],
+    *,
+    kind: LevelKind,
+    level: int,
+    match: str = "kind",
+) -> float | None:
+    """Per-table accuracy at metadata depth L (the Table V/VI metric).
+
+    A table participates when its ground truth has metadata at depth L.
+    With ``match="kind"`` (default, the paper's comparison mode) the
+    table is correct when every true level-L position carries the right
+    metadata *kind* — a method that finds the header but cannot number
+    its depth still gets credit, which is how the level-blind baselines
+    are scored on level 1.  With ``match="exact"`` the predicted depth
+    must equal L as well; with ``match="strict"`` the table additionally
+    must not claim depth L anywhere else (no over-extensions).
+    """
+    if match not in ("kind", "exact", "strict"):
+        raise ValueError(f"unknown match mode {match!r}")
+    outcomes: list[bool] = []
+    for truth, predicted in pairs:
+        true_labels = _axis_labels(truth, kind)
+        pred_labels = _axis_labels(predicted, kind)
+        if len(true_labels) != len(pred_labels):
+            raise ValueError("annotations cover different numbers of levels")
+        positions = [
+            i
+            for i, t in enumerate(true_labels)
+            if t.kind is kind and t.level == level
+        ]
+        if not positions:
+            continue
+        ok = True
+        for i in positions:
+            p = pred_labels[i]
+            if p.kind is not kind:
+                ok = False
+            elif match in ("exact", "strict") and p.level != level:
+                ok = False
+        if ok and match == "strict":
+            for i, p in enumerate(pred_labels):
+                if i in positions:
+                    continue
+                if p.kind is kind and p.level == level:
+                    ok = False
+                    break
+        outcomes.append(ok)
+    if not outcomes:
+        return None
+    return sum(outcomes) / len(outcomes)
+
+
+# ---------------------------------------------------------------------------
+# corpus evaluation
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CorpusEvaluation:
+    """All the numbers one (method, dataset) cell of Table V needs."""
+
+    hmd_accuracy: dict[int, float] = field(default_factory=dict)
+    vmd_accuracy: dict[int, float] = field(default_factory=dict)
+    row_confusion: ConfusionCounts = field(default_factory=ConfusionCounts)
+    col_confusion: ConfusionCounts = field(default_factory=ConfusionCounts)
+    n_tables: int = 0
+
+    @property
+    def row_binary_accuracy(self) -> float:
+        return self.row_confusion.accuracy
+
+    @property
+    def col_binary_accuracy(self) -> float:
+        return self.col_confusion.accuracy
+
+
+def evaluate_corpus(
+    corpus: Sequence[AnnotatedTable],
+    classify: Callable[[Table], TableAnnotation],
+    *,
+    max_hmd_level: int = 5,
+    max_vmd_level: int = 3,
+) -> CorpusEvaluation:
+    """Run ``classify`` over a ground-truth corpus and collect metrics."""
+    pairs: list[tuple[TableAnnotation, TableAnnotation]] = []
+    for item in corpus:
+        predicted = classify(item.table)
+        pairs.append((item.annotation, predicted))
+
+    result = CorpusEvaluation(n_tables=len(pairs))
+    for level in range(1, max_hmd_level + 1):
+        acc = table_level_accuracy(pairs, kind=LevelKind.HMD, level=level)
+        if acc is not None:
+            result.hmd_accuracy[level] = acc
+    for level in range(1, max_vmd_level + 1):
+        acc = table_level_accuracy(pairs, kind=LevelKind.VMD, level=level)
+        if acc is not None:
+            result.vmd_accuracy[level] = acc
+    for truth, predicted in pairs:
+        result.row_confusion = result.row_confusion + confusion_counts(
+            truth, predicted, axis="rows"
+        )
+        result.col_confusion = result.col_confusion + confusion_counts(
+            truth, predicted, axis="cols"
+        )
+    return result
+
+
+def accuracy_map_to_percent(accuracy: Mapping[int, float]) -> dict[int, float]:
+    """Convenience: fractions -> percentages rounded to one decimal."""
+    return {level: round(100.0 * value, 1) for level, value in accuracy.items()}

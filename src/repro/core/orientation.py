@@ -1,0 +1,84 @@
+"""Table orientation detection.
+
+Some sources publish tables transposed: attributes run down the first
+*column* and each record is a column, not a row.  Def. 4's generally
+structured model technically covers this (it is "all-VMD, no-HMD"), but
+a pipeline fitted on conventionally oriented corpora reads a transposed
+table poorly.  ``detect_orientation`` classifies both orientations and
+scores which reading is more *coherent*; ``classify_oriented`` returns
+the annotation in the table's original frame either way.
+
+Coherence score: a good reading puts numeric-dominant levels in the
+data region and keeps the textual mass in the metadata levels, so we
+score an annotation by how well the numeric structure agrees with it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pipeline import MetadataPipeline
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+from repro.text import numeric_fraction
+
+
+@dataclass(frozen=True)
+class OrientationResult:
+    """The verdict plus both candidate annotations."""
+
+    orientation: str  # "normal" or "transposed"
+    annotation: TableAnnotation  # in the ORIGINAL table's frame
+    normal_score: float
+    transposed_score: float
+
+
+def coherence_score(table: Table, annotation: TableAnnotation) -> float:
+    """How well the annotation agrees with the numeric structure.
+
+    Mean over rows of agreement: data rows should lean numeric, header
+    rows textual.  Empty tables score 0.
+    """
+    if table.n_rows == 0:
+        return 0.0
+    total = 0.0
+    for i in range(table.n_rows):
+        fraction = numeric_fraction(table.row(i))
+        if annotation.row_labels[i].kind is LevelKind.DATA:
+            total += fraction
+        else:
+            total += 1.0 - fraction
+    return total / table.n_rows
+
+
+def detect_orientation(
+    pipeline: MetadataPipeline, table: Table
+) -> OrientationResult:
+    """Classify both orientations, keep the more coherent reading."""
+    normal_annotation = pipeline.classify(table)
+    flipped = table.transpose()
+    transposed_annotation = pipeline.classify(flipped)
+
+    normal_score = coherence_score(table, normal_annotation)
+    transposed_score = coherence_score(flipped, transposed_annotation)
+
+    if transposed_score > normal_score:
+        return OrientationResult(
+            orientation="transposed",
+            annotation=transposed_annotation.transposed(),
+            normal_score=normal_score,
+            transposed_score=transposed_score,
+        )
+    return OrientationResult(
+        orientation="normal",
+        annotation=normal_annotation,
+        normal_score=normal_score,
+        transposed_score=transposed_score,
+    )
+
+
+def classify_oriented(
+    pipeline: MetadataPipeline, table: Table
+) -> TableAnnotation:
+    """Orientation-robust classification (original frame)."""
+    return detect_orientation(pipeline, table).annotation

@@ -1,0 +1,295 @@
+"""Save and load fitted pipelines.
+
+Training takes minutes; classification takes milliseconds — a production
+deployment fits once and serves many times.  This module serializes a
+fitted :class:`~repro.core.pipeline.MetadataPipeline` (embedding model,
+centroid sets, contrastive projection, config) to a single ``.npz``
+archive with no pickling: arrays go in as arrays, structured state as a
+JSON string, so archives are portable and safe to load.
+
+Supported embedding backends: ``word2vec``, ``ppmi``, ``contextual``,
+``hashed``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.aggregate import AggregationConfig
+from repro.core.angles import AngleRange
+from repro.core.centroids import CentroidSet, LevelAngleStats
+from repro.core.classifier import ClassifierConfig, MetadataClassifier
+from repro.core.contrastive import ContrastiveConfig, ContrastiveProjection
+from repro.core.pipeline import MetadataPipeline, PipelineConfig
+from repro.embeddings.contextual import ContextualConfig, ContextualEncoder
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.embeddings.ppmi import PpmiConfig, PpmiSvdEmbedding
+from repro.embeddings.vocab import Vocabulary
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised on malformed or incompatible archives."""
+
+
+# ---------------------------------------------------------------------------
+# centroid (de)serialization
+# ---------------------------------------------------------------------------
+
+def _centroids_to_obj(centroids: CentroidSet) -> dict:
+    return {
+        "mde": [centroids.mde.lo, centroids.mde.hi],
+        "de": [centroids.de.lo, centroids.de.hi],
+        "mde_de": [centroids.mde_de.lo, centroids.mde_de.hi],
+        "n_tables": centroids.n_tables,
+        "level_stats": [
+            {
+                "level": s.level,
+                "delta_prev_meta": s.delta_prev_meta,
+                "delta_to_data": s.delta_to_data,
+                "n_tables": s.n_tables,
+            }
+            for s in centroids.level_stats
+        ],
+    }
+
+
+def _centroids_from_obj(
+    obj: dict, meta_ref: np.ndarray, data_ref: np.ndarray
+) -> CentroidSet:
+    return CentroidSet(
+        mde=AngleRange(*obj["mde"]),
+        de=AngleRange(*obj["de"]),
+        mde_de=AngleRange(*obj["mde_de"]),
+        meta_ref=meta_ref,
+        data_ref=data_ref,
+        level_stats=tuple(
+            LevelAngleStats(
+                level=s["level"],
+                delta_prev_meta=s["delta_prev_meta"],
+                delta_to_data=s["delta_to_data"],
+                n_tables=s["n_tables"],
+            )
+            for s in obj["level_stats"]
+        ),
+        n_tables=obj["n_tables"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# embedding backends
+# ---------------------------------------------------------------------------
+
+def _vocab_to_obj(vocab: Vocabulary) -> dict:
+    tokens = [vocab.token_of(i) for i in range(len(vocab))]
+    counts = {t: vocab.count_of(t) for t in tokens if vocab.count_of(t) > 0}
+    return {"tokens": tokens, "counts": counts}
+
+
+def _vocab_from_obj(obj: dict) -> Vocabulary:
+    vocab = Vocabulary(Counter(obj["counts"]))
+    # Sanity: id space must match (ordering is deterministic by count).
+    if [vocab.token_of(i) for i in range(len(vocab))] != obj["tokens"]:
+        raise PersistenceError("vocabulary ordering mismatch on load")
+    return vocab
+
+
+def _save_embedding(model, arrays: dict, state: dict) -> None:
+    if isinstance(model, Word2Vec):
+        if not model.is_fitted:
+            raise PersistenceError("cannot save an unfitted Word2Vec")
+        state["embedding_kind"] = "word2vec"
+        state["embedding_config"] = model.config.__dict__
+        assert model.vocab is not None
+        state["vocab"] = _vocab_to_obj(model.vocab)
+        arrays["w2v_in"] = model._w_in
+        arrays["w2v_out"] = model._w_out
+    elif isinstance(model, ContextualEncoder):
+        if not model.is_fitted:
+            raise PersistenceError("cannot save an unfitted ContextualEncoder")
+        state["embedding_kind"] = "contextual"
+        state["embedding_config"] = model.config.__dict__
+        assert model.vocab is not None
+        state["vocab"] = _vocab_to_obj(model.vocab)
+        arrays["ctx_emb"] = model._emb
+        arrays["ctx_pos"] = model._pos
+        arrays["ctx_wq"] = model._wq
+        arrays["ctx_wk"] = model._wk
+        arrays["ctx_wo"] = model._wo
+        arrays["ctx_out"] = model._out
+    elif isinstance(model, PpmiSvdEmbedding):
+        if not model.is_fitted:
+            raise PersistenceError("cannot save an unfitted PpmiSvdEmbedding")
+        state["embedding_kind"] = "ppmi"
+        state["embedding_config"] = model.config.__dict__
+        assert model.vocab is not None
+        state["vocab"] = _vocab_to_obj(model.vocab)
+        arrays["ppmi_vectors"] = model._vectors
+    elif isinstance(model, HashedEmbedding):
+        state["embedding_kind"] = "hashed"
+        state["embedding_config"] = {
+            "dim": model.dim,
+            "fields": model._fields,
+            "field_weight": model._field_weight,
+            "numeric_field": model._numeric_field,
+        }
+    else:
+        raise PersistenceError(
+            f"unsupported embedding backend {type(model).__name__}"
+        )
+
+
+def _load_embedding(state: dict, data: np.lib.npyio.NpzFile):
+    kind = state["embedding_kind"]
+    if kind == "word2vec":
+        model = Word2Vec(Word2VecConfig(**state["embedding_config"]))
+        model.vocab = _vocab_from_obj(state["vocab"])
+        model._w_in = data["w2v_in"]
+        model._w_out = data["w2v_out"]
+        return model
+    if kind == "contextual":
+        model = ContextualEncoder(ContextualConfig(**state["embedding_config"]))
+        model.vocab = _vocab_from_obj(state["vocab"])
+        model._emb = data["ctx_emb"]
+        model._pos = data["ctx_pos"]
+        model._wq = data["ctx_wq"]
+        model._wk = data["ctx_wk"]
+        model._wo = data["ctx_wo"]
+        model._out = data["ctx_out"]
+        return model
+    if kind == "ppmi":
+        model = PpmiSvdEmbedding(PpmiConfig(**state["embedding_config"]))
+        model.vocab = _vocab_from_obj(state["vocab"])
+        model._vectors = data["ppmi_vectors"]
+        return model
+    if kind == "hashed":
+        cfg = state["embedding_config"]
+        return HashedEmbedding(
+            cfg["dim"],
+            fields=cfg["fields"],
+            field_weight=cfg["field_weight"],
+            numeric_field=cfg["numeric_field"],
+        )
+    raise PersistenceError(f"unknown embedding kind {kind!r}")
+
+
+# ---------------------------------------------------------------------------
+# public API
+# ---------------------------------------------------------------------------
+
+def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
+    """Serialize a fitted pipeline to ``path`` (``.npz`` appended if
+    missing).  Returns the written path."""
+    if not pipeline.is_fitted:
+        raise PersistenceError("cannot save an unfitted pipeline")
+    assert pipeline.embedder is not None
+    assert pipeline.row_centroids is not None
+    assert pipeline.col_centroids is not None
+    assert pipeline.classifier is not None
+
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+
+    arrays: dict = {
+        "row_meta_ref": pipeline.row_centroids.meta_ref,
+        "row_data_ref": pipeline.row_centroids.data_ref,
+        "col_meta_ref": pipeline.col_centroids.meta_ref,
+        "col_data_ref": pipeline.col_centroids.data_ref,
+    }
+    classifier_config = pipeline.classifier.config
+    state: dict = {
+        "format_version": FORMAT_VERSION,
+        "row_centroids": _centroids_to_obj(pipeline.row_centroids),
+        "col_centroids": _centroids_to_obj(pipeline.col_centroids),
+        "aggregation": classifier_config.aggregation.__dict__,
+        "classifier": {
+            "max_hmd_depth": classifier_config.max_hmd_depth,
+            "max_vmd_depth": classifier_config.max_vmd_depth,
+            "detect_cmd": classifier_config.detect_cmd,
+            "range_margin": classifier_config.range_margin,
+            "ref_slack": classifier_config.ref_slack,
+            "ref_override": classifier_config.ref_override,
+        },
+        "has_projection": pipeline.projection is not None,
+    }
+    if pipeline.projection is not None:
+        arrays["projection_weights"] = pipeline.projection.weights
+        state["projection_config"] = pipeline.projection.config.__dict__
+
+    centering = pipeline.embedder._centering
+    if centering is not None:
+        arrays["centering"] = centering
+    state["has_centering"] = centering is not None
+
+    _save_embedding(pipeline.embedder.model, arrays, state)
+
+    np.savez_compressed(
+        path, __state__=np.frombuffer(json.dumps(state).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return path
+
+
+def load_pipeline(path: str | Path) -> MetadataPipeline:
+    """Load a pipeline saved by :func:`save_pipeline`.
+
+    The returned pipeline classifies identically to the saved one;
+    ``fit_report`` and the training corpus are not restored.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise PersistenceError(f"no such archive: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            state = json.loads(bytes(data["__state__"]).decode())
+        except KeyError as exc:
+            raise PersistenceError("archive has no state record") from exc
+        if state.get("format_version") != FORMAT_VERSION:
+            raise PersistenceError(
+                f"unsupported format version {state.get('format_version')!r}"
+            )
+
+        model = _load_embedding(state, data)
+        centering = data["centering"] if state["has_centering"] else None
+        embedder = TermEmbedder(model, centering=centering)
+
+        projection = None
+        if state["has_projection"]:
+            config = ContrastiveConfig(**state["projection_config"])
+            weights = data["projection_weights"]
+            projection = ContrastiveProjection(weights.shape[1], config)
+            projection.weights = weights
+
+        row_centroids = _centroids_from_obj(
+            state["row_centroids"], data["row_meta_ref"], data["row_data_ref"]
+        )
+        col_centroids = _centroids_from_obj(
+            state["col_centroids"], data["col_meta_ref"], data["col_data_ref"]
+        )
+
+    aggregation = AggregationConfig(**state["aggregation"])
+    classifier_config = ClassifierConfig(
+        aggregation=aggregation, **state["classifier"]
+    )
+
+    pipeline = MetadataPipeline(PipelineConfig())
+    pipeline.embedder = embedder
+    pipeline.projection = projection
+    pipeline.row_centroids = row_centroids
+    pipeline.col_centroids = col_centroids
+    pipeline.classifier = MetadataClassifier(
+        embedder,
+        row_centroids,
+        col_centroids,
+        projection=projection,
+        config=classifier_config,
+    )
+    return pipeline

@@ -1,0 +1,179 @@
+"""Statistical support for the evaluation: CIs and paired tests.
+
+The paper reports point accuracies; on our (smaller) substrate, a few
+percent of difference between methods can be sampling noise.  This
+module adds the two tools needed to make claims carefully:
+
+* :func:`bootstrap_ci` — a percentile bootstrap confidence interval for
+  a per-table accuracy;
+* :func:`paired_permutation_test` — a sign-flip permutation test for
+  "method A beats method B on the same tables", the appropriate paired
+  design since every method classifies the identical evaluation corpus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.metrics import level_confusion
+from repro.tables.labels import LevelKind, TableAnnotation
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A point estimate with a percentile-bootstrap interval."""
+
+    estimate: float
+    lo: float
+    hi: float
+    confidence: float
+    n_tables: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.lo <= value <= self.hi
+
+    def __str__(self) -> str:
+        return (
+            f"{100 * self.estimate:.1f}% "
+            f"[{100 * self.lo:.1f}, {100 * self.hi:.1f}] "
+            f"@{self.confidence:.0%} (n={self.n_tables})"
+        )
+
+
+def per_table_outcomes(
+    pairs: Sequence[tuple[TableAnnotation, TableAnnotation]],
+    *,
+    kind: LevelKind,
+    level: int,
+    match: str = "kind",
+) -> list[bool]:
+    """Per participating table: is metadata depth L classified right?
+
+    The per-table unit matches :func:`~repro.core.metrics.
+    table_level_accuracy`; the mean of the outcomes equals it.
+    """
+    outcomes: list[bool] = []
+    for truth, predicted in pairs:
+        counts = level_confusion(truth, predicted, kind=kind, level=level)
+        if counts is None:
+            continue
+        if match == "kind":
+            # Kind-credit: every true level-L position carries the kind.
+            ok = _kind_only_ok(truth, predicted, kind, level)
+        elif match == "strict":
+            ok = counts.fp == 0 and counts.fn == 0
+        else:
+            raise ValueError(f"unknown match mode {match!r}")
+        outcomes.append(ok)
+    return outcomes
+
+
+def _kind_only_ok(
+    truth: TableAnnotation,
+    predicted: TableAnnotation,
+    kind: LevelKind,
+    level: int,
+) -> bool:
+    if kind is LevelKind.HMD:
+        true_labels, pred_labels = truth.row_labels, predicted.row_labels
+    else:
+        true_labels, pred_labels = truth.col_labels, predicted.col_labels
+    for i, t in enumerate(true_labels):
+        if t.kind is kind and t.level == level:
+            if pred_labels[i].kind is not kind:
+                return False
+    return True
+
+
+def bootstrap_ci(
+    outcomes: Sequence[bool],
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> ConfidenceInterval:
+    """Percentile bootstrap CI over per-table boolean outcomes."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if not outcomes:
+        raise ValueError("cannot bootstrap zero outcomes")
+    arr = np.asarray(outcomes, dtype=np.float64)
+    rng = np.random.default_rng(seed)
+    resamples = rng.choice(arr, size=(n_resamples, arr.size), replace=True)
+    means = resamples.mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    return ConfidenceInterval(
+        estimate=float(arr.mean()),
+        lo=float(np.percentile(means, 100 * alpha)),
+        hi=float(np.percentile(means, 100 * (1 - alpha))),
+        confidence=confidence,
+        n_tables=arr.size,
+    )
+
+
+@dataclass(frozen=True)
+class PairedTestResult:
+    """Outcome of a paired sign-flip permutation test."""
+
+    mean_difference: float  # mean(A) - mean(B)
+    p_value: float  # two-sided
+    n_tables: int
+
+    @property
+    def significant_at_05(self) -> bool:
+        return self.p_value < 0.05
+
+
+def paired_permutation_test(
+    outcomes_a: Sequence[bool],
+    outcomes_b: Sequence[bool],
+    *,
+    n_permutations: int = 5000,
+    seed: int = 0,
+) -> PairedTestResult:
+    """Two-sided sign-flip test for mean(A) != mean(B) on paired tables.
+
+    Under the null, each table's (a - b) difference is symmetric around
+    zero; we flip signs uniformly and count how often the permuted mean
+    difference is at least as extreme as the observed one.
+    """
+    if len(outcomes_a) != len(outcomes_b):
+        raise ValueError("paired outcomes must align table-by-table")
+    if not outcomes_a:
+        raise ValueError("cannot test zero outcomes")
+    diff = np.asarray(outcomes_a, dtype=np.float64) - np.asarray(
+        outcomes_b, dtype=np.float64
+    )
+    observed = float(diff.mean())
+    rng = np.random.default_rng(seed)
+    signs = rng.choice((-1.0, 1.0), size=(n_permutations, diff.size))
+    permuted = (signs * diff).mean(axis=1)
+    # +1 smoothing keeps the p-value away from an impossible exact zero.
+    extreme = int(np.sum(np.abs(permuted) >= abs(observed) - 1e-12))
+    p_value = (extreme + 1) / (n_permutations + 1)
+    return PairedTestResult(
+        mean_difference=observed,
+        p_value=float(min(1.0, p_value)),
+        n_tables=diff.size,
+    )
+
+
+def compare_methods(
+    corpus_pairs_a: Sequence[tuple[TableAnnotation, TableAnnotation]],
+    corpus_pairs_b: Sequence[tuple[TableAnnotation, TableAnnotation]],
+    *,
+    kind: LevelKind,
+    level: int,
+    seed: int = 0,
+) -> PairedTestResult:
+    """Convenience wrapper: paired test at one metadata level.
+
+    Both pair sequences must come from the same corpus in the same
+    order (the standard evaluation loop guarantees this).
+    """
+    a = per_table_outcomes(corpus_pairs_a, kind=kind, level=level)
+    b = per_table_outcomes(corpus_pairs_b, kind=kind, level=level)
+    return paired_permutation_test(a, b, seed=seed)

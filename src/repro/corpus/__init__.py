@@ -1,0 +1,49 @@
+"""Synthetic corpus substrate standing in for the paper's six datasets.
+
+The paper evaluates on CORD-19, CKG, CIUS, SAUS, WDC, and PubTables-1M —
+corpora we cannot redistribute or download offline.  Per DESIGN.md, this
+package generates *generally structured tables* with the statistical
+properties the method actually depends on: per-dataset HMD/VMD depth
+distributions, domain vocabularies, hierarchical VMD with blank
+continuation cells, numeric data styles, and noisy HTML markup (present
+for only a fraction of tables, absent entirely for SAUS/CIUS).
+"""
+
+from repro.corpus.vocabularies import DomainVocabulary, get_domain
+from repro.corpus.generator import GeneratorConfig, GSTGenerator
+from repro.corpus.markup import MarkupNoise, render_noisy_html
+from repro.corpus.profiles import CorpusProfile, get_profile, list_profiles
+from repro.corpus.io import iter_corpus, load_corpus, save_corpus
+from repro.corpus.registry import (
+    build_corpus,
+    build_level_stratified,
+    build_split,
+    dataset_names,
+)
+from repro.corpus.stats import (
+    CorpusStatistics,
+    corpus_statistics,
+    describe_corpus,
+)
+
+__all__ = [
+    "CorpusProfile",
+    "CorpusStatistics",
+    "DomainVocabulary",
+    "GSTGenerator",
+    "GeneratorConfig",
+    "MarkupNoise",
+    "build_corpus",
+    "build_level_stratified",
+    "build_split",
+    "corpus_statistics",
+    "dataset_names",
+    "describe_corpus",
+    "get_domain",
+    "get_profile",
+    "iter_corpus",
+    "list_profiles",
+    "load_corpus",
+    "render_noisy_html",
+    "save_corpus",
+]

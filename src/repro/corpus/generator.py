@@ -1,0 +1,394 @@
+"""Generally structured table generator.
+
+Produces :class:`~repro.tables.model.AnnotatedTable` items with the
+structures the paper's Fig. 1 illustrates:
+
+* hierarchical HMD: level-1 group headers *spanning* blocks of columns
+  (value in the block's first column, blanks after — how colspan renders
+  to a grid), refined by deeper levels down to leaf attributes;
+* hierarchical VMD: level-1 categories partitioning the data rows, the
+  value written once at the top of its group with blank continuation
+  cells below (the "New York" pattern of Fig. 1a), deeper levels nested
+  within;
+* optional central metadata (CMD) rows restarting a block mid-table;
+* data cells in per-column numeric styles (separators, decimals,
+  percentages, ranges, "n (%)" counts) or textual entity values.
+
+Every table carries exact ground-truth annotation and, for a profile-
+controlled fraction, noisy HTML markup for the bootstrap phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping
+
+import numpy as np
+
+from repro.corpus.markup import DEFAULT_MARKUP, MarkupNoise, render_noisy_html
+from repro.corpus.vocabularies import DomainVocabulary
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+NUMERIC_STYLES = (
+    "plain",  # 4817
+    "separators",  # 14,373
+    "decimal",  # 21.6
+    "percent",  # 96.7%
+    "range",  # 12 to 15 years
+    "count_percent",  # 86 (50.3%)
+)
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Shape distributions for one corpus profile."""
+
+    domain: DomainVocabulary
+    hmd_depth_probs: Mapping[int, float] = field(
+        default_factory=lambda: {1: 0.6, 2: 0.25, 3: 0.15}
+    )
+    vmd_depth_probs: Mapping[int, float] = field(
+        default_factory=lambda: {0: 0.3, 1: 0.45, 2: 0.2, 3: 0.05}
+    )
+    cmd_prob: float = 0.08
+    data_rows: tuple[int, int] = (4, 14)  # inclusive range
+    data_cols: tuple[int, int] = (2, 7)
+    textual_col_prob: float = 0.15  # a data column holds entities, not numbers
+    numeric_styles: tuple[str, ...] = NUMERIC_STYLES
+    html_fraction: float = 0.6
+    markup_noise: MarkupNoise = DEFAULT_MARKUP
+    repeat_vmd_prob: float = 0.25  # VMD value repeated instead of blanked
+    # Realism/difficulty knobs: the token distributions of real corpora
+    # leak across the metadata/data boundary, and the paper highlights
+    # numeric headers (years, ranges) as a hard case for LLMs.
+    numeric_header_prob: float = 0.08  # leaf header is a year/range
+    vmd_entity_prob: float = 0.10  # VMD value drawn from entity pool
+    data_attribute_prob: float = 0.10  # textual data cell uses attr vocab
+    total_row_prob: float = 0.25  # trailing "Total ..." summary data row
+    na_cell_prob: float = 0.06  # data cell is "Not applicable"/"-"/"n/a"
+    extraction_noise_prob: float = 0.25  # table suffered extraction damage
+    header_blank_prob: float = 0.15  # (damaged tables) header cell blanked
+    abbreviate_prob: float = 0.15  # source abbreviates header words
+
+    def __post_init__(self) -> None:
+        for probs, label in (
+            (self.hmd_depth_probs, "hmd"),
+            (self.vmd_depth_probs, "vmd"),
+        ):
+            total = sum(probs.values())
+            if abs(total - 1.0) > 1e-6:
+                raise ValueError(f"{label}_depth_probs must sum to 1, got {total}")
+        if min(self.hmd_depth_probs) < 1:
+            raise ValueError("tables must have at least one HMD level")
+        if min(self.vmd_depth_probs) < 0:
+            raise ValueError("vmd depth cannot be negative")
+        unknown = set(self.numeric_styles) - set(NUMERIC_STYLES)
+        if unknown:
+            raise ValueError(f"unknown numeric styles: {sorted(unknown)}")
+        if self.data_rows[0] < 2 or self.data_cols[0] < 1:
+            raise ValueError("need at least 2 data rows and 1 data column")
+
+
+def _draw(probs: Mapping[int, float], rng: np.random.Generator) -> int:
+    keys = sorted(probs)
+    weights = np.asarray([probs[k] for k in keys], dtype=np.float64)
+    weights = weights / weights.sum()
+    return int(rng.choice(keys, p=weights))
+
+
+class GSTGenerator:
+    """Deterministic generator of annotated generally structured tables."""
+
+    def __init__(self, config: GeneratorConfig, *, seed: int = 0) -> None:
+        self.config = config
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def generate(self, n_tables: int, *, name_prefix: str = "table") -> list[AnnotatedTable]:
+        return list(self.iter_tables(n_tables, name_prefix=name_prefix))
+
+    def iter_tables(
+        self, n_tables: int, *, name_prefix: str = "table"
+    ) -> Iterator[AnnotatedTable]:
+        for index in range(n_tables):
+            # Independent stream per table: stable under reordering.
+            rng = np.random.default_rng((self.seed, index))
+            yield self._one_table(rng, f"{name_prefix}-{index:05d}")
+
+    def generate_with_depths(
+        self,
+        n_tables: int,
+        *,
+        hmd_depth: int,
+        vmd_depth: int,
+        name_prefix: str = "table",
+    ) -> list[AnnotatedTable]:
+        """Tables with exact metadata depths (level-stratified samples,
+        as in the paper's per-level experiments)."""
+        out = []
+        for index in range(n_tables):
+            rng = np.random.default_rng((self.seed, hmd_depth, vmd_depth, index))
+            out.append(
+                self._one_table(
+                    rng,
+                    f"{name_prefix}-h{hmd_depth}v{vmd_depth}-{index:05d}",
+                    forced_hmd=hmd_depth,
+                    forced_vmd=vmd_depth,
+                )
+            )
+        return out
+
+    # ------------------------------------------------------------------
+    # table assembly
+    # ------------------------------------------------------------------
+    def _one_table(
+        self,
+        rng: np.random.Generator,
+        name: str,
+        *,
+        forced_hmd: int | None = None,
+        forced_vmd: int | None = None,
+    ) -> AnnotatedTable:
+        cfg = self.config
+        hmd_depth = forced_hmd if forced_hmd is not None else _draw(cfg.hmd_depth_probs, rng)
+        vmd_depth = forced_vmd if forced_vmd is not None else _draw(cfg.vmd_depth_probs, rng)
+        n_data_rows = int(rng.integers(cfg.data_rows[0], cfg.data_rows[1] + 1))
+        n_data_cols = int(rng.integers(cfg.data_cols[0], cfg.data_cols[1] + 1))
+        # Deep VMD hierarchies need enough rows to nest groups into.
+        n_data_rows = max(n_data_rows, 2 * max(vmd_depth, 1) + 2)
+
+        header_rows = self._build_hmd(rng, hmd_depth, vmd_depth, n_data_cols)
+        vmd_cells = self._build_vmd(rng, vmd_depth, n_data_rows)
+        data_grid = self._build_data(rng, n_data_rows, n_data_cols)
+
+        body_rows = [
+            list(vmd_cells[i]) + list(data_grid[i]) for i in range(n_data_rows)
+        ]
+
+        # Trailing summary row ("Total | 59 | 29.6% ...", cf. Fig. 1b) —
+        # ground truth DATA, but lexically header-flavoured.
+        if rng.random() < cfg.total_row_prob:
+            summary = ["Total"] + [
+                self._numeric_cell(rng, "percent" if rng.random() < 0.5 else "plain")
+                for _ in range(vmd_depth + n_data_cols - 1)
+            ]
+            body_rows.append(summary)
+            n_data_rows += 1
+
+        # Per-source style: some sources abbreviate header terms.
+        if rng.random() < cfg.abbreviate_prob:
+            header_rows = [
+                [self._abbreviate(cell) for cell in row] for row in header_rows
+            ]
+
+        # PDF/HTML extraction damage: blank out random header cells.
+        # Deeper header rows degrade harder — in real extractions the
+        # nested spanning rows are the ones the extractor mangles, which
+        # is why every method's accuracy decays with metadata depth.
+        if rng.random() < cfg.extraction_noise_prob:
+            for level_index, row in enumerate(header_rows):
+                blank_p = cfg.header_blank_prob * (1.0 + 0.6 * level_index)
+                populated = [k for k in range(len(row)) if row[k]]
+                keep = int(rng.choice(populated)) if populated else -1
+                for k in range(len(row)):
+                    # A header row never blanks out entirely: real
+                    # extraction damage loses cells, not whole levels
+                    # (an empty level would not be a level at all).
+                    if k != keep and row[k] and rng.random() < blank_p:
+                        row[k] = ""
+
+        cmd_rows: list[int] = []
+        include_cmd = (
+            forced_hmd is None
+            and forced_vmd is None
+            and rng.random() < cfg.cmd_prob
+            and n_data_rows >= 6
+        )
+        if include_cmd:
+            position = int(rng.integers(2, n_data_rows - 2))
+            subheader = [cfg.domain.group_phrase(rng)] + [""] * (
+                vmd_depth + n_data_cols - 1
+            )
+            body_rows.insert(position, subheader)
+            cmd_rows.append(hmd_depth + position)
+
+        rows = header_rows + body_rows
+        table = Table(rows, name=name, source=cfg.domain.name)
+        annotation = TableAnnotation.from_depths(
+            table.n_rows,
+            table.n_cols,
+            hmd_depth=hmd_depth,
+            vmd_depth=vmd_depth,
+            cmd_rows=cmd_rows,
+        )
+        html = None
+        if rng.random() < cfg.html_fraction:
+            html = render_noisy_html(table, annotation, rng, cfg.markup_noise)
+        meta = {
+            "profile": cfg.domain.name,
+            "hmd_depth": hmd_depth,
+            "vmd_depth": vmd_depth,
+            "has_cmd": bool(cmd_rows),
+        }
+        return AnnotatedTable(table=table, annotation=annotation, html=html, meta=meta)
+
+    # ------------------------------------------------------------------
+    # horizontal metadata
+    # ------------------------------------------------------------------
+    def _build_hmd(
+        self,
+        rng: np.random.Generator,
+        hmd_depth: int,
+        vmd_depth: int,
+        n_data_cols: int,
+    ) -> list[list[str]]:
+        """Hierarchical header rows over the data columns.
+
+        Level 1 spans the whole data block or halves of it; each deeper
+        level splits its parent blocks; the deepest level names every
+        column.  Spanning renders as value-then-blanks, the way colspan
+        collapses onto a character grid.
+        """
+        cfg = self.config
+        rows: list[list[str]] = []
+        # blocks: list of (start, width) spans at the current level.
+        blocks: list[tuple[int, int]] = [(0, n_data_cols)]
+        for level in range(1, hmd_depth + 1):
+            is_leaf = level == hmd_depth
+            new_blocks: list[tuple[int, int]] = []
+            cells = [""] * n_data_cols
+            for start, width in blocks:
+                if is_leaf or width == 1:
+                    for offset in range(width):
+                        cells[start + offset] = self._leaf_header(rng)
+                        new_blocks.append((start + offset, 1))
+                else:
+                    n_splits = int(rng.integers(2, min(width, 3) + 1))
+                    bounds = np.linspace(0, width, n_splits + 1).astype(int)
+                    for a, b in zip(bounds[:-1], bounds[1:]):
+                        if b <= a:
+                            continue
+                        label = (
+                            cfg.domain.group_phrase(rng)
+                            if level == 1
+                            else cfg.domain.attribute_phrase(rng)
+                        )
+                        cells[start + int(a)] = label
+                        new_blocks.append((start + int(a), int(b - a)))
+            blocks = new_blocks
+            # The VMD corner: blank above, an attribute label at the
+            # deepest header row ("Age categories" in the paper's Fig. 5).
+            corner = [""] * vmd_depth
+            if vmd_depth and is_leaf:
+                corner[0] = cfg.domain.attribute_phrase(rng)
+            rows.append(corner + cells)
+        return rows
+
+    def _leaf_header(self, rng: np.random.Generator) -> str:
+        """A leaf attribute header; occasionally numeric (a year or a
+        range), the case the paper notes LLMs misread as data."""
+        cfg = self.config
+        if rng.random() < cfg.numeric_header_prob:
+            if rng.random() < 0.5:
+                return str(int(rng.integers(1990, 2026)))
+            low = int(rng.integers(0, 60))
+            return f"{low} to {low + int(rng.integers(1, 20))} years"
+        return cfg.domain.attribute_phrase(rng)
+
+    # ------------------------------------------------------------------
+    # vertical metadata
+    # ------------------------------------------------------------------
+    def _build_vmd(
+        self, rng: np.random.Generator, vmd_depth: int, n_data_rows: int
+    ) -> list[list[str]]:
+        """Hierarchical VMD cells per data row -> ``(rows, vmd_depth)``."""
+        cfg = self.config
+        cells = [[""] * vmd_depth for _ in range(n_data_rows)]
+        if vmd_depth == 0:
+            return cells
+        repeat = rng.random() < cfg.repeat_vmd_prob
+
+        def fill(level: int, start: int, stop: int) -> None:
+            if level > vmd_depth:
+                return
+            span = stop - start
+            remaining = vmd_depth - level  # deeper levels still to nest
+            min_group = max(1, remaining + 1)
+            max_groups = max(1, span // min_group)
+            n_groups = int(rng.integers(1, min(max_groups, 4) + 1))
+            bounds = np.linspace(start, stop, n_groups + 1).astype(int)
+            for a, b in zip(bounds[:-1], bounds[1:]):
+                if b <= a:
+                    continue
+                if rng.random() < cfg.vmd_entity_prob:
+                    value = cfg.domain.entity_phrase(rng)
+                else:
+                    value = cfg.domain.category_phrase(rng, level)
+                if repeat:
+                    for i in range(int(a), int(b)):
+                        cells[i][level - 1] = value
+                else:
+                    cells[int(a)][level - 1] = value
+                fill(level + 1, int(a), int(b))
+
+        fill(1, 0, n_data_rows)
+        return cells
+
+    # ------------------------------------------------------------------
+    # data cells
+    # ------------------------------------------------------------------
+    def _build_data(
+        self, rng: np.random.Generator, n_rows: int, n_cols: int
+    ) -> list[list[str]]:
+        cfg = self.config
+        columns: list[list[str]] = []
+        for _ in range(n_cols):
+            if rng.random() < cfg.textual_col_prob:
+                columns.append(
+                    [
+                        cfg.domain.attribute_phrase(rng)
+                        if rng.random() < cfg.data_attribute_prob
+                        else cfg.domain.entity_phrase(rng)
+                        for _ in range(n_rows)
+                    ]
+                )
+            else:
+                style = str(rng.choice(cfg.numeric_styles))
+                columns.append(
+                    [
+                        str(rng.choice(("Not applicable", "-", "n/a")))
+                        if rng.random() < cfg.na_cell_prob
+                        else self._numeric_cell(rng, style)
+                        for _ in range(n_rows)
+                    ]
+                )
+        return [[columns[j][i] for j in range(n_cols)] for i in range(n_rows)]
+
+    @staticmethod
+    def _abbreviate(cell: str) -> str:
+        """Source-style abbreviation: long words truncate with a dot."""
+        words = cell.split()
+        out = [w[:4] + "." if len(w) > 6 else w for w in words]
+        return " ".join(out)
+
+    @staticmethod
+    def _numeric_cell(rng: np.random.Generator, style: str) -> str:
+        if style == "plain":
+            return str(int(rng.integers(0, 5000)))
+        if style == "separators":
+            return f"{int(rng.integers(1000, 500000)):,}"
+        if style == "decimal":
+            return f"{rng.uniform(0, 100):.1f}"
+        if style == "percent":
+            return f"{rng.uniform(0, 100):.1f}%"
+        if style == "range":
+            low = int(rng.integers(0, 60))
+            high = low + int(rng.integers(1, 20))
+            return f"{low} to {high} years"
+        if style == "count_percent":
+            count = int(rng.integers(0, 500))
+            return f"{count} ({rng.uniform(0, 100):.1f}%)"
+        raise ValueError(f"unknown numeric style {style!r}")

@@ -1,0 +1,60 @@
+"""Corpus persistence: JSONL save/load.
+
+Generated corpora are deterministic, but regenerating a large corpus on
+every run is wasteful and external corpora (real CORD-19 extractions,
+say) have to enter the pipeline somehow.  One line per
+:class:`~repro.tables.model.AnnotatedTable`, using the JSON codec from
+:mod:`repro.tables.jsonio` — so a corpus file is greppable, diffable,
+and streamable.
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Callable, Iterable, Iterator
+
+from repro.tables.jsonio import annotated_table_from_json, annotated_table_to_json
+from repro.tables.model import AnnotatedTable
+
+
+def _opener(path: Path) -> Callable:
+    return gzip.open if path.suffix == ".gz" else open
+
+
+def save_corpus(corpus: Iterable[AnnotatedTable], path: str | Path) -> int:
+    """Write a corpus as JSONL (gzipped when the path ends in .gz).
+
+    Returns the number of tables written.
+    """
+    path = Path(path)
+    count = 0
+    with _opener(path)(path, "wt", encoding="utf-8") as handle:
+        for item in corpus:
+            handle.write(annotated_table_to_json(item))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def iter_corpus(path: str | Path) -> Iterator[AnnotatedTable]:
+    """Stream a JSONL corpus without materializing it."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no such corpus file: {path}")
+    with _opener(path)(path, "rt", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield annotated_table_from_json(line)
+            except (ValueError, KeyError) as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed corpus record: {exc}"
+                ) from exc
+
+
+def load_corpus(path: str | Path) -> list[AnnotatedTable]:
+    """Materialize a JSONL corpus."""
+    return list(iter_corpus(path))

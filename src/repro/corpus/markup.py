@@ -1,0 +1,149 @@
+"""Noisy HTML markup emission.
+
+Sec. III-B: "The tags are not 100% accurate and also are absent for the
+majority of tables (especially for VMD and deeper HMD levels)."  The
+generator therefore does not emit clean markup — it degrades it with the
+failure modes real corpora show: header rows demoted to plain ``<td>``,
+missing ``<thead>`` wrappers, lost bold/indent cues on VMD cells, and the
+occasional spuriously bolded data cell.  The bootstrap phase has to earn
+its centroids from this.
+"""
+
+from __future__ import annotations
+
+import html as _html
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+
+
+@dataclass(frozen=True)
+class MarkupNoise:
+    """Probabilities of each markup degradation."""
+
+    drop_thead_prob: float = 0.2  # emit header rows inside <tbody> only
+    demote_deep_hmd_prob: float = 0.35  # HMD rows below level 1 lose <th>
+    th_to_td_prob: float = 0.1  # any header cell rendered as <td>
+    drop_bold_prob: float = 0.3  # VMD cell loses its <b>/indent cue
+    spurious_th_prob: float = 0.02  # data row spuriously <th>-tagged
+    spurious_bold_prob: float = 0.02  # data cell spuriously bolded
+    colspan_prob: float = 0.3  # spanning headers emit real colspan attrs
+
+    def __post_init__(self) -> None:
+        for name, value in self.__dict__.items():
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability, got {value}")
+
+
+CLEAN_MARKUP = MarkupNoise(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+DEFAULT_MARKUP = MarkupNoise()
+
+
+def _header_cells(
+    row: tuple[str, ...],
+    rng: np.random.Generator,
+    noise: MarkupNoise,
+    *,
+    use_colspan: bool,
+) -> list[str]:
+    """Render one header row's cells with tag noise (and colspan)."""
+    cells: list[str] = []
+    j = 0
+    while j < len(row):
+        span = 1
+        if use_colspan:
+            while j + span < len(row) and row[j] and not row[j + span]:
+                span += 1
+        text = _html.escape(row[j])
+        tag = "td" if rng.random() < noise.th_to_td_prob else "th"
+        attr = f' colspan="{span}"' if span > 1 else ""
+        cells.append(f"<{tag}{attr}>{text}</{tag}>")
+        j += span
+    return cells
+
+
+def render_noisy_html(
+    table: Table,
+    annotation: TableAnnotation,
+    rng: np.random.Generator,
+    noise: MarkupNoise = DEFAULT_MARKUP,
+    *,
+    indent_vmd: bool = True,
+) -> str:
+    """Render HTML whose tags *approximately* reflect ``annotation``."""
+    use_thead = rng.random() >= noise.drop_thead_prob
+    use_colspan = rng.random() < noise.colspan_prob
+    head_rows: list[str] = []
+    body_rows: list[str] = []
+
+    # Decide demotions up front: only the contiguous prefix of
+    # non-demoted HMD rows may live in <thead> — once a header row falls
+    # into <tbody>, everything after it must follow, or the re-parsed
+    # row order would differ from the source table (real markup never
+    # permutes rows).
+    demoted_flags = {
+        i: (
+            annotation.row_labels[i].kind is LevelKind.HMD
+            and annotation.row_labels[i].level > 1
+            and rng.random() < noise.demote_deep_hmd_prob
+        )
+        for i in range(table.n_rows)
+    }
+    thead_cutoff = 0
+    if use_thead:
+        for i in range(table.n_rows):
+            if (
+                annotation.row_labels[i].kind is LevelKind.HMD
+                and not demoted_flags[i]
+            ):
+                thead_cutoff = i + 1
+            else:
+                break
+
+    for i, row in enumerate(table.rows):
+        row_label = annotation.row_labels[i]
+        is_header_row = row_label.kind in (LevelKind.HMD, LevelKind.CMD)
+        demoted = demoted_flags[i]
+        spurious_header = (
+            not is_header_row and rng.random() < noise.spurious_th_prob
+        )
+        render_as_header = (is_header_row and not demoted) or spurious_header
+
+        if render_as_header:
+            markup = "<tr>" + "".join(
+                _header_cells(row, rng, noise, use_colspan=use_colspan)
+            ) + "</tr>"
+            if i < thead_cutoff:
+                head_rows.append(markup)
+            else:
+                body_rows.append(markup)
+            continue
+
+        cells: list[str] = []
+        for j, cell in enumerate(row):
+            text = _html.escape(cell)
+            col_label = annotation.col_labels[j]
+            is_vmd_cell = col_label.kind is LevelKind.VMD and bool(text)
+            keep_cue = is_vmd_cell and rng.random() >= noise.drop_bold_prob
+            spurious_bold = (
+                not is_vmd_cell and bool(text) and rng.random() < noise.spurious_bold_prob
+            )
+            if keep_cue:
+                indent = "&nbsp;" * (2 * (col_label.level - 1)) if indent_vmd else ""
+                cells.append(f"<td>{indent}<b>{text}</b></td>")
+            elif spurious_bold:
+                cells.append(f"<td><b>{text}</b></td>")
+            else:
+                cells.append(f"<td>{text}</td>")
+
+        body_rows.append("<tr>" + "".join(cells) + "</tr>")
+
+    parts = ["<table>"]
+    if head_rows:
+        parts.append("<thead>" + "".join(head_rows) + "</thead>")
+    parts.append("<tbody>" + "".join(body_rows) + "</tbody>")
+    parts.append("</table>")
+    return "".join(parts)

@@ -1,0 +1,220 @@
+"""Per-dataset corpus profiles.
+
+One :class:`CorpusProfile` per paper dataset, encoding what the paper
+says about each corpus:
+
+* **CORD-19** — medical tables from PDF-extracted papers, "abundant in
+  HMD and VMD, both regular and hierarchical"; HMD observed to level 4
+  (Table I), VMD to level 3; partial HTML markup.
+* **CKG** — PubMed COVID literature; the deepest corpus (HMD to level 5,
+  Table I; VMD to 3); good markup coverage (tables come from publisher
+  HTML).
+* **CIUS** — Crime in the US; HMD to 2, VMD to 3 (Table V); **no HTML
+  markup** -> first-row/column bootstrap (Sec. III-B).
+* **SAUS** — Statistical Abstract; HMD to 3, VMD to 2; **no HTML
+  markup** either.
+* **WDC** — web tables; overwhelmingly simple relational tables (the
+  paper excludes WDC from deep-HMD experiments for "sparsity of high
+  quality tables ... with level 2 and deeper-level HMD").
+* **PubTables-1M** — scientific articles; mostly 1-2 level HMD, rarely
+  VMD; strong markup (sourced from PMC XML).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.corpus.generator import GeneratorConfig
+from repro.corpus.markup import MarkupNoise
+from repro.corpus.vocabularies import get_domain
+
+
+@dataclass(frozen=True)
+class CorpusProfile:
+    """A named dataset profile: generator config plus bookkeeping."""
+
+    name: str
+    description: str
+    config: GeneratorConfig
+    has_markup: bool  # False -> SAUS/CIUS first-row/column bootstrap
+    max_hmd_level: int
+    max_vmd_level: int
+    default_size: int = 300
+    # Relative training-corpus size.  WDC is the heterogeneous one: its
+    # 265K-source vocabulary needs several times more tables before the
+    # embedding geometry stabilizes (the paper's scalability argument).
+    train_multiplier: int = 1
+
+
+def _profile_cord19() -> CorpusProfile:
+    return CorpusProfile(
+        name="cord19",
+        description="CORD-19: PDF-extracted medical tables, hierarchical HMD/VMD",
+        config=GeneratorConfig(
+            domain=get_domain("biomedical"),
+            hmd_depth_probs={1: 0.40, 2: 0.30, 3: 0.20, 4: 0.10},
+            vmd_depth_probs={0: 0.15, 1: 0.45, 2: 0.25, 3: 0.15},
+            cmd_prob=0.10,
+            data_rows=(4, 16),
+            data_cols=(2, 7),
+            html_fraction=0.55,
+            # PDF extraction mangles markup more than publisher HTML.
+            markup_noise=MarkupNoise(
+                drop_thead_prob=0.3,
+                demote_deep_hmd_prob=0.45,
+                th_to_td_prob=0.15,
+                drop_bold_prob=0.4,
+            ),
+        ),
+        has_markup=True,
+        max_hmd_level=4,
+        max_vmd_level=3,
+    )
+
+
+def _profile_ckg() -> CorpusProfile:
+    return CorpusProfile(
+        name="ckg",
+        description="CKG: PubMed COVID-19 tables, deepest hierarchies (HMD to 5)",
+        config=GeneratorConfig(
+            domain=get_domain("biomedical"),
+            hmd_depth_probs={1: 0.30, 2: 0.28, 3: 0.22, 4: 0.13, 5: 0.07},
+            vmd_depth_probs={0: 0.15, 1: 0.40, 2: 0.28, 3: 0.17},
+            cmd_prob=0.12,
+            data_rows=(4, 18),
+            data_cols=(2, 8),
+            html_fraction=0.7,
+            markup_noise=MarkupNoise(
+                drop_thead_prob=0.15,
+                demote_deep_hmd_prob=0.35,
+                th_to_td_prob=0.1,
+                drop_bold_prob=0.3,
+            ),
+        ),
+        has_markup=True,
+        max_hmd_level=5,
+        max_vmd_level=3,
+    )
+
+
+def _profile_cius() -> CorpusProfile:
+    return CorpusProfile(
+        name="cius",
+        description="CIUS: Crime in the US; no HTML markup (first-level bootstrap)",
+        config=GeneratorConfig(
+            domain=get_domain("crime"),
+            hmd_depth_probs={1: 0.55, 2: 0.45},
+            vmd_depth_probs={0: 0.10, 1: 0.40, 2: 0.30, 3: 0.20},
+            cmd_prob=0.10,
+            data_rows=(5, 20),
+            data_cols=(2, 7),
+            html_fraction=0.0,  # the paper: no markup available
+        ),
+        has_markup=False,
+        max_hmd_level=2,
+        max_vmd_level=3,
+        train_multiplier=2,
+    )
+
+
+def _profile_saus() -> CorpusProfile:
+    return CorpusProfile(
+        name="saus",
+        description="SAUS 2010 Statistical Abstract; no HTML markup",
+        config=GeneratorConfig(
+            domain=get_domain("census"),
+            hmd_depth_probs={1: 0.45, 2: 0.35, 3: 0.20},
+            vmd_depth_probs={0: 0.15, 1: 0.50, 2: 0.35},
+            cmd_prob=0.12,
+            data_rows=(5, 20),
+            data_cols=(2, 8),
+            html_fraction=0.0,
+        ),
+        has_markup=False,
+        max_hmd_level=3,
+        max_vmd_level=2,
+        # No markup -> centroids come from cross-table statistics, which
+        # need a larger sample to stabilize.
+        train_multiplier=2,
+    )
+
+
+def _profile_wdc() -> CorpusProfile:
+    return CorpusProfile(
+        name="wdc",
+        description="WDC web tables: mostly simple relational tables",
+        config=GeneratorConfig(
+            domain=get_domain("web"),
+            hmd_depth_probs={1: 0.93, 2: 0.07},
+            vmd_depth_probs={0: 0.45, 1: 0.50, 2: 0.05},
+            cmd_prob=0.03,
+            data_rows=(3, 12),
+            data_cols=(2, 6),
+            textual_col_prob=0.35,  # web tables are text-heavy
+            html_fraction=0.5,
+            markup_noise=MarkupNoise(
+                drop_thead_prob=0.4,
+                demote_deep_hmd_prob=0.5,
+                th_to_td_prob=0.2,
+                drop_bold_prob=0.5,
+                spurious_th_prob=0.04,
+                spurious_bold_prob=0.05,
+            ),
+        ),
+        has_markup=True,
+        max_hmd_level=1,  # the paper evaluates WDC at level 1 only
+        max_vmd_level=1,
+        train_multiplier=4,
+    )
+
+
+def _profile_pubtables() -> CorpusProfile:
+    return CorpusProfile(
+        name="pubtables",
+        description="PubTables-1M: PMC scientific tables, clean markup",
+        config=GeneratorConfig(
+            domain=get_domain("academic"),
+            hmd_depth_probs={1: 0.65, 2: 0.35},
+            vmd_depth_probs={0: 0.55, 1: 0.40, 2: 0.05},
+            cmd_prob=0.05,
+            data_rows=(3, 14),
+            data_cols=(2, 8),
+            html_fraction=0.8,
+            markup_noise=MarkupNoise(
+                drop_thead_prob=0.1,
+                demote_deep_hmd_prob=0.25,
+                th_to_td_prob=0.05,
+                drop_bold_prob=0.25,
+            ),
+        ),
+        has_markup=True,
+        max_hmd_level=1,  # Table V reports PubTables HMD monolithically
+        max_vmd_level=1,
+    )
+
+
+_PROFILES = {
+    p.name: p
+    for p in (
+        _profile_cord19(),
+        _profile_ckg(),
+        _profile_cius(),
+        _profile_saus(),
+        _profile_wdc(),
+        _profile_pubtables(),
+    )
+}
+
+
+def get_profile(name: str) -> CorpusProfile:
+    """Look up one of the six dataset profiles by name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(_PROFILES))
+        raise KeyError(f"unknown profile {name!r}; known: {known}") from None
+
+
+def list_profiles() -> list[CorpusProfile]:
+    """All dataset profiles, sorted by name."""
+    return [_PROFILES[k] for k in sorted(_PROFILES)]

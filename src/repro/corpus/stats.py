@@ -1,0 +1,115 @@
+"""Corpus statistics: the numbers Sec. IV-B reports per dataset.
+
+``corpus_statistics`` summarizes an annotated corpus the way the paper
+characterizes its datasets — table counts, metadata depth distributions,
+markup coverage, shape quantiles — and ``describe_corpus`` renders the
+summary for reports and examples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.tables.model import AnnotatedTable
+
+
+@dataclass(frozen=True)
+class CorpusStatistics:
+    """Aggregate description of one corpus."""
+
+    n_tables: int
+    hmd_depth_counts: dict[int, int]
+    vmd_depth_counts: dict[int, int]
+    cmd_table_count: int
+    markup_coverage: float  # fraction of tables carrying HTML
+    median_rows: float
+    median_cols: float
+    max_rows: int
+    max_cols: int
+    blank_cell_fraction: float
+
+    @property
+    def max_hmd_depth(self) -> int:
+        return max(self.hmd_depth_counts, default=0)
+
+    @property
+    def max_vmd_depth(self) -> int:
+        return max(self.vmd_depth_counts, default=0)
+
+    def depth_fraction(self, *, hmd: int | None = None, vmd: int | None = None) -> float:
+        """Fraction of tables at exactly the given depth(s)."""
+        if (hmd is None) == (vmd is None):
+            raise ValueError("give exactly one of hmd= or vmd=")
+        if self.n_tables == 0:
+            return 0.0
+        if hmd is not None:
+            return self.hmd_depth_counts.get(hmd, 0) / self.n_tables
+        assert vmd is not None
+        return self.vmd_depth_counts.get(vmd, 0) / self.n_tables
+
+
+def corpus_statistics(corpus: Sequence[AnnotatedTable]) -> CorpusStatistics:
+    """Compute :class:`CorpusStatistics` for a corpus."""
+    hmd_counts: Counter[int] = Counter()
+    vmd_counts: Counter[int] = Counter()
+    cmd_tables = 0
+    with_markup = 0
+    row_counts: list[int] = []
+    col_counts: list[int] = []
+    blanks = 0
+    cells = 0
+    for item in corpus:
+        hmd_counts[item.hmd_depth] += 1
+        vmd_counts[item.vmd_depth] += 1
+        if item.annotation.cmd_rows:
+            cmd_tables += 1
+        if item.html:
+            with_markup += 1
+        row_counts.append(item.table.n_rows)
+        col_counts.append(item.table.n_cols)
+        for _, _, cell in item.table.iter_cells():
+            cells += 1
+            if not cell:
+                blanks += 1
+    n = len(corpus)
+    return CorpusStatistics(
+        n_tables=n,
+        hmd_depth_counts=dict(hmd_counts),
+        vmd_depth_counts=dict(vmd_counts),
+        cmd_table_count=cmd_tables,
+        markup_coverage=with_markup / n if n else 0.0,
+        median_rows=float(np.median(row_counts)) if row_counts else 0.0,
+        median_cols=float(np.median(col_counts)) if col_counts else 0.0,
+        max_rows=max(row_counts, default=0),
+        max_cols=max(col_counts, default=0),
+        blank_cell_fraction=blanks / cells if cells else 0.0,
+    )
+
+
+def describe_corpus(corpus: Sequence[AnnotatedTable], *, name: str = "") -> str:
+    """Render corpus statistics for a report."""
+    stats = corpus_statistics(corpus)
+    title = f"corpus {name}" if name else "corpus"
+    lines = [
+        f"{title}: {stats.n_tables} tables, "
+        f"median shape {stats.median_rows:.0f}x{stats.median_cols:.0f}, "
+        f"max {stats.max_rows}x{stats.max_cols}",
+        f"  markup coverage: {stats.markup_coverage:.0%}; "
+        f"tables with CMD: {stats.cmd_table_count}; "
+        f"blank cells: {stats.blank_cell_fraction:.0%}",
+    ]
+    hmd = ", ".join(
+        f"{depth}: {count}"
+        for depth, count in sorted(stats.hmd_depth_counts.items())
+    )
+    vmd = ", ".join(
+        f"{depth}: {count}"
+        for depth, count in sorted(stats.vmd_depth_counts.items())
+    )
+    lines.append(f"  HMD depth counts: {{{hmd}}}")
+    lines.append(f"  VMD depth counts: {{{vmd}}}")
+    return "\n".join(lines)

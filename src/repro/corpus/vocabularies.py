@@ -1,0 +1,360 @@
+"""Domain term banks for corpus generation.
+
+Each :class:`DomainVocabulary` provides the four ingredient pools a
+generally structured table draws from:
+
+* ``attribute_roots`` / ``attribute_qualifiers`` — compose header
+  phrases like "median age distribution (%)";
+* ``group_terms`` — broad spanning headers for HMD level 1
+  ("Demographics", "Violent crime");
+* ``category_levels`` — hierarchical VMD values, one pool per depth
+  (level 1 = states/systems, level 2 = institutions/diseases,
+  level 3 = campuses/symptoms);
+* ``entity_terms`` — textual data-cell values.
+
+The split matters: the classifier's signal is that header terms
+co-occur with header terms and data terms with data terms, which is the
+statistical structure real corpora exhibit and the generator reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DomainVocabulary:
+    """Term pools for one domain (biomedical, crime, census, ...)."""
+
+    name: str
+    attribute_roots: tuple[str, ...]
+    attribute_qualifiers: tuple[str, ...]
+    group_terms: tuple[str, ...]
+    category_levels: tuple[tuple[str, ...], ...]  # pools for VMD depth 1..k
+    entity_terms: tuple[str, ...]
+    unit_terms: tuple[str, ...] = ("n", "%", "total")
+
+    def __post_init__(self) -> None:
+        if not self.attribute_roots or not self.group_terms:
+            raise ValueError(f"domain {self.name!r} is missing term pools")
+        if not self.category_levels:
+            raise ValueError(f"domain {self.name!r} needs category levels")
+
+    def attribute_phrase(self, rng: np.random.Generator) -> str:
+        """Compose one header phrase, e.g. "Total number of patients"."""
+        root = str(rng.choice(self.attribute_roots))
+        if rng.random() < 0.5:
+            qualifier = str(rng.choice(self.attribute_qualifiers))
+            return f"{qualifier} {root}" if rng.random() < 0.5 else f"{root} {qualifier}"
+        return root
+
+    def group_phrase(self, rng: np.random.Generator) -> str:
+        return str(rng.choice(self.group_terms))
+
+    def category_phrase(self, rng: np.random.Generator, level: int) -> str:
+        """A VMD value for 1-based depth ``level``."""
+        pool = self.category_levels[min(level - 1, len(self.category_levels) - 1)]
+        return str(rng.choice(pool))
+
+    def entity_phrase(self, rng: np.random.Generator) -> str:
+        return str(rng.choice(self.entity_terms))
+
+    def all_attribute_tokens(self) -> set[str]:
+        """Lowercased word tokens appearing in header pools (used by the
+        hashed-embedding field map)."""
+        tokens: set[str] = set()
+        for phrase in (
+            self.attribute_roots + self.attribute_qualifiers + self.group_terms
+        ):
+            tokens.update(phrase.lower().split())
+        tokens.update(u.lower() for u in self.unit_terms)
+        return tokens
+
+    def all_category_tokens(self) -> set[str]:
+        tokens: set[str] = set()
+        for pool in self.category_levels:
+            for phrase in pool:
+                tokens.update(phrase.lower().split())
+        return tokens
+
+    def all_entity_tokens(self) -> set[str]:
+        tokens: set[str] = set()
+        for phrase in self.entity_terms:
+            tokens.update(phrase.lower().split())
+        return tokens
+
+    def field_map(self) -> dict[str, str]:
+        """token -> field assignment for the hashed embedding backend.
+
+        Category tokens double as header-ish terms (VMD cells *are*
+        metadata), so they get their own field distinct from both
+        attributes and entities.
+        """
+        mapping: dict[str, str] = {}
+        for token in self.all_entity_tokens():
+            mapping[token] = f"{self.name}:entity"
+        for token in self.all_category_tokens():
+            mapping[token] = f"{self.name}:category"
+        for token in self.all_attribute_tokens():
+            mapping[token] = f"{self.name}:attribute"
+        return mapping
+
+
+# ---------------------------------------------------------------------------
+# biomedical (CORD-19, CKG): clinical-study style tables
+# ---------------------------------------------------------------------------
+
+_BIOMEDICAL = DomainVocabulary(
+    name="biomedical",
+    attribute_roots=(
+        "patients", "age", "duration", "onset", "severity", "symptoms",
+        "headache", "fever", "cough", "fatigue", "dosage", "vaccination",
+        "antibody titer", "viral load", "hospitalization", "recovery time",
+        "mortality", "comorbidity", "oxygen saturation", "respiratory rate",
+        "heart rate", "blood pressure", "treatment response", "adverse events",
+        "follow-up", "incubation period", "transmission", "infection rate",
+        "icu admission", "ventilation", "discharge", "readmission",
+        "sample size", "confidence interval", "odds ratio", "p value",
+        "hazard ratio", "relative risk", "prevalence", "incidence",
+    ),
+    attribute_qualifiers=(
+        "total", "median", "mean", "number of", "percentage of", "rate of",
+        "distribution", "range", "baseline", "adjusted", "cumulative",
+        "per 100,000", "overall", "estimated", "observed", "reported",
+    ),
+    group_terms=(
+        "Demographics", "Clinical characteristics", "Laboratory findings",
+        "Outcomes", "Treatment", "Vaccination status", "Symptoms at admission",
+        "Comorbidities", "Imaging findings", "Follow-up results",
+        "Hospitalized patients", "Outpatients", "Severity groups",
+        "Study cohort", "Control group", "Intervention group",
+    ),
+    category_levels=(
+        (
+            "Respiratory syndrome", "Cardiovascular disease", "Neurological disorder",
+            "Gastrointestinal condition", "Immune response", "Metabolic disorder",
+            "Tension headache", "Migraine", "Viral infection", "Bacterial infection",
+        ),
+        (
+            "Mild cases", "Moderate cases", "Severe cases", "Critical cases",
+            "Acute phase", "Chronic phase", "Early onset", "Late onset",
+            "Primary diagnosis", "Secondary diagnosis",
+        ),
+        (
+            "Week 1", "Week 2", "Week 4", "Month 1", "Month 3", "Month 6",
+            "Baseline visit", "Final visit", "Day 7", "Day 14", "Day 28",
+        ),
+    ),
+    entity_terms=(
+        "positive", "negative", "not applicable", "unknown", "yes", "no",
+        "male", "female", "improved", "worsened", "stable", "resolved",
+        "pfizer", "moderna", "placebo", "ibuprofen", "acetaminophen",
+        "remdesivir", "dexamethasone", "azithromycin",
+    ),
+    unit_terms=("n", "%", "years", "days", "hours", "mg", "total"),
+)
+
+
+# ---------------------------------------------------------------------------
+# crime (CIUS): FBI Crime-in-the-US style tables
+# ---------------------------------------------------------------------------
+
+_CRIME = DomainVocabulary(
+    name="crime",
+    attribute_roots=(
+        "offenses", "arrests", "clearances", "violent crime", "property crime",
+        "murder", "robbery", "burglary", "larceny", "motor vehicle theft",
+        "aggravated assault", "arson", "population", "officers", "civilians",
+        "law enforcement employees", "agencies", "incidents", "victims",
+        "offenders", "weapons", "firearms", "juvenile arrests", "rate",
+        "crime index", "reported crimes", "estimated totals",
+    ),
+    attribute_qualifiers=(
+        "total", "number of", "rate per 100,000", "percent change",
+        "estimated", "reported", "annual", "monthly", "cleared",
+        "year-to-date", "per capita", "average",
+    ),
+    group_terms=(
+        "Violent crime", "Property crime", "Law enforcement employees",
+        "Offense analysis", "Arrests by age", "Arrests by region",
+        "Crime trends", "Clearance rates", "Agency totals", "Population group",
+    ),
+    category_levels=(
+        (
+            "Northeast", "Midwest", "South", "West", "New England",
+            "Middle Atlantic", "Pacific", "Mountain", "East North Central",
+        ),
+        (
+            "New York", "California", "Texas", "Florida", "Illinois",
+            "Pennsylvania", "Ohio", "Georgia", "Michigan", "Virginia",
+        ),
+        (
+            "Metropolitan counties", "Nonmetropolitan counties", "Cities",
+            "Suburban areas", "Universities and colleges", "State agencies",
+        ),
+    ),
+    entity_terms=(
+        "chicago", "houston", "phoenix", "detroit", "memphis",
+        "police department", "sheriff office", "highway patrol",
+        "cleared by arrest", "not cleared", "reported", "unfounded",
+    ),
+    unit_terms=("n", "%", "rate", "total"),
+)
+
+
+# ---------------------------------------------------------------------------
+# census (SAUS): Statistical Abstract style tables
+# ---------------------------------------------------------------------------
+
+_CENSUS = DomainVocabulary(
+    name="census",
+    attribute_roots=(
+        "population", "households", "income", "employment", "unemployment",
+        "earnings", "expenditures", "revenue", "enrollment", "graduates",
+        "housing units", "home ownership", "poverty", "median income",
+        "labor force", "payroll", "establishments", "sales", "exports",
+        "imports", "production", "consumption", "energy use", "farm income",
+        "retail trade", "manufacturing output", "construction permits",
+        "health insurance coverage", "life expectancy", "birth rate",
+    ),
+    attribute_qualifiers=(
+        "total", "per capita", "median", "average", "number of",
+        "percent of", "annual", "estimated", "projected", "seasonally adjusted",
+        "in thousands", "in millions of dollars",
+    ),
+    group_terms=(
+        "Population characteristics", "Income and poverty", "Labor force",
+        "Education", "Health care", "Housing", "Business enterprise",
+        "Agriculture", "Energy", "Transportation", "Federal government finances",
+        "State and local government",
+    ),
+    category_levels=(
+        (
+            "United States", "Northeast region", "Midwest region",
+            "South region", "West region",
+        ),
+        (
+            "New York", "California", "Texas", "Florida", "Illinois",
+            "Washington", "Massachusetts", "Colorado", "Arizona", "Oregon",
+        ),
+        (
+            "Urban areas", "Rural areas", "Metropolitan statistical areas",
+            "Central cities", "Suburbs", "Counties",
+        ),
+    ),
+    entity_terms=(
+        "male", "female", "white", "black", "hispanic", "asian",
+        "under 18 years", "18 to 64 years", "65 years and over",
+        "owner occupied", "renter occupied", "full-time", "part-time",
+    ),
+    unit_terms=("n", "%", "dollars", "thousands", "total"),
+)
+
+
+# ---------------------------------------------------------------------------
+# web (WDC): heterogeneous web tables
+# ---------------------------------------------------------------------------
+
+_WEB = DomainVocabulary(
+    name="web",
+    attribute_roots=(
+        "name", "title", "price", "rating", "reviews", "release date",
+        "genre", "artist", "album", "song", "duration", "director",
+        "year", "country", "team", "wins", "losses", "points", "rank",
+        "score", "goals", "assists", "category", "brand", "model",
+        "weight", "dimensions", "color", "availability", "shipping",
+        "author", "publisher", "pages", "language", "format",
+    ),
+    attribute_qualifiers=(
+        "total", "average", "best", "latest", "number of", "top",
+        "overall", "current", "previous", "final",
+    ),
+    group_terms=(
+        "Product details", "Specifications", "Season statistics",
+        "Track listing", "Cast and crew", "Standings", "Results",
+        "Pricing", "Availability", "Technical details",
+    ),
+    category_levels=(
+        (
+            "Electronics", "Books", "Music", "Movies", "Sports",
+            "Home and garden", "Clothing", "Automotive",
+        ),
+        (
+            "Laptops", "Smartphones", "Fiction", "Non-fiction", "Rock",
+            "Jazz", "Action", "Drama", "Football", "Basketball",
+        ),
+        (
+            "New releases", "Bestsellers", "On sale", "Clearance",
+            "Featured", "Recommended",
+        ),
+    ),
+    entity_terms=(
+        "amazon", "ebay", "walmart", "target", "apple", "samsung", "sony",
+        "nike", "adidas", "toyota", "honda", "in stock", "out of stock",
+        "free shipping", "new", "used", "refurbished",
+    ),
+    unit_terms=("n", "%", "usd", "total"),
+)
+
+
+# ---------------------------------------------------------------------------
+# academic (PubTables-1M): scientific-article tables
+# ---------------------------------------------------------------------------
+
+_ACADEMIC = DomainVocabulary(
+    name="academic",
+    attribute_roots=(
+        "accuracy", "precision", "recall", "f1 score", "auc", "error rate",
+        "runtime", "memory", "throughput", "latency", "parameters",
+        "training time", "inference time", "dataset size", "epochs",
+        "learning rate", "batch size", "samples", "features", "classes",
+        "baseline", "proposed method", "improvement", "speedup",
+        "temperature", "pressure", "concentration", "yield", "efficiency",
+    ),
+    attribute_qualifiers=(
+        "mean", "median", "std", "total", "number of", "percent",
+        "normalized", "relative", "absolute", "best", "worst", "average",
+    ),
+    group_terms=(
+        "Experimental results", "Ablation study", "Model comparison",
+        "Dataset statistics", "Hyperparameters", "Performance metrics",
+        "Computational cost", "Evaluation settings", "Method variants",
+    ),
+    category_levels=(
+        (
+            "Supervised methods", "Unsupervised methods", "Deep learning",
+            "Classical baselines", "Proposed approach", "Prior work",
+        ),
+        (
+            "Small dataset", "Medium dataset", "Large dataset",
+            "In-domain", "Out-of-domain", "Cross-validation",
+        ),
+        (
+            "Fold 1", "Fold 2", "Fold 3", "Run 1", "Run 2", "Test split",
+        ),
+    ),
+    entity_terms=(
+        "bert", "resnet", "svm", "random forest", "xgboost", "lstm",
+        "transformer", "cnn", "knn", "baseline", "ours", "gpu", "cpu",
+    ),
+    unit_terms=("n", "%", "ms", "gb", "total"),
+)
+
+
+_DOMAINS: dict[str, DomainVocabulary] = {
+    v.name: v for v in (_BIOMEDICAL, _CRIME, _CENSUS, _WEB, _ACADEMIC)
+}
+
+
+def get_domain(name: str) -> DomainVocabulary:
+    """Look up a domain vocabulary by name."""
+    try:
+        return _DOMAINS[name]
+    except KeyError:
+        known = ", ".join(sorted(_DOMAINS))
+        raise KeyError(f"unknown domain {name!r}; known domains: {known}") from None
+
+
+def domain_names() -> list[str]:
+    return sorted(_DOMAINS)

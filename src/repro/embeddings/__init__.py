@@ -1,0 +1,39 @@
+"""Embedding substrate.
+
+The paper computes term embeddings by fine-tuning Word2Vec (Gensim) and
+BioBERT (PyTorch) on the table corpora (Sec. III-A, IV-C).  Offline and
+CPU-only, we implement the same algorithms from scratch in NumPy:
+
+* :class:`~repro.embeddings.word2vec.Word2Vec` — skip-gram with negative
+  sampling, the algorithm Gensim's Word2Vec implements;
+* :class:`~repro.embeddings.contextual.ContextualEncoder` — a compact
+  self-attention encoder trained with a masked-token objective, standing
+  in for BioBERT fine-tuning (see DESIGN.md, substitutions);
+* :class:`~repro.embeddings.hashed.HashedEmbedding` — a deterministic,
+  training-free backend used as the fast path in tests and ablations.
+
+:class:`~repro.embeddings.lookup.TermEmbedder` is the uniform front-end:
+token -> vector with char-n-gram OOV back-off and caching.
+"""
+
+from repro.embeddings.vocab import Vocabulary
+from repro.embeddings.sentences import sentences_from_table, sentences_from_tables
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.embeddings.contextual import ContextualEncoder, ContextualConfig
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.embeddings.ppmi import PpmiConfig, PpmiSvdEmbedding
+
+__all__ = [
+    "ContextualConfig",
+    "ContextualEncoder",
+    "HashedEmbedding",
+    "PpmiConfig",
+    "PpmiSvdEmbedding",
+    "TermEmbedder",
+    "Vocabulary",
+    "Word2Vec",
+    "Word2VecConfig",
+    "sentences_from_table",
+    "sentences_from_tables",
+]

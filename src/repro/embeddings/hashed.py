@@ -1,0 +1,107 @@
+"""Deterministic hash-projection embeddings — the training-free backend.
+
+Used as the fast path in tests and as an ablation baseline ("how much do
+the trained embeddings actually buy?").  Each token hashes to a seed that
+generates a fixed Gaussian vector, so the backend needs no fitting, no
+corpus, and is fully reproducible.
+
+Two semantic touches make the backend useful rather than purely random:
+
+* tokens can be assigned to named *fields* (e.g. the corpus generator
+  knows which vocabulary bank a term came from); a token's vector is then
+  a blend of its field centroid and its private noise, so same-field
+  terms are mutually close — the co-occurrence structure a trained model
+  would have learned;
+* numeric tokens (numbers/percentages) automatically share the built-in
+  ``"__numeric__"`` field, reproducing the strongest real-corpus signal:
+  data rows are dominated by numbers and therefore point in a coherent
+  direction distinct from header rows.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+import numpy as np
+
+from repro.text import TokenKind, classify_token
+
+NUMERIC_FIELD = "__numeric__"
+
+
+def _seeded_vector(key: str, dim: int) -> np.ndarray:
+    digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+    seed = int.from_bytes(digest, "little")
+    rng = np.random.default_rng(seed)
+    vec = rng.normal(0.0, 1.0, size=dim)
+    norm = np.linalg.norm(vec)
+    return vec / norm if norm > 0 else vec
+
+
+class HashedEmbedding:
+    """Deterministic, field-aware hash embeddings.
+
+    ``fields`` maps token -> field name.  ``field_weight`` in [0, 1)
+    controls how tightly same-field tokens cluster (0 = pure noise,
+    values near 1 = near-identical vectors per field).
+    """
+
+    def __init__(
+        self,
+        dim: int = 64,
+        *,
+        fields: Mapping[str, str] | None = None,
+        field_weight: float = 0.7,
+        numeric_field: bool = True,
+    ) -> None:
+        if dim < 1:
+            raise ValueError("dim must be positive")
+        if not 0.0 <= field_weight < 1.0:
+            raise ValueError("field_weight must be in [0, 1)")
+        self._dim = dim
+        self._fields = dict(fields) if fields else {}
+        self._field_weight = field_weight
+        self._numeric_field = numeric_field
+        self._field_centroids: dict[str, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def is_fitted(self) -> bool:
+        return True  # nothing to fit
+
+    def _field_of(self, token: str) -> str | None:
+        field = self._fields.get(token)
+        if field is not None:
+            return field
+        if self._numeric_field and classify_token(token) in (
+            TokenKind.NUMBER,
+            TokenKind.PERCENT,
+        ):
+            return NUMERIC_FIELD
+        return None
+
+    def _centroid(self, field: str) -> np.ndarray:
+        cached = self._field_centroids.get(field)
+        if cached is None:
+            cached = _seeded_vector(f"field::{field}", self._dim)
+            self._field_centroids[field] = cached
+        return cached
+
+    def vector(self, token: str) -> np.ndarray:
+        """The embedding for ``token`` (always defined — no OOV)."""
+        private = _seeded_vector(f"token::{token}", self._dim)
+        field = self._field_of(token)
+        if field is None:
+            return private
+        w = self._field_weight
+        blended = w * self._centroid(field) + (1.0 - w) * private
+        norm = np.linalg.norm(blended)
+        return blended / norm if norm > 0 else blended
+
+    def assign_field(self, token: str, field: str) -> None:
+        """Register a token->field assignment after construction."""
+        self._fields[token] = field

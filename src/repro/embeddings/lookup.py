@@ -1,0 +1,152 @@
+"""TermEmbedder — the uniform token -> vector front-end.
+
+Every consumer (aggregation, centroids, the classifier, diagnostics)
+goes through this class rather than a concrete model, so the embedding
+backend (Word2Vec / contextual / hashed) is swappable per the paper's
+"Word2Vec or BioBERT" choice and per our ablations.
+
+OOV handling matters in table corpora: data cells are full of values the
+training vocabulary never saw (ids, rare entities, fresh numbers).  The
+default back-off embeds an OOV token as the mean of hashed character
+n-gram vectors — the fastText trick — so unseen-but-similar strings map
+to nearby vectors instead of a shared zero.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.embeddings.hashed import _seeded_vector
+from repro.text import Token, tokenize_cells
+
+
+@runtime_checkable
+class EmbeddingModel(Protocol):
+    """What a backend must provide (Word2Vec, ContextualEncoder, Hashed)."""
+
+    @property
+    def dim(self) -> int: ...
+
+    def vector(self, token: str) -> np.ndarray | None: ...
+
+
+class TermEmbedder:
+    """Token/cell/level embedding with OOV back-off and caching.
+
+    ``oov`` selects the back-off: ``"ngram"`` (default, fastText-style
+    char trigram hashing), ``"hash"`` (whole-token hash vector), or
+    ``"zero"`` (drop OOV terms from aggregates).
+    """
+
+    def __init__(
+        self,
+        model: EmbeddingModel,
+        *,
+        oov: str = "ngram",
+        ngram: int = 3,
+        cache_size: int = 100_000,
+        centering: np.ndarray | None = None,
+    ) -> None:
+        if oov not in ("ngram", "hash", "zero"):
+            raise ValueError(f"unknown OOV strategy {oov!r}")
+        if ngram < 2:
+            raise ValueError("ngram must be at least 2")
+        self.model = model
+        self._oov = oov
+        self._ngram = ngram
+        self._cache: dict[str, np.ndarray] = {}
+        self._cache_size = cache_size
+        if centering is not None:
+            centering = np.asarray(centering, dtype=np.float64)
+            if centering.shape != (model.dim,):
+                raise ValueError("centering vector must match the model dim")
+        self._centering = centering
+
+    @property
+    def dim(self) -> int:
+        return self.model.dim
+
+    # ------------------------------------------------------------------
+    # single token
+    # ------------------------------------------------------------------
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding for one token; OOV resolves via the back-off.
+
+        Always returns a ``(dim,)`` array; the ``"zero"`` strategy
+        returns an all-zero vector that aggregation then ignores.
+        """
+        cached = self._cache.get(token)
+        if cached is not None:
+            return cached
+        vec = self.model.vector(token)
+        if vec is None:
+            vec = self._oov_vector(token)
+        vec = np.asarray(vec, dtype=np.float64)
+        if self._centering is not None:
+            # Removing the corpus-mean direction ("all-but-the-top")
+            # spreads the angle spectrum; without it, trained embedding
+            # spaces share a dominant component and every level pair
+            # looks 0-10 degrees apart.
+            vec = vec - self._centering
+        if len(self._cache) < self._cache_size:
+            self._cache[token] = vec
+        return vec
+
+    def _oov_vector(self, token: str) -> np.ndarray:
+        if self._oov == "zero":
+            return np.zeros(self.dim)
+        if self._oov == "hash":
+            return _seeded_vector(f"oov::{token}", self.dim)
+        # fastText-style: mean of hashed char n-grams of <token>.
+        padded = f"<{token}>"
+        n = self._ngram
+        grams = [padded[i : i + n] for i in range(max(1, len(padded) - n + 1))]
+        vectors = [_seeded_vector(f"ng::{g}", self.dim) for g in grams]
+        mean = np.mean(vectors, axis=0)
+        norm = np.linalg.norm(mean)
+        return mean / norm if norm > 0 else mean
+
+    def has(self, token: str) -> bool:
+        """True when the *backend* (not the back-off) knows the token."""
+        return self.model.vector(token) is not None
+
+    # ------------------------------------------------------------------
+    # batches
+    # ------------------------------------------------------------------
+    def embed_tokens(self, tokens: Sequence[Token | str]) -> np.ndarray:
+        """Stack embeddings for a token sequence -> ``(n, dim)``."""
+        if not tokens:
+            return np.empty((0, self.dim))
+        texts = [t.text if isinstance(t, Token) else t for t in tokens]
+        return np.stack([self.vector(t) for t in texts])
+
+    def embed_cells(self, cells: Sequence[object]) -> np.ndarray:
+        """Tokenize a level's cells and stack the term embeddings."""
+        return self.embed_tokens(tokenize_cells(cells))
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+
+
+def corpus_mean_vector(model: EmbeddingModel) -> np.ndarray | None:
+    """Mean embedding over a trained model's vocabulary.
+
+    Used as the :class:`TermEmbedder` centering vector.  Returns None for
+    backends without a vocabulary (e.g. hashed embeddings, which have no
+    dominant common direction to remove).
+    """
+    vocab = getattr(model, "vocab", None)
+    if vocab is None:
+        return None
+    vectors = []
+    for token in vocab:
+        if token.startswith("["):  # special tokens
+            continue
+        vec = model.vector(token)
+        if vec is not None:
+            vectors.append(vec)
+    if not vectors:
+        return None
+    return np.mean(np.stack(vectors), axis=0)

@@ -1,0 +1,154 @@
+"""Count-based embeddings: PPMI co-occurrence + truncated SVD.
+
+The classical alternative to SGNS (Levy & Goldberg showed SGNS
+implicitly factorizes a shifted PMI matrix): build the token
+co-occurrence matrix over the same windowed sentences, weight it with
+positive pointwise mutual information, and factorize with a truncated
+SVD.  On small corpora this is often *more* stable than SGNS — it is
+deterministic, needs no learning-rate tuning, and one pass over the
+corpus suffices — which makes it a valuable third backend for the
+pipeline and for the embedding ablation.
+
+Numeric tokens are bucketed to ``<NUM>``/``<PCT>`` by default: table
+corpora mint a fresh number in nearly every cell, which would blow the
+vocabulary (and the co-occurrence matrix) up with singleton tokens that
+carry no distributional signal beyond "I am a number".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import svds
+
+from repro.embeddings.vocab import Vocabulary
+from repro.text import TokenKind, classify_token
+
+NUM_BUCKET = "<NUM>"
+PCT_BUCKET = "<PCT>"
+
+
+@dataclass(frozen=True)
+class PpmiConfig:
+    """Hyper-parameters for the PPMI-SVD backend."""
+
+    dim: int = 64
+    window: int = 3
+    min_count: int = 2
+    shift: float = 1.0  # PPMI shift (log k); 1.0 = plain PPMI
+    bucket_numbers: bool = True
+    eigenvalue_weighting: float = 0.5  # embed as U * S**p
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.dim < 1 or self.window < 1:
+            raise ValueError("dim and window must be positive")
+        if self.shift < 1.0:
+            raise ValueError("shift must be >= 1 (log k with k >= 1)")
+        if not 0.0 <= self.eigenvalue_weighting <= 1.0:
+            raise ValueError("eigenvalue_weighting must be in [0, 1]")
+
+
+class PpmiSvdEmbedding:
+    """Deterministic count-based embeddings: ``fit`` then ``vector``."""
+
+    def __init__(self, config: PpmiConfig | None = None) -> None:
+        self.config = config or PpmiConfig()
+        self.vocab: Vocabulary | None = None
+        self._vectors: np.ndarray | None = None
+
+    # ------------------------------------------------------------------
+    # training
+    # ------------------------------------------------------------------
+    def _bucket(self, token: str) -> str:
+        if not self.config.bucket_numbers:
+            return token
+        kind = classify_token(token)
+        if kind is TokenKind.PERCENT:
+            return PCT_BUCKET
+        if kind is TokenKind.NUMBER:
+            return NUM_BUCKET
+        return token
+
+    def fit(self, sentences: Iterable[Sequence[str]]) -> "PpmiSvdEmbedding":
+        corpus = [[self._bucket(t) for t in s] for s in sentences]
+        self.vocab = Vocabulary.from_sentences(
+            corpus, min_count=self.config.min_count
+        )
+        n = len(self.vocab)
+        if n == 0:
+            return self
+        encoded = [self.vocab.encode(s) for s in corpus]
+
+        # Symmetric windowed co-occurrence counts.
+        rows: list[int] = []
+        cols: list[int] = []
+        window = self.config.window
+        for sentence in encoded:
+            length = len(sentence)
+            for pos, center in enumerate(sentence):
+                hi = min(length, pos + window + 1)
+                for ctx_pos in range(pos + 1, hi):
+                    rows.append(center)
+                    cols.append(sentence[ctx_pos])
+        if not rows:
+            self._vectors = np.zeros((n, self.config.dim))
+            return self
+        data = np.ones(len(rows), dtype=np.float64)
+        counts = sparse.coo_matrix(
+            (data, (np.asarray(rows), np.asarray(cols))), shape=(n, n)
+        ).tocsr()
+        counts = counts + counts.T  # symmetrize
+
+        # Shifted PPMI: max(0, log(p(w,c) / (p(w) p(c))) - log k).
+        total = counts.sum()
+        word_sums = np.asarray(counts.sum(axis=1)).ravel()
+        coo = counts.tocoo()
+        with np.errstate(divide="ignore"):
+            pmi = np.log(
+                (coo.data * total)
+                / (word_sums[coo.row] * word_sums[coo.col])
+            ) - np.log(self.config.shift)
+        keep = pmi > 0
+        ppmi = sparse.coo_matrix(
+            (pmi[keep], (coo.row[keep], coo.col[keep])), shape=(n, n)
+        ).tocsr()
+
+        k = min(self.config.dim, min(ppmi.shape) - 1)
+        if k < 1 or ppmi.nnz == 0:
+            self._vectors = np.zeros((n, self.config.dim))
+            return self
+        # svds needs a deterministic start vector for reproducibility.
+        rng = np.random.default_rng(self.config.seed)
+        v0 = rng.normal(size=min(ppmi.shape))
+        u, s, _ = svds(ppmi.astype(np.float64), k=k, v0=v0)
+        order = np.argsort(-s)
+        u, s = u[:, order], s[order]
+        weighted = u * (s ** self.config.eigenvalue_weighting)
+        vectors = np.zeros((n, self.config.dim))
+        vectors[:, :k] = weighted
+        self._vectors = vectors
+        return self
+
+    # ------------------------------------------------------------------
+    # lookup
+    # ------------------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        return self.config.dim
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._vectors is not None and self.vocab is not None
+
+    def vector(self, token: str) -> np.ndarray | None:
+        """The embedding for ``token`` (numbers hit their bucket)."""
+        if self.vocab is None or self._vectors is None:
+            return None
+        token_id = self.vocab.id_of(self._bucket(token))
+        if token_id is None:
+            return None
+        return self._vectors[token_id]

@@ -1,0 +1,61 @@
+"""Turning tables into training sentences.
+
+Sec. IV-C: "The training set is comprised of table tuples/rows. We
+tokenize, embed, encode each tuple ... We add [CLS] at the start of each
+row and [SEP] between the cells."  We reproduce that row encoding, and
+additionally emit column sentences so VMD terms also share contexts —
+the column pass of the classifier depends on columnar co-occurrence.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+from repro.embeddings.vocab import CLS, SEP
+from repro.tables.model import Table
+from repro.text import tokenize_cells
+
+
+def _level_sentence(cells: Sequence[str], *, max_len: int) -> list[str]:
+    sentence = [CLS]
+    for cell in cells:
+        tokens = tokenize_cells([cell])
+        if not tokens:
+            continue  # blank cells contribute neither tokens nor [SEP]
+        if len(sentence) > 1:
+            sentence.append(SEP)
+        sentence.extend(token.text for token in tokens)
+        if len(sentence) >= max_len:
+            break
+    return sentence[:max_len]
+
+
+def sentences_from_table(
+    table: Table,
+    *,
+    include_columns: bool = True,
+    max_len: int = 512,
+) -> list[list[str]]:
+    """Row (and optionally column) sentences for one table."""
+    sentences = [
+        _level_sentence(row, max_len=max_len) for row in table.iter_rows()
+    ]
+    if include_columns:
+        sentences.extend(
+            _level_sentence(col, max_len=max_len) for col in table.iter_cols()
+        )
+    # Sentences with only the [CLS] token (fully blank levels) are noise.
+    return [s for s in sentences if len(s) > 1]
+
+
+def sentences_from_tables(
+    tables: Iterable[Table],
+    *,
+    include_columns: bool = True,
+    max_len: int = 512,
+) -> Iterator[list[str]]:
+    """Stream sentences for a corpus without materializing it."""
+    for table in tables:
+        yield from sentences_from_table(
+            table, include_columns=include_columns, max_len=max_len
+        )

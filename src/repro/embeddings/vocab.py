@@ -1,0 +1,128 @@
+"""Vocabulary: token <-> id mapping with corpus statistics.
+
+Shared by the Word2Vec and contextual trainers.  Carries the pieces both
+need: frequency counts, the unigram^0.75 negative-sampling distribution
+from the original SGNS paper, and frequent-word subsampling probabilities.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+# Reserved ids.  [PAD] keeps id 0 so padded batches are cheap to mask;
+# [MASK] backs the contextual encoder's masked-token objective; [CLS] and
+# [SEP] mirror the paper's row encoding "[CLS] cell [SEP] cell ..." (IV-C).
+PAD, MASK, CLS, SEP = "[PAD]", "[MASK]", "[CLS]", "[SEP]"
+SPECIAL_TOKENS = (PAD, MASK, CLS, SEP)
+
+
+class Vocabulary:
+    """Token table built from a corpus of sentences (token lists)."""
+
+    def __init__(self, counts: Counter[str] | None = None, *, min_count: int = 1) -> None:
+        self._counts: Counter[str] = Counter()
+        self._token_to_id: dict[str, int] = {}
+        self._tokens: list[str] = []
+        for token in SPECIAL_TOKENS:
+            self._add(token)
+        if counts:
+            for token, count in sorted(counts.items(), key=lambda kv: (-kv[1], kv[0])):
+                if count >= min_count and token not in self._token_to_id:
+                    self._add(token)
+                    self._counts[token] = count
+
+    def _add(self, token: str) -> int:
+        token_id = len(self._tokens)
+        self._token_to_id[token] = token_id
+        self._tokens.append(token)
+        return token_id
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sentences(
+        cls, sentences: Iterable[Sequence[str]], *, min_count: int = 1
+    ) -> "Vocabulary":
+        counts: Counter[str] = Counter()
+        for sentence in sentences:
+            counts.update(sentence)
+        return cls(counts, min_count=min_count)
+
+    # ------------------------------------------------------------------
+    # mapping
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._token_to_id
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tokens)
+
+    def id_of(self, token: str) -> int | None:
+        return self._token_to_id.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def count_of(self, token: str) -> int:
+        return self._counts.get(token, 0)
+
+    def encode(self, sentence: Sequence[str], *, drop_oov: bool = True) -> list[int]:
+        """Map tokens to ids; OOV tokens are dropped (or raise)."""
+        ids = []
+        for token in sentence:
+            token_id = self._token_to_id.get(token)
+            if token_id is None:
+                if drop_oov:
+                    continue
+                raise KeyError(f"token {token!r} not in vocabulary")
+            ids.append(token_id)
+        return ids
+
+    @property
+    def n_special(self) -> int:
+        return len(SPECIAL_TOKENS)
+
+    @property
+    def total_count(self) -> int:
+        return sum(self._counts.values())
+
+    # ------------------------------------------------------------------
+    # sampling distributions
+    # ------------------------------------------------------------------
+    def negative_sampling_probs(self, *, power: float = 0.75) -> np.ndarray:
+        """Unigram^power distribution over the full id space.
+
+        Special tokens get probability zero — drawing [PAD] as a negative
+        would teach the model that padding is semantically meaningful.
+        """
+        probs = np.zeros(len(self), dtype=np.float64)
+        for token, count in self._counts.items():
+            probs[self._token_to_id[token]] = count**power
+        total = probs.sum()
+        if total > 0:
+            probs /= total
+        return probs
+
+    def subsample_keep_probs(self, *, threshold: float = 1e-3) -> np.ndarray:
+        """Mikolov frequent-word subsampling keep probability per id.
+
+        ``p_keep = min(1, sqrt(t/f) + t/f)`` with ``f`` the corpus
+        frequency.  Rare tokens keep probability 1.
+        """
+        keep = np.ones(len(self), dtype=np.float64)
+        total = self.total_count
+        if total == 0:
+            return keep
+        for token, count in self._counts.items():
+            freq = count / total
+            if freq > 0:
+                ratio = threshold / freq
+                keep[self._token_to_id[token]] = min(1.0, np.sqrt(ratio) + ratio)
+        return keep

@@ -1,0 +1,66 @@
+"""Experiment harness: regenerate every table and figure in the paper.
+
+One module per artifact (see DESIGN.md's experiment index):
+
+* :mod:`centroid_tables` — Tables I-IV (centroid ranges and deltas);
+* :mod:`accuracy_table` — Table V (ours vs Pytheas vs Table Transformer);
+* :mod:`llm_table` — Table VI (GPT-3.5 / GPT-4 / RAG+GPT-4 on CKG);
+* :mod:`figures` — Fig. 5 (annotated classified sample), Fig. 6 (HMD
+  accuracy bars), Fig. 7 (VMD accuracy bars);
+* :mod:`runtime` — Sec. IV-G training/inference timing.
+
+All experiments are deterministic given their scale and seed;
+:mod:`runner` caches fitted pipelines so one benchmark session fits each
+(dataset, scale) pair once.
+"""
+
+from repro.experiments.runner import (
+    ExperimentScale,
+    SMOKE,
+    PAPER,
+    eval_corpus_for,
+    fitted_pipeline,
+)
+from repro.experiments.reporting import ascii_bar_chart, ascii_table
+from repro.experiments.centroid_tables import (
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+)
+from repro.experiments.accuracy_table import run_table5
+from repro.experiments.llm_table import run_table6
+from repro.experiments.significance_table import run_significance
+from repro.experiments.sweep import (
+    SweepPoint,
+    corpus_size_sweep,
+    dimension_sweep,
+    run_sweep,
+)
+from repro.experiments.figures import run_figure5, run_figure6, run_figure7
+from repro.experiments.runtime import run_runtime
+
+__all__ = [
+    "ExperimentScale",
+    "PAPER",
+    "SMOKE",
+    "SweepPoint",
+    "corpus_size_sweep",
+    "dimension_sweep",
+    "run_sweep",
+    "ascii_bar_chart",
+    "ascii_table",
+    "eval_corpus_for",
+    "fitted_pipeline",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_runtime",
+    "run_significance",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+]

@@ -1,0 +1,177 @@
+"""Table V: per-level accuracy of Pytheas, Table Transformer, and ours.
+
+For each dataset the evaluation corpus (natural split + level-stratified
+strata) is classified by the three methods and scored with
+:func:`~repro.core.metrics.table_level_accuracy`.  As in the paper:
+
+* Pytheas and Table Transformer are level-blind and VMD-blind, so they
+  are reported at HMD level 1 only (dashes elsewhere);
+* the paper's method is reported at every metadata depth the dataset
+  exhibits, HMD and VMD.
+
+The extended rows (`include_rf=True`) add the Fang et al. Random-Forest
+baseline that the paper discusses but could not run (no public code);
+it is scored monolithically like its published numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.baselines.pytheas import PytheasClassifier
+from repro.baselines.forest.header_rf import HeaderForestClassifier
+from repro.baselines.table_transformer import TableTransformerBaseline
+from repro.core.metrics import table_level_accuracy
+from repro.corpus.profiles import get_profile
+from repro.experiments.centroid_tables import ExperimentResult
+from repro.experiments.reporting import percent
+from repro.experiments.runner import (
+    ExperimentScale,
+    SMOKE,
+    eval_corpus_for,
+    fitted_pipeline,
+    train_corpus_for,
+)
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+DATASETS = ("cord19", "ckg", "wdc", "cius", "saus", "pubtables")
+
+
+@dataclass
+class MethodScores:
+    """Per-level accuracy (percent) for one method on one dataset."""
+
+    hmd: dict[int, float | None] = field(default_factory=dict)
+    vmd: dict[int, float | None] = field(default_factory=dict)
+
+
+def _score(
+    classify: Callable[[Table], TableAnnotation],
+    corpus: Sequence[AnnotatedTable],
+    *,
+    max_hmd: int,
+    max_vmd: int,
+) -> MethodScores:
+    pairs = [(item.annotation, classify(item.table)) for item in corpus]
+    scores = MethodScores()
+    for level in range(1, max_hmd + 1):
+        scores.hmd[level] = percent(
+            table_level_accuracy(pairs, kind=LevelKind.HMD, level=level)
+        )
+    for level in range(1, max_vmd + 1):
+        scores.vmd[level] = percent(
+            table_level_accuracy(pairs, kind=LevelKind.VMD, level=level)
+        )
+    return scores
+
+
+@dataclass(frozen=True)
+class Table5Result:
+    """Structured Table V, renderable as the paper lays it out."""
+
+    result: ExperimentResult
+    per_dataset: dict[str, dict[str, MethodScores]]
+
+    def render(self) -> str:
+        return self.result.render()
+
+
+def run_table5(
+    scale: ExperimentScale = SMOKE,
+    *,
+    datasets: Sequence[str] = DATASETS,
+    include_rf: bool = False,
+) -> Table5Result:
+    """Regenerate Table V (optionally with the RF extension rows)."""
+    headers = ["Dataset", "Meta Data Level", "Pytheas", "TT", "Our method"]
+    if include_rf:
+        headers.insert(4, "RF (ext.)")
+    rows: list[tuple[object, ...]] = []
+    per_dataset: dict[str, dict[str, MethodScores]] = {}
+
+    for dataset in datasets:
+        profile = get_profile(dataset)
+        train = train_corpus_for(dataset, scale)
+        evaluation = eval_corpus_for(dataset, scale)
+        max_hmd, max_vmd = profile.max_hmd_level, profile.max_vmd_level
+
+        pipeline = fitted_pipeline(dataset, scale)
+        ours = _score(pipeline.classify, evaluation, max_hmd=max_hmd, max_vmd=max_vmd)
+        pytheas = _score(
+            PytheasClassifier().fit(train).classify,
+            evaluation,
+            max_hmd=max_hmd,
+            max_vmd=max_vmd,
+        )
+        tt = _score(
+            TableTransformerBaseline().classify,
+            evaluation,
+            max_hmd=max_hmd,
+            max_vmd=max_vmd,
+        )
+        methods: dict[str, MethodScores] = {
+            "ours": ours,
+            "pytheas": pytheas,
+            "tt": tt,
+        }
+        if include_rf:
+            methods["rf"] = _score(
+                HeaderForestClassifier().fit(train).classify,
+                evaluation,
+                max_hmd=max_hmd,
+                max_vmd=max_vmd,
+            )
+        per_dataset[dataset] = methods
+
+        for level in range(1, max(max_hmd, max_vmd) + 1):
+            hmd_part = level <= max_hmd
+            vmd_part = level <= max_vmd
+            label = _level_label(level, hmd_part, vmd_part)
+
+            def cell(scores: MethodScores, *, levels_supported: bool) -> object:
+                # Pytheas/TT: HMD level 1 only (the paper's dashes).
+                if not levels_supported and level > 1:
+                    return None
+                hmd_v = scores.hmd.get(level) if hmd_part else None
+                vmd_v = scores.vmd.get(level) if vmd_part else None
+                if not levels_supported:
+                    vmd_v = None  # no VMD support at all
+                return _pair(hmd_v, vmd_v)
+
+            row: list[object] = [dataset, label]
+            row.append(cell(pytheas, levels_supported=False))
+            row.append(cell(tt, levels_supported=False))
+            if include_rf:
+                row.append(cell(methods["rf"], levels_supported=False))
+            row.append(cell(ours, levels_supported=True))
+            rows.append(tuple(row))
+
+    result = ExperimentResult(
+        table_id="table5",
+        title=(
+            "Table V: Accuracy (%) for HMD levels 1-5 / VMD levels 1-3 "
+            "(a '-' = method does not support that level)"
+        ),
+        headers=tuple(headers),
+        rows=tuple(rows),
+    )
+    return Table5Result(result=result, per_dataset=per_dataset)
+
+
+def _level_label(level: int, hmd: bool, vmd: bool) -> str:
+    if hmd and vmd:
+        return f"HMD{level}/VMD{level}"
+    if hmd:
+        return f"HMD{level}"
+    return f"VMD{level}"
+
+
+def _pair(hmd: float | None, vmd: float | None) -> object:
+    if hmd is None and vmd is None:
+        return None
+    left = "-" if hmd is None else f"{hmd:.1f}"
+    if vmd is None:
+        return left
+    return f"{left}/{vmd:.1f}"

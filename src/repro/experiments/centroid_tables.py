@@ -1,0 +1,173 @@
+"""Tables I-IV: centroid ranges and per-level delta angles.
+
+Each row reports, for one (dataset, metadata level), the estimated
+centroid ranges (C_MDE-DE, C_DE, and for levels >= 2 C_MDE) and the mean
+observed deltas between adjacent metadata levels and between the level
+and the data — exactly the columns of the paper's Tables I-IV.  Values
+come straight out of the fitted pipeline's
+:class:`~repro.core.centroids.CentroidSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.centroids import CentroidSet
+from repro.corpus.profiles import get_profile
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import (
+    ExperimentScale,
+    SMOKE,
+    fitted_pipeline,
+    refined_pipeline,
+)
+
+# Which datasets the paper reports at each depth (Tables I-IV).
+HMD_LEVEL_DATASETS: dict[int, tuple[str, ...]] = {
+    2: ("ckg", "cord19", "cius", "saus"),
+    3: ("ckg", "cord19", "saus"),
+    4: ("ckg", "cord19"),
+    5: ("ckg",),
+}
+HMD1_DATASETS = ("cord19", "ckg", "wdc", "cius", "saus", "pubtables")
+VMD1_DATASETS = ("cord19", "ckg", "wdc", "cius", "saus")
+VMD_LEVEL_DATASETS: dict[int, tuple[str, ...]] = {
+    2: ("cord19", "ckg", "cius", "saus"),
+    3: ("cord19", "ckg", "cius"),
+}
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """Rows plus a rendered view, shared by all table experiments."""
+
+    table_id: str
+    title: str
+    headers: tuple[str, ...]
+    rows: tuple[tuple[object, ...], ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        return ascii_table(self.headers, self.rows, title=self.title)
+
+
+def _fmt_delta(value: float | None) -> object:
+    return None if value is None else round(value)
+
+
+def _deep_stats_pipeline(dataset: str, scale: ExperimentScale):
+    """Pipeline whose centroids carry per-level statistics.
+
+    Markup-free datasets (SAUS/CIUS) get a self-training pass: their
+    first-generation bootstrap labels only one metadata level per
+    table, so the deep-level delta cells of Tables I/IV would otherwise
+    be empty (see EXPERIMENTS.md).
+    """
+    if get_profile(dataset).has_markup:
+        return fitted_pipeline(dataset, scale)
+    return refined_pipeline(dataset, scale)
+
+
+def _deep_level_row(
+    dataset: str, level: int, centroids: CentroidSet
+) -> tuple[object, ...]:
+    stats = centroids.stats_for_level(level)
+    return (
+        dataset,
+        f"Lev. {level}",
+        str(centroids.mde_de),
+        str(centroids.de),
+        str(centroids.mde),
+        _fmt_delta(stats.delta_prev_meta if stats else None),
+        _fmt_delta(stats.delta_to_data if stats else None),
+    )
+
+
+def run_table1(scale: ExperimentScale = SMOKE) -> ExperimentResult:
+    """Table I: centroids and angles for HMD levels 2-5."""
+    rows = []
+    for level in sorted(HMD_LEVEL_DATASETS):
+        for dataset in HMD_LEVEL_DATASETS[level]:
+            pipeline = _deep_stats_pipeline(dataset, scale)
+            assert pipeline.row_centroids is not None
+            rows.append(_deep_level_row(dataset, level, pipeline.row_centroids))
+    return ExperimentResult(
+        table_id="table1",
+        title="Table I: Centroid and Angles for Identifying Levels 2-5 of HMD",
+        headers=(
+            "Dataset",
+            "MDL",
+            "Centroid_MDE,DE",
+            "Centroid_DE,DE",
+            "Centroid_MDE,MDE",
+            "Δ_prevMDE,MDE",
+            "Δ_MDE,DE",
+        ),
+        rows=tuple(rows),
+    )
+
+
+def _level1_rows(
+    datasets: Sequence[str], scale: ExperimentScale, *, axis: str
+) -> list[tuple[object, ...]]:
+    rows = []
+    for dataset in datasets:
+        pipeline = fitted_pipeline(dataset, scale)
+        centroids = (
+            pipeline.row_centroids if axis == "rows" else pipeline.col_centroids
+        )
+        assert centroids is not None
+        stats = centroids.stats_for_level(1)
+        rows.append(
+            (
+                dataset,
+                str(centroids.mde_de),
+                str(centroids.de),
+                _fmt_delta(stats.delta_to_data if stats else None),
+            )
+        )
+    return rows
+
+
+def run_table2(scale: ExperimentScale = SMOKE) -> ExperimentResult:
+    """Table II: centroids and angle for level 1 HMD, all six datasets."""
+    return ExperimentResult(
+        table_id="table2",
+        title="Table II: Centroid and Angles for Identifying Level 1 HMD",
+        headers=("Dataset", "Centroid_MDE,DE", "Centroid_DE,DE", "Δ_MDE,DE"),
+        rows=tuple(_level1_rows(HMD1_DATASETS, scale, axis="rows")),
+    )
+
+
+def run_table3(scale: ExperimentScale = SMOKE) -> ExperimentResult:
+    """Table III: centroids and angle for level 1 VMD, five datasets."""
+    return ExperimentResult(
+        table_id="table3",
+        title="Table III: Centroid and Angles for Identifying Level 1 VMD",
+        headers=("Dataset", "Centroid_MDE,DE", "Centroid_DE,DE", "Δ_MDE,DE"),
+        rows=tuple(_level1_rows(VMD1_DATASETS, scale, axis="cols")),
+    )
+
+
+def run_table4(scale: ExperimentScale = SMOKE) -> ExperimentResult:
+    """Table IV: centroids and angles for VMD levels 2-3."""
+    rows = []
+    for level in sorted(VMD_LEVEL_DATASETS):
+        for dataset in VMD_LEVEL_DATASETS[level]:
+            pipeline = _deep_stats_pipeline(dataset, scale)
+            assert pipeline.col_centroids is not None
+            rows.append(_deep_level_row(dataset, level, pipeline.col_centroids))
+    return ExperimentResult(
+        table_id="table4",
+        title="Table IV: Centroid and Angle Calculations for VMD Levels 2-3",
+        headers=(
+            "Dataset",
+            "MDL",
+            "Centroid_MDE,DE",
+            "Centroid_DE,DE",
+            "Centroid_MDE,MDE",
+            "Δ_prevMDE,MDE",
+            "Δ_MDE,DE",
+        ),
+        rows=tuple(rows),
+    )

@@ -1,0 +1,92 @@
+"""ASCII rendering for experiment output (tables and bar charts).
+
+The paper's artifacts are LaTeX tables and bar figures; the harness
+renders the same rows/series as monospace text so results diff cleanly
+in a terminal and in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _cell_text(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        # One decimal for percentage-scale values, significant digits
+        # for small ones (e.g. per-table seconds).
+        if value != 0.0 and abs(value) < 0.1:
+            return f"{value:.4g}"
+        return f"{value:.1f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render rows as a boxed monospace table."""
+    grid = [[_cell_text(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in grid:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match the header")
+        for j, cell in enumerate(row):
+            widths[j] = max(widths[j], len(cell))
+    sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(sep)
+    lines.append(
+        "|" + "|".join(f" {h.ljust(widths[j])} " for j, h in enumerate(headers)) + "|"
+    )
+    lines.append(sep)
+    for row in grid:
+        lines.append(
+            "|" + "|".join(f" {c.ljust(widths[j])} " for j, c in enumerate(row)) + "|"
+        )
+    lines.append(sep)
+    return "\n".join(lines)
+
+
+def ascii_bar_chart(
+    series: Mapping[str, Mapping[str, float | None]],
+    *,
+    title: str | None = None,
+    width: int = 40,
+    max_value: float = 100.0,
+) -> str:
+    """Render grouped bars: ``{group: {label: value}}`` -> text.
+
+    Used for Figs. 6 and 7 (accuracy per level per dataset).  ``None``
+    values render as "n/a" (a dataset without that metadata depth).
+    """
+    lines = []
+    if title:
+        lines.append(title)
+    label_width = max(
+        (len(label) for bars in series.values() for label in bars), default=0
+    )
+    for group, bars in series.items():
+        lines.append(f"{group}:")
+        for label, value in bars.items():
+            if value is None:
+                lines.append(f"  {label.ljust(label_width)} | n/a")
+                continue
+            filled = int(round(width * max(0.0, min(value, max_value)) / max_value))
+            bar = "#" * filled
+            lines.append(
+                f"  {label.ljust(label_width)} |{bar.ljust(width)}| {value:5.1f}"
+            )
+    return "\n".join(lines)
+
+
+def percent(value: float | None) -> float | None:
+    """Fraction -> percentage with one decimal (None passes through)."""
+    if value is None:
+        return None
+    return round(100.0 * value, 1)

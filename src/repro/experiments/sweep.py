@@ -1,0 +1,143 @@
+"""Hyper-parameter sensitivity sweeps.
+
+EXPERIMENTS.md documents two sensitivities found during reproduction:
+the method needs a minimum corpus before the Word2Vec angle geometry
+stabilizes, and markup-free datasets degrade at high embedding
+dimensionality.  This harness makes those findings reproducible: a grid
+sweep over (training size, embedding dim) on one dataset, scoring each
+cell with the usual per-level metrics.
+
+``run_sweep`` is deliberately general — any iterable of
+:class:`SweepPoint` works — while ``corpus_size_sweep`` and
+``dimension_sweep`` are the two canned studies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.metrics import evaluate_corpus
+from repro.core.pipeline import MetadataPipeline
+from repro.corpus.registry import build_split
+from repro.embeddings.word2vec import Word2VecConfig
+from repro.experiments.centroid_tables import ExperimentResult
+from repro.experiments.reporting import percent
+from repro.experiments.runner import (
+    ExperimentScale,
+    SMOKE,
+    eval_corpus_for,
+    pipeline_config_for,
+)
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One grid cell: the knobs that vary between runs."""
+
+    n_train: int
+    dim: int
+    epochs: int = 2
+    seed: int = 1
+
+    def label(self) -> str:
+        return f"n={self.n_train} d={self.dim} e={self.epochs}"
+
+
+@dataclass
+class SweepOutcome:
+    """Scores for one grid cell."""
+
+    point: SweepPoint
+    hmd1: float | None
+    hmd_deepest: float | None
+    vmd1: float | None
+    vmd_deepest: float | None
+    fit_seconds: float
+
+    def as_row(self) -> tuple:
+        return (
+            self.point.label(),
+            self.hmd1,
+            self.hmd_deepest,
+            self.vmd1,
+            self.vmd_deepest,
+            round(self.fit_seconds, 2),
+        )
+
+
+def run_sweep(
+    points: Sequence[SweepPoint],
+    *,
+    dataset: str = "ckg",
+    scale: ExperimentScale = SMOKE,
+) -> ExperimentResult:
+    """Fit/evaluate the pipeline at each grid point."""
+    if not points:
+        raise ValueError("need at least one sweep point")
+    evaluation = eval_corpus_for(dataset, scale)
+    base_config = pipeline_config_for(dataset, scale)
+    outcomes: list[SweepOutcome] = []
+    for point in points:
+        train, _ = build_split(
+            dataset, n_train=point.n_train, n_eval=1, seed=point.seed
+        )
+        config = replace(
+            base_config,
+            word2vec=Word2VecConfig(
+                dim=point.dim, epochs=point.epochs, seed=point.seed + 11
+            ),
+        )
+        start = time.perf_counter()
+        pipeline = MetadataPipeline(config).fit(train)
+        fit_seconds = time.perf_counter() - start
+        result = evaluate_corpus(evaluation, pipeline.classify)
+
+        def deepest(scores: dict[int, float]) -> float | None:
+            if not scores:
+                return None
+            return percent(scores[max(scores)])
+
+        outcomes.append(
+            SweepOutcome(
+                point=point,
+                hmd1=percent(result.hmd_accuracy.get(1)),
+                hmd_deepest=deepest(result.hmd_accuracy),
+                vmd1=percent(result.vmd_accuracy.get(1)),
+                vmd_deepest=deepest(result.vmd_accuracy),
+                fit_seconds=fit_seconds,
+            )
+        )
+    return ExperimentResult(
+        table_id="sweep",
+        title=f"Sensitivity sweep on {dataset}",
+        headers=(
+            "Point", "HMD1", "HMD deepest", "VMD1", "VMD deepest", "Fit (s)",
+        ),
+        rows=tuple(outcome.as_row() for outcome in outcomes),
+    )
+
+
+def corpus_size_sweep(
+    *,
+    dataset: str = "ckg",
+    sizes: Sequence[int] = (20, 40, 80, 160),
+    dim: int = 32,
+    scale: ExperimentScale = SMOKE,
+) -> ExperimentResult:
+    """The "how many tables does the method need" study."""
+    points = [SweepPoint(n_train=n, dim=dim) for n in sizes]
+    return run_sweep(points, dataset=dataset, scale=scale)
+
+
+def dimension_sweep(
+    *,
+    dataset: str = "saus",
+    dims: Sequence[int] = (16, 32, 48, 64),
+    n_train: int = 160,
+    scale: ExperimentScale = SMOKE,
+) -> ExperimentResult:
+    """The "markup-free datasets prefer moderate dims" study."""
+    points = [SweepPoint(n_train=n_train, dim=d) for d in dims]
+    return run_sweep(points, dataset=dataset, scale=scale)

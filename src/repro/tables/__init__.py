@@ -1,0 +1,66 @@
+"""Generally Structured Table (GST) substrate.
+
+Implements the paper's table model (Preliminaries, Defs. 1-4): tables
+whose metadata may occupy several top rows (hierarchical horizontal
+metadata, HMD), several leftmost columns (vertical metadata, VMD), or
+rows in the middle of the table (central metadata, CMD), with the rest
+being data cells.
+
+The substrate also provides the serialization formats the paper's
+evaluation depends on: HTML with (noisy) header markup used for
+bootstrapping (Sec. III-B), CSV used as LLM input (Sec. IV-H), and
+CORD-19-style JSON.
+"""
+
+from repro.tables.labels import (
+    LevelKind,
+    LevelLabel,
+    TableAnnotation,
+)
+from repro.tables.model import AnnotatedTable, Table
+from repro.tables.validate import TableValidationError, validate_table
+from repro.tables.transform import (
+    drop_empty_levels,
+    pad_rows,
+    standardize,
+    transpose,
+)
+from repro.tables.csvio import table_from_csv, table_to_csv
+from repro.tables.jsonio import (
+    annotated_table_from_json,
+    annotated_table_to_json,
+    table_from_json,
+    table_to_json,
+)
+from repro.tables.html import parse_html_table, render_html_table
+from repro.tables.markdown import table_from_markdown, table_to_markdown
+from repro.tables.query import CellRecord, StructuredTable
+from repro.tables.render import diff_annotations, render_annotated
+
+__all__ = [
+    "AnnotatedTable",
+    "CellRecord",
+    "StructuredTable",
+    "LevelKind",
+    "LevelLabel",
+    "Table",
+    "TableAnnotation",
+    "TableValidationError",
+    "annotated_table_from_json",
+    "annotated_table_to_json",
+    "diff_annotations",
+    "render_annotated",
+    "drop_empty_levels",
+    "pad_rows",
+    "parse_html_table",
+    "render_html_table",
+    "standardize",
+    "table_from_csv",
+    "table_from_json",
+    "table_from_markdown",
+    "table_to_csv",
+    "table_to_json",
+    "table_to_markdown",
+    "transpose",
+    "validate_table",
+]

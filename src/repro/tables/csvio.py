@@ -1,0 +1,28 @@
+"""CSV serialization.
+
+CSV is the exchange format two consumers need: the Pytheas baseline (a
+CSV line classifier by construction) and the LLM harness, whose prompt
+embeds "data entries formatted as plain text or CSV" (Sec. IV-H).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.tables.model import Table
+
+
+def table_to_csv(table: Table) -> str:
+    """Serialize to RFC-4180 CSV text (no trailing newline)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    for row in table.rows:
+        writer.writerow(row)
+    return buffer.getvalue().rstrip("\n")
+
+
+def table_from_csv(text: str, *, name: str = "", source: str = "") -> Table:
+    """Parse CSV text into a :class:`Table` (ragged rows get padded)."""
+    reader = csv.reader(io.StringIO(text))
+    return Table(list(reader), name=name, source=source)

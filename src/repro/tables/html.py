@@ -1,0 +1,327 @@
+"""HTML rendering and parsing for generally structured tables.
+
+The bootstrap phase (Sec. III-B) extracts approximate labels from HTML:
+HMD rows from ``<thead>``/``<th>`` tags, data rows from ``<tbody>``/
+``<td>``, and VMD columns from bold tags or indentation (blank-prefix)
+cues in the leading ``<td>`` cells.  This module provides both directions:
+
+* :func:`render_html_table` - emit HTML whose tags reflect an annotation
+  (the corpus generator degrades these tags to model real markup noise);
+* :func:`parse_html_table` - recover the grid plus the *markup signals*
+  (which rows were ``<th>``-tagged, which leading cells were bold or
+  indented), which is exactly what the bootstrap labeler consumes.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import re
+from dataclasses import dataclass, field
+from html.parser import HTMLParser
+
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+
+
+# ---------------------------------------------------------------------------
+# rendering
+# ---------------------------------------------------------------------------
+
+def _header_row_cells(row: tuple[str, ...], *, use_colspan: bool) -> list[str]:
+    """Render one header row, optionally merging value+blanks spans."""
+    if not use_colspan:
+        return [f"<th>{_html.escape(cell)}</th>" for cell in row]
+    cells: list[str] = []
+    j = 0
+    while j < len(row):
+        span = 1
+        while j + span < len(row) and row[j] and not row[j + span]:
+            span += 1
+        text = _html.escape(row[j])
+        if span > 1:
+            cells.append(f'<th colspan="{span}">{text}</th>')
+        else:
+            cells.append(f"<th>{text}</th>")
+        j += span
+    return cells
+
+
+def render_html_table(
+    table: Table,
+    annotation: TableAnnotation,
+    *,
+    indent_vmd: bool = True,
+    use_colspan: bool = False,
+) -> str:
+    """Render ``table`` as HTML whose tags encode ``annotation``.
+
+    HMD rows go into ``<thead>`` with ``<th>`` cells; everything else
+    into ``<tbody>`` with ``<td>`` cells.  VMD cells are wrapped in
+    ``<b>`` tags and, when ``indent_vmd`` is set, deeper VMD levels gain
+    a ``&nbsp;`` indent per level — the two cues the paper's bootstrap
+    script looks for.  With ``use_colspan`` spanning header values emit
+    real ``colspan`` attributes instead of value-plus-blank-cells (the
+    parser expands them back onto the grid, so the round trip is exact).
+    """
+    head_rows: list[str] = []
+    body_rows: list[str] = []
+    for i, row in enumerate(table.rows):
+        row_label = annotation.row_labels[i]
+        is_header = row_label.kind in (LevelKind.HMD, LevelKind.CMD)
+        if is_header:
+            markup = "<tr>" + "".join(
+                _header_row_cells(row, use_colspan=use_colspan)
+            ) + "</tr>"
+            if row_label.kind is LevelKind.HMD:
+                head_rows.append(markup)
+            else:
+                body_rows.append(markup)
+            continue
+        cells: list[str] = []
+        for j, cell in enumerate(row):
+            text = _html.escape(cell)
+            col_label = annotation.col_labels[j]
+            if col_label.kind is LevelKind.VMD and text:
+                indent = "&nbsp;" * (2 * (col_label.level - 1)) if indent_vmd else ""
+                cells.append(f"<td>{indent}<b>{text}</b></td>")
+            else:
+                cells.append(f"<td>{text}</td>")
+        body_rows.append("<tr>" + "".join(cells) + "</tr>")
+    parts = ["<table>"]
+    if head_rows:
+        parts.append("<thead>" + "".join(head_rows) + "</thead>")
+    parts.append("<tbody>" + "".join(body_rows) + "</tbody>")
+    parts.append("</table>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# parsing
+# ---------------------------------------------------------------------------
+
+_NBSP_RE = re.compile(r"^[  ]+")
+
+
+@dataclass
+class ParsedCell:
+    """One parsed cell and the markup signals attached to it."""
+
+    text: str = ""
+    is_th: bool = False
+    is_bold: bool = False
+    indent: int = 0  # count of leading non-breaking spaces
+    colspan: int = 1
+    rowspan: int = 1
+    is_continuation: bool = False  # filled in by span expansion
+
+
+@dataclass
+class ParsedHtmlTable:
+    """Grid plus markup signals recovered from an HTML table."""
+
+    cells: list[list[ParsedCell]] = field(default_factory=list)
+    thead_rows: set[int] = field(default_factory=set)
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.cells)
+
+    def to_table(self, *, name: str = "", source: str = "") -> Table:
+        return Table(
+            [[cell.text for cell in row] for row in self.cells],
+            name=name,
+            source=source,
+        )
+
+    def th_fraction(self, row: int) -> float:
+        cells = self.cells[row]
+        if not cells:
+            return 0.0
+        return sum(1 for c in cells if c.is_th) / len(cells)
+
+    def bold_or_indent_fraction(self, col: int) -> float:
+        """Fraction of non-empty cells in ``col`` that are bold/indented,
+        the paper's VMD markup cue."""
+        hits = 0
+        non_empty = 0
+        for row in self.cells:
+            if col >= len(row):
+                continue
+            cell = row[col]
+            if not cell.text:
+                continue
+            non_empty += 1
+            if cell.is_bold or cell.indent > 0:
+                hits += 1
+        if non_empty == 0:
+            return 0.0
+        return hits / non_empty
+
+    def blank_fraction(self, col: int) -> float:
+        """Fraction of blank cells in ``col`` (hierarchical continuation
+        blanks are themselves a VMD cue, Sec. III-B)."""
+        total = 0
+        blanks = 0
+        for row in self.cells:
+            if col >= len(row):
+                continue
+            total += 1
+            if not row[col].text:
+                blanks += 1
+        return blanks / total if total else 1.0
+
+
+def _span_attr(attrs, name: str) -> int:
+    """Parse a colspan/rowspan attribute, tolerating garbage."""
+    for key, value in attrs:
+        if key == name and value is not None:
+            try:
+                return max(1, int(value))
+            except ValueError:
+                return 1
+    return 1
+
+
+def _expand_spans(parsed: ParsedHtmlTable) -> ParsedHtmlTable:
+    """Expand colspan/rowspan onto the rectangular grid.
+
+    A cell spanning n columns becomes the cell followed by n-1 empty
+    *continuation* cells (how a span collapses onto a character grid —
+    the same convention the corpus generator uses for spanning headers);
+    rowspan pushes continuation cells into the rows below.  Continuation
+    cells inherit ``is_th`` so header-fraction signals stay faithful.
+    """
+    if not any(
+        cell.colspan > 1 or cell.rowspan > 1
+        for row in parsed.cells
+        for cell in row
+    ):
+        return parsed
+    out: list[list[ParsedCell | None]] = []
+    pending: dict[tuple[int, int], ParsedCell] = {}  # (row, col) -> continuation
+
+    for i, row in enumerate(parsed.cells):
+        grid_row: list[ParsedCell | None] = []
+        cursor = 0
+
+        def place(cell: ParsedCell) -> None:
+            nonlocal cursor
+            while pending.get((i, cursor)) is not None:
+                grid_row.append(pending.pop((i, cursor)))
+                cursor += 1
+            grid_row.append(cell)
+            base_col = cursor
+            cursor += 1
+            for extra in range(1, cell.colspan):
+                continuation = ParsedCell(
+                    is_th=cell.is_th, is_continuation=True
+                )
+                if pending.get((i, cursor)) is None:
+                    grid_row.append(continuation)
+                    cursor += 1
+            for down in range(1, cell.rowspan):
+                for offset in range(cell.colspan):
+                    pending[(i + down, base_col + offset)] = ParsedCell(
+                        is_th=cell.is_th, is_continuation=True
+                    )
+
+        for cell in row:
+            place(cell)
+        # flush any continuations that belong at the end of this row
+        while pending.get((i, cursor)) is not None:
+            grid_row.append(pending.pop((i, cursor)))
+            cursor += 1
+        out.append(grid_row)
+
+    # drop leftover pending entries pointing past the last parsed row
+    expanded = ParsedHtmlTable(
+        cells=[[c for c in row if c is not None] for row in out],
+        thead_rows=set(parsed.thead_rows),
+    )
+    return expanded
+
+
+class _TableHTMLParser(HTMLParser):
+    """Minimal, forgiving parser for a single ``<table>`` element."""
+
+    def __init__(self) -> None:
+        super().__init__(convert_charrefs=True)
+        self.result = ParsedHtmlTable()
+        self._in_thead = False
+        self._row: list[ParsedCell] | None = None
+        self._cell: ParsedCell | None = None
+        self._bold_depth = 0
+        self._text_parts: list[str] = []
+
+    # -- tag handling ---------------------------------------------------
+    def handle_starttag(self, tag: str, attrs) -> None:
+        if tag == "thead":
+            self._in_thead = True
+        elif tag == "tr":
+            self._finish_cell()
+            self._finish_row()  # tolerate an unclosed previous <tr>
+            self._row = []
+        elif tag in ("td", "th"):
+            self._finish_cell()  # tolerate unclosed cells (<td>a<td>b)
+            self._cell = ParsedCell(
+                is_th=(tag == "th"),
+                colspan=_span_attr(attrs, "colspan"),
+                rowspan=_span_attr(attrs, "rowspan"),
+            )
+            self._text_parts = []
+        elif tag in ("b", "strong") and self._cell is not None:
+            self._bold_depth += 1
+            self._cell.is_bold = True
+
+    def handle_endtag(self, tag: str) -> None:
+        if tag == "thead":
+            self._in_thead = False
+        elif tag in ("td", "th"):
+            self._finish_cell()
+        elif tag == "tr":
+            self._finish_cell()
+            self._finish_row()
+        elif tag in ("b", "strong") and self._bold_depth > 0:
+            self._bold_depth -= 1
+        elif tag == "table":
+            self._finish_cell()
+            self._finish_row()
+
+    def handle_data(self, data: str) -> None:
+        if self._cell is not None:
+            self._text_parts.append(data)
+
+    # -- assembly ---------------------------------------------------------
+    def _finish_row(self) -> None:
+        if self._row is not None:
+            if self._in_thead:
+                self.result.thead_rows.add(len(self.result.cells))
+            self.result.cells.append(self._row)
+        self._row = None
+
+    def _finish_cell(self) -> None:
+        if self._cell is None:
+            return
+        raw = "".join(self._text_parts)
+        indent_match = _NBSP_RE.match(raw)
+        if indent_match:
+            self._cell.indent = raw[: indent_match.end()].count(" ")
+        self._cell.text = raw.replace(" ", " ").strip()
+        if self._row is not None:
+            self._row.append(self._cell)
+        self._cell = None
+        self._text_parts = []
+        self._bold_depth = 0
+
+
+def parse_html_table(markup: str) -> ParsedHtmlTable:
+    """Parse one HTML table into a :class:`ParsedHtmlTable`.
+
+    The parser is deliberately forgiving: unclosed cells, missing
+    ``<tbody>``, and stray tags are tolerated, since real corpus markup
+    is noisy (the whole reason the paper treats it as a weak signal).
+    """
+    parser = _TableHTMLParser()
+    parser.feed(markup)
+    parser.close()
+    return _expand_spans(parser.result)

@@ -1,0 +1,87 @@
+"""JSON serialization in the CORD-19 style.
+
+CORD-19 stores PDF-extracted tables as JSON objects; CKG stores PubMed
+tables similarly.  We serialize a table as ``{"name", "source", "rows"}``
+and an annotated table with its labels and optional HTML, which is also
+the on-disk cache format for generated corpora.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.tables.labels import LevelKind, LevelLabel, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+
+def table_to_json(table: Table) -> str:
+    """Serialize a table to a compact JSON string."""
+    return json.dumps(
+        {
+            "name": table.name,
+            "source": table.source,
+            "rows": [list(row) for row in table.rows],
+        }
+    )
+
+
+def table_from_json(text: str) -> Table:
+    """Parse a CORD-19-style JSON table object."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict) or "rows" not in payload:
+        raise ValueError("expected a JSON object with a 'rows' field")
+    return Table(
+        payload["rows"],
+        name=payload.get("name", ""),
+        source=payload.get("source", ""),
+    )
+
+
+def _label_to_obj(label: LevelLabel) -> dict:
+    return {"kind": label.kind.value, "level": label.level}
+
+
+def _label_from_obj(obj: dict) -> LevelLabel:
+    kind = LevelKind(obj["kind"])
+    level = int(obj.get("level", 0))
+    if kind is LevelKind.DATA:
+        return LevelLabel.data()
+    return LevelLabel(kind, max(level, 1))
+
+
+def annotated_table_to_json(item: AnnotatedTable) -> str:
+    """Serialize an annotated table (labels, HTML, meta included)."""
+    return json.dumps(
+        {
+            "table": {
+                "name": item.table.name,
+                "source": item.table.source,
+                "rows": [list(row) for row in item.table.rows],
+            },
+            "row_labels": [_label_to_obj(l) for l in item.annotation.row_labels],
+            "col_labels": [_label_to_obj(l) for l in item.annotation.col_labels],
+            "html": item.html,
+            "meta": item.meta,
+        }
+    )
+
+
+def annotated_table_from_json(text: str) -> AnnotatedTable:
+    """Parse an annotated table serialized by annotated_table_to_json."""
+    payload = json.loads(text)
+    table_obj = payload["table"]
+    table = Table(
+        table_obj["rows"],
+        name=table_obj.get("name", ""),
+        source=table_obj.get("source", ""),
+    )
+    annotation = TableAnnotation(
+        tuple(_label_from_obj(o) for o in payload["row_labels"]),
+        tuple(_label_from_obj(o) for o in payload["col_labels"]),
+    )
+    return AnnotatedTable(
+        table=table,
+        annotation=annotation,
+        html=payload.get("html"),
+        meta=payload.get("meta", {}),
+    )

@@ -1,0 +1,224 @@
+"""Level labels for generally structured tables.
+
+The classification target of the paper is a label per table *level*
+(row or column): HMD, VMD, CMD, or data (Defs. 1-4).  Metadata levels
+additionally carry a 1-based depth ("Lev. 2 HMD").  This module holds the
+label vocabulary and the :class:`TableAnnotation` container that attaches
+a full labeling to a table, used both as generator ground truth and as
+classifier output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Iterable, Sequence
+
+
+class LevelKind(str, Enum):
+    """Kind of a table level (row or column)."""
+
+    HMD = "HMD"  # horizontal metadata (header rows)
+    VMD = "VMD"  # vertical metadata (header columns)
+    CMD = "CMD"  # central horizontal metadata (subheader rows mid-table)
+    DATA = "DATA"
+
+    @property
+    def is_metadata(self) -> bool:
+        return self is not LevelKind.DATA
+
+
+@dataclass(frozen=True)
+class LevelLabel:
+    """A classified level: its kind plus 1-based depth for metadata.
+
+    Data levels always carry ``level == 0``.  For HMD the depth counts
+    from the top row, for VMD from the leftmost column, matching Def. 3.
+    CMD rows carry the depth of the metadata block they restart.
+    """
+
+    kind: LevelKind
+    level: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind is LevelKind.DATA and self.level != 0:
+            raise ValueError("data levels carry no depth")
+        if self.kind is not LevelKind.DATA and self.level < 1:
+            raise ValueError(f"{self.kind.value} levels need a 1-based depth")
+
+    @classmethod
+    def data(cls) -> "LevelLabel":
+        return cls(LevelKind.DATA, 0)
+
+    @classmethod
+    def hmd(cls, level: int) -> "LevelLabel":
+        return cls(LevelKind.HMD, level)
+
+    @classmethod
+    def vmd(cls, level: int) -> "LevelLabel":
+        return cls(LevelKind.VMD, level)
+
+    @classmethod
+    def cmd(cls, level: int = 1) -> "LevelLabel":
+        return cls(LevelKind.CMD, level)
+
+    def __str__(self) -> str:
+        if self.kind is LevelKind.DATA:
+            return "DATA"
+        return f"{self.kind.value}{self.level}"
+
+
+def _as_labels(labels: Iterable[LevelLabel | LevelKind | str]) -> tuple[LevelLabel, ...]:
+    """Coerce a mixed label sequence; bare kinds get depth inferred later."""
+    out: list[LevelLabel] = []
+    for item in labels:
+        if isinstance(item, LevelLabel):
+            out.append(item)
+        elif isinstance(item, LevelKind):
+            out.append(LevelLabel.data() if item is LevelKind.DATA else LevelLabel(item, 1))
+        else:
+            kind = LevelKind(item)
+            out.append(LevelLabel.data() if kind is LevelKind.DATA else LevelLabel(kind, 1))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class TableAnnotation:
+    """Per-row and per-column labels for one table.
+
+    ``row_labels[i]`` labels row ``i`` as HMD/CMD/DATA; ``col_labels[j]``
+    labels column ``j`` as VMD/DATA.  The same structure serves as ground
+    truth (from the corpus generator or HTML markup) and as classifier
+    output, so evaluation is a straight element-wise comparison.
+    """
+
+    row_labels: tuple[LevelLabel, ...] = field(default_factory=tuple)
+    col_labels: tuple[LevelLabel, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "row_labels", _as_labels(self.row_labels))
+        object.__setattr__(self, "col_labels", _as_labels(self.col_labels))
+        for label in self.row_labels:
+            if label.kind is LevelKind.VMD:
+                raise ValueError("row labels cannot be VMD")
+        for label in self.col_labels:
+            if label.kind in (LevelKind.HMD, LevelKind.CMD):
+                raise ValueError("column labels cannot be HMD/CMD")
+
+    # ------------------------------------------------------------------
+    # depth accounting (Def. 7)
+    # ------------------------------------------------------------------
+    @property
+    def hmd_depth(self) -> int:
+        """Number of leading HMD rows (the paper's HMD depth)."""
+        depth = 0
+        for label in self.row_labels:
+            if label.kind is LevelKind.HMD:
+                depth += 1
+            else:
+                break
+        return depth
+
+    @property
+    def vmd_depth(self) -> int:
+        """Number of leading VMD columns."""
+        depth = 0
+        for label in self.col_labels:
+            if label.kind is LevelKind.VMD:
+                depth += 1
+            else:
+                break
+        return depth
+
+    @property
+    def cmd_rows(self) -> tuple[int, ...]:
+        """Indices of central metadata rows."""
+        return tuple(
+            i for i, label in enumerate(self.row_labels) if label.kind is LevelKind.CMD
+        )
+
+    @property
+    def data_rows(self) -> tuple[int, ...]:
+        return tuple(
+            i for i, label in enumerate(self.row_labels) if label.kind is LevelKind.DATA
+        )
+
+    @property
+    def data_cols(self) -> tuple[int, ...]:
+        return tuple(
+            j for j, label in enumerate(self.col_labels) if label.kind is LevelKind.DATA
+        )
+
+    def hmd_rows(self, level: int | None = None) -> tuple[int, ...]:
+        """Indices of HMD rows, optionally filtered to one depth."""
+        return tuple(
+            i
+            for i, label in enumerate(self.row_labels)
+            if label.kind is LevelKind.HMD and (level is None or label.level == level)
+        )
+
+    def vmd_cols(self, level: int | None = None) -> tuple[int, ...]:
+        """Indices of VMD columns, optionally filtered to one depth."""
+        return tuple(
+            j
+            for j, label in enumerate(self.col_labels)
+            if label.kind is LevelKind.VMD and (level is None or label.level == level)
+        )
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_depths(
+        cls,
+        n_rows: int,
+        n_cols: int,
+        *,
+        hmd_depth: int = 0,
+        vmd_depth: int = 0,
+        cmd_rows: Sequence[int] = (),
+    ) -> "TableAnnotation":
+        """Build the canonical annotation: top ``hmd_depth`` rows are HMD
+        levels 1..d, leftmost ``vmd_depth`` columns are VMD levels 1..d,
+        optional ``cmd_rows`` are central metadata, everything else data.
+        """
+        if hmd_depth > n_rows:
+            raise ValueError("hmd_depth exceeds row count")
+        if vmd_depth > n_cols:
+            raise ValueError("vmd_depth exceeds column count")
+        cmd_set = set(cmd_rows)
+        if any(r < hmd_depth or r >= n_rows for r in cmd_set):
+            raise ValueError("cmd rows must lie in the data region")
+        row_labels = []
+        for i in range(n_rows):
+            if i < hmd_depth:
+                row_labels.append(LevelLabel.hmd(i + 1))
+            elif i in cmd_set:
+                row_labels.append(LevelLabel.cmd(1))
+            else:
+                row_labels.append(LevelLabel.data())
+        col_labels = [
+            LevelLabel.vmd(j + 1) if j < vmd_depth else LevelLabel.data()
+            for j in range(n_cols)
+        ]
+        return cls(tuple(row_labels), tuple(col_labels))
+
+    def transposed(self) -> "TableAnnotation":
+        """Annotation for the transposed table (HMD<->VMD swap).
+
+        CMD rows have no columnar counterpart, so they become plain VMD
+        columns at their original depth.
+        """
+        new_cols = []
+        for label in self.row_labels:
+            if label.kind is LevelKind.DATA:
+                new_cols.append(LevelLabel.data())
+            else:
+                new_cols.append(LevelLabel.vmd(label.level))
+        new_rows = []
+        for label in self.col_labels:
+            if label.kind is LevelKind.DATA:
+                new_rows.append(LevelLabel.data())
+            else:
+                new_rows.append(LevelLabel.hmd(label.level))
+        return TableAnnotation(tuple(new_rows), tuple(new_cols))

@@ -1,0 +1,96 @@
+"""Markdown (GitHub pipe-table) parsing and rendering.
+
+Web and documentation corpora frequently carry tables as pipe-delimited
+markdown.  The separator row (``| --- | :---: |``) is formatting, not
+data, so the parser drops it; note that a markdown table's first row is
+a *claimed* header, which makes markdown ingestion a natural consumer
+for the classifier ("is the claimed header actually a header, and is
+there depth the format cannot express?").
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+_SEPARATOR_CELL_RE = re.compile(r"^:?-{3,}:?$")
+
+
+def _split_row(line: str) -> list[str]:
+    """Split one pipe row, honoring escaped pipes (``\\|``)."""
+    stripped = line.strip()
+    if stripped.startswith("|"):
+        stripped = stripped[1:]
+    if stripped.endswith("|") and not stripped.endswith("\\|"):
+        stripped = stripped[:-1]
+    cells: list[str] = []
+    current: list[str] = []
+    escaped = False
+    for ch in stripped:
+        if escaped:
+            current.append(ch)
+            escaped = False
+        elif ch == "\\":
+            escaped = True
+        elif ch == "|":
+            cells.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    cells.append("".join(current).strip())
+    return cells
+
+
+def _is_separator_row(cells: list[str]) -> bool:
+    non_empty = [c for c in cells if c]
+    return bool(non_empty) and all(
+        _SEPARATOR_CELL_RE.match(c.replace(" ", "")) for c in non_empty
+    )
+
+
+def table_from_markdown(text: str, *, name: str = "") -> Table:
+    """Parse a pipe table; raises ``ValueError`` when none is found."""
+    rows: list[list[str]] = []
+    for line in text.splitlines():
+        if "|" not in line:
+            if rows:
+                break  # the table ended
+            continue  # preamble before the table
+        cells = _split_row(line)
+        if _is_separator_row(cells):
+            continue
+        rows.append(cells)
+    if not rows:
+        raise ValueError("no markdown table found in the input")
+    return Table(rows, name=name)
+
+
+def table_to_markdown(
+    table: Table, *, annotation: TableAnnotation | None = None
+) -> str:
+    """Render a table as a pipe table.
+
+    Markdown can express exactly one header row; with an ``annotation``
+    given, the separator goes under the *last* HMD row (deeper levels
+    end up above the line — the lossy flattening every markdown export
+    of a GST performs, which is rather the paper's point).
+    """
+    if table.n_rows == 0:
+        raise ValueError("cannot render an empty table")
+    header_rows = 1
+    if annotation is not None:
+        if len(annotation.row_labels) != table.n_rows:
+            raise ValueError("annotation does not match the table height")
+        header_rows = max(1, annotation.hmd_depth)
+
+    def render_row(cells: tuple[str, ...]) -> str:
+        return "| " + " | ".join(c.replace("|", "\\|") for c in cells) + " |"
+
+    lines = [render_row(table.row(i)) for i in range(min(header_rows, table.n_rows))]
+    lines.append("| " + " | ".join(["---"] * table.n_cols) + " |")
+    lines.extend(
+        render_row(table.row(i)) for i in range(header_rows, table.n_rows)
+    )
+    return "\n".join(lines)

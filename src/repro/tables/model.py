@@ -1,0 +1,190 @@
+"""The table data model.
+
+A :class:`Table` is an immutable rectangular grid of string cells plus a
+name and source tag.  Ragged inputs (common in PDF-extracted corpora such
+as CORD-19) are padded to rectangular at construction so every consumer
+can assume ``n_rows x n_cols``.
+
+:class:`AnnotatedTable` pairs a table with its :class:`TableAnnotation`
+ground truth and, when the source provides it, the HTML markup used by
+the bootstrap phase (Sec. III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.text import normalize_cell
+from repro.tables.labels import TableAnnotation
+
+
+@dataclass(frozen=True)
+class Table:
+    """An immutable generally structured table.
+
+    ``rows`` is a tuple of equal-length tuples of (normalized) strings.
+    Blank cells are empty strings — in GSTs blanks are meaningful (they
+    continue the hierarchical VMD value above, see Fig. 1a of the paper)
+    and must be preserved, not dropped.
+    """
+
+    rows: tuple[tuple[str, ...], ...]
+    name: str = ""
+    source: str = ""
+
+    def __init__(
+        self,
+        rows: Iterable[Iterable[object]],
+        name: str = "",
+        source: str = "",
+    ) -> None:
+        normalized = [tuple(normalize_cell(c) for c in row) for row in rows]
+        width = max((len(r) for r in normalized), default=0)
+        padded = tuple(r + ("",) * (width - len(r)) for r in normalized)
+        object.__setattr__(self, "rows", padded)
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "source", source)
+
+    # ------------------------------------------------------------------
+    # shape
+    # ------------------------------------------------------------------
+    @property
+    def n_rows(self) -> int:
+        return len(self.rows)
+
+    @property
+    def n_cols(self) -> int:
+        return len(self.rows[0]) if self.rows else 0
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_cols)
+
+    @property
+    def depth(self) -> int:
+        """The paper's Def. 7: number of levels (rows) in the table."""
+        return self.n_rows
+
+    def __len__(self) -> int:
+        return self.n_rows
+
+    def __bool__(self) -> bool:
+        return self.n_rows > 0 and self.n_cols > 0
+
+    # ------------------------------------------------------------------
+    # access
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> tuple[str, ...]:
+        return self.rows[i]
+
+    def col(self, j: int) -> tuple[str, ...]:
+        if not 0 <= j < self.n_cols:
+            raise IndexError(f"column {j} out of range for width {self.n_cols}")
+        return tuple(row[j] for row in self.rows)
+
+    def cell(self, i: int, j: int) -> str:
+        return self.rows[i][j]
+
+    def iter_rows(self) -> Iterator[tuple[str, ...]]:
+        return iter(self.rows)
+
+    def iter_cols(self) -> Iterator[tuple[str, ...]]:
+        for j in range(self.n_cols):
+            yield self.col(j)
+
+    def iter_cells(self) -> Iterator[tuple[int, int, str]]:
+        for i, row in enumerate(self.rows):
+            for j, cell in enumerate(row):
+                yield i, j, cell
+
+    # ------------------------------------------------------------------
+    # derived tables
+    # ------------------------------------------------------------------
+    def transpose(self) -> "Table":
+        """Rows become columns; used to reuse the HMD pass for VMD."""
+        if not self.rows:
+            return Table([], name=self.name, source=self.source)
+        flipped = list(zip(*self.rows))
+        return Table(flipped, name=self.name, source=self.source)
+
+    def slice_rows(self, start: int, stop: int | None = None) -> "Table":
+        return Table(self.rows[start:stop], name=self.name, source=self.source)
+
+    def with_name(self, name: str) -> "Table":
+        return Table(self.rows, name=name, source=self.source)
+
+    # ------------------------------------------------------------------
+    # display
+    # ------------------------------------------------------------------
+    def to_text(self, *, max_width: int = 18) -> str:
+        """Render a fixed-width grid, used by examples and Fig. 5."""
+        if not self.rows:
+            return "(empty table)"
+        widths = [
+            min(max_width, max(len(self.cell(i, j)) for i in range(self.n_rows)))
+            for j in range(self.n_cols)
+        ]
+        lines = []
+        for row in self.rows:
+            cells = [
+                (cell[: widths[j]]).ljust(widths[j]) for j, cell in enumerate(row)
+            ]
+            lines.append(" | ".join(cells))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        label = self.name or "table"
+        return f"Table({label!r}, {self.n_rows}x{self.n_cols})"
+
+
+@dataclass(frozen=True)
+class AnnotatedTable:
+    """A table plus its ground-truth annotation and optional HTML markup.
+
+    ``html`` carries the (possibly noisy) markup the bootstrap phase
+    consumes; ``meta`` carries free-form provenance such as the corpus
+    profile and generator seed.
+    """
+
+    table: Table
+    annotation: TableAnnotation
+    html: str | None = None
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.annotation.row_labels) != self.table.n_rows:
+            raise ValueError(
+                f"row labels ({len(self.annotation.row_labels)}) do not match "
+                f"row count ({self.table.n_rows})"
+            )
+        if len(self.annotation.col_labels) != self.table.n_cols:
+            raise ValueError(
+                f"col labels ({len(self.annotation.col_labels)}) do not match "
+                f"col count ({self.table.n_cols})"
+            )
+
+    @property
+    def hmd_depth(self) -> int:
+        return self.annotation.hmd_depth
+
+    @property
+    def vmd_depth(self) -> int:
+        return self.annotation.vmd_depth
+
+    def metadata_rows(self) -> list[tuple[str, ...]]:
+        return [self.table.row(i) for i in self.annotation.hmd_rows()]
+
+    def data_rows(self) -> list[tuple[str, ...]]:
+        return [self.table.row(i) for i in self.annotation.data_rows]
+
+    def metadata_cols(self) -> list[tuple[str, ...]]:
+        return [self.table.col(j) for j in self.annotation.vmd_cols()]
+
+    def data_cols(self) -> list[tuple[str, ...]]:
+        return [self.table.col(j) for j in self.annotation.data_cols]
+
+
+def tables_of(annotated: Sequence[AnnotatedTable]) -> list[Table]:
+    """Strip annotations — the classifier input view of a corpus."""
+    return [item.table for item in annotated]

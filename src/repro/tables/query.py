@@ -1,0 +1,161 @@
+"""Structural queries over classified tables.
+
+The paper motivates metadata classification with downstream access:
+"Accurate identification of both HMD and VMD is essential for
+fine-grained structural query processing, correct data access, and
+efficient structural search."  This module is that downstream layer: a
+:class:`StructuredTable` pairs a grid with its (predicted or ground
+truth) annotation and exposes every data cell with its full semantic
+coordinates — the HMD attribute path above it and the VMD hierarchy
+path to its left — so the Fig. 1(a) value "14,373" resolves to
+
+    hmd=("Student enrollment",), vmd=("New York", "SUNY", "Binghamton")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+from repro.tables.transform import forward_fill_vmd
+
+
+@dataclass(frozen=True)
+class CellRecord:
+    """One data cell with its resolved structural context."""
+
+    row: int
+    col: int
+    value: str
+    hmd_path: tuple[str, ...]  # attribute path, level 1 -> deepest
+    vmd_path: tuple[str, ...]  # hierarchy path, level 1 -> deepest
+
+    @property
+    def attribute(self) -> str:
+        """The leaf attribute (deepest non-blank HMD entry)."""
+        for part in reversed(self.hmd_path):
+            if part:
+                return part
+        return ""
+
+
+class StructuredTable:
+    """A table plus annotation, queryable by structural coordinates."""
+
+    def __init__(self, table: Table, annotation: TableAnnotation) -> None:
+        if len(annotation.row_labels) != table.n_rows:
+            raise ValueError("annotation does not match the table height")
+        if len(annotation.col_labels) != table.n_cols:
+            raise ValueError("annotation does not match the table width")
+        self.table = table
+        self.annotation = annotation
+        self._hmd_rows = annotation.hmd_rows()
+        self._vmd_cols = annotation.vmd_cols()
+        self._attribute_paths = self._build_attribute_paths()
+        self._filled = forward_fill_vmd(table, annotation.vmd_depth)
+
+    # ------------------------------------------------------------------
+    # structure resolution
+    # ------------------------------------------------------------------
+    def _build_attribute_paths(self) -> dict[int, tuple[str, ...]]:
+        """Per data column, the HMD path from level 1 to the leaf.
+
+        Spanning headers render as value-then-blanks, so within each
+        header row the effective label of a column is the nearest
+        non-blank cell to its left (fill-left semantics).
+        """
+        paths: dict[int, tuple[str, ...]] = {}
+        filled_rows: list[list[str]] = []
+        for i in self._hmd_rows:
+            row = list(self.table.row(i))
+            last = ""
+            for j in range(len(row)):
+                if self.annotation.col_labels[j].kind is LevelKind.VMD:
+                    continue  # the VMD corner does not label data columns
+                if row[j]:
+                    last = row[j]
+                else:
+                    row[j] = last
+            filled_rows.append(row)
+        for j in self.annotation.data_cols:
+            paths[j] = tuple(row[j] for row in filled_rows)
+        return paths
+
+    def attribute_path(self, col: int) -> tuple[str, ...]:
+        """The HMD path over data column ``col`` (level 1 -> deepest)."""
+        try:
+            return self._attribute_paths[col]
+        except KeyError:
+            raise KeyError(f"column {col} is not a data column") from None
+
+    def row_context(self, row: int) -> tuple[str, ...]:
+        """The forward-filled VMD path of data row ``row``."""
+        if self.annotation.row_labels[row].kind is not LevelKind.DATA:
+            raise KeyError(f"row {row} is not a data row")
+        return tuple(
+            self._filled.row(row)[j] for j in self._vmd_cols
+        )
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def cells(self) -> Iterator[CellRecord]:
+        """Every data cell with full structural coordinates."""
+        for i in self.annotation.data_rows:
+            vmd_path = self.row_context(i)
+            for j in self.annotation.data_cols:
+                yield CellRecord(
+                    row=i,
+                    col=j,
+                    value=self.table.cell(i, j),
+                    hmd_path=self._attribute_paths[j],
+                    vmd_path=vmd_path,
+                )
+
+    def lookup(
+        self,
+        *,
+        attribute: str | None = None,
+        context: str | None = None,
+        where: Callable[[CellRecord], bool] | None = None,
+    ) -> list[CellRecord]:
+        """Find data cells by structural coordinates.
+
+        ``attribute`` matches (case-insensitively, substring) anywhere
+        in the HMD path; ``context`` anywhere in the VMD path; ``where``
+        is an arbitrary predicate.  Conditions conjoin.
+        """
+        def matches(record: CellRecord) -> bool:
+            if attribute is not None:
+                needle = attribute.lower()
+                if not any(needle in part.lower() for part in record.hmd_path):
+                    return False
+            if context is not None:
+                needle = context.lower()
+                if not any(needle in part.lower() for part in record.vmd_path):
+                    return False
+            if where is not None and not where(record):
+                return False
+            return True
+
+        return [record for record in self.cells() if matches(record)]
+
+    def to_records(self) -> list[dict]:
+        """Flat dict records for downstream analysis/dataframes."""
+        return [
+            {
+                "row": record.row,
+                "col": record.col,
+                "value": record.value,
+                "attribute": record.attribute,
+                "hmd_path": list(record.hmd_path),
+                "vmd_path": list(record.vmd_path),
+            }
+            for record in self.cells()
+        ]
+
+    @property
+    def n_data_cells(self) -> int:
+        return len(self.annotation.data_rows) * len(self.annotation.data_cols)

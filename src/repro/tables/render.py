@@ -1,0 +1,93 @@
+"""Human-readable rendering of tables with their annotations.
+
+Experiments and examples keep needing the same view: the grid, with
+each row's label in the margin and each column's label in a footer —
+the paper's Fig. 1 color-coding, in monospace.  ``render_annotated``
+also accepts a second annotation to diff predictions against ground
+truth (mismatches are flagged), which is the fastest way to eyeball a
+misclassified table.
+"""
+
+from __future__ import annotations
+
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+
+def render_annotated(
+    table: Table,
+    annotation: TableAnnotation,
+    *,
+    truth: TableAnnotation | None = None,
+    max_width: int = 14,
+) -> str:
+    """Render the grid with per-level labels.
+
+    With ``truth`` given, rows/columns whose predicted label differs
+    from the ground truth gain a ``!`` marker; the footer then shows
+    ``predicted≠truth`` pairs.
+    """
+    if len(annotation.row_labels) != table.n_rows:
+        raise ValueError("annotation does not match the table height")
+    if len(annotation.col_labels) != table.n_cols:
+        raise ValueError("annotation does not match the table width")
+    if truth is not None and (
+        len(truth.row_labels) != table.n_rows
+        or len(truth.col_labels) != table.n_cols
+    ):
+        raise ValueError("truth annotation does not match the table shape")
+
+    widths = [
+        min(
+            max_width,
+            max((len(table.cell(i, j)) for i in range(table.n_rows)), default=1),
+        )
+        for j in range(table.n_cols)
+    ]
+    widths = [max(w, 4) for w in widths]
+
+    label_texts = []
+    for i in range(table.n_rows):
+        predicted = annotation.row_labels[i]
+        text = str(predicted)
+        if truth is not None and truth.row_labels[i] != predicted:
+            text = f"!{text}≠{truth.row_labels[i]}"
+        label_texts.append(text)
+    label_width = max((len(t) for t in label_texts), default=4)
+
+    lines = []
+    for i, row in enumerate(table.rows):
+        cells = " | ".join(
+            cell[: widths[j]].ljust(widths[j]) for j, cell in enumerate(row)
+        )
+        lines.append(f"{label_texts[i].rjust(label_width)} | {cells}")
+
+    col_labels = []
+    for j in range(table.n_cols):
+        predicted = annotation.col_labels[j]
+        text = str(predicted)
+        if truth is not None and truth.col_labels[j] != predicted:
+            text = f"!{text}≠{truth.col_labels[j]}"
+        col_labels.append(text[: widths[j]].ljust(widths[j]))
+    lines.append(
+        f"{'cols'.rjust(label_width)} | " + " | ".join(col_labels)
+    )
+    return "\n".join(lines)
+
+
+def diff_annotations(
+    predicted: TableAnnotation, truth: TableAnnotation
+) -> list[str]:
+    """Human-readable list of label mismatches."""
+    if len(predicted.row_labels) != len(truth.row_labels) or len(
+        predicted.col_labels
+    ) != len(truth.col_labels):
+        raise ValueError("annotations cover different shapes")
+    issues = []
+    for i, (p, t) in enumerate(zip(predicted.row_labels, truth.row_labels)):
+        if p != t:
+            issues.append(f"row {i}: predicted {p}, truth {t}")
+    for j, (p, t) in enumerate(zip(predicted.col_labels, truth.col_labels)):
+        if p != t:
+            issues.append(f"col {j}: predicted {p}, truth {t}")
+    return issues

@@ -1,0 +1,84 @@
+"""Table transformations.
+
+The paper's pre-processing "included aligning rows and columns, and
+removing any corrupt or unreadable data" (Sec. IV-H).  These helpers
+implement that alignment plus the transpose trick the classifier uses to
+reuse its row pass for columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.text import normalize_cell
+from repro.tables.model import Table
+
+
+def pad_rows(rows: Iterable[Sequence[object]]) -> list[list[str]]:
+    """Pad ragged raw rows with empty strings to a rectangle."""
+    normalized = [[normalize_cell(c) for c in row] for row in rows]
+    width = max((len(r) for r in normalized), default=0)
+    return [row + [""] * (width - len(row)) for row in normalized]
+
+
+def transpose(table: Table) -> Table:
+    """Functional alias for :meth:`Table.transpose`."""
+    return table.transpose()
+
+
+def drop_empty_levels(table: Table) -> Table:
+    """Remove rows and columns that are entirely blank.
+
+    PDF extraction frequently injects fully blank separator rows; they
+    carry no terms, so they would produce zero aggregated vectors and
+    undefined angles downstream.
+    """
+    rows = [row for row in table.rows if any(cell for cell in row)]
+    if not rows:
+        return Table([], name=table.name, source=table.source)
+    keep_cols = [
+        j for j in range(len(rows[0])) if any(row[j] for row in rows)
+    ]
+    trimmed = [[row[j] for j in keep_cols] for row in rows]
+    return Table(trimmed, name=table.name, source=table.source)
+
+
+def standardize(raw_rows: Iterable[Sequence[object]], *, name: str = "", source: str = "") -> Table:
+    """Full pre-processing: normalize, align, drop blank levels."""
+    return drop_empty_levels(Table(pad_rows(raw_rows), name=name, source=source))
+
+
+def forward_fill_vmd(table: Table, vmd_depth: int) -> Table:
+    """Fill blank continuation cells in the first ``vmd_depth`` columns.
+
+    In hierarchical VMD, a level-1 value like "New York" appears once and
+    the rows beneath leave the cell blank (Fig. 1a).  Filling the blanks
+    downward recovers the full hierarchy path per data row — the
+    "semantics loss" the introduction warns about.
+    """
+    if vmd_depth <= 0 or not table:
+        return table
+    grid = [list(row) for row in table.rows]
+    for j in range(min(vmd_depth, table.n_cols)):
+        last = ""
+        for i in range(table.n_rows):
+            if grid[i][j]:
+                last = grid[i][j]
+            elif last:
+                grid[i][j] = last
+    return Table(grid, name=table.name, source=table.source)
+
+
+def hierarchy_paths(table: Table, vmd_depth: int, *, skip_rows: int = 0) -> list[tuple[str, ...]]:
+    """Per data row, the filled VMD path (level 1..depth).
+
+    ``skip_rows`` excludes HMD rows at the top.  This is the downstream
+    "interpret the value in context" API the introduction motivates:
+    for Fig. 1a row 10 it yields
+    ``("New York", "State University of New York", "Stony Brook")``.
+    """
+    filled = forward_fill_vmd(table, vmd_depth)
+    paths = []
+    for i in range(skip_rows, filled.n_rows):
+        paths.append(tuple(filled.row(i)[:vmd_depth]))
+    return paths

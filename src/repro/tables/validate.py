@@ -1,0 +1,84 @@
+"""Structural validation for tables entering the pipeline.
+
+PDF- and web-extracted tables arrive corrupt in predictable ways: zero
+rows, zero columns, all-blank grids, absurd aspect ratios from failed
+cell segmentation.  The paper's pre-processing step (Sec. IV-H) removes
+"corrupt or unreadable data"; this module is that filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tables.model import Table
+
+
+class TableValidationError(ValueError):
+    """Raised when a table is structurally unusable."""
+
+
+@dataclass(frozen=True)
+class ValidationPolicy:
+    """Tunable limits for what counts as a usable table."""
+
+    min_rows: int = 2
+    min_cols: int = 2
+    max_blank_fraction: float = 0.9
+    max_cells: int = 1_000_000
+
+    def __post_init__(self) -> None:
+        if self.min_rows < 1 or self.min_cols < 1:
+            raise ValueError("minimum shape must be at least 1x1")
+        if not 0.0 <= self.max_blank_fraction <= 1.0:
+            raise ValueError("max_blank_fraction must be in [0, 1]")
+
+
+DEFAULT_POLICY = ValidationPolicy()
+
+
+def blank_fraction(table: Table) -> float:
+    """Fraction of cells that are empty strings."""
+    total = table.n_rows * table.n_cols
+    if total == 0:
+        return 1.0
+    blanks = sum(1 for _, _, cell in table.iter_cells() if not cell)
+    return blanks / total
+
+
+def validate_table(table: Table, policy: ValidationPolicy = DEFAULT_POLICY) -> Table:
+    """Validate and return ``table``; raise :class:`TableValidationError`.
+
+    Returning the table lets callers chain:
+    ``classify(validate_table(parse(...)))``.
+    """
+    if table.n_rows < policy.min_rows:
+        raise TableValidationError(
+            f"table {table.name!r} has {table.n_rows} rows; "
+            f"need at least {policy.min_rows}"
+        )
+    if table.n_cols < policy.min_cols:
+        raise TableValidationError(
+            f"table {table.name!r} has {table.n_cols} columns; "
+            f"need at least {policy.min_cols}"
+        )
+    if table.n_rows * table.n_cols > policy.max_cells:
+        raise TableValidationError(
+            f"table {table.name!r} has {table.n_rows * table.n_cols} cells; "
+            f"limit is {policy.max_cells}"
+        )
+    blank = blank_fraction(table)
+    if blank > policy.max_blank_fraction:
+        raise TableValidationError(
+            f"table {table.name!r} is {blank:.0%} blank; "
+            f"limit is {policy.max_blank_fraction:.0%}"
+        )
+    return table
+
+
+def is_valid_table(table: Table, policy: ValidationPolicy = DEFAULT_POLICY) -> bool:
+    """Non-raising form of :func:`validate_table`."""
+    try:
+        validate_table(table, policy)
+    except TableValidationError:
+        return False
+    return True

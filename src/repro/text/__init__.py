@@ -1,0 +1,30 @@
+"""Text utilities: tokenization, normalization, and numeric-cell detection.
+
+Every layer of the pipeline — corpus generation, embedding training,
+bootstrapping, classification, and the baselines — needs one consistent
+view of what a "term" is.  This package provides that view so a cell like
+``"Student enrollment (2010)"`` tokenizes the same way during Word2Vec
+training and during classification.
+"""
+
+from repro.text.tokenize import (
+    Token,
+    TokenKind,
+    classify_token,
+    is_numeric_cell,
+    normalize_cell,
+    numeric_fraction,
+    tokenize,
+    tokenize_cells,
+)
+
+__all__ = [
+    "Token",
+    "TokenKind",
+    "classify_token",
+    "is_numeric_cell",
+    "normalize_cell",
+    "numeric_fraction",
+    "tokenize",
+    "tokenize_cells",
+]

@@ -1,0 +1,141 @@
+"""Tokenization and cell-content classification.
+
+The paper operates on *terms* (Def. 5): individual words drawn from table
+cells.  Cells in generally structured tables mix natural-language labels
+("Number Needed to Harm"), numbers with thousands separators ("14,373"),
+percentages ("96.7%"), ranges ("12 to 15 years"), and markers ("<2 h").
+The tokenizer below splits a cell into lowercase word tokens and tags each
+token with a :class:`TokenKind` so downstream code can reason about how
+numeric a row or column is — the signal the paper notes LLMs get wrong.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Sequence
+
+_WHITESPACE_RE = re.compile(r"\s+")
+# Words (incl. hyphenated and apostrophes), numbers (incl. separators,
+# decimals, signs), percentages, and standalone comparison markers.
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<percent>[+-]?\d[\d,]*(?:\.\d+)?\s?%)        # 96.7%  5 %
+  | (?P<number>[+-]?\d[\d,]*(?:\.\d+)?)             # 14,373  2.5  -3
+  | (?P<word>[A-Za-z][A-Za-z'\-]*)                  # student  covid-19's
+  | (?P<symbol>[<>=≤≥±])             # < > = <= >= +/-
+    """,
+    re.VERBOSE,
+)
+
+
+class TokenKind(str, Enum):
+    """Coarse semantic class of a single token."""
+
+    WORD = "word"
+    NUMBER = "number"
+    PERCENT = "percent"
+    SYMBOL = "symbol"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A normalized token plus its :class:`TokenKind`."""
+
+    text: str
+    kind: TokenKind
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.text
+
+
+def normalize_cell(cell: object) -> str:
+    """Collapse whitespace and strip a raw cell value into a clean string.
+
+    ``None`` and non-string values are coerced: ``None`` becomes the empty
+    string, numbers are rendered with ``str``.  This is the first thing
+    every consumer of table content does, so corrupt inputs (e.g. from
+    PDF-extracted JSON) are handled in exactly one place.
+    """
+    if cell is None:
+        return ""
+    text = cell if isinstance(cell, str) else str(cell)
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+def classify_token(text: str) -> TokenKind:
+    """Classify one already-extracted token string."""
+    if text.endswith("%"):
+        return TokenKind.PERCENT
+    if _TOKEN_RE.fullmatch(text):
+        match = _TOKEN_RE.fullmatch(text)
+        assert match is not None
+        for kind in ("percent", "number", "word", "symbol"):
+            if match.group(kind):
+                return TokenKind(kind)
+    # Fall back: anything containing a digit is numeric-ish.
+    if any(ch.isdigit() for ch in text):
+        return TokenKind.NUMBER
+    return TokenKind.WORD
+
+
+def tokenize(cell: object, *, lowercase: bool = True) -> list[Token]:
+    """Split a cell into :class:`Token` objects.
+
+    Numbers keep their digits but drop thousands separators, so "14,373"
+    becomes the single NUMBER token "14373".  Percentages normalize to the
+    bare "NUM%" form.  Words are lowercased by default — embedding
+    training and lookup must agree on case.
+    """
+    text = normalize_cell(cell)
+    if not text:
+        return []
+    tokens: list[Token] = []
+    for match in _TOKEN_RE.finditer(text):
+        if match.group("percent"):
+            raw = match.group("percent").replace(",", "").replace(" ", "")
+            tokens.append(Token(raw, TokenKind.PERCENT))
+        elif match.group("number"):
+            raw = match.group("number").replace(",", "")
+            tokens.append(Token(raw, TokenKind.NUMBER))
+        elif match.group("word"):
+            word = match.group("word")
+            tokens.append(Token(word.lower() if lowercase else word, TokenKind.WORD))
+        elif match.group("symbol"):
+            tokens.append(Token(match.group("symbol"), TokenKind.SYMBOL))
+    return tokens
+
+
+def tokenize_cells(cells: Iterable[object], *, lowercase: bool = True) -> list[Token]:
+    """Tokenize a sequence of cells into one flat token list (a level)."""
+    tokens: list[Token] = []
+    for cell in cells:
+        tokens.extend(tokenize(cell, lowercase=lowercase))
+    return tokens
+
+
+def is_numeric_cell(cell: object, *, threshold: float = 0.5) -> bool:
+    """True when at least ``threshold`` of the cell's tokens are numeric.
+
+    Empty cells are *not* numeric — blanks in GSTs carry hierarchical
+    meaning (continuation of the level above) rather than a zero value.
+    """
+    tokens = tokenize(cell)
+    if not tokens:
+        return False
+    numeric = sum(1 for t in tokens if t.kind in (TokenKind.NUMBER, TokenKind.PERCENT))
+    return numeric / len(tokens) >= threshold
+
+
+def numeric_fraction(cells: Sequence[object]) -> float:
+    """Fraction of non-empty cells in a level that are numeric.
+
+    Used by the baselines (Pytheas rules, RF features, the mock LLM) as
+    the classic "data rows are numbery" signal.
+    """
+    non_empty = [c for c in cells if normalize_cell(c)]
+    if not non_empty:
+        return 0.0
+    numeric = sum(1 for c in non_empty if is_numeric_cell(c))
+    return numeric / len(non_empty)

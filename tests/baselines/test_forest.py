@@ -1,0 +1,138 @@
+"""Tests for the from-scratch decision tree and random forest."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.forest.forest import ForestConfig, RandomForest
+from repro.baselines.forest.tree import DecisionTree, TreeConfig
+
+
+def _blobs(n: int = 120, seed: int = 0) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    a = rng.normal(loc=0.0, scale=0.5, size=(n // 2, 4))
+    b = rng.normal(loc=2.0, scale=0.5, size=(n // 2, 4))
+    X = np.vstack([a, b])
+    y = np.array([0] * (n // 2) + [1] * (n // 2))
+    return X, y
+
+
+def _xor(n: int = 200, seed: int = 1) -> tuple[np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X, y
+
+
+class TestTreeConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            TreeConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            TreeConfig(min_samples_split=1)
+        with pytest.raises(ValueError):
+            TreeConfig(min_samples_leaf=0)
+
+
+class TestDecisionTree:
+    def test_fit_validation(self):
+        tree = DecisionTree()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros(3), np.zeros(3))  # not 2-D
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.zeros(4))
+        with pytest.raises(ValueError):
+            tree.fit(np.empty((0, 2)), np.empty(0))
+
+    def test_unfitted_predict(self):
+        with pytest.raises(RuntimeError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_separable_blobs(self):
+        X, y = _blobs()
+        tree = DecisionTree().fit(X, y)
+        assert (tree.predict(X) == y).mean() >= 0.95
+
+    def test_xor_needs_depth(self):
+        X, y = _xor()
+        deep = DecisionTree(TreeConfig(max_depth=6)).fit(X, y)
+        shallow = DecisionTree(TreeConfig(max_depth=1)).fit(X, y)
+        assert (deep.predict(X) == y).mean() > (shallow.predict(X) == y).mean()
+
+    def test_probabilities_sum_to_one(self):
+        X, y = _blobs()
+        tree = DecisionTree().fit(X, y)
+        proba = tree.predict_proba(X[:10])
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_pure_node_is_leaf(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([1, 1, 1])
+        tree = DecisionTree().fit(X, y)
+        assert tree.depth() == 0
+
+    def test_constant_features_yield_stump(self):
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTree().fit(X, y)
+        assert tree.depth() == 0
+        proba = tree.predict_proba(X[:1])
+        np.testing.assert_allclose(proba[0], [0.5, 0.5])
+
+    def test_max_depth_respected(self):
+        X, y = _xor()
+        tree = DecisionTree(TreeConfig(max_depth=3)).fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_deterministic(self):
+        X, y = _blobs()
+        config = TreeConfig(max_features=2)
+        a = DecisionTree(config, seed=5).fit(X, y).predict(X)
+        b = DecisionTree(config, seed=5).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestRandomForest:
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            ForestConfig(n_trees=0)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            RandomForest().fit(np.zeros((2, 2)), np.zeros(3))
+
+    def test_unfitted(self):
+        assert not RandomForest().is_fitted
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 2)))
+
+    def test_blobs_accuracy(self):
+        X, y = _blobs()
+        forest = RandomForest(ForestConfig(n_trees=10, seed=2)).fit(X, y)
+        assert (forest.predict(X) == y).mean() >= 0.95
+
+    def test_xor_beats_stump(self):
+        X, y = _xor()
+        forest = RandomForest(ForestConfig(n_trees=15, max_depth=6)).fit(X, y)
+        assert (forest.predict(X) == y).mean() >= 0.9
+
+    def test_probabilities(self):
+        X, y = _blobs()
+        forest = RandomForest(ForestConfig(n_trees=5)).fit(X, y)
+        proba = forest.predict_proba(X[:7])
+        assert proba.shape == (7, 2)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_deterministic(self):
+        X, y = _blobs()
+        a = RandomForest(ForestConfig(n_trees=5, seed=9)).fit(X, y).predict(X)
+        b = RandomForest(ForestConfig(n_trees=5, seed=9)).fit(X, y).predict(X)
+        np.testing.assert_array_equal(a, b)
+
+    def test_class_space_stable_under_bootstrap(self):
+        """A resample may miss a class; probabilities keep full width."""
+        X = np.vstack([np.zeros((30, 2)), np.ones((2, 2)) * 5])
+        y = np.array([0] * 30 + [1] * 2)
+        forest = RandomForest(ForestConfig(n_trees=10, seed=0)).fit(X, y)
+        assert forest.predict_proba(X).shape[1] == 2

@@ -1,0 +1,88 @@
+"""Tests for header features and the RF header-detection baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines.forest.features import N_FEATURES, col_features, row_features
+from repro.baselines.forest.header_rf import HeaderForestClassifier
+from repro.core.metrics import evaluate_corpus
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+
+class TestFeatures:
+    def test_row_shape(self, simple_table):
+        features = row_features(simple_table)
+        assert features.shape == (simple_table.n_rows, N_FEATURES)
+        assert np.all(np.isfinite(features))
+
+    def test_col_shape(self, simple_table):
+        features = col_features(simple_table)
+        assert features.shape == (simple_table.n_cols, N_FEATURES)
+
+    def test_empty_table(self):
+        assert row_features(Table([])).shape == (0, N_FEATURES)
+
+    def test_position_features(self, simple_table):
+        features = row_features(simple_table)
+        assert features[0, 1] == 1.0  # is-first flag
+        assert features[-1, 2] == 1.0  # is-last flag
+        assert features[0, 0] == 0.0  # relative position
+        assert features[-1, 0] == 1.0
+
+    def test_numeric_fraction_feature(self):
+        table = Table([["a", "b"], ["1", "2"]])
+        features = row_features(table)
+        assert features[0, 4] == 0.0
+        assert features[1, 4] == 1.0
+
+    def test_neighbour_feature_looks_down(self):
+        table = Table([["a", "b"], ["1", "2"], ["x", "y"]])
+        features = row_features(table)
+        assert features[0, 10] == 1.0  # the row below is fully numeric
+        assert features[1, 10] == 0.0
+
+    def test_cols_are_transposed_rows(self, simple_table):
+        np.testing.assert_allclose(
+            col_features(simple_table), row_features(simple_table.transpose())
+        )
+
+
+class TestHeaderForest:
+    @pytest.fixture(scope="class")
+    def model(self, ckg_train):
+        return HeaderForestClassifier().fit(ckg_train[:40])
+
+    def test_empty_corpus(self):
+        with pytest.raises(ValueError):
+            HeaderForestClassifier().fit([])
+
+    def test_unfitted(self, simple_table):
+        with pytest.raises(RuntimeError):
+            HeaderForestClassifier().classify(simple_table)
+
+    def test_is_fitted(self, model):
+        assert model.is_fitted
+
+    def test_monolithic_levels(self, model, ckg_eval):
+        """RF output never claims a depth beyond level 1."""
+        for item in ckg_eval[:10]:
+            annotation = model.classify(item.table)
+            for label in annotation.row_labels:
+                if label.kind is LevelKind.HMD:
+                    assert label.level == 1
+            for label in annotation.col_labels:
+                if label.kind is LevelKind.VMD:
+                    assert label.level == 1
+
+    def test_reasonable_accuracy(self, model, ckg_eval):
+        result = evaluate_corpus(ckg_eval, model.classify)
+        assert result.hmd_accuracy[1] >= 0.8
+        assert result.row_binary_accuracy >= 0.8
+
+    def test_annotation_shape(self, model, simple_table):
+        annotation = model.classify(simple_table)
+        assert len(annotation.row_labels) == simple_table.n_rows
+        assert len(annotation.col_labels) == simple_table.n_cols

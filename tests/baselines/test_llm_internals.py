@@ -1,0 +1,83 @@
+"""Targeted tests for mock-LLM internals (prompt parsing, RAG evidence)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.llm.mock_llm import MockLLM
+from repro.baselines.llm.prompts import SYSTEM_MESSAGE, build_user_prompt
+from repro.tables.html import render_html_table
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        [["age", "duration", "total"], ["1", "2", "3"], ["4", "5", "6"]],
+        name="t",
+    )
+
+
+class TestPromptParsing:
+    def test_csv_recovered_exactly(self, table):
+        llm = MockLLM.named("gpt-4")
+        parsed, rag = llm._parse_prompt(build_user_prompt(table))
+        assert parsed.rows == table.rows
+        assert rag is None
+
+    def test_rag_html_extracted(self, table):
+        llm = MockLLM.named("gpt-4")
+        html = "<table><tr><td>x</td></tr></table>"
+        parsed, rag = llm._parse_prompt(build_user_prompt(table, rag_html=html))
+        assert parsed.rows == table.rows
+        assert rag == html
+
+    def test_quoted_cells_survive(self):
+        table = Table([['say "hi", twice', "b"], ["1", "2"]])
+        llm = MockLLM.named("gpt-3.5")
+        parsed, _ = llm._parse_prompt(build_user_prompt(table))
+        assert parsed.rows == table.rows
+
+
+class TestHtmlEvidence:
+    def test_matching_html_tags_rows_and_cols(self, table):
+        annotation = TableAnnotation.from_depths(3, 3, hmd_depth=1, vmd_depth=1)
+        html = render_html_table(table, annotation)
+        rows, cols = MockLLM._html_evidence(html, table)
+        assert 0 in rows
+        assert 0 in cols
+
+    def test_shape_mismatch_discards_evidence(self, table):
+        other = Table([["a", "b"], ["1", "2"]])
+        annotation = TableAnnotation.from_depths(2, 2, hmd_depth=1)
+        html = render_html_table(other, annotation)
+        rows, cols = MockLLM._html_evidence(html, table)
+        assert rows == set() and cols == set()
+
+    def test_no_html(self, table):
+        assert MockLLM._html_evidence(None, table) == (set(), set())
+
+
+class TestNumericRescue:
+    @pytest.mark.parametrize(
+        "row,rescued",
+        [
+            (("2019", "2020"), False),
+            (("total 2019", "2020"), True),
+            (("86 (50.3%)", "12"), True),
+            (("number of cases", "5"), True),
+            (("plain words",), False),
+        ],
+    )
+    def test_patterns(self, row, rescued):
+        assert MockLLM._numeric_rescue(row) is rescued
+
+
+class TestDeterminismAcrossSeeds:
+    def test_seed_changes_decisions(self, table):
+        prompt = build_user_prompt(table)
+        a = MockLLM.named("gpt-3.5", seed=0).complete(SYSTEM_MESSAGE, prompt)
+        # Same seed -> identical; the response is a pure function.
+        b = MockLLM.named("gpt-3.5", seed=0).complete(SYSTEM_MESSAGE, prompt)
+        assert a == b

@@ -1,0 +1,102 @@
+"""Tests for the Pytheas-style fuzzy line classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pytheas import (
+    CLASSES,
+    DATA,
+    HEADER,
+    SUBHEADER,
+    PytheasClassifier,
+    PytheasConfig,
+)
+from repro.core.metrics import evaluate_corpus
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PytheasConfig(laplace=-1)
+        with pytest.raises(ValueError):
+            PytheasConfig(context_window=0)
+
+
+class TestTraining:
+    def test_empty_corpus(self):
+        with pytest.raises(ValueError):
+            PytheasClassifier().fit([])
+
+    def test_unfitted_raises(self, simple_table):
+        with pytest.raises(RuntimeError):
+            PytheasClassifier().classify(simple_table)
+
+    def test_weights_learned(self, ckg_train):
+        model = PytheasClassifier().fit(ckg_train)
+        assert model.is_fitted
+        for weights in model.weights.values():
+            assert set(weights) == set(CLASSES)
+            for value in weights.values():
+                assert 0.0 <= value <= 1.0
+
+    def test_first_line_rule_prefers_header(self, ckg_train):
+        model = PytheasClassifier().fit(ckg_train)
+        weights = model.weights["first_line"]
+        assert weights[HEADER] > weights[DATA]
+
+    def test_mostly_numeric_rule_prefers_data(self, ckg_train):
+        model = PytheasClassifier().fit(ckg_train)
+        weights = model.weights["mostly_numeric"]
+        assert weights[DATA] > weights[HEADER]
+
+
+class TestInference:
+    @pytest.fixture(scope="class")
+    def model(self, ckg_train):
+        return PytheasClassifier().fit(ckg_train)
+
+    def test_line_confidences_shape(self, model, simple_table):
+        confidences = model.line_confidences(simple_table)
+        assert len(confidences) == simple_table.n_rows
+        assert all(set(c) == set(CLASSES) for c in confidences)
+
+    def test_classify_lines_values(self, model, simple_table):
+        labels = model.classify_lines(simple_table)
+        assert all(label in CLASSES for label in labels)
+        assert labels[0] == HEADER
+
+    def test_classify_relational_table(self, model):
+        table = Table(
+            [
+                ["severity", "duration", "total"],
+                ["12", "34", "56"],
+                ["78", "90", "11"],
+            ]
+        )
+        annotation = model.classify(table)
+        assert annotation.row_labels[0].kind is LevelKind.HMD
+        assert annotation.row_labels[0].level == 1
+        assert annotation.row_labels[1].kind is LevelKind.DATA
+
+    def test_no_vmd_ever(self, model, ckg_eval):
+        for item in ckg_eval[:10]:
+            annotation = model.classify(item.table)
+            assert all(
+                label.kind is LevelKind.DATA for label in annotation.col_labels
+            )
+
+    def test_all_headers_level_one(self, model, ckg_eval):
+        """Pytheas is level-blind: every header claim is level 1."""
+        for item in ckg_eval[:10]:
+            annotation = model.classify(item.table)
+            for label in annotation.row_labels:
+                if label.kind is LevelKind.HMD:
+                    assert label.level == 1
+
+    def test_corpus_level1_accuracy(self, model, ckg_eval):
+        """The paper's headline: Pytheas is excellent at HMD level 1."""
+        result = evaluate_corpus(ckg_eval, model.classify)
+        assert result.hmd_accuracy[1] >= 0.9

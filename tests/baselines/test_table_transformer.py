@@ -1,0 +1,156 @@
+"""Tests for the Table-Transformer-style TSR baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.table_transformer import (
+    OBJECT_CLASSES,
+    TableObject,
+    TableTransformerBaseline,
+    TableTransformerConfig,
+)
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def detector() -> TableTransformerBaseline:
+    # boundary noise off: structural tests need exact bands
+    return TableTransformerBaseline(TableTransformerConfig(boundary_noise=0.0))
+
+
+@pytest.fixture
+def noisy_detector() -> TableTransformerBaseline:
+    return TableTransformerBaseline()
+
+
+@pytest.fixture
+def relational() -> Table:
+    return Table(
+        [
+            ["name", "score", "year"],
+            ["alpha", "12", "2001"],
+            ["beta", "34", "2002"],
+            ["gamma", "56", "2003"],
+        ]
+    )
+
+
+class TestObjects:
+    def test_object_validation(self):
+        with pytest.raises(ValueError):
+            TableObject("chair", (0, 0, 1, 1), 0.5)
+        with pytest.raises(ValueError):
+            TableObject("table", (2, 0, 1, 1), 0.5)
+        with pytest.raises(ValueError):
+            TableObject("table", (0, 0, 1, 1), 1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TableTransformerConfig(max_header_rows=0)
+        with pytest.raises(ValueError):
+            TableTransformerConfig(boundary_noise=2.0)
+
+
+class TestDetection:
+    def test_six_classes_only(self, detector, relational):
+        objects = detector.detect(relational)
+        assert {o.kind for o in objects} <= set(OBJECT_CLASSES)
+
+    def test_table_rows_cols_detected(self, detector, relational):
+        objects = detector.detect(relational)
+        kinds = [o.kind for o in objects]
+        assert kinds.count("table") == 1
+        assert kinds.count("table row") == relational.n_rows
+        assert kinds.count("table column") == relational.n_cols
+
+    def test_column_header_band(self, detector, relational):
+        headers = [
+            o for o in detector.detect(relational) if o.kind == "table column header"
+        ]
+        assert len(headers) == 1
+        assert headers[0].bbox == (0, 0, 1, relational.n_cols)
+
+    def test_empty_table(self, detector):
+        assert detector.detect(Table([])) == []
+
+    def test_spanning_cells(self, detector):
+        table = Table(
+            [
+                ["Group A", "", "Group B", ""],
+                ["a", "b", "c", "d"],
+                ["1", "2", "3", "4"],
+                ["5", "6", "7", "8"],
+            ]
+        )
+        spans = [
+            o for o in detector.detect(table) if o.kind == "table spanning cell"
+        ]
+        assert len(spans) == 2
+        assert spans[0].bbox == (0, 0, 1, 2)
+
+    def test_projected_row_header(self, detector):
+        table = Table(
+            [
+                ["a", "b", "c"],
+                ["1", "2", "3"],
+                ["Subtotal", "", ""],
+                ["4", "5", "6"],
+            ]
+        )
+        projected = [
+            o
+            for o in detector.detect(table)
+            if o.kind == "table projected row header"
+        ]
+        assert len(projected) == 1
+        assert projected[0].bbox[0] == 2
+
+
+class TestClassify:
+    def test_relational(self, detector, relational):
+        annotation = detector.classify(relational)
+        assert annotation.hmd_depth == 1
+        assert annotation.row_labels[1].kind is LevelKind.DATA
+
+    def test_no_vmd(self, detector, relational):
+        annotation = detector.classify(relational)
+        assert all(
+            label.kind is LevelKind.DATA for label in annotation.col_labels
+        )
+
+    def test_projected_rows_are_cmd(self, detector):
+        table = Table(
+            [["a", "b"], ["1", "2"], ["Subtotal", ""], ["3", "4"]]
+        )
+        annotation = detector.classify(table)
+        assert annotation.row_labels[2].kind is LevelKind.CMD
+
+    def test_textual_body_degrades_confidence(self, detector):
+        """TT's weakness: no numeric body, low-confidence header."""
+        table = Table([["a", "b"], ["x", "y"], ["z", "w"]])
+        headers = [
+            o for o in detector.detect(table) if o.kind == "table column header"
+        ]
+        assert not headers or headers[0].score < 0.9
+
+
+class TestBoundaryNoise:
+    def test_deterministic(self, noisy_detector, relational):
+        a = noisy_detector.classify(relational)
+        b = noisy_detector.classify(relational)
+        assert a.row_labels == b.row_labels
+
+    def test_noise_changes_some_tables(self, noisy_detector, ckg_eval):
+        clean = TableTransformerBaseline(
+            TableTransformerConfig(boundary_noise=0.0)
+        )
+        differs = 0
+        for item in ckg_eval:
+            if (
+                noisy_detector.classify(item.table).row_labels
+                != clean.classify(item.table).row_labels
+            ):
+                differs += 1
+        assert differs > 0

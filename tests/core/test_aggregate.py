@@ -1,0 +1,144 @@
+"""Tests for aggregated level vectors (Def. 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import (
+    AggregationConfig,
+    aggregate_cols,
+    aggregate_level,
+    aggregate_rows,
+)
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def embedder() -> TermEmbedder:
+    return TermEmbedder(HashedEmbedding(8))
+
+
+class TestConfig:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            AggregationConfig(mode="median")
+
+    def test_invalid_concat_terms(self):
+        with pytest.raises(ValueError):
+            AggregationConfig(mode="concat", concat_terms=0)
+
+
+class TestSum:
+    def test_sum_of_term_vectors(self, embedder):
+        out = aggregate_level(embedder, ["alpha beta"])
+        expected = embedder.vector("alpha") + embedder.vector("beta")
+        np.testing.assert_allclose(out, expected)
+
+    def test_empty_level_is_zero(self, embedder):
+        out = aggregate_level(embedder, ["", ""])
+        assert np.all(out == 0)
+        assert out.shape == (8,)
+
+    def test_order_invariance(self, embedder):
+        a = aggregate_level(embedder, ["x", "y"])
+        b = aggregate_level(embedder, ["y", "x"])
+        np.testing.assert_allclose(a, b)
+
+
+class TestMean:
+    def test_mean_scales_sum(self, embedder):
+        config = AggregationConfig(mode="mean")
+        summed = aggregate_level(embedder, ["alpha beta"])
+        mean = aggregate_level(embedder, ["alpha beta"], config)
+        np.testing.assert_allclose(mean, summed / 2)
+
+    def test_same_direction_as_sum(self, embedder):
+        """Mean and sum differ in magnitude only -> identical angles."""
+        config = AggregationConfig(mode="mean")
+        summed = aggregate_level(embedder, ["a b c"])
+        mean = aggregate_level(embedder, ["a b c"], config)
+        cos = summed @ mean / (np.linalg.norm(summed) * np.linalg.norm(mean))
+        assert cos == pytest.approx(1.0)
+
+
+class TestConcat:
+    def test_dimension(self, embedder):
+        config = AggregationConfig(mode="concat", concat_terms=3)
+        out = aggregate_level(embedder, ["a b"], config)
+        assert out.shape == (24,)
+
+    def test_zero_padding(self, embedder):
+        config = AggregationConfig(mode="concat", concat_terms=3)
+        out = aggregate_level(embedder, ["a"], config)
+        assert np.all(out[8:] == 0)
+        np.testing.assert_allclose(out[:8], embedder.vector("a"))
+
+    def test_truncation(self, embedder):
+        config = AggregationConfig(mode="concat", concat_terms=2)
+        out = aggregate_level(embedder, ["a b c d"], config)
+        assert out.shape == (16,)
+
+    def test_empty_level(self, embedder):
+        config = AggregationConfig(mode="concat", concat_terms=2)
+        assert aggregate_level(embedder, [""], config).shape == (16,)
+
+    def test_order_sensitivity(self, embedder):
+        """Unlike summation, concatenation depends on term order."""
+        config = AggregationConfig(mode="concat", concat_terms=2)
+        a = aggregate_level(embedder, ["x y"], config)
+        b = aggregate_level(embedder, ["y x"], config)
+        assert not np.allclose(a, b)
+
+
+class TestTableAggregation:
+    def test_rows_shape(self, embedder, simple_table):
+        out = aggregate_rows(embedder, simple_table)
+        assert out.shape == (simple_table.n_rows, 8)
+
+    def test_cols_shape(self, embedder, simple_table):
+        out = aggregate_cols(embedder, simple_table)
+        assert out.shape == (simple_table.n_cols, 8)
+
+    def test_cols_match_transposed_rows(self, embedder, simple_table):
+        cols = aggregate_cols(embedder, simple_table)
+        rows_of_t = aggregate_rows(embedder, simple_table.transpose())
+        np.testing.assert_allclose(cols, rows_of_t)
+
+    def test_empty_table(self, embedder):
+        assert aggregate_rows(embedder, Table([])).shape == (0, 8)
+        assert aggregate_cols(embedder, Table([])).shape == (0, 8)
+
+
+class TestContextual:
+    def test_contextual_path_used(self):
+        """With contextual=True and an encoder backend, aggregation uses
+        encode_sentence; result differs from static lookup."""
+        from repro.embeddings.contextual import ContextualConfig, ContextualEncoder
+
+        corpus = [["a", "b", "c"], ["b", "c", "d"], ["a", "d"]] * 5
+        encoder = ContextualEncoder(
+            ContextualConfig(dim=8, attention_dim=4, epochs=1, seed=0)
+        ).fit(corpus)
+        embedder = TermEmbedder(encoder)
+        static = aggregate_level(embedder, ["a b"])
+        contextual = aggregate_level(
+            embedder, ["a b"], AggregationConfig(contextual=True)
+        )
+        assert static.shape == contextual.shape
+        assert not np.allclose(static, contextual)
+
+    def test_contextual_falls_back_on_oov(self):
+        from repro.embeddings.contextual import ContextualConfig, ContextualEncoder
+
+        encoder = ContextualEncoder(
+            ContextualConfig(dim=8, attention_dim=4, epochs=1, seed=0)
+        ).fit([["x", "y"]] * 3)
+        embedder = TermEmbedder(encoder)
+        out = aggregate_level(
+            embedder, ["unseen words"], AggregationConfig(contextual=True)
+        )
+        assert out.shape == (8,)
+        assert not np.all(out == 0)  # ngram back-off supplied vectors

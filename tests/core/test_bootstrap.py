@@ -1,0 +1,147 @@
+"""Tests for bootstrap labeling from HTML markup."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bootstrap import (
+    BootstrapLabels,
+    bootstrap_corpus,
+    bootstrap_first_level,
+    bootstrap_from_html,
+)
+from repro.tables.html import render_html_table
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+
+class TestFromHtml:
+    def test_clean_markup_recovers_labels(
+        self, hierarchical_table, hierarchical_annotation
+    ):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        labels = bootstrap_from_html(html)
+        assert labels.metadata_row_indices == (0, 1)
+        assert 0 in labels.metadata_col_indices
+
+    def test_th_without_thead(self):
+        html = (
+            "<table><tbody>"
+            "<tr><th>a</th><th>b</th></tr>"
+            "<tr><td>1</td><td>2</td></tr>"
+            "</tbody></table>"
+        )
+        labels = bootstrap_from_html(html)
+        assert labels.row_kinds[0] is LevelKind.HMD
+        assert labels.row_kinds[1] is LevelKind.DATA
+
+    def test_partial_th_below_threshold(self):
+        html = (
+            "<table><tbody>"
+            "<tr><th>a</th><td>b</td><td>c</td></tr>"
+            "<tr><td>1</td><td>2</td><td>3</td></tr>"
+            "</tbody></table>"
+        )
+        labels = bootstrap_from_html(html, th_threshold=0.5)
+        assert labels.row_kinds[0] is LevelKind.DATA
+
+    def test_bold_first_column_is_vmd(self):
+        html = (
+            "<table><tbody>"
+            "<tr><td><b>NY</b></td><td>1</td></tr>"
+            "<tr><td><b>IN</b></td><td>2</td></tr>"
+            "</tbody></table>"
+        )
+        labels = bootstrap_from_html(html)
+        assert labels.col_kinds[0] is LevelKind.VMD
+        assert labels.col_kinds[1] is LevelKind.DATA
+
+    def test_hierarchical_blanks_first_column(self):
+        html = (
+            "<table><tbody>"
+            "<tr><td>NY</td><td>1</td></tr>"
+            "<tr><td></td><td>2</td></tr>"
+            "<tr><td></td><td>3</td></tr>"
+            "<tr><td>IN</td><td>4</td></tr>"
+            "</tbody></table>"
+        )
+        labels = bootstrap_from_html(html)
+        assert labels.col_kinds[0] is LevelKind.VMD
+
+    def test_vmd_columns_contiguous(self):
+        # Bold in column 2 but plain column 1: VMD stops at column 0.
+        html = (
+            "<table><tbody>"
+            "<tr><td><b>a</b></td><td>x</td><td><b>q</b></td></tr>"
+            "<tr><td><b>b</b></td><td>y</td><td><b>r</b></td></tr>"
+            "</tbody></table>"
+        )
+        labels = bootstrap_from_html(html)
+        assert labels.col_kinds[0] is LevelKind.VMD
+        assert labels.col_kinds[1] is LevelKind.DATA
+        assert labels.col_kinds[2] is LevelKind.DATA
+
+    def test_all_vmd_signal_dropped(self):
+        html = (
+            "<table><tbody>"
+            "<tr><td><b>a</b></td><td><b>x</b></td></tr>"
+            "<tr><td><b>b</b></td><td><b>y</b></td></tr>"
+            "</tbody></table>"
+        )
+        labels = bootstrap_from_html(html, max_vmd_cols=2)
+        assert all(k is LevelKind.DATA for k in labels.col_kinds)
+
+
+class TestFirstLevel:
+    def test_first_row_and_col(self, simple_table):
+        labels = bootstrap_first_level(simple_table)
+        assert labels.metadata_row_indices == (0,)
+        assert labels.metadata_col_indices == (0,)
+        # Only the far half is confidently data; the near-boundary
+        # levels stay unlabeled (they may be undetected deep metadata).
+        assert labels.data_row_indices == (2, 3)
+        assert labels.data_col_indices == (2, 3)
+        assert labels.row_kinds[1] is None
+        assert labels.col_kinds[1] is None
+
+    def test_tall_table_split(self):
+        from repro.tables.model import Table
+
+        table = Table([[str(i), "x"] for i in range(10)])
+        labels = bootstrap_first_level(table)
+        assert labels.data_row_indices == (5, 6, 7, 8, 9)
+        assert all(k is None for k in labels.row_kinds[1:5])
+
+    def test_has_metadata(self, simple_table):
+        assert bootstrap_first_level(simple_table).has_metadata
+
+
+class TestCorpus:
+    def test_mixed_sources(self, hierarchical_table, hierarchical_annotation):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        with_html = AnnotatedTable(
+            table=hierarchical_table, annotation=hierarchical_annotation, html=html
+        )
+        without_html = AnnotatedTable(
+            table=hierarchical_table, annotation=hierarchical_annotation
+        )
+        labels = bootstrap_corpus([with_html, without_html, hierarchical_table])
+        assert len(labels) == 3
+        # item 1 used markup: two header rows; items 2-3 fell back.
+        assert len(labels[0].metadata_row_indices) == 2
+        assert labels[1].metadata_row_indices == (0,)
+        assert labels[2].metadata_row_indices == (0,)
+
+    def test_prefer_html_off(self, hierarchical_table, hierarchical_annotation):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        item = AnnotatedTable(
+            table=hierarchical_table, annotation=hierarchical_annotation, html=html
+        )
+        labels = bootstrap_corpus([item], prefer_html=False)
+        assert labels[0].metadata_row_indices == (0,)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self, simple_table):
+        with pytest.raises(ValueError):
+            BootstrapLabels(simple_table, (LevelKind.HMD,), tuple())

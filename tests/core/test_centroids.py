@@ -1,0 +1,126 @@
+"""Tests for centroid estimation (Defs. 11-13)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import bootstrap_first_level, bootstrap_corpus
+from repro.core.centroids import CentroidSet, estimate_centroids
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.html import render_html_table
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+
+FIELDS = {
+    "age": "attr", "duration": "attr", "severity": "attr", "total": "attr",
+    "onset": "attr", "count": "attr",
+    "alpha": "entity", "beta": "entity", "gamma": "entity", "delta": "entity",
+}
+
+
+@pytest.fixture
+def embedder() -> TermEmbedder:
+    return TermEmbedder(HashedEmbedding(16, fields=FIELDS, field_weight=0.8))
+
+
+def _make_corpus(n: int = 8) -> list[AnnotatedTable]:
+    rng = np.random.default_rng(3)
+    attrs = ["age", "duration", "severity", "total", "onset", "count"]
+    ents = ["alpha", "beta", "gamma", "delta"]
+    corpus = []
+    for i in range(n):
+        header1 = list(rng.choice(attrs, size=3))
+        header2 = list(rng.choice(attrs, size=3))
+        rows = [header1, header2]
+        for _ in range(4):
+            rows.append([str(rng.integers(0, 9999)), str(rng.integers(0, 9999)),
+                         str(rng.choice(ents))])
+        table = Table(rows, name=f"t{i}")
+        ann = TableAnnotation.from_depths(6, 3, hmd_depth=2, vmd_depth=0)
+        html = render_html_table(table, ann)
+        corpus.append(AnnotatedTable(table=table, annotation=ann, html=html))
+    return corpus
+
+
+class TestEstimation:
+    def test_basic_structure(self, embedder):
+        labeled = bootstrap_corpus(_make_corpus())
+        centroids = estimate_centroids(embedder, labeled, axis="rows")
+        assert isinstance(centroids, CentroidSet)
+        assert centroids.n_tables == 8
+        assert centroids.meta_ref.shape == (16,)
+        assert np.isclose(np.linalg.norm(centroids.meta_ref), 1.0)
+        assert np.isclose(np.linalg.norm(centroids.data_ref), 1.0)
+
+    def test_metadata_data_separation(self, embedder):
+        """The core geometric claim: C_MDE sits below C_MDE-DE."""
+        labeled = bootstrap_corpus(_make_corpus())
+        centroids = estimate_centroids(embedder, labeled, axis="rows")
+        assert centroids.mde.midpoint < centroids.mde_de.midpoint
+
+    def test_level_stats_present(self, embedder):
+        labeled = bootstrap_corpus(_make_corpus())
+        centroids = estimate_centroids(embedder, labeled, axis="rows")
+        stats2 = centroids.stats_for_level(2)
+        assert stats2 is not None
+        assert stats2.delta_prev_meta is not None
+        assert stats2.delta_to_data is not None
+        assert stats2.n_tables == 8
+        stats1 = centroids.stats_for_level(1)
+        assert stats1.delta_prev_meta is None  # no level 0
+
+    def test_stats_for_missing_level(self, embedder):
+        labeled = bootstrap_corpus(_make_corpus())
+        centroids = estimate_centroids(embedder, labeled, axis="rows")
+        assert centroids.stats_for_level(5) is None
+
+    def test_invalid_axis(self, embedder):
+        with pytest.raises(ValueError):
+            estimate_centroids(embedder, [], axis="diagonal")
+
+    def test_empty_corpus_falls_back(self, embedder):
+        centroids = estimate_centroids(embedder, [], axis="rows")
+        assert centroids.n_tables == 0
+        assert centroids.mde.width > 0  # fallback ranges
+
+    def test_min_range_width_enforced(self, embedder):
+        labeled = bootstrap_corpus(_make_corpus())
+        centroids = estimate_centroids(
+            embedder, labeled, axis="rows", min_range_width=25.0
+        )
+        assert centroids.mde.width >= 20.0  # width after clipping at 0
+
+    def test_transform_applied(self, embedder):
+        labeled = bootstrap_corpus(_make_corpus())
+        flip = lambda v: -v  # noqa: E731 - direction flip keeps angles
+        plain = estimate_centroids(embedder, labeled, axis="rows")
+        flipped = estimate_centroids(embedder, labeled, axis="rows", transform=flip)
+        np.testing.assert_allclose(flipped.meta_ref, -plain.meta_ref)
+        assert flipped.mde.midpoint == pytest.approx(plain.mde.midpoint)
+
+    def test_describe_renders(self, embedder):
+        labeled = bootstrap_corpus(_make_corpus())
+        text = estimate_centroids(embedder, labeled, axis="rows").describe()
+        assert "C_MDE" in text
+        assert "level 2" in text
+
+
+class TestFirstLevelBootstrap:
+    def test_cross_table_mde(self, embedder):
+        """With one metadata level per table, C_MDE must come from
+        cross-table pairs rather than the fallback constant."""
+        corpus = [item.table for item in _make_corpus(10)]
+        labeled = [bootstrap_first_level(t) for t in corpus]
+        centroids = estimate_centroids(embedder, labeled, axis="rows")
+        # attr-field header rows across tables are tightly clustered, so
+        # the cross-table range must sit well below the fallback hi=45.
+        assert centroids.mde.lo < 30.0
+
+    def test_columns_axis(self, embedder):
+        corpus = [item.table for item in _make_corpus(6)]
+        labeled = [bootstrap_first_level(t) for t in corpus]
+        centroids = estimate_centroids(embedder, labeled, axis="cols")
+        assert centroids.n_tables == 6

@@ -1,0 +1,170 @@
+"""Tests for Algorithm 1 (the angle-based classifier)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.angles import AngleRange
+from repro.core.centroids import CentroidSet
+from repro.core.classifier import ClassifierConfig, MetadataClassifier
+from repro.core.contrastive import ContrastiveConfig, ContrastiveProjection
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+FIELDS = {
+    # header vocabulary
+    "age": "attr", "duration": "attr", "severity": "attr", "total": "attr",
+    "gender": "attr", "onset": "attr", "category": "attr", "status": "attr",
+    # VMD category vocabulary (same field as attr: categories are metadata)
+    "acute": "attr", "chronic": "attr", "mild": "attr", "severe": "attr",
+    # entity vocabulary
+    "alpha": "entity", "beta": "entity", "gamma": "entity", "delta": "entity",
+}
+
+
+def _embedder() -> TermEmbedder:
+    return TermEmbedder(HashedEmbedding(16, fields=FIELDS, field_weight=0.85))
+
+
+def _centroids(embedder: TermEmbedder) -> CentroidSet:
+    """Analytic centroids for the hashed field geometry."""
+    meta_ref = embedder.vector("age") + embedder.vector("duration")
+    data_ref = embedder.vector("1234") + embedder.vector("alpha")
+    meta_ref = meta_ref / np.linalg.norm(meta_ref)
+    data_ref = data_ref / np.linalg.norm(data_ref)
+    return CentroidSet(
+        mde=AngleRange(0, 35),
+        de=AngleRange(0, 60),
+        mde_de=AngleRange(45, 120),
+        meta_ref=meta_ref,
+        data_ref=data_ref,
+    )
+
+
+@pytest.fixture
+def classifier() -> MetadataClassifier:
+    embedder = _embedder()
+    centroids = _centroids(embedder)
+    return MetadataClassifier(embedder, centroids, centroids)
+
+
+def _gst(n_header: int = 2, n_data: int = 4, vmd: bool = True) -> Table:
+    rng = np.random.default_rng(0)
+    attrs = ["age", "duration", "severity", "total", "gender", "onset"]
+    cats = ["acute", "chronic", "mild", "severe"]
+    ents = ["alpha", "beta", "gamma", "delta"]
+    rows = []
+    for _ in range(n_header):
+        row = ([""] if vmd else []) + list(rng.choice(attrs, size=3))
+        rows.append(row)
+    for _ in range(n_data):
+        row = ([str(rng.choice(cats))] if vmd else []) + [
+            str(rng.integers(0, 9999)),
+            str(rng.integers(0, 9999)),
+            str(rng.choice(ents)),
+        ]
+        rows.append(row)
+    return Table(rows)
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ClassifierConfig(max_hmd_depth=0)
+        with pytest.raises(ValueError):
+            ClassifierConfig(range_margin=-1)
+
+
+class TestRowWalk:
+    def test_single_header(self, classifier):
+        table = _gst(n_header=1, vmd=False)
+        annotation = classifier.classify(table)
+        assert annotation.hmd_depth == 1
+        assert annotation.row_labels[1].kind is LevelKind.DATA
+
+    def test_two_headers(self, classifier):
+        annotation = classifier.classify(_gst(n_header=2, vmd=False))
+        assert annotation.hmd_depth == 2
+        assert annotation.row_labels[1].level == 2
+
+    def test_depth_cap(self):
+        embedder = _embedder()
+        centroids = _centroids(embedder)
+        config = ClassifierConfig(max_hmd_depth=2)
+        classifier = MetadataClassifier(embedder, centroids, centroids, config=config)
+        annotation = classifier.classify(_gst(n_header=4, vmd=False))
+        assert annotation.hmd_depth == 2
+
+    def test_depth_helpers(self, classifier):
+        table = _gst(n_header=2)
+        assert classifier.hmd_depth(table) == 2
+        assert classifier.vmd_depth(table) == 1
+
+
+class TestColumnWalk:
+    def test_vmd_detected(self, classifier):
+        annotation = classifier.classify(_gst())
+        assert annotation.vmd_depth == 1
+        assert annotation.col_labels[1].kind is LevelKind.DATA
+
+    def test_no_vmd(self, classifier):
+        annotation = classifier.classify(_gst(vmd=False))
+        assert annotation.vmd_depth == 0
+
+    def test_no_cmd_in_columns(self, classifier):
+        """Columns never get CMD labels (Def. 4 defines CMD for rows)."""
+        annotation = classifier.classify(_gst())
+        assert all(
+            label.kind is not LevelKind.CMD for label in annotation.col_labels
+        )
+
+
+class TestEvidence:
+    def test_evidence_per_level(self, classifier):
+        table = _gst(n_header=2)
+        result = classifier.classify_result(table)
+        assert len(result.row_evidence) == table.n_rows
+        assert len(result.col_evidence) == table.n_cols
+        assert result.row_evidence[0].angle_to_prev is None
+        assert result.row_evidence[1].angle_to_prev is not None
+        assert all(e.rule for e in result.row_evidence)
+
+    def test_labels_match_annotation(self, classifier):
+        result = classifier.classify_result(_gst())
+        for evidence, label in zip(
+            result.row_evidence, result.annotation.row_labels
+        ):
+            assert evidence.label == label
+
+
+class TestProjectionIntegration:
+    def test_projection_changes_vectors_not_interface(self):
+        embedder = _embedder()
+        centroids = _centroids(embedder)
+        projection = ContrastiveProjection(16, ContrastiveConfig(seed=1))
+        classifier = MetadataClassifier(
+            embedder, centroids, centroids, projection=projection
+        )
+        annotation = classifier.classify(_gst())
+        assert annotation.hmd_depth >= 0  # runs end to end
+
+
+class TestEdgeCases:
+    def test_empty_like_table(self, classifier):
+        table = Table([["", ""], ["", ""]])
+        annotation = classifier.classify(table)
+        assert len(annotation.row_labels) == 2
+
+    def test_all_numeric_table(self, classifier):
+        table = Table([["1", "2"], ["3", "4"], ["5", "6"]])
+        annotation = classifier.classify(table)
+        # No header signal anywhere: the first row should not start a
+        # metadata block (refs put numbers firmly on the data side).
+        assert annotation.hmd_depth == 0
+
+    def test_single_row(self, classifier):
+        annotation = classifier.classify(Table([["age", "total"]]))
+        assert len(annotation.row_labels) == 1

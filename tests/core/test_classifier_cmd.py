@@ -1,0 +1,92 @@
+"""Focused tests for central-metadata (CMD) detection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.angles import AngleRange
+from repro.core.centroids import CentroidSet
+from repro.core.classifier import ClassifierConfig, MetadataClassifier
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+FIELDS = {
+    "age": "attr", "duration": "attr", "severity": "attr",
+    "outcomes": "attr", "treatment": "attr",
+    "alpha": "entity", "beta": "entity",
+}
+
+
+def _classifier(*, detect_cmd: bool = True) -> MetadataClassifier:
+    embedder = TermEmbedder(HashedEmbedding(16, fields=FIELDS, field_weight=0.85))
+    meta_ref = embedder.vector("age") + embedder.vector("duration")
+    data_ref = embedder.vector("123") + embedder.vector("alpha")
+    centroids = CentroidSet(
+        mde=AngleRange(0, 30),
+        de=AngleRange(0, 55),
+        mde_de=AngleRange(45, 120),
+        meta_ref=meta_ref / np.linalg.norm(meta_ref),
+        data_ref=data_ref / np.linalg.norm(data_ref),
+    )
+    return MetadataClassifier(
+        embedder,
+        centroids,
+        centroids,
+        config=ClassifierConfig(detect_cmd=detect_cmd),
+    )
+
+
+def _table_with_subheader() -> Table:
+    rng = np.random.default_rng(1)
+    rows = [["age", "duration", "severity"]]
+    for _ in range(3):
+        rows.append([str(rng.integers(0, 9999)) for _ in range(3)])
+    rows.append(["treatment outcomes", "", ""])  # the subheader
+    for _ in range(3):
+        rows.append([str(rng.integers(0, 9999)) for _ in range(3)])
+    return Table(rows)
+
+
+class TestCmdDetection:
+    def test_subheader_detected(self):
+        classifier = _classifier()
+        annotation = classifier.classify(_table_with_subheader())
+        assert annotation.row_labels[4].kind is LevelKind.CMD
+        assert annotation.hmd_depth == 1  # CMD does not extend HMD depth
+
+    def test_detection_can_be_disabled(self):
+        classifier = _classifier(detect_cmd=False)
+        annotation = classifier.classify(_table_with_subheader())
+        assert all(
+            label.kind is not LevelKind.CMD for label in annotation.row_labels
+        )
+
+    def test_rows_after_cmd_are_data(self):
+        classifier = _classifier()
+        annotation = classifier.classify(_table_with_subheader())
+        for i in (5, 6, 7):
+            assert annotation.row_labels[i].kind is LevelKind.DATA
+
+    def test_generator_cmd_tables_end_to_end(self, hashed_pipeline):
+        """Generated CMD rows are found at better-than-chance rates."""
+        from repro.corpus.generator import GeneratorConfig, GSTGenerator
+        from repro.corpus.vocabularies import get_domain
+
+        generator = GSTGenerator(
+            GeneratorConfig(domain=get_domain("biomedical"), cmd_prob=1.0,
+                            data_rows=(8, 12)),
+            seed=77,
+        )
+        corpus = [item for item in generator.generate(30) if item.annotation.cmd_rows]
+        assert corpus
+        hits = 0
+        for item in corpus:
+            annotation = hashed_pipeline.classify(item.table)
+            for row_index in item.annotation.cmd_rows:
+                if annotation.row_labels[row_index].kind is LevelKind.CMD:
+                    hits += 1
+        total = sum(len(item.annotation.cmd_rows) for item in corpus)
+        assert hits / total >= 0.5

@@ -1,0 +1,136 @@
+"""Tests for the Siamese contrastive projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.angles import angle_between
+from repro.core.contrastive import (
+    ContrastiveConfig,
+    ContrastiveProjection,
+    PairBatch,
+    build_pairs,
+)
+
+
+def _clusters(seed: int = 0, n: int = 30) -> tuple[list, list]:
+    rng = np.random.default_rng(seed)
+    meta_dir = rng.normal(size=8)
+    data_dir = rng.normal(size=8)
+    meta = [meta_dir + 0.3 * rng.normal(size=8) for _ in range(n)]
+    data = [data_dir + 0.3 * rng.normal(size=8) for _ in range(n)]
+    return meta, data
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ContrastiveConfig(margin=1.5)
+        with pytest.raises(ValueError):
+            ContrastiveConfig(epochs=0)
+
+
+class TestBuildPairs:
+    def test_balanced_labels(self):
+        meta, data = _clusters()
+        pairs = build_pairs(meta, data, n_pairs=100, seed=1)
+        assert len(pairs) == 100
+        assert pairs.labels.sum() == 50
+
+    def test_deterministic(self):
+        meta, data = _clusters()
+        a = build_pairs(meta, data, n_pairs=40, seed=2)
+        b = build_pairs(meta, data, n_pairs=40, seed=2)
+        np.testing.assert_allclose(a.left, b.left)
+        np.testing.assert_allclose(a.labels, b.labels)
+
+    def test_needs_two_of_each(self):
+        meta, data = _clusters()
+        with pytest.raises(ValueError):
+            build_pairs(meta[:1], data, n_pairs=10)
+        with pytest.raises(ValueError):
+            build_pairs(meta, data[:1], n_pairs=10)
+
+    def test_pair_batch_validation(self):
+        with pytest.raises(ValueError):
+            PairBatch(np.zeros((2, 4)), np.zeros((3, 4)), np.zeros(2))
+
+
+class TestProjection:
+    def test_identity_init_near_identity(self):
+        projection = ContrastiveProjection(6)
+        np.testing.assert_allclose(projection.weights, np.eye(6), atol=0.05)
+
+    def test_out_dim(self):
+        config = ContrastiveConfig(out_dim=4)
+        projection = ContrastiveProjection(8, config)
+        assert projection.transform(np.zeros(8)).shape == (4,)
+
+    def test_transform_shapes(self):
+        projection = ContrastiveProjection(8)
+        assert projection.transform(np.zeros(8)).shape == (8,)
+        assert projection.transform(np.zeros((3, 8))).shape == (3, 8)
+
+    def test_invalid_dim(self):
+        with pytest.raises(ValueError):
+            ContrastiveProjection(0)
+
+    def test_loss_decreases(self):
+        meta, data = _clusters()
+        pairs = build_pairs(meta, data, n_pairs=300, seed=3)
+        config = ContrastiveConfig(epochs=15, learning_rate=0.01)
+        projection = ContrastiveProjection(8, config).fit(pairs)
+        history = projection.loss_history
+        assert len(history) == 15
+        assert history[-1] < history[0]
+
+    def test_training_improves_separation(self):
+        """After training, the metadata-data angle gap widens."""
+        meta, data = _clusters(seed=5)
+        pairs = build_pairs(meta, data, n_pairs=400, seed=5)
+        config = ContrastiveConfig(epochs=20, learning_rate=0.02, margin=0.0)
+        projection = ContrastiveProjection(8, config).fit(pairs)
+
+        def gap(transform):
+            pos = np.mean(
+                [angle_between(transform(meta[i]), transform(meta[i + 1]))
+                 for i in range(10)]
+            )
+            neg = np.mean(
+                [angle_between(transform(meta[i]), transform(data[i]))
+                 for i in range(10)]
+            )
+            return neg - pos
+
+        identity_gap = gap(lambda v: v)
+        trained_gap = gap(projection.transform)
+        assert trained_gap > identity_gap
+
+    def test_deterministic_training(self):
+        meta, data = _clusters()
+        pairs = build_pairs(meta, data, n_pairs=100, seed=1)
+        a = ContrastiveProjection(8, ContrastiveConfig(epochs=3)).fit(pairs)
+        b = ContrastiveProjection(8, ContrastiveConfig(epochs=3)).fit(pairs)
+        np.testing.assert_allclose(a.weights, b.weights)
+
+    def test_gradient_matches_numeric(self):
+        """Hand-derived cosine-loss gradient vs finite differences."""
+        rng = np.random.default_rng(7)
+        a = rng.normal(size=(4, 5))
+        b = rng.normal(size=(4, 5))
+        y = np.array([1.0, 0.0, 1.0, 0.0])
+        projection = ContrastiveProjection(5, ContrastiveConfig(seed=7))
+        _, grad = projection._loss_and_grad(a, b, y)
+
+        eps = 1e-6
+        numeric = np.zeros_like(projection.weights)
+        for i in range(projection.weights.shape[0]):
+            for j in range(projection.weights.shape[1]):
+                projection.weights[i, j] += eps
+                up, _ = projection._loss_and_grad(a, b, y)
+                projection.weights[i, j] -= 2 * eps
+                down, _ = projection._loss_and_grad(a, b, y)
+                projection.weights[i, j] += eps
+                numeric[i, j] = (up - down) / (2 * eps)
+        np.testing.assert_allclose(grad, numeric, atol=1e-5)

@@ -1,0 +1,84 @@
+"""Tests for the angle-geometry diagnostics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bootstrap import bootstrap_corpus
+from repro.core.diagnostics import (
+    AngleSpectrum,
+    angle_spectrum,
+    ascii_histogram,
+    render_spectrum,
+    separability_report,
+)
+
+
+@pytest.fixture(scope="module")
+def spectrum(hashed_pipeline, ckg_train):
+    labeled = bootstrap_corpus(ckg_train[:30])
+    return angle_spectrum(hashed_pipeline.embedder, labeled, axis="rows")
+
+
+class TestSpectrum:
+    def test_populations_filled(self, spectrum):
+        assert spectrum.de
+        assert spectrum.mde_de
+        assert spectrum.n_samples == (
+            len(spectrum.mde) + len(spectrum.de) + len(spectrum.mde_de)
+        )
+
+    def test_angles_in_range(self, spectrum):
+        for pool in (spectrum.mde, spectrum.de, spectrum.mde_de):
+            assert all(0.0 <= a <= 180.0 for a in pool)
+
+    def test_invalid_axis(self, hashed_pipeline):
+        with pytest.raises(ValueError):
+            angle_spectrum(hashed_pipeline.embedder, [], axis="sideways")
+
+    def test_cols_axis(self, hashed_pipeline, ckg_train):
+        labeled = bootstrap_corpus(ckg_train[:10])
+        cols = angle_spectrum(hashed_pipeline.embedder, labeled, axis="cols")
+        assert cols.n_samples > 0
+
+
+class TestReport:
+    def test_field_geometry_separates(self, spectrum):
+        """Field-aware hashed embeddings must yield a clear separation
+        (if this fails, the whole pipeline premise is broken)."""
+        report = separability_report(spectrum)
+        assert report.separation_auc >= 0.65
+        assert report.median_mde_de > report.median_de
+
+    def test_empty_spectrum_is_neutral(self):
+        report = separability_report(AngleSpectrum())
+        assert report.separation_auc == 0.5
+        assert report.median_mde is None
+
+    def test_verdict_labels(self):
+        good = AngleSpectrum(mde=[5.0] * 5, de=[10.0] * 5, mde_de=[90.0] * 5)
+        assert separability_report(good).verdict == "well separated"
+        bad = AngleSpectrum(mde=[50.0] * 5, de=[50.0] * 5, mde_de=[50.0] * 5)
+        assert "poorly separated" in separability_report(bad).verdict
+
+
+class TestHistogram:
+    def test_basic_render(self):
+        text = ascii_histogram([10.0, 10.5, 90.0], bins=18, label="angles")
+        assert text.startswith("angles (n=3)")
+        assert text.count("|") == 2 * 18
+
+    def test_empty_values(self):
+        text = ascii_histogram([], bins=4)
+        assert text.count("\n") == 3
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], bins=0)
+        with pytest.raises(ValueError):
+            ascii_histogram([1.0], lo=10, hi=5)
+
+    def test_render_spectrum_complete(self, spectrum):
+        text = render_spectrum(spectrum)
+        assert "metadata-metadata angles" in text
+        assert "separation AUC" in text

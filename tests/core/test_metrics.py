@@ -1,0 +1,180 @@
+"""Tests for evaluation metrics (Eq. 9, per-level accuracy)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import (
+    ConfusionCounts,
+    binary_metadata_accuracy,
+    confusion_counts,
+    evaluate_corpus,
+    level_accuracy,
+    level_confusion,
+    table_level_accuracy,
+)
+from repro.tables.labels import LevelKind, LevelLabel, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+
+def _ann(hmd: int, rows: int = 5, cols: int = 3, vmd: int = 0) -> TableAnnotation:
+    return TableAnnotation.from_depths(rows, cols, hmd_depth=hmd, vmd_depth=vmd)
+
+
+class TestConfusionCounts:
+    def test_accuracy(self):
+        counts = ConfusionCounts(tp=3, tn=5, fp=1, fn=1)
+        assert counts.accuracy == pytest.approx(0.8)
+        assert counts.precision == pytest.approx(0.75)
+        assert counts.recall == pytest.approx(0.75)
+        assert counts.f1 == pytest.approx(0.75)
+
+    def test_empty(self):
+        counts = ConfusionCounts()
+        assert counts.accuracy == 0.0
+        assert counts.precision == 0.0
+        assert counts.f1 == 0.0
+
+    def test_add(self):
+        total = ConfusionCounts(1, 2, 3, 4) + ConfusionCounts(1, 1, 1, 1)
+        assert (total.tp, total.tn, total.fp, total.fn) == (2, 3, 4, 5)
+
+
+class TestConfusion:
+    def test_perfect(self):
+        counts = confusion_counts(_ann(2), _ann(2))
+        assert counts.fp == 0 and counts.fn == 0
+        assert counts.accuracy == 1.0
+
+    def test_missed_header(self):
+        counts = confusion_counts(_ann(2), _ann(1))
+        assert counts.fn == 1
+
+    def test_over_extension(self):
+        counts = confusion_counts(_ann(1), _ann(3))
+        assert counts.fp == 2
+
+    def test_cols_axis(self):
+        counts = confusion_counts(
+            _ann(1, vmd=2), _ann(1, vmd=1), axis="cols"
+        )
+        assert counts.fn == 1
+
+    def test_bad_axis(self):
+        with pytest.raises(ValueError):
+            confusion_counts(_ann(1), _ann(1), axis="depth")
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            confusion_counts(_ann(1, rows=4), _ann(1, rows=5))
+
+    def test_cmd_counts_as_metadata(self):
+        truth = TableAnnotation.from_depths(5, 2, hmd_depth=1, cmd_rows=[3])
+        pred = TableAnnotation.from_depths(5, 2, hmd_depth=1, cmd_rows=[3])
+        counts = confusion_counts(truth, pred)
+        assert counts.tp == 2
+
+    def test_binary_accuracy_pooled(self):
+        pairs = [(_ann(1), _ann(1)), (_ann(2), _ann(1))]
+        acc = binary_metadata_accuracy(pairs)
+        assert acc == pytest.approx(9 / 10)
+
+
+class TestLevelConfusion:
+    def test_non_participating_table(self):
+        assert level_confusion(_ann(1), _ann(1), kind=LevelKind.HMD, level=3) is None
+
+    def test_fp_at_level(self):
+        counts = level_confusion(_ann(2), _ann(3), kind=LevelKind.HMD, level=2)
+        assert counts.tp == 1
+        assert counts.fp == 0  # the extra row is claimed at level 3, not 2
+        counts3 = level_confusion(_ann(3), _ann(3), kind=LevelKind.HMD, level=3)
+        assert counts3.tp == 1
+
+
+class TestLevelAccuracy:
+    def test_pooled_perfect(self):
+        pairs = [(_ann(2), _ann(2))] * 3
+        assert level_accuracy(pairs, kind=LevelKind.HMD, level=2) == 1.0
+
+    def test_none_when_no_participation(self):
+        pairs = [(_ann(1), _ann(1))]
+        assert level_accuracy(pairs, kind=LevelKind.HMD, level=4) is None
+
+
+class TestTableLevelAccuracy:
+    def test_kind_match_credits_level_blind(self):
+        """A level-blind baseline labelling a level-2 row HMD1 still
+        gets kind credit at level 2 (the Table V comparison rule)."""
+        truth = _ann(2)
+        pred = TableAnnotation(
+            row_labels=(LevelLabel.hmd(1), LevelLabel.hmd(1),
+                        LevelLabel.data(), LevelLabel.data(), LevelLabel.data()),
+            col_labels=tuple([LevelLabel.data()] * 3),
+        )
+        assert table_level_accuracy(
+            [(truth, pred)], kind=LevelKind.HMD, level=2, match="kind"
+        ) == 1.0
+        assert table_level_accuracy(
+            [(truth, pred)], kind=LevelKind.HMD, level=2, match="exact"
+        ) == 0.0
+
+    def test_strict_penalizes_over_extension(self):
+        truth = _ann(1)
+        pred = TableAnnotation(
+            row_labels=(LevelLabel.hmd(1), LevelLabel.data(), LevelLabel.hmd(1),
+                        LevelLabel.data(), LevelLabel.data()),
+            col_labels=tuple([LevelLabel.data()] * 3),
+        )
+        assert table_level_accuracy(
+            [(truth, pred)], kind=LevelKind.HMD, level=1, match="kind"
+        ) == 1.0
+        assert table_level_accuracy(
+            [(truth, pred)], kind=LevelKind.HMD, level=1, match="strict"
+        ) == 0.0
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            table_level_accuracy([], kind=LevelKind.HMD, level=1, match="fuzzy")
+
+    def test_none_without_participants(self):
+        assert (
+            table_level_accuracy(
+                [(_ann(1), _ann(1))], kind=LevelKind.VMD, level=2
+            )
+            is None
+        )
+
+    def test_vmd_axis(self):
+        truth = _ann(1, vmd=2)
+        pred = _ann(1, vmd=2)
+        assert table_level_accuracy(
+            [(truth, pred)], kind=LevelKind.VMD, level=2
+        ) == 1.0
+
+
+class TestEvaluateCorpus:
+    def test_end_to_end(self, simple_table):
+        truth = TableAnnotation.from_depths(4, 4, hmd_depth=1, vmd_depth=1)
+        corpus = [AnnotatedTable(table=simple_table, annotation=truth)] * 4
+
+        def perfect(table: Table) -> TableAnnotation:
+            return truth
+
+        result = evaluate_corpus(corpus, perfect)
+        assert result.n_tables == 4
+        assert result.hmd_accuracy[1] == 1.0
+        assert result.vmd_accuracy[1] == 1.0
+        assert result.row_binary_accuracy == 1.0
+        assert 2 not in result.hmd_accuracy  # no level-2 ground truth
+
+    def test_always_data_classifier(self, simple_table):
+        truth = TableAnnotation.from_depths(4, 4, hmd_depth=1, vmd_depth=1)
+        corpus = [AnnotatedTable(table=simple_table, annotation=truth)]
+
+        def never(table: Table) -> TableAnnotation:
+            return TableAnnotation.from_depths(4, 4)
+
+        result = evaluate_corpus(corpus, never)
+        assert result.hmd_accuracy[1] == 0.0
+        assert result.row_confusion.fn == 1

@@ -1,0 +1,70 @@
+"""Tests for table orientation detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.orientation import (
+    classify_oriented,
+    coherence_score,
+    detect_orientation,
+)
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+
+
+class TestCoherenceScore:
+    def test_perfect_agreement(self):
+        table = Table([["age", "total"], ["1", "2"], ["3", "4"]])
+        annotation = TableAnnotation.from_depths(3, 2, hmd_depth=1)
+        assert coherence_score(table, annotation) == pytest.approx(1.0)
+
+    def test_inverted_annotation_scores_low(self):
+        table = Table([["age", "total"], ["1", "2"], ["3", "4"]])
+        wrong = TableAnnotation(
+            row_labels=("DATA", "HMD", "HMD"),
+            col_labels=("DATA", "DATA"),
+        )
+        assert coherence_score(table, wrong) == pytest.approx(0.0)
+
+    def test_empty_table(self):
+        assert coherence_score(Table([]), TableAnnotation()) == 0.0
+
+
+class TestDetection:
+    def test_normal_table_stays_normal(self, hashed_pipeline, ckg_eval):
+        hits = 0
+        for item in ckg_eval[:12]:
+            result = detect_orientation(hashed_pipeline, item.table)
+            hits += result.orientation == "normal"
+        assert hits >= 10  # conventional tables keep their orientation
+
+    def test_transposed_table_detected(self, hashed_pipeline, ckg_eval):
+        hits = 0
+        candidates = [i for i in ckg_eval[:12] if i.vmd_depth == 0]
+        for item in candidates:
+            flipped = item.table.transpose()
+            result = detect_orientation(hashed_pipeline, flipped)
+            hits += result.orientation == "transposed"
+        assert candidates
+        assert hits >= len(candidates) * 0.7
+
+    def test_annotation_in_original_frame(self, hashed_pipeline, ckg_eval):
+        item = next(i for i in ckg_eval if i.vmd_depth == 0 and i.hmd_depth >= 1)
+        flipped = item.table.transpose()
+        result = detect_orientation(hashed_pipeline, flipped)
+        assert len(result.annotation.row_labels) == flipped.n_rows
+        assert len(result.annotation.col_labels) == flipped.n_cols
+        if result.orientation == "transposed":
+            # headers live in the first column(s) of the flipped frame
+            assert result.annotation.col_labels[0].kind is LevelKind.VMD
+
+    def test_classify_oriented_wrapper(self, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        annotation = classify_oriented(hashed_pipeline, table)
+        assert len(annotation.row_labels) == table.n_rows
+
+    def test_scores_reported(self, hashed_pipeline, ckg_eval):
+        result = detect_orientation(hashed_pipeline, ckg_eval[0].table)
+        assert 0.0 <= result.normal_score <= 1.0
+        assert 0.0 <= result.transposed_score <= 1.0

@@ -1,0 +1,109 @@
+"""Tests for pipeline save/load."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.persistence import (
+    PersistenceError,
+    load_pipeline,
+    save_pipeline,
+)
+from repro.core.pipeline import MetadataPipeline, PipelineConfig
+from repro.corpus.vocabularies import get_domain
+from repro.embeddings.contextual import ContextualConfig
+from repro.embeddings.word2vec import Word2VecConfig
+
+
+def _assert_same_predictions(a, b, corpus):
+    for item in corpus[:10]:
+        left = a.classify(item.table)
+        right = b.classify(item.table)
+        assert left.row_labels == right.row_labels, item.table.name
+        assert left.col_labels == right.col_labels, item.table.name
+
+
+class TestRoundTrip:
+    def test_hashed_backend(self, hashed_pipeline, ckg_eval, tmp_path):
+        path = save_pipeline(hashed_pipeline, tmp_path / "model")
+        assert path.suffix == ".npz"
+        loaded = load_pipeline(path)
+        _assert_same_predictions(hashed_pipeline, loaded, ckg_eval)
+
+    def test_word2vec_backend(self, ckg_train, ckg_eval, tmp_path):
+        config = PipelineConfig(
+            embedding="word2vec",
+            word2vec=Word2VecConfig(dim=16, epochs=1, seed=0),
+            n_pairs=100,
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:25])
+        path = save_pipeline(pipeline, tmp_path / "w2v.npz")
+        loaded = load_pipeline(path)
+        _assert_same_predictions(pipeline, loaded, ckg_eval)
+
+    def test_contextual_backend(self, ckg_train, tmp_path):
+        config = PipelineConfig(
+            embedding="contextual",
+            contextual=ContextualConfig(dim=12, attention_dim=6, epochs=1),
+            n_pairs=100,
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:15])
+        loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "ctx"))
+        table = ckg_train[0].table
+        assert pipeline.classify(table).row_labels == loaded.classify(table).row_labels
+
+    def test_projection_restored(self, ckg_train, tmp_path):
+        fields = get_domain("biomedical").field_map()
+        config = PipelineConfig(
+            embedding="hashed", hashed_fields=fields, n_pairs=100
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:20])
+        assert pipeline.projection is not None
+        loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "p"))
+        assert loaded.projection is not None
+        np.testing.assert_allclose(
+            loaded.projection.weights, pipeline.projection.weights
+        )
+
+    def test_centroids_restored(self, hashed_pipeline, tmp_path):
+        loaded = load_pipeline(save_pipeline(hashed_pipeline, tmp_path / "c"))
+        original = hashed_pipeline.row_centroids
+        restored = loaded.row_centroids
+        assert restored.mde == original.mde
+        assert restored.de == original.de
+        assert restored.mde_de == original.mde_de
+        np.testing.assert_allclose(restored.meta_ref, original.meta_ref)
+        assert len(restored.level_stats) == len(original.level_stats)
+
+
+class TestErrors:
+    def test_unfitted_save(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            save_pipeline(MetadataPipeline(), tmp_path / "x")
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_pipeline(tmp_path / "absent.npz")
+
+    def test_corrupt_archive(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, junk=np.zeros(3))
+        with pytest.raises(PersistenceError):
+            load_pipeline(path)
+
+    def test_wrong_version(self, hashed_pipeline, tmp_path):
+        import json
+
+        path = save_pipeline(hashed_pipeline, tmp_path / "v")
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files if k != "__state__"}
+            state = json.loads(bytes(data["__state__"]).decode())
+        state["format_version"] = 999
+        np.savez(
+            path,
+            __state__=np.frombuffer(json.dumps(state).encode(), dtype=np.uint8),
+            **arrays,
+        )
+        with pytest.raises(PersistenceError, match="version"):
+            load_pipeline(path)

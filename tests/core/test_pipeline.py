@@ -1,0 +1,182 @@
+"""Tests for the end-to-end pipeline and the hybrid classifier."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import evaluate_corpus
+from repro.core.pipeline import (
+    HybridClassifier,
+    MetadataPipeline,
+    PipelineConfig,
+    looks_relational,
+)
+from repro.corpus.vocabularies import get_domain
+from repro.embeddings.contextual import ContextualConfig
+from repro.embeddings.word2vec import Word2VecConfig
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PipelineConfig(embedding="glove")
+        with pytest.raises(ValueError):
+            PipelineConfig(bootstrap="oracle")
+        with pytest.raises(ValueError):
+            PipelineConfig(n_pairs=2)
+
+
+class TestFit:
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            MetadataPipeline().fit([])
+
+    def test_unfitted_classify_raises(self, simple_table):
+        with pytest.raises(RuntimeError):
+            MetadataPipeline().classify(simple_table)
+
+    def test_hashed_fit_populates_state(self, hashed_pipeline):
+        assert hashed_pipeline.is_fitted
+        assert hashed_pipeline.row_centroids is not None
+        assert hashed_pipeline.col_centroids is not None
+        assert hashed_pipeline.embedder is not None
+        assert hashed_pipeline.fit_report is not None
+        assert hashed_pipeline.fit_report.total_seconds > 0
+
+    def test_contrastive_off_means_no_projection(self, hashed_pipeline):
+        assert hashed_pipeline.projection is None  # fixture disables it
+
+    def test_contrastive_on_builds_projection(self, ckg_train):
+        fields = get_domain("biomedical").field_map()
+        config = PipelineConfig(
+            embedding="hashed", hashed_fields=fields, n_pairs=100
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:20])
+        assert pipeline.projection is not None
+
+    def test_bare_tables_accepted(self, ckg_train):
+        tables = [item.table for item in ckg_train[:15]]
+        config = PipelineConfig(embedding="hashed", n_pairs=50)
+        pipeline = MetadataPipeline(config).fit(tables)
+        assert pipeline.is_fitted
+
+    def test_first_level_bootstrap_mode(self, ckg_train):
+        config = PipelineConfig(
+            embedding="hashed", bootstrap="first_level", n_pairs=50
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:15])
+        assert pipeline.is_fitted
+
+
+class TestClassification:
+    def test_annotation_shape(self, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        annotation = hashed_pipeline.classify(table)
+        assert len(annotation.row_labels) == table.n_rows
+        assert len(annotation.col_labels) == table.n_cols
+
+    def test_corpus_accuracy(self, hashed_pipeline, ckg_eval):
+        """Field-aware hashed embeddings should score very well on the
+        generator corpus — the oracle-ish upper bound."""
+        result = evaluate_corpus(ckg_eval, hashed_pipeline.classify)
+        assert result.hmd_accuracy[1] >= 0.85
+        assert result.vmd_accuracy[1] >= 0.85
+
+    def test_classify_corpus(self, hashed_pipeline, ckg_eval):
+        tables = [item.table for item in ckg_eval[:5]]
+        annotations = hashed_pipeline.classify_corpus(tables)
+        assert len(annotations) == 5
+
+    def test_classify_result_evidence(self, hashed_pipeline, ckg_eval):
+        result = hashed_pipeline.classify_result(ckg_eval[0].table)
+        assert result.row_evidence
+        assert result.col_evidence
+
+
+class TestTrainedBackends:
+    """Small but real training runs for the word2vec/contextual paths."""
+
+    def test_word2vec_backend(self, ckg_train, ckg_eval):
+        config = PipelineConfig(
+            embedding="word2vec",
+            word2vec=Word2VecConfig(dim=24, epochs=1, seed=0),
+            n_pairs=100,
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train)
+        result = evaluate_corpus(ckg_eval[:10], pipeline.classify)
+        assert result.n_tables == 10  # runs end to end
+
+    def test_contextual_backend(self, ckg_train):
+        config = PipelineConfig(
+            embedding="contextual",
+            contextual=ContextualConfig(dim=16, attention_dim=8, epochs=1),
+            n_pairs=100,
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:15])
+        annotation = pipeline.classify(ckg_train[0].table)
+        assert len(annotation.row_labels) == ckg_train[0].table.n_rows
+
+
+class TestLooksRelational:
+    def test_relational(self):
+        table = Table(
+            [["name", "score"], ["alpha", "1"], ["beta", "2"], ["gamma", "3"]]
+        )
+        assert looks_relational(table)
+
+    def test_numeric_first_row(self):
+        table = Table([["1", "2"], ["3", "4"], ["5", "6"]])
+        assert not looks_relational(table)
+
+    def test_hierarchical_blanks(self):
+        table = Table(
+            [["state", "x"], ["NY", "1"], ["", "2"], ["", "3"]]
+        )
+        assert not looks_relational(table)
+
+    def test_textual_body(self):
+        table = Table([["a", "b"], ["x", "y"], ["z", "w"]])
+        assert not looks_relational(table)
+
+    def test_single_row(self):
+        assert not looks_relational(Table([["a", "b"]]))
+
+
+class TestHybrid:
+    def test_requires_fitted(self):
+        with pytest.raises(ValueError):
+            HybridClassifier(MetadataPipeline())
+
+    def test_routing(self, hashed_pipeline):
+        hybrid = HybridClassifier(hashed_pipeline)
+        relational = Table(
+            [["name", "score"], ["alpha", "1"], ["beta", "2"], ["gamma", "3"]]
+        )
+        gst = Table(
+            [["age", "total"], ["acute", "alpha"], ["", "beta"], ["", "gamma"]]
+        )
+        fast = hybrid.classify(relational)
+        assert fast.hmd_depth == 1
+        hybrid.classify(gst)
+        assert hybrid.fast_path_count == 1
+        assert hybrid.full_path_count == 1
+
+    def test_custom_fast_path(self, hashed_pipeline):
+        calls = []
+
+        def fast(table):
+            calls.append(table)
+            from repro.tables.labels import TableAnnotation
+
+            return TableAnnotation.from_depths(
+                table.n_rows, table.n_cols, hmd_depth=1
+            )
+
+        hybrid = HybridClassifier(hashed_pipeline, fast_classify=fast)
+        relational = Table(
+            [["name", "score"], ["alpha", "1"], ["beta", "2"], ["gamma", "3"]]
+        )
+        hybrid.classify(relational)
+        assert len(calls) == 1

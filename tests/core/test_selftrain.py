@@ -1,0 +1,99 @@
+"""Tests for self-training refinement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import evaluate_corpus
+from repro.core.pipeline import MetadataPipeline, PipelineConfig
+from repro.core.selftrain import predicted_bootstrap, refine_self_training
+from repro.corpus.registry import build_split
+from repro.corpus.vocabularies import get_domain
+from repro.tables.labels import LevelKind
+
+
+@pytest.fixture(scope="module")
+def saus_pipeline_and_corpus():
+    """A markup-free fit: the scenario self-training exists for."""
+    train, evaluation = build_split("saus", n_train=120, n_eval=30, seed=3)
+    fields = get_domain("census").field_map()
+    config = PipelineConfig(
+        embedding="hashed",
+        hashed_fields=fields,
+        bootstrap="first_level",
+        n_pairs=200,
+    )
+    return MetadataPipeline(config).fit(train), train, evaluation
+
+
+class TestPredictedBootstrap:
+    def test_kinds_shapes(self, saus_pipeline_and_corpus):
+        pipeline, train, _ = saus_pipeline_and_corpus
+        table = train[0].table
+        labels = predicted_bootstrap(pipeline.classifier, table)
+        assert len(labels.row_kinds) == table.n_rows
+        assert len(labels.col_kinds) == table.n_cols
+        assert all(k is not None for k in labels.row_kinds)
+
+    def test_cmd_becomes_metadata(self, saus_pipeline_and_corpus):
+        """CMD predictions feed the metadata pool (they are metadata)."""
+        pipeline, train, _ = saus_pipeline_and_corpus
+        for item in train[:20]:
+            labels = predicted_bootstrap(pipeline.classifier, item.table)
+            assert all(
+                kind in (LevelKind.HMD, LevelKind.DATA)
+                for kind in labels.row_kinds
+            )
+
+
+class TestRefine:
+    def test_requires_fitted(self, simple_table):
+        with pytest.raises(ValueError):
+            refine_self_training(MetadataPipeline(), [simple_table])
+
+    def test_requires_corpus(self, saus_pipeline_and_corpus):
+        pipeline, _, _ = saus_pipeline_and_corpus
+        with pytest.raises(ValueError):
+            refine_self_training(pipeline, [])
+
+    def test_requires_positive_iterations(self, saus_pipeline_and_corpus):
+        pipeline, train, _ = saus_pipeline_and_corpus
+        with pytest.raises(ValueError):
+            refine_self_training(pipeline, train, iterations=0)
+
+    def test_original_untouched(self, saus_pipeline_and_corpus):
+        pipeline, train, _ = saus_pipeline_and_corpus
+        original_rows = pipeline.row_centroids
+        refined = refine_self_training(pipeline, train[:40])
+        assert pipeline.row_centroids is original_rows
+        assert refined is not pipeline
+        assert refined.embedder is pipeline.embedder  # shared, by design
+
+    def test_populates_deep_level_stats(self, saus_pipeline_and_corpus):
+        """The headline benefit: first-level bootstrap has no level-2
+        statistics; the refined centroids do."""
+        pipeline, train, _ = saus_pipeline_and_corpus
+        assert pipeline.row_centroids.stats_for_level(2) is None
+        refined = refine_self_training(pipeline, train)
+        stats = refined.row_centroids.stats_for_level(2)
+        assert stats is not None
+        assert stats.delta_prev_meta is not None
+
+    def test_accuracy_not_destroyed(self, saus_pipeline_and_corpus):
+        pipeline, train, evaluation = saus_pipeline_and_corpus
+        refined = refine_self_training(pipeline, train)
+        before = evaluate_corpus(evaluation, pipeline.classify)
+        after = evaluate_corpus(evaluation, refined.classify)
+        assert after.hmd_accuracy[1] >= before.hmd_accuracy[1] - 0.1
+        assert after.row_binary_accuracy >= before.row_binary_accuracy - 0.1
+
+    def test_multiple_iterations(self, saus_pipeline_and_corpus):
+        pipeline, train, _ = saus_pipeline_and_corpus
+        refined = refine_self_training(pipeline, train[:30], iterations=2)
+        assert refined.is_fitted
+
+    def test_bare_tables_accepted(self, saus_pipeline_and_corpus):
+        pipeline, train, _ = saus_pipeline_and_corpus
+        tables = [item.table for item in train[:20]]
+        refined = refine_self_training(pipeline, tables)
+        assert refined.is_fitted

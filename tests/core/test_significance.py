@@ -1,0 +1,129 @@
+"""Tests for bootstrap CIs and paired permutation tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.significance import (
+    ConfidenceInterval,
+    bootstrap_ci,
+    compare_methods,
+    paired_permutation_test,
+    per_table_outcomes,
+)
+from repro.core.metrics import table_level_accuracy
+from repro.tables.labels import LevelKind, TableAnnotation
+
+
+def _ann(hmd: int, rows: int = 5, cols: int = 3) -> TableAnnotation:
+    return TableAnnotation.from_depths(rows, cols, hmd_depth=hmd)
+
+
+class TestPerTableOutcomes:
+    def test_matches_table_level_accuracy(self):
+        pairs = [(_ann(2), _ann(2)), (_ann(2), _ann(1)), (_ann(1), _ann(1))]
+        outcomes = per_table_outcomes(pairs, kind=LevelKind.HMD, level=2)
+        assert len(outcomes) == 2  # the third table has no level 2
+        mean = sum(outcomes) / len(outcomes)
+        assert mean == table_level_accuracy(pairs, kind=LevelKind.HMD, level=2)
+
+    def test_strict_mode(self):
+        pairs = [(_ann(1), _ann(3))]
+        kind = per_table_outcomes(pairs, kind=LevelKind.HMD, level=1)
+        strict = per_table_outcomes(
+            pairs, kind=LevelKind.HMD, level=1, match="strict"
+        )
+        assert kind == [True]
+        assert strict == [True]  # over-extension claims levels 2-3, not 1
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            per_table_outcomes(
+                [(_ann(1), _ann(1))], kind=LevelKind.HMD, level=1, match="f"
+            )
+
+
+class TestBootstrapCi:
+    def test_interval_contains_estimate(self):
+        outcomes = [True] * 70 + [False] * 30
+        ci = bootstrap_ci(outcomes, seed=1)
+        assert ci.estimate == pytest.approx(0.7)
+        assert ci.estimate in ci
+        assert ci.lo < ci.estimate < ci.hi
+        assert ci.n_tables == 100
+
+    def test_width_shrinks_with_n(self):
+        narrow = bootstrap_ci([True, False] * 200, seed=2)
+        wide = bootstrap_ci([True, False] * 5, seed=2)
+        assert (narrow.hi - narrow.lo) < (wide.hi - wide.lo)
+
+    def test_degenerate_all_true(self):
+        ci = bootstrap_ci([True] * 20, seed=0)
+        assert ci.estimate == 1.0
+        assert ci.lo == 1.0 and ci.hi == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_ci([True], confidence=1.5)
+
+    def test_str(self):
+        text = str(bootstrap_ci([True, False], seed=0))
+        assert "%" in text and "n=2" in text
+
+    def test_deterministic(self):
+        a = bootstrap_ci([True, False, True], seed=7)
+        b = bootstrap_ci([True, False, True], seed=7)
+        assert (a.lo, a.hi) == (b.lo, b.hi)
+
+
+class TestPairedTest:
+    def test_identical_methods_not_significant(self):
+        outcomes = [True, False] * 20
+        result = paired_permutation_test(outcomes, outcomes, seed=3)
+        assert result.mean_difference == 0.0
+        assert result.p_value == 1.0
+
+    def test_clear_difference_significant(self):
+        a = [True] * 40
+        b = [False] * 30 + [True] * 10
+        result = paired_permutation_test(a, b, seed=3)
+        assert result.mean_difference == pytest.approx(0.75)
+        assert result.significant_at_05
+
+    def test_two_sided(self):
+        a = [False] * 30 + [True] * 10
+        b = [True] * 40
+        result = paired_permutation_test(a, b, seed=3)
+        assert result.mean_difference < 0
+        assert result.significant_at_05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_permutation_test([True], [True, False])
+        with pytest.raises(ValueError):
+            paired_permutation_test([], [])
+
+    def test_small_noise_not_significant(self):
+        a = [True] * 19 + [False]
+        b = [True] * 18 + [False] * 2
+        result = paired_permutation_test(a, b, seed=5)
+        assert not result.significant_at_05
+
+
+class TestCompareMethods:
+    def test_end_to_end(self, hashed_pipeline, ckg_eval):
+        from repro.baselines.table_transformer import TableTransformerBaseline
+
+        tt = TableTransformerBaseline()
+        ours_pairs = [
+            (i.annotation, hashed_pipeline.classify(i.table)) for i in ckg_eval
+        ]
+        tt_pairs = [(i.annotation, tt.classify(i.table)) for i in ckg_eval]
+        result = compare_methods(
+            ours_pairs, tt_pairs, kind=LevelKind.HMD, level=1
+        )
+        assert result.n_tables == len(ckg_eval)
+        assert -1.0 <= result.mean_difference <= 1.0
+        assert 0.0 < result.p_value <= 1.0

@@ -1,0 +1,173 @@
+"""Tests for the GST generator: structure, determinism, invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.corpus.generator import NUMERIC_STYLES, GeneratorConfig, GSTGenerator
+from repro.corpus.vocabularies import get_domain
+from repro.tables.labels import LevelKind
+from repro.text import is_numeric_cell
+
+
+def _config(**overrides) -> GeneratorConfig:
+    defaults = dict(domain=get_domain("biomedical"))
+    defaults.update(overrides)
+    return GeneratorConfig(**defaults)
+
+
+class TestConfigValidation:
+    def test_probs_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            _config(hmd_depth_probs={1: 0.5, 2: 0.2})
+
+    def test_hmd_zero_rejected(self):
+        with pytest.raises(ValueError):
+            _config(hmd_depth_probs={0: 1.0})
+
+    def test_unknown_styles(self):
+        with pytest.raises(ValueError):
+            _config(numeric_styles=("roman",))
+
+    def test_tiny_shapes_rejected(self):
+        with pytest.raises(ValueError):
+            _config(data_rows=(1, 3))
+
+
+class TestInvariants:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return GSTGenerator(_config(), seed=11).generate(40)
+
+    def test_annotation_matches_table(self, corpus):
+        for item in corpus:
+            assert len(item.annotation.row_labels) == item.table.n_rows
+            assert len(item.annotation.col_labels) == item.table.n_cols
+
+    def test_hmd_depth_consistent(self, corpus):
+        for item in corpus:
+            assert item.annotation.hmd_depth == item.meta["hmd_depth"]
+            assert item.annotation.vmd_depth == item.meta["vmd_depth"]
+
+    def test_hmd_rows_contiguous_from_top(self, corpus):
+        for item in corpus:
+            hmd = item.annotation.hmd_rows()
+            assert hmd == tuple(range(len(hmd)))
+
+    def test_vmd_cols_contiguous_from_left(self, corpus):
+        for item in corpus:
+            vmd = item.annotation.vmd_cols()
+            assert vmd == tuple(range(len(vmd)))
+
+    def test_header_rows_never_fully_blank(self, corpus):
+        for item in corpus:
+            for i in item.annotation.hmd_rows():
+                assert any(item.table.row(i)), item.table.name
+
+    def test_vmd_level1_column_has_values(self, corpus):
+        for item in corpus:
+            if item.vmd_depth >= 1:
+                body = item.table.col(0)[item.hmd_depth :]
+                assert any(body)
+
+    def test_table_names_unique(self, corpus):
+        names = [item.table.name for item in corpus]
+        assert len(set(names)) == len(names)
+
+    def test_meta_fields(self, corpus):
+        for item in corpus:
+            assert item.meta["profile"] == "biomedical"
+            assert isinstance(item.meta["has_cmd"], bool)
+
+    def test_cmd_rows_inside_body(self, corpus):
+        for item in corpus:
+            for row_index in item.annotation.cmd_rows:
+                assert row_index >= item.hmd_depth
+
+
+class TestDeterminism:
+    def test_same_seed_same_tables(self):
+        a = GSTGenerator(_config(), seed=3).generate(5)
+        b = GSTGenerator(_config(), seed=3).generate(5)
+        for x, y in zip(a, b):
+            assert x.table.rows == y.table.rows
+            assert x.html == y.html
+
+    def test_different_seed_differs(self):
+        a = GSTGenerator(_config(), seed=3).generate(3)
+        b = GSTGenerator(_config(), seed=4).generate(3)
+        assert any(x.table.rows != y.table.rows for x, y in zip(a, b))
+
+    def test_prefix_stability(self):
+        """Table i does not depend on how many tables are generated."""
+        a = GSTGenerator(_config(), seed=3).generate(2)
+        b = GSTGenerator(_config(), seed=3).generate(10)
+        assert a[0].table.rows == b[0].table.rows
+        assert a[1].table.rows == b[1].table.rows
+
+
+class TestForcedDepths:
+    @pytest.mark.parametrize("hmd,vmd", [(1, 0), (3, 1), (5, 3), (2, 2)])
+    def test_exact_depths(self, hmd, vmd):
+        items = GSTGenerator(_config(), seed=1).generate_with_depths(
+            4, hmd_depth=hmd, vmd_depth=vmd
+        )
+        for item in items:
+            assert item.hmd_depth == hmd
+            assert item.vmd_depth == vmd
+            assert not item.annotation.cmd_rows  # forced tables skip CMD
+
+
+class TestHtmlEmission:
+    def test_html_fraction_zero(self):
+        corpus = GSTGenerator(_config(html_fraction=0.0), seed=1).generate(10)
+        assert all(item.html is None for item in corpus)
+
+    def test_html_fraction_one(self):
+        corpus = GSTGenerator(_config(html_fraction=1.0), seed=1).generate(10)
+        assert all(item.html for item in corpus)
+        assert all(item.html.startswith("<table>") for item in corpus)
+
+
+class TestNumericStyles:
+    @pytest.mark.parametrize("style", NUMERIC_STYLES)
+    def test_styles_tokenize(self, style):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            cell = GSTGenerator._numeric_cell(rng, style)
+            assert cell
+            assert any(ch.isdigit() for ch in cell)
+
+    def test_unknown_style(self):
+        with pytest.raises(ValueError):
+            GSTGenerator._numeric_cell(np.random.default_rng(0), "weird")
+
+    def test_separator_style_numeric(self):
+        rng = np.random.default_rng(0)
+        assert is_numeric_cell(GSTGenerator._numeric_cell(rng, "separators"))
+
+
+class TestAbbreviation:
+    def test_long_words_truncate(self):
+        assert GSTGenerator._abbreviate("hospitalization rate") == "hosp. rate"
+
+    def test_short_words_kept(self):
+        assert GSTGenerator._abbreviate("age total") == "age total"
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    hmd=st.integers(min_value=1, max_value=5),
+    vmd=st.integers(min_value=0, max_value=3),
+    seed=st.integers(min_value=0, max_value=50),
+)
+def test_forced_depth_property(hmd, vmd, seed):
+    generator = GSTGenerator(_config(html_fraction=0.5), seed=seed)
+    item = generator.generate_with_depths(1, hmd_depth=hmd, vmd_depth=vmd)[0]
+    assert item.hmd_depth == hmd
+    assert item.vmd_depth == vmd
+    # the body must be deep enough to nest every VMD level
+    body_rows = item.table.n_rows - hmd
+    assert body_rows >= vmd

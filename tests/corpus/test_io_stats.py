@@ -1,0 +1,96 @@
+"""Tests for corpus JSONL persistence and corpus statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.io import iter_corpus, load_corpus, save_corpus
+from repro.corpus.registry import build_corpus
+from repro.corpus.stats import corpus_statistics, describe_corpus
+
+
+@pytest.fixture(scope="module")
+def small_corpus():
+    return build_corpus("ckg", n_tables=25, seed=17)
+
+
+class TestIo:
+    def test_round_trip(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        written = save_corpus(small_corpus, path)
+        assert written == 25
+        loaded = load_corpus(path)
+        assert len(loaded) == 25
+        for original, restored in zip(small_corpus, loaded):
+            assert restored.table.rows == original.table.rows
+            assert restored.annotation.hmd_depth == original.hmd_depth
+            assert restored.html == original.html
+            assert restored.meta == original.meta
+
+    def test_gzip_round_trip(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl.gz"
+        save_corpus(small_corpus[:5], path)
+        assert len(load_corpus(path)) == 5
+        # actually compressed (magic bytes)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+
+    def test_streaming(self, small_corpus, tmp_path):
+        path = tmp_path / "corpus.jsonl"
+        save_corpus(small_corpus[:4], path)
+        stream = iter_corpus(path)
+        first = next(stream)
+        assert first.table.rows == small_corpus[0].table.rows
+        assert sum(1 for _ in stream) == 3
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_corpus(tmp_path / "absent.jsonl")
+
+    def test_malformed_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"nope": 1}\n')
+        with pytest.raises(ValueError, match="bad.jsonl:1"):
+            load_corpus(path)
+
+    def test_blank_lines_skipped(self, small_corpus, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        save_corpus(small_corpus[:2], path)
+        path.write_text(path.read_text() + "\n\n")
+        assert len(load_corpus(path)) == 2
+
+
+class TestStats:
+    def test_counts(self, small_corpus):
+        stats = corpus_statistics(small_corpus)
+        assert stats.n_tables == 25
+        assert sum(stats.hmd_depth_counts.values()) == 25
+        assert sum(stats.vmd_depth_counts.values()) == 25
+        assert 0.0 <= stats.markup_coverage <= 1.0
+        assert stats.max_rows >= stats.median_rows
+
+    def test_depth_fraction(self, small_corpus):
+        stats = corpus_statistics(small_corpus)
+        total = sum(
+            stats.depth_fraction(hmd=depth) for depth in stats.hmd_depth_counts
+        )
+        assert total == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            stats.depth_fraction()
+        with pytest.raises(ValueError):
+            stats.depth_fraction(hmd=1, vmd=1)
+
+    def test_empty_corpus(self):
+        stats = corpus_statistics([])
+        assert stats.n_tables == 0
+        assert stats.markup_coverage == 0.0
+        assert stats.max_hmd_depth == 0
+
+    def test_describe_renders(self, small_corpus):
+        text = describe_corpus(small_corpus, name="ckg-sample")
+        assert "ckg-sample" in text
+        assert "HMD depth counts" in text
+        assert "markup coverage" in text
+
+    def test_markup_free_coverage(self):
+        corpus = build_corpus("saus", n_tables=10, seed=3)
+        assert corpus_statistics(corpus).markup_coverage == 0.0

@@ -1,0 +1,89 @@
+"""Tests for noisy HTML markup emission."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import bootstrap_from_html
+from repro.corpus.markup import CLEAN_MARKUP, MarkupNoise, render_noisy_html
+from repro.tables.html import parse_html_table
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def table_and_annotation():
+    table = Table(
+        [
+            ["age", "duration", "total"],
+            ["onset", "severity", "count"],
+            ["acute", "101", "202"],
+            ["", "103", "204"],
+            ["chronic", "105", "206"],
+        ]
+    )
+    ann = TableAnnotation.from_depths(5, 3, hmd_depth=2, vmd_depth=1)
+    return table, ann
+
+
+class TestNoiseValidation:
+    def test_probabilities_checked(self):
+        with pytest.raises(ValueError):
+            MarkupNoise(drop_thead_prob=1.5)
+
+
+class TestCleanRendering:
+    def test_clean_markup_faithful(self, table_and_annotation):
+        table, ann = table_and_annotation
+        rng = np.random.default_rng(0)
+        html = render_noisy_html(table, ann, rng, CLEAN_MARKUP)
+        labels = bootstrap_from_html(html)
+        assert labels.metadata_row_indices == (0, 1)
+        assert labels.metadata_col_indices == (0,)
+
+    def test_grid_preserved(self, table_and_annotation):
+        table, ann = table_and_annotation
+        rng = np.random.default_rng(0)
+        html = render_noisy_html(table, ann, rng, CLEAN_MARKUP)
+        assert parse_html_table(html).to_table().rows == table.rows
+
+
+class TestDegradation:
+    def test_full_demotion_hides_headers(self, table_and_annotation):
+        table, ann = table_and_annotation
+        noise = MarkupNoise(
+            drop_thead_prob=1.0,
+            demote_deep_hmd_prob=1.0,
+            th_to_td_prob=1.0,
+            drop_bold_prob=1.0,
+            spurious_th_prob=0.0,
+            spurious_bold_prob=0.0,
+        )
+        html = render_noisy_html(table, ann, np.random.default_rng(0), noise)
+        assert "<thead>" not in html
+        assert "<th>" not in html
+        assert "<b>" not in html
+
+    def test_noise_preserves_grid(self, table_and_annotation):
+        """Markup noise corrupts tags, never the cell content."""
+        table, ann = table_and_annotation
+        noise = MarkupNoise(0.5, 0.5, 0.5, 0.5, 0.2, 0.2)
+        for seed in range(5):
+            html = render_noisy_html(table, ann, np.random.default_rng(seed), noise)
+            assert parse_html_table(html).to_table().rows == table.rows
+
+    def test_spurious_th(self, table_and_annotation):
+        table, ann = table_and_annotation
+        noise = MarkupNoise(0.0, 0.0, 0.0, 0.0, spurious_th_prob=1.0)
+        html = render_noisy_html(table, ann, np.random.default_rng(0), noise)
+        labels = bootstrap_from_html(html)
+        # every data row got spuriously promoted
+        assert all(k is LevelKind.HMD for k in labels.row_kinds)
+
+    def test_deterministic_given_rng(self, table_and_annotation):
+        table, ann = table_and_annotation
+        noise = MarkupNoise()
+        a = render_noisy_html(table, ann, np.random.default_rng(7), noise)
+        b = render_noisy_html(table, ann, np.random.default_rng(7), noise)
+        assert a == b

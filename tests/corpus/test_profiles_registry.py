@@ -1,0 +1,83 @@
+"""Tests for dataset profiles and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.corpus.profiles import get_profile, list_profiles
+from repro.corpus.registry import (
+    build_corpus,
+    build_level_stratified,
+    build_split,
+    dataset_names,
+)
+
+
+class TestProfiles:
+    def test_six_datasets(self):
+        assert dataset_names() == [
+            "cius", "ckg", "cord19", "pubtables", "saus", "wdc",
+        ]
+
+    def test_unknown_profile(self):
+        with pytest.raises(KeyError, match="unknown profile"):
+            get_profile("imagenet")
+
+    def test_markup_availability_matches_paper(self):
+        """Sec. III-B: SAUS and CIUS have no HTML markup."""
+        assert not get_profile("saus").has_markup
+        assert not get_profile("cius").has_markup
+        assert get_profile("saus").config.html_fraction == 0.0
+        assert get_profile("cius").config.html_fraction == 0.0
+        for name in ("cord19", "ckg", "wdc", "pubtables"):
+            assert get_profile(name).has_markup
+
+    def test_depth_limits_match_paper(self):
+        """Table V structure: CKG is the only HMD-5 corpus; VMD max 3."""
+        assert get_profile("ckg").max_hmd_level == 5
+        assert get_profile("cord19").max_hmd_level == 4
+        assert get_profile("wdc").max_hmd_level == 1
+        assert all(p.max_vmd_level <= 3 for p in list_profiles())
+
+    def test_depth_probs_respect_limits(self):
+        for profile in list_profiles():
+            deepest = max(profile.config.hmd_depth_probs)
+            assert deepest >= profile.max_hmd_level
+
+
+class TestRegistry:
+    def test_build_corpus_deterministic(self):
+        a = build_corpus("cius", n_tables=5, seed=2)
+        b = build_corpus("cius", n_tables=5, seed=2)
+        assert [x.table.rows for x in a] == [y.table.rows for y in b]
+
+    def test_default_size(self):
+        corpus = build_corpus("wdc", n_tables=3)
+        assert len(corpus) == 3
+
+    def test_split_disjoint_names(self):
+        train, evaluation = build_split("ckg", n_train=5, n_eval=5, seed=1)
+        train_names = {item.table.name for item in train}
+        eval_names = {item.table.name for item in evaluation}
+        assert not train_names & eval_names
+
+    def test_split_disjoint_content(self):
+        train, evaluation = build_split("ckg", n_train=8, n_eval=8, seed=1)
+        train_rows = {item.table.rows for item in train}
+        assert all(item.table.rows not in train_rows for item in evaluation)
+
+    def test_stratified_depths(self):
+        items = build_level_stratified(
+            "ckg", hmd_depth=4, vmd_depth=2, n_tables=3, seed=0
+        )
+        assert len(items) == 3
+        assert all(item.hmd_depth == 4 for item in items)
+        assert all(item.vmd_depth == 2 for item in items)
+
+    def test_markup_free_datasets_have_no_html(self):
+        corpus = build_corpus("saus", n_tables=10, seed=0)
+        assert all(item.html is None for item in corpus)
+
+    def test_markup_datasets_have_some_html(self):
+        corpus = build_corpus("ckg", n_tables=20, seed=0)
+        assert any(item.html for item in corpus)

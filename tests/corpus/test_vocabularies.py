@@ -1,0 +1,92 @@
+"""Tests for domain vocabularies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.vocabularies import DomainVocabulary, domain_names, get_domain
+
+
+class TestRegistry:
+    def test_all_domains_load(self):
+        for name in domain_names():
+            domain = get_domain(name)
+            assert domain.name == name
+
+    def test_expected_domains(self):
+        assert set(domain_names()) == {
+            "academic", "biomedical", "census", "crime", "web",
+        }
+
+    def test_unknown_domain(self):
+        with pytest.raises(KeyError, match="unknown domain"):
+            get_domain("nope")
+
+
+class TestPhrases:
+    @pytest.mark.parametrize("name", ["biomedical", "crime", "census", "web", "academic"])
+    def test_phrase_generators_nonempty(self, name):
+        domain = get_domain(name)
+        rng = np.random.default_rng(0)
+        assert domain.attribute_phrase(rng)
+        assert domain.group_phrase(rng)
+        assert domain.entity_phrase(rng)
+        for level in (1, 2, 3):
+            assert domain.category_phrase(rng, level)
+
+    def test_category_level_clamps(self):
+        domain = get_domain("biomedical")
+        rng = np.random.default_rng(0)
+        # deeper than the deepest pool falls back to the last pool
+        phrase = domain.category_phrase(rng, 99)
+        assert phrase in domain.category_levels[-1]
+
+    def test_attribute_phrase_deterministic(self):
+        domain = get_domain("crime")
+        a = domain.attribute_phrase(np.random.default_rng(5))
+        b = domain.attribute_phrase(np.random.default_rng(5))
+        assert a == b
+
+
+class TestFieldMap:
+    def test_attribute_tokens_win_collisions(self):
+        """A token in both the entity and attribute pools maps to the
+        attribute field (mapping order guarantees it)."""
+        domain = get_domain("biomedical")
+        mapping = domain.field_map()
+        shared = domain.all_attribute_tokens() & domain.all_entity_tokens()
+        for token in shared:
+            assert mapping[token].endswith(":attribute")
+
+    def test_fields_namespaced_by_domain(self):
+        mapping = get_domain("web").field_map()
+        assert all(field.startswith("web:") for field in mapping.values())
+
+    def test_tokens_lowercase(self):
+        mapping = get_domain("census").field_map()
+        assert all(token == token.lower() for token in mapping)
+
+
+class TestValidation:
+    def test_empty_pools_rejected(self):
+        with pytest.raises(ValueError):
+            DomainVocabulary(
+                name="bad",
+                attribute_roots=(),
+                attribute_qualifiers=("x",),
+                group_terms=("y",),
+                category_levels=(("z",),),
+                entity_terms=("w",),
+            )
+
+    def test_missing_category_levels(self):
+        with pytest.raises(ValueError):
+            DomainVocabulary(
+                name="bad",
+                attribute_roots=("a",),
+                attribute_qualifiers=("x",),
+                group_terms=("y",),
+                category_levels=(),
+                entity_terms=("w",),
+            )

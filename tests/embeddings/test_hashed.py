@@ -1,0 +1,75 @@
+"""Tests for the hashed embedding backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embeddings.hashed import NUMERIC_FIELD, HashedEmbedding
+
+
+def cos(a: np.ndarray, b: np.ndarray) -> float:
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+
+class TestBasics:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            HashedEmbedding(0)
+        with pytest.raises(ValueError):
+            HashedEmbedding(8, field_weight=1.0)
+
+    def test_deterministic(self):
+        a = HashedEmbedding(16).vector("token")
+        b = HashedEmbedding(16).vector("token")
+        np.testing.assert_allclose(a, b)
+
+    def test_distinct_tokens_differ(self):
+        model = HashedEmbedding(32)
+        assert not np.allclose(model.vector("a"), model.vector("b"))
+
+    def test_unit_norm(self):
+        vec = HashedEmbedding(16).vector("anything")
+        assert np.isclose(np.linalg.norm(vec), 1.0)
+
+    def test_always_fitted(self):
+        assert HashedEmbedding(8).is_fitted
+
+
+class TestFields:
+    def test_same_field_tokens_close(self):
+        model = HashedEmbedding(32, fields={"x": "f", "y": "f", "z": "other"})
+        assert cos(model.vector("x"), model.vector("y")) > 0.3
+        assert cos(model.vector("x"), model.vector("y")) > cos(
+            model.vector("x"), model.vector("z")
+        )
+
+    def test_field_weight_controls_tightness(self):
+        loose = HashedEmbedding(32, fields={"x": "f", "y": "f"}, field_weight=0.2)
+        tight = HashedEmbedding(32, fields={"x": "f", "y": "f"}, field_weight=0.9)
+        assert cos(tight.vector("x"), tight.vector("y")) > cos(
+            loose.vector("x"), loose.vector("y")
+        )
+
+    def test_numeric_tokens_share_field(self):
+        model = HashedEmbedding(32)
+        assert cos(model.vector("123"), model.vector("98.5%")) > 0.3
+
+    def test_numeric_field_off(self):
+        model = HashedEmbedding(32, numeric_field=False)
+        assert cos(model.vector("123"), model.vector("45678")) < 0.5
+
+    def test_assign_field_later(self):
+        model = HashedEmbedding(32, field_weight=0.9)
+        before = model.vector("word")
+        model.assign_field("word", NUMERIC_FIELD)
+        after = model.vector("word")
+        assert not np.allclose(before, after)
+
+
+@given(st.text(min_size=1, max_size=20))
+def test_every_token_embeds(token):
+    vec = HashedEmbedding(8).vector(token)
+    assert vec.shape == (8,)
+    assert np.all(np.isfinite(vec))

@@ -1,0 +1,120 @@
+"""Tests for TermEmbedder (lookup, OOV back-off, centering)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder, corpus_mean_vector
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.text import Token, TokenKind
+
+
+class _NoneModel:
+    """A backend that knows nothing (everything is OOV)."""
+
+    @property
+    def dim(self) -> int:
+        return 8
+
+    def vector(self, token: str):
+        return None
+
+
+class TestLookup:
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TermEmbedder(_NoneModel(), oov="bogus")
+        with pytest.raises(ValueError):
+            TermEmbedder(_NoneModel(), ngram=1)
+
+    def test_backend_vector_passthrough(self):
+        model = HashedEmbedding(8)
+        embedder = TermEmbedder(model)
+        np.testing.assert_allclose(embedder.vector("x"), model.vector("x"))
+
+    def test_has_reflects_backend(self):
+        embedder = TermEmbedder(_NoneModel())
+        assert not embedder.has("anything")
+        assert TermEmbedder(HashedEmbedding(8)).has("anything")
+
+    def test_cache_consistency(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        first = embedder.vector("tok")
+        second = embedder.vector("tok")
+        assert first is second  # cached object
+        embedder.clear_cache()
+        np.testing.assert_allclose(embedder.vector("tok"), first)
+
+
+class TestOov:
+    def test_zero_strategy(self):
+        embedder = TermEmbedder(_NoneModel(), oov="zero")
+        assert np.all(embedder.vector("x") == 0)
+
+    def test_hash_strategy_deterministic(self):
+        embedder = TermEmbedder(_NoneModel(), oov="hash")
+        np.testing.assert_allclose(embedder.vector("x"), embedder.vector("x"))
+        assert not np.allclose(embedder.vector("x"), embedder.vector("y"))
+
+    def test_ngram_strategy_similar_strings_close(self):
+        embedder = TermEmbedder(_NoneModel(), oov="ngram")
+
+        def cos(a, b):
+            return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+        near = cos(embedder.vector("enrollment"), embedder.vector("enrollments"))
+        far = cos(embedder.vector("enrollment"), embedder.vector("zqxwvy"))
+        assert near > far
+
+    def test_ngram_short_token(self):
+        embedder = TermEmbedder(_NoneModel(), oov="ngram")
+        vec = embedder.vector("a")
+        assert vec.shape == (8,)
+        assert np.all(np.isfinite(vec))
+
+
+class TestBatch:
+    def test_embed_tokens_shapes(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        out = embedder.embed_tokens(["a", "b"])
+        assert out.shape == (2, 8)
+        assert embedder.embed_tokens([]).shape == (0, 8)
+
+    def test_token_objects_accepted(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        out = embedder.embed_tokens([Token("a", TokenKind.WORD)])
+        np.testing.assert_allclose(out[0], embedder.vector("a"))
+
+    def test_embed_cells_tokenizes(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        out = embedder.embed_cells(["Student enrollment", "14,373"])
+        assert out.shape == (3, 8)  # student, enrollment, 14373
+
+
+class TestCentering:
+    def test_shape_checked(self):
+        with pytest.raises(ValueError):
+            TermEmbedder(HashedEmbedding(8), centering=np.zeros(4))
+
+    def test_centering_applied(self):
+        model = HashedEmbedding(8)
+        center = np.ones(8) * 0.5
+        plain = TermEmbedder(model)
+        centered = TermEmbedder(model, centering=center)
+        np.testing.assert_allclose(
+            centered.vector("x"), plain.vector("x") - center
+        )
+
+    def test_corpus_mean_vector(self):
+        corpus = [["a", "b"], ["a", "c"], ["b", "c"]]
+        model = Word2Vec(Word2VecConfig(dim=8, epochs=1, seed=0)).fit(corpus)
+        mean = corpus_mean_vector(model)
+        assert mean is not None
+        assert mean.shape == (8,)
+        vectors = [model.vector(t) for t in ("a", "b", "c")]
+        np.testing.assert_allclose(mean, np.mean(vectors, axis=0))
+
+    def test_corpus_mean_none_without_vocab(self):
+        assert corpus_mean_vector(HashedEmbedding(8)) is None

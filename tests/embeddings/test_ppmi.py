@@ -1,0 +1,128 @@
+"""Tests for the PPMI+SVD count-based embedding backend."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embeddings.ppmi import NUM_BUCKET, PCT_BUCKET, PpmiConfig, PpmiSvdEmbedding
+
+
+def two_cluster_corpus(n: int = 100) -> list[list[str]]:
+    rng = np.random.default_rng(4)
+    header = ["age", "duration", "severity", "total", "count"]
+    data = ["alpha", "beta", "gamma", "delta", "epsilon"]
+    corpus = []
+    for _ in range(n):
+        pool = header if rng.random() < 0.5 else data
+        corpus.append(list(rng.choice(pool, size=6)))
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def trained() -> PpmiSvdEmbedding:
+    return PpmiSvdEmbedding(PpmiConfig(dim=16, window=2, min_count=1)).fit(
+        two_cluster_corpus()
+    )
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            PpmiConfig(dim=0)
+        with pytest.raises(ValueError):
+            PpmiConfig(shift=0.5)
+        with pytest.raises(ValueError):
+            PpmiConfig(eigenvalue_weighting=2.0)
+
+
+class TestTraining:
+    def test_fitted(self, trained):
+        assert trained.is_fitted
+        assert not PpmiSvdEmbedding().is_fitted
+
+    def test_vector_shape(self, trained):
+        vec = trained.vector("age")
+        assert vec is not None and vec.shape == (16,)
+        assert trained.vector("never-seen") is None
+
+    def test_deterministic(self):
+        corpus = two_cluster_corpus(40)
+        config = PpmiConfig(dim=8, min_count=1)
+        a = PpmiSvdEmbedding(config).fit(corpus)
+        b = PpmiSvdEmbedding(config).fit(corpus)
+        np.testing.assert_allclose(a.vector("age"), b.vector("age"), atol=1e-8)
+
+    def test_empty_corpus(self):
+        model = PpmiSvdEmbedding(PpmiConfig(dim=8)).fit([])
+        assert model.vector("x") is None
+
+    def test_degenerate_corpus(self):
+        """Singleton sentences produce no pairs but must not crash."""
+        model = PpmiSvdEmbedding(PpmiConfig(dim=8, min_count=1)).fit(
+            [["lonely"], ["words"]]
+        )
+        vec = model.vector("lonely")
+        assert vec is not None
+        assert np.all(vec == 0)
+
+
+class TestNumberBucketing:
+    def test_numbers_share_one_vector(self):
+        corpus = [["age", "123", "456"], ["duration", "789", "12"]] * 10
+        model = PpmiSvdEmbedding(PpmiConfig(dim=8, min_count=1)).fit(corpus)
+        np.testing.assert_allclose(model.vector("123"), model.vector("99999"))
+        assert model.vocab.id_of(NUM_BUCKET) is not None
+
+    def test_percent_bucket_distinct(self):
+        corpus = [["age", "12%", "5"], ["total", "99%", "7"]] * 10
+        model = PpmiSvdEmbedding(PpmiConfig(dim=8, min_count=1)).fit(corpus)
+        assert model.vocab.id_of(PCT_BUCKET) is not None
+        assert not np.allclose(model.vector("12%"), model.vector("5"))
+
+    def test_bucketing_off(self):
+        corpus = [["a", "123"], ["b", "123"]] * 5
+        model = PpmiSvdEmbedding(
+            PpmiConfig(dim=4, min_count=1, bucket_numbers=False)
+        ).fit(corpus)
+        assert model.vector("123") is not None
+        assert model.vector("456") is None  # unseen number is plain OOV
+
+
+class TestGeometry:
+    @staticmethod
+    def _cos(a, b):
+        return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12))
+
+    def test_clusters_separate(self, trained):
+        within = self._cos(trained.vector("age"), trained.vector("duration"))
+        across = self._cos(trained.vector("age"), trained.vector("alpha"))
+        assert within > across
+
+
+class TestPipelineIntegration:
+    def test_ppmi_backend_end_to_end(self, ckg_train, ckg_eval):
+        from repro.core.metrics import evaluate_corpus
+        from repro.core.pipeline import MetadataPipeline, PipelineConfig
+
+        config = PipelineConfig(
+            embedding="ppmi", ppmi=PpmiConfig(dim=32), n_pairs=100
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train)
+        result = evaluate_corpus(ckg_eval, pipeline.classify)
+        assert result.hmd_accuracy[1] >= 0.7
+
+    def test_persistence_round_trip(self, ckg_train, tmp_path):
+        from repro.core.persistence import load_pipeline, save_pipeline
+        from repro.core.pipeline import MetadataPipeline, PipelineConfig
+
+        config = PipelineConfig(
+            embedding="ppmi", ppmi=PpmiConfig(dim=16), n_pairs=100
+        )
+        pipeline = MetadataPipeline(config).fit(ckg_train[:25])
+        loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "p"))
+        for item in ckg_train[:5]:
+            assert (
+                pipeline.classify(item.table).row_labels
+                == loaded.classify(item.table).row_labels
+            )

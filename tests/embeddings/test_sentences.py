@@ -1,0 +1,51 @@
+"""Tests for table -> training-sentence construction."""
+
+from __future__ import annotations
+
+from repro.embeddings.sentences import sentences_from_table, sentences_from_tables
+from repro.embeddings.vocab import CLS, SEP
+from repro.tables.model import Table
+
+
+class TestRowSentences:
+    def test_cls_prefix_and_sep_between_cells(self, simple_table):
+        sentences = sentences_from_table(simple_table, include_columns=False)
+        first = sentences[0]
+        assert first[0] == CLS
+        assert SEP in first
+        assert "state" in first  # lowercased tokens
+
+    def test_row_count(self, simple_table):
+        sentences = sentences_from_table(simple_table, include_columns=False)
+        assert len(sentences) == simple_table.n_rows
+
+    def test_columns_included_by_default(self, simple_table):
+        sentences = sentences_from_table(simple_table)
+        assert len(sentences) == simple_table.n_rows + simple_table.n_cols
+
+    def test_blank_levels_skipped(self):
+        table = Table([["a", "b"], ["", ""]])
+        sentences = sentences_from_table(table, include_columns=False)
+        assert len(sentences) == 1
+
+    def test_max_len_truncates(self):
+        table = Table([["word " * 50, "more " * 50]])
+        sentences = sentences_from_table(table, include_columns=False, max_len=10)
+        assert all(len(s) <= 10 for s in sentences)
+
+    def test_numbers_normalized(self):
+        table = Table([["14,373", "96.7%"]])
+        sentence = sentences_from_table(table, include_columns=False)[0]
+        assert "14373" in sentence
+        assert "96.7%" in sentence
+
+
+class TestCorpusStream:
+    def test_streams_all_tables(self, simple_table):
+        tables = [simple_table, simple_table]
+        sentences = list(sentences_from_tables(tables, include_columns=False))
+        assert len(sentences) == 2 * simple_table.n_rows
+
+    def test_lazy_iterator(self, simple_table):
+        stream = sentences_from_tables([simple_table])
+        assert iter(stream) is stream

@@ -1,0 +1,99 @@
+"""Tests for the Vocabulary."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embeddings.vocab import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, Vocabulary
+
+
+@pytest.fixture
+def vocab() -> Vocabulary:
+    return Vocabulary.from_sentences(
+        [["a", "b", "a"], ["a", "c"], ["a", "b"]]
+    )
+
+
+class TestConstruction:
+    def test_specials_always_present(self, vocab):
+        for token in SPECIAL_TOKENS:
+            assert token in vocab
+        assert vocab.id_of(PAD) == 0
+
+    def test_frequency_order(self, vocab):
+        # most frequent non-special token gets the smallest id after specials
+        assert vocab.id_of("a") == vocab.n_special
+        assert vocab.count_of("a") == 4
+        assert vocab.count_of("b") == 2
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary.from_sentences([["x", "x", "y"]], min_count=2)
+        assert "x" in vocab
+        assert "y" not in vocab
+
+    def test_empty_corpus(self):
+        vocab = Vocabulary.from_sentences([])
+        assert len(vocab) == len(SPECIAL_TOKENS)
+        assert vocab.total_count == 0
+
+
+class TestMapping:
+    def test_round_trip(self, vocab):
+        for token in ("a", "b", "c", CLS, SEP):
+            token_id = vocab.id_of(token)
+            assert token_id is not None
+            assert vocab.token_of(token_id) == token
+
+    def test_unknown(self, vocab):
+        assert vocab.id_of("zzz") is None
+        assert vocab.count_of("zzz") == 0
+
+    def test_encode_drops_oov(self, vocab):
+        ids = vocab.encode(["a", "zzz", "b"])
+        assert len(ids) == 2
+
+    def test_encode_strict_raises(self, vocab):
+        with pytest.raises(KeyError):
+            vocab.encode(["zzz"], drop_oov=False)
+
+    def test_iteration(self, vocab):
+        tokens = list(vocab)
+        assert len(tokens) == len(vocab)
+        assert tokens[0] == PAD
+
+
+class TestDistributions:
+    def test_negative_sampling_probs(self, vocab):
+        probs = vocab.negative_sampling_probs()
+        assert probs.shape == (len(vocab),)
+        assert np.isclose(probs.sum(), 1.0)
+        # specials excluded
+        for token in SPECIAL_TOKENS:
+            assert probs[vocab.id_of(token)] == 0.0
+        # power < 1 flattens: a's share is below its raw frequency share
+        raw_share = 4 / vocab.total_count
+        assert probs[vocab.id_of("a")] < raw_share + 1e-9 or raw_share == 1.0
+
+    def test_subsample_keep_probs_bounds(self, vocab):
+        keep = vocab.subsample_keep_probs(threshold=1e-3)
+        assert keep.shape == (len(vocab),)
+        assert np.all(keep > 0)
+        assert np.all(keep <= 1.0)
+
+    def test_frequent_tokens_subsampled_harder(self):
+        sentences = [["hot"] * 50 + ["cold"]]
+        vocab = Vocabulary.from_sentences(sentences)
+        keep = vocab.subsample_keep_probs(threshold=1e-2)
+        assert keep[vocab.id_of("hot")] < keep[vocab.id_of("cold")]
+
+
+@given(st.lists(st.lists(st.text(min_size=1, max_size=4), max_size=6), max_size=6))
+def test_counts_match_corpus(sentences):
+    vocab = Vocabulary.from_sentences(sentences)
+    flat = [t for s in sentences for t in s]
+    assert vocab.total_count == len([t for t in flat if t in vocab])
+    for token in set(flat):
+        if not token.startswith("["):
+            assert vocab.count_of(token) == flat.count(token)

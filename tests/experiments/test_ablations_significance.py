@@ -1,0 +1,74 @@
+"""Smoke tests for the ablation and significance experiments.
+
+The full ablation studies are exercised (with shape assertions) by the
+benchmark suite; here we cover the cheap ones — those reusing the cached
+fitted pipeline — plus structural checks on the result schema.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import SMOKE, run_significance
+from repro.experiments.ablations import (
+    run_ablation_hybrid,
+    run_ablation_self_training,
+    run_ablation_similarity,
+)
+
+
+class TestSimilarityAblation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation_similarity(SMOKE)
+
+    def test_three_measures(self, result):
+        assert [row[0] for row in result.rows] == ["angle", "euclidean", "jaccard"]
+
+    def test_aucs_are_probabilities(self, result):
+        for row in result.rows:
+            assert 0.0 <= row[1] <= 1.0
+            assert 0.0 <= row[2] <= 1.0
+
+    def test_angle_width_robust(self, result):
+        aucs = {row[0]: row for row in result.rows}
+        assert aucs["angle"][2] >= 0.9
+        assert aucs["euclidean"][2] < aucs["angle"][2]
+
+
+class TestHybridAblation:
+    def test_rows_and_routing(self):
+        result = run_ablation_hybrid(SMOKE)
+        rows = {row[0]: row for row in result.rows}
+        assert set(rows) == {"full pipeline", "hybrid"}
+        assert rows["full pipeline"][4] == 0
+        assert rows["hybrid"][4] >= 0
+
+
+class TestSelfTrainingAblation:
+    def test_rows(self):
+        result = run_ablation_self_training(SMOKE)
+        labels = [row[0] for row in result.rows]
+        assert labels == ["base fit", "after self-training"]
+        assert all(row[1] is not None for row in result.rows)
+
+
+class TestSignificance:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_significance(SMOKE)
+
+    def test_schema(self, result):
+        assert result.headers[0] == "Comparison"
+        assert len(result.rows) >= 5
+        for row in result.rows:
+            assert row[4] in ("yes", "no")
+            assert 0.0 < row[3] <= 1.0  # p-value
+
+    def test_vmd_wins_significant(self, result):
+        vmd_rows = [r for r in result.rows if r[1].startswith("VMD")]
+        assert vmd_rows
+        assert all(r[4] == "yes" for r in vmd_rows)
+
+    def test_render(self, result):
+        assert "Paired significance" in result.render()

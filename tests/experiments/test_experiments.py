@@ -1,0 +1,174 @@
+"""Integration tests for the experiment harness.
+
+These exercise the artifact-regeneration paths end to end on CKG (the
+dataset every experiment includes) at the SMOKE scale.  Fits are cached
+by the runner, so the whole module costs one CKG fit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    SMOKE,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_runtime,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from repro.experiments.runner import (
+    ExperimentScale,
+    eval_corpus_for,
+    fitted_pipeline,
+    pipeline_config_for,
+    train_corpus_for,
+)
+
+
+class TestRunner:
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentScale(name="bad", n_train=0, n_eval=1, n_stratified=1)
+
+    def test_pipeline_cached(self):
+        a = fitted_pipeline("ckg", SMOKE)
+        b = fitted_pipeline("ckg", SMOKE)
+        assert a is b
+
+    def test_bootstrap_mode_per_dataset(self):
+        assert pipeline_config_for("saus", SMOKE).bootstrap == "first_level"
+        assert pipeline_config_for("ckg", SMOKE).bootstrap == "html"
+
+    def test_train_eval_disjoint(self):
+        train = train_corpus_for("ckg", SMOKE)
+        evaluation = eval_corpus_for("ckg", SMOKE)
+        train_names = {item.table.name for item in train}
+        assert all(item.table.name not in train_names for item in evaluation)
+
+    def test_eval_has_deep_strata(self):
+        evaluation = eval_corpus_for("ckg", SMOKE)
+        depths = {item.hmd_depth for item in evaluation}
+        assert {1, 2, 3, 4, 5} <= depths
+
+
+class TestCentroidTables:
+    def test_table2_rows(self):
+        result = run_table2(SMOKE)
+        assert len(result.rows) == 6  # six datasets
+        datasets = [row[0] for row in result.rows]
+        assert "pubtables" in datasets
+        text = result.render()
+        assert "Table II" in text
+
+    def test_table3_excludes_pubtables(self):
+        result = run_table3(SMOKE)
+        assert len(result.rows) == 5
+        assert all(row[0] != "pubtables" for row in result.rows)
+
+    def test_table1_levels(self):
+        result = run_table1(SMOKE)
+        levels = {row[1] for row in result.rows}
+        assert levels == {"Lev. 2", "Lev. 3", "Lev. 4", "Lev. 5"}
+        ckg_rows = [row for row in result.rows if row[0] == "ckg"]
+        assert len(ckg_rows) == 4  # CKG appears at levels 2-5
+
+    def test_table4_levels(self):
+        result = run_table4(SMOKE)
+        levels = {row[1] for row in result.rows}
+        assert levels == {"Lev. 2", "Lev. 3"}
+
+
+class TestAccuracyTable:
+    @pytest.fixture(scope="class")
+    def table5(self):
+        return run_table5(SMOKE, datasets=("ckg",))
+
+    def test_structure(self, table5):
+        rows = table5.result.rows
+        assert len(rows) == 5  # CKG: levels 1-5
+        assert rows[0][1] == "HMD1/VMD1"
+        assert rows[4][1] == "HMD5"
+
+    def test_baseline_dashes_beyond_level1(self, table5):
+        for row in table5.result.rows[1:]:
+            assert row[2] is None  # pytheas
+            assert row[3] is None  # tt
+
+    def test_paper_shape_ours_beats_llm_free_baselines_deep(self, table5):
+        scores = table5.per_dataset["ckg"]
+        ours = scores["ours"]
+        assert all(v is not None for v in ours.hmd.values())
+        # deep levels stay strong (the paper's headline claim)
+        assert ours.hmd[5] >= 60.0
+        assert ours.vmd[3] >= 60.0
+
+    def test_pytheas_strong_at_level1(self, table5):
+        scores = table5.per_dataset["ckg"]
+        assert scores["pytheas"].hmd[1] >= 90.0
+
+    def test_tt_below_pytheas(self, table5):
+        scores = table5.per_dataset["ckg"]
+        assert scores["tt"].hmd[1] <= scores["pytheas"].hmd[1]
+
+    def test_rf_extension(self):
+        result = run_table5(SMOKE, datasets=("ckg",), include_rf=True)
+        assert "RF (ext.)" in result.result.headers
+
+
+class TestLLMTable:
+    @pytest.fixture(scope="class")
+    def table6(self):
+        return run_table6(SMOKE)
+
+    def test_structure(self, table6):
+        assert len(table6.rows) == 5
+        assert table6.headers == ("Metadata Level", "GPT3.5", "GPT4", "RAG+GPT4")
+
+    def test_vmd3_zero_without_rag(self, table6):
+        level3 = table6.rows[2]
+        assert level3[1].endswith("/0.0")  # gpt-3.5
+        assert level3[2].endswith("/0.0")  # gpt-4
+
+    def test_render(self, table6):
+        assert "Table VI" in table6.render()
+
+
+class TestFigures:
+    def test_figure5_annotates(self):
+        figure = run_figure5(SMOKE)
+        text = figure.render()
+        assert "Fig. 5" in text
+        assert "Δ" in text
+        assert "C_MDE" in text
+        assert figure.result.row_evidence
+
+    def test_figure6_series(self):
+        figure = run_figure6(SMOKE)
+        assert set(figure.series) == {
+            "cord19", "ckg", "wdc", "cius", "saus", "pubtables",
+        }
+        assert len(figure.series["ckg"]) == 5
+        assert "Fig. 6" in figure.render()
+
+    def test_figure7_series(self):
+        figure = run_figure7(SMOKE)
+        assert "pubtables" not in figure.series
+        assert len(figure.series["ckg"]) == 3
+
+
+class TestRuntime:
+    def test_rows_and_positivity(self):
+        result = run_runtime(SMOKE)
+        methods = [row[0] for row in result.rows]
+        assert methods == ["ours", "pytheas", "table-transformer"]
+        ours = result.rows[0]
+        assert ours[1] > 0  # training took time
+        assert ours[2] > 0  # inference took time
+        # TT needs no corpus fit
+        assert result.rows[2][1] == 0.0

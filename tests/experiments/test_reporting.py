@@ -1,0 +1,60 @@
+"""Tests for ASCII rendering helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import ascii_bar_chart, ascii_table, percent
+
+
+class TestAsciiTable:
+    def test_basic_render(self):
+        text = ascii_table(
+            ["Name", "Value"], [["alpha", 1.5], ["beta", None]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "| alpha" in text
+        assert "1.5" in text
+        assert "-" in text  # None renders as dash
+
+    def test_column_width_adapts(self):
+        text = ascii_table(["H"], [["a-very-long-cell-value"]])
+        assert "a-very-long-cell-value" in text
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_table(["A", "B"], [["only-one"]])
+
+    def test_empty_rows(self):
+        text = ascii_table(["A"], [])
+        assert "A" in text
+
+
+class TestBarChart:
+    def test_values_scaled(self):
+        text = ascii_bar_chart(
+            {"ds": {"level 1": 100.0, "level 2": 50.0}}, width=10
+        )
+        lines = text.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[2].count("#") == 5
+
+    def test_none_renders_na(self):
+        text = ascii_bar_chart({"ds": {"level 1": None}})
+        assert "n/a" in text
+
+    def test_title(self):
+        text = ascii_bar_chart({}, title="Fig")
+        assert text.startswith("Fig")
+
+    def test_clamping(self):
+        text = ascii_bar_chart({"d": {"x": 500.0}}, width=10)
+        assert text.count("#") == 10
+
+
+class TestPercent:
+    def test_rounding(self):
+        assert percent(0.8571) == 85.7
+        assert percent(None) is None
+        assert percent(1.0) == 100.0

@@ -1,0 +1,42 @@
+"""Tests for the sensitivity sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import SMOKE
+from repro.experiments.sweep import SweepPoint, corpus_size_sweep, run_sweep
+
+
+class TestSweep:
+    def test_empty_points_rejected(self):
+        with pytest.raises(ValueError):
+            run_sweep([], dataset="ckg")
+
+    def test_single_point(self):
+        result = run_sweep(
+            [SweepPoint(n_train=80, dim=24)], dataset="ckg", scale=SMOKE
+        )
+        assert len(result.rows) == 1
+        row = result.rows[0]
+        assert row[0] == "n=80 d=24 e=2"
+        assert row[1] is not None  # HMD1 scored
+        assert row[5] > 0  # fit took time
+
+    def test_corpus_size_sweep_improves(self):
+        """The EXPERIMENTS.md finding: more tables -> better geometry.
+        Tested loosely (tiny corpora are noisy): the largest corpus must
+        beat the smallest at level 1."""
+        result = corpus_size_sweep(
+            dataset="ckg", sizes=(20, 80), dim=24, scale=SMOKE
+        )
+        smallest, largest = result.rows[0], result.rows[-1]
+        assert largest[1] >= smallest[1]
+
+    def test_render(self):
+        result = run_sweep(
+            [SweepPoint(n_train=40, dim=16, epochs=1)], dataset="wdc", scale=SMOKE
+        )
+        text = result.render()
+        assert "Sensitivity sweep" in text
+        assert "n=40 d=16 e=1" in text

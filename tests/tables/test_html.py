@@ -1,0 +1,123 @@
+"""Tests for HTML rendering and parsing of tables."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.tables.html import parse_html_table, render_html_table
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+
+class TestRender:
+    def test_header_rows_in_thead_with_th(self, hierarchical_table, hierarchical_annotation):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        assert html.startswith("<table>")
+        assert "<thead>" in html
+        head = html.split("</thead>")[0]
+        assert head.count("<tr>") == 2  # two HMD rows
+        assert "<th>" in head
+
+    def test_vmd_cells_bold(self, hierarchical_table, hierarchical_annotation):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        body = html.split("<tbody>")[1]
+        assert "<b>12 to 15 years</b>" in body
+
+    def test_vmd_indent_per_level(self):
+        table = Table([["h1", "h2", "x"], ["a", "b", "1"]])
+        ann = TableAnnotation.from_depths(2, 3, hmd_depth=1, vmd_depth=2)
+        html = render_html_table(table, ann)
+        assert "&nbsp;&nbsp;<b>b</b>" in html
+        assert "<td><b>a</b></td>" in html  # level 1: no indent
+
+    def test_escaping(self):
+        table = Table([["a<b", "x&y"], ["1", "2"]])
+        ann = TableAnnotation.from_depths(2, 2, hmd_depth=1)
+        html = render_html_table(table, ann)
+        assert "a&lt;b" in html
+        assert "x&amp;y" in html
+
+    def test_no_headers_no_thead(self):
+        table = Table([["1", "2"], ["3", "4"]])
+        ann = TableAnnotation.from_depths(2, 2)
+        html = render_html_table(table, ann)
+        assert "<thead>" not in html
+
+
+class TestParse:
+    def test_round_trip_grid(self, hierarchical_table, hierarchical_annotation):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        parsed = parse_html_table(html)
+        assert parsed.to_table().rows == hierarchical_table.rows
+
+    def test_thead_rows_detected(self, hierarchical_table, hierarchical_annotation):
+        html = render_html_table(hierarchical_table, hierarchical_annotation)
+        parsed = parse_html_table(html)
+        assert parsed.thead_rows == {0, 1}
+        assert parsed.th_fraction(0) == 1.0
+        assert parsed.th_fraction(2) == 0.0
+
+    def test_bold_and_indent_signals(self):
+        table = Table([["h1", "h2", "x"], ["a", "b", "1"], ["c", "d", "2"]])
+        ann = TableAnnotation.from_depths(3, 3, hmd_depth=1, vmd_depth=2)
+        parsed = parse_html_table(render_html_table(table, ann))
+        assert parsed.bold_or_indent_fraction(0) > 0.5
+        assert parsed.bold_or_indent_fraction(2) == 0.0
+        # level-2 cells carry the nbsp indent
+        assert parsed.cells[1][1].indent > 0
+
+    def test_blank_fraction(self):
+        table = Table([["h", "x"], ["a", "1"], ["", "2"], ["", "3"]])
+        ann = TableAnnotation.from_depths(4, 2, hmd_depth=1, vmd_depth=1)
+        parsed = parse_html_table(render_html_table(table, ann))
+        assert parsed.blank_fraction(0) == 0.5
+
+    def test_malformed_html_tolerated(self):
+        parsed = parse_html_table("<table><tr><td>a<td>b</tr><tr><td>c</table>")
+        assert parsed.n_rows == 2
+        assert parsed.cells[0][0].text == "a"
+        assert parsed.cells[0][1].text == "b"
+        assert parsed.cells[1][0].text == "c"
+
+    def test_empty_input(self):
+        parsed = parse_html_table("")
+        assert parsed.n_rows == 0
+
+    def test_strong_counts_as_bold(self):
+        parsed = parse_html_table(
+            "<table><tr><td><strong>x</strong></td></tr></table>"
+        )
+        assert parsed.cells[0][0].is_bold
+
+    def test_nested_tags_inside_cell(self):
+        parsed = parse_html_table(
+            "<table><tr><td><b>a</b> and <b>b</b></td></tr></table>"
+        )
+        assert parsed.cells[0][0].text == "a and b"
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+cell_text = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=12,
+).map(lambda s: " ".join(s.split()))
+
+
+@given(
+    st.lists(st.lists(cell_text, min_size=1, max_size=4), min_size=1, max_size=5),
+    st.integers(min_value=0, max_value=2),
+    st.integers(min_value=0, max_value=2),
+)
+def test_render_parse_round_trip(raw, hmd, vmd):
+    table = Table(raw)
+    hmd = min(hmd, table.n_rows)
+    vmd = min(vmd, table.n_cols)
+    ann = TableAnnotation.from_depths(
+        table.n_rows, table.n_cols, hmd_depth=hmd, vmd_depth=vmd
+    )
+    parsed = parse_html_table(render_html_table(table, ann))
+    assert parsed.to_table().rows == table.rows
+    assert parsed.thead_rows == set(range(hmd))

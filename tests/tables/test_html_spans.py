@@ -1,0 +1,103 @@
+"""Tests for colspan/rowspan support in the HTML layer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.corpus.markup import MarkupNoise, render_noisy_html
+from repro.tables.html import parse_html_table, render_html_table
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def spanning_table():
+    table = Table(
+        [
+            ["Group A", "", "Group B", ""],
+            ["a", "b", "c", "d"],
+            ["1", "2", "3", "4"],
+        ]
+    )
+    return table, TableAnnotation.from_depths(3, 4, hmd_depth=2)
+
+
+class TestRenderColspan:
+    def test_colspan_emitted(self, spanning_table):
+        table, ann = spanning_table
+        html = render_html_table(table, ann, use_colspan=True)
+        assert 'colspan="2"' in html
+        # the level-2 row has no spans
+        assert html.count("colspan") == 2
+
+    def test_round_trip_exact(self, spanning_table):
+        table, ann = spanning_table
+        html = render_html_table(table, ann, use_colspan=True)
+        assert parse_html_table(html).to_table().rows == table.rows
+
+    def test_off_by_default(self, spanning_table):
+        table, ann = spanning_table
+        assert "colspan" not in render_html_table(table, ann)
+
+
+class TestParseSpans:
+    def test_colspan_expands(self):
+        parsed = parse_html_table(
+            '<table><tr><th colspan="3">x</th><th>y</th></tr></table>'
+        )
+        assert [c.text for c in parsed.cells[0]] == ["x", "", "", "y"]
+
+    def test_continuation_inherits_th(self):
+        parsed = parse_html_table(
+            '<table><tr><th colspan="2">x</th></tr></table>'
+        )
+        assert parsed.th_fraction(0) == 1.0
+        assert parsed.cells[0][1].is_continuation
+
+    def test_rowspan_expands_down(self):
+        parsed = parse_html_table(
+            '<table><tr><td rowspan="2">x</td><td>1</td></tr>'
+            "<tr><td>2</td></tr></table>"
+        )
+        assert [c.text for c in parsed.cells[0]] == ["x", "1"]
+        assert [c.text for c in parsed.cells[1]] == ["", "2"]
+        assert parsed.cells[1][0].is_continuation
+
+    def test_combined_spans(self):
+        parsed = parse_html_table(
+            '<table><tr><td rowspan="2" colspan="2">x</td><td>a</td></tr>'
+            "<tr><td>b</td></tr></table>"
+        )
+        assert [c.text for c in parsed.cells[0]] == ["x", "", "a"]
+        assert [c.text for c in parsed.cells[1]] == ["", "", "b"]
+
+    def test_garbage_span_attr_tolerated(self):
+        parsed = parse_html_table(
+            '<table><tr><td colspan="banana">x</td><td>y</td></tr></table>'
+        )
+        assert [c.text for c in parsed.cells[0]] == ["x", "y"]
+
+    def test_zero_span_clamped(self):
+        parsed = parse_html_table(
+            '<table><tr><td colspan="0">x</td></tr></table>'
+        )
+        assert [c.text for c in parsed.cells[0]] == ["x"]
+
+
+class TestNoisyColspanMarkup:
+    def test_grid_preserved_under_colspan_markup(self, spanning_table):
+        table, ann = spanning_table
+        noise = MarkupNoise(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, colspan_prob=1.0)
+        html = render_noisy_html(table, ann, np.random.default_rng(0), noise)
+        assert "colspan" in html
+        assert parse_html_table(html).to_table().rows == table.rows
+
+    def test_bootstrap_sees_header_rows(self, spanning_table):
+        from repro.core.bootstrap import bootstrap_from_html
+
+        table, ann = spanning_table
+        noise = MarkupNoise(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, colspan_prob=1.0)
+        html = render_noisy_html(table, ann, np.random.default_rng(1), noise)
+        labels = bootstrap_from_html(html)
+        assert labels.metadata_row_indices == (0, 1)

@@ -1,0 +1,102 @@
+"""Tests for CSV and JSON serialization."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tables.csvio import table_from_csv, table_to_csv
+from repro.tables.jsonio import (
+    annotated_table_from_json,
+    annotated_table_to_json,
+    table_from_json,
+    table_to_json,
+)
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table
+
+
+class TestCsv:
+    def test_round_trip(self, simple_table):
+        text = table_to_csv(simple_table)
+        back = table_from_csv(text)
+        assert back.rows == simple_table.rows
+
+    def test_quoting(self):
+        table = Table([['a,b', 'he said "hi"'], ["1", "2"]])
+        back = table_from_csv(table_to_csv(table))
+        assert back.rows == table.rows
+
+    def test_no_trailing_newline(self, simple_table):
+        assert not table_to_csv(simple_table).endswith("\n")
+
+    def test_ragged_csv_pads(self):
+        back = table_from_csv("a,b,c\nd")
+        assert back.row(1) == ("d", "", "")
+
+    def test_name_source_passthrough(self):
+        table = table_from_csv("a,b", name="t", source="s")
+        assert table.name == "t"
+        assert table.source == "s"
+
+
+class TestJsonTable:
+    def test_round_trip(self, simple_table):
+        back = table_from_json(table_to_json(simple_table))
+        assert back.rows == simple_table.rows
+        assert back.name == simple_table.name
+
+    def test_bad_payload(self):
+        with pytest.raises(ValueError):
+            table_from_json(json.dumps({"not_rows": []}))
+        with pytest.raises(ValueError):
+            table_from_json(json.dumps([1, 2, 3]))
+
+
+class TestJsonAnnotated:
+    def test_round_trip(self, hierarchical_table, hierarchical_annotation):
+        item = AnnotatedTable(
+            table=hierarchical_table,
+            annotation=hierarchical_annotation,
+            html="<table></table>",
+            meta={"profile": "ckg", "hmd_depth": 2},
+        )
+        back = annotated_table_from_json(annotated_table_to_json(item))
+        assert back.table.rows == item.table.rows
+        assert back.annotation.hmd_depth == 2
+        assert back.annotation.vmd_depth == 1
+        assert back.html == "<table></table>"
+        assert back.meta["profile"] == "ckg"
+
+    def test_cmd_labels_survive(self):
+        table = Table([["h", "x"], ["a", "1"], ["sub", ""], ["b", "2"]])
+        ann = TableAnnotation.from_depths(4, 2, hmd_depth=1, cmd_rows=[2])
+        item = AnnotatedTable(table=table, annotation=ann)
+        back = annotated_table_from_json(annotated_table_to_json(item))
+        assert back.annotation.row_labels[2].kind is LevelKind.CMD
+
+    def test_no_html_is_none(self, simple_table):
+        ann = TableAnnotation.from_depths(4, 4, hmd_depth=1)
+        item = AnnotatedTable(table=simple_table, annotation=ann)
+        back = annotated_table_from_json(annotated_table_to_json(item))
+        assert back.html is None
+
+
+csv_cell = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=10,
+).map(lambda s: " ".join(s.split()))
+
+
+@given(st.lists(st.lists(csv_cell, min_size=1, max_size=4), min_size=1, max_size=5))
+def test_csv_round_trip_property(raw):
+    table = Table(raw)
+    assert table_from_csv(table_to_csv(table)).rows == table.rows
+
+
+@given(st.lists(st.lists(csv_cell, min_size=1, max_size=4), min_size=1, max_size=5))
+def test_json_round_trip_property(raw):
+    table = Table(raw, name="t")
+    assert table_from_json(table_to_json(table)).rows == table.rows

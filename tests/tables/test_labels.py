@@ -1,0 +1,121 @@
+"""Tests for level labels and table annotations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tables.labels import LevelKind, LevelLabel, TableAnnotation
+
+
+class TestLevelLabel:
+    def test_data_has_no_depth(self):
+        with pytest.raises(ValueError):
+            LevelLabel(LevelKind.DATA, 1)
+
+    def test_metadata_needs_depth(self):
+        with pytest.raises(ValueError):
+            LevelLabel(LevelKind.HMD, 0)
+
+    def test_constructors(self):
+        assert LevelLabel.hmd(2).level == 2
+        assert LevelLabel.vmd(1).kind is LevelKind.VMD
+        assert LevelLabel.cmd().level == 1
+        assert LevelLabel.data().kind is LevelKind.DATA
+
+    def test_str(self):
+        assert str(LevelLabel.hmd(3)) == "HMD3"
+        assert str(LevelLabel.data()) == "DATA"
+
+    def test_is_metadata(self):
+        assert LevelKind.HMD.is_metadata
+        assert LevelKind.CMD.is_metadata
+        assert not LevelKind.DATA.is_metadata
+
+
+class TestTableAnnotation:
+    def test_vmd_not_allowed_in_rows(self):
+        with pytest.raises(ValueError):
+            TableAnnotation(row_labels=(LevelLabel.vmd(1),))
+
+    def test_hmd_not_allowed_in_cols(self):
+        with pytest.raises(ValueError):
+            TableAnnotation(col_labels=(LevelLabel.hmd(1),))
+
+    def test_string_coercion(self):
+        ann = TableAnnotation(row_labels=("HMD", "DATA"), col_labels=("VMD",))
+        assert ann.row_labels[0] == LevelLabel.hmd(1)
+        assert ann.col_labels[0] == LevelLabel.vmd(1)
+
+    def test_from_depths_basic(self):
+        ann = TableAnnotation.from_depths(5, 4, hmd_depth=2, vmd_depth=1)
+        assert ann.hmd_depth == 2
+        assert ann.vmd_depth == 1
+        assert ann.row_labels[0].level == 1
+        assert ann.row_labels[1].level == 2
+        assert ann.row_labels[2].kind is LevelKind.DATA
+        assert ann.data_rows == (2, 3, 4)
+        assert ann.data_cols == (1, 2, 3)
+
+    def test_from_depths_cmd(self):
+        ann = TableAnnotation.from_depths(6, 3, hmd_depth=1, cmd_rows=[3])
+        assert ann.cmd_rows == (3,)
+        assert 3 not in ann.data_rows
+
+    def test_from_depths_cmd_in_header_rejected(self):
+        with pytest.raises(ValueError):
+            TableAnnotation.from_depths(6, 3, hmd_depth=2, cmd_rows=[1])
+
+    def test_from_depths_overflow(self):
+        with pytest.raises(ValueError):
+            TableAnnotation.from_depths(2, 2, hmd_depth=3)
+        with pytest.raises(ValueError):
+            TableAnnotation.from_depths(2, 2, vmd_depth=3)
+
+    def test_level_queries(self):
+        ann = TableAnnotation.from_depths(5, 5, hmd_depth=3, vmd_depth=2)
+        assert ann.hmd_rows(2) == (1,)
+        assert ann.hmd_rows() == (0, 1, 2)
+        assert ann.vmd_cols(1) == (0,)
+        assert ann.vmd_cols() == (0, 1)
+
+    def test_hmd_depth_counts_leading_only(self):
+        ann = TableAnnotation(
+            row_labels=(
+                LevelLabel.hmd(1),
+                LevelLabel.data(),
+                LevelLabel.cmd(1),
+            ),
+            col_labels=(LevelLabel.data(),),
+        )
+        assert ann.hmd_depth == 1
+        assert ann.cmd_rows == (2,)
+
+
+class TestTransposed:
+    def test_roles_swap(self):
+        ann = TableAnnotation.from_depths(4, 3, hmd_depth=2, vmd_depth=1)
+        flipped = ann.transposed()
+        assert flipped.hmd_depth == 1
+        assert flipped.vmd_depth == 2
+        assert len(flipped.row_labels) == 3
+        assert len(flipped.col_labels) == 4
+
+    def test_cmd_becomes_vmd(self):
+        ann = TableAnnotation.from_depths(5, 2, hmd_depth=1, cmd_rows=[3])
+        flipped = ann.transposed()
+        assert flipped.col_labels[3].kind is LevelKind.VMD
+
+    @given(
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=1, max_value=6),
+        st.integers(min_value=0, max_value=3),
+        st.integers(min_value=0, max_value=3),
+    )
+    def test_double_transpose_preserves_depths(self, rows, cols, hmd, vmd):
+        hmd = min(hmd, rows)
+        vmd = min(vmd, cols)
+        ann = TableAnnotation.from_depths(rows, cols, hmd_depth=hmd, vmd_depth=vmd)
+        twice = ann.transposed().transposed()
+        assert twice.hmd_depth == ann.hmd_depth
+        assert twice.vmd_depth == ann.vmd_depth

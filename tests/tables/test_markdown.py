@@ -1,0 +1,96 @@
+"""Tests for markdown pipe-table parsing and rendering."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tables.labels import TableAnnotation
+from repro.tables.markdown import table_from_markdown, table_to_markdown
+from repro.tables.model import Table
+
+
+MD = """\
+Some prose before the table.
+
+| Name  | Score | Year |
+| ----- | :---: | ---: |
+| alpha | 12    | 2001 |
+| beta  | 34    | 2002 |
+
+Prose after.
+"""
+
+
+class TestParse:
+    def test_basic(self):
+        table = table_from_markdown(MD, name="t")
+        assert table.shape == (3, 3)
+        assert table.row(0) == ("Name", "Score", "Year")
+        assert table.cell(2, 0) == "beta"
+        assert table.name == "t"
+
+    def test_separator_dropped(self):
+        table = table_from_markdown(MD)
+        assert not any("---" in cell for _, _, cell in table.iter_cells())
+
+    def test_alignment_colons_ok(self):
+        table = table_from_markdown("| a |\n|:---:|\n| 1 |")
+        assert table.shape == (2, 1)
+
+    def test_no_table_raises(self):
+        with pytest.raises(ValueError):
+            table_from_markdown("just words, no pipes")
+
+    def test_escaped_pipe(self):
+        table = table_from_markdown("| a\\|b | c |\n| --- | --- |\n| 1 | 2 |")
+        assert table.cell(0, 0) == "a|b"
+
+    def test_missing_outer_pipes(self):
+        table = table_from_markdown("a | b\n--- | ---\n1 | 2")
+        assert table.shape == (2, 2)
+
+    def test_stops_at_blank_after_table(self):
+        text = MD + "\n| orphan | row |\n"
+        table = table_from_markdown(text)
+        assert table.n_rows == 3  # the later fragment is a new block
+
+
+class TestRender:
+    def test_round_trip(self):
+        table = Table([["Name", "Score"], ["alpha", "12"], ["beta", "34"]])
+        back = table_from_markdown(table_to_markdown(table))
+        assert back.rows == table.rows
+
+    def test_pipe_escaping_round_trip(self):
+        table = Table([["a|b", "c"], ["1", "2"]])
+        back = table_from_markdown(table_to_markdown(table))
+        assert back.rows == table.rows
+
+    def test_annotation_positions_separator(self):
+        table = Table([["G", ""], ["a", "b"], ["1", "2"]])
+        annotation = TableAnnotation.from_depths(3, 2, hmd_depth=2)
+        text = table_to_markdown(table, annotation=annotation)
+        lines = text.splitlines()
+        assert "---" in lines[2]  # separator under the 2-row header
+
+    def test_empty_table_rejected(self):
+        with pytest.raises(ValueError):
+            table_to_markdown(Table([]))
+
+    def test_annotation_shape_checked(self):
+        table = Table([["a"], ["1"]])
+        with pytest.raises(ValueError):
+            table_to_markdown(
+                table, annotation=TableAnnotation.from_depths(3, 1, hmd_depth=1)
+            )
+
+
+cells = st.text(alphabet="abc123 ", min_size=1, max_size=6).map(str.strip).filter(bool)
+
+
+@given(st.lists(st.lists(cells, min_size=1, max_size=4), min_size=2, max_size=5))
+def test_round_trip_property(raw):
+    table = Table(raw)
+    back = table_from_markdown(table_to_markdown(table))
+    assert back.rows == table.rows

@@ -1,0 +1,149 @@
+"""Tests for the Table / AnnotatedTable data model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import AnnotatedTable, Table, tables_of
+
+
+class TestConstruction:
+    def test_ragged_rows_pad(self):
+        table = Table([["a", "b", "c"], ["d"]])
+        assert table.shape == (2, 3)
+        assert table.row(1) == ("d", "", "")
+
+    def test_cells_normalize(self):
+        table = Table([["  a  b ", None, 42]])
+        assert table.row(0) == ("a b", "", "42")
+
+    def test_empty_table(self):
+        table = Table([])
+        assert table.shape == (0, 0)
+        assert not table
+        assert list(table.iter_rows()) == []
+
+    def test_name_and_source(self):
+        table = Table([["x"]], name="t1", source="ckg")
+        assert table.name == "t1"
+        assert table.source == "ckg"
+
+    def test_immutability(self):
+        table = Table([["a"]])
+        with pytest.raises(AttributeError):
+            table.rows = ()
+
+
+class TestAccess:
+    def test_row_col_cell(self, simple_table):
+        assert simple_table.row(0)[0] == "State"
+        assert simple_table.col(0) == ("State", "New York", "New York", "Indiana")
+        assert simple_table.cell(1, 2) == "19,639"
+
+    def test_col_out_of_range(self, simple_table):
+        with pytest.raises(IndexError):
+            simple_table.col(99)
+
+    def test_iter_cols_matches_col(self, simple_table):
+        cols = list(simple_table.iter_cols())
+        assert cols[2] == simple_table.col(2)
+
+    def test_iter_cells_covers_grid(self, simple_table):
+        cells = list(simple_table.iter_cells())
+        assert len(cells) == simple_table.n_rows * simple_table.n_cols
+        assert cells[0] == (0, 0, "State")
+
+    def test_depth_is_row_count(self, simple_table):
+        assert simple_table.depth == 4
+
+    def test_len_and_bool(self, simple_table):
+        assert len(simple_table) == 4
+        assert simple_table
+
+
+class TestDerived:
+    def test_transpose_shape(self, simple_table):
+        flipped = simple_table.transpose()
+        assert flipped.shape == (simple_table.n_cols, simple_table.n_rows)
+        assert flipped.row(0) == simple_table.col(0)
+
+    def test_transpose_empty(self):
+        assert Table([]).transpose().shape == (0, 0)
+
+    def test_slice_rows(self, simple_table):
+        body = simple_table.slice_rows(1)
+        assert body.n_rows == 3
+        assert body.row(0) == simple_table.row(1)
+
+    def test_with_name(self, simple_table):
+        renamed = simple_table.with_name("other")
+        assert renamed.name == "other"
+        assert renamed.rows == simple_table.rows
+
+    def test_to_text_renders_all_rows(self, simple_table):
+        text = simple_table.to_text()
+        assert text.count("\n") == simple_table.n_rows - 1
+        assert "State" in text
+
+    def test_to_text_empty(self):
+        assert Table([]).to_text() == "(empty table)"
+
+
+class TestAnnotatedTable:
+    def test_shape_mismatch_rows(self, simple_table):
+        annotation = TableAnnotation.from_depths(3, 4, hmd_depth=1)
+        with pytest.raises(ValueError):
+            AnnotatedTable(table=simple_table, annotation=annotation)
+
+    def test_shape_mismatch_cols(self, simple_table):
+        annotation = TableAnnotation.from_depths(4, 2, hmd_depth=1)
+        with pytest.raises(ValueError):
+            AnnotatedTable(table=simple_table, annotation=annotation)
+
+    def test_accessors(self, simple_table):
+        annotation = TableAnnotation.from_depths(4, 4, hmd_depth=1, vmd_depth=1)
+        item = AnnotatedTable(table=simple_table, annotation=annotation)
+        assert item.hmd_depth == 1
+        assert item.vmd_depth == 1
+        assert item.metadata_rows() == [simple_table.row(0)]
+        assert len(item.data_rows()) == 3
+        assert item.metadata_cols() == [simple_table.col(0)]
+        assert len(item.data_cols()) == 3
+
+    def test_tables_of(self, simple_table):
+        annotation = TableAnnotation.from_depths(4, 4, hmd_depth=1)
+        items = [AnnotatedTable(table=simple_table, annotation=annotation)]
+        assert tables_of(items) == [simple_table]
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+grids = st.lists(
+    st.lists(st.text(max_size=6), min_size=1, max_size=5),
+    min_size=1,
+    max_size=6,
+)
+
+
+class TestProperties:
+    @given(grids)
+    def test_always_rectangular(self, raw):
+        table = Table(raw)
+        widths = {len(row) for row in table.rows}
+        assert len(widths) == 1
+
+    @given(grids)
+    def test_double_transpose_identity(self, raw):
+        table = Table(raw)
+        assert table.transpose().transpose().rows == table.rows
+
+    @given(grids)
+    def test_transpose_swaps_access(self, raw):
+        table = Table(raw)
+        flipped = table.transpose()
+        for j in range(table.n_cols):
+            assert flipped.row(j) == table.col(j)

@@ -1,0 +1,130 @@
+"""Tests for structural queries over classified tables."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+from repro.tables.query import StructuredTable
+
+
+@pytest.fixture
+def fig1a_like() -> StructuredTable:
+    """A miniature of the paper's Fig. 1(a): 1 HMD row, 3 VMD levels."""
+    table = Table(
+        [
+            ["State", "System", "Campus", "Enrollment", "Officers"],
+            ["New York", "SUNY", "Albany", "17,434", "37"],
+            ["", "", "Binghamton", "14,373", "30"],
+            ["", "Cornell", "Ithaca", "19,639", "47"],
+            ["Indiana", "Ball State", "Muncie", "20,030", "25"],
+        ]
+    )
+    annotation = TableAnnotation.from_depths(5, 5, hmd_depth=1, vmd_depth=3)
+    return StructuredTable(table, annotation)
+
+
+@pytest.fixture
+def spanning_headers() -> StructuredTable:
+    """Fig. 5 style: level-1 group headers spanning two columns each."""
+    table = Table(
+        [
+            ["", "Men", "", "Women", ""],
+            ["Age", "Harm", "Treat", "Harm", "Treat"],
+            ["12 to 15", "21,557", "17,800", "21,148", "22,000"],
+            ["16 to 19", "34,095", "13,069", "122,747", "10,317"],
+        ]
+    )
+    annotation = TableAnnotation.from_depths(4, 5, hmd_depth=2, vmd_depth=1)
+    return StructuredTable(table, annotation)
+
+
+class TestConstruction:
+    def test_shape_mismatch(self):
+        table = Table([["a", "b"], ["1", "2"]])
+        with pytest.raises(ValueError):
+            StructuredTable(table, TableAnnotation.from_depths(3, 2, hmd_depth=1))
+
+    def test_n_data_cells(self, fig1a_like):
+        assert fig1a_like.n_data_cells == 4 * 2
+
+
+class TestIntroExample:
+    def test_binghamton_resolves_fully(self, fig1a_like):
+        """The paper's headline example: '14,373' means Student
+        enrollment at Binghamton in SUNY in New York."""
+        records = fig1a_like.lookup(where=lambda r: r.value == "14,373")
+        assert len(records) == 1
+        record = records[0]
+        assert record.vmd_path == ("New York", "SUNY", "Binghamton")
+        assert record.attribute == "Enrollment"
+
+    def test_blank_continuation_filled(self, fig1a_like):
+        assert fig1a_like.row_context(3) == ("New York", "Cornell", "Ithaca")
+
+    def test_attribute_path(self, fig1a_like):
+        assert fig1a_like.attribute_path(3) == ("Enrollment",)
+
+    def test_non_data_column_rejected(self, fig1a_like):
+        with pytest.raises(KeyError):
+            fig1a_like.attribute_path(0)  # a VMD column
+
+    def test_non_data_row_rejected(self, fig1a_like):
+        with pytest.raises(KeyError):
+            fig1a_like.row_context(0)  # the header row
+
+
+class TestSpanningHeaders:
+    def test_fill_left_semantics(self, spanning_headers):
+        assert spanning_headers.attribute_path(2) == ("Men", "Treat")
+        assert spanning_headers.attribute_path(3) == ("Women", "Harm")
+
+    def test_lookup_by_group(self, spanning_headers):
+        women = spanning_headers.lookup(attribute="women")
+        assert len(women) == 4  # 2 columns x 2 data rows
+        assert all("Women" in r.hmd_path for r in women)
+
+    def test_lookup_conjunction(self, spanning_headers):
+        records = spanning_headers.lookup(
+            attribute="women", context="16 to 19"
+        )
+        assert {r.value for r in records} == {"122,747", "10,317"}
+
+    def test_attribute_leaf(self, spanning_headers):
+        record = spanning_headers.lookup(where=lambda r: r.value == "21,557")[0]
+        assert record.attribute == "Harm"
+        assert record.hmd_path == ("Men", "Harm")
+
+
+class TestRecords:
+    def test_cells_cover_data_region(self, fig1a_like):
+        cells = list(fig1a_like.cells())
+        assert len(cells) == fig1a_like.n_data_cells
+        assert all(record.value is not None for record in cells)
+
+    def test_to_records_shape(self, fig1a_like):
+        records = fig1a_like.to_records()
+        assert len(records) == fig1a_like.n_data_cells
+        first = records[0]
+        assert set(first) == {
+            "row", "col", "value", "attribute", "hmd_path", "vmd_path",
+        }
+
+    def test_case_insensitive_lookup(self, fig1a_like):
+        assert fig1a_like.lookup(context="new york")
+        assert fig1a_like.lookup(context="NEW YORK")
+
+    def test_lookup_no_match(self, fig1a_like):
+        assert fig1a_like.lookup(attribute="nonexistent") == []
+
+
+class TestNoVmd:
+    def test_relational_table(self):
+        table = Table([["a", "b"], ["1", "2"], ["3", "4"]])
+        structured = StructuredTable(
+            table, TableAnnotation.from_depths(3, 2, hmd_depth=1)
+        )
+        records = list(structured.cells())
+        assert len(records) == 4
+        assert all(record.vmd_path == () for record in records)

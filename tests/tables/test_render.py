@@ -1,0 +1,72 @@
+"""Tests for annotated table rendering and annotation diffs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+from repro.tables.render import diff_annotations, render_annotated
+
+
+@pytest.fixture
+def table_and_truth():
+    table = Table([["a", "b"], ["1", "2"], ["3", "4"]])
+    truth = TableAnnotation.from_depths(3, 2, hmd_depth=1, vmd_depth=1)
+    return table, truth
+
+
+class TestRenderAnnotated:
+    def test_labels_in_margin(self, table_and_truth):
+        table, truth = table_and_truth
+        text = render_annotated(table, truth)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("HMD1")
+        assert lines[1].strip().startswith("DATA")
+        assert lines[-1].strip().startswith("cols")
+        assert "VMD1" in lines[-1]
+
+    def test_diff_markers(self, table_and_truth):
+        table, truth = table_and_truth
+        predicted = TableAnnotation.from_depths(3, 2, hmd_depth=2, vmd_depth=0)
+        text = render_annotated(table, predicted, truth=truth)
+        assert "!" in text
+        assert "≠" in text
+
+    def test_no_markers_when_equal(self, table_and_truth):
+        table, truth = table_and_truth
+        assert "!" not in render_annotated(table, truth, truth=truth)
+
+    def test_shape_validation(self, table_and_truth):
+        table, truth = table_and_truth
+        with pytest.raises(ValueError):
+            render_annotated(table, TableAnnotation.from_depths(2, 2, hmd_depth=1))
+        with pytest.raises(ValueError):
+            render_annotated(
+                table, truth, truth=TableAnnotation.from_depths(2, 2, hmd_depth=1)
+            )
+
+    def test_cell_truncation(self):
+        table = Table([["averyveryverylongcellvalue", "x"], ["1", "2"]])
+        text = render_annotated(
+            table, TableAnnotation.from_depths(2, 2, hmd_depth=1), max_width=8
+        )
+        assert "averyver |" in text
+
+
+class TestDiffAnnotations:
+    def test_empty_on_match(self, table_and_truth):
+        _, truth = table_and_truth
+        assert diff_annotations(truth, truth) == []
+
+    def test_reports_rows_and_cols(self, table_and_truth):
+        _, truth = table_and_truth
+        predicted = TableAnnotation.from_depths(3, 2, hmd_depth=2, vmd_depth=0)
+        issues = diff_annotations(predicted, truth)
+        assert any(issue.startswith("row 1") for issue in issues)
+        assert any(issue.startswith("col 0") for issue in issues)
+
+    def test_shape_mismatch(self, table_and_truth):
+        _, truth = table_and_truth
+        with pytest.raises(ValueError):
+            diff_annotations(truth, TableAnnotation.from_depths(2, 2, hmd_depth=1))

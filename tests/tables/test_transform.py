@@ -1,0 +1,107 @@
+"""Tests for table transforms (pre-processing, VMD forward-fill)."""
+
+from __future__ import annotations
+
+from repro.tables.model import Table
+from repro.tables.transform import (
+    drop_empty_levels,
+    forward_fill_vmd,
+    hierarchy_paths,
+    pad_rows,
+    standardize,
+    transpose,
+)
+
+
+class TestPadRows:
+    def test_pads_to_widest(self):
+        rows = pad_rows([["a"], ["b", "c"]])
+        assert rows == [["a", ""], ["b", "c"]]
+
+    def test_normalizes(self):
+        rows = pad_rows([[" a  b ", None]])
+        assert rows == [["a b", ""]]
+
+    def test_empty(self):
+        assert pad_rows([]) == []
+
+
+class TestDropEmptyLevels:
+    def test_blank_rows_removed(self):
+        table = Table([["a", "b"], ["", ""], ["c", "d"]])
+        cleaned = drop_empty_levels(table)
+        assert cleaned.n_rows == 2
+
+    def test_blank_cols_removed(self):
+        table = Table([["a", "", "b"], ["c", "", "d"]])
+        cleaned = drop_empty_levels(table)
+        assert cleaned.n_cols == 2
+        assert cleaned.row(0) == ("a", "b")
+
+    def test_all_blank(self):
+        cleaned = drop_empty_levels(Table([["", ""], ["", ""]]))
+        assert cleaned.shape == (0, 0)
+
+    def test_meaningful_blanks_kept(self):
+        """Hierarchical continuation blanks are not whole blank levels."""
+        table = Table([["NY", "x"], ["", "y"]])
+        assert drop_empty_levels(table).rows == table.rows
+
+
+class TestStandardize:
+    def test_full_cleanup(self):
+        table = standardize([[" a ", None], [], ["1", "2", ""]], name="t")
+        assert table.name == "t"
+        assert table.n_rows == 2  # the empty raw row is gone
+        assert table.row(0) == ("a", "")
+
+
+class TestTranspose:
+    def test_matches_method(self, simple_table):
+        assert transpose(simple_table).rows == simple_table.transpose().rows
+
+
+class TestForwardFill:
+    def test_fill_level1(self):
+        table = Table(
+            [["NY", "Cornell", "19639"],
+             ["", "Ithaca", "6409"],
+             ["IN", "Ball State", "20030"]]
+        )
+        filled = forward_fill_vmd(table, 1)
+        assert filled.col(0) == ("NY", "NY", "IN")
+
+    def test_fill_respects_depth(self):
+        table = Table([["NY", "", "1"], ["", "x", "2"]])
+        filled = forward_fill_vmd(table, 1)
+        assert filled.cell(1, 1) == "x"  # col 1 untouched
+        assert filled.cell(0, 1) == ""
+
+    def test_zero_depth_noop(self, simple_table):
+        assert forward_fill_vmd(simple_table, 0).rows == simple_table.rows
+
+    def test_leading_blank_stays(self):
+        table = Table([["", "1"], ["a", "2"]])
+        filled = forward_fill_vmd(table, 1)
+        assert filled.cell(0, 0) == ""
+
+
+class TestHierarchyPaths:
+    def test_intro_example(self):
+        """The paper's 'Stony Brook belongs to SUNY belongs to NY' case."""
+        table = Table(
+            [
+                ["State", "System", "Campus", "Enrollment"],
+                ["New York", "SUNY", "Albany", "17,434"],
+                ["", "", "Stony Brook", "25,000"],
+                ["Indiana", "Ball State", "Muncie", "20,030"],
+            ]
+        )
+        paths = hierarchy_paths(table, 3, skip_rows=1)
+        assert paths[1] == ("New York", "SUNY", "Stony Brook")
+        assert paths[2] == ("Indiana", "Ball State", "Muncie")
+
+    def test_without_skip(self):
+        table = Table([["a", "1"], ["", "2"]])
+        paths = hierarchy_paths(table, 1)
+        assert paths == [("a",), ("a",)]

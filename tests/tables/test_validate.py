@@ -1,0 +1,60 @@
+"""Tests for structural table validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tables.model import Table
+from repro.tables.validate import (
+    TableValidationError,
+    ValidationPolicy,
+    blank_fraction,
+    is_valid_table,
+    validate_table,
+)
+
+
+class TestPolicy:
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ValueError):
+            ValidationPolicy(min_rows=0)
+        with pytest.raises(ValueError):
+            ValidationPolicy(max_blank_fraction=1.5)
+
+
+class TestValidate:
+    def test_valid_table_returned(self, simple_table):
+        assert validate_table(simple_table) is simple_table
+
+    def test_too_few_rows(self):
+        with pytest.raises(TableValidationError, match="rows"):
+            validate_table(Table([["a", "b"]]))
+
+    def test_too_few_cols(self):
+        with pytest.raises(TableValidationError, match="columns"):
+            validate_table(Table([["a"], ["b"]]))
+
+    def test_too_blank(self):
+        rows = [["a", ""]] + [["", ""]] * 5  # 11/12 blank > 0.9
+        with pytest.raises(TableValidationError, match="blank"):
+            validate_table(Table(rows))
+
+    def test_cell_budget(self):
+        policy = ValidationPolicy(max_cells=4)
+        with pytest.raises(TableValidationError, match="cells"):
+            validate_table(Table([["a"] * 3] * 3), policy)
+
+    def test_custom_policy_relaxes(self):
+        policy = ValidationPolicy(min_rows=1, min_cols=1)
+        table = Table([["only"]])
+        assert validate_table(table, policy) is table
+
+
+class TestHelpers:
+    def test_blank_fraction(self):
+        assert blank_fraction(Table([["a", ""], ["", ""]])) == pytest.approx(0.75)
+        assert blank_fraction(Table([])) == 1.0
+
+    def test_is_valid_table(self, simple_table):
+        assert is_valid_table(simple_table)
+        assert not is_valid_table(Table([["a"]]))

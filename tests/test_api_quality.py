@@ -1,0 +1,88 @@
+"""Meta tests on the public API: docstrings, exports, importability.
+
+Library-quality guards: everything listed in an ``__all__`` must exist,
+be importable, and carry a docstring; the package's public modules must
+document themselves.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PUBLIC_PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.tables",
+    "repro.text",
+    "repro.embeddings",
+    "repro.corpus",
+    "repro.baselines",
+    "repro.experiments",
+]
+
+
+def _walk_modules() -> list[str]:
+    names = []
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        names.append(info.name)
+    return names
+
+
+class TestImportability:
+    @pytest.mark.parametrize("name", PUBLIC_PACKAGES)
+    def test_packages_import(self, name):
+        module = importlib.import_module(name)
+        assert module.__doc__, f"{name} has no module docstring"
+
+    def test_every_module_imports(self):
+        for name in _walk_modules():
+            module = importlib.import_module(name)
+            assert module is not None
+
+    def test_every_module_has_docstring(self):
+        for name in _walk_modules():
+            module = importlib.import_module(name)
+            if name.endswith("__main__"):
+                continue
+            assert module.__doc__, f"{name} has no module docstring"
+
+
+class TestAllExports:
+    @pytest.mark.parametrize("name", PUBLIC_PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        exported = getattr(module, "__all__", [])
+        for symbol in exported:
+            assert hasattr(module, symbol), f"{name}.__all__ lists missing {symbol}"
+
+    @pytest.mark.parametrize("name", PUBLIC_PACKAGES)
+    def test_exported_objects_documented(self, name):
+        module = importlib.import_module(name)
+        for symbol in getattr(module, "__all__", []):
+            obj = getattr(module, symbol)
+            if inspect.isclass(obj) or inspect.isfunction(obj):
+                assert inspect.getdoc(obj), f"{name}.{symbol} has no docstring"
+
+    def test_public_classes_have_documented_methods(self):
+        """Spot-check: the flagship classes document every public method."""
+        from repro.core.pipeline import MetadataPipeline
+        from repro.core.classifier import MetadataClassifier
+        from repro.tables.query import StructuredTable
+
+        for cls in (MetadataPipeline, MetadataClassifier, StructuredTable):
+            for name, member in inspect.getmembers(cls, inspect.isfunction):
+                if name.startswith("_"):
+                    continue
+                assert inspect.getdoc(member), f"{cls.__name__}.{name} undocumented"
+
+
+class TestVersion:
+    def test_version_string(self):
+        major, minor, patch = repro.__version__.split(".")
+        assert all(part.isdigit() for part in (major, minor, patch))

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+from repro.core.persistence import save_pipeline
+from repro.tables.csvio import table_to_csv
+
+
+class TestDatasets:
+    def test_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cord19", "ckg", "wdc", "cius", "saus", "pubtables"):
+            assert name in out
+        assert "no markup" in out
+
+
+class TestClassify:
+    @pytest.fixture
+    def model_path(self, hashed_pipeline, tmp_path):
+        return save_pipeline(hashed_pipeline, tmp_path / "model.npz")
+
+    def test_classify_csv(self, model_path, tmp_path, ckg_eval, capsys):
+        table_path = tmp_path / "table.csv"
+        table_path.write_text(table_to_csv(ckg_eval[0].table))
+        assert main(["classify", str(table_path), "--model", str(model_path)]) == 0
+        out = capsys.readouterr().out
+        assert "HMD depth:" in out
+        assert "row labels:" in out
+
+    def test_classify_with_evidence(self, model_path, tmp_path, ckg_eval, capsys):
+        table_path = tmp_path / "table.csv"
+        table_path.write_text(table_to_csv(ckg_eval[1].table))
+        assert (
+            main(
+                ["classify", str(table_path), "--model", str(model_path),
+                 "--evidence"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "evidence:" in out
+        assert "row 0" in out
+
+    def test_classify_json(self, model_path, tmp_path, ckg_eval, capsys):
+        from repro.tables.jsonio import table_to_json
+
+        table_path = tmp_path / "table.json"
+        table_path.write_text(table_to_json(ckg_eval[0].table))
+        assert main(["classify", str(table_path), "--model", str(model_path)]) == 0
+        assert "VMD depth:" in capsys.readouterr().out
+
+    def test_classify_markdown(self, model_path, tmp_path, ckg_eval, capsys):
+        from repro.tables.markdown import table_to_markdown
+
+        table_path = tmp_path / "table.md"
+        table_path.write_text(table_to_markdown(ckg_eval[0].table))
+        assert main(["classify", str(table_path), "--model", str(model_path)]) == 0
+        assert "HMD depth:" in capsys.readouterr().out
+
+
+class TestCorpus:
+    def test_describe_only(self, capsys):
+        assert main(["corpus", "--dataset", "wdc", "--n-tables", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "wdc" in out
+        assert "HMD depth counts" in out
+
+    def test_write_jsonl(self, tmp_path, capsys):
+        out_path = tmp_path / "corpus.jsonl"
+        assert (
+            main(
+                ["corpus", "--dataset", "cius", "--n-tables", "5",
+                 "--out", str(out_path)]
+            )
+            == 0
+        )
+        assert out_path.exists()
+        assert "wrote 5 tables" in capsys.readouterr().out
+        from repro.corpus.io import load_corpus
+
+        assert len(load_corpus(out_path)) == 5
+
+
+class TestDiagnose:
+    def test_renders_spectrum(self, hashed_pipeline, tmp_path, capsys):
+        model = save_pipeline(hashed_pipeline, tmp_path / "m.npz")
+        assert (
+            main(
+                ["diagnose", "--model", str(model), "--dataset", "ckg",
+                 "--n-tables", "15"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "separation AUC" in out
+        assert "metadata-data angles" in out
+
+
+class TestArgErrors:
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_experiment_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

@@ -1,0 +1,82 @@
+"""End-to-end integration tests across the whole library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import evaluate_corpus
+from repro.core.pipeline import MetadataPipeline, PipelineConfig
+from repro.corpus.io import load_corpus, save_corpus
+from repro.corpus.profiles import get_profile
+from repro.corpus.registry import build_split
+from repro.corpus.vocabularies import get_domain
+
+_DOMAIN_BY_DATASET = {
+    "cord19": "biomedical",
+    "ckg": "biomedical",
+    "cius": "crime",
+    "saus": "census",
+    "wdc": "web",
+    "pubtables": "academic",
+}
+
+
+@pytest.mark.parametrize("dataset", sorted(_DOMAIN_BY_DATASET))
+def test_every_profile_end_to_end(dataset):
+    """Fit + evaluate on every dataset profile (hashed backend for
+    speed; the word2vec path is covered by the experiments suite)."""
+    profile = get_profile(dataset)
+    train, evaluation = build_split(dataset, n_train=50, n_eval=20, seed=21)
+    fields = get_domain(_DOMAIN_BY_DATASET[dataset]).field_map()
+    config = PipelineConfig(
+        embedding="hashed",
+        hashed_fields=fields,
+        bootstrap="html" if profile.has_markup else "first_level",
+        n_pairs=200,
+    )
+    pipeline = MetadataPipeline(config).fit(train)
+    result = evaluate_corpus(evaluation, pipeline.classify)
+    assert result.n_tables == 20
+    assert result.hmd_accuracy[1] >= 0.7, dataset
+    assert result.row_binary_accuracy >= 0.7, dataset
+
+
+def test_corpus_file_to_fit_roundtrip(tmp_path):
+    """The operational loop: generate -> save JSONL -> load -> fit ->
+    classify, with no in-memory shortcuts."""
+    train, evaluation = build_split("ckg", n_train=40, n_eval=5, seed=33)
+    path = tmp_path / "train.jsonl.gz"
+    save_corpus(train, path)
+    reloaded = load_corpus(path)
+
+    fields = get_domain("biomedical").field_map()
+    pipeline = MetadataPipeline(
+        PipelineConfig(embedding="hashed", hashed_fields=fields, n_pairs=100)
+    ).fit(reloaded)
+    for item in evaluation:
+        annotation = pipeline.classify(item.table)
+        assert len(annotation.row_labels) == item.table.n_rows
+
+
+def test_save_load_classify_chain(tmp_path):
+    """fit -> save -> load -> self-train -> structural query."""
+    from repro.core.persistence import load_pipeline, save_pipeline
+    from repro.core.selftrain import refine_self_training
+    from repro.tables.query import StructuredTable
+
+    train, evaluation = build_split("cius", n_train=40, n_eval=5, seed=8)
+    fields = get_domain("crime").field_map()
+    pipeline = MetadataPipeline(
+        PipelineConfig(
+            embedding="hashed",
+            hashed_fields=fields,
+            bootstrap="first_level",
+            n_pairs=100,
+        )
+    ).fit(train)
+    loaded = load_pipeline(save_pipeline(pipeline, tmp_path / "m"))
+    refined = refine_self_training(loaded, train)
+    table = evaluation[0].table
+    structured = StructuredTable(table, refined.classify(table))
+    records = structured.to_records()
+    assert len(records) == structured.n_data_cells

@@ -1,0 +1,131 @@
+"""Focused unit tests for smaller behaviours across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import accuracy_map_to_percent
+from repro.experiments.reporting import ascii_table
+from repro.experiments.runner import SMOKE, PAPER
+
+
+class TestReportingFloats:
+    def test_percent_scale_one_decimal(self):
+        text = ascii_table(["v"], [[99.64]])
+        assert "99.6" in text
+
+    def test_small_floats_keep_precision(self):
+        text = ascii_table(["v"], [[0.00414]])
+        assert "0.00414" in text
+
+    def test_zero_stays_zero(self):
+        text = ascii_table(["v"], [[0.0]])
+        assert "| 0.0" in text
+
+
+class TestMetricsHelpers:
+    def test_accuracy_map_to_percent(self):
+        assert accuracy_map_to_percent({1: 0.9561, 2: 1.0}) == {
+            1: 95.6,
+            2: 100.0,
+        }
+        assert accuracy_map_to_percent({}) == {}
+
+
+class TestScales:
+    def test_smoke_smaller_than_paper(self):
+        assert SMOKE.n_train <= PAPER.n_train
+        assert SMOKE.n_stratified <= PAPER.n_stratified
+
+    def test_names(self):
+        assert SMOKE.name == "smoke"
+        assert PAPER.name == "paper"
+
+
+class TestLLMPromptEdges:
+    def test_prompt_with_empty_cells(self):
+        from repro.baselines.llm.prompts import build_user_prompt
+        from repro.tables.model import Table
+
+        table = Table([["", ""], ["", ""]])
+        prompt = build_user_prompt(table)
+        assert "2 rows and 2 columns" in prompt
+
+    def test_response_format_empty_claims(self):
+        from repro.baselines.llm.prompts import format_llm_response
+
+        text = format_llm_response({}, {}, n_rows=0)
+        assert "HMD: none" in text
+        assert "Table Data: none" in text
+
+    def test_mock_llm_single_row_table(self):
+        from repro.baselines.llm.harness import LLMHarness
+        from repro.baselines.llm.mock_llm import MockLLM
+        from repro.tables.model import Table
+
+        harness = LLMHarness(MockLLM.named("gpt-3.5"))
+        annotation = harness.classify(Table([["age", "total"]]))
+        assert len(annotation.row_labels) == 1
+
+
+class TestFitReport:
+    def test_breakdown_sums(self, hashed_pipeline):
+        report = hashed_pipeline.fit_report
+        assert report is not None
+        parts = (
+            report.embedding_seconds
+            + report.bootstrap_seconds
+            + report.contrastive_seconds
+            + report.centroid_seconds
+        )
+        assert report.total_seconds == pytest.approx(parts)
+        assert report.n_tables > 0
+
+
+class TestCentroidSetBasics:
+    def test_describe_without_stats(self):
+        from repro.core.angles import AngleRange
+        from repro.core.centroids import CentroidSet
+
+        centroids = CentroidSet(
+            mde=AngleRange(10, 20),
+            de=AngleRange(0, 30),
+            mde_de=AngleRange(40, 90),
+            meta_ref=np.zeros(4),
+            data_ref=np.zeros(4),
+        )
+        text = centroids.describe()
+        assert "C_MDE     = 10 to 20" in text
+        assert centroids.stats_for_level(1) is None
+
+
+class TestWord2VecWindowing:
+    def test_window_respects_bounds(self):
+        from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+
+        model = Word2Vec(Word2VecConfig(dim=4, window=2, seed=0))
+        rng = np.random.default_rng(0)
+        centers, contexts = model._pairs([1, 2, 3], rng)
+        assert centers.size == contexts.size
+        assert set(centers.tolist()) <= {1, 2, 3}
+        # no self pairs
+        assert all(c != o for c, o in zip(centers, contexts))
+
+    def test_pairs_empty_for_singleton(self):
+        from repro.embeddings.word2vec import Word2Vec
+
+        model = Word2Vec()
+        rng = np.random.default_rng(0)
+        centers, _ = model._pairs([5], rng)
+        assert centers.size == 0
+
+
+class TestHybridCounters:
+    def test_counts_accumulate(self, hashed_pipeline, ckg_eval):
+        from repro.core.pipeline import HybridClassifier
+
+        hybrid = HybridClassifier(hashed_pipeline)
+        for item in ckg_eval[:10]:
+            hybrid.classify(item.table)
+        assert hybrid.fast_path_count + hybrid.full_path_count == 10

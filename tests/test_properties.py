@@ -1,0 +1,169 @@
+"""Cross-module property tests and failure injection.
+
+These exercise the *system-level* invariants: whatever table comes in,
+the pipeline emits a well-formed annotation; whatever corrupt markup
+the bootstrap sees, it never crashes; determinism holds end to end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.bootstrap import bootstrap_from_html
+from repro.corpus.generator import GeneratorConfig, GSTGenerator
+from repro.corpus.vocabularies import get_domain
+from repro.tables.labels import LevelKind
+from repro.tables.model import Table
+
+# Hypothesis strategies -------------------------------------------------------
+
+cells = st.one_of(
+    st.text(
+        alphabet="abcdefghij 0123456789.,%()-",
+        max_size=14,
+    ),
+    st.just(""),
+    st.integers(min_value=0, max_value=10**6).map(str),
+)
+grids = st.lists(
+    st.lists(cells, min_size=1, max_size=6), min_size=1, max_size=8
+)
+
+
+class TestPipelineInvariants:
+    """Whatever grid goes in, a well-formed annotation comes out."""
+
+    @settings(
+        max_examples=30,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(grids)
+    def test_annotation_always_well_formed(self, hashed_pipeline, raw):
+        table = Table(raw)
+        annotation = hashed_pipeline.classify(table)
+        assert len(annotation.row_labels) == table.n_rows
+        assert len(annotation.col_labels) == table.n_cols
+        # depth accounting consistent: leading HMD rows carry 1..d
+        for depth0, i in enumerate(range(annotation.hmd_depth)):
+            assert annotation.row_labels[i].level == depth0 + 1
+        for depth0, j in enumerate(range(annotation.vmd_depth)):
+            assert annotation.col_labels[j].level == depth0 + 1
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(grids)
+    def test_classification_deterministic(self, hashed_pipeline, raw):
+        table = Table(raw)
+        first = hashed_pipeline.classify(table)
+        second = hashed_pipeline.classify(table)
+        assert first.row_labels == second.row_labels
+        assert first.col_labels == second.col_labels
+
+    def test_depth_caps_respected(self, hashed_pipeline):
+        config = hashed_pipeline.classifier.config
+        generator = GSTGenerator(
+            GeneratorConfig(domain=get_domain("biomedical")), seed=99
+        )
+        for item in generator.generate_with_depths(
+            5, hmd_depth=5, vmd_depth=3
+        ):
+            annotation = hashed_pipeline.classify(item.table)
+            assert annotation.hmd_depth <= config.max_hmd_depth
+            assert annotation.vmd_depth <= config.max_vmd_depth
+
+
+class TestBootstrapRobustness:
+    """Corrupt markup must degrade, never crash."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.text(max_size=300))
+    def test_arbitrary_text_never_crashes(self, markup):
+        labels = bootstrap_from_html(markup)
+        assert len(labels.row_kinds) == labels.table.n_rows
+
+    @pytest.mark.parametrize(
+        "markup",
+        [
+            "<table>",
+            "<table><tr>",
+            "<table><thead><tr><th>a</thead></table>",
+            "<table><tr><td colspan='-3'>x</td></tr></table>",
+            "<tr><td>orphan</td></tr>",
+            "<table><tbody><tr></tr><tr></tr></tbody></table>",
+            "<!-- comment only -->",
+        ],
+    )
+    def test_malformed_fragments(self, markup):
+        labels = bootstrap_from_html(markup)
+        assert all(
+            kind in (LevelKind.HMD, LevelKind.VMD, LevelKind.DATA, None)
+            for kind in labels.row_kinds + labels.col_kinds
+        )
+
+
+class TestCorpusInvariantsAcrossProfiles:
+    @pytest.mark.parametrize(
+        "dataset", ["cord19", "ckg", "cius", "saus", "wdc", "pubtables"]
+    )
+    def test_generated_tables_are_valid(self, dataset):
+        from repro.corpus.registry import build_corpus
+        from repro.tables.validate import is_valid_table
+
+        corpus = build_corpus(dataset, n_tables=15, seed=5)
+        for item in corpus:
+            assert is_valid_table(item.table), item.table.name
+            # ground truth depths within the profile's envelope
+            from repro.corpus.profiles import get_profile
+
+            profile = get_profile(dataset)
+            assert item.hmd_depth <= max(
+                profile.config.hmd_depth_probs
+            ), item.table.name
+            assert item.vmd_depth <= max(profile.config.vmd_depth_probs)
+
+    @pytest.mark.parametrize("dataset", ["ckg", "wdc"])
+    def test_markup_parses_back_to_grid(self, dataset):
+        """Every emitted HTML (noise and all) parses to the exact grid."""
+        from repro.corpus.registry import build_corpus
+        from repro.tables.html import parse_html_table
+
+        corpus = build_corpus(dataset, n_tables=25, seed=9)
+        for item in corpus:
+            if item.html is None:
+                continue
+            parsed = parse_html_table(item.html)
+            assert parsed.to_table().rows == item.table.rows, item.table.name
+
+
+class TestPathologicalTables:
+    def test_single_cell(self, hashed_pipeline):
+        annotation = hashed_pipeline.classify(Table([["only"]]))
+        assert len(annotation.row_labels) == 1
+
+    def test_wide_blank_table(self, hashed_pipeline):
+        table = Table([[""] * 30, [""] * 30])
+        annotation = hashed_pipeline.classify(table)
+        assert len(annotation.col_labels) == 30
+
+    def test_tall_numeric_table(self, hashed_pipeline):
+        rows = [[str(i), str(i * 2)] for i in range(60)]
+        annotation = hashed_pipeline.classify(Table(rows))
+        assert annotation.hmd_depth == 0
+
+    def test_unicode_content(self, hashed_pipeline):
+        table = Table(
+            [["崎", "ß", "émigré"], ["1", "2", "3"], ["4", "5", "6"]]
+        )
+        annotation = hashed_pipeline.classify(table)
+        assert len(annotation.row_labels) == 3
+
+    def test_extremely_long_cells(self, hashed_pipeline):
+        table = Table([["x " * 500, "y"], ["1", "2"]])
+        annotation = hashed_pipeline.classify(table)
+        assert len(annotation.row_labels) == 2

@@ -1,0 +1,167 @@
+"""Unit and property tests for repro.text (tokenization)."""
+
+from __future__ import annotations
+
+import string
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text import (
+    TokenKind,
+    classify_token,
+    is_numeric_cell,
+    normalize_cell,
+    numeric_fraction,
+    tokenize,
+    tokenize_cells,
+)
+
+
+class TestNormalizeCell:
+    def test_none_is_empty(self):
+        assert normalize_cell(None) == ""
+
+    def test_whitespace_collapses(self):
+        assert normalize_cell("  a \t b\n c ") == "a b c"
+
+    def test_non_string_coerces(self):
+        assert normalize_cell(14373) == "14373"
+        assert normalize_cell(3.5) == "3.5"
+
+    def test_empty_string(self):
+        assert normalize_cell("") == ""
+
+
+class TestTokenize:
+    def test_plain_words_lowercase(self):
+        tokens = tokenize("Student Enrollment")
+        assert [t.text for t in tokens] == ["student", "enrollment"]
+        assert all(t.kind is TokenKind.WORD for t in tokens)
+
+    def test_lowercase_off(self):
+        tokens = tokenize("Student", lowercase=False)
+        assert tokens[0].text == "Student"
+
+    def test_thousands_separator_number(self):
+        tokens = tokenize("14,373")
+        assert len(tokens) == 1
+        assert tokens[0].text == "14373"
+        assert tokens[0].kind is TokenKind.NUMBER
+
+    def test_percent(self):
+        tokens = tokenize("96.7%")
+        assert [t.kind for t in tokens] == [TokenKind.PERCENT]
+        assert tokens[0].text == "96.7%"
+
+    def test_mixed_cell(self):
+        tokens = tokenize("86 (50.3%)")
+        kinds = [t.kind for t in tokens]
+        assert kinds == [TokenKind.NUMBER, TokenKind.PERCENT]
+
+    def test_range_header(self):
+        tokens = tokenize("12 to 15 years")
+        assert [t.text for t in tokens] == ["12", "to", "15", "years"]
+
+    def test_comparison_symbol(self):
+        tokens = tokenize("<2 h")
+        assert tokens[0].kind is TokenKind.SYMBOL
+        assert tokens[1].kind is TokenKind.NUMBER
+
+    def test_hyphenated_word_kept(self):
+        tokens = tokenize("follow-up")
+        assert [t.text for t in tokens] == ["follow-up"]
+
+    def test_empty_cell(self):
+        assert tokenize("") == []
+        assert tokenize(None) == []
+
+    def test_negative_decimal(self):
+        tokens = tokenize("-3.5")
+        assert tokens[0].text == "-3.5"
+        assert tokens[0].kind is TokenKind.NUMBER
+
+    def test_tokenize_cells_flattens(self):
+        tokens = tokenize_cells(["a b", "", "c"])
+        assert [t.text for t in tokens] == ["a", "b", "c"]
+
+
+class TestClassifyToken:
+    @pytest.mark.parametrize(
+        "text,kind",
+        [
+            ("hello", TokenKind.WORD),
+            ("123", TokenKind.NUMBER),
+            ("1.5", TokenKind.NUMBER),
+            ("96.7%", TokenKind.PERCENT),
+            ("<", TokenKind.SYMBOL),
+        ],
+    )
+    def test_known_kinds(self, text, kind):
+        assert classify_token(text) is kind
+
+    def test_digit_fallback(self):
+        assert classify_token("a1b2") is TokenKind.NUMBER
+
+
+class TestNumericDetection:
+    def test_numeric_cell(self):
+        assert is_numeric_cell("14,373")
+        assert is_numeric_cell("96.7%")
+
+    def test_textual_cell(self):
+        assert not is_numeric_cell("Student enrollment")
+
+    def test_blank_is_not_numeric(self):
+        assert not is_numeric_cell("")
+        assert not is_numeric_cell(None)
+
+    def test_threshold(self):
+        # "12 to 15 years": 2 of 4 tokens numeric -> 0.5.
+        assert is_numeric_cell("12 to 15 years", threshold=0.5)
+        assert not is_numeric_cell("12 to 15 years", threshold=0.6)
+
+    def test_numeric_fraction_ignores_blanks(self):
+        assert numeric_fraction(["19,639", "Ithaca", ""]) == pytest.approx(0.5)
+
+    def test_numeric_fraction_empty(self):
+        assert numeric_fraction([]) == 0.0
+        assert numeric_fraction(["", ""]) == 0.0
+
+
+# ---------------------------------------------------------------------------
+# properties
+# ---------------------------------------------------------------------------
+
+text_cells = st.text(
+    alphabet=string.ascii_letters + string.digits + " ,.%()-",
+    max_size=60,
+)
+
+
+class TestProperties:
+    @given(text_cells)
+    def test_tokenize_never_raises_and_tokens_nonempty(self, cell):
+        for token in tokenize(cell):
+            assert token.text
+
+    @given(text_cells)
+    def test_tokenize_idempotent_on_token_texts(self, cell):
+        """Re-tokenizing the joined token text yields the same texts."""
+        once = [t.text for t in tokenize(cell)]
+        twice = [t.text for t in tokenize(" ".join(once))]
+        assert once == twice
+
+    @given(text_cells)
+    def test_normalize_idempotent(self, cell):
+        assert normalize_cell(normalize_cell(cell)) == normalize_cell(cell)
+
+    @given(st.lists(text_cells, max_size=8))
+    def test_numeric_fraction_bounds(self, cells):
+        assert 0.0 <= numeric_fraction(cells) <= 1.0
+
+    @given(st.integers(min_value=-10**12, max_value=10**12))
+    def test_integers_single_number_token(self, value):
+        tokens = tokenize(str(value))
+        assert len(tokens) == 1
+        assert tokens[0].kind is TokenKind.NUMBER

@@ -1,0 +1,83 @@
+"""Bench: the serving layer's amortization claims.
+
+``repro batch`` loads the model once and classifies on a worker pool;
+the pre-serving alternative was a shell loop of one-shot ``repro
+classify`` calls, each paying model deserialization again.  The
+benchmark classifies 120 small tables both ways and asserts the bulk
+path wins.  A second pass over the same inputs must be nearly free —
+every table is an LRU cache hit.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core.persistence import load_pipeline, save_pipeline
+from repro.corpus.registry import build_corpus
+from repro.serve.bulk import classify_paths, iter_table_paths, table_from_path
+from repro.serve.cache import LRUCache
+from repro.tables.csvio import table_to_csv
+
+N_TABLES = 120
+
+
+def _write_tables(tmp_path, pipeline_source="ckg"):
+    corpus = build_corpus(pipeline_source, n_tables=N_TABLES, seed=11)
+    table_dir = tmp_path / "tables"
+    table_dir.mkdir()
+    for i, item in enumerate(corpus):
+        (table_dir / f"t{i:04d}.csv").write_text(table_to_csv(item.table))
+    return table_dir
+
+
+def test_bench_bulk_vs_oneshot_loop(tmp_path, warm_pipelines):
+    pipeline = warm_pipelines["ckg"]
+    model = save_pipeline(pipeline, tmp_path / "model.npz")
+    paths = iter_table_paths([_write_tables(tmp_path)])
+    assert len(paths) == N_TABLES
+
+    # The pre-serving shape: every table pays load_pipeline again.
+    start = time.perf_counter()
+    for path in paths:
+        load_pipeline(model).classify(table_from_path(path))
+    t_oneshot = time.perf_counter() - start
+
+    # repro batch: load once, classify on a 4-thread pool.
+    warm = load_pipeline(model)
+    start = time.perf_counter()
+    records = classify_paths(warm, paths, workers=4)
+    t_bulk = time.perf_counter() - start
+
+    assert len(records) == N_TABLES
+    assert all("error" not in r for r in records)
+    assert t_bulk < t_oneshot, (
+        f"bulk {t_bulk:.2f}s should beat one-shot loop {t_oneshot:.2f}s"
+    )
+    print(
+        f"\n{N_TABLES} tables: one-shot loop {t_oneshot:.2f}s "
+        f"({N_TABLES / t_oneshot:.0f}/s) vs repro batch --workers 4 "
+        f"{t_bulk:.2f}s ({N_TABLES / t_bulk:.0f}/s) — "
+        f"{t_oneshot / t_bulk:.1f}x speedup"
+    )
+
+
+def test_bench_cache_second_pass(tmp_path, warm_pipelines):
+    pipeline = warm_pipelines["ckg"]
+    paths = iter_table_paths([_write_tables(tmp_path)])
+    cache = LRUCache(4 * N_TABLES)
+
+    start = time.perf_counter()
+    classify_paths(pipeline, paths, workers=4, cache=cache)
+    t_cold = time.perf_counter() - start
+
+    start = time.perf_counter()
+    records = classify_paths(pipeline, paths, workers=4, cache=cache)
+    t_warm = time.perf_counter() - start
+
+    assert all(r["cached"] for r in records)
+    assert cache.stats().hits >= N_TABLES
+    assert t_warm < t_cold
+    print(
+        f"\ncold pass {t_cold:.2f}s, cached pass {t_warm:.2f}s "
+        f"({t_cold / max(t_warm, 1e-9):.1f}x)"
+    )

@@ -26,7 +26,10 @@ Packages:
 * :mod:`repro.corpus` — synthetic stand-ins for the six paper datasets;
 * :mod:`repro.baselines` — Pytheas, RF header detection, Table
   Transformer, and simulated LLM/LLM+RAG comparators;
-* :mod:`repro.experiments` — regeneration of every paper table/figure.
+* :mod:`repro.experiments` — regeneration of every paper table/figure;
+* :mod:`repro.serve` — the long-lived serving layer: warm model
+  registry, micro-batching worker pool, LRU result cache, Prometheus
+  metrics, HTTP front-end, and the offline bulk path.
 """
 
 from repro.core.classifier import ClassificationResult, MetadataClassifier

@@ -4,7 +4,9 @@ Usage (also via ``python -m repro``):
 
     repro datasets
     repro fit --dataset ckg --n-train 160 --out model.npz
-    repro classify table.csv --model model.npz [--evidence]
+    repro classify table.csv [more.json -] --model model.npz [--evidence]
+    repro serve --model model.npz --port 8080 --workers 4
+    repro batch tables/ --model model.npz --workers 4 --out results.jsonl
     repro experiment table5 --scale smoke
     repro experiment all --scale paper --out artifacts.txt
 """
@@ -12,6 +14,8 @@ Usage (also via ``python -m repro``):
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
 from typing import Sequence
@@ -21,8 +25,6 @@ from repro.core.pipeline import MetadataPipeline
 from repro.corpus.profiles import get_profile, list_profiles
 from repro.corpus.registry import build_split
 from repro.experiments.runner import PAPER, SMOKE, pipeline_config_for
-from repro.tables.csvio import table_from_csv
-from repro.tables.jsonio import table_from_json
 from repro.tables.model import Table
 
 
@@ -30,6 +32,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Tabular hierarchical metadata classification (ICDE 2025 reproduction)",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log INFO (-v) or DEBUG (-vv) to stderr",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -42,13 +48,48 @@ def _build_parser() -> argparse.ArgumentParser:
     fit.add_argument("--out", required=True, help="output .npz archive")
 
     classify = commands.add_parser(
-        "classify", help="classify a CSV/JSON table with a saved pipeline"
+        "classify", help="classify CSV/JSON tables with a saved pipeline"
     )
-    classify.add_argument("table", help="path to a .csv or .json table")
+    classify.add_argument(
+        "tables", nargs="+", metavar="table",
+        help="paths to .csv/.json/.md tables, or '-' for CSV on stdin",
+    )
     classify.add_argument("--model", required=True, help="saved .npz archive")
     classify.add_argument(
         "--evidence", action="store_true", help="print per-level angle evidence"
     )
+    classify.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="emit one JSON document per input (implied for several inputs)",
+    )
+
+    serve = commands.add_parser(
+        "serve", help="run the long-lived HTTP classification service"
+    )
+    serve.add_argument(
+        "--model", required=True, action="append",
+        help="saved .npz archive (repeatable; first is the default model)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080)
+    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument("--max-batch-size", type=int, default=16)
+    serve.add_argument(
+        "--max-delay-ms", type=float, default=5.0,
+        help="micro-batch latency deadline in milliseconds",
+    )
+    serve.add_argument("--cache-size", type=int, default=4096)
+
+    batch = commands.add_parser(
+        "batch", help="bulk-classify files/directories/globs to JSONL"
+    )
+    batch.add_argument(
+        "inputs", nargs="+", help="table files, directories, or glob patterns"
+    )
+    batch.add_argument("--model", required=True, help="saved .npz archive")
+    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument("--out", help="output JSONL path (default: stdout)")
+    batch.add_argument("--cache-size", type=int, default=4096)
 
     corpus = commands.add_parser(
         "corpus", help="generate a dataset corpus to JSONL and/or describe it"
@@ -112,39 +153,99 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_table(path: Path) -> Table:
-    text = path.read_text()
-    suffix = path.suffix.lower()
-    if suffix == ".json":
-        return table_from_json(text)
-    if suffix in (".md", ".markdown"):
-        from repro.tables.markdown import table_from_markdown
+def _load_input(spec: str) -> Table:
+    """Load one classify input: a table path or ``-`` for stdin."""
+    from repro.serve.bulk import table_from_path, table_from_text
 
-        return table_from_markdown(text, name=path.stem)
-    return table_from_csv(text, name=path.stem)
+    if spec == "-":
+        text = sys.stdin.read()
+        try:  # stdin carries no suffix: sniff JSON, fall back to CSV
+            return table_from_text(text, suffix=".json", name="stdin")
+        except ValueError:
+            return table_from_text(text, name="stdin")
+    return table_from_path(Path(spec))
 
 
-def _cmd_classify(args: argparse.Namespace) -> int:
-    pipeline = load_pipeline(args.model)
-    table = _load_table(Path(args.table))
+def _print_pretty(pipeline, table: Table, evidence: bool) -> None:
     result = pipeline.classify_result(table)
     print(table.to_text(max_width=16))
     print(f"\nHMD depth: {result.hmd_depth}   VMD depth: {result.vmd_depth}")
     print("row labels:", " ".join(str(l) for l in result.annotation.row_labels))
     print("col labels:", " ".join(str(l) for l in result.annotation.col_labels))
-    if args.evidence:
+    if evidence:
         print("\nevidence:")
-        for evidence in result.row_evidence:
+        for item in result.row_evidence:
             delta = (
-                f"Δ={evidence.angle_to_prev:5.1f}°"
-                if evidence.angle_to_prev is not None
+                f"Δ={item.angle_to_prev:5.1f}°"
+                if item.angle_to_prev is not None
                 else "Δ= ---  "
             )
             print(
-                f"  row {evidence.index}: {str(evidence.label):5s} {delta} "
-                f"{evidence.rule}"
+                f"  row {item.index}: {str(item.label):5s} {delta} "
+                f"{item.rule}"
             )
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.serve.bulk import result_record
+
+    pipeline = load_pipeline(args.model)
+    as_json = args.as_json or len(args.tables) > 1 or "-" in args.tables
+    if not as_json:
+        _print_pretty(pipeline, _load_input(args.tables[0]), args.evidence)
+        return 0
+    for spec in args.tables:
+        table = _load_input(spec)
+        annotation = pipeline.classify(table)
+        record = result_record(table, annotation, source=spec)
+        print(json.dumps(record))
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.batching import BatchingConfig
+    from repro.serve.httpd import ClassificationService, serve
+    from repro.serve.registry import ModelRegistry
+
+    registry = ModelRegistry()
+    for spec in args.model:
+        registry.register(spec)
+    service = ClassificationService(
+        registry,
+        batching=BatchingConfig(
+            max_batch_size=args.max_batch_size,
+            max_delay=args.max_delay_ms / 1000.0,
+            workers=args.workers,
+        ),
+        cache_capacity=args.cache_size,
+    )
+    print(
+        f"serving {', '.join(registry.names())} on "
+        f"http://{args.host}:{args.port} ({args.workers} workers)",
+        file=sys.stderr,
+    )
+    serve(service, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.serve.bulk import run_bulk
+
+    records = run_bulk(
+        args.model,
+        args.inputs,
+        workers=args.workers,
+        out=args.out,
+        cache_capacity=args.cache_size,
+    )
+    errors = sum(1 for r in records if "error" in r)
+    if args.out:
+        print(
+            f"classified {len(records) - errors}/{len(records)} tables "
+            f"-> {args.out}",
+            file=sys.stderr,
+        )
+    return 1 if errors and errors == len(records) else 0
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -206,14 +307,41 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _configure_logging(verbosity: int) -> None:
+    level = (
+        logging.WARNING if verbosity == 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    logging.basicConfig(
+        level=level,
+        stream=sys.stderr,
+        format="%(asctime)s %(levelname)s %(name)s: %(message)s",
+    )
+    logging.getLogger("repro").setLevel(level)
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
+    _configure_logging(args.verbose)
+    try:
+        return _dispatch(args)
+    except FileNotFoundError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "datasets":
         return _cmd_datasets()
     if args.command == "fit":
         return _cmd_fit(args)
     if args.command == "classify":
         return _cmd_classify(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "batch":
+        return _cmd_batch(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
     if args.command == "diagnose":

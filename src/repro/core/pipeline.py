@@ -12,6 +12,7 @@ items are **never read** — the pipeline is unsupervised end to end.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence
@@ -46,6 +47,11 @@ from repro.tables.model import AnnotatedTable, Table
 from repro.text import numeric_fraction
 
 _EPS = 1e-12
+
+logger = logging.getLogger("repro.core.pipeline")
+
+#: Signature of a per-stage timing hook: ``hook(stage_name, seconds)``.
+StageHook = Callable[[str, float], None]
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,15 @@ class MetadataPipeline:
         self.col_centroids: CentroidSet | None = None
         self.classifier: MetadataClassifier | None = None
         self.fit_report: FitReport | None = None
+        #: Optional observer called with ``(stage, seconds)`` after every
+        #: timed fit stage and every ``classify`` call — the serving
+        #: layer attaches its metrics recorder here.
+        self.stage_hook: StageHook | None = None
+
+    def _emit_stage(self, stage: str, seconds: float) -> None:
+        logger.debug("stage %s took %.4fs", stage, seconds)
+        if self.stage_hook is not None:
+            self.stage_hook(stage, seconds)
 
     # ------------------------------------------------------------------
     # training phase
@@ -130,6 +145,10 @@ class MetadataPipeline:
         """
         if not corpus:
             raise ValueError("cannot fit on an empty corpus")
+        logger.info(
+            "fit: %d tables, embedding=%s bootstrap=%s",
+            len(corpus), self.config.embedding, self.config.bootstrap,
+        )
         report = FitReport(n_tables=len(corpus))
         tables = [
             item.table if isinstance(item, AnnotatedTable) else item
@@ -139,16 +158,19 @@ class MetadataPipeline:
         start = time.perf_counter()
         self.embedder = self._fit_embeddings(tables)
         report.embedding_seconds = time.perf_counter() - start
+        self._emit_stage("fit.embedding", report.embedding_seconds)
 
         start = time.perf_counter()
         labeled = self._bootstrap(corpus)
         report.bootstrap_seconds = time.perf_counter() - start
+        self._emit_stage("fit.bootstrap", report.bootstrap_seconds)
 
         start = time.perf_counter()
         self.projection = (
             self._fit_projection(labeled) if self.config.use_contrastive else None
         )
         report.contrastive_seconds = time.perf_counter() - start
+        self._emit_stage("fit.contrastive", report.contrastive_seconds)
 
         start = time.perf_counter()
         transform = self.projection.transform if self.projection else None
@@ -169,6 +191,7 @@ class MetadataPipeline:
             transform=transform,
         )
         report.centroid_seconds = time.perf_counter() - start
+        self._emit_stage("fit.centroids", report.centroid_seconds)
 
         classifier_config = self.config.classifier or ClassifierConfig(
             aggregation=self.config.aggregation
@@ -181,6 +204,13 @@ class MetadataPipeline:
             config=classifier_config,
         )
         self.fit_report = report
+        logger.info(
+            "fit done in %.2fs (embedding %.2fs, bootstrap %.2fs, "
+            "contrastive %.2fs, centroids %.2fs)",
+            report.total_seconds, report.embedding_seconds,
+            report.bootstrap_seconds, report.contrastive_seconds,
+            report.centroid_seconds,
+        )
         return self
 
     def _fit_embeddings(self, tables: Sequence[Table]) -> TermEmbedder:
@@ -267,11 +297,19 @@ class MetadataPipeline:
 
     def classify(self, table: Table) -> TableAnnotation:
         """Run Algorithm 1 on one table (requires a fitted pipeline)."""
-        return self._require_fitted().classify(table)
+        classifier = self._require_fitted()
+        start = time.perf_counter()
+        annotation = classifier.classify(table)
+        self._emit_stage("classify", time.perf_counter() - start)
+        return annotation
 
     def classify_result(self, table: Table) -> ClassificationResult:
         """Classify with full per-level evidence (Fig. 5 annotations)."""
-        return self._require_fitted().classify_result(table)
+        classifier = self._require_fitted()
+        start = time.perf_counter()
+        result = classifier.classify_result(table)
+        self._emit_stage("classify", time.perf_counter() - start)
+        return result
 
     def classify_corpus(
         self, tables: Sequence[Table]

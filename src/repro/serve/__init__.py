@@ -1,0 +1,42 @@
+"""The serving layer: a long-lived classification service.
+
+The paper's pitch is *scalable* classification over large heterogeneous
+corpora, but ``repro fit`` / ``repro classify`` reload the model and
+re-embed every term on each invocation.  This package keeps fitted
+pipelines warm and amortizes work across requests:
+
+* :mod:`repro.serve.registry` — loads ``.npz`` pipelines once and keeps
+  them warm, keyed by name.
+* :mod:`repro.serve.cache` — a thread-safe LRU result cache keyed by
+  :meth:`~repro.tables.model.Table.content_hash`, so repeated tables
+  skip Algorithm 1 entirely.
+* :mod:`repro.serve.batching` — a request queue with micro-batching
+  (max size + max latency deadline) over a thread worker pool.
+* :mod:`repro.serve.metrics` — request counters, cache hit ratio, and
+  latency quantiles rendered in Prometheus text format.
+* :mod:`repro.serve.httpd` — the stdlib HTTP front-end
+  (``POST /classify``, ``POST /classify/batch``, ``GET /healthz``,
+  ``GET /metrics``) with graceful drain on shutdown.
+* :mod:`repro.serve.bulk` — the offline bulk path (``repro batch``)
+  sharing the same pool/cache machinery.
+"""
+
+from repro.serve.batching import BatchingConfig, BatchingExecutor
+from repro.serve.bulk import classify_paths, iter_table_paths, table_from_path
+from repro.serve.cache import LRUCache
+from repro.serve.httpd import ClassificationService, make_server
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.registry import ModelRegistry
+
+__all__ = [
+    "BatchingConfig",
+    "BatchingExecutor",
+    "ClassificationService",
+    "LRUCache",
+    "ModelRegistry",
+    "ServiceMetrics",
+    "classify_paths",
+    "iter_table_paths",
+    "make_server",
+    "table_from_path",
+]

@@ -1,0 +1,176 @@
+"""Request queue with micro-batching over a thread worker pool.
+
+Incoming items are enqueued with a :class:`~concurrent.futures.Future`;
+a collector thread groups them into batches bounded by **size**
+(``max_batch_size``) and **latency** (``max_delay`` — the longest the
+first item of a batch may wait for batchmates), then dispatches each
+batch to a :class:`~concurrent.futures.ThreadPoolExecutor`.
+Classification is NumPy-bound, so worker threads release the GIL inside
+BLAS and concurrent clients amortize warm-up instead of serializing.
+
+``shutdown(drain=True)`` is graceful: the queue stops accepting new
+work, everything already enqueued is dispatched and completed, and only
+then do the collector and pool exit.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass
+from time import monotonic
+from typing import Callable, Generic, Sequence, TypeVar
+
+logger = logging.getLogger("repro.serve.batching")
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_SENTINEL = object()
+
+
+@dataclass(frozen=True)
+class BatchingConfig:
+    """Knobs for the micro-batcher.
+
+    ``max_delay`` trades tail latency for batch size; 0 dispatches every
+    item alone (useful to disable batching without changing call sites).
+    """
+
+    max_batch_size: int = 16
+    max_delay: float = 0.005
+    workers: int = 4
+    queue_capacity: int = 4096
+
+    def __post_init__(self) -> None:
+        if self.max_batch_size < 1:
+            raise ValueError("max_batch_size must be >= 1")
+        if self.max_delay < 0:
+            raise ValueError("max_delay cannot be negative")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+class BatchingExecutor(Generic[T, R]):
+    """Batches ``submit``-ed items and runs ``handler(batch)`` on a pool.
+
+    ``handler`` receives a list of items and must return one result per
+    item, in order.  A handler exception fails every future in that
+    batch (other batches are unaffected).
+    """
+
+    def __init__(
+        self,
+        handler: Callable[[list[T]], Sequence[R]],
+        config: BatchingConfig | None = None,
+        *,
+        on_batch: Callable[[int], None] | None = None,
+    ) -> None:
+        self.config = config or BatchingConfig()
+        self._handler = handler
+        self._on_batch = on_batch
+        self._queue: queue.Queue = queue.Queue(self.config.queue_capacity)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.workers, thread_name_prefix="repro-worker"
+        )
+        self._closed = False
+        self._lock = threading.Lock()
+        self._inflight: set[Future] = set()
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-batcher", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, item: T) -> "Future[R]":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("executor is shut down")
+            future: "Future[R]" = Future()
+            self._queue.put((item, future))
+            return future
+
+    def map(self, items: Sequence[T]) -> list[R]:
+        """Submit every item, block until all complete, return in order."""
+        futures = [self.submit(item) for item in items]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # collector
+    # ------------------------------------------------------------------
+    def _collect(self) -> None:
+        while True:
+            entry = self._queue.get()
+            if entry is _SENTINEL:
+                return
+            batch = [entry]
+            deadline = monotonic() + self.config.max_delay
+            while len(batch) < self.config.max_batch_size:
+                remaining = deadline - monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    entry = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+                if entry is _SENTINEL:
+                    self._dispatch(batch)
+                    return
+                batch.append(entry)
+            self._dispatch(batch)
+
+    def _dispatch(self, batch: list) -> None:
+        logger.debug("dispatching batch of %d", len(batch))
+        if self._on_batch is not None:
+            self._on_batch(len(batch))
+        future = self._pool.submit(self._run_batch, batch)
+        with self._lock:
+            self._inflight.add(future)
+        future.add_done_callback(self._inflight.discard)
+
+    def _run_batch(self, batch: list) -> None:
+        items = [item for item, _ in batch]
+        try:
+            results = list(self._handler(items))
+            if len(results) != len(items):
+                raise RuntimeError(
+                    f"handler returned {len(results)} results "
+                    f"for {len(items)} items"
+                )
+        except BaseException as exc:  # noqa: BLE001 - forwarded to futures
+            for _, fut in batch:
+                if not fut.cancelled():
+                    fut.set_exception(exc)
+            return
+        for (_, fut), result in zip(batch, results):
+            if not fut.cancelled():
+                fut.set_result(result)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop accepting work; with ``drain`` finish what's enqueued."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_SENTINEL)
+        self._collector.join()
+        if drain:
+            # The collector has exited, so _inflight is now stable.
+            with self._lock:
+                pending = list(self._inflight)
+            for future in pending:
+                future.result()
+        self._pool.shutdown(wait=drain)
+
+    def __enter__(self) -> "BatchingExecutor[T, R]":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

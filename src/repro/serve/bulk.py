@@ -1,0 +1,220 @@
+"""Offline bulk classification (``repro batch``).
+
+Shares the serving layer's machinery — the same worker pool
+(:class:`~repro.serve.batching.BatchingExecutor`) and the same LRU
+result cache — but drives it from the filesystem: expand directories
+and globs into table files, classify them concurrently, and emit one
+JSON record per table (JSONL when written to a file).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from glob import glob
+from pathlib import Path
+from typing import IO, Sequence
+
+from repro.core.pipeline import MetadataPipeline
+from repro.serve.batching import BatchingConfig, BatchingExecutor
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import ServiceMetrics
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+logger = logging.getLogger("repro.serve.bulk")
+
+#: Suffixes picked up when a directory is given as an input.
+TABLE_SUFFIXES = (".csv", ".json", ".md", ".markdown")
+
+
+def table_from_path(path: str | Path) -> Table:
+    """Load a table file by suffix: ``.json``, ``.md``, else CSV."""
+    path = Path(path)
+    text = path.read_text()
+    return table_from_text(text, suffix=path.suffix.lower(), name=path.stem)
+
+
+def table_from_text(text: str, *, suffix: str = "", name: str = "") -> Table:
+    """Parse table text; JSON/markdown by suffix, CSV otherwise."""
+    if suffix == ".json":
+        from repro.tables.jsonio import table_from_json
+
+        return table_from_json(text)
+    if suffix in (".md", ".markdown"):
+        from repro.tables.markdown import table_from_markdown
+
+        return table_from_markdown(text, name=name)
+    from repro.tables.csvio import table_from_csv
+
+    return table_from_csv(text, name=name)
+
+
+def iter_table_paths(specs: Sequence[str | Path]) -> list[Path]:
+    """Expand files, directories, and glob patterns into table paths.
+
+    Directories contribute their (non-recursive) table files; globs are
+    expanded relative to the working directory.  The result is sorted
+    and de-duplicated so runs are deterministic.
+    """
+    out: list[Path] = []
+    for spec in specs:
+        path = Path(spec)
+        if path.is_dir():
+            out.extend(
+                p for p in sorted(path.iterdir())
+                if p.suffix.lower() in TABLE_SUFFIXES and p.is_file()
+            )
+        elif path.is_file():
+            out.append(path)
+        else:
+            matches = [Path(p) for p in sorted(glob(str(spec)))]
+            if not matches:
+                raise FileNotFoundError(f"no tables match {spec!r}")
+            out.extend(p for p in matches if p.is_file())
+    seen: set[Path] = set()
+    unique = []
+    for p in out:
+        if p not in seen:
+            seen.add(p)
+            unique.append(p)
+    return unique
+
+
+def result_record(
+    table: Table,
+    annotation: TableAnnotation,
+    *,
+    model: str = "",
+    cached: bool = False,
+    seconds: float | None = None,
+    source: str | None = None,
+) -> dict:
+    """The one-per-table JSON document every serving path emits."""
+    record = {
+        "name": table.name,
+        "n_rows": table.n_rows,
+        "n_cols": table.n_cols,
+        "hmd_depth": annotation.hmd_depth,
+        "vmd_depth": annotation.vmd_depth,
+        "row_labels": [str(label) for label in annotation.row_labels],
+        "col_labels": [str(label) for label in annotation.col_labels],
+        "cached": cached,
+    }
+    if model:
+        record["model"] = model
+    if seconds is not None:
+        record["seconds"] = round(seconds, 6)
+    if source is not None:
+        record["source"] = source
+    return record
+
+
+def classify_cached(
+    pipeline: MetadataPipeline,
+    table: Table,
+    cache: LRUCache | None,
+    *,
+    model: str = "",
+) -> tuple[TableAnnotation, bool]:
+    """Classify through the result cache; returns ``(annotation, hit)``."""
+    if cache is None:
+        return pipeline.classify(table), False
+    key = (model, table.content_hash())
+    annotation = cache.get(key)
+    if annotation is not None:
+        return annotation, True
+    annotation = pipeline.classify(table)
+    cache.put(key, annotation)
+    return annotation, False
+
+
+def classify_paths(
+    pipeline: MetadataPipeline,
+    paths: Sequence[str | Path],
+    *,
+    workers: int = 4,
+    batching: BatchingConfig | None = None,
+    cache: LRUCache | None = None,
+    metrics: ServiceMetrics | None = None,
+    model: str = "",
+) -> list[dict]:
+    """Classify every path on a worker pool; one record per input.
+
+    Unreadable or unparseable inputs yield an ``{"error": ...}`` record
+    instead of aborting the run, so a bad file in a 10k-table batch
+    costs one line, not the batch.
+    """
+    if metrics is not None and pipeline.stage_hook is None:
+        pipeline.stage_hook = metrics.observe_stage
+
+    def _one(path: Path) -> dict:
+        start = time.perf_counter()
+        try:
+            table = table_from_path(path)
+            annotation, hit = classify_cached(
+                pipeline, table, cache, model=model
+            )
+        except Exception as exc:  # noqa: BLE001 - per-file isolation
+            logger.warning("failed on %s: %s", path, exc)
+            if metrics is not None:
+                metrics.inc("bulk_errors_total")
+            return {"source": str(path), "error": str(exc)}
+        elapsed = time.perf_counter() - start
+        if metrics is not None:
+            metrics.inc("bulk_tables_total")
+            metrics.observe_request(elapsed)
+        return result_record(
+            table, annotation, model=model, cached=hit,
+            seconds=elapsed, source=str(path),
+        )
+
+    config = batching or BatchingConfig(workers=workers)
+    expanded = [Path(p) for p in paths]
+    logger.info("bulk classifying %d tables on %d workers",
+                len(expanded), config.workers)
+    with BatchingExecutor(
+        lambda batch: [_one(p) for p in batch], config
+    ) as executor:
+        return executor.map(expanded)
+
+
+def write_jsonl(records: Sequence[dict], out: str | Path | IO[str]) -> int:
+    """Write one JSON document per line; returns the record count."""
+    if hasattr(out, "write"):
+        stream: IO[str] = out  # type: ignore[assignment]
+        for record in records:
+            stream.write(json.dumps(record) + "\n")
+        return len(records)
+    path = Path(out)
+    with path.open("w") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+    return len(records)
+
+
+def run_bulk(
+    model_path: str | Path,
+    inputs: Sequence[str],
+    *,
+    workers: int = 4,
+    out: str | Path | None = None,
+    cache_capacity: int = 4096,
+) -> list[dict]:
+    """The ``repro batch`` entry point: load once, classify many."""
+    from repro.core.persistence import load_pipeline
+
+    paths = iter_table_paths(inputs)
+    pipeline = load_pipeline(model_path)
+    cache = LRUCache(cache_capacity) if cache_capacity else None
+    records = classify_paths(
+        pipeline, paths, workers=workers, cache=cache,
+        model=Path(model_path).stem,
+    )
+    if out is not None:
+        write_jsonl(records, out)
+    else:
+        write_jsonl(records, sys.stdout)
+    return records

@@ -1,0 +1,101 @@
+"""A thread-safe LRU result cache.
+
+Keys are :meth:`~repro.tables.model.Table.content_hash` digests (plus
+the model name when a registry holds several pipelines), values are
+whatever the service wants to reuse — typically a
+:class:`~repro.tables.labels.TableAnnotation`.  Eviction is
+least-recently-*used*: a ``get`` hit refreshes recency.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, TypeVar
+
+logger = logging.getLogger("repro.serve.cache")
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """A consistent snapshot of cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
+    evictions: int
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class LRUCache(Generic[K, V]):
+    """Bounded LRU mapping with hit/miss accounting.
+
+    All operations take an internal lock, so one instance can back the
+    whole worker pool.  ``capacity <= 0`` disables caching (every get
+    misses, puts are dropped) — useful for benchmarks that want the
+    uncached path without branching at call sites.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        self.capacity = capacity
+        self._data: OrderedDict[K, V] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    def get(self, key: K, default: V | None = None) -> V | None:
+        with self._lock:
+            value = self._data.get(key, _MISSING)
+            if value is _MISSING:
+                self._misses += 1
+                return default
+            self._data.move_to_end(key)
+            self._hits += 1
+            return value  # type: ignore[return-value]
+
+    def put(self, key: K, value: V) -> None:
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+            self._data[key] = value
+            while len(self._data) > self.capacity:
+                evicted, _ = self._data.popitem(last=False)
+                self._evictions += 1
+                logger.debug("evicted %r", evicted)
+
+    def __contains__(self, key: K) -> bool:
+        with self._lock:
+            return key in self._data
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._data),
+                capacity=self.capacity,
+                evictions=self._evictions,
+            )

@@ -1,0 +1,289 @@
+"""HTTP front-end on the stdlib ``http.server``.
+
+Endpoints:
+
+* ``POST /classify`` — one table per request.  ``Content-Type:
+  application/json`` bodies are CORD-19-style ``{"rows": ...}`` objects;
+  anything else is parsed as CSV.  ``?model=NAME`` selects a registry
+  entry (default: the first registered model).
+* ``POST /classify/batch`` — JSON ``{"tables": [...]}`` (or a bare
+  list); each element is a table object or a plain rows list.
+* ``GET /healthz`` — liveness plus the loaded model names.
+* ``GET /metrics`` — Prometheus text format: request counts, cache hit
+  ratio, p50/p95 latency, per-stage timings.
+
+:class:`ClassificationService` is the transport-independent core: it
+owns the registry, the LRU result cache, the metrics, and the
+micro-batching executor.  The HTTP layer just parses bodies and
+serializes records, so tests (and future transports) can drive the
+service directly.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Sequence
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.batching import BatchingConfig, BatchingExecutor
+from repro.serve.bulk import classify_cached, result_record, table_from_text
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import ServiceMetrics
+from repro.serve.registry import ModelRegistry
+from repro.tables.model import Table
+
+logger = logging.getLogger("repro.serve.httpd")
+
+
+class BadRequest(ValueError):
+    """Client-side error — mapped to HTTP 400."""
+
+
+class ClassificationService:
+    """Warm models + cache + metrics + micro-batched worker pool."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        batching: BatchingConfig | None = None,
+        cache_capacity: int = 4096,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if len(registry) == 0:
+            raise ValueError("the service needs at least one loaded model")
+        self.registry = registry
+        self.metrics = metrics or ServiceMetrics()
+        self.cache: LRUCache = LRUCache(cache_capacity)
+        for name in registry.names():
+            registry.get(name).stage_hook = self.metrics.observe_stage
+        self._executor: BatchingExecutor = BatchingExecutor(
+            self._handle_batch, batching, on_batch=self._record_batch
+        )
+        self._closed = False
+
+    def _record_batch(self, size: int) -> None:
+        self.metrics.inc("batches_total")
+        self.metrics.inc("batch_items_total", size)
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def _handle_batch(self, items: list[tuple[str, Table]]) -> list[dict]:
+        out = []
+        for model_name, table in items:
+            pipeline = self.registry.get(model_name or None)
+            resolved = model_name or self.registry.default_name or ""
+            annotation, hit = classify_cached(
+                pipeline, table, self.cache, model=resolved
+            )
+            out.append(
+                result_record(table, annotation, model=resolved, cached=hit)
+            )
+        return out
+
+    def classify_table(self, table: Table, *, model: str = "") -> dict:
+        """Classify one table through the queue; blocks for the result."""
+        return self._executor.submit((model, table)).result()
+
+    def classify_many(
+        self, tables: Sequence[Table], *, model: str = ""
+    ) -> list[dict]:
+        futures = [self._executor.submit((model, t)) for t in tables]
+        return [f.result() for f in futures]
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def metrics_text(self) -> str:
+        stats = self.cache.stats()
+        return self.metrics.render(
+            extra={
+                "cache_hits_total": stats.hits,
+                "cache_misses_total": stats.misses,
+                "cache_hit_ratio": stats.hit_ratio,
+                "cache_size": stats.size,
+                "models_loaded": len(self.registry),
+            }
+        )
+
+    def health(self) -> dict:
+        return {
+            "status": "ok",
+            "models": self.registry.names(),
+            "default": self.registry.default_name,
+        }
+
+    def close(self) -> None:
+        """Drain in-flight requests, then stop the worker pool."""
+        if not self._closed:
+            self._closed = True
+            self._executor.shutdown(drain=True)
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+# ---------------------------------------------------------------------------
+
+def _parse_table(body: bytes, content_type: str, name: str) -> Table:
+    text = body.decode("utf-8", errors="replace")
+    if not text.strip():
+        raise BadRequest("empty request body")
+    if "json" in content_type:
+        try:
+            return table_from_text(text, suffix=".json", name=name)
+        except (ValueError, KeyError) as exc:
+            raise BadRequest(f"bad JSON table: {exc}") from exc
+    return table_from_text(text, name=name)
+
+
+def _parse_batch(body: bytes) -> list[Table]:
+    try:
+        payload = json.loads(body.decode("utf-8", errors="replace"))
+    except ValueError as exc:
+        raise BadRequest(f"bad JSON body: {exc}") from exc
+    if isinstance(payload, dict):
+        payload = payload.get("tables")
+    if not isinstance(payload, list) or not payload:
+        raise BadRequest("expected a non-empty list under 'tables'")
+    tables = []
+    for i, obj in enumerate(payload):
+        if isinstance(obj, dict) and "rows" in obj:
+            tables.append(
+                Table(
+                    obj["rows"],
+                    name=str(obj.get("name", f"table-{i}")),
+                    source=str(obj.get("source", "")),
+                )
+            )
+        elif isinstance(obj, list):
+            tables.append(Table(obj, name=f"table-{i}"))
+        else:
+            raise BadRequest(f"tables[{i}] is not a table object or rows list")
+    return tables
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def service(self) -> ClassificationService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send(self, code: int, body: bytes, content_type: str) -> None:
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+        self.service.metrics.inc("responses_total", code=str(code))
+
+    def _send_json(self, code: int, payload: dict) -> None:
+        self._send(
+            code, json.dumps(payload).encode(), "application/json"
+        )
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length") or 0)
+        return self.rfile.read(length) if length else b""
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
+        path = urlsplit(self.path).path
+        self.service.metrics.inc("requests_total", endpoint=path)
+        if path == "/healthz":
+            self._send_json(200, self.service.health())
+        elif path == "/metrics":
+            self._send(
+                200,
+                self.service.metrics_text().encode(),
+                "text/plain; version=0.0.4",
+            )
+        else:
+            self._send_json(404, {"error": f"no such endpoint {path}"})
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
+        split = urlsplit(self.path)
+        path = split.path
+        query = parse_qs(split.query)
+        model = query.get("model", [""])[0]
+        name = query.get("name", [""])[0]
+        self.service.metrics.inc("requests_total", endpoint=path)
+        start = time.perf_counter()
+        try:
+            if path == "/classify":
+                table = _parse_table(
+                    self._read_body(),
+                    self.headers.get("Content-Type", ""),
+                    name,
+                )
+                record = self.service.classify_table(table, model=model)
+                self._send_json(200, record)
+            elif path == "/classify/batch":
+                tables = _parse_batch(self._read_body())
+                records = self.service.classify_many(tables, model=model)
+                self._send_json(
+                    200, {"count": len(records), "results": records}
+                )
+            else:
+                self._send_json(404, {"error": f"no such endpoint {path}"})
+                return
+        except BadRequest as exc:
+            self._send_json(400, {"error": str(exc)})
+        except KeyError as exc:
+            self._send_json(404, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            logger.exception("request failed")
+            self._send_json(500, {"error": str(exc)})
+        finally:
+            self.service.metrics.observe_request(time.perf_counter() - start)
+
+
+def make_server(
+    service: ClassificationService, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Build (but don't start) the threaded HTTP server."""
+    server = ThreadingHTTPServer((host, port), _Handler)
+    server.daemon_threads = True
+    server.service = service  # type: ignore[attr-defined]
+    return server
+
+
+def serve(
+    service: ClassificationService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    ready: threading.Event | None = None,
+) -> None:
+    """Run until SIGINT/SIGTERM, then drain in-flight work and exit."""
+    server = make_server(service, host, port)
+    logger.info("serving on http://%s:%d", *server.server_address[:2])
+    try:  # SIGTERM (the deployment default) drains like Ctrl-C
+        signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:
+        pass  # not the main thread (tests) — rely on server.shutdown()
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    except KeyboardInterrupt:
+        logger.info("interrupt received, draining ...")
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+
+
+def _raise_keyboard_interrupt(signum: int, frame: object) -> None:
+    raise KeyboardInterrupt

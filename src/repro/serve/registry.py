@@ -1,0 +1,119 @@
+"""Warm model registry.
+
+Loading a ``.npz`` pipeline costs tens of milliseconds and classifying
+costs single-digit milliseconds, so a service that reloads per request
+spends most of its time on deserialization.  The registry loads each
+archive exactly once (double-checked under a lock so concurrent first
+requests don't race a duplicate load) and hands out the warm
+:class:`~repro.core.pipeline.MetadataPipeline` by name.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.persistence import load_pipeline
+from repro.core.pipeline import MetadataPipeline
+
+logger = logging.getLogger("repro.serve.registry")
+
+
+@dataclass(frozen=True)
+class ModelInfo:
+    """Registry bookkeeping for one loaded pipeline."""
+
+    name: str
+    path: Path
+    load_seconds: float
+    embedding_kind: str
+
+
+class ModelRegistry:
+    """Named collection of warm pipelines.
+
+    The first model registered becomes the default, used when a request
+    names no model.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pipelines: dict[str, MetadataPipeline] = {}
+        self._info: dict[str, ModelInfo] = {}
+        self._default: str | None = None
+
+    def register(
+        self, path: str | Path, *, name: str | None = None
+    ) -> MetadataPipeline:
+        """Load ``path`` (idempotent per name) and return the pipeline."""
+        path = Path(path)
+        name = name or path.stem
+        with self._lock:
+            existing = self._pipelines.get(name)
+            if existing is not None:
+                return existing
+            start = time.perf_counter()
+            pipeline = load_pipeline(path)
+            elapsed = time.perf_counter() - start
+            assert pipeline.embedder is not None
+            kind = type(pipeline.embedder.model).__name__
+            self._pipelines[name] = pipeline
+            self._info[name] = ModelInfo(
+                name=name, path=path, load_seconds=elapsed, embedding_kind=kind
+            )
+            if self._default is None:
+                self._default = name
+            logger.info("loaded model %r from %s in %.3fs", name, path, elapsed)
+            return pipeline
+
+    def add(self, name: str, pipeline: MetadataPipeline) -> None:
+        """Register an already-fitted in-memory pipeline (tests, notebooks)."""
+        if not pipeline.is_fitted:
+            raise ValueError("registry only holds fitted pipelines")
+        with self._lock:
+            self._pipelines[name] = pipeline
+            self._info[name] = ModelInfo(
+                name=name,
+                path=Path(""),
+                load_seconds=0.0,
+                embedding_kind=type(pipeline.embedder.model).__name__,  # type: ignore[union-attr]
+            )
+            if self._default is None:
+                self._default = name
+
+    def get(self, name: str | None = None) -> MetadataPipeline:
+        """Look up a pipeline; ``None`` means the default model."""
+        with self._lock:
+            key = name if name is not None else self._default
+            if key is None:
+                raise KeyError("registry is empty")
+            try:
+                return self._pipelines[key]
+            except KeyError:
+                raise KeyError(
+                    f"unknown model {key!r}; loaded: {sorted(self._pipelines)}"
+                ) from None
+
+    @property
+    def default_name(self) -> str | None:
+        with self._lock:
+            return self._default
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._pipelines)
+
+    def info(self, name: str) -> ModelInfo:
+        with self._lock:
+            return self._info[name]
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pipelines)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._pipelines

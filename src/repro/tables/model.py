@@ -12,6 +12,7 @@ the bootstrap phase (Sec. III-B).
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator, Sequence
 
@@ -113,6 +114,27 @@ class Table:
 
     def with_name(self, name: str) -> "Table":
         return Table(self.rows, name=name, source=self.source)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def content_hash(self) -> str:
+        """Stable hex digest of the cell grid (name/source excluded).
+
+        Classification depends only on the cells, so two tables with the
+        same grid share a hash — the serving layer uses this as its
+        result-cache key.  Cells and rows are length-prefixed before
+        hashing so concatenation ambiguities cannot collide.
+        """
+        digest = hashlib.sha256()
+        digest.update(f"{self.n_rows}x{self.n_cols};".encode())
+        for row in self.rows:
+            for cell in row:
+                data = cell.encode("utf-8")
+                digest.update(f"{len(data)}:".encode())
+                digest.update(data)
+            digest.update(b"|")
+        return digest.hexdigest()
 
     # ------------------------------------------------------------------
     # display

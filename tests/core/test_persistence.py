@@ -13,7 +13,31 @@ from repro.core.persistence import (
 from repro.core.pipeline import MetadataPipeline, PipelineConfig
 from repro.corpus.vocabularies import get_domain
 from repro.embeddings.contextual import ContextualConfig
+from repro.embeddings.ppmi import PpmiConfig
 from repro.embeddings.word2vec import Word2VecConfig
+
+#: One small-but-real config per embedding backend, so the round-trip
+#: guarantee is checked for every serializable pipeline shape.
+BACKEND_CONFIGS = {
+    "hashed": PipelineConfig(
+        embedding="hashed", hashed_dim=32, n_pairs=100
+    ),
+    "word2vec": PipelineConfig(
+        embedding="word2vec",
+        word2vec=Word2VecConfig(dim=16, epochs=1, seed=0),
+        n_pairs=100,
+    ),
+    "ppmi": PipelineConfig(
+        embedding="ppmi",
+        ppmi=PpmiConfig(dim=16, min_count=1),
+        n_pairs=100,
+    ),
+    "contextual": PipelineConfig(
+        embedding="contextual",
+        contextual=ContextualConfig(dim=12, attention_dim=6, epochs=1),
+        n_pairs=100,
+    ),
+}
 
 
 def _assert_same_predictions(a, b, corpus):
@@ -22,6 +46,24 @@ def _assert_same_predictions(a, b, corpus):
         right = b.classify(item.table)
         assert left.row_labels == right.row_labels, item.table.name
         assert left.col_labels == right.col_labels, item.table.name
+
+
+class TestAllBackendsRoundTrip:
+    """Identical classification before/after save/load, per backend."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CONFIGS))
+    def test_round_trip_identical_output(
+        self, backend, ckg_train, ckg_eval, tmp_path
+    ):
+        pipeline = MetadataPipeline(BACKEND_CONFIGS[backend]).fit(
+            ckg_train[:15]
+        )
+        path = save_pipeline(pipeline, tmp_path / f"{backend}.npz")
+        loaded = load_pipeline(path)
+        assert type(loaded.embedder.model).__name__ == type(
+            pipeline.embedder.model
+        ).__name__
+        _assert_same_predictions(pipeline, loaded, ckg_eval)
 
 
 class TestRoundTrip:

@@ -1,0 +1,22 @@
+"""Serving-layer fixtures: a saved model archive and a warm registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.persistence import save_pipeline
+from repro.serve.registry import ModelRegistry
+
+
+@pytest.fixture(scope="session")
+def model_archive(hashed_pipeline, tmp_path_factory):
+    """The session pipeline saved once to disk."""
+    path = tmp_path_factory.mktemp("serve") / "model.npz"
+    return save_pipeline(hashed_pipeline, path)
+
+
+@pytest.fixture
+def registry(model_archive):
+    reg = ModelRegistry()
+    reg.register(model_archive, name="default")
+    return reg

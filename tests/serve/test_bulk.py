@@ -1,0 +1,146 @@
+"""Tests for the offline bulk path."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.bulk import (
+    classify_cached,
+    classify_paths,
+    iter_table_paths,
+    result_record,
+    table_from_path,
+    write_jsonl,
+)
+from repro.serve.cache import LRUCache
+from repro.serve.metrics import ServiceMetrics
+from repro.tables.csvio import table_to_csv
+
+
+@pytest.fixture
+def table_dir(tmp_path, ckg_eval):
+    for i, item in enumerate(ckg_eval[:6]):
+        (tmp_path / f"t{i:02d}.csv").write_text(table_to_csv(item.table))
+    (tmp_path / "notes.txt").write_text("not a table")
+    return tmp_path
+
+
+class TestPathExpansion:
+    def test_directory_filters_suffixes(self, table_dir):
+        paths = iter_table_paths([table_dir])
+        assert len(paths) == 6
+        assert all(p.suffix == ".csv" for p in paths)
+
+    def test_glob(self, table_dir):
+        paths = iter_table_paths([str(table_dir / "t0*.csv")])
+        assert len(paths) == 6
+
+    def test_explicit_file_and_dedup(self, table_dir):
+        one = table_dir / "t00.csv"
+        paths = iter_table_paths([one, table_dir])
+        assert paths.count(one) == 1
+
+    def test_missing_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            iter_table_paths([tmp_path / "absent-*.csv"])
+
+
+class TestTableLoading:
+    def test_csv_json_markdown(self, tmp_path, ckg_eval):
+        from repro.tables.jsonio import table_to_json
+        from repro.tables.markdown import table_to_markdown
+
+        table = ckg_eval[0].table
+        (tmp_path / "a.csv").write_text(table_to_csv(table))
+        (tmp_path / "a.json").write_text(table_to_json(table))
+        (tmp_path / "a.md").write_text(table_to_markdown(table))
+        for name in ("a.csv", "a.json", "a.md"):
+            loaded = table_from_path(tmp_path / name)
+            assert loaded.shape == table.shape
+
+
+class TestClassifyCached:
+    def test_second_call_hits(self, hashed_pipeline, ckg_eval):
+        cache = LRUCache(8)
+        table = ckg_eval[0].table
+        first, hit1 = classify_cached(hashed_pipeline, table, cache)
+        second, hit2 = classify_cached(hashed_pipeline, table, cache)
+        assert (hit1, hit2) == (False, True)
+        assert first.row_labels == second.row_labels
+
+    def test_no_cache_passthrough(self, hashed_pipeline, ckg_eval):
+        annotation, hit = classify_cached(
+            hashed_pipeline, ckg_eval[0].table, None
+        )
+        assert not hit
+        assert annotation.row_labels
+
+
+class TestClassifyPaths:
+    def test_matches_direct_classification(
+        self, hashed_pipeline, table_dir, ckg_eval
+    ):
+        paths = iter_table_paths([table_dir])
+        records = classify_paths(hashed_pipeline, paths, workers=4)
+        assert len(records) == 6
+        for record, item in zip(records, ckg_eval[:6]):
+            direct = hashed_pipeline.classify(item.table)
+            assert record["row_labels"] == [
+                str(l) for l in direct.row_labels
+            ]
+            assert record["cached"] is False
+            assert record["seconds"] >= 0
+
+    def test_duplicate_inputs_hit_cache(self, hashed_pipeline, table_dir):
+        paths = iter_table_paths([table_dir])
+        cache = LRUCache(32)
+        classify_paths(hashed_pipeline, paths, workers=2, cache=cache)
+        records = classify_paths(
+            hashed_pipeline, paths, workers=2, cache=cache
+        )
+        assert all(r["cached"] for r in records)
+        assert cache.stats().hits >= 6
+
+    def test_bad_file_yields_error_record(self, hashed_pipeline, tmp_path):
+        good = tmp_path / "good.csv"
+        good.write_text("a,b\n1,2\n")
+        bad = tmp_path / "bad.json"
+        bad.write_text("{ not json")
+        metrics = ServiceMetrics()
+        records = classify_paths(
+            hashed_pipeline, [good, bad], workers=2, metrics=metrics
+        )
+        by_source = {r["source"]: r for r in records}
+        assert "error" in by_source[str(bad)]
+        assert "row_labels" in by_source[str(good)]
+        assert metrics.counter("bulk_errors_total") == 1
+        assert metrics.counter("bulk_tables_total") == 1
+
+
+class TestOutput:
+    def test_write_jsonl_path_and_stream(self, tmp_path):
+        records = [{"a": 1}, {"b": 2}]
+        out = tmp_path / "r.jsonl"
+        assert write_jsonl(records, out) == 2
+        lines = out.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == records
+
+        import io
+
+        buffer = io.StringIO()
+        write_jsonl(records, buffer)
+        assert buffer.getvalue().count("\n") == 2
+
+    def test_result_record_shape(self, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        annotation = hashed_pipeline.classify(table)
+        record = result_record(
+            table, annotation, model="m", cached=True, seconds=0.5
+        )
+        assert record["model"] == "m"
+        assert record["cached"] is True
+        assert record["hmd_depth"] == annotation.hmd_depth
+        assert len(record["row_labels"]) == table.n_rows
+        assert len(record["col_labels"]) == table.n_cols

@@ -1,0 +1,106 @@
+"""Tests for the LRU result cache."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.serve.cache import LRUCache
+
+
+class TestLRU:
+    def test_get_put(self):
+        cache = LRUCache(4)
+        assert cache.get("a") is None
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert "a" in cache
+        assert len(cache) == 1
+
+    def test_eviction_order(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("b") == 2
+        assert cache.get("c") == 3
+
+    def test_get_refreshes_recency(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # "a" is now most recent
+        cache.put("c", 3)  # evicts "b", not "a"
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_overwrite_keeps_size(self):
+        cache = LRUCache(2)
+        cache.put("a", 1)
+        cache.put("a", 2)
+        assert len(cache) == 1
+        assert cache.get("a") == 2
+
+    def test_zero_capacity_disables(self):
+        cache = LRUCache(0)
+        cache.put("a", 1)
+        assert cache.get("a") is None
+        assert len(cache) == 0
+
+    def test_clear(self):
+        cache = LRUCache(4)
+        cache.put("a", 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.get("a") is None
+
+
+class TestStats:
+    def test_hit_miss_accounting(self):
+        cache = LRUCache(4)
+        cache.get("x")
+        cache.put("x", 1)
+        cache.get("x")
+        cache.get("x")
+        stats = cache.stats()
+        assert stats.hits == 2
+        assert stats.misses == 1
+        assert stats.hit_ratio == 2 / 3
+        assert stats.size == 1
+        assert stats.capacity == 4
+
+    def test_eviction_count(self):
+        cache = LRUCache(1)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("c", 3)
+        assert cache.stats().evictions == 2
+
+    def test_empty_ratio(self):
+        assert LRUCache(4).stats().hit_ratio == 0.0
+
+
+class TestConcurrency:
+    def test_parallel_mixed_workload(self):
+        cache = LRUCache(64)
+        errors: list[BaseException] = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(500):
+                    key = (seed * i) % 100
+                    cache.put(key, key)
+                    got = cache.get(key)
+                    assert got is None or got == key
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(cache) <= 64

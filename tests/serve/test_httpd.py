@@ -1,0 +1,192 @@
+"""End-to-end tests for the HTTP classification service.
+
+A real ``ThreadingHTTPServer`` on an ephemeral port, driven with
+``urllib`` — CSV and JSON bodies, batch requests, health, metrics, and
+the result cache.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.serve.batching import BatchingConfig
+from repro.serve.httpd import ClassificationService, make_server
+from repro.tables.csvio import table_to_csv
+
+
+@pytest.fixture
+def service(registry):
+    svc = ClassificationService(
+        registry,
+        batching=BatchingConfig(workers=2, max_delay=0.002),
+        cache_capacity=128,
+    )
+    yield svc
+    svc.close()
+
+
+@pytest.fixture
+def base_url(service):
+    server = make_server(service, port=0)  # ephemeral port
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    host, port = server.server_address[:2]
+    yield f"http://{host}:{port}"
+    server.shutdown()
+    server.server_close()
+
+
+def _post(url: str, body: bytes, content_type: str) -> dict:
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type}
+    )
+    with urllib.request.urlopen(request, timeout=10) as response:
+        return json.load(response)
+
+
+def _get(url: str) -> tuple[int, str]:
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return response.status, response.read().decode()
+
+
+def _metric(text: str, needle: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(needle):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"metric {needle!r} not found")
+
+
+class TestClassifyEndpoint:
+    def test_csv_matches_direct(self, base_url, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        record = _post(
+            f"{base_url}/classify", table_to_csv(table).encode(), "text/csv"
+        )
+        direct = hashed_pipeline.classify(table)
+        assert record["row_labels"] == [str(l) for l in direct.row_labels]
+        assert record["col_labels"] == [str(l) for l in direct.col_labels]
+        assert record["hmd_depth"] == direct.hmd_depth
+        assert record["cached"] is False
+
+    def test_json_matches_direct(self, base_url, hashed_pipeline, ckg_eval):
+        table = ckg_eval[1].table
+        body = json.dumps(
+            {"name": table.name, "rows": [list(r) for r in table.rows]}
+        ).encode()
+        record = _post(f"{base_url}/classify", body, "application/json")
+        direct = hashed_pipeline.classify(table)
+        assert record["row_labels"] == [str(l) for l in direct.row_labels]
+        assert record["vmd_depth"] == direct.vmd_depth
+
+    def test_second_identical_request_is_cached(
+        self, base_url, service, ckg_eval
+    ):
+        body = table_to_csv(ckg_eval[2].table).encode()
+        first = _post(f"{base_url}/classify", body, "text/csv")
+        second = _post(f"{base_url}/classify", body, "text/csv")
+        assert first["cached"] is False
+        assert second["cached"] is True
+        assert second["row_labels"] == first["row_labels"]
+        # ... and the hit shows up in /metrics.
+        _, metrics = _get(f"{base_url}/metrics")
+        assert _metric(metrics, "repro_cache_hits_total") >= 1
+
+    def test_batch_endpoint(self, base_url, hashed_pipeline, ckg_eval):
+        tables = [item.table for item in ckg_eval[:4]]
+        body = json.dumps(
+            {"tables": [{"rows": [list(r) for r in t.rows]} for t in tables]}
+        ).encode()
+        payload = _post(
+            f"{base_url}/classify/batch", body, "application/json"
+        )
+        assert payload["count"] == 4
+        for record, table in zip(payload["results"], tables):
+            direct = hashed_pipeline.classify(table)
+            assert record["row_labels"] == [
+                str(l) for l in direct.row_labels
+            ]
+
+
+class TestObservability:
+    def test_healthz(self, base_url):
+        status, body = _get(f"{base_url}/healthz")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["status"] == "ok"
+        assert payload["default"] == "default"
+        assert payload["models"] == ["default"]
+
+    def test_metrics_counters_advance(self, base_url, ckg_eval):
+        _, before = _get(f"{base_url}/metrics")
+        body = table_to_csv(ckg_eval[3].table).encode()
+        _post(f"{base_url}/classify", body, "text/csv")
+        _, after = _get(f"{base_url}/metrics")
+        needle = 'repro_requests_total{endpoint="/classify"}'
+        before_n = (
+            _metric(before, needle) if needle in before else 0.0
+        )
+        assert _metric(after, needle) == before_n + 1
+        assert _metric(after, 'repro_responses_total{code="200"}') >= 1
+        assert 'quantile="p95"' in after
+
+    def test_stage_timings_exported(self, base_url, ckg_eval):
+        body = table_to_csv(ckg_eval[4].table).encode()
+        _post(f"{base_url}/classify", body, "text/csv")
+        _, metrics = _get(f"{base_url}/metrics")
+        assert 'repro_stage_seconds_count{stage="classify"}' in metrics
+
+
+class TestErrors:
+    def test_empty_body_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/classify", b"", "text/csv")
+        assert err.value.code == 400
+
+    def test_malformed_json_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/classify", b"{oops", "application/json")
+        assert err.value.code == 400
+
+    def test_unknown_model_is_404(self, base_url, ckg_eval):
+        body = table_to_csv(ckg_eval[0].table).encode()
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/classify?model=ghost", body, "text/csv")
+        assert err.value.code == 404
+
+    def test_unknown_endpoint_is_404(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(f"{base_url}/nope")
+        assert err.value.code == 404
+
+    def test_bad_batch_payload_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(
+                f"{base_url}/classify/batch",
+                json.dumps({"tables": []}).encode(),
+                "application/json",
+            )
+        assert err.value.code == 400
+
+
+class TestServiceDirect:
+    def test_needs_a_model(self):
+        from repro.serve.registry import ModelRegistry
+
+        with pytest.raises(ValueError, match="model"):
+            ClassificationService(ModelRegistry())
+
+    def test_close_drains(self, registry, ckg_eval):
+        svc = ClassificationService(
+            registry, batching=BatchingConfig(workers=2)
+        )
+        records = svc.classify_many(
+            [item.table for item in ckg_eval[:8]]
+        )
+        svc.close()
+        assert len(records) == 8
+        svc.close()  # idempotent

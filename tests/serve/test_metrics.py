@@ -1,0 +1,73 @@
+"""Tests for the metrics registry and Prometheus rendering."""
+
+from __future__ import annotations
+
+from repro.serve.metrics import LatencyRing, ServiceMetrics, quantile
+
+
+class TestQuantile:
+    def test_empty(self):
+        assert quantile([], 0.5) == 0.0
+
+    def test_single(self):
+        assert quantile([3.0], 0.95) == 3.0
+
+    def test_median_and_tail(self):
+        values = sorted(float(i) for i in range(1, 101))
+        assert quantile(values, 0.5) == 51.0
+        assert quantile(values, 0.95) == 95.0
+
+
+class TestLatencyRing:
+    def test_wraps_at_capacity(self):
+        ring = LatencyRing(4)
+        for i in range(10):
+            ring.observe(float(i))
+        assert len(ring) == 4
+        assert ring.snapshot() == [6.0, 7.0, 8.0, 9.0]
+
+    def test_rejects_bad_size(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            LatencyRing(0)
+
+
+class TestServiceMetrics:
+    def test_counters_accumulate(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", endpoint="/classify")
+        metrics.inc("requests_total", endpoint="/classify")
+        metrics.inc("requests_total", endpoint="/healthz")
+        assert metrics.counter("requests_total", endpoint="/classify") == 2
+        assert metrics.counter("requests_total", endpoint="/healthz") == 1
+        assert metrics.counter("requests_total", endpoint="/missing") == 0
+
+    def test_stage_accumulation(self):
+        metrics = ServiceMetrics()
+        metrics.observe_stage("classify", 0.5)
+        metrics.observe_stage("classify", 0.25)
+        text = metrics.render()
+        assert 'repro_stage_seconds_sum{stage="classify"} 0.75' in text
+        assert 'repro_stage_seconds_count{stage="classify"} 2' in text
+
+    def test_render_format(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", endpoint="/classify")
+        metrics.observe_request(0.01)
+        text = metrics.render(extra={"cache_hit_ratio": 0.5})
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{endpoint="/classify"} 1' in text
+        assert 'repro_request_latency_seconds{quantile="p50"}' in text
+        assert 'repro_request_latency_seconds{quantile="p95"}' in text
+        assert "# TYPE repro_cache_hit_ratio gauge" in text
+        assert "repro_cache_hit_ratio 0.5" in text
+        assert text.endswith("\n")
+
+    def test_latency_quantiles_from_ring(self):
+        metrics = ServiceMetrics()
+        for ms in (1, 2, 3, 4, 100):
+            metrics.observe_request(ms / 1000)
+        text = metrics.render()
+        assert 'quantile="p50"} 0.003' in text
+        assert 'quantile="p95"} 0.100' in text

@@ -1,0 +1,75 @@
+"""Tests for the warm model registry."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.pipeline import MetadataPipeline
+from repro.serve.registry import ModelRegistry
+
+
+class TestRegistry:
+    def test_register_and_get(self, model_archive):
+        reg = ModelRegistry()
+        pipeline = reg.register(model_archive, name="m")
+        assert reg.get("m") is pipeline
+        assert reg.get() is pipeline  # first model is the default
+        assert reg.default_name == "m"
+        assert "m" in reg
+        assert len(reg) == 1
+
+    def test_register_is_idempotent(self, model_archive):
+        reg = ModelRegistry()
+        first = reg.register(model_archive, name="m")
+        second = reg.register(model_archive, name="m")
+        assert first is second
+
+    def test_name_defaults_to_stem(self, model_archive):
+        reg = ModelRegistry()
+        reg.register(model_archive)
+        assert reg.names() == [model_archive.stem]
+
+    def test_unknown_model(self, model_archive):
+        reg = ModelRegistry()
+        reg.register(model_archive, name="m")
+        with pytest.raises(KeyError, match="nope"):
+            reg.get("nope")
+
+    def test_empty_registry(self):
+        with pytest.raises(KeyError, match="empty"):
+            ModelRegistry().get()
+
+    def test_info_records_load(self, model_archive):
+        reg = ModelRegistry()
+        reg.register(model_archive, name="m")
+        info = reg.info("m")
+        assert info.path == model_archive
+        assert info.load_seconds > 0
+        assert info.embedding_kind == "HashedEmbedding"
+
+    def test_add_requires_fitted(self):
+        reg = ModelRegistry()
+        with pytest.raises(ValueError, match="fitted"):
+            reg.add("m", MetadataPipeline())
+
+    def test_add_in_memory(self, hashed_pipeline):
+        reg = ModelRegistry()
+        reg.add("mem", hashed_pipeline)
+        assert reg.get("mem") is hashed_pipeline
+        assert reg.default_name == "mem"
+
+    def test_concurrent_register_loads_once(self, model_archive):
+        reg = ModelRegistry()
+        seen: list[MetadataPipeline] = []
+
+        def load() -> None:
+            seen.append(reg.register(model_archive, name="m"))
+
+        threads = [threading.Thread(target=load) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len({id(p) for p in seen}) == 1

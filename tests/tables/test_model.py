@@ -147,3 +147,35 @@ class TestProperties:
         flipped = table.transpose()
         for j in range(table.n_cols):
             assert flipped.row(j) == table.col(j)
+
+
+class TestContentHash:
+    def test_deterministic(self):
+        a = Table([["a", "b"], ["1", "2"]])
+        b = Table([["a", "b"], ["1", "2"]])
+        assert a.content_hash() == b.content_hash()
+        assert len(a.content_hash()) == 64
+
+    def test_name_and_source_excluded(self):
+        a = Table([["a", "b"]], name="x", source="s1")
+        b = Table([["a", "b"]], name="y", source="s2")
+        assert a.content_hash() == b.content_hash()
+
+    def test_cell_change_changes_hash(self):
+        a = Table([["a", "b"], ["1", "2"]])
+        b = Table([["a", "b"], ["1", "3"]])
+        assert a.content_hash() != b.content_hash()
+
+    def test_shape_disambiguates(self):
+        # The same cells in a different grid must not collide.
+        a = Table([["a", "b", "c", "d"]])
+        b = Table([["a", "b"], ["c", "d"]])
+        assert a.content_hash() != b.content_hash()
+
+    def test_cell_boundaries_disambiguate(self):
+        a = Table([["ab", "c"]])
+        b = Table([["a", "bc"]])
+        assert a.content_hash() != b.content_hash()
+
+    def test_empty_table(self):
+        assert Table([]).content_hash() == Table([]).content_hash()

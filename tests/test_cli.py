@@ -108,3 +108,94 @@ class TestArgErrors:
     def test_experiment_unknown_artifact(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+
+class TestClassifyMulti:
+    @pytest.fixture
+    def model_path(self, hashed_pipeline, tmp_path):
+        return save_pipeline(hashed_pipeline, tmp_path / "model.npz")
+
+    def test_multiple_inputs_emit_jsonl(
+        self, model_path, tmp_path, ckg_eval, capsys
+    ):
+        import json
+
+        paths = []
+        for i in range(3):
+            path = tmp_path / f"t{i}.csv"
+            path.write_text(table_to_csv(ckg_eval[i].table))
+            paths.append(str(path))
+        assert main(["classify", *paths, "--model", str(model_path)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        for line, spec in zip(lines, paths):
+            record = json.loads(line)
+            assert record["source"] == spec
+            assert "row_labels" in record
+
+    def test_single_input_json_flag(self, model_path, tmp_path, ckg_eval, capsys):
+        import json
+
+        path = tmp_path / "t.csv"
+        path.write_text(table_to_csv(ckg_eval[0].table))
+        assert (
+            main(["classify", str(path), "--model", str(model_path), "--json"])
+            == 0
+        )
+        record = json.loads(capsys.readouterr().out)
+        assert record["hmd_depth"] >= 0
+
+    def test_stdin_dash(self, model_path, ckg_eval, capsys, monkeypatch):
+        import io
+        import json
+
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(table_to_csv(ckg_eval[0].table))
+        )
+        assert main(["classify", "-", "--model", str(model_path)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["name"] == "stdin"
+        assert record["source"] == "-"
+
+
+class TestBatch:
+    @pytest.fixture
+    def model_path(self, hashed_pipeline, tmp_path):
+        return save_pipeline(hashed_pipeline, tmp_path / "model.npz")
+
+    def test_directory_to_jsonl(self, model_path, tmp_path, ckg_eval, capsys):
+        import json
+
+        table_dir = tmp_path / "tables"
+        table_dir.mkdir()
+        for i in range(5):
+            (table_dir / f"t{i}.csv").write_text(
+                table_to_csv(ckg_eval[i].table)
+            )
+        out = tmp_path / "results.jsonl"
+        assert (
+            main(
+                ["batch", str(table_dir), "--model", str(model_path),
+                 "--workers", "2", "--out", str(out)]
+            )
+            == 0
+        )
+        records = [json.loads(l) for l in out.read_text().splitlines()]
+        assert len(records) == 5
+        assert all("row_labels" in r for r in records)
+        assert "classified 5/5" in capsys.readouterr().err
+
+    def test_stdout_default(self, model_path, tmp_path, ckg_eval, capsys):
+        import json
+
+        path = tmp_path / "t.csv"
+        path.write_text(table_to_csv(ckg_eval[0].table))
+        assert main(["batch", str(path), "--model", str(model_path)]) == 0
+        record = json.loads(capsys.readouterr().out.strip())
+        assert record["n_rows"] == ckg_eval[0].table.n_rows
+
+
+class TestVerbose:
+    def test_verbose_flag_accepted(self, capsys):
+        assert main(["-v", "datasets"]) == 0
+        assert "ckg" in capsys.readouterr().out

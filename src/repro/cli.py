@@ -239,13 +239,13 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         cache_capacity=args.cache_size,
     )
     errors = sum(1 for r in records if "error" in r)
-    if args.out:
-        print(
-            f"classified {len(records) - errors}/{len(records)} tables "
-            f"-> {args.out}",
-            file=sys.stderr,
-        )
-    return 1 if errors and errors == len(records) else 0
+    destination = f" -> {args.out}" if args.out else ""
+    print(
+        f"classified {len(records) - errors}/{len(records)} tables"
+        f"{destination}" + (f" ({errors} errors)" if errors else ""),
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:

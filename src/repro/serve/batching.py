@@ -57,8 +57,10 @@ class BatchingExecutor(Generic[T, R]):
     """Batches ``submit``-ed items and runs ``handler(batch)`` on a pool.
 
     ``handler`` receives a list of items and must return one result per
-    item, in order.  A handler exception fails every future in that
-    batch (other batches are unaffected).
+    item, in order.  A result that is an exception *instance* fails only
+    that item's future, so handlers can isolate per-item errors; a
+    handler that raises fails every future in that batch (other batches
+    are unaffected).
     """
 
     def __init__(
@@ -76,7 +78,15 @@ class BatchingExecutor(Generic[T, R]):
             max_workers=self.config.workers, thread_name_prefix="repro-worker"
         )
         self._closed = False
-        self._lock = threading.Lock()
+        # Two locks, deliberately: _gate serializes submit()/shutdown()
+        # (and is held across the queue put, so the shutdown sentinel
+        # strictly follows every accepted entry), while the collector's
+        # _dispatch only ever takes _inflight_lock.  The collector can
+        # therefore always drain a full queue even while a submitter
+        # blocks in put() holding _gate — no lock is shared between the
+        # producer and consumer sides.
+        self._gate = threading.Lock()
+        self._inflight_lock = threading.Lock()
         self._inflight: set[Future] = set()
         self._collector = threading.Thread(
             target=self._collect, name="repro-batcher", daemon=True
@@ -87,7 +97,7 @@ class BatchingExecutor(Generic[T, R]):
     # client side
     # ------------------------------------------------------------------
     def submit(self, item: T) -> "Future[R]":
-        with self._lock:
+        with self._gate:
             if self._closed:
                 raise RuntimeError("executor is shut down")
             future: "Future[R]" = Future()
@@ -128,7 +138,7 @@ class BatchingExecutor(Generic[T, R]):
         if self._on_batch is not None:
             self._on_batch(len(batch))
         future = self._pool.submit(self._run_batch, batch)
-        with self._lock:
+        with self._inflight_lock:
             self._inflight.add(future)
         future.add_done_callback(self._inflight.discard)
 
@@ -147,7 +157,11 @@ class BatchingExecutor(Generic[T, R]):
                     fut.set_exception(exc)
             return
         for (_, fut), result in zip(batch, results):
-            if not fut.cancelled():
+            if fut.cancelled():
+                continue
+            if isinstance(result, BaseException):
+                fut.set_exception(result)
+            else:
                 fut.set_result(result)
 
     # ------------------------------------------------------------------
@@ -155,15 +169,17 @@ class BatchingExecutor(Generic[T, R]):
     # ------------------------------------------------------------------
     def shutdown(self, *, drain: bool = True) -> None:
         """Stop accepting work; with ``drain`` finish what's enqueued."""
-        with self._lock:
+        with self._gate:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(_SENTINEL)
+            # Enqueued under _gate, so the sentinel lands strictly after
+            # every accepted submit() — no entry can be stranded behind it.
+            self._queue.put(_SENTINEL)
         self._collector.join()
         if drain:
             # The collector has exited, so _inflight is now stable.
-            with self._lock:
+            with self._inflight_lock:
                 pending = list(self._inflight)
             for future in pending:
                 future.result()

@@ -74,14 +74,24 @@ class ClassificationService:
     # ------------------------------------------------------------------
     # classification
     # ------------------------------------------------------------------
-    def _handle_batch(self, items: list[tuple[str, Table]]) -> list[dict]:
-        out = []
+    def _handle_batch(self, items: list[tuple[str, Table]]) -> list[object]:
+        # Each item is handled independently: an exception instance in
+        # the result list fails only that item's future (see
+        # BatchingExecutor), so one bad model name or pathological table
+        # can't poison unrelated requests sharing the micro-batch.
+        out: list[object] = []
         for model_name, table in items:
-            pipeline = self.registry.get(model_name or None)
-            resolved = model_name or self.registry.default_name or ""
-            annotation, hit = classify_cached(
-                pipeline, table, self.cache, model=resolved
-            )
+            try:
+                pipeline = self.registry.get(model_name or None)
+                resolved = model_name or self.registry.default_name or ""
+                annotation, hit = classify_cached(
+                    pipeline, table, self.cache, model=resolved
+                )
+            except Exception as exc:  # noqa: BLE001 - per-item isolation
+                logger.warning("classification failed for %r: %s",
+                               table.name, exc)
+                out.append(exc)
+                continue
             out.append(
                 result_record(table, annotation, model=resolved, cached=hit)
             )
@@ -168,6 +178,18 @@ def _parse_batch(body: bytes) -> list[Table]:
     return tables
 
 
+#: The only values ``requests_total{endpoint=...}`` may take; anything
+#: else (scanners, typos) is folded into "other" so arbitrary request
+#: paths can't grow the label set without bound.
+_KNOWN_ENDPOINTS = frozenset(
+    {"/classify", "/classify/batch", "/healthz", "/metrics"}
+)
+
+
+def _endpoint_label(path: str) -> str:
+    return path if path in _KNOWN_ENDPOINTS else "other"
+
+
 class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
@@ -200,7 +222,9 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
         path = urlsplit(self.path).path
-        self.service.metrics.inc("requests_total", endpoint=path)
+        self.service.metrics.inc(
+            "requests_total", endpoint=_endpoint_label(path)
+        )
         if path == "/healthz":
             self._send_json(200, self.service.health())
         elif path == "/metrics":
@@ -218,7 +242,9 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(split.query)
         model = query.get("model", [""])[0]
         name = query.get("name", [""])[0]
-        self.service.metrics.inc("requests_total", endpoint=path)
+        self.service.metrics.inc(
+            "requests_total", endpoint=_endpoint_label(path)
+        )
         start = time.perf_counter()
         try:
             if path == "/classify":

@@ -17,10 +17,19 @@ from typing import Iterable, Mapping
 _NAMESPACE = "repro"
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
 def _fmt_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    body = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    body = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + body + "}"
 
 
@@ -122,12 +131,12 @@ class ServiceMetrics:
             return
         yield f"# TYPE {_NAMESPACE}_stage_seconds_sum counter"
         for stage, total in sorted(sums.items()):
-            yield (
-                f'{_NAMESPACE}_stage_seconds_sum{{stage="{stage}"}} {total:.6f}'
-            )
+            labels = _fmt_labels({"stage": stage})
+            yield f"{_NAMESPACE}_stage_seconds_sum{labels} {total:.6f}"
         yield f"# TYPE {_NAMESPACE}_stage_seconds_count counter"
         for stage, n in sorted(counts.items()):
-            yield f'{_NAMESPACE}_stage_seconds_count{{stage="{stage}"}} {n}'
+            labels = _fmt_labels({"stage": stage})
+            yield f"{_NAMESPACE}_stage_seconds_count{labels} {n}"
 
     def _latency_lines(self) -> Iterable[str]:
         values = self.latency.snapshot()

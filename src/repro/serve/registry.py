@@ -3,9 +3,12 @@
 Loading a ``.npz`` pipeline costs tens of milliseconds and classifying
 costs single-digit milliseconds, so a service that reloads per request
 spends most of its time on deserialization.  The registry loads each
-archive exactly once (double-checked under a lock so concurrent first
-requests don't race a duplicate load) and hands out the warm
-:class:`~repro.core.pipeline.MetadataPipeline` by name.
+archive once per name and hands out the warm
+:class:`~repro.core.pipeline.MetadataPipeline`.  Loading happens
+*outside* the registry lock (check, load, re-check-and-insert), so a
+slow deserialization never stalls concurrent ``get()``/``names()``
+calls; two racing ``register()`` calls for the same name may both load,
+and the first insert wins.
 """
 
 from __future__ import annotations
@@ -53,21 +56,27 @@ class ModelRegistry:
         name = name or path.stem
         with self._lock:
             existing = self._pipelines.get(name)
-            if existing is not None:
-                return existing
-            start = time.perf_counter()
-            pipeline = load_pipeline(path)
-            elapsed = time.perf_counter() - start
-            assert pipeline.embedder is not None
-            kind = type(pipeline.embedder.model).__name__
+        if existing is not None:
+            return existing
+        # Deserialize outside the lock so a slow load never blocks
+        # concurrent get()/names()/health calls for other models.
+        start = time.perf_counter()
+        pipeline = load_pipeline(path)
+        elapsed = time.perf_counter() - start
+        assert pipeline.embedder is not None
+        kind = type(pipeline.embedder.model).__name__
+        with self._lock:
+            winner = self._pipelines.get(name)
+            if winner is not None:  # a racing register() beat us
+                return winner
             self._pipelines[name] = pipeline
             self._info[name] = ModelInfo(
                 name=name, path=path, load_seconds=elapsed, embedding_kind=kind
             )
             if self._default is None:
                 self._default = name
-            logger.info("loaded model %r from %s in %.3fs", name, path, elapsed)
-            return pipeline
+        logger.info("loaded model %r from %s in %.3fs", name, path, elapsed)
+        return pipeline
 
     def add(self, name: str, pipeline: MetadataPipeline) -> None:
         """Register an already-fitted in-memory pipeline (tests, notebooks)."""

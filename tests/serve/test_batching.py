@@ -70,6 +70,51 @@ class TestExecution:
             with pytest.raises(RuntimeError, match="results"):
                 ex.submit(1).result(timeout=5)
 
+    def test_exception_result_fails_only_that_item(self):
+        def isolating(batch):
+            return [
+                ValueError(f"bad {item}") if item < 0 else item
+                for item in batch
+            ]
+
+        # A big deadline so both items share one batch.
+        config = BatchingConfig(max_batch_size=8, max_delay=0.2, workers=1)
+        with BatchingExecutor(isolating, config) as ex:
+            bad = ex.submit(-1)
+            good = ex.submit(5)
+            with pytest.raises(ValueError, match="bad -1"):
+                bad.result(timeout=5)
+            assert good.result(timeout=5) == 5
+
+    def test_full_queue_does_not_deadlock(self):
+        # Regression: submit() used to hold the executor lock across a
+        # blocking put() on the bounded queue, which could deadlock
+        # against the collector needing the same lock in _dispatch.
+        def slow(batch):
+            time.sleep(0.002)
+            return batch
+
+        config = BatchingConfig(
+            max_batch_size=2, max_delay=0.001, workers=1, queue_capacity=1
+        )
+        results: dict[int, list[int]] = {}
+
+        def worker(seed: int, ex: BatchingExecutor) -> None:
+            results[seed] = ex.map(list(range(seed, seed + 25)))
+
+        with BatchingExecutor(slow, config) as ex:
+            threads = [
+                threading.Thread(target=worker, args=(s, ex), daemon=True)
+                for s in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert not any(t.is_alive() for t in threads), "deadlocked"
+        for seed, out in results.items():
+            assert out == list(range(seed, seed + 25))
+
 
 class TestShutdown:
     def test_drains_enqueued_work(self):
@@ -98,6 +143,39 @@ class TestShutdown:
         ex = BatchingExecutor(_echo)
         ex.shutdown()
         ex.shutdown()
+
+    def test_shutdown_racing_submitters_leaves_no_hung_future(self):
+        # Every future obtained from submit() must eventually complete —
+        # either with a result or with the shutdown RuntimeError — even
+        # when shutdown() races the submitting threads.
+        futures = []
+        lock = threading.Lock()
+
+        def submitter(ex: BatchingExecutor) -> None:
+            for i in range(50):
+                try:
+                    f = ex.submit(i)
+                except RuntimeError:
+                    return
+                with lock:
+                    futures.append(f)
+
+        ex = BatchingExecutor(_echo, BatchingConfig(workers=2))
+        threads = [
+            threading.Thread(target=submitter, args=(ex,), daemon=True)
+            for _ in range(3)
+        ]
+        for t in threads:
+            t.start()
+        ex.shutdown(drain=True)
+        for t in threads:
+            t.join(timeout=10)
+        assert not any(t.is_alive() for t in threads)
+        for f in futures:
+            try:
+                assert f.result(timeout=10) % 2 == 0
+            except RuntimeError as exc:
+                assert "shut down" in str(exc)
 
     def test_concurrent_submitters(self):
         results: dict[int, list[int]] = {}

@@ -10,6 +10,7 @@ from __future__ import annotations
 import json
 import threading
 import urllib.error
+import urllib.parse
 import urllib.request
 
 import pytest
@@ -162,6 +163,37 @@ class TestErrors:
         with pytest.raises(urllib.error.HTTPError) as err:
             _get(f"{base_url}/nope")
         assert err.value.code == 404
+
+    def test_unknown_paths_fold_into_other_label(self, base_url):
+        # Scanned/garbage paths must not create per-path counters (or
+        # break the exposition format with quotes/backslashes).
+        for path in ('/nope', '/sc"an\\me', "/x/y/z"):
+            with pytest.raises(urllib.error.HTTPError):
+                _get(base_url + urllib.parse.quote(path))
+        _, metrics = _get(f"{base_url}/metrics")
+        assert _metric(metrics, 'repro_requests_total{endpoint="other"}') >= 3
+        assert "nope" not in metrics
+        assert "scan" not in metrics
+
+    def test_bad_model_does_not_poison_batchmates(self, registry, ckg_eval):
+        # A big deadline + one worker so both requests share a batch:
+        # the unknown-model item must fail alone, not its batchmate.
+        svc = ClassificationService(
+            registry,
+            batching=BatchingConfig(
+                workers=1, max_batch_size=8, max_delay=0.2
+            ),
+        )
+        try:
+            table = ckg_eval[0].table
+            bad = svc._executor.submit(("ghost", table))
+            good = svc._executor.submit(("", table))
+            with pytest.raises(KeyError, match="ghost"):
+                bad.result(timeout=10)
+            record = good.result(timeout=10)
+            assert record["row_labels"]
+        finally:
+            svc.close()
 
     def test_bad_batch_payload_is_400(self, base_url):
         with pytest.raises(urllib.error.HTTPError) as err:

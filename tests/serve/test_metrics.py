@@ -64,6 +64,13 @@ class TestServiceMetrics:
         assert "repro_cache_hit_ratio 0.5" in text
         assert text.endswith("\n")
 
+    def test_label_values_are_escaped(self):
+        metrics = ServiceMetrics()
+        metrics.inc("requests_total", endpoint='we"ird\\path\nend')
+        text = metrics.render()
+        assert r'endpoint="we\"ird\\path\nend"' in text
+        assert "\npath" not in text  # no raw newline inside a label
+
     def test_latency_quantiles_from_ring(self):
         metrics = ServiceMetrics()
         for ms in (1, 2, 3, 4, 100):

@@ -60,7 +60,40 @@ class TestRegistry:
         assert reg.get("mem") is hashed_pipeline
         assert reg.default_name == "mem"
 
-    def test_concurrent_register_loads_once(self, model_archive):
+    def test_get_not_blocked_by_slow_load(
+        self, model_archive, hashed_pipeline, monkeypatch
+    ):
+        # Regression: register() used to hold the registry lock across
+        # load_pipeline(), stalling every get()/names()/health call for
+        # the full deserialization time.
+        import repro.serve.registry as registry_module
+
+        reg = ModelRegistry()
+        reg.add("fast", hashed_pipeline)
+        started, release = threading.Event(), threading.Event()
+        real_load = registry_module.load_pipeline
+
+        def slow_load(path):
+            started.set()
+            assert release.wait(10), "test never released the load"
+            return real_load(path)
+
+        monkeypatch.setattr(registry_module, "load_pipeline", slow_load)
+        loader = threading.Thread(
+            target=reg.register, args=(model_archive,),
+            kwargs={"name": "slow"}, daemon=True,
+        )
+        loader.start()
+        assert started.wait(10)
+        # The load is parked; lookups must still answer immediately.
+        assert reg.get("fast") is hashed_pipeline
+        assert reg.names() == ["fast"]
+        release.set()
+        loader.join(timeout=10)
+        assert not loader.is_alive()
+        assert "slow" in reg
+
+    def test_concurrent_register_one_winner(self, model_archive):
         reg = ModelRegistry()
         seen: list[MetadataPipeline] = []
 

@@ -194,6 +194,22 @@ class TestBatch:
         record = json.loads(capsys.readouterr().out.strip())
         assert record["n_rows"] == ckg_eval[0].table.n_rows
 
+    def test_partial_failure_is_nonzero(
+        self, model_path, tmp_path, ckg_eval, capsys
+    ):
+        table_dir = tmp_path / "tables"
+        table_dir.mkdir()
+        (table_dir / "good.csv").write_text(table_to_csv(ckg_eval[0].table))
+        (table_dir / "bad.json").write_text("{not json")
+        assert (
+            main(["batch", str(table_dir), "--model", str(model_path)]) == 1
+        )
+        # The summary (with the error count) lands on stderr even
+        # without --out.
+        err = capsys.readouterr().err
+        assert "classified 1/2" in err
+        assert "1 errors" in err
+
 
 class TestVerbose:
     def test_verbose_flag_accepted(self, capsys):

@@ -52,6 +52,106 @@ def jaccard_similarity(a: Iterable[str], b: Iterable[str]) -> float:
     return len(set_a & set_b) / len(union)
 
 
+def angles_to(levels: np.ndarray, ref: np.ndarray) -> np.ndarray:
+    """Angle (degrees) of every row of ``levels`` to one reference.
+
+    The batched form of :func:`angle_between` the classifier's axis walk
+    uses: one matvec instead of a per-level Python call.  Zero rows and
+    a zero reference yield 90 degrees, matching the scalar convention.
+    """
+    levels = np.asarray(levels, dtype=np.float64)
+    ref = np.asarray(ref, dtype=np.float64)
+    if levels.ndim != 2:
+        raise ValueError("expected an (n, d) matrix of level vectors")
+    if levels.shape[0] == 0:
+        return np.empty(0)
+    denom = np.linalg.norm(levels, axis=1) * np.linalg.norm(ref)
+    cos = np.zeros(levels.shape[0])
+    defined = denom >= _EPS
+    if np.any(defined):
+        cos[defined] = np.clip(
+            (levels @ ref)[defined] / denom[defined], -1.0, 1.0
+        )
+    return np.degrees(np.arccos(cos))
+
+
+def consecutive_angles(levels: np.ndarray) -> np.ndarray:
+    """Angle (degrees) between each adjacent pair of level rows.
+
+    Returns ``(n - 1,)`` — entry ``i`` is the paper's Δ between level
+    ``i`` and level ``i + 1``.  Zero rows follow the 90-degree
+    convention.
+    """
+    levels = np.asarray(levels, dtype=np.float64)
+    if levels.ndim != 2:
+        raise ValueError("expected an (n, d) matrix of level vectors")
+    if levels.shape[0] < 2:
+        return np.empty(0)
+    norms = np.linalg.norm(levels, axis=1)
+    denom = norms[:-1] * norms[1:]
+    dots = np.einsum("ij,ij->i", levels[:-1], levels[1:])
+    cos = np.zeros(levels.shape[0] - 1)
+    defined = denom >= _EPS
+    if np.any(defined):
+        cos[defined] = np.clip(dots[defined] / denom[defined], -1.0, 1.0)
+    return np.degrees(np.arccos(cos))
+
+
+def walk_angles(
+    levels: np.ndarray, meta_ref: np.ndarray, data_ref: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """All angles the classifier's axis walk needs, in one pass.
+
+    Returns ``(meta_angles, data_angles, deltas)`` — equivalent to two
+    :func:`angles_to` calls and one :func:`consecutive_angles` call, but
+    the level norms are computed once and the two reference matvecs fuse
+    into a single ``(n, 2)`` matmul.
+    """
+    levels = np.asarray(levels, dtype=np.float64)
+    if levels.ndim != 2:
+        raise ValueError("expected an (n, d) matrix of level vectors")
+    n = levels.shape[0]
+    if n == 0:
+        return np.empty(0), np.empty(0), np.empty(0)
+    norms = np.linalg.norm(levels, axis=1)
+
+    refs = np.stack(
+        [
+            np.asarray(meta_ref, dtype=np.float64),
+            np.asarray(data_ref, dtype=np.float64),
+        ]
+    )
+    ref_norms = np.linalg.norm(refs, axis=1)
+    denom = norms[:, None] * ref_norms[None, :]
+    cos = np.zeros((n, 2))
+    defined = denom >= _EPS
+    np.clip(
+        np.divide(levels @ refs.T, denom, out=cos, where=defined),
+        -1.0,
+        1.0,
+        out=cos,
+    )
+    cos[~defined] = 0.0
+    ref_angles = np.degrees(np.arccos(cos))
+
+    if n < 2:
+        deltas = np.empty(0)
+    else:
+        pair_denom = norms[:-1] * norms[1:]
+        pair_cos = np.zeros(n - 1)
+        pair_defined = pair_denom >= _EPS
+        dots = np.einsum("ij,ij->i", levels[:-1], levels[1:])
+        np.clip(
+            np.divide(dots, pair_denom, out=pair_cos, where=pair_defined),
+            -1.0,
+            1.0,
+            out=pair_cos,
+        )
+        pair_cos[~pair_defined] = 0.0
+        deltas = np.degrees(np.arccos(pair_cos))
+    return ref_angles[:, 0], ref_angles[:, 1], deltas
+
+
 def angle_matrix(levels: np.ndarray) -> np.ndarray:
     """Pairwise angle matrix (degrees) for an ``(n, d)`` stack of levels.
 

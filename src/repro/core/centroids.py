@@ -19,8 +19,9 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
-from repro.core.aggregate import AggregationConfig, DEFAULT_AGGREGATION, aggregate_level
+from repro.core.aggregate import AggregationConfig, DEFAULT_AGGREGATION
 from repro.core.angles import AngleRange, angle_between
+from repro.core.embedding_plane import level_vectors
 from repro.core.bootstrap import BootstrapLabels
 from repro.embeddings.lookup import TermEmbedder
 
@@ -192,12 +193,13 @@ def estimate_centroids(
         meta_idx = meta_idx[:max_levels]
         data_idx = data_idx[:max_data_levels_per_table]
 
-        meta_vecs = [
-            aggregate_level(embedder, level_of(i), aggregation) for i in meta_idx
-        ]
-        data_vecs = [
-            aggregate_level(embedder, level_of(i), aggregation) for i in data_idx
-        ]
+        # One batched lookup covers every bootstrap level of the table.
+        meta_vecs = list(
+            level_vectors(embedder, [level_of(i) for i in meta_idx], aggregation)
+        )
+        data_vecs = list(
+            level_vectors(embedder, [level_of(i) for i in data_idx], aggregation)
+        )
         if transform is not None:
             meta_vecs = [transform(v) for v in meta_vecs]
             data_vecs = [transform(v) for v in data_vecs]

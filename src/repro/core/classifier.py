@@ -27,7 +27,8 @@ from repro.core.aggregate import (
     aggregate_cols,
     aggregate_rows,
 )
-from repro.core.angles import angle_between
+from repro.core.angles import angle_between, walk_angles
+from repro.core.embedding_plane import embed_table
 from repro.core.centroids import CentroidSet
 from repro.core.contrastive import ContrastiveProjection
 from repro.embeddings.lookup import TermEmbedder
@@ -42,6 +43,7 @@ class ClassifierConfig:
     max_hmd_depth: int = 5  # deepest HMD the paper observes
     max_vmd_depth: int = 3  # deepest VMD the paper observes
     detect_cmd: bool = True  # central metadata rows (rows only)
+    vectorized: bool = True  # one-pass table embedding (False: scalar path)
     range_margin: float = 2.0  # degrees of slack on centroid ranges
     ref_slack: float = 10.0  # reference-angle tolerance in overlap ties
     ref_override: float = 10.0  # min ref-angle gap to overrule a range hit
@@ -106,13 +108,39 @@ class MetadataClassifier:
     # public API
     # ------------------------------------------------------------------
     def classify(self, table: Table) -> TableAnnotation:
-        """Classify every row/column of ``table``; labels only."""
-        return self.classify_result(table).annotation
+        """Classify every row/column of ``table``; labels only.
+
+        Skips the per-level evidence records (and their rule strings) —
+        the serving hot path only needs the annotation.  Use
+        :meth:`classify_result` when the Fig. 5 evidence matters.
+        """
+        return self._classify(table, with_evidence=False).annotation
 
     def classify_result(self, table: Table) -> ClassificationResult:
-        """Classify every row and column of ``table`` (Algorithm 1)."""
-        row_vectors = aggregate_rows(self.embedder, table, self.config.aggregation)
-        col_vectors = aggregate_cols(self.embedder, table, self.config.aggregation)
+        """Classify with full per-level evidence (Fig. 5 annotations)."""
+        return self._classify(table, with_evidence=True)
+
+    def _classify(
+        self, table: Table, *, with_evidence: bool
+    ) -> ClassificationResult:
+        """Algorithm 1 over every row and column of ``table``.
+
+        Level vectors come from the vectorized embedding plane (one
+        tokenize pass, one batched lookup, two scatter matmuls); set
+        ``config.vectorized=False`` to force the scalar per-level
+        reference path (the equivalence tests and benchmarks do).
+        """
+        if self.config.vectorized:
+            embedded = embed_table(self.embedder, table, self.config.aggregation)
+            row_vectors = embedded.row_vectors
+            col_vectors = embedded.col_vectors
+        else:
+            row_vectors = aggregate_rows(
+                self.embedder, table, self.config.aggregation
+            )
+            col_vectors = aggregate_cols(
+                self.embedder, table, self.config.aggregation
+            )
         if self.projection is not None:
             row_vectors = self.projection.transform(row_vectors)
             col_vectors = self.projection.transform(col_vectors)
@@ -123,6 +151,7 @@ class MetadataClassifier:
             max_depth=self.config.max_hmd_depth,
             metadata_kind=LevelKind.HMD,
             detect_cmd=self.config.detect_cmd,
+            with_evidence=with_evidence,
         )
         col_labels, col_evidence = self._classify_axis(
             col_vectors,
@@ -130,6 +159,7 @@ class MetadataClassifier:
             max_depth=self.config.max_vmd_depth,
             metadata_kind=LevelKind.VMD,
             detect_cmd=False,  # CMD is defined for rows only (Def. 4)
+            with_evidence=with_evidence,
         )
         annotation = TableAnnotation(tuple(row_labels), tuple(col_labels))
         return ClassificationResult(
@@ -150,42 +180,67 @@ class MetadataClassifier:
         max_depth: int,
         metadata_kind: LevelKind,
         detect_cmd: bool,
+        with_evidence: bool = True,
     ) -> tuple[list[LevelLabel], list[LevelEvidence]]:
         margin = self.config.range_margin
         c_mde = centroids.mde.widened(margin)
         c_de = centroids.de.widened(margin)
         c_mde_de = centroids.mde_de.widened(margin)
 
+        # All reference angles and adjacent-level deltas come out of one
+        # fused batch pass; the walk below only reads them.  The scalar
+        # per-level calls are kept behind ``vectorized=False`` as the
+        # benchmark/equivalence reference.
+        if self.config.vectorized:
+            meta_angles, data_angles, deltas = walk_angles(
+                vectors, centroids.meta_ref, centroids.data_ref
+            )
+        else:
+            meta_angles = np.array(
+                [angle_between(v, centroids.meta_ref) for v in vectors]
+            )
+            data_angles = np.array(
+                [angle_between(v, centroids.data_ref) for v in vectors]
+            )
+            deltas = np.array(
+                [
+                    angle_between(vectors[i], vectors[i + 1])
+                    for i in range(vectors.shape[0] - 1)
+                ]
+            )
+
         labels: list[LevelLabel] = []
         evidence: list[LevelEvidence] = []
         depth = 0
         transitioned = False  # have we crossed the metadata->data boundary?
-        prev_vector: np.ndarray | None = None
         prev_is_meta = False
 
         for index in range(vectors.shape[0]):
-            vec = vectors[index]
-            a_meta = angle_between(vec, centroids.meta_ref)
-            a_data = angle_between(vec, centroids.data_ref)
-            delta = (
-                angle_between(vec, prev_vector) if prev_vector is not None else None
-            )
+            a_meta = float(meta_angles[index])
+            a_data = float(data_angles[index])
+            delta = float(deltas[index - 1]) if index > 0 else None
+            # Rule strings exist for Fig. 5 rendering only; the labels-only
+            # path skips formatting them (they are pure reporting).
+            rule = ""
 
             if index == 0:
                 # Sec. III-D.1: compare the first level against the
                 # bootstrap references.
                 is_meta = a_meta < a_data
-                rule = "first level: nearest reference"
+                if with_evidence:
+                    rule = "first level: nearest reference"
             elif prev_is_meta and not transitioned:
                 assert delta is not None
                 in_mde = delta in c_mde
                 in_mde_de = delta in c_mde_de
                 if depth >= max_depth:
                     is_meta = False
-                    rule = f"depth cap {max_depth} reached"
+                    if with_evidence:
+                        rule = f"depth cap {max_depth} reached"
                 elif in_mde and not in_mde_de:
                     is_meta = True
-                    rule = f"Δ={delta:.0f}° ∈ C_MDE {centroids.mde}"
+                    if with_evidence:
+                        rule = f"Δ={delta:.0f}° ∈ C_MDE {centroids.mde}"
                 elif in_mde and in_mde_de:
                     # Overlapping ranges: the nearest range midpoint
                     # decides, with a soft reference guard — a level far
@@ -199,12 +254,13 @@ class MetadataClassifier:
                     is_meta = (
                         to_mde < to_mde_de and refs_allow_meta
                     ) or refs_force_meta
-                    rule = (
-                        f"Δ={delta:.0f}° in C_MDE∩C_MDE-DE overlap: "
-                        f"nearest midpoint ({centroids.mde.midpoint:.0f} vs "
-                        f"{centroids.mde_de.midpoint:.0f}), refs "
-                        f"{'allow' if refs_allow_meta else 'veto'} metadata"
-                    )
+                    if with_evidence:
+                        rule = (
+                            f"Δ={delta:.0f}° in C_MDE∩C_MDE-DE overlap: "
+                            f"nearest midpoint ({centroids.mde.midpoint:.0f} vs "
+                            f"{centroids.mde_de.midpoint:.0f}), refs "
+                            f"{'allow' if refs_allow_meta else 'veto'} metadata"
+                        )
                 elif in_mde_de:
                     # A transition-range hit usually ends the block, but
                     # hierarchical metadata levels drawn from disjoint
@@ -212,31 +268,37 @@ class MetadataClassifier:
                     # the references *clearly* side with metadata, trust
                     # them over the range.
                     is_meta = a_meta + self.config.ref_override < a_data
-                    rule = (
-                        f"Δ={delta:.0f}° ∈ C_MDE-DE {centroids.mde_de}"
-                        + (", refs overrule: metadata" if is_meta else "")
-                    )
+                    if with_evidence:
+                        rule = (
+                            f"Δ={delta:.0f}° ∈ C_MDE-DE {centroids.mde_de}"
+                            + (", refs overrule: metadata" if is_meta else "")
+                        )
                 elif delta in c_de and a_data < a_meta:
                     # Rare: two near-identical levels after a mislabeled
                     # first level; defer to the references.
                     is_meta = False
-                    rule = f"Δ={delta:.0f}° ∈ C_DE, references prefer data"
+                    if with_evidence:
+                        rule = f"Δ={delta:.0f}° ∈ C_DE, references prefer data"
                 else:
                     is_meta = a_meta < a_data
-                    rule = "Δ in no range: nearest reference"
+                    if with_evidence:
+                        rule = "Δ in no range: nearest reference"
             else:
                 assert delta is not None
                 if delta in c_de:
                     is_meta = False
-                    rule = f"Δ={delta:.0f}° ∈ C_DE {centroids.de}"
+                    if with_evidence:
+                        rule = f"Δ={delta:.0f}° ∈ C_DE {centroids.de}"
                 elif detect_cmd and delta in c_mde_de and a_meta < a_data:
                     is_meta = True  # central metadata restarts a block
-                    rule = f"Δ={delta:.0f}° ∈ C_MDE-DE from data: CMD"
+                    if with_evidence:
+                        rule = f"Δ={delta:.0f}° ∈ C_MDE-DE from data: CMD"
                 else:
                     # CMD claims need positive range evidence; the plain
                     # fallback past the boundary is always data.
                     is_meta = False
-                    rule = f"Δ={delta:.0f}° past boundary: data"
+                    if with_evidence:
+                        rule = f"Δ={delta:.0f}° past boundary: data"
 
             if is_meta and not transitioned:
                 depth += 1
@@ -249,17 +311,17 @@ class MetadataClassifier:
                     transitioned = True
 
             labels.append(label)
-            evidence.append(
-                LevelEvidence(
-                    index=index,
-                    label=label,
-                    angle_to_prev=delta,
-                    angle_to_meta_ref=a_meta,
-                    angle_to_data_ref=a_data,
-                    rule=rule,
+            if with_evidence:
+                evidence.append(
+                    LevelEvidence(
+                        index=index,
+                        label=label,
+                        angle_to_prev=delta,
+                        angle_to_meta_ref=a_meta,
+                        angle_to_data_ref=a_data,
+                        rule=rule,
+                    )
                 )
-            )
-            prev_vector = vec
             prev_is_meta = is_meta
         return labels, evidence
 

@@ -1,0 +1,255 @@
+"""Vectorized table-embedding plane.
+
+The scalar path (:mod:`repro.core.aggregate`) builds each aggregated
+level vector (Def. 8) independently: every row and every column
+tokenizes its cells and embeds every token with a per-token Python
+call — so each cell is tokenized **twice** per table (once for its row,
+once for its column) and a token that appears a hundred times costs a
+hundred lookups per axis.
+
+This module builds all level vectors of a table in one pass:
+
+1. tokenize every cell exactly once, recording ``(row, col, token_id)``
+   occurrence triples against a table-local unique-token id space
+   (identical cell strings — blanks, repeated values — tokenize once);
+2. resolve the unique tokens with a single batched
+   :meth:`~repro.embeddings.lookup.TermEmbedder.vectors` call;
+3. scatter the occurrences into per-level token-count matrices and
+   produce every row aggregate and every column aggregate with two
+   count x vector matmuls (sparse when the count matrix would be big).
+
+The result is numerically the same summation as the scalar path (up to
+floating-point re-association) and produces identical annotations; the
+``benchmarks/test_bench_aggregate.py`` bench records the speedup.
+
+Modes the fast path cannot express fall back to the scalar
+implementation: ``concat`` aggregation needs the first-k term vectors
+in order, and contextual aggregation needs per-sentence encoder state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.aggregate import (
+    AggregationConfig,
+    DEFAULT_AGGREGATION,
+    aggregate_cols,
+    aggregate_level,
+    aggregate_rows,
+)
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.model import Table
+from repro.text import tokenize
+
+#: Above this many count-matrix entries, scatter through scipy.sparse
+#: instead of a dense bincount reshape (memory, not speed).
+_DENSE_COUNT_LIMIT = 1 << 22
+
+
+@lru_cache(maxsize=131_072)
+def _cell_token_texts(cell: str) -> tuple[str, ...]:
+    """Memoized tokenization of one cell string.
+
+    Cell contents repeat heavily both within a table (blanks, repeated
+    categories) and across a served corpus (shared headers), and regex
+    tokenization is the single most expensive per-cell step, so the memo
+    is process-global.  ``lru_cache`` is thread safe, bounded, and keyed
+    on the already-normalized cell text — tokenization is a pure
+    function of it.
+    """
+    return tuple(token.text for token in tokenize(cell))
+
+
+@dataclass(frozen=True)
+class TableEmbedding:
+    """All aggregated level vectors of one table, built in one pass."""
+
+    row_vectors: np.ndarray  # (n_rows, dim)
+    col_vectors: np.ndarray  # (n_cols, dim)
+    n_tokens: int  # total token occurrences in the grid
+    n_unique_tokens: int  # size of the table-local token id space
+
+
+def supports_fast_path(embedder: TermEmbedder, config: AggregationConfig) -> bool:
+    """True when the vectorized plane can reproduce ``config`` exactly."""
+    if config.mode == "concat":
+        return False
+    if config.contextual and hasattr(embedder.model, "encode_sentence"):
+        return False
+    return True
+
+
+def _counts_matmul(
+    level_idx: np.ndarray,
+    token_idx: np.ndarray,
+    n_levels: int,
+    vectors: np.ndarray,
+) -> np.ndarray:
+    """Sum ``vectors[token]`` into its level -> ``(n_levels, dim)``.
+
+    Dense path: bincount the flattened (level, token) pairs into a count
+    matrix and matmul.  Large tables go through a scipy COO matrix so the
+    count matrix never materializes densely; without scipy, a scatter-add
+    over the occurrence rows does the same work.
+    """
+    n_unique = vectors.shape[0]
+    if level_idx.size == 0:
+        return np.zeros((n_levels, vectors.shape[1]))
+    if n_levels * n_unique <= _DENSE_COUNT_LIMIT:
+        counts = np.bincount(
+            level_idx * n_unique + token_idx, minlength=n_levels * n_unique
+        ).reshape(n_levels, n_unique)
+        return counts.astype(np.float64) @ vectors
+    try:
+        from scipy import sparse
+    except ImportError:  # pragma: no cover - scipy ships with the env
+        out = np.zeros((n_levels, vectors.shape[1]))
+        np.add.at(out, level_idx, vectors[token_idx])
+        return out
+    counts = sparse.coo_matrix(
+        (np.ones(level_idx.size), (level_idx, token_idx)),
+        shape=(n_levels, n_unique),
+    ).tocsr()
+    return np.asarray(counts @ vectors)
+
+
+def _finalize(
+    summed: np.ndarray, level_token_counts: np.ndarray, mode: str
+) -> np.ndarray:
+    if mode == "mean":
+        occupied = level_token_counts > 0
+        summed[occupied] /= level_token_counts[occupied, None]
+    return summed
+
+
+def embed_table(
+    embedder: TermEmbedder,
+    table: Table,
+    config: AggregationConfig = DEFAULT_AGGREGATION,
+) -> TableEmbedding:
+    """Every row and column aggregate of ``table``, one tokenize pass.
+
+    Degenerate tables are first-class: zero rows, zero columns, or an
+    all-empty grid produce correctly shaped (possibly empty or all-zero)
+    vector blocks, never an exception.
+    """
+    n_rows, n_cols = table.shape
+    if not supports_fast_path(embedder, config):
+        return TableEmbedding(
+            row_vectors=aggregate_rows(embedder, table, config),
+            col_vectors=aggregate_cols(embedder, table, config),
+            n_tokens=-1,
+            n_unique_tokens=-1,
+        )
+
+    dim = embedder.dim
+    if n_rows == 0 or n_cols == 0:
+        return TableEmbedding(
+            row_vectors=np.zeros((n_rows, dim)),
+            col_vectors=np.zeros((n_cols, dim)),
+            n_tokens=0,
+            n_unique_tokens=0,
+        )
+
+    # Two-stage aggregation: sum token vectors into *unique-cell*
+    # vectors first, then scatter cell vectors over the grid.  Cells
+    # repeat (blanks, categories, shared headers), so the Python-level
+    # work shrinks to one dict lookup per grid cell plus one tokenize
+    # per unique cell; everything after is array arithmetic.
+    cell_ids: dict[str, int] = {}
+    grid: list[int] = []
+    for row in table.rows:
+        for cell in row:
+            grid.append(cell_ids.setdefault(cell, len(cell_ids)))
+
+    token_ids: dict[str, int] = {}
+    occ_cells: list[int] = []
+    occ_toks: list[int] = []
+    for cell_id, cell in enumerate(cell_ids):
+        for text in _cell_token_texts(cell):
+            occ_cells.append(cell_id)
+            occ_toks.append(token_ids.setdefault(text, len(token_ids)))
+
+    if not token_ids:
+        return TableEmbedding(
+            row_vectors=np.zeros((n_rows, dim)),
+            col_vectors=np.zeros((n_cols, dim)),
+            n_tokens=0,
+            n_unique_tokens=0,
+        )
+
+    vectors = embedder.vectors(list(token_ids))  # (n_unique_tokens, dim)
+    cells_arr = np.asarray(occ_cells, dtype=np.intp)
+    toks_arr = np.asarray(occ_toks, dtype=np.intp)
+    n_cells = len(cell_ids)
+    cell_vecs = _counts_matmul(cells_arr, toks_arr, n_cells, vectors)
+    cell_token_counts = np.bincount(cells_arr, minlength=n_cells)
+
+    grid_arr = np.asarray(grid, dtype=np.intp)  # (n_rows * n_cols,)
+    row_idx = np.repeat(np.arange(n_rows, dtype=np.intp), n_cols)
+    col_idx = np.tile(np.arange(n_cols, dtype=np.intp), n_rows)
+    grid_token_counts = cell_token_counts[grid_arr]
+
+    row_vecs = _counts_matmul(row_idx, grid_arr, n_rows, cell_vecs)
+    col_vecs = _counts_matmul(col_idx, grid_arr, n_cols, cell_vecs)
+    row_vecs = _finalize(
+        row_vecs,
+        np.bincount(row_idx, weights=grid_token_counts, minlength=n_rows),
+        config.mode,
+    )
+    col_vecs = _finalize(
+        col_vecs,
+        np.bincount(col_idx, weights=grid_token_counts, minlength=n_cols),
+        config.mode,
+    )
+    return TableEmbedding(
+        row_vectors=row_vecs,
+        col_vectors=col_vecs,
+        n_tokens=int(grid_token_counts.sum()),
+        n_unique_tokens=len(token_ids),
+    )
+
+
+def level_vectors(
+    embedder: TermEmbedder,
+    levels: Sequence[Sequence[object]],
+    config: AggregationConfig = DEFAULT_AGGREGATION,
+) -> np.ndarray:
+    """Aggregate an arbitrary batch of levels -> ``(len(levels), dim)``.
+
+    The batched analogue of calling
+    :func:`~repro.core.aggregate.aggregate_level` in a loop — centroid
+    estimation and contrastive-pair construction hand their bootstrap
+    level subsets here so the whole batch shares one unique-token lookup.
+    """
+    if not levels:
+        return np.empty((0, embedder.dim))
+    if not supports_fast_path(embedder, config):
+        return np.stack(
+            [aggregate_level(embedder, cells, config) for cells in levels]
+        )
+
+    token_ids: dict[str, int] = {}
+    occ_levels: list[int] = []
+    occ_toks: list[int] = []
+    for index, cells in enumerate(levels):
+        for cell in cells:
+            text = cell if isinstance(cell, str) else "" if cell is None else str(cell)
+            for token_text in _cell_token_texts(text):
+                occ_levels.append(index)
+                occ_toks.append(token_ids.setdefault(token_text, len(token_ids)))
+
+    if not occ_toks:
+        return np.zeros((len(levels), embedder.dim))
+    vectors = embedder.vectors(list(token_ids))
+    levels_arr = np.asarray(occ_levels, dtype=np.intp)
+    toks_arr = np.asarray(occ_toks, dtype=np.intp)
+    summed = _counts_matmul(levels_arr, toks_arr, len(levels), vectors)
+    return _finalize(
+        summed, np.bincount(levels_arr, minlength=len(levels)), config.mode
+    )

@@ -217,6 +217,7 @@ def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
             "range_margin": classifier_config.range_margin,
             "ref_slack": classifier_config.ref_slack,
             "ref_override": classifier_config.ref_override,
+            "vectorized": classifier_config.vectorized,
         },
         "has_projection": pipeline.projection is not None,
     }

@@ -19,7 +19,7 @@ from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
-from repro.core.aggregate import AggregationConfig, aggregate_level
+from repro.core.aggregate import AggregationConfig
 from repro.core.bootstrap import (
     BootstrapLabels,
     bootstrap_corpus,
@@ -36,6 +36,7 @@ from repro.core.contrastive import (
     ContrastiveProjection,
     build_pairs,
 )
+from repro.core.embedding_plane import level_vectors
 from repro.embeddings.contextual import ContextualConfig, ContextualEncoder
 from repro.embeddings.hashed import HashedEmbedding
 from repro.embeddings.lookup import TermEmbedder, corpus_mean_vector
@@ -247,29 +248,25 @@ class MetadataPipeline:
         self, labeled: Sequence[BootstrapLabels]
     ) -> ContrastiveProjection | None:
         assert self.embedder is not None
-        meta_vectors: list[np.ndarray] = []
-        data_vectors: list[np.ndarray] = []
+        # Collect every bootstrap level first, then aggregate the whole
+        # corpus batch through one vectorized embedding-plane call.
+        meta_levels: list[Sequence[str]] = []
+        data_levels: list[Sequence[str]] = []
         for item in labeled:
             for i in item.metadata_row_indices:
-                meta_vectors.append(
-                    aggregate_level(
-                        self.embedder, item.table.row(i), self.config.aggregation
-                    )
-                )
+                meta_levels.append(item.table.row(i))
             for j in item.metadata_col_indices:
-                meta_vectors.append(
-                    aggregate_level(
-                        self.embedder, item.table.col(j), self.config.aggregation
-                    )
-                )
+                meta_levels.append(item.table.col(j))
             for i in item.data_row_indices[:10]:
-                data_vectors.append(
-                    aggregate_level(
-                        self.embedder, item.table.row(i), self.config.aggregation
-                    )
-                )
-        meta_vectors = [v for v in meta_vectors if np.linalg.norm(v) > _EPS]
-        data_vectors = [v for v in data_vectors if np.linalg.norm(v) > _EPS]
+                data_levels.append(item.table.row(i))
+        meta_matrix = level_vectors(
+            self.embedder, meta_levels, self.config.aggregation
+        )
+        data_matrix = level_vectors(
+            self.embedder, data_levels, self.config.aggregation
+        )
+        meta_vectors = [v for v in meta_matrix if np.linalg.norm(v) > _EPS]
+        data_vectors = [v for v in data_matrix if np.linalg.norm(v) > _EPS]
         if len(meta_vectors) < 2 or len(data_vectors) < 2:
             return None  # not enough bootstrap signal to refine
         pairs = build_pairs(
@@ -314,9 +311,14 @@ class MetadataPipeline:
     def classify_corpus(
         self, tables: Sequence[Table]
     ) -> list[TableAnnotation]:
-        """Classify a batch of tables with the fitted classifier."""
-        classifier = self._require_fitted()
-        return [classifier.classify(t) for t in tables]
+        """Classify a batch of tables with the fitted classifier.
+
+        Routed through :meth:`classify` so every table emits a
+        ``classify`` stage timing — bulk runs show up in serve metrics
+        exactly like single-table requests.
+        """
+        self._require_fitted()
+        return [self.classify(t) for t in tables]
 
 
 # ---------------------------------------------------------------------------
@@ -331,7 +333,7 @@ def looks_relational(
     First row mostly textual, body rows mostly numeric, and no blank
     continuation cells in the first column (the hierarchical VMD cue).
     """
-    if table.n_rows < 2:
+    if table.n_rows < 2 or table.n_cols == 0:
         return False
     if numeric_fraction(table.row(0)) > header_numeric_max:
         return False

@@ -189,6 +189,24 @@ class ContextualEncoder:
             return None
         return self._emb[token_id]
 
+    def batch_vectors(self, tokens: Sequence[str]) -> list[np.ndarray | None]:
+        """Amortized static lookup: one id pass, one row gather."""
+        if self.vocab is None or self._emb is None:
+            return [None] * len(tokens)
+        ids = [self.vocab.id_of(t) for t in tokens]
+        present = [i for i in ids if i is not None]
+        rows = self._emb[np.asarray(present, dtype=np.intp)] if present else None
+        out: list[np.ndarray | None] = []
+        cursor = 0
+        for token_id in ids:
+            if token_id is None:
+                out.append(None)
+            else:
+                assert rows is not None
+                out.append(rows[cursor])
+                cursor += 1
+        return out
+
     def encode_sentence(self, tokens: Sequence[str]) -> np.ndarray:
         """Contextual vectors, one row per in-vocabulary token.
 

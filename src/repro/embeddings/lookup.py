@@ -10,10 +10,19 @@ training vocabulary never saw (ids, rare entities, fresh numbers).  The
 default back-off embeds an OOV token as the mean of hashed character
 n-gram vectors — the fastText trick — so unseen-but-similar strings map
 to nearby vectors instead of a shared zero.
+
+The token cache is a bounded LRU guarded by a lock: the serving layer
+calls one shared embedder from a pool of worker threads, so lookups must
+be safe under concurrent mutation, and the cache must keep caching (by
+evicting the least recently used entry) instead of silently filling up
+and freezing.
 """
 
 from __future__ import annotations
 
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
@@ -24,12 +33,28 @@ from repro.text import Token, tokenize_cells
 
 @runtime_checkable
 class EmbeddingModel(Protocol):
-    """What a backend must provide (Word2Vec, ContextualEncoder, Hashed)."""
+    """What a backend must provide (Word2Vec, ContextualEncoder, Hashed).
+
+    Backends may additionally provide ``batch_vectors(tokens) ->
+    list[np.ndarray | None]`` to amortize id resolution and row gathers
+    over a whole batch; :meth:`TermEmbedder.vectors` uses it when
+    present and falls back to per-token :meth:`vector` calls otherwise.
+    """
 
     @property
     def dim(self) -> int: ...
 
     def vector(self, token: str) -> np.ndarray | None: ...
+
+
+@dataclass(frozen=True)
+class CacheInfo:
+    """Snapshot of the token-cache counters."""
+
+    hits: int
+    misses: int
+    size: int
+    capacity: int
 
 
 class TermEmbedder:
@@ -38,6 +63,10 @@ class TermEmbedder:
     ``oov`` selects the back-off: ``"ngram"`` (default, fastText-style
     char trigram hashing), ``"hash"`` (whole-token hash vector), or
     ``"zero"`` (drop OOV terms from aggregates).
+
+    ``cache_size`` bounds the token LRU; ``0`` disables caching.  All
+    cache operations are thread safe — one embedder instance may be
+    shared freely across serving worker threads.
     """
 
     def __init__(
@@ -56,8 +85,11 @@ class TermEmbedder:
         self.model = model
         self._oov = oov
         self._ngram = ngram
-        self._cache: dict[str, np.ndarray] = {}
+        self._cache: OrderedDict[str, np.ndarray] = OrderedDict()
         self._cache_size = cache_size
+        self._cache_lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
         if centering is not None:
             centering = np.asarray(centering, dtype=np.float64)
             if centering.shape != (model.dim,):
@@ -77,9 +109,18 @@ class TermEmbedder:
         Always returns a ``(dim,)`` array; the ``"zero"`` strategy
         returns an all-zero vector that aggregation then ignores.
         """
-        cached = self._cache.get(token)
-        if cached is not None:
-            return cached
+        with self._cache_lock:
+            cached = self._cache.get(token)
+            if cached is not None:
+                self._cache.move_to_end(token)
+                self._hits += 1
+                return cached
+            self._misses += 1
+        # Resolve outside the lock: backend lookups and the n-gram
+        # back-off are the slow part and need no shared state.
+        return self._cache_put(token, self._resolve(token))
+
+    def _resolve(self, token: str) -> np.ndarray:
         vec = self.model.vector(token)
         if vec is None:
             vec = self._oov_vector(token)
@@ -90,8 +131,21 @@ class TermEmbedder:
             # spaces share a dominant component and every level pair
             # looks 0-10 degrees apart.
             vec = vec - self._centering
-        if len(self._cache) < self._cache_size:
+        return vec
+
+    def _cache_put(self, token: str, vec: np.ndarray) -> np.ndarray:
+        if self._cache_size <= 0:
+            return vec
+        with self._cache_lock:
+            existing = self._cache.get(token)
+            if existing is not None:
+                # Another thread resolved the same token first; keep its
+                # object so repeated lookups stay identity-stable.
+                self._cache.move_to_end(token)
+                return existing
             self._cache[token] = vec
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
         return vec
 
     def _oov_vector(self, token: str) -> np.ndarray:
@@ -115,8 +169,69 @@ class TermEmbedder:
     # ------------------------------------------------------------------
     # batches
     # ------------------------------------------------------------------
+    def vectors(self, tokens: Sequence[Token | str]) -> np.ndarray:
+        """Batched lookup -> ``(n, dim)``, one row per input token.
+
+        Duplicates are resolved once: the batch is deduplicated, served
+        from the cache under a single lock acquisition, and only the
+        misses go to the backend (via its ``batch_vectors`` hook when it
+        has one).  This is the amortized entry point the vectorized
+        aggregation plane rides.
+        """
+        texts = [t.text if isinstance(t, Token) else t for t in tokens]
+        if not texts:
+            return np.empty((0, self.dim))
+        order: dict[str, int] = {}
+        for text in texts:
+            if text not in order:
+                order[text] = len(order)
+        unique = list(order)
+        resolved: list[np.ndarray | None] = [None] * len(unique)
+        missing: list[int] = []
+        with self._cache_lock:
+            for idx, token in enumerate(unique):
+                cached = self._cache.get(token)
+                if cached is not None:
+                    self._cache.move_to_end(token)
+                    self._hits += 1
+                    resolved[idx] = cached
+                else:
+                    self._misses += 1
+                    missing.append(idx)
+        if missing:
+            fresh = self._resolve_batch([unique[i] for i in missing])
+            for idx, vec in zip(missing, fresh):
+                resolved[idx] = self._cache_put(unique[idx], vec)
+        matrix = np.stack(resolved)  # type: ignore[arg-type]
+        if len(unique) == len(texts):
+            return matrix
+        gather = np.fromiter(
+            (order[t] for t in texts), dtype=np.intp, count=len(texts)
+        )
+        return matrix[gather]
+
+    def _resolve_batch(self, tokens: Sequence[str]) -> list[np.ndarray]:
+        batch = getattr(self.model, "batch_vectors", None)
+        if batch is not None:
+            raw = batch(tokens)
+        else:
+            raw = [self.model.vector(t) for t in tokens]
+        out: list[np.ndarray] = []
+        for token, vec in zip(tokens, raw):
+            if vec is None:
+                vec = self._oov_vector(token)
+            vec = np.asarray(vec, dtype=np.float64)
+            if self._centering is not None:
+                vec = vec - self._centering
+            out.append(vec)
+        return out
+
     def embed_tokens(self, tokens: Sequence[Token | str]) -> np.ndarray:
-        """Stack embeddings for a token sequence -> ``(n, dim)``."""
+        """Stack embeddings for a token sequence -> ``(n, dim)``.
+
+        Kept as per-token :meth:`vector` calls — this is the scalar
+        reference path the vectorized plane is benchmarked against.
+        """
         if not tokens:
             return np.empty((0, self.dim))
         texts = [t.text if isinstance(t, Token) else t for t in tokens]
@@ -126,8 +241,24 @@ class TermEmbedder:
         """Tokenize a level's cells and stack the term embeddings."""
         return self.embed_tokens(tokenize_cells(cells))
 
+    # ------------------------------------------------------------------
+    # cache management
+    # ------------------------------------------------------------------
+    def cache_info(self) -> CacheInfo:
+        """Hit/miss/size counters (thread-safe snapshot)."""
+        with self._cache_lock:
+            return CacheInfo(
+                hits=self._hits,
+                misses=self._misses,
+                size=len(self._cache),
+                capacity=self._cache_size,
+            )
+
     def clear_cache(self) -> None:
-        self._cache.clear()
+        with self._cache_lock:
+            self._cache.clear()
+            self._hits = 0
+            self._misses = 0
 
 
 def corpus_mean_vector(model: EmbeddingModel) -> np.ndarray | None:

@@ -152,3 +152,23 @@ class PpmiSvdEmbedding:
         if token_id is None:
             return None
         return self._vectors[token_id]
+
+    def batch_vectors(self, tokens: Sequence[str]) -> list[np.ndarray | None]:
+        """Amortized lookup: one bucket+id pass, one row gather."""
+        if self.vocab is None or self._vectors is None:
+            return [None] * len(tokens)
+        ids = [self.vocab.id_of(self._bucket(t)) for t in tokens]
+        present = [i for i in ids if i is not None]
+        rows = (
+            self._vectors[np.asarray(present, dtype=np.intp)] if present else None
+        )
+        out: list[np.ndarray | None] = []
+        cursor = 0
+        for token_id in ids:
+            if token_id is None:
+                out.append(None)
+            else:
+                assert rows is not None
+                out.append(rows[cursor])
+                cursor += 1
+        return out

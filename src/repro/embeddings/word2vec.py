@@ -189,6 +189,24 @@ class Word2Vec:
             return None
         return self._w_in[token_id]
 
+    def batch_vectors(self, tokens: Sequence[str]) -> list[np.ndarray | None]:
+        """Amortized lookup: one id pass, one row gather; None for OOV."""
+        if self.vocab is None or self._w_in is None:
+            return [None] * len(tokens)
+        ids = [self.vocab.id_of(t) for t in tokens]
+        present = [i for i in ids if i is not None]
+        rows = self._w_in[np.asarray(present, dtype=np.intp)] if present else None
+        out: list[np.ndarray | None] = []
+        cursor = 0
+        for token_id in ids:
+            if token_id is None:
+                out.append(None)
+            else:
+                assert rows is not None
+                out.append(rows[cursor])
+                cursor += 1
+        return out
+
     def most_similar(self, token: str, *, topn: int = 10) -> list[tuple[str, float]]:
         """Nearest neighbours by cosine similarity (diagnostics/examples)."""
         if self.vocab is None or self._w_in is None:

@@ -52,28 +52,39 @@ def table_from_text(text: str, *, suffix: str = "", name: str = "") -> Table:
     return table_from_csv(text, name=name)
 
 
+def _dir_table_files(path: Path) -> list[Path]:
+    """A directory's (non-recursive) table files, sorted."""
+    return [
+        p for p in sorted(path.iterdir())
+        if p.suffix.lower() in TABLE_SUFFIXES and p.is_file()
+    ]
+
+
 def iter_table_paths(specs: Sequence[str | Path]) -> list[Path]:
     """Expand files, directories, and glob patterns into table paths.
 
     Directories contribute their (non-recursive) table files; globs are
-    expanded relative to the working directory.  The result is sorted
-    and de-duplicated so runs are deterministic.
+    expanded relative to the working directory, and a glob match that is
+    itself a directory contributes its table files the same way a
+    literal directory spec does.  The result is sorted and de-duplicated
+    so runs are deterministic.
     """
     out: list[Path] = []
     for spec in specs:
         path = Path(spec)
         if path.is_dir():
-            out.extend(
-                p for p in sorted(path.iterdir())
-                if p.suffix.lower() in TABLE_SUFFIXES and p.is_file()
-            )
+            out.extend(_dir_table_files(path))
         elif path.is_file():
             out.append(path)
         else:
             matches = [Path(p) for p in sorted(glob(str(spec)))]
             if not matches:
                 raise FileNotFoundError(f"no tables match {spec!r}")
-            out.extend(p for p in matches if p.is_file())
+            for match in matches:
+                if match.is_dir():
+                    out.extend(_dir_table_files(match))
+                elif match.is_file():
+                    out.append(match)
     seen: set[Path] = set()
     unique = []
     for p in out:

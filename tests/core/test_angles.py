@@ -11,9 +11,12 @@ from repro.core.angles import (
     AngleRange,
     angle_between,
     angle_matrix,
+    angles_to,
+    consecutive_angles,
     cosine_similarity,
     euclidean_distance,
     jaccard_similarity,
+    walk_angles,
 )
 
 vectors = arrays(
@@ -172,3 +175,67 @@ class TestAngleRange:
         r = AngleRange.from_samples(samples, trim=0.1)
         median = float(np.median(samples))
         assert r.lo - 1e-9 <= median <= r.hi + 1e-9
+
+
+class TestBatchedAngles:
+    """The batched helpers must match per-pair angle_between exactly."""
+
+    def _levels(self, seed=0, n=6, d=8):
+        rng = np.random.default_rng(seed)
+        levels = rng.normal(size=(n, d))
+        levels[2] = 0.0  # a blank level: 90-degree convention
+        return levels
+
+    def test_angles_to_matches_scalar(self):
+        levels = self._levels()
+        ref = np.ones(8)
+        batched = angles_to(levels, ref)
+        scalar = [angle_between(v, ref) for v in levels]
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+        assert batched[2] == pytest.approx(90.0)
+
+    def test_angles_to_zero_reference(self):
+        np.testing.assert_allclose(
+            angles_to(self._levels(), np.zeros(8)), 90.0
+        )
+
+    def test_angles_to_empty(self):
+        assert angles_to(np.empty((0, 8)), np.ones(8)).shape == (0,)
+        with pytest.raises(ValueError):
+            angles_to(np.ones(8), np.ones(8))
+
+    def test_consecutive_matches_scalar(self):
+        levels = self._levels(seed=1)
+        batched = consecutive_angles(levels)
+        scalar = [
+            angle_between(levels[i], levels[i + 1])
+            for i in range(len(levels) - 1)
+        ]
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_consecutive_short_inputs(self):
+        assert consecutive_angles(np.empty((0, 4))).shape == (0,)
+        assert consecutive_angles(np.ones((1, 4))).shape == (0,)
+
+    def test_walk_angles_matches_components(self):
+        levels = self._levels(seed=2)
+        meta_ref = np.ones(8)
+        data_ref = -np.ones(8)
+        meta, data, deltas = walk_angles(levels, meta_ref, data_ref)
+        np.testing.assert_allclose(meta, angles_to(levels, meta_ref), atol=1e-9)
+        np.testing.assert_allclose(data, angles_to(levels, data_ref), atol=1e-9)
+        np.testing.assert_allclose(
+            deltas, consecutive_angles(levels), atol=1e-9
+        )
+
+    def test_walk_angles_degenerate(self):
+        meta, data, deltas = walk_angles(
+            np.empty((0, 4)), np.ones(4), np.ones(4)
+        )
+        assert meta.shape == data.shape == deltas.shape == (0,)
+        meta, data, deltas = walk_angles(
+            np.ones((1, 4)), np.zeros(4), np.ones(4)
+        )
+        assert meta[0] == pytest.approx(90.0)
+        assert data[0] == pytest.approx(0.0)
+        assert deltas.shape == (0,)

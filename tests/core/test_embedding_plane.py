@@ -1,0 +1,197 @@
+"""Tests for the vectorized table-embedding plane.
+
+The contract under test: :func:`embed_table` / :func:`level_vectors`
+must reproduce the scalar :mod:`repro.core.aggregate` vectors (up to
+floating-point re-association) for every mode they claim to support,
+fall back to the scalar path for the modes they do not, and never raise
+on degenerate shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.aggregate import (
+    AggregationConfig,
+    aggregate_cols,
+    aggregate_level,
+    aggregate_rows,
+)
+from repro.core.classifier import MetadataClassifier
+from repro.core.embedding_plane import (
+    TableEmbedding,
+    embed_table,
+    level_vectors,
+    supports_fast_path,
+)
+from repro.embeddings.hashed import HashedEmbedding
+from repro.embeddings.lookup import TermEmbedder
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def embedder() -> TermEmbedder:
+    return TermEmbedder(HashedEmbedding(16))
+
+
+class TestEmbedTableEquivalence:
+    @pytest.mark.parametrize("mode", ["sum", "mean"])
+    def test_matches_scalar_path(self, embedder, hierarchical_table, mode):
+        config = AggregationConfig(mode=mode)
+        embedded = embed_table(embedder, hierarchical_table, config)
+        np.testing.assert_allclose(
+            embedded.row_vectors,
+            aggregate_rows(embedder, hierarchical_table, config),
+            atol=1e-9,
+        )
+        np.testing.assert_allclose(
+            embedded.col_vectors,
+            aggregate_cols(embedder, hierarchical_table, config),
+            atol=1e-9,
+        )
+
+    def test_matches_on_generated_corpus(self, embedder, ckg_eval):
+        config = AggregationConfig()
+        for annotated in ckg_eval[:10]:
+            table = annotated.table
+            embedded = embed_table(embedder, table, config)
+            np.testing.assert_allclose(
+                embedded.row_vectors,
+                aggregate_rows(embedder, table, config),
+                atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                embedded.col_vectors,
+                aggregate_cols(embedder, table, config),
+                atol=1e-9,
+            )
+
+    def test_token_accounting(self, embedder, simple_table):
+        embedded = embed_table(embedder, simple_table, AggregationConfig())
+        assert embedded.n_tokens > 0
+        assert 0 < embedded.n_unique_tokens <= embedded.n_tokens
+
+    def test_repeated_cells_share_work(self, embedder):
+        table = Table([["x", "x"], ["x", "x"], ["x", "x"]])
+        embedded = embed_table(embedder, table, AggregationConfig())
+        assert embedded.n_unique_tokens == 1
+        assert embedded.n_tokens == 6
+        np.testing.assert_allclose(
+            embedded.row_vectors,
+            aggregate_rows(embedder, table, AggregationConfig()),
+        )
+
+
+class TestDegenerateShapes:
+    def test_zero_column_table(self, embedder):
+        embedded = embed_table(embedder, Table([[], []]), AggregationConfig())
+        assert embedded.row_vectors.shape == (2, 16)
+        assert embedded.col_vectors.shape == (0, 16)
+        assert np.all(embedded.row_vectors == 0)
+
+    def test_empty_table(self, embedder):
+        embedded = embed_table(embedder, Table([]), AggregationConfig())
+        assert embedded.row_vectors.shape == (0, 16)
+        assert embedded.col_vectors.shape == (0, 16)
+
+    def test_all_blank_grid(self, embedder):
+        table = Table([["", ""], ["", ""]])
+        embedded = embed_table(embedder, table, AggregationConfig())
+        assert np.all(embedded.row_vectors == 0)
+        assert np.all(embedded.col_vectors == 0)
+        assert embedded.n_tokens == 0
+
+    def test_partially_blank_mean_mode(self, embedder):
+        # A blank row must stay zero in mean mode (no divide-by-zero).
+        table = Table([["alpha", "beta"], ["", ""]])
+        config = AggregationConfig(mode="mean")
+        embedded = embed_table(embedder, table, config)
+        np.testing.assert_allclose(
+            embedded.row_vectors, aggregate_rows(embedder, table, config)
+        )
+        assert np.all(embedded.row_vectors[1] == 0)
+        assert np.all(np.isfinite(embedded.row_vectors))
+
+
+class TestFallbacks:
+    def test_concat_mode_falls_back(self, embedder, simple_table):
+        config = AggregationConfig(mode="concat", concat_terms=4)
+        assert not supports_fast_path(embedder, config)
+        embedded = embed_table(embedder, simple_table, config)
+        assert embedded.n_tokens == -1  # marker: scalar path was used
+        np.testing.assert_allclose(
+            embedded.row_vectors, aggregate_rows(embedder, simple_table, config)
+        )
+
+    def test_contextual_falls_back_only_with_encoder(self, embedder):
+        config = AggregationConfig(contextual=True)
+        # Hashed backend has no encode_sentence: fast path still applies.
+        assert supports_fast_path(embedder, config)
+
+        class _Encoder(HashedEmbedding):
+            def encode_sentence(self, tokens):
+                return np.zeros((len(tokens), self.dim))
+
+        contextual = TermEmbedder(_Encoder(16))
+        assert not supports_fast_path(contextual, config)
+
+
+class TestLevelVectors:
+    def test_matches_aggregate_level(self, embedder):
+        levels = [
+            ["State", "City", "Enrollment"],
+            ["New York", "Ithaca", "19,639"],
+            [],
+            ["", ""],
+        ]
+        batched = level_vectors(embedder, levels, AggregationConfig())
+        scalar = np.stack(
+            [aggregate_level(embedder, c, AggregationConfig()) for c in levels]
+        )
+        np.testing.assert_allclose(batched, scalar, atol=1e-9)
+
+    def test_empty_batch(self, embedder):
+        assert level_vectors(embedder, [], AggregationConfig()).shape == (0, 16)
+
+    def test_non_string_cells(self, embedder):
+        batched = level_vectors(embedder, [[12, None, "x"]], AggregationConfig())
+        scalar = aggregate_level(embedder, [12, None, "x"], AggregationConfig())
+        np.testing.assert_allclose(batched[0], scalar, atol=1e-9)
+
+
+class TestClassifierEquivalence:
+    def test_identical_annotations_on_corpus(self, hashed_pipeline, ckg_eval):
+        """The acceptance bar: byte-identical TableAnnotations between the
+        vectorized classifier and the scalar seed path."""
+        from dataclasses import replace
+
+        clf = hashed_pipeline.classifier
+        scalar = MetadataClassifier(
+            clf.embedder,
+            clf.row_centroids,
+            clf.col_centroids,
+            projection=clf.projection,
+            config=replace(clf.config, vectorized=False),
+        )
+        fast = MetadataClassifier(
+            clf.embedder,
+            clf.row_centroids,
+            clf.col_centroids,
+            projection=clf.projection,
+            config=replace(clf.config, vectorized=True),
+        )
+        for annotated in ckg_eval:
+            assert fast.classify(annotated.table) == scalar.classify(
+                annotated.table
+            )
+
+    def test_classify_result_keeps_evidence(self, hashed_pipeline, ckg_eval):
+        result = hashed_pipeline.classifier.classify_result(ckg_eval[0].table)
+        assert len(result.row_evidence) == ckg_eval[0].table.n_rows
+        assert len(result.col_evidence) == ckg_eval[0].table.n_cols
+        assert all(ev.rule for ev in result.row_evidence)
+        # Labels-only path agrees with the evidence path.
+        assert hashed_pipeline.classifier.classify(
+            ckg_eval[0].table
+        ) == result.annotation

@@ -118,3 +118,131 @@ class TestCentering:
 
     def test_corpus_mean_none_without_vocab(self):
         assert corpus_mean_vector(HashedEmbedding(8)) is None
+
+
+class TestCacheLru:
+    def test_eviction_keeps_most_recent(self):
+        embedder = TermEmbedder(HashedEmbedding(8), cache_size=3)
+        for tok in ("a", "b", "c"):
+            embedder.vector(tok)
+        embedder.vector("a")  # refresh "a": "b" is now least recent
+        embedder.vector("d")  # evicts "b"
+        assert set(embedder._cache) == {"a", "c", "d"}
+        assert embedder.cache_info().size == 3
+
+    def test_size_never_exceeds_capacity(self):
+        embedder = TermEmbedder(HashedEmbedding(8), cache_size=5)
+        for i in range(50):
+            embedder.vector(f"tok{i}")
+            assert embedder.cache_info().size <= 5
+        # The cache keeps caching after hitting capacity (no freeze).
+        last = embedder.vector("tok49")
+        assert embedder.vector("tok49") is last
+
+    def test_cache_size_zero_disables_caching(self):
+        embedder = TermEmbedder(HashedEmbedding(8), cache_size=0)
+        first = embedder.vector("tok")
+        second = embedder.vector("tok")
+        assert first is not second
+        np.testing.assert_allclose(first, second)
+        assert embedder.cache_info().size == 0
+
+    def test_cache_info_counters(self):
+        embedder = TermEmbedder(HashedEmbedding(8), cache_size=10)
+        embedder.vector("a")
+        embedder.vector("a")
+        embedder.vector("b")
+        info = embedder.cache_info()
+        assert info.hits == 1
+        assert info.misses == 2
+        assert info.size == 2
+        assert info.capacity == 10
+        embedder.clear_cache()
+        info = embedder.cache_info()
+        assert (info.hits, info.misses, info.size) == (0, 0, 0)
+
+
+class TestVectorsBatch:
+    def test_matches_scalar_path(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        tokens = ["alpha", "beta", "alpha", "14373", "gamma"]
+        batched = embedder.vectors(tokens)
+        scalar = np.stack([embedder.vector(t) for t in tokens])
+        np.testing.assert_allclose(batched, scalar)
+
+    def test_duplicates_resolved_once(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        out = embedder.vectors(["x"] * 10)
+        assert out.shape == (10, 8)
+        assert embedder.cache_info().misses == 1
+
+    def test_empty_batch(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        assert embedder.vectors([]).shape == (0, 8)
+
+    def test_token_objects_accepted(self):
+        embedder = TermEmbedder(HashedEmbedding(8))
+        out = embedder.vectors([Token("a", TokenKind.WORD), "b"])
+        np.testing.assert_allclose(out[0], embedder.vector("a"))
+
+    def test_oov_backoff_and_centering_applied(self):
+        center = np.full(8, 0.25)
+        plain = TermEmbedder(_NoneModel(), oov="ngram")
+        centered = TermEmbedder(_NoneModel(), oov="ngram", centering=center)
+        np.testing.assert_allclose(
+            centered.vectors(["word"])[0], plain.vectors(["word"])[0] - center
+        )
+
+    def test_backend_batch_hook_used(self):
+        calls = []
+
+        class _BatchModel(HashedEmbedding):
+            def batch_vectors(self, tokens):
+                calls.append(list(tokens))
+                return [self.vector(t) for t in tokens]
+
+        embedder = TermEmbedder(_BatchModel(8))
+        embedder.vectors(["a", "b", "a"])
+        assert calls == [["a", "b"]]  # deduped, one backend call
+
+
+class TestCacheConcurrency:
+    def test_eight_thread_hammer_no_corruption(self):
+        """Shared embedder under 8 threads with a cache small enough to
+        force constant eviction: every returned vector must still equal
+        the single-thread reference, and the cache must stay bounded."""
+        import threading as _threading
+
+        embedder = TermEmbedder(HashedEmbedding(16), cache_size=32)
+        reference = TermEmbedder(HashedEmbedding(16), cache_size=0)
+        tokens = [f"tok{i}" for i in range(100)]
+        expected = {t: reference.vector(t) for t in tokens}
+        errors: list[str] = []
+        barrier = _threading.Barrier(8)
+
+        def worker(seed: int) -> None:
+            barrier.wait()
+            for round_no in range(30):
+                for i, tok in enumerate(tokens):
+                    if (i + seed + round_no) % 3 == 0:
+                        got = embedder.vector(tok)
+                    else:
+                        got = embedder.vectors([tok, tokens[(i + seed) % 100]])[0]
+                    if not np.array_equal(got, expected[tok]):
+                        errors.append(tok)
+                        return
+
+        threads = [
+            _threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        assert errors == []
+        info = embedder.cache_info()
+        assert info.size <= 32
+        # Cached entries themselves must be intact.
+        for tok, vec in embedder._cache.items():
+            assert np.array_equal(vec, expected[tok])

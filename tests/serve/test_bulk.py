@@ -144,3 +144,50 @@ class TestOutput:
         assert record["hmd_depth"] == annotation.hmd_depth
         assert len(record["row_labels"]) == table.n_rows
         assert len(record["col_labels"]) == table.n_cols
+
+
+class TestGlobDirectories:
+    def test_glob_matching_directories_recurses(self, tmp_path, ckg_eval):
+        # A glob whose matches are directories must contribute their
+        # table files, exactly like a literal directory spec would.
+        for shard in ("shard-a", "shard-b"):
+            sub = tmp_path / shard
+            sub.mkdir()
+            for i, item in enumerate(ckg_eval[:2]):
+                (sub / f"t{i}.csv").write_text(table_to_csv(item.table))
+            (sub / "notes.txt").write_text("not a table")
+        paths = iter_table_paths([str(tmp_path / "shard-*")])
+        assert len(paths) == 4
+        assert all(p.suffix == ".csv" for p in paths)
+        assert {p.parent.name for p in paths} == {"shard-a", "shard-b"}
+
+    def test_glob_mixing_files_and_directories(self, tmp_path, ckg_eval):
+        (tmp_path / "x-file.csv").write_text(table_to_csv(ckg_eval[0].table))
+        sub = tmp_path / "x-dir"
+        sub.mkdir()
+        (sub / "inner.csv").write_text(table_to_csv(ckg_eval[1].table))
+        paths = iter_table_paths([str(tmp_path / "x-*")])
+        assert sorted(p.name for p in paths) == ["inner.csv", "x-file.csv"]
+
+
+class TestCorpusStageHook:
+    def test_classify_corpus_emits_classify_stages(self, ckg_train, ckg_eval):
+        # classify_corpus must route through classify() so every table
+        # records a "classify" stage timing (the serve metrics contract).
+        from repro.core.pipeline import MetadataPipeline, PipelineConfig
+
+        pipeline = MetadataPipeline(
+            PipelineConfig(embedding="hashed", use_contrastive=False)
+        ).fit(ckg_train[:15])
+        stages: list[tuple[str, float]] = []
+        pipeline.stage_hook = lambda stage, seconds: stages.append(
+            (stage, seconds)
+        )
+        tables = [item.table for item in ckg_eval[:5]]
+        annotations = pipeline.classify_corpus(tables)
+        assert len(annotations) == 5
+        classify_stages = [s for s in stages if s[0] == "classify"]
+        assert len(classify_stages) == 5
+        assert all(seconds >= 0 for _, seconds in classify_stages)
+        for annotation, table in zip(annotations, tables):
+            assert annotation == pipeline.classify(table)

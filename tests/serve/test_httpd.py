@@ -222,3 +222,39 @@ class TestServiceDirect:
         svc.close()
         assert len(records) == 8
         svc.close()  # idempotent
+
+
+class TestDegenerateTables:
+    """Degenerate tables over the wire must classify, not 500."""
+
+    @pytest.mark.parametrize(
+        "name,rows",
+        [
+            ("single-row", [["Region", "Cases", "Deaths"]]),
+            ("single-col", [["Region"], ["North"], ["South"]]),
+            ("one-by-one", [["x"]]),
+            ("all-numeric", [["1", "2"], ["3", "4"], ["5", "6"]]),
+            ("all-blank", [["", ""], ["", ""]]),
+        ],
+    )
+    def test_json_degenerate_classifies(self, base_url, name, rows):
+        body = json.dumps({"name": name, "rows": rows}).encode()
+        record = _post(f"{base_url}/classify", body, "application/json")
+        assert len(record["row_labels"]) == len(rows)
+        assert len(record["col_labels"]) == (len(rows[0]) if rows else 0)
+
+    def test_zero_row_table_classifies(self, base_url):
+        body = json.dumps({"name": "empty", "rows": []}).encode()
+        record = _post(f"{base_url}/classify", body, "application/json")
+        assert record["row_labels"] == []
+        assert record["col_labels"] == []
+        assert record["hmd_depth"] == 0
+
+    def test_degenerate_batch(self, base_url):
+        body = json.dumps(
+            {"tables": [{"rows": []}, {"rows": [["x"]]}, {"rows": [["1"]]}]}
+        ).encode()
+        payload = _post(f"{base_url}/classify/batch", body, "application/json")
+        assert payload["count"] == 3
+        assert payload["results"][0]["row_labels"] == []
+        assert len(payload["results"][1]["row_labels"]) == 1

@@ -1,0 +1,48 @@
+"""Project-specific static analysis (``repro lint``).
+
+The serve layer's two worst production bugs to date — a micro-batch
+failure poisoning unrelated requests, and a submit/collector deadlock
+from a lock held across a blocking ``queue.put`` — were both instances
+of mechanically detectable patterns.  This package is the codebase's
+own AST linter: a small rule framework plus rule families tuned to this
+repository's real invariants.
+
+Rule families
+-------------
+
+* **concurrency** — locks held across blocking calls, and
+  ``# guarded-by: <lock>`` attribute annotations enforced lexically;
+* **NumPy contracts** — ``np.array`` without an explicit ``dtype`` in
+  hot paths, float ``==`` comparisons, per-term ``.vector()`` calls in
+  loops where the batched API exists;
+* **determinism** — un-seeded or data-dependent RNG construction in the
+  reproduction-critical packages;
+* **API hygiene** — mutable default arguments, broad ``except`` without
+  a rationale, ``assert`` in non-test library code.
+
+Findings can be silenced three ways: fix the code, add an inline
+``# repro-lint: disable=RULE`` suppression with a rationale, or
+grandfather them in the committed baseline file (``lint-baseline.json``)
+so only *new* findings fail CI.  See ``docs/LINTING.md``.
+"""
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules, get_rule, register_rule
+from repro.analysis.runner import LintReport, lint_paths, lint_source
+
+# Importing the rule modules registers every built-in rule.
+from repro.analysis import rules as _rules  # noqa: F401  (import side effect)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintReport",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register_rule",
+]

@@ -1,0 +1,143 @@
+"""Committed baseline of grandfathered findings.
+
+A new rule usually surfaces findings in code that predates it.  Fixing
+everything in the rule's own PR buries the rule under churn, so known
+findings are *baselined*: recorded in a committed JSON file and filtered
+from future runs.  The debt stays visible (the file is in review, and
+the report summary counts it) while CI only gates **new** findings.
+
+Entries are fingerprinted by ``(rule, path, stripped source line,
+occurrence index)`` rather than line numbers, so unrelated edits above a
+grandfathered site don't resurrect it — the entry only stops matching
+when the flagged line itself changes, which is exactly when a human
+should re-look.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.findings import Finding
+
+_FORMAT_VERSION = 1
+
+
+def _normalize_path(path: str) -> str:
+    """Stable cross-platform path key (posix separators, no ./ prefix)."""
+    normalized = path.replace("\\", "/")
+    while normalized.startswith("./"):
+        normalized = normalized[2:]
+    return normalized
+
+
+def _fingerprint(
+    finding: Finding, occurrence: int
+) -> tuple[str, str, str, int]:
+    return (
+        finding.rule,
+        _normalize_path(finding.path),
+        finding.line_content,
+        occurrence,
+    )
+
+
+def _fingerprint_all(
+    findings: Iterable[Finding],
+) -> list[tuple[Finding, tuple[str, str, str, int]]]:
+    """Fingerprints with per-duplicate occurrence indices, in order."""
+    seen: Counter[tuple[str, str, str]] = Counter()
+    out = []
+    for finding in findings:
+        key = (finding.rule, _normalize_path(finding.path), finding.line_content)
+        out.append((finding, _fingerprint(finding, seen[key])))
+        seen[key] += 1
+    return out
+
+
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    def __init__(
+        self, entries: Sequence[dict] | None = None, *, path: Path | None = None
+    ) -> None:
+        self.path = path
+        self.entries: list[dict] = list(entries or [])
+        self._index: set[tuple[str, str, str, int]] = {
+            (
+                entry["rule"],
+                _normalize_path(entry["path"]),
+                entry.get("content", ""),
+                int(entry.get("occurrence", 0)),
+            )
+            for entry in self.entries
+        }
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: str | Path) -> "Baseline":
+        path = Path(path)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return cls(path=path)
+        except ValueError as exc:
+            raise ValueError(f"malformed baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise ValueError(f"malformed baseline {path}: no 'findings' key")
+        return cls(payload["findings"], path=path)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], *, path: Path | None = None
+    ) -> "Baseline":
+        entries = [
+            {
+                "rule": finding.rule,
+                "path": _normalize_path(finding.path),
+                "content": finding.line_content,
+                "occurrence": occurrence,
+                # Informational only — matching never reads it.
+                "line": finding.line,
+            }
+            for finding, (_, _, _, occurrence) in _fingerprint_all(findings)
+        ]
+        return cls(entries, path=path)
+
+    def save(self, path: str | Path | None = None) -> Path:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        payload = {
+            "format_version": _FORMAT_VERSION,
+            "comment": (
+                "Grandfathered repro-lint findings. Regenerate with "
+                "'repro lint --write-baseline'; shrink it by fixing code."
+            ),
+            "findings": self.entries,
+        }
+        target.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return target
+
+    # ------------------------------------------------------------------
+    # filtering
+    # ------------------------------------------------------------------
+    def filter(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], list[Finding]]:
+        """Split findings into (new, baselined)."""
+        fresh: list[Finding] = []
+        known: list[Finding] = []
+        for finding, fingerprint in _fingerprint_all(findings):
+            if fingerprint in self._index:
+                known.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, known

@@ -1,0 +1,125 @@
+"""The ``repro lint`` subcommand.
+
+Kept in the analysis package so ``repro.cli`` only wires the subparser;
+everything lint-specific (flags, exit codes, reporters) lives here.
+
+Exit codes: 0 clean (modulo baseline/suppressions), 1 findings, 2 usage
+or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import lint_paths, select_rules
+
+#: Default baseline location, resolved against the working directory —
+#: the committed repo-root file when running from a checkout.
+DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def add_lint_parser(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``lint`` subparser to the main CLI."""
+    lint = commands.add_parser(
+        "lint",
+        help="run the project's static-analysis rules",
+        description=(
+            "AST lint tuned to this codebase: concurrency, NumPy "
+            "contracts, determinism, API hygiene. See docs/LINTING.md."
+        ),
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    lint.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
+    lint.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    lint.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    lint.add_argument(
+        "--select", metavar="RULES",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--ignore", metavar="RULES",
+        help="comma-separated rule ids to skip",
+    )
+    lint.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print grandfathered findings (text format)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def _list_rules() -> int:
+    for rule in all_rules():
+        scope = ", ".join(rule.scope) if rule.scope else "whole tree"
+        print(f"{rule.id}  [{rule.family}]  (scope: {scope})")
+        print(f"    {rule.description}")
+    return 0
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+    try:
+        rules = select_rules(
+            select=args.select.split(",") if args.select else None,
+            ignore=args.ignore.split(",") if args.ignore else None,
+        )
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline_path = Path(args.baseline)
+    if args.no_baseline or args.write_baseline:
+        baseline = None
+    else:
+        try:
+            baseline = Baseline.load(baseline_path)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths, baseline=baseline, rules=rules)
+    if report.errors and report.n_files == 0:
+        for message in report.errors:
+            print(f"repro lint: {message}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        written = Baseline.from_findings(
+            report.findings, path=baseline_path
+        ).save()
+        print(
+            f"wrote {len(report.findings)} finding(s) to {written}",
+            file=sys.stderr,
+        )
+        return 0
+
+    if args.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report, show_baselined=args.show_baselined))
+    return 0 if report.ok else 1

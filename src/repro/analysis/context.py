@@ -1,0 +1,136 @@
+"""Per-file analysis context shared by every rule.
+
+Parsing, comment extraction, and suppression indexing happen once per
+file; rules receive the ready-made :class:`FileContext` and only walk
+the AST.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import SuppressionIndex, parse_suppressions
+
+
+def module_name_for(path: Path) -> str | None:
+    """Derive a dotted module name from a source path.
+
+    Walks the path for a ``src`` component followed by a package chain
+    (``src/repro/core/pipeline.py`` -> ``repro.core.pipeline``); falls
+    back to any trailing ``repro/...`` chain.  Returns None when no
+    package root is recognizable — the runner then applies every rule.
+    """
+    parts = path.parts
+    anchor = None
+    for i, part in enumerate(parts):
+        if part == "src" and i + 1 < len(parts):
+            anchor = i + 1
+    if anchor is None:
+        for i, part in enumerate(parts):
+            if part == "repro":
+                anchor = i
+                break
+    if anchor is None:
+        return None
+    dotted = list(parts[anchor:])
+    if not dotted or not dotted[-1].endswith(".py"):
+        return None
+    dotted[-1] = dotted[-1][: -len(".py")]
+    if dotted[-1] == "__init__":
+        dotted.pop()
+    return ".".join(dotted) if dotted else None
+
+
+def _extract_comments(source: str) -> dict[int, str]:
+    """Map line number -> comment text (without ``#``), best effort."""
+    comments: dict[int, str] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.COMMENT:
+                comments[tok.start[0]] = tok.string.lstrip("#").strip()
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        # The AST parse will surface the real error; comments are lost.
+        pass
+    return comments
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    path: str
+    source: str
+    tree: ast.AST
+    lines: list[str]
+    comments: dict[int, str]  # line -> comment text
+    suppressions: SuppressionIndex
+    module: str | None
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        *,
+        path: str = "<string>",
+        module: str | None = None,
+    ) -> "FileContext":
+        """Build a context from in-memory source (raises ``SyntaxError``)."""
+        tree = ast.parse(source, filename=path)
+        comments = _extract_comments(source)
+        lines = source.splitlines()
+        return cls(
+            path=path,
+            source=source,
+            tree=tree,
+            lines=lines,
+            comments=comments,
+            suppressions=parse_suppressions(comments, lines),
+            module=module,
+        )
+
+    @classmethod
+    def from_path(cls, path: Path) -> "FileContext":
+        source = path.read_text(encoding="utf-8")
+        return cls.from_source(
+            source, path=str(path), module=module_name_for(path)
+        )
+
+    # ------------------------------------------------------------------
+    # rule helpers
+    # ------------------------------------------------------------------
+    def line_content(self, line: int) -> str:
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def comment_near(self, line: int) -> str | None:
+        """Comment on ``line`` or on the line directly above it."""
+        if line in self.comments:
+            return self.comments[line]
+        return self.comments.get(line - 1)
+
+    def finding(
+        self,
+        rule: str,
+        node: ast.AST,
+        message: str,
+        *,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=line,
+            col=col,
+            message=message,
+            line_content=self.line_content(line),
+            severity=severity,
+        )

@@ -1,0 +1,50 @@
+"""The unit of lint output: one :class:`Finding` per defect site."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class Severity(enum.Enum):
+    """How a finding gates CI.
+
+    ``ERROR`` findings fail the run; ``WARNING`` findings are reported
+    but never flip the exit code (none of the built-in rules use it yet
+    — the hook exists so a new rule can be landed observe-only, then
+    promoted once the tree is clean).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint finding, addressable and stable across reformatting.
+
+    ``line``/``col`` are 1-based/0-based respectively (matching
+    ``ast``).  ``line_content`` carries the stripped source line so the
+    baseline can fingerprint the finding without trusting line numbers.
+    """
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    line_content: str = ""
+    severity: Severity = field(default=Severity.ERROR)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule}: {self.message}"
+
+    def to_obj(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "severity": self.severity.value,
+        }

@@ -1,0 +1,44 @@
+"""Render a lint run for humans (text) or tooling (JSON)."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.runner import LintReport
+
+
+def render_text(report: "LintReport", *, show_baselined: bool = False) -> str:
+    """The default reporter: one ``path:line:col: rule: message`` per
+    finding, followed by a one-line summary."""
+    lines = [finding.render() for finding in report.findings]
+    if show_baselined and report.baselined:
+        lines.append("")
+        lines.append("baselined (grandfathered, not gating):")
+        lines.extend(f"  {finding.render()}" for finding in report.baselined)
+    summary = (
+        f"{len(report.findings)} finding(s), "
+        f"{len(report.baselined)} baselined, "
+        f"{report.n_suppressed} suppressed, "
+        f"{report.n_files} file(s) checked"
+    )
+    if report.errors:
+        lines.extend(f"error: {message}" for message in report.errors)
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    payload = {
+        "findings": [finding.to_obj() for finding in report.findings],
+        "baselined": [finding.to_obj() for finding in report.baselined],
+        "suppressed": report.n_suppressed,
+        "files_checked": report.n_files,
+        "errors": list(report.errors),
+        "by_rule": dict(
+            Counter(finding.rule for finding in report.findings)
+        ),
+    }
+    return json.dumps(payload, indent=2)

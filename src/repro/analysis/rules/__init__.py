@@ -1,0 +1,14 @@
+"""Built-in rule families.
+
+Importing this package registers every rule with the registry.  Add a
+new family by creating a module here and importing it below.
+"""
+
+from repro.analysis.rules import (  # noqa: F401  (import side effects)
+    concurrency,
+    determinism,
+    hygiene,
+    numpy_contracts,
+)
+
+__all__ = ["concurrency", "determinism", "hygiene", "numpy_contracts"]

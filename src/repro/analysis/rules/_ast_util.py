@@ -1,0 +1,61 @@
+"""Small AST helpers shared by the rule modules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+#: Nodes that defer execution — walking into them from a ``with`` body
+#: would attribute their eventual calls to the lock scope, which is
+#: wrong (a nested ``def`` body runs later, without the lock held).
+DEFERRED_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+#: Comprehensions execute immediately at the point of definition.
+LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for Name/Attribute chains, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def walk_immediate(node: ast.AST) -> Iterator[ast.AST]:
+    """Like ``ast.walk`` but stops at deferred-execution boundaries."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        yield child
+        if not isinstance(child, DEFERRED_NODES):
+            stack.extend(ast.iter_child_nodes(child))
+
+
+def self_attr(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.attr``, else None."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def functions_in(tree: ast.AST) -> Iterator[ast.FunctionDef | ast.AsyncFunctionDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node

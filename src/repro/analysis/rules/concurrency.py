@@ -1,0 +1,270 @@
+"""Concurrency rules.
+
+These encode the two lock disciplines this codebase relies on:
+
+* never block while holding a lock (``lock-blocking-call``) — the
+  pattern behind the serve layer's submit/collector deadlock, where a
+  lock was held across a blocking ``queue.put``;
+* every access to a ``# guarded-by: <lock>`` annotated attribute must
+  happen inside ``with self.<lock>`` (``guarded-attr``) — the registry,
+  caches, and metrics all follow this convention.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.rules._ast_util import (
+    DEFERRED_NODES,
+    dotted_name,
+    self_attr,
+    walk_immediate,
+)
+
+#: Attribute names that look like locks when used as ``with self.X``.
+_LOCK_NAME = re.compile(r"lock|mutex|gate", re.IGNORECASE)
+
+_GUARDED_BY = re.compile(r"guarded-by:\s*([A-Za-z_][A-Za-z0-9_]*)")
+
+#: ``.join()`` receivers that are thread-like (vs ``str.join``).
+_THREADISH = re.compile(r"thread|collector|worker|pool|proc", re.IGNORECASE)
+
+#: Attribute calls that block regardless of receiver.
+_ALWAYS_BLOCKING_ATTRS = {
+    "sleep": "time.sleep",
+    "result": "future result wait",
+    "wait": "event/condition wait",
+    "acquire": "nested lock acquisition",
+    "read_text": "file I/O",
+    "write_text": "file I/O",
+    "read_bytes": "file I/O",
+    "write_bytes": "file I/O",
+    "recv": "socket I/O",
+    "recv_into": "socket I/O",
+    "send": "socket I/O",
+    "sendall": "socket I/O",
+    "accept": "socket I/O",
+    "connect": "socket I/O",
+    "savez": "file I/O",
+    "savez_compressed": "file I/O",
+}
+
+#: Bare-name calls that block.
+_BLOCKING_NAMES = {
+    "open": "file open",
+    "input": "console input",
+    "load_pipeline": "pipeline deserialization",
+    "save_pipeline": "pipeline serialization",
+}
+
+
+def _lock_expr_name(node: ast.expr) -> str | None:
+    """The lock-ish name in a ``with`` item, if any.
+
+    Matches ``self._lock`` / bare ``lock`` names and ``self._lock``
+    wrapped in nothing else; ``threading.Lock()`` constructor calls are
+    not lock *uses*.
+    """
+    name = self_attr(node)
+    if name is None and isinstance(node, ast.Name):
+        name = node.id
+    if name is not None and _LOCK_NAME.search(name):
+        return name
+    return None
+
+
+def _blocking_reason(call: ast.Call) -> str | None:
+    """Why this call blocks, or None if it doesn't look blocking."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return _BLOCKING_NAMES.get(func.id)
+    if not isinstance(func, ast.Attribute):
+        return None
+    receiver = dotted_name(func.value) or ""
+    if func.attr in ("put", "get"):
+        if "queue" in receiver.lower():
+            return f"blocking queue.{func.attr}"
+        return None
+    if func.attr == "join":
+        if _THREADISH.search(receiver) or not call.args:
+            return "thread join"
+        return None
+    if func.attr == "load" and receiver in ("np", "numpy"):
+        return "file I/O (np.load)"
+    return _ALWAYS_BLOCKING_ATTRS.get(func.attr)
+
+
+@register_rule(
+    "lock-blocking-call",
+    family="concurrency",
+    description=(
+        "a blocking call (queue.put/get, thread join, file/socket I/O, "
+        "model (de)serialization, sleep, future/event wait) is made while "
+        "holding a lock taken via 'with self.<lock>'"
+    ),
+)
+def check_lock_blocking_call(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        held = [
+            name
+            for item in node.items
+            if (name := _lock_expr_name(item.context_expr)) is not None
+        ]
+        if not held:
+            continue
+        for child in _scan_with_body(node):
+            if isinstance(child, ast.Call):
+                reason = _blocking_reason(child)
+                if reason is not None:
+                    yield context.finding(
+                        "lock-blocking-call",
+                        child,
+                        f"{reason} while holding {held[0]!r}; move the "
+                        "blocking call outside the lock (or suppress with "
+                        "a rationale if the ordering is load-bearing)",
+                    )
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    nested = _lock_expr_name(item.context_expr)
+                    if nested is not None and nested not in held:
+                        yield context.finding(
+                            "lock-blocking-call",
+                            item.context_expr,
+                            f"lock {nested!r} acquired while already "
+                            f"holding {held[0]!r}; nested lock ordering "
+                            "is a deadlock hazard",
+                        )
+
+
+def _scan_with_body(node: ast.With | ast.AsyncWith) -> Iterable[ast.AST]:
+    for stmt in node.body:
+        yield stmt
+        if not isinstance(stmt, DEFERRED_NODES):
+            yield from walk_immediate(stmt)
+
+
+# ---------------------------------------------------------------------------
+# guarded-attr
+# ---------------------------------------------------------------------------
+
+def _guarded_attrs(
+    context: FileContext, cls: ast.ClassDef
+) -> dict[str, str]:
+    """``attr -> lock`` from ``# guarded-by: <lock>`` assignment comments."""
+    guarded: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if isinstance(node, (ast.Assign, ast.AnnAssign)):
+            comment = context.comments.get(node.lineno)
+            if comment is None:
+                continue
+            match = _GUARDED_BY.search(comment)
+            if match is None:
+                continue
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for target in targets:
+                attr = self_attr(target)
+                if attr is not None:
+                    guarded[attr] = match.group(1)
+    return guarded
+
+
+class _GuardVisitor(ast.NodeVisitor):
+    """Track which locks are held lexically while visiting one method."""
+
+    def __init__(
+        self,
+        context: FileContext,
+        guarded: dict[str, str],
+        findings: list[Finding],
+    ) -> None:
+        self.context = context
+        self.guarded = guarded
+        self.findings = findings
+        self.held: set[str] = set()
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        acquired = set()
+        for item in node.items:
+            name = self_attr(item.context_expr)
+            if name is None and isinstance(item.context_expr, ast.Name):
+                name = item.context_expr.id
+            if name is not None and name not in self.held:
+                acquired.add(name)
+        self.held |= acquired
+        for stmt in node.body:
+            self.visit(stmt)
+        self.held -= acquired
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        attr = self_attr(node)
+        if attr is not None and attr in self.guarded:
+            lock = self.guarded[attr]
+            if lock not in self.held:
+                self.findings.append(
+                    self.context.finding(
+                        "guarded-attr",
+                        node,
+                        f"'self.{attr}' is annotated guarded-by: {lock} "
+                        f"but is accessed without 'with self.{lock}'",
+                    )
+                )
+        self.generic_visit(node)
+
+    # Deferred bodies (nested defs/lambdas) run without the lock, but a
+    # guarded access inside them is still an unguarded access — visit
+    # them with an empty held-set.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_deferred(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_deferred(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._visit_deferred(node)
+
+    def _visit_deferred(self, node: ast.AST) -> None:
+        saved, self.held = self.held, set()
+        self.generic_visit(node)
+        self.held = saved
+
+
+@register_rule(
+    "guarded-attr",
+    family="concurrency",
+    description=(
+        "an attribute annotated '# guarded-by: <lock>' on its assignment "
+        "is accessed outside 'with self.<lock>' (constructor excepted)"
+    ),
+)
+def check_guarded_attr(context: FileContext) -> Iterator[Finding]:
+    for cls in ast.walk(context.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        guarded = _guarded_attrs(context, cls)
+        if not guarded:
+            continue
+        findings: list[Finding] = []
+        for stmt in cls.body:
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if stmt.name == "__init__":
+                continue  # construction happens-before sharing
+            visitor = _GuardVisitor(context, guarded, findings)
+            for body_stmt in stmt.body:
+                visitor.visit(body_stmt)
+        yield from findings

@@ -1,0 +1,129 @@
+"""Determinism rules.
+
+The paper's centroid bootstrap, contrastive refinement, and
+significance tests are all RNG-driven; reproduction fidelity depends on
+every random draw being derived from a configured seed.  Scoped to the
+packages where randomness must be controlled: ``repro.core``,
+``repro.corpus``, ``repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register_rule
+from repro.analysis.rules._ast_util import dotted_name
+
+_SCOPE = ("repro.core", "repro.corpus", "repro.experiments")
+
+#: Legacy global-state numpy RNG entry points.
+_NP_GLOBAL_RNG = {
+    "seed", "rand", "randn", "randint", "random", "choice", "shuffle",
+    "permutation", "normal", "uniform", "standard_normal",
+}
+
+#: ``random``-module functions driven by the hidden global Random().
+_STDLIB_RANDOM = {
+    "random", "randint", "choice", "choices", "shuffle", "sample",
+    "uniform", "randrange", "seed", "getrandbits", "gauss",
+}
+
+#: Calls whose result makes a seed depend on data or wall-clock.
+_DATA_DEPENDENT_CALLS = {"len", "id", "hash"}
+_DATA_DEPENDENT_DOTTED = {"time.time", "time.time_ns", "time.monotonic"}
+
+
+@register_rule(
+    "unseeded-rng",
+    family="determinism",
+    description=(
+        "np.random.default_rng() with no seed, legacy np.random.* global "
+        "calls, or stdlib random.* module functions — all draw from "
+        "process-global or entropy-seeded state and break reproducibility"
+    ),
+    scope=_SCOPE,
+)
+def check_unseeded_rng(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None:
+            continue
+        if name in ("np.random.default_rng", "numpy.random.default_rng"):
+            if not node.args and not node.keywords:
+                yield context.finding(
+                    "unseeded-rng",
+                    node,
+                    "default_rng() without a seed draws from OS entropy; "
+                    "derive the seed from the configured pipeline seed",
+                )
+            continue
+        parts = name.split(".")
+        if (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+            and parts[2] in _NP_GLOBAL_RNG
+        ):
+            yield context.finding(
+                "unseeded-rng",
+                node,
+                f"legacy {name}() uses the process-global RNG; construct "
+                "a seeded Generator (np.random.default_rng(seed)) instead",
+            )
+        elif (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in _STDLIB_RANDOM
+        ):
+            yield context.finding(
+                "unseeded-rng",
+                node,
+                f"stdlib {name}() uses the hidden global Random(); use a "
+                "seeded random.Random(seed) or numpy Generator",
+            )
+
+
+def _data_dependent_part(node: ast.expr) -> str | None:
+    """The offending sub-expression's name, if the seed expression
+    contains a data- or clock-derived call."""
+    for child in ast.walk(node):
+        if not isinstance(child, ast.Call):
+            continue
+        name = dotted_name(child.func)
+        if name in _DATA_DEPENDENT_CALLS or name in _DATA_DEPENDENT_DOTTED:
+            return name
+    return None
+
+
+@register_rule(
+    "data-dependent-seed",
+    family="determinism",
+    description=(
+        "an RNG seed derived from len()/id()/hash()/time.* — the draw "
+        "count then varies with the data or the clock, silently changing "
+        "results between corpora and runs"
+    ),
+    scope=_SCOPE,
+)
+def check_data_dependent_seed(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        name = dotted_name(node.func)
+        if name is None or not name.endswith("default_rng"):
+            continue
+        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
+            culprit = _data_dependent_part(arg)
+            if culprit is not None:
+                yield context.finding(
+                    "data-dependent-seed",
+                    node,
+                    f"RNG seed depends on {culprit}(); derive it from the "
+                    "configured seed (e.g. default_rng((seed, salt)))",
+                )
+                break

@@ -1,0 +1,127 @@
+"""API-hygiene rules (tree-wide).
+
+Cheap, classic Python hazards that have bitten or nearly bitten this
+codebase: shared mutable default arguments, blanket ``except`` clauses
+with no recorded rationale, and ``assert`` doing real work in library
+code (stripped to nothing under ``python -O``).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.registry import register_rule
+
+_MUTABLE_CONSTRUCTORS = {"list", "dict", "set"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CONSTRUCTORS
+    )
+
+
+@register_rule(
+    "mutable-default-arg",
+    family="hygiene",
+    description=(
+        "a list/dict/set default argument is evaluated once and shared "
+        "across calls; default to None (or a dataclass default_factory)"
+    ),
+)
+def check_mutable_default_arg(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            continue
+        defaults = [*node.args.defaults, *node.args.kw_defaults]
+        for default in defaults:
+            if default is not None and _is_mutable_default(default):
+                name = getattr(node, "name", "<lambda>")
+                yield context.finding(
+                    "mutable-default-arg",
+                    default,
+                    f"mutable default argument in {name}(); one instance "
+                    "is shared by every call — use None and construct "
+                    "inside the body",
+                )
+
+
+def _names_broad_exception(node: ast.expr | None) -> bool:
+    if node is None:  # bare 'except:'
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in ("Exception", "BaseException")
+    if isinstance(node, ast.Tuple):
+        return any(_names_broad_exception(elt) for elt in node.elts)
+    return False
+
+
+@register_rule(
+    "broad-except",
+    family="hygiene",
+    description=(
+        "'except Exception' (or broader) without a rationale comment on "
+        "the handler line; blanket handlers swallow bugs — say why the "
+        "blast radius is intentional"
+    ),
+)
+def check_broad_except(context: FileContext) -> Iterator[Finding]:
+    for node in ast.walk(context.tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if not _names_broad_exception(node.type):
+            continue
+        if context.comment_near(node.lineno):
+            continue  # any comment at the handler counts as the rationale
+        what = "bare except:" if node.type is None else "except Exception"
+        yield context.finding(
+            "broad-except",
+            node,
+            f"{what} without a rationale comment; narrow the exception "
+            "or add '# <why the broad catch is safe here>'",
+        )
+
+
+def _is_test_module(context: FileContext) -> bool:
+    if context.module is not None:
+        head = context.module.split(".", 1)[0]
+        if head in ("tests", "test", "conftest"):
+            return True
+    path = context.path.replace("\\", "/")
+    filename = path.rsplit("/", 1)[-1]
+    return (
+        "/tests/" in path
+        or filename.startswith("test_")
+        or filename == "conftest.py"
+    )
+
+
+@register_rule(
+    "assert-in-library",
+    family="hygiene",
+    description=(
+        "'assert' in non-test library code disappears under python -O, "
+        "turning the guarded failure into a distant AttributeError; "
+        "raise an explicit typed error instead"
+    ),
+)
+def check_assert_in_library(context: FileContext) -> Iterator[Finding]:
+    if _is_test_module(context):
+        return
+    for node in ast.walk(context.tree):
+        if isinstance(node, ast.Assert):
+            yield context.finding(
+                "assert-in-library",
+                node,
+                "assert is stripped under python -O; raise RuntimeError/"
+                "ValueError (or a domain error) with a message",
+            )

@@ -1,0 +1,137 @@
+"""Drive the rules over files and fold in suppressions + baseline."""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import Rule, all_rules
+
+logger = logging.getLogger("repro.analysis.runner")
+
+#: Directory names never descended into.
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "venv", "build", "dist"}
+
+
+@dataclass
+class LintReport:
+    """Everything one lint run produced."""
+
+    findings: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    n_suppressed: int = 0
+    n_files: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    @property
+    def gating(self) -> list[Finding]:
+        """Findings that should fail the run."""
+        return [
+            f for f in self.findings if f.severity is Severity.ERROR
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.gating and not self.errors
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(candidate.parts):
+                    out.add(candidate)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def select_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[Rule]:
+    """Resolve ``--select``/``--ignore`` ids against the registry."""
+    from repro.analysis.registry import get_rule
+
+    if select:
+        rules = [get_rule(rule_id) for rule_id in select]
+    else:
+        rules = all_rules()
+    if ignore:
+        dropped = {get_rule(rule_id).id for rule_id in ignore}
+        rules = [rule for rule in rules if rule.id not in dropped]
+    return rules
+
+
+def _check_context(
+    context: FileContext, rules: Sequence[Rule]
+) -> tuple[list[Finding], int]:
+    """Run rules on one file; returns (kept findings, suppressed count)."""
+    kept: list[Finding] = []
+    suppressed = 0
+    for rule in rules:
+        if not rule.applies_to(context.module):
+            continue
+        for finding in rule.check(context):
+            if context.suppressions.is_suppressed(finding.rule, finding.line):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    *,
+    path: str = "<string>",
+    module: str | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint in-memory source — the entry point fixture tests use.
+
+    Suppressions apply; no baseline is involved.
+    """
+    context = FileContext.from_source(source, path=path, module=module)
+    findings, _ = _check_context(context, rules if rules is not None else all_rules())
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> LintReport:
+    """Lint files/directories and fold in the baseline."""
+    report = LintReport()
+    active = list(rules) if rules is not None else all_rules()
+    raw: list[Finding] = []
+    for file_path in collect_files(paths):
+        try:
+            context = FileContext.from_path(file_path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.errors.append(f"{file_path}: {exc}")
+            continue
+        report.n_files += 1
+        findings, suppressed = _check_context(context, active)
+        raw.extend(findings)
+        report.n_suppressed += suppressed
+    if baseline is not None:
+        report.findings, report.baselined = baseline.filter(raw)
+    else:
+        report.findings = raw
+    logger.debug(
+        "linted %d files: %d findings, %d baselined, %d suppressed",
+        report.n_files, len(report.findings), len(report.baselined),
+        report.n_suppressed,
+    )
+    return report

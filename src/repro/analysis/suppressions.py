@@ -1,0 +1,95 @@
+"""Inline suppression comments.
+
+Grammar (one comment, anywhere a comment is legal):
+
+* ``# repro-lint: disable=rule-a,rule-b`` — suppress those rules here:
+  on the same line when the comment trails code, or — when the comment
+  stands alone — on the next code line (intervening comment lines are
+  skipped, so a multi-line rationale block works);
+* ``# repro-lint: disable=all`` — suppress every rule at that site;
+* ``# repro-lint: disable-file=rule-a`` — suppress for the whole file
+  (must appear in the first 10 lines; ``all`` works here too).
+
+A suppression is an assertion that a human looked at the finding and
+judged the pattern safe — pair it with a rationale in the same comment,
+e.g. ``# repro-lint: disable=lock-blocking-call - bounded queue, see
+shutdown ordering note``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+_DIRECTIVE = re.compile(
+    # The rules list is comma-separated ids; it ends at the first token
+    # that isn't comma-joined, so a trailing rationale ("... - why it's
+    # safe") never leaks into the rule names.
+    r"repro-lint:\s*(?P<kind>disable|disable-file)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_-]+(?:\s*,\s*[A-Za-z0-9_-]+)*)"
+)
+
+#: File-level directives must sit near the top, where reviewers look.
+_FILE_DIRECTIVE_MAX_LINE = 10
+
+
+def _parse_rules(raw: str) -> frozenset[str]:
+    return frozenset(
+        name.strip() for name in raw.split(",") if name.strip()
+    )
+
+
+@dataclass
+class SuppressionIndex:
+    """Per-line and file-wide suppressed rule sets."""
+
+    by_line: dict[int, frozenset[str]] = field(default_factory=dict)
+    file_wide: frozenset[str] = frozenset()
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_wide or rule_id in self.file_wide:
+            return True
+        rules = self.by_line.get(line)
+        if rules is None:
+            return False
+        return "all" in rules or rule_id in rules
+
+
+def _is_comment_only(lines: Sequence[str], line: int) -> bool:
+    if not 1 <= line <= len(lines):
+        return False
+    stripped = lines[line - 1].strip()
+    return stripped.startswith("#")
+
+
+def parse_suppressions(
+    comments: Mapping[int, str], lines: Sequence[str]
+) -> SuppressionIndex:
+    """Build the index from comments plus the raw source lines.
+
+    A directive trailing code covers that line.  A directive on a
+    comment-only line covers every following comment-only line (the
+    rest of its rationale block) plus the first code line after the
+    block — the line findings anchor to.
+    """
+    index = SuppressionIndex()
+    file_rules: set[str] = set()
+    for line, text in comments.items():
+        match = _DIRECTIVE.search(text)
+        if match is None:
+            continue
+        rules = _parse_rules(match.group("rules"))
+        if match.group("kind") == "disable-file":
+            if line <= _FILE_DIRECTIVE_MAX_LINE:
+                file_rules.update(rules)
+            continue
+        covered = {line}
+        probe = line
+        while _is_comment_only(lines, probe):
+            probe += 1
+            covered.add(probe)
+        for target in covered:
+            index.by_line[target] = index.by_line.get(target, frozenset()) | rules
+    index.file_wide = frozenset(file_rules)
+    return index

@@ -9,6 +9,7 @@ Usage (also via ``python -m repro``):
     repro batch tables/ --model model.npz --workers 4 --out results.jsonl
     repro experiment table5 --scale smoke
     repro experiment all --scale paper --out artifacts.txt
+    repro lint src --format json
 """
 
 from __future__ import annotations
@@ -120,6 +121,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     experiment.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
     experiment.add_argument("--out", help="also write the rendering to a file")
+
+    from repro.analysis.cli import add_lint_parser
+
+    add_lint_parser(commands)
     return parser
 
 
@@ -146,7 +151,8 @@ def _cmd_fit(args: argparse.Namespace) -> int:
     train, _ = build_split(args.dataset, n_train=n_train, n_eval=1, seed=args.seed)
     print("fitting (embeddings -> bootstrap -> contrastive -> centroids) ...")
     pipeline = MetadataPipeline(config).fit(train)
-    assert pipeline.fit_report is not None
+    if pipeline.fit_report is None:
+        raise RuntimeError("fit() completed without producing a fit report")
     print(f"fit in {pipeline.fit_report.total_seconds:.1f}s")
     written = save_pipeline(pipeline, args.out)
     print(f"saved pipeline to {written}")
@@ -267,7 +273,11 @@ def _cmd_diagnose(args: argparse.Namespace) -> int:
     from repro.corpus.registry import build_corpus
 
     pipeline = load_pipeline(args.model)
-    assert pipeline.embedder is not None
+    if pipeline.embedder is None:
+        raise RuntimeError(
+            f"model {args.model} loaded without an embedder; the archive "
+            "is incomplete — re-fit and save it again"
+        )
     corpus = build_corpus(args.dataset, n_tables=args.n_tables, seed=0)
     labeled = bootstrap_corpus(corpus)
     spectrum = angle_spectrum(pipeline.embedder, labeled, axis=args.axis)
@@ -348,6 +358,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_diagnose(args)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "lint":
+        from repro.analysis.cli import run_lint_command
+
+        return run_lint_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -27,6 +27,13 @@ from repro.embeddings.lookup import TermEmbedder
 
 _EPS = 1e-12
 
+# Salts separating the two cross-table pair-sampling streams derived
+# from the caller's seed.  The streams must not depend on pool sizes
+# (the old ``default_rng(len(pool))`` made the sampled ranges change
+# whenever one more table produced a metadata vector).
+_MDE_SAMPLE_SALT = 1
+_DE_SAMPLE_SALT = 2
+
 # Defaults used when the bootstrap corpus is too sparse to observe a pair
 # kind at all (e.g. no table had two metadata levels).  Values follow the
 # typical ranges the paper reports across datasets (Tables I-IV).
@@ -151,6 +158,7 @@ def estimate_centroids(
     max_data_levels_per_table: int = 20,
     transform: Callable[[np.ndarray], np.ndarray] | None = None,
     min_range_width: float = 10.0,
+    seed: int = 0,
 ) -> CentroidSet:
     """Estimate a :class:`CentroidSet` from bootstrap-labeled tables.
 
@@ -160,7 +168,10 @@ def estimate_centroids(
     ``max_data_levels_per_table`` caps the quadratic data-data pair count
     on tall tables.  ``transform`` (e.g. a fitted contrastive projection)
     is applied to every aggregated vector before angles are measured, so
-    the ranges live in the same space the classifier will use.
+    the ranges live in the same space the classifier will use.  ``seed``
+    (normally the pipeline's configured seed) drives the cross-table
+    pair sampling below; it must never be derived from the data, or the
+    sampled ranges silently change whenever the corpus grows.
     """
     if axis not in ("rows", "cols"):
         raise ValueError("axis must be 'rows' or 'cols'")
@@ -268,7 +279,7 @@ def estimate_centroids(
         ]
         if len(pool) >= 2:
             cross_table_mde = True
-            rng = np.random.default_rng(len(pool))
+            rng = np.random.default_rng((seed, _MDE_SAMPLE_SALT))
             n_pairs = min(500, len(pool) * 2)
             for _ in range(n_pairs):
                 a, b = rng.choice(len(pool), size=2, replace=False)
@@ -282,7 +293,7 @@ def estimate_centroids(
         ]
         if len(pool) >= 2:
             cross_table_de = True
-            rng = np.random.default_rng(len(pool) + 1)
+            rng = np.random.default_rng((seed, _DE_SAMPLE_SALT))
             n_pairs = min(500, len(pool) * 2)
             for _ in range(n_pairs):
                 a, b = rng.choice(len(pool), size=2, replace=False)

@@ -197,16 +197,19 @@ class MetadataClassifier:
             )
         else:
             meta_angles = np.array(
-                [angle_between(v, centroids.meta_ref) for v in vectors]
+                [angle_between(v, centroids.meta_ref) for v in vectors],
+                dtype=np.float64,
             )
             data_angles = np.array(
-                [angle_between(v, centroids.data_ref) for v in vectors]
+                [angle_between(v, centroids.data_ref) for v in vectors],
+                dtype=np.float64,
             )
             deltas = np.array(
                 [
                     angle_between(vectors[i], vectors[i + 1])
                     for i in range(vectors.shape[0] - 1)
-                ]
+                ],
+                dtype=np.float64,
             )
 
         labels: list[LevelLabel] = []

@@ -101,14 +101,28 @@ def _vocab_from_obj(obj: dict) -> Vocabulary:
     return vocab
 
 
+def _require_vocab(model) -> "Vocabulary":
+    """A fitted model's vocabulary, or a typed error.
+
+    Not an assert: under ``python -O`` a vocabulary-less model would
+    slip through and the archive would fail to load much later.
+    """
+    vocab = getattr(model, "vocab", None)
+    if vocab is None:
+        raise PersistenceError(
+            f"{type(model).__name__} is fitted but has no vocabulary; "
+            "cannot serialize it"
+        )
+    return vocab
+
+
 def _save_embedding(model, arrays: dict, state: dict) -> None:
     if isinstance(model, Word2Vec):
         if not model.is_fitted:
             raise PersistenceError("cannot save an unfitted Word2Vec")
         state["embedding_kind"] = "word2vec"
         state["embedding_config"] = model.config.__dict__
-        assert model.vocab is not None
-        state["vocab"] = _vocab_to_obj(model.vocab)
+        state["vocab"] = _vocab_to_obj(_require_vocab(model))
         arrays["w2v_in"] = model._w_in
         arrays["w2v_out"] = model._w_out
     elif isinstance(model, ContextualEncoder):
@@ -116,8 +130,7 @@ def _save_embedding(model, arrays: dict, state: dict) -> None:
             raise PersistenceError("cannot save an unfitted ContextualEncoder")
         state["embedding_kind"] = "contextual"
         state["embedding_config"] = model.config.__dict__
-        assert model.vocab is not None
-        state["vocab"] = _vocab_to_obj(model.vocab)
+        state["vocab"] = _vocab_to_obj(_require_vocab(model))
         arrays["ctx_emb"] = model._emb
         arrays["ctx_pos"] = model._pos
         arrays["ctx_wq"] = model._wq
@@ -129,8 +142,7 @@ def _save_embedding(model, arrays: dict, state: dict) -> None:
             raise PersistenceError("cannot save an unfitted PpmiSvdEmbedding")
         state["embedding_kind"] = "ppmi"
         state["embedding_config"] = model.config.__dict__
-        assert model.vocab is not None
-        state["vocab"] = _vocab_to_obj(model.vocab)
+        state["vocab"] = _vocab_to_obj(_require_vocab(model))
         arrays["ppmi_vectors"] = model._vectors
     elif isinstance(model, HashedEmbedding):
         state["embedding_kind"] = "hashed"
@@ -189,10 +201,24 @@ def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
     missing).  Returns the written path."""
     if not pipeline.is_fitted:
         raise PersistenceError("cannot save an unfitted pipeline")
-    assert pipeline.embedder is not None
-    assert pipeline.row_centroids is not None
-    assert pipeline.col_centroids is not None
-    assert pipeline.classifier is not None
+    # Explicit (not asserts): these hold for any pipeline that went
+    # through fit(), but a hand-assembled pipeline missing a part must
+    # fail here with a name, not as an AttributeError mid-serialization
+    # — and must keep failing under ``python -O``.
+    missing = [
+        part
+        for part, value in (
+            ("embedder", pipeline.embedder),
+            ("row_centroids", pipeline.row_centroids),
+            ("col_centroids", pipeline.col_centroids),
+            ("classifier", pipeline.classifier),
+        )
+        if value is None
+    ]
+    if missing:
+        raise PersistenceError(
+            f"pipeline is missing {', '.join(missing)}; cannot save it"
+        )
 
     path = Path(path)
     if path.suffix != ".npz":

@@ -182,6 +182,7 @@ class MetadataPipeline:
             aggregation=self.config.aggregation,
             trim=self.config.centroid_trim,
             transform=transform,
+            seed=self.config.seed,
         )
         self.col_centroids = estimate_centroids(
             self.embedder,
@@ -190,6 +191,7 @@ class MetadataPipeline:
             aggregation=self.config.aggregation,
             trim=self.config.centroid_trim,
             transform=transform,
+            seed=self.config.seed,
         )
         report.centroid_seconds = time.perf_counter() - start
         self._emit_stage("fit.centroids", report.centroid_seconds)
@@ -247,7 +249,11 @@ class MetadataPipeline:
     def _fit_projection(
         self, labeled: Sequence[BootstrapLabels]
     ) -> ContrastiveProjection | None:
-        assert self.embedder is not None
+        if self.embedder is None:
+            raise RuntimeError(
+                "embeddings must be fitted before the contrastive "
+                "projection; call fit() instead of _fit_projection()"
+            )
         # Collect every bootstrap level first, then aggregate the whole
         # corpus batch through one vectorized embedding-plane call.
         meta_levels: list[Sequence[str]] = []

@@ -91,6 +91,7 @@ def refine_self_training(
             axis="rows",
             aggregation=aggregation,
             transform=transform,
+            seed=pipeline.config.seed,
         )
         refined.col_centroids = estimate_centroids(
             pipeline.embedder,
@@ -98,6 +99,7 @@ def refine_self_training(
             axis="cols",
             aggregation=aggregation,
             transform=transform,
+            seed=pipeline.config.seed,
         )
         classifier = MetadataClassifier(
             pipeline.embedder,

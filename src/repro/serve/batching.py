@@ -77,7 +77,6 @@ class BatchingExecutor(Generic[T, R]):
         self._pool = ThreadPoolExecutor(
             max_workers=self.config.workers, thread_name_prefix="repro-worker"
         )
-        self._closed = False
         # Two locks, deliberately: _gate serializes submit()/shutdown()
         # (and is held across the queue put, so the shutdown sentinel
         # strictly follows every accepted entry), while the collector's
@@ -87,7 +86,8 @@ class BatchingExecutor(Generic[T, R]):
         # producer and consumer sides.
         self._gate = threading.Lock()
         self._inflight_lock = threading.Lock()
-        self._inflight: set[Future] = set()
+        self._closed = False  # guarded-by: _gate
+        self._inflight: set[Future] = set()  # guarded-by: _inflight_lock
         self._collector = threading.Thread(
             target=self._collect, name="repro-batcher", daemon=True
         )
@@ -101,6 +101,10 @@ class BatchingExecutor(Generic[T, R]):
             if self._closed:
                 raise RuntimeError("executor is shut down")
             future: "Future[R]" = Future()
+            # repro-lint: disable=lock-blocking-call - load-bearing: the
+            # put must happen under _gate so shutdown()'s sentinel strictly
+            # follows every accepted entry.  Deadlock-free because the
+            # collector drains the queue without ever taking _gate.
             self._queue.put((item, future))
             return future
 
@@ -140,7 +144,13 @@ class BatchingExecutor(Generic[T, R]):
         future = self._pool.submit(self._run_batch, batch)
         with self._inflight_lock:
             self._inflight.add(future)
-        future.add_done_callback(self._inflight.discard)
+        future.add_done_callback(self._discard_inflight)
+
+    def _discard_inflight(self, future: Future) -> None:
+        # Done-callback; runs on a worker thread, so take the lock
+        # rather than relying on set.discard's GIL atomicity.
+        with self._inflight_lock:
+            self._inflight.discard(future)
 
     def _run_batch(self, batch: list) -> None:
         items = [item for item, _ in batch]
@@ -175,6 +185,8 @@ class BatchingExecutor(Generic[T, R]):
             self._closed = True
             # Enqueued under _gate, so the sentinel lands strictly after
             # every accepted submit() — no entry can be stranded behind it.
+            # repro-lint: disable=lock-blocking-call - same ordering
+            # argument as submit(); the collector never takes _gate.
             self._queue.put(_SENTINEL)
         self._collector.join()
         if drain:

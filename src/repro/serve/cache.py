@@ -50,11 +50,11 @@ class LRUCache(Generic[K, V]):
 
     def __init__(self, capacity: int = 1024) -> None:
         self.capacity = capacity
-        self._data: OrderedDict[K, V] = OrderedDict()
         self._lock = threading.Lock()
-        self._hits = 0
-        self._misses = 0
-        self._evictions = 0
+        self._data: OrderedDict[K, V] = OrderedDict()  # guarded-by: _lock
+        self._hits = 0  # guarded-by: _lock
+        self._misses = 0  # guarded-by: _lock
+        self._evictions = 0  # guarded-by: _lock
 
     def get(self, key: K, default: V | None = None) -> V | None:
         with self._lock:

@@ -50,9 +50,9 @@ class LatencyRing:
         if size < 1:
             raise ValueError("ring size must be positive")
         self._size = size
-        self._values: list[float] = []
-        self._next = 0
         self._lock = threading.Lock()
+        self._values: list[float] = []  # guarded-by: _lock
+        self._next = 0  # guarded-by: _lock
 
     def observe(self, seconds: float) -> None:
         with self._lock:
@@ -71,6 +71,10 @@ class LatencyRing:
             return len(self._values)
 
 
+#: Counter key: (metric name, sorted (label, value) pairs).
+_CounterKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
 class ServiceMetrics:
     """The service-wide metrics registry.
 
@@ -82,9 +86,9 @@ class ServiceMetrics:
 
     def __init__(self, ring_size: int = 1024) -> None:
         self._lock = threading.Lock()
-        self._counters: dict[tuple[str, tuple[tuple[str, str], ...]], float] = {}
-        self._stage_sum: dict[str, float] = {}
-        self._stage_count: dict[str, int] = {}
+        self._counters: dict[_CounterKey, float] = {}  # guarded-by: _lock
+        self._stage_sum: dict[str, float] = {}  # guarded-by: _lock
+        self._stage_count: dict[str, int] = {}  # guarded-by: _lock
         self.latency = LatencyRing(ring_size)
 
     # ------------------------------------------------------------------

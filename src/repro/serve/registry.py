@@ -44,9 +44,9 @@ class ModelRegistry:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._pipelines: dict[str, MetadataPipeline] = {}
-        self._info: dict[str, ModelInfo] = {}
-        self._default: str | None = None
+        self._pipelines: dict[str, MetadataPipeline] = {}  # guarded-by: _lock
+        self._info: dict[str, ModelInfo] = {}  # guarded-by: _lock
+        self._default: str | None = None  # guarded-by: _lock
 
     def register(
         self, path: str | Path, *, name: str | None = None
@@ -63,7 +63,14 @@ class ModelRegistry:
         start = time.perf_counter()
         pipeline = load_pipeline(path)
         elapsed = time.perf_counter() - start
-        assert pipeline.embedder is not None
+        if pipeline.embedder is None:
+            # Not an assert: under ``python -O`` a half-loaded archive
+            # would otherwise surface as an AttributeError deep inside
+            # the first classify call on a live server.
+            raise RuntimeError(
+                f"archive {path} loaded without an embedder; it was not "
+                "produced by save_pipeline()"
+            )
         kind = type(pipeline.embedder.model).__name__
         with self._lock:
             winner = self._pipelines.get(name)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the analysis-suite tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import all_rules, lint_source
+
+
+@pytest.fixture
+def findings_for():
+    """Lint a snippet and return the finding list (all rules)."""
+
+    def run(source: str, *, module: str | None = None, rule: str | None = None):
+        found = lint_source(source, module=module)
+        if rule is not None:
+            found = [f for f in found if f.rule == rule]
+        return found
+
+    return run
+
+
+@pytest.fixture
+def rule_ids():
+    return {rule.id for rule in all_rules()}

@@ -1,0 +1,453 @@
+"""Framework-level tests: suppressions, baseline, registry, reporters,
+and the ``repro lint`` CLI exit-code contract."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    Finding,
+    LintReport,
+    all_rules,
+    get_rule,
+    lint_paths,
+)
+from repro.analysis.context import module_name_for
+from repro.analysis.registry import Rule
+from repro.analysis.reporters import render_json, render_text
+from repro.analysis.runner import collect_files, select_rules
+from repro.analysis.suppressions import parse_suppressions
+from repro.cli import main
+
+EXPECTED_RULES = {
+    "lock-blocking-call",
+    "guarded-attr",
+    "np-array-dtype",
+    "float-equality",
+    "scalar-embed-loop",
+    "unseeded-rng",
+    "data-dependent-seed",
+    "mutable-default-arg",
+    "broad-except",
+    "assert-in-library",
+}
+
+
+class TestRegistry:
+    def test_catalogue_complete(self, rule_ids):
+        assert rule_ids == EXPECTED_RULES
+
+    def test_sorted_by_family_then_id(self):
+        rules = all_rules()
+        assert [(r.family, r.id) for r in rules] == sorted(
+            (r.family, r.id) for r in rules
+        )
+
+    def test_get_rule_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="known rules"):
+            get_rule("no-such-rule")
+
+    def test_scope_matching(self):
+        rule = Rule(
+            id="x", family="f", description="", check=lambda ctx: [],
+            scope=("repro.core",),
+        )
+        assert rule.applies_to("repro.core")
+        assert rule.applies_to("repro.core.pipeline")
+        assert rule.applies_to(None)  # fail-open when underivable
+        assert not rule.applies_to("repro.corelib")  # prefix, not substring
+        assert not rule.applies_to("repro.serve.service")
+
+    def test_select_and_ignore(self):
+        picked = select_rules(select=["broad-except", "guarded-attr"])
+        assert {r.id for r in picked} == {"broad-except", "guarded-attr"}
+        remaining = select_rules(ignore=["assert-in-library"])
+        assert "assert-in-library" not in {r.id for r in remaining}
+        assert len(remaining) == len(all_rules()) - 1
+
+
+class TestModuleNameFor:
+    def test_src_anchor(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "pipeline.py"
+        assert module_name_for(path) == "repro.core.pipeline"
+
+    def test_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "src" / "repro" / "core" / "__init__.py"
+        assert module_name_for(path) == "repro.core"
+
+    def test_repro_anchor_without_src(self, tmp_path):
+        path = tmp_path / "repro" / "serve" / "cache.py"
+        assert module_name_for(path) == "repro.serve.cache"
+
+    def test_unanchored_is_none(self, tmp_path):
+        assert module_name_for(tmp_path / "scratch" / "snippet.py") is None
+
+
+class TestSuppressions:
+    def _index(self, source: str):
+        from repro.analysis.context import _extract_comments
+
+        source = textwrap.dedent(source)
+        return parse_suppressions(
+            _extract_comments(source), source.splitlines()
+        )
+
+    def test_trailing_comment_covers_its_line(self):
+        index = self._index("x = compute()  # repro-lint: disable=rule-a\n")
+        assert index.is_suppressed("rule-a", 1)
+        assert not index.is_suppressed("rule-b", 1)
+        assert not index.is_suppressed("rule-a", 2)
+
+    def test_standalone_block_covers_next_code_line(self):
+        index = self._index(
+            """
+            # repro-lint: disable=rule-a - the rationale continues on
+            # the following comment line before the code starts.
+            x = compute()
+            y = other()
+            """
+        )
+        assert index.is_suppressed("rule-a", 4)  # first code line
+        assert not index.is_suppressed("rule-a", 5)
+
+    def test_rationale_text_does_not_leak_into_rule_names(self):
+        index = self._index(
+            "x = f()  # repro-lint: disable=rule-a - load-bearing order\n"
+        )
+        assert index.is_suppressed("rule-a", 1)
+        assert index.by_line[1] == frozenset({"rule-a"})
+
+    def test_multiple_rules_and_all(self):
+        index = self._index(
+            "x = f()  # repro-lint: disable=rule-a, rule-b\n"
+            "y = g()  # repro-lint: disable=all\n"
+        )
+        assert index.is_suppressed("rule-a", 1)
+        assert index.is_suppressed("rule-b", 1)
+        assert index.is_suppressed("anything", 2)
+
+    def test_disable_file_only_near_top(self):
+        head = "# repro-lint: disable-file=rule-a\n" + "x = 1\n" * 20
+        index = self._index(head)
+        assert index.is_suppressed("rule-a", 15)
+
+        tail = "x = 1\n" * 20 + "# repro-lint: disable-file=rule-a\n"
+        index = self._index(tail)
+        assert not index.is_suppressed("rule-a", 1)
+
+
+class TestBaseline:
+    def _finding(self, line: int, content: str, occ_path: str = "src/a.py"):
+        return Finding(
+            rule="assert-in-library",
+            path=occ_path,
+            line=line,
+            col=4,
+            message="m",
+            line_content=content,
+        )
+
+    def test_round_trip(self, tmp_path):
+        findings = [self._finding(3, "assert x"), self._finding(9, "assert y")]
+        target = tmp_path / "baseline.json"
+        Baseline.from_findings(findings, path=target).save()
+
+        loaded = Baseline.load(target)
+        fresh, known = loaded.filter(findings)
+        assert fresh == [] and len(known) == 2
+
+    def test_line_moves_do_not_resurrect(self, tmp_path):
+        baseline = Baseline.from_findings([self._finding(3, "assert x")])
+        moved = [self._finding(42, "assert x")]  # edited code above it
+        fresh, known = baseline.filter(moved)
+        assert fresh == [] and len(known) == 1
+
+    def test_content_change_does_resurrect(self):
+        baseline = Baseline.from_findings([self._finding(3, "assert x")])
+        fresh, known = baseline.filter([self._finding(3, "assert x or y")])
+        assert len(fresh) == 1 and known == []
+
+    def test_occurrence_indexing(self):
+        # Two identical lines in one file: grandfathering the first must
+        # not hide a second, newly added copy.
+        baseline = Baseline.from_findings([self._finding(3, "assert x")])
+        both = [self._finding(3, "assert x"), self._finding(30, "assert x")]
+        fresh, known = baseline.filter(both)
+        assert len(known) == 1 and len(fresh) == 1
+
+    def test_windows_paths_normalize(self):
+        finding = self._finding(1, "assert x", occ_path="src\\a.py")
+        baseline = Baseline.from_findings([finding])
+        fresh, known = baseline.filter([self._finding(1, "assert x", "./src/a.py")])
+        assert fresh == [] and len(known) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "nope.json")
+        assert len(baseline) == 0
+
+    def test_malformed_file_raises(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ValueError, match="malformed baseline"):
+            Baseline.load(bad)
+        bad.write_text('{"no_findings": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="no 'findings' key"):
+            Baseline.load(bad)
+
+
+class TestRunner:
+    def test_collect_files_skips_caches(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        (tmp_path / "pkg" / "__pycache__" / "a.cpython-311.py").write_text("")
+        (tmp_path / "pkg" / "notes.txt").write_text("")
+        files = collect_files([tmp_path])
+        assert [f.name for f in files] == ["a.py"]
+
+    def test_lint_paths_reports_syntax_errors(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def f(:\n", encoding="utf-8")
+        report = lint_paths([tmp_path])
+        assert report.n_files == 0
+        assert len(report.errors) == 1
+        assert not report.ok
+
+    def test_lint_paths_counts_suppressions(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            "def f(x=[]):  # repro-lint: disable=mutable-default-arg\n"
+            "    return x\n",
+            encoding="utf-8",
+        )
+        report = lint_paths([tmp_path])
+        assert report.findings == []
+        assert report.n_suppressed == 1
+        assert report.ok
+
+
+class TestReporters:
+    def _report(self) -> LintReport:
+        finding = Finding(
+            rule="broad-except", path="src/x.py", line=4, col=8,
+            message="why", line_content="except Exception:",
+        )
+        old = Finding(
+            rule="assert-in-library", path="src/y.py", line=2, col=0,
+            message="old", line_content="assert z",
+        )
+        return LintReport(
+            findings=[finding], baselined=[old], n_suppressed=3, n_files=7
+        )
+
+    def test_text_summary(self):
+        text = render_text(self._report())
+        assert "src/x.py:4:9: broad-except: why" in text
+        assert "1 finding(s), 1 baselined, 3 suppressed, 7 file(s) checked" in text
+        assert "src/y.py" not in text  # baselined hidden by default
+
+    def test_text_show_baselined(self):
+        text = render_text(self._report(), show_baselined=True)
+        assert "grandfathered" in text
+        assert "src/y.py:2:1: assert-in-library: old" in text
+
+    def test_json_payload(self):
+        payload = json.loads(render_json(self._report()))
+        assert payload["files_checked"] == 7
+        assert payload["suppressed"] == 3
+        assert payload["by_rule"] == {"broad-except": 1}
+        assert payload["findings"][0]["rule"] == "broad-except"
+        assert payload["baselined"][0]["rule"] == "assert-in-library"
+
+
+# ---------------------------------------------------------------------------
+# CLI exit codes (acceptance criterion: non-zero on each rule's
+# positive fixture, zero on clean code)
+# ---------------------------------------------------------------------------
+
+#: rule id -> (path inside tmp dir, positive snippet). Paths put scoped
+#: rules inside their scope via the src/repro/... module derivation.
+POSITIVE_FIXTURES = {
+    "lock-blocking-call": (
+        "src/repro/serve/fixture.py",
+        """
+        class S:
+            def submit(self, item):
+                with self._lock:
+                    self._queue.put(item)
+        """,
+    ),
+    "guarded-attr": (
+        "src/repro/serve/fixture.py",
+        """
+        class R:
+            def __init__(self):
+                self._models = {}  # guarded-by: _lock
+
+            def names(self):
+                return sorted(self._models)
+        """,
+    ),
+    "np-array-dtype": (
+        "src/repro/core/fixture.py",
+        """
+        import numpy as np
+
+        def stack(rows):
+            return np.array(rows)
+        """,
+    ),
+    "float-equality": (
+        "src/repro/core/fixture.py",
+        """
+        def is_unit(x):
+            return x == 1.0
+        """,
+    ),
+    "scalar-embed-loop": (
+        "src/repro/embeddings/fixture.py",
+        """
+        def embed(embedder, terms):
+            return [embedder.vector(t) for t in terms]
+        """,
+    ),
+    "unseeded-rng": (
+        "src/repro/core/fixture.py",
+        """
+        import numpy as np
+
+        def sample(pool):
+            return np.random.default_rng().choice(pool)
+        """,
+    ),
+    "data-dependent-seed": (
+        "src/repro/core/fixture.py",
+        """
+        import numpy as np
+
+        def sample(pool):
+            return np.random.default_rng(len(pool)).choice(pool)
+        """,
+    ),
+    "mutable-default-arg": (
+        "src/repro/util/fixture.py",
+        """
+        def collect(item, bucket=[]):
+            bucket.append(item)
+            return bucket
+        """,
+    ),
+    "broad-except": (
+        "src/repro/util/fixture.py",
+        """
+        def safe(fn):
+            try:
+                return fn()
+            except Exception:
+                return None
+        """,
+    ),
+    "assert-in-library": (
+        "src/repro/util/fixture.py",
+        """
+        def halve(n):
+            assert n % 2 == 0
+            return n // 2
+        """,
+    ),
+}
+
+
+def _write_fixture(tmp_path, relpath: str, snippet: str):
+    target = tmp_path / relpath
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(snippet), encoding="utf-8")
+    return target
+
+
+class TestLintCli:
+    @pytest.mark.parametrize("rule_id", sorted(POSITIVE_FIXTURES))
+    def test_positive_fixture_exits_nonzero(self, rule_id, tmp_path, capsys):
+        relpath, snippet = POSITIVE_FIXTURES[rule_id]
+        target = _write_fixture(tmp_path, relpath, snippet)
+        code = main(["lint", str(target), "--no-baseline"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert rule_id in out
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = _write_fixture(
+            tmp_path,
+            "src/repro/core/clean.py",
+            """
+            import numpy as np
+
+            def stack(rows):
+                return np.array(rows, dtype=np.float64)
+            """,
+        )
+        code = main(["lint", str(target), "--no-baseline"])
+        assert code == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        relpath, snippet = POSITIVE_FIXTURES["broad-except"]
+        target = _write_fixture(tmp_path, relpath, snippet)
+        code = main(["lint", str(target), "--no-baseline", "--format", "json"])
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["by_rule"] == {"broad-except": 1}
+
+    def test_write_baseline_then_clean(self, tmp_path, capsys, monkeypatch):
+        relpath, snippet = POSITIVE_FIXTURES["assert-in-library"]
+        target = _write_fixture(tmp_path, relpath, snippet)
+        baseline = tmp_path / "baseline.json"
+
+        code = main(
+            ["lint", str(target), "--write-baseline", "--baseline", str(baseline)]
+        )
+        assert code == 0
+        assert baseline.exists()
+
+        code = main(["lint", str(target), "--baseline", str(baseline)])
+        assert code == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+        # --no-baseline resurfaces the grandfathered finding.
+        code = main(["lint", str(target), "--no-baseline"])
+        assert code == 1
+
+    def test_select_and_ignore_flags(self, tmp_path, capsys):
+        relpath, snippet = POSITIVE_FIXTURES["assert-in-library"]
+        target = _write_fixture(tmp_path, relpath, snippet)
+        code = main(
+            ["lint", str(target), "--no-baseline", "--select", "broad-except"]
+        )
+        assert code == 0
+        code = main(
+            ["lint", str(target), "--no-baseline",
+             "--ignore", "assert-in-library"]
+        )
+        assert code == 0
+
+    def test_unknown_rule_is_usage_error(self, tmp_path, capsys):
+        code = main(["lint", str(tmp_path), "--select", "no-such-rule"])
+        assert code == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{", encoding="utf-8")
+        (tmp_path / "a.py").write_text("x = 1\n", encoding="utf-8")
+        code = main(["lint", str(tmp_path), "--baseline", str(bad)])
+        assert code == 2
+        assert "malformed baseline" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        code = main(["lint", "--list-rules"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for rule_id in EXPECTED_RULES:
+            assert rule_id in out

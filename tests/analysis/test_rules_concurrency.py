@@ -1,0 +1,287 @@
+"""Fixture tests for the concurrency rule family.
+
+Every rule gets the four-quadrant treatment: positive (fires),
+negative (clean), suppressed (inline disable), baselined (fingerprint
+in a Baseline filters it).
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Baseline, lint_source
+
+
+def _lint(source: str, rule: str, module: str | None = None):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), module=module)
+        if f.rule == rule
+    ]
+
+
+LOCKED_QUEUE_PUT = """
+    import threading, queue
+
+    class Submitter:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._queue = queue.Queue(8)
+
+        def submit(self, item):
+            with self._lock:
+                self._queue.put(item)
+"""
+
+
+class TestLockBlockingCall:
+    def test_positive_queue_put(self):
+        findings = _lint(LOCKED_QUEUE_PUT, "lock-blocking-call")
+        assert len(findings) == 1
+        assert "queue.put" in findings[0].message
+        assert "'_lock'" in findings[0].message
+
+    def test_positive_thread_join(self):
+        findings = _lint(
+            """
+            class S:
+                def stop(self):
+                    with self._lock:
+                        self._collector.join()
+            """,
+            "lock-blocking-call",
+        )
+        assert len(findings) == 1
+        assert "thread join" in findings[0].message
+
+    def test_positive_model_load_and_sleep(self):
+        findings = _lint(
+            """
+            import time
+            class R:
+                def register(self, path):
+                    with self._lock:
+                        time.sleep(0.1)
+                        return load_pipeline(path)
+            """,
+            "lock-blocking-call",
+        )
+        assert {("sleep" in f.message or "deserialization" in f.message)
+                for f in findings} == {True}
+        assert len(findings) == 2
+
+    def test_positive_nested_lock(self):
+        findings = _lint(
+            """
+            class T:
+                def transfer(self):
+                    with self._lock_a:
+                        with self._lock_b:
+                            pass
+            """,
+            "lock-blocking-call",
+        )
+        assert len(findings) == 1
+        assert "deadlock" in findings[0].message
+
+    def test_negative_dict_get_and_str_join(self):
+        findings = _lint(
+            """
+            class M:
+                def snapshot(self):
+                    with self._lock:
+                        value = self._counters.get("requests", 0)
+                        label = ",".join(sorted(self._names))
+                        return value, label
+            """,
+            "lock-blocking-call",
+        )
+        assert findings == []
+
+    def test_negative_put_outside_lock(self):
+        findings = _lint(
+            """
+            class S:
+                def submit(self, item):
+                    with self._lock:
+                        token = self._next_token()
+                    self._queue.put((token, item))
+            """,
+            "lock-blocking-call",
+        )
+        assert findings == []
+
+    def test_negative_nested_def_not_attributed(self):
+        # A nested function defined (not called) under the lock runs
+        # later, without the lock — its body must not be flagged.
+        findings = _lint(
+            """
+            class S:
+                def make_cb(self):
+                    with self._lock:
+                        def cb():
+                            self._queue.put(1)
+                        return cb
+            """,
+            "lock-blocking-call",
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            class S:
+                def submit(self, item):
+                    with self._gate:
+                        # repro-lint: disable=lock-blocking-call - ordering
+                        # is load-bearing; consumer never takes _gate.
+                        self._queue.put(item)
+            """,
+            "lock-blocking-call",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = lint_source(textwrap.dedent(LOCKED_QUEUE_PUT), path="fixture.py")
+        raw = [f for f in raw if f.rule == "lock-blocking-call"]
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == []
+        assert len(known) == 1
+
+
+GUARDED_BAD = """
+    import threading
+
+    class Registry:
+        def __init__(self):
+            self._lock = threading.Lock()
+            self._models = {}  # guarded-by: _lock
+
+        def names(self):
+            return sorted(self._models)
+"""
+
+
+class TestGuardedAttr:
+    def test_positive(self):
+        findings = _lint(GUARDED_BAD, "guarded-attr")
+        assert len(findings) == 1
+        assert "self._models" in findings[0].message
+
+    def test_negative_guarded_access(self):
+        findings = _lint(
+            """
+            import threading
+
+            class Registry:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._models = {}  # guarded-by: _lock
+
+                def names(self):
+                    with self._lock:
+                        return sorted(self._models)
+            """,
+            "guarded-attr",
+        )
+        assert findings == []
+
+    def test_negative_unannotated_attr_is_free(self):
+        findings = _lint(
+            """
+            class Registry:
+                def __init__(self):
+                    self._models = {}
+
+                def names(self):
+                    return sorted(self._models)
+            """,
+            "guarded-attr",
+        )
+        assert findings == []
+
+    def test_init_exempt(self):
+        findings = _lint(
+            """
+            class Registry:
+                def __init__(self):
+                    self._models = {}  # guarded-by: _lock
+                    self._models["default"] = None
+            """,
+            "guarded-attr",
+        )
+        assert findings == []
+
+    def test_positive_bound_method_reference(self):
+        # Passing self._items.discard as a callback is an access too.
+        findings = _lint(
+            """
+            class Pool:
+                def __init__(self):
+                    self._items = set()  # guarded-by: _lock
+
+                def watch(self, future):
+                    future.add_done_callback(self._items.discard)
+            """,
+            "guarded-attr",
+        )
+        assert len(findings) == 1
+
+    def test_positive_access_after_with_block(self):
+        findings = _lint(
+            """
+            class Pool:
+                def __init__(self):
+                    self._items = set()  # guarded-by: _lock
+
+                def drain(self):
+                    with self._lock:
+                        snapshot = list(self._items)
+                    self._items.clear()
+                    return snapshot
+            """,
+            "guarded-attr",
+        )
+        assert len(findings) == 1
+        assert findings[0].line == 9
+
+    def test_wrong_lock_held_still_fires(self):
+        findings = _lint(
+            """
+            class Pool:
+                def __init__(self):
+                    self._items = set()  # guarded-by: _items_lock
+
+                def size(self):
+                    with self._other_lock:
+                        return len(self._items)
+            """,
+            "guarded-attr",
+        )
+        assert len(findings) == 1
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            class Registry:
+                def __init__(self):
+                    self._models = {}  # guarded-by: _lock
+
+                def names(self):
+                    # repro-lint: disable=guarded-attr - read-only snapshot
+                    return sorted(self._models)
+            """,
+            "guarded-attr",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = [
+            f
+            for f in lint_source(textwrap.dedent(GUARDED_BAD), path="g.py")
+            if f.rule == "guarded-attr"
+        ]
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == [] and len(known) == 1

@@ -1,0 +1,229 @@
+"""Fixture tests for the determinism rule family."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Baseline, lint_source
+
+
+def _lint(source: str, rule: str, module: str | None = "repro.core.fixture"):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), module=module)
+        if f.rule == rule
+    ]
+
+
+UNSEEDED = """
+    import numpy as np
+
+    def sample(pool):
+        rng = np.random.default_rng()
+        return rng.choice(pool)
+"""
+
+
+class TestUnseededRng:
+    def test_positive_default_rng_no_args(self):
+        findings = _lint(UNSEEDED, "unseeded-rng")
+        assert len(findings) == 1
+        assert "OS entropy" in findings[0].message
+
+    def test_positive_legacy_np_globals(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def jitter(n):
+                np.random.seed(0)
+                return np.random.randn(n) + np.random.uniform()
+            """,
+            "unseeded-rng",
+        )
+        assert len(findings) == 3
+        assert all("process-global" in f.message for f in findings)
+
+    def test_positive_stdlib_random(self):
+        findings = _lint(
+            """
+            import random
+
+            def pick(pool):
+                random.shuffle(pool)
+                return random.choice(pool)
+            """,
+            "unseeded-rng",
+        )
+        assert len(findings) == 2
+        assert all("hidden global" in f.message for f in findings)
+
+    def test_negative_seeded_generator(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(pool, seed):
+                rng = np.random.default_rng(seed)
+                local = np.random.default_rng((seed, 7))
+                return rng.choice(pool), local.choice(pool)
+            """,
+            "unseeded-rng",
+        )
+        assert findings == []
+
+    def test_negative_instance_methods_not_flagged(self):
+        # rng.choice / my_random.shuffle are generator methods, not the
+        # global-state module functions.
+        findings = _lint(
+            """
+            def sample(rng, pool):
+                rng.shuffle(pool)
+                return rng.choice(pool)
+            """,
+            "unseeded-rng",
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_is_clean(self):
+        findings = _lint(UNSEEDED, "unseeded-rng", module="repro.serve.service")
+        assert findings == []
+
+    def test_corpus_and_experiments_in_scope(self):
+        for module in ("repro.corpus.synthetic", "repro.experiments.ablations"):
+            assert len(_lint(UNSEEDED, "unseeded-rng", module=module)) == 1
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(pool):
+                # repro-lint: disable=unseeded-rng - smoke-test helper only
+                rng = np.random.default_rng()
+                return rng.choice(pool)
+            """,
+            "unseeded-rng",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = [
+            f
+            for f in lint_source(
+                textwrap.dedent(UNSEEDED),
+                path="rng.py",
+                module="repro.core.fixture",
+            )
+            if f.rule == "unseeded-rng"
+        ]
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == [] and len(known) == 1
+
+
+DATA_SEED = """
+    import numpy as np
+
+    def sample(pool):
+        rng = np.random.default_rng(len(pool))
+        return rng.choice(pool)
+"""
+
+
+class TestDataDependentSeed:
+    def test_positive_len(self):
+        findings = _lint(DATA_SEED, "data-dependent-seed")
+        assert len(findings) == 1
+        assert "len()" in findings[0].message
+
+    def test_positive_len_in_expression(self):
+        # The regression pattern from core/centroids.py: the seed was an
+        # arithmetic expression over len() of data-derived pools.
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(pool, names):
+                rng = np.random.default_rng(len(pool) + 31 * len(names))
+                return rng.choice(pool)
+            """,
+            "data-dependent-seed",
+        )
+        assert len(findings) == 1
+
+    def test_positive_time_and_hash(self):
+        findings = _lint(
+            """
+            import time
+            import numpy as np
+
+            def sample(pool, key):
+                a = np.random.default_rng(int(time.time()))
+                b = np.random.default_rng(hash(key))
+                return a, b
+            """,
+            "data-dependent-seed",
+        )
+        assert len(findings) == 2
+
+    def test_negative_configured_seed(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(pool, seed):
+                rng = np.random.default_rng((seed, 2))
+                return rng.choice(pool)
+            """,
+            "data-dependent-seed",
+        )
+        assert findings == []
+
+    def test_negative_len_outside_seed(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(pool, seed):
+                rng = np.random.default_rng(seed)
+                return rng.integers(len(pool))
+            """,
+            "data-dependent-seed",
+        )
+        assert findings == []
+
+    def test_out_of_scope_module_is_clean(self):
+        findings = _lint(
+            DATA_SEED, "data-dependent-seed", module="repro.serve.service"
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            import numpy as np
+
+            def sample(pool):
+                # repro-lint: disable=data-dependent-seed - legacy repro of
+                # the paper's original (buggy) sampler, kept for comparison.
+                rng = np.random.default_rng(len(pool))
+                return rng.choice(pool)
+            """,
+            "data-dependent-seed",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = [
+            f
+            for f in lint_source(
+                textwrap.dedent(DATA_SEED),
+                path="seed.py",
+                module="repro.core.fixture",
+            )
+            if f.rule == "data-dependent-seed"
+        ]
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == [] and len(known) == 1

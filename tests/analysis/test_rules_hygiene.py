@@ -1,0 +1,257 @@
+"""Fixture tests for the hygiene rule family (tree-wide scope)."""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.analysis import Baseline, lint_source
+
+
+def _lint(source: str, rule: str, module: str | None = None, path: str = "<string>"):
+    return [
+        f
+        for f in lint_source(textwrap.dedent(source), module=module, path=path)
+        if f.rule == rule
+    ]
+
+
+MUTABLE_DEFAULT = """
+    def collect(item, bucket=[]):
+        bucket.append(item)
+        return bucket
+"""
+
+
+class TestMutableDefaultArg:
+    def test_positive_list_literal(self):
+        findings = _lint(MUTABLE_DEFAULT, "mutable-default-arg")
+        assert len(findings) == 1
+        assert "collect" in findings[0].message
+
+    def test_positive_dict_set_and_constructors(self):
+        findings = _lint(
+            """
+            def f(a={}, b=set(), c=dict(), *, d=list()):
+                return a, b, c, d
+            """,
+            "mutable-default-arg",
+        )
+        assert len(findings) == 4
+
+    def test_positive_lambda(self):
+        findings = _lint(
+            "f = lambda x, acc=[]: acc + [x]\n", "mutable-default-arg"
+        )
+        assert len(findings) == 1
+        assert "<lambda>" in findings[0].message
+
+    def test_negative_none_and_immutables(self):
+        findings = _lint(
+            """
+            def f(a=None, b=(), c="x", d=0, e=frozenset()):
+                return a, b, c, d, e
+            """,
+            "mutable-default-arg",
+        )
+        assert findings == []
+
+    def test_applies_everywhere(self):
+        # Hygiene rules are unscoped: serve-layer modules are covered too.
+        findings = _lint(
+            MUTABLE_DEFAULT, "mutable-default-arg", module="repro.serve.service"
+        )
+        assert len(findings) == 1
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            # repro-lint: disable=mutable-default-arg - memo cache is
+            # intentionally shared across calls.
+            def collect(item, bucket=[]):
+                bucket.append(item)
+                return bucket
+            """,
+            "mutable-default-arg",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = _lint(MUTABLE_DEFAULT, "mutable-default-arg", path="mut.py")
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == [] and len(known) == 1
+
+
+BROAD_EXCEPT = """
+    def safe(fn):
+        try:
+            return fn()
+        except Exception:
+            return None
+"""
+
+
+class TestBroadExcept:
+    def test_positive_no_rationale(self):
+        findings = _lint(BROAD_EXCEPT, "broad-except")
+        assert len(findings) == 1
+        assert "rationale" in findings[0].message
+
+    def test_positive_bare_and_tuple(self):
+        findings = _lint(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except (ValueError, BaseException):
+                    pass
+                try:
+                    return fn()
+                except:
+                    pass
+            """,
+            "broad-except",
+        )
+        assert len(findings) == 2
+
+    def test_negative_with_rationale_comment(self):
+        findings = _lint(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except Exception:  # plugin boundary: keep the loop alive
+                    return None
+            """,
+            "broad-except",
+        )
+        assert findings == []
+
+    def test_negative_rationale_line_above(self):
+        findings = _lint(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                # worker thread must never die; errors are re-raised on get()
+                except Exception:
+                    return None
+            """,
+            "broad-except",
+        )
+        assert findings == []
+
+    def test_negative_narrow_handler(self):
+        findings = _lint(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except (ValueError, KeyError):
+                    return None
+            """,
+            "broad-except",
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            def safe(fn):
+                try:
+                    return fn()
+                except Exception:  # repro-lint: disable=broad-except
+                    return None
+            """,
+            "broad-except",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = _lint(BROAD_EXCEPT, "broad-except", path="be.py")
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == [] and len(known) == 1
+
+
+ASSERT_SNIPPET = """
+    def halve(n):
+        assert n % 2 == 0, "n must be even"
+        return n // 2
+"""
+
+
+class TestAssertInLibrary:
+    def test_positive_in_library_module(self):
+        findings = _lint(
+            ASSERT_SNIPPET, "assert-in-library", module="repro.core.util"
+        )
+        assert len(findings) == 1
+        assert "python -O" in findings[0].message
+
+    def test_negative_test_module_name(self):
+        findings = _lint(
+            ASSERT_SNIPPET, "assert-in-library", module="tests.core.test_util"
+        )
+        assert findings == []
+
+    def test_negative_test_file_path(self):
+        for path in ("tests/core/test_util.py", "test_util.py", "conftest.py"):
+            assert (
+                _lint(ASSERT_SNIPPET, "assert-in-library", path=path) == []
+            ), path
+
+    def test_negative_no_assert(self):
+        findings = _lint(
+            """
+            def halve(n):
+                if n % 2:
+                    raise ValueError("n must be even")
+                return n // 2
+            """,
+            "assert-in-library",
+            module="repro.core.util",
+        )
+        assert findings == []
+
+    def test_suppressed(self):
+        findings = _lint(
+            """
+            def halve(n):
+                # repro-lint: disable=assert-in-library - internal invariant,
+                # unreachable from public API.
+                assert n % 2 == 0
+                return n // 2
+            """,
+            "assert-in-library",
+            module="repro.core.util",
+        )
+        assert findings == []
+
+    def test_file_wide_suppression(self):
+        findings = _lint(
+            """
+            # repro-lint: disable-file=assert-in-library
+            def halve(n):
+                assert n % 2 == 0
+                return n // 2
+
+            def third(n):
+                assert n % 3 == 0
+                return n // 3
+            """,
+            "assert-in-library",
+            module="repro.core.util",
+        )
+        assert findings == []
+
+    def test_baselined(self):
+        raw = _lint(
+            ASSERT_SNIPPET,
+            "assert-in-library",
+            module="repro.core.util",
+            path="lib.py",
+        )
+        baseline = Baseline.from_findings(raw)
+        fresh, known = baseline.filter(raw)
+        assert fresh == [] and len(known) == 1

@@ -8,7 +8,6 @@ from repro.baselines.pytheas import (
     CLASSES,
     DATA,
     HEADER,
-    SUBHEADER,
     PytheasClassifier,
     PytheasConfig,
 )

@@ -12,7 +12,6 @@ import pytest
 
 from repro.core.pipeline import MetadataPipeline, PipelineConfig
 from repro.corpus.generator import GeneratorConfig, GSTGenerator
-from repro.corpus.profiles import get_profile
 from repro.corpus.registry import build_split
 from repro.corpus.vocabularies import get_domain
 from repro.tables.labels import TableAnnotation

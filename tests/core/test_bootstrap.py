@@ -11,7 +11,7 @@ from repro.core.bootstrap import (
     bootstrap_from_html,
 )
 from repro.tables.html import render_html_table
-from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.labels import LevelKind
 from repro.tables.model import AnnotatedTable, Table
 
 

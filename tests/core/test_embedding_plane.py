@@ -20,7 +20,6 @@ from repro.core.aggregate import (
 )
 from repro.core.classifier import MetadataClassifier
 from repro.core.embedding_plane import (
-    TableEmbedding,
     embed_table,
     level_vectors,
     supports_fast_path,

@@ -14,7 +14,6 @@ from repro.core.pipeline import (
 from repro.corpus.vocabularies import get_domain
 from repro.embeddings.contextual import ContextualConfig
 from repro.embeddings.word2vec import Word2VecConfig
-from repro.tables.labels import LevelKind
 from repro.tables.model import Table
 
 

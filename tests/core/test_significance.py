@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.significance import (
-    ConfidenceInterval,
     bootstrap_ci,
     compare_methods,
     paired_permutation_test,

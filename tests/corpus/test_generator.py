@@ -8,7 +8,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.corpus.generator import NUMERIC_STYLES, GeneratorConfig, GSTGenerator
 from repro.corpus.vocabularies import get_domain
-from repro.tables.labels import LevelKind
 from repro.text import is_numeric_cell
 
 

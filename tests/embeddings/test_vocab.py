@@ -6,7 +6,7 @@ import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.embeddings.vocab import CLS, MASK, PAD, SEP, SPECIAL_TOKENS, Vocabulary
+from repro.embeddings.vocab import CLS, PAD, SEP, SPECIAL_TOKENS, Vocabulary
 
 
 @pytest.fixture

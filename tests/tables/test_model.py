@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.labels import TableAnnotation
 from repro.tables.model import AnnotatedTable, Table, tables_of
 
 

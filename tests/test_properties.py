@@ -7,7 +7,6 @@ the bootstrap sees, it never crashes; determinism holds end to end.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 

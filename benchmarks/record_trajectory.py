@@ -1,0 +1,232 @@
+"""Record the repo's performance trajectory (CI `bench` job).
+
+Measures three numbers on the current tree:
+
+* **classify tables/sec** — single-threaded classify throughput of the
+  default (vectorized, hashed-backend) pipeline over 120 mixed tables,
+  best of three passes;
+* **serve batch speedup** — the same workload through
+  :class:`~repro.serve.httpd.ClassificationService` with concurrent
+  clients and a 4-worker micro-batching pool, vs the serial loop
+  (~1x on this tiny-table workload, where the GIL binds; tracked so a
+  collapse or an improvement both show up in the series);
+* **p95 seconds** — the request-latency 95th percentile of the service
+  run, straight from :class:`~repro.serve.metrics.ServiceMetrics`.
+
+One JSON entry ``{commit, date, classify_tables_per_sec,
+serve_batch_speedup, p95_seconds}`` is appended to the trajectory file
+(default ``BENCH_trajectory.json``, uploaded as a CI artifact) so the
+perf history of the project is a machine-readable series.
+
+``--check`` compares classify throughput against the committed
+``benchmarks/BENCH_baseline.json`` and exits non-zero on a regression
+of more than 20% — the CI gate.  ``--write-baseline`` refreshes the
+baseline from the current measurement (do this deliberately, on the
+machine class CI uses, when a legitimate perf change lands).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = Path(__file__).resolve().parent / "BENCH_baseline.json"
+
+#: A measurement below this fraction of the baseline fails ``--check``.
+REGRESSION_FLOOR = 0.8
+
+N_TABLES_PER_PROFILE = 30
+PROFILES = ("ckg", "saus", "cord19", "wdc")
+CLASSIFY_REPS = 3
+#: Enough closed-loop clients that micro-batches fill on queue pressure
+#: instead of stalling on the max_delay deadline.
+CLIENT_THREADS = 32
+SERVE_WORKERS = 4
+
+
+def _git_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+
+
+def _build_workload():
+    from repro.core.pipeline import MetadataPipeline, PipelineConfig
+    from repro.corpus.registry import build_corpus, build_split
+    from repro.corpus.vocabularies import get_domain
+
+    config = PipelineConfig(
+        embedding="hashed",
+        hashed_fields=get_domain("biomedical").field_map(),
+        n_pairs=200,
+        use_contrastive=False,
+    )
+    train, _ = build_split("ckg", n_train=60, n_eval=0, seed=7)
+    pipeline = MetadataPipeline(config).fit(train)
+    tables = []
+    for name in PROFILES:
+        tables.extend(
+            item.table
+            for item in build_corpus(name, n_tables=N_TABLES_PER_PROFILE, seed=13)
+        )
+    return pipeline, tables
+
+
+def measure(verbose: bool = True) -> dict:
+    from repro.serve.batching import BatchingConfig
+    from repro.serve.httpd import ClassificationService
+    from repro.serve.metrics import ServiceMetrics, quantile
+    from repro.serve.registry import ModelRegistry
+
+    pipeline, tables = _build_workload()
+
+    # Warm every shared cache (token LRU, tokenize memo) so both the
+    # serial and the concurrent measurement see the same steady state.
+    for table in tables:
+        pipeline.classify(table)
+
+    serial_best = float("inf")
+    for _ in range(CLASSIFY_REPS):
+        start = time.perf_counter()
+        for table in tables:
+            pipeline.classify(table)
+        serial_best = min(serial_best, time.perf_counter() - start)
+    tables_per_sec = len(tables) / serial_best
+
+    registry = ModelRegistry()
+    registry.add("bench", pipeline)
+    metrics = ServiceMetrics()
+    service = ClassificationService(
+        registry,
+        batching=BatchingConfig(workers=SERVE_WORKERS),
+        cache_capacity=0,  # measure classification, not the result cache
+        metrics=metrics,
+    )
+    try:
+        def _one(table) -> None:
+            start = time.perf_counter()
+            service.classify_table(table, model="bench")
+            metrics.observe_request(time.perf_counter() - start)
+
+        with ThreadPoolExecutor(max_workers=CLIENT_THREADS) as clients:
+            start = time.perf_counter()
+            list(clients.map(_one, tables))
+            concurrent_elapsed = time.perf_counter() - start
+    finally:
+        service.close()
+
+    speedup = serial_best / concurrent_elapsed
+    latencies = sorted(metrics.latency.snapshot())
+    p95 = quantile(latencies, 0.95) if latencies else 0.0
+
+    entry = {
+        "commit": _git_commit(),
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "classify_tables_per_sec": round(tables_per_sec, 2),
+        "serve_batch_speedup": round(speedup, 3),
+        "p95_seconds": round(p95, 6),
+    }
+    if verbose:
+        print(
+            f"classify: {tables_per_sec:.1f} tables/sec "
+            f"({len(tables)} tables, best of {CLASSIFY_REPS})\n"
+            f"serve:    {speedup:.2f}x vs serial "
+            f"({SERVE_WORKERS} workers, {CLIENT_THREADS} clients), "
+            f"p95 {p95 * 1000:.1f}ms",
+            file=sys.stderr,
+        )
+    return entry
+
+
+def append_trajectory(entry: dict, path: Path) -> None:
+    history: list[dict] = []
+    if path.exists():
+        history = json.loads(path.read_text())
+        if not isinstance(history, list):
+            raise SystemExit(f"{path} is not a JSON list")
+    history.append(entry)
+    path.write_text(json.dumps(history, indent=2) + "\n")
+    print(f"appended entry #{len(history)} to {path}", file=sys.stderr)
+
+
+def check_regression(entry: dict, baseline_path: Path) -> int:
+    if not baseline_path.exists():
+        print(
+            f"no baseline at {baseline_path}; run --write-baseline first",
+            file=sys.stderr,
+        )
+        return 2
+    baseline = json.loads(baseline_path.read_text())
+    floor = baseline["classify_tables_per_sec"] * REGRESSION_FLOOR
+    measured = entry["classify_tables_per_sec"]
+    if measured < floor:
+        print(
+            f"PERF REGRESSION: classify {measured:.1f} tables/sec is below "
+            f"{REGRESSION_FLOOR:.0%} of the baseline "
+            f"{baseline['classify_tables_per_sec']:.1f} "
+            f"(commit {baseline.get('commit', '?')[:12]})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"throughput OK: {measured:.1f} tables/sec >= {floor:.1f} "
+        f"(80% of baseline {baseline['classify_tables_per_sec']:.1f})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_trajectory.json"),
+        help="trajectory JSON list to append to (CI artifact)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=str(DEFAULT_BASELINE),
+        help="committed baseline JSON for --check/--write-baseline",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) if classify throughput fell >20%% vs baseline",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="refresh the committed baseline from this measurement",
+    )
+    args = parser.parse_args(argv)
+
+    entry = measure()
+    print(json.dumps(entry, indent=2))
+    append_trajectory(entry, Path(args.out))
+    if args.write_baseline:
+        Path(args.baseline).write_text(json.dumps(entry, indent=2) + "\n")
+        print(f"wrote baseline {args.baseline}", file=sys.stderr)
+        return 0
+    if args.check:
+        return check_regression(entry, Path(args.baseline))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

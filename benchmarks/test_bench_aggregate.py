@@ -157,3 +157,52 @@ def test_bench_concurrent_serve_no_cache_corruption(
         f"{elapsed:.2f}s ({total / elapsed:.0f}/s), cache "
         f"{info.hits} hits / {info.misses} misses, size {info.size}"
     )
+
+
+#: Disabled tracing may cost at most this fraction of classify time.
+NOOP_OVERHEAD_BUDGET = 0.02
+
+
+def test_bench_noop_tracing_overhead(bench_pipeline, mixed_tables):
+    """The instrumentation baked into the hot path must be ~free when
+    tracing is disabled (the process default).
+
+    Measured as a proxy that is robust to machine noise: the per-call
+    cost of a disabled ``obs.span`` times the spans a classify emits
+    must stay under ``NOOP_OVERHEAD_BUDGET`` of the measured per-table
+    classify time.  A direct before/after timing of classify itself
+    cannot resolve a <2% delta above run-to-run variance.
+    """
+    from repro import obs
+
+    assert not obs.get_tracer().enabled
+
+    fast = _variant(bench_pipeline, vectorized=True)
+    for table in mixed_tables:  # warm caches
+        fast.classify(table)
+    per_table = _best_of(fast, mixed_tables) / len(mixed_tables)
+
+    # Count the spans one classify emits (tracing briefly enabled).
+    with obs.tracing() as tracer:
+        for table in mixed_tables[:10]:
+            fast.classify(table)
+    spans_per_classify = len(tracer.spans()) / 10
+
+    # Cost of one disabled span call, kwargs included, amortized.
+    n_calls = 200_000
+    start = time.perf_counter()
+    for _ in range(n_calls):
+        with obs.span("bench", table="t", rows=1, cols=1):
+            pass
+    per_span = (time.perf_counter() - start) / n_calls
+
+    overhead = per_span * spans_per_classify / per_table
+    print(
+        f"\nnoop span: {per_span * 1e9:.0f}ns x {spans_per_classify:.1f} "
+        f"spans/classify vs {per_table * 1e6:.0f}us/table -> "
+        f"{overhead:.2%} overhead (budget {NOOP_OVERHEAD_BUDGET:.0%})"
+    )
+    assert overhead < NOOP_OVERHEAD_BUDGET, (
+        f"disabled tracing costs {overhead:.2%} of classify time, "
+        f"budget is {NOOP_OVERHEAD_BUDGET:.0%}"
+    )

@@ -9,6 +9,8 @@ Usage (also via ``python -m repro``):
     repro batch tables/ --model model.npz --workers 4 --out results.jsonl
     repro experiment table5 --scale smoke
     repro experiment all --scale paper --out artifacts.txt
+    repro trace table.csv --model model.npz --out trace.json
+    repro batch tables/ --model model.npz --trace-out trace.json
     repro lint src --format json
 """
 
@@ -80,6 +82,11 @@ def _build_parser() -> argparse.ArgumentParser:
         help="micro-batch latency deadline in milliseconds",
     )
     serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument(
+        "--trace-out", metavar="PATH",
+        help="record spans for the service's lifetime and write them on "
+             "shutdown (.jsonl: span lines; else Chrome trace_event JSON)",
+    )
 
     batch = commands.add_parser(
         "batch", help="bulk-classify files/directories/globs to JSONL"
@@ -91,6 +98,26 @@ def _build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--workers", type=int, default=4)
     batch.add_argument("--out", help="output JSONL path (default: stdout)")
     batch.add_argument("--cache-size", type=int, default=4096)
+    batch.add_argument(
+        "--trace-out", metavar="PATH",
+        help="trace the run and write spans (.jsonl: span lines; "
+             "else Chrome trace_event JSON for chrome://tracing / Perfetto)",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="classify tables with tracing enabled and print a profile",
+    )
+    trace.add_argument(
+        "tables", nargs="+", metavar="table",
+        help="paths to .csv/.json/.md tables, or '-' for CSV on stdin",
+    )
+    trace.add_argument("--model", required=True, help="saved .npz archive")
+    trace.add_argument(
+        "--out", metavar="PATH",
+        help="also write the trace (.jsonl: span lines; else Chrome "
+             "trace_event JSON)",
+    )
 
     corpus = commands.add_parser(
         "corpus", help="generate a dataset corpus to JSONL and/or describe it"
@@ -230,20 +257,46 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         f"http://{args.host}:{args.port} ({args.workers} workers)",
         file=sys.stderr,
     )
-    serve(service, host=args.host, port=args.port)
+    if args.trace_out:
+        from repro import obs
+
+        with obs.tracing() as tracer:
+            serve(service, host=args.host, port=args.port)
+        _write_trace_file(tracer, args.trace_out)
+    else:
+        serve(service, host=args.host, port=args.port)
     return 0
+
+
+def _write_trace_file(tracer, path: str) -> None:
+    from repro import obs
+
+    spans = tracer.spans()
+    obs.write_trace(spans, path)
+    dropped = f" ({tracer.dropped()} dropped)" if tracer.dropped() else ""
+    print(f"wrote {len(spans)} spans{dropped} to {path}", file=sys.stderr)
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.serve.bulk import run_bulk
 
-    records = run_bulk(
-        args.model,
-        args.inputs,
-        workers=args.workers,
-        out=args.out,
-        cache_capacity=args.cache_size,
-    )
+    def _run() -> list[dict]:
+        return run_bulk(
+            args.model,
+            args.inputs,
+            workers=args.workers,
+            out=args.out,
+            cache_capacity=args.cache_size,
+        )
+
+    if args.trace_out:
+        from repro import obs
+
+        with obs.tracing() as tracer:
+            records = _run()
+        _write_trace_file(tracer, args.trace_out)
+    else:
+        records = _run()
     errors = sum(1 for r in records if "error" in r)
     destination = f" -> {args.out}" if args.out else ""
     print(
@@ -252,6 +305,25 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 1 if errors else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.serve.bulk import result_record
+
+    pipeline = load_pipeline(args.model)
+    with obs.tracing() as tracer:
+        for spec in args.tables:
+            with obs.span("table", source=spec) as table_span:
+                table = _load_input(spec)
+                annotation = pipeline.classify(table)
+                table_span.set(table=table.name)
+            print(json.dumps(result_record(table, annotation, source=spec)))
+    spans = tracer.spans()
+    print(obs.top_spans_report(spans), file=sys.stderr)
+    if args.out:
+        _write_trace_file(tracer, args.out)
+    return 0
 
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
@@ -352,6 +424,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "corpus":
         return _cmd_corpus(args)
     if args.command == "diagnose":

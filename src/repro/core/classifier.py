@@ -29,6 +29,7 @@ from repro.core.aggregate import (
 )
 from repro.core.angles import angle_between, walk_angles
 from repro.core.embedding_plane import embed_table
+from repro import obs
 from repro.core.centroids import CentroidSet
 from repro.core.contrastive import ContrastiveProjection
 from repro.embeddings.lookup import TermEmbedder
@@ -130,37 +131,49 @@ class MetadataClassifier:
         ``config.vectorized=False`` to force the scalar per-level
         reference path (the equivalence tests and benchmarks do).
         """
-        if self.config.vectorized:
-            embedded = embed_table(self.embedder, table, self.config.aggregation)
-            row_vectors = embedded.row_vectors
-            col_vectors = embedded.col_vectors
-        else:
-            row_vectors = aggregate_rows(
-                self.embedder, table, self.config.aggregation
-            )
-            col_vectors = aggregate_cols(
-                self.embedder, table, self.config.aggregation
-            )
-        if self.projection is not None:
-            row_vectors = self.projection.transform(row_vectors)
-            col_vectors = self.projection.transform(col_vectors)
+        with obs.span(
+            "classify",
+            table=table.name,
+            rows=table.n_rows,
+            cols=table.n_cols,
+        ):
+            if self.config.vectorized:
+                embedded = embed_table(
+                    self.embedder, table, self.config.aggregation
+                )
+                row_vectors = embedded.row_vectors
+                col_vectors = embedded.col_vectors
+            else:
+                with obs.span("aggregate"):
+                    row_vectors = aggregate_rows(
+                        self.embedder, table, self.config.aggregation
+                    )
+                    col_vectors = aggregate_cols(
+                        self.embedder, table, self.config.aggregation
+                    )
+            if self.projection is not None:
+                with obs.span("project"):
+                    row_vectors = self.projection.transform(row_vectors)
+                    col_vectors = self.projection.transform(col_vectors)
 
-        row_labels, row_evidence = self._classify_axis(
-            row_vectors,
-            self.row_centroids,
-            max_depth=self.config.max_hmd_depth,
-            metadata_kind=LevelKind.HMD,
-            detect_cmd=self.config.detect_cmd,
-            with_evidence=with_evidence,
-        )
-        col_labels, col_evidence = self._classify_axis(
-            col_vectors,
-            self.col_centroids,
-            max_depth=self.config.max_vmd_depth,
-            metadata_kind=LevelKind.VMD,
-            detect_cmd=False,  # CMD is defined for rows only (Def. 4)
-            with_evidence=with_evidence,
-        )
+            with obs.span("angle_walk", axis="rows"):
+                row_labels, row_evidence = self._classify_axis(
+                    row_vectors,
+                    self.row_centroids,
+                    max_depth=self.config.max_hmd_depth,
+                    metadata_kind=LevelKind.HMD,
+                    detect_cmd=self.config.detect_cmd,
+                    with_evidence=with_evidence,
+                )
+            with obs.span("angle_walk", axis="cols"):
+                col_labels, col_evidence = self._classify_axis(
+                    col_vectors,
+                    self.col_centroids,
+                    max_depth=self.config.max_vmd_depth,
+                    metadata_kind=LevelKind.VMD,
+                    detect_cmd=False,  # CMD is defined for rows only (Def. 4)
+                    with_evidence=with_evidence,
+                )
         annotation = TableAnnotation(tuple(row_labels), tuple(col_labels))
         return ClassificationResult(
             table=table,

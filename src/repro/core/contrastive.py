@@ -24,6 +24,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import obs
+
 _EPS = 1e-9
 
 
@@ -137,22 +139,26 @@ class ContrastiveProjection:
         beta1, beta2, eps = 0.9, 0.999, 1e-8
         t = 0
         n = len(pairs)
-        for _ in range(cfg.epochs):
-            order = rng.permutation(n)
-            epoch_loss = 0.0
-            for start in range(0, n, cfg.batch_size):
-                idx = order[start : start + cfg.batch_size]
-                loss, grad = self._loss_and_grad(
-                    pairs.left[idx], pairs.right[idx], pairs.labels[idx]
-                )
-                epoch_loss += loss * len(idx)
-                t += 1
-                m = beta1 * m + (1 - beta1) * grad
-                v = beta2 * v + (1 - beta2) * grad * grad
-                m_hat = m / (1 - beta1**t)
-                v_hat = v / (1 - beta2**t)
-                self.weights -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
-            self._history.append(epoch_loss / n)
+        with obs.span(
+            "contrastive.fit", n_pairs=n, epochs=cfg.epochs
+        ) as fit_span:
+            for _ in range(cfg.epochs):
+                order = rng.permutation(n)
+                epoch_loss = 0.0
+                for start in range(0, n, cfg.batch_size):
+                    idx = order[start : start + cfg.batch_size]
+                    loss, grad = self._loss_and_grad(
+                        pairs.left[idx], pairs.right[idx], pairs.labels[idx]
+                    )
+                    epoch_loss += loss * len(idx)
+                    t += 1
+                    m = beta1 * m + (1 - beta1) * grad
+                    v = beta2 * v + (1 - beta2) * grad * grad
+                    m_hat = m / (1 - beta1**t)
+                    v_hat = v / (1 - beta2**t)
+                    self.weights -= cfg.learning_rate * m_hat / (np.sqrt(v_hat) + eps)
+                self._history.append(epoch_loss / n)
+            fit_span.set(final_loss=self._history[-1] if self._history else None)
         return self
 
     def _loss_and_grad(

@@ -42,6 +42,7 @@ from repro.core.aggregate import (
     aggregate_level,
     aggregate_rows,
 )
+from repro import obs
 from repro.embeddings.lookup import TermEmbedder
 from repro.tables.model import Table
 from repro.text import tokenize
@@ -140,12 +141,13 @@ def embed_table(
     """
     n_rows, n_cols = table.shape
     if not supports_fast_path(embedder, config):
-        return TableEmbedding(
-            row_vectors=aggregate_rows(embedder, table, config),
-            col_vectors=aggregate_cols(embedder, table, config),
-            n_tokens=-1,
-            n_unique_tokens=-1,
-        )
+        with obs.span("embed", rows=n_rows, cols=n_cols, fast_path=False):
+            return TableEmbedding(
+                row_vectors=aggregate_rows(embedder, table, config),
+                col_vectors=aggregate_cols(embedder, table, config),
+                n_tokens=-1,
+                n_unique_tokens=-1,
+            )
 
     dim = embedder.dim
     if n_rows == 0 or n_cols == 0:
@@ -156,61 +158,66 @@ def embed_table(
             n_unique_tokens=0,
         )
 
-    # Two-stage aggregation: sum token vectors into *unique-cell*
-    # vectors first, then scatter cell vectors over the grid.  Cells
-    # repeat (blanks, categories, shared headers), so the Python-level
-    # work shrinks to one dict lookup per grid cell plus one tokenize
-    # per unique cell; everything after is array arithmetic.
-    cell_ids: dict[str, int] = {}
-    grid: list[int] = []
-    for row in table.rows:
-        for cell in row:
-            grid.append(cell_ids.setdefault(cell, len(cell_ids)))
+    with obs.span("embed", rows=n_rows, cols=n_cols) as embed_span:
+        # Two-stage aggregation: sum token vectors into *unique-cell*
+        # vectors first, then scatter cell vectors over the grid.  Cells
+        # repeat (blanks, categories, shared headers), so the Python-level
+        # work shrinks to one dict lookup per grid cell plus one tokenize
+        # per unique cell; everything after is array arithmetic.
+        with obs.span("tokenize"):
+            cell_ids: dict[str, int] = {}
+            grid: list[int] = []
+            for row in table.rows:
+                for cell in row:
+                    grid.append(cell_ids.setdefault(cell, len(cell_ids)))
 
-    token_ids: dict[str, int] = {}
-    occ_cells: list[int] = []
-    occ_toks: list[int] = []
-    for cell_id, cell in enumerate(cell_ids):
-        for text in _cell_token_texts(cell):
-            occ_cells.append(cell_id)
-            occ_toks.append(token_ids.setdefault(text, len(token_ids)))
+            token_ids: dict[str, int] = {}
+            occ_cells: list[int] = []
+            occ_toks: list[int] = []
+            for cell_id, cell in enumerate(cell_ids):
+                for text in _cell_token_texts(cell):
+                    occ_cells.append(cell_id)
+                    occ_toks.append(token_ids.setdefault(text, len(token_ids)))
 
-    if not token_ids:
-        return TableEmbedding(
-            row_vectors=np.zeros((n_rows, dim)),
-            col_vectors=np.zeros((n_cols, dim)),
-            n_tokens=0,
-            n_unique_tokens=0,
-        )
+        if not token_ids:
+            return TableEmbedding(
+                row_vectors=np.zeros((n_rows, dim)),
+                col_vectors=np.zeros((n_cols, dim)),
+                n_tokens=0,
+                n_unique_tokens=0,
+            )
 
-    vectors = embedder.vectors(list(token_ids))  # (n_unique_tokens, dim)
-    cells_arr = np.asarray(occ_cells, dtype=np.intp)
-    toks_arr = np.asarray(occ_toks, dtype=np.intp)
-    n_cells = len(cell_ids)
-    cell_vecs = _counts_matmul(cells_arr, toks_arr, n_cells, vectors)
-    cell_token_counts = np.bincount(cells_arr, minlength=n_cells)
+        vectors = embedder.vectors(list(token_ids))  # (n_unique_tokens, dim)
+        with obs.span("aggregate"):
+            cells_arr = np.asarray(occ_cells, dtype=np.intp)
+            toks_arr = np.asarray(occ_toks, dtype=np.intp)
+            n_cells = len(cell_ids)
+            cell_vecs = _counts_matmul(cells_arr, toks_arr, n_cells, vectors)
+            cell_token_counts = np.bincount(cells_arr, minlength=n_cells)
 
-    grid_arr = np.asarray(grid, dtype=np.intp)  # (n_rows * n_cols,)
-    row_idx = np.repeat(np.arange(n_rows, dtype=np.intp), n_cols)
-    col_idx = np.tile(np.arange(n_cols, dtype=np.intp), n_rows)
-    grid_token_counts = cell_token_counts[grid_arr]
+            grid_arr = np.asarray(grid, dtype=np.intp)  # (n_rows * n_cols,)
+            row_idx = np.repeat(np.arange(n_rows, dtype=np.intp), n_cols)
+            col_idx = np.tile(np.arange(n_cols, dtype=np.intp), n_rows)
+            grid_token_counts = cell_token_counts[grid_arr]
 
-    row_vecs = _counts_matmul(row_idx, grid_arr, n_rows, cell_vecs)
-    col_vecs = _counts_matmul(col_idx, grid_arr, n_cols, cell_vecs)
-    row_vecs = _finalize(
-        row_vecs,
-        np.bincount(row_idx, weights=grid_token_counts, minlength=n_rows),
-        config.mode,
-    )
-    col_vecs = _finalize(
-        col_vecs,
-        np.bincount(col_idx, weights=grid_token_counts, minlength=n_cols),
-        config.mode,
-    )
+            row_vecs = _counts_matmul(row_idx, grid_arr, n_rows, cell_vecs)
+            col_vecs = _counts_matmul(col_idx, grid_arr, n_cols, cell_vecs)
+            row_vecs = _finalize(
+                row_vecs,
+                np.bincount(row_idx, weights=grid_token_counts, minlength=n_rows),
+                config.mode,
+            )
+            col_vecs = _finalize(
+                col_vecs,
+                np.bincount(col_idx, weights=grid_token_counts, minlength=n_cols),
+                config.mode,
+            )
+        n_tokens = int(grid_token_counts.sum())
+        embed_span.set(tokens=n_tokens, unique_tokens=len(token_ids))
     return TableEmbedding(
         row_vectors=row_vecs,
         col_vectors=col_vecs,
-        n_tokens=int(grid_token_counts.sum()),
+        n_tokens=n_tokens,
         n_unique_tokens=len(token_ids),
     )
 
@@ -234,22 +241,23 @@ def level_vectors(
             [aggregate_level(embedder, cells, config) for cells in levels]
         )
 
-    token_ids: dict[str, int] = {}
-    occ_levels: list[int] = []
-    occ_toks: list[int] = []
-    for index, cells in enumerate(levels):
-        for cell in cells:
-            text = cell if isinstance(cell, str) else "" if cell is None else str(cell)
-            for token_text in _cell_token_texts(text):
-                occ_levels.append(index)
-                occ_toks.append(token_ids.setdefault(token_text, len(token_ids)))
+    with obs.span("embed.levels", n_levels=len(levels)):
+        token_ids: dict[str, int] = {}
+        occ_levels: list[int] = []
+        occ_toks: list[int] = []
+        for index, cells in enumerate(levels):
+            for cell in cells:
+                text = cell if isinstance(cell, str) else "" if cell is None else str(cell)
+                for token_text in _cell_token_texts(text):
+                    occ_levels.append(index)
+                    occ_toks.append(token_ids.setdefault(token_text, len(token_ids)))
 
-    if not occ_toks:
-        return np.zeros((len(levels), embedder.dim))
-    vectors = embedder.vectors(list(token_ids))
-    levels_arr = np.asarray(occ_levels, dtype=np.intp)
-    toks_arr = np.asarray(occ_toks, dtype=np.intp)
-    summed = _counts_matmul(levels_arr, toks_arr, len(levels), vectors)
-    return _finalize(
-        summed, np.bincount(levels_arr, minlength=len(levels)), config.mode
-    )
+        if not occ_toks:
+            return np.zeros((len(levels), embedder.dim))
+        vectors = embedder.vectors(list(token_ids))
+        levels_arr = np.asarray(occ_levels, dtype=np.intp)
+        toks_arr = np.asarray(occ_toks, dtype=np.intp)
+        summed = _counts_matmul(levels_arr, toks_arr, len(levels), vectors)
+        return _finalize(
+            summed, np.bincount(levels_arr, minlength=len(levels)), config.mode
+        )

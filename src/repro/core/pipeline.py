@@ -37,6 +37,7 @@ from repro.core.contrastive import (
     build_pairs,
 )
 from repro.core.embedding_plane import level_vectors
+from repro import obs
 from repro.embeddings.contextual import ContextualConfig, ContextualEncoder
 from repro.embeddings.hashed import HashedEmbedding
 from repro.embeddings.lookup import TermEmbedder, corpus_mean_vector
@@ -124,15 +125,39 @@ class MetadataPipeline:
         self.col_centroids: CentroidSet | None = None
         self.classifier: MetadataClassifier | None = None
         self.fit_report: FitReport | None = None
-        #: Optional observer called with ``(stage, seconds)`` after every
-        #: timed fit stage and every ``classify`` call — the serving
-        #: layer attaches its metrics recorder here.
-        self.stage_hook: StageHook | None = None
+        #: Observers called with ``(stage, seconds)`` after every timed
+        #: fit stage and every ``classify`` call.  Multi-subscriber: the
+        #: serving layer's metrics recorder and any caller-installed
+        #: observer (tests, tracers) compose instead of clobbering each
+        #: other — install with :meth:`add_stage_hook`.
+        self._stage_hooks: list[StageHook] = []
+
+    @property
+    def stage_hook(self) -> StageHook | None:
+        """The first installed stage hook (legacy single-subscriber view)."""
+        return self._stage_hooks[0] if self._stage_hooks else None
+
+    @stage_hook.setter
+    def stage_hook(self, hook: StageHook | None) -> None:
+        # Legacy assignment semantics: replace every subscriber.  New
+        # code should use add_stage_hook()/remove_stage_hook(), which
+        # compose.
+        self._stage_hooks = [] if hook is None else [hook]
+
+    def add_stage_hook(self, hook: StageHook) -> None:
+        """Subscribe ``hook`` to stage timings (idempotent per hook)."""
+        if hook not in self._stage_hooks:
+            self._stage_hooks.append(hook)
+
+    def remove_stage_hook(self, hook: StageHook) -> None:
+        """Unsubscribe ``hook``; unknown hooks are ignored."""
+        if hook in self._stage_hooks:
+            self._stage_hooks.remove(hook)
 
     def _emit_stage(self, stage: str, seconds: float) -> None:
         logger.debug("stage %s took %.4fs", stage, seconds)
-        if self.stage_hook is not None:
-            self.stage_hook(stage, seconds)
+        for hook in self._stage_hooks:
+            hook(stage, seconds)
 
     # ------------------------------------------------------------------
     # training phase
@@ -156,45 +181,53 @@ class MetadataPipeline:
             for item in corpus
         ]
 
-        start = time.perf_counter()
-        self.embedder = self._fit_embeddings(tables)
-        report.embedding_seconds = time.perf_counter() - start
-        self._emit_stage("fit.embedding", report.embedding_seconds)
+        with obs.span("fit", n_tables=len(corpus),
+                      embedding=self.config.embedding):
+            start = time.perf_counter()
+            with obs.span("fit.embedding"):
+                self.embedder = self._fit_embeddings(tables)
+            report.embedding_seconds = time.perf_counter() - start
+            self._emit_stage("fit.embedding", report.embedding_seconds)
 
-        start = time.perf_counter()
-        labeled = self._bootstrap(corpus)
-        report.bootstrap_seconds = time.perf_counter() - start
-        self._emit_stage("fit.bootstrap", report.bootstrap_seconds)
+            start = time.perf_counter()
+            with obs.span("fit.bootstrap"):
+                labeled = self._bootstrap(corpus)
+            report.bootstrap_seconds = time.perf_counter() - start
+            self._emit_stage("fit.bootstrap", report.bootstrap_seconds)
 
-        start = time.perf_counter()
-        self.projection = (
-            self._fit_projection(labeled) if self.config.use_contrastive else None
-        )
-        report.contrastive_seconds = time.perf_counter() - start
-        self._emit_stage("fit.contrastive", report.contrastive_seconds)
+            start = time.perf_counter()
+            with obs.span("fit.contrastive"):
+                self.projection = (
+                    self._fit_projection(labeled)
+                    if self.config.use_contrastive
+                    else None
+                )
+            report.contrastive_seconds = time.perf_counter() - start
+            self._emit_stage("fit.contrastive", report.contrastive_seconds)
 
-        start = time.perf_counter()
-        transform = self.projection.transform if self.projection else None
-        self.row_centroids = estimate_centroids(
-            self.embedder,
-            labeled,
-            axis="rows",
-            aggregation=self.config.aggregation,
-            trim=self.config.centroid_trim,
-            transform=transform,
-            seed=self.config.seed,
-        )
-        self.col_centroids = estimate_centroids(
-            self.embedder,
-            labeled,
-            axis="cols",
-            aggregation=self.config.aggregation,
-            trim=self.config.centroid_trim,
-            transform=transform,
-            seed=self.config.seed,
-        )
-        report.centroid_seconds = time.perf_counter() - start
-        self._emit_stage("fit.centroids", report.centroid_seconds)
+            start = time.perf_counter()
+            transform = self.projection.transform if self.projection else None
+            with obs.span("fit.centroids"):
+                self.row_centroids = estimate_centroids(
+                    self.embedder,
+                    labeled,
+                    axis="rows",
+                    aggregation=self.config.aggregation,
+                    trim=self.config.centroid_trim,
+                    transform=transform,
+                    seed=self.config.seed,
+                )
+                self.col_centroids = estimate_centroids(
+                    self.embedder,
+                    labeled,
+                    axis="cols",
+                    aggregation=self.config.aggregation,
+                    trim=self.config.centroid_trim,
+                    transform=transform,
+                    seed=self.config.seed,
+                )
+            report.centroid_seconds = time.perf_counter() - start
+            self._emit_stage("fit.centroids", report.centroid_seconds)
 
         classifier_config = self.config.classifier or ClassifierConfig(
             aggregation=self.config.aggregation

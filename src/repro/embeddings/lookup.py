@@ -27,6 +27,7 @@ from typing import Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
+from repro import obs
 from repro.embeddings.hashed import _seeded_vector
 from repro.text import Token, tokenize_cells
 
@@ -181,34 +182,40 @@ class TermEmbedder:
         texts = [t.text if isinstance(t, Token) else t for t in tokens]
         if not texts:
             return np.empty((0, self.dim))
-        order: dict[str, int] = {}
-        for text in texts:
-            if text not in order:
-                order[text] = len(order)
-        unique = list(order)
-        resolved: list[np.ndarray | None] = [None] * len(unique)
-        missing: list[int] = []
-        with self._cache_lock:
-            for idx, token in enumerate(unique):
-                cached = self._cache.get(token)
-                if cached is not None:
-                    self._cache.move_to_end(token)
-                    self._hits += 1
-                    resolved[idx] = cached
-                else:
-                    self._misses += 1
-                    missing.append(idx)
-        if missing:
-            fresh = self._resolve_batch([unique[i] for i in missing])
-            for idx, vec in zip(missing, fresh):
-                resolved[idx] = self._cache_put(unique[idx], vec)
-        matrix = np.stack(resolved)  # type: ignore[arg-type]
-        if len(unique) == len(texts):
-            return matrix
-        gather = np.fromiter(
-            (order[t] for t in texts), dtype=np.intp, count=len(texts)
-        )
-        return matrix[gather]
+        with obs.span("lookup", n_tokens=len(texts)) as lookup_span:
+            order: dict[str, int] = {}
+            for text in texts:
+                if text not in order:
+                    order[text] = len(order)
+            unique = list(order)
+            resolved: list[np.ndarray | None] = [None] * len(unique)
+            missing: list[int] = []
+            with self._cache_lock:
+                for idx, token in enumerate(unique):
+                    cached = self._cache.get(token)
+                    if cached is not None:
+                        self._cache.move_to_end(token)
+                        self._hits += 1
+                        resolved[idx] = cached
+                    else:
+                        self._misses += 1
+                        missing.append(idx)
+            lookup_span.set(
+                unique=len(unique),
+                cache_hits=len(unique) - len(missing),
+                cache_misses=len(missing),
+            )
+            if missing:
+                fresh = self._resolve_batch([unique[i] for i in missing])
+                for idx, vec in zip(missing, fresh):
+                    resolved[idx] = self._cache_put(unique[idx], vec)
+            matrix = np.stack(resolved)  # type: ignore[arg-type]
+            if len(unique) == len(texts):
+                return matrix
+            gather = np.fromiter(
+                (order[t] for t in texts), dtype=np.intp, count=len(texts)
+            )
+            return matrix[gather]
 
     def _resolve_batch(self, tokens: Sequence[str]) -> list[np.ndarray]:
         batch = getattr(self.model, "batch_vectors", None)

@@ -1,0 +1,198 @@
+"""Trace exporters: JSON-lines, Chrome ``trace_event``, top-spans text.
+
+* :func:`write_jsonl` — one JSON object per finished span; greppable,
+  streams into anything.
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` format (``{"traceEvents": [...]}`` with balanced
+  ``ph: "B"``/``"E"`` pairs per thread), loadable in ``chrome://tracing``
+  and `Perfetto <https://ui.perfetto.dev>`_.
+* :func:`top_spans_report` — an aggregated "where did the time go"
+  text profile (per span name: calls, total, self, mean, max).
+
+Span times are monotonic ``perf_counter`` seconds; Chrome timestamps
+are microseconds relative to the earliest span in the export, so the
+viewer's timeline starts at zero.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Mapping, Sequence
+
+from repro.obs.spans import Span
+
+#: Spans within one thread are treated as adjacent (not nested) when
+#: their boundaries coincide to this many seconds — perf_counter ties.
+_TIE = 1e-9
+
+
+def span_to_dict(span: Span) -> dict[str, object]:
+    """The JSONL document for one span."""
+    record: dict[str, object] = {
+        "name": span.name,
+        "trace_id": span.trace_id,
+        "span_id": span.span_id,
+        "parent_id": span.parent_id,
+        "start": round(span.start, 9),
+        "end": round(span.end, 9),
+        "duration_ms": round(span.duration * 1e3, 6),
+        "thread_id": span.thread_id,
+        "thread_name": span.thread_name,
+    }
+    if span.attributes:
+        record["attributes"] = dict(span.attributes)
+    if span.error is not None:
+        record["error"] = span.error
+    return record
+
+
+def write_jsonl(spans: Sequence[Span], out: str | Path | IO[str]) -> int:
+    """Write one JSON document per span; returns the span count."""
+    if hasattr(out, "write"):
+        stream: IO[str] = out  # type: ignore[assignment]
+        for span in spans:
+            stream.write(json.dumps(span_to_dict(span)) + "\n")
+        return len(spans)
+    with Path(out).open("w") as handle:
+        for span in spans:
+            handle.write(json.dumps(span_to_dict(span)) + "\n")
+    return len(spans)
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace_event
+# ---------------------------------------------------------------------------
+
+def _event(
+    span: Span, phase: str, ts_us: float, args: Mapping[str, object] | None
+) -> dict[str, object]:
+    event: dict[str, object] = {
+        "name": span.name,
+        "cat": "repro",
+        "ph": phase,
+        "ts": round(ts_us, 3),
+        "pid": os.getpid(),
+        "tid": span.thread_id,
+    }
+    if args:
+        event["args"] = dict(args)
+    return event
+
+
+def chrome_trace_events(spans: Sequence[Span]) -> list[dict[str, object]]:
+    """Balanced ``B``/``E`` event pairs, properly nested per thread.
+
+    Spans recorded by one thread always nest in time (the tracer keeps
+    a per-thread LIFO stack), so a stack sweep over each thread's spans
+    — sorted by start ascending, then duration descending — emits every
+    ``E`` before the next non-overlapping ``B`` and closes the pairs
+    innermost-first.
+    """
+    if not spans:
+        return []
+    t0 = min(span.start for span in spans)
+    by_thread: dict[int, list[Span]] = {}
+    for span in spans:
+        by_thread.setdefault(span.thread_id, []).append(span)
+
+    events: list[dict[str, object]] = []
+    for _, thread_spans in sorted(by_thread.items()):
+        thread_spans.sort(key=lambda s: (s.start, -s.end, s.span_id))
+        stack: list[Span] = []
+        for span in thread_spans:
+            while stack and stack[-1].end <= span.start + _TIE:
+                closed = stack.pop()
+                events.append(_event(closed, "E", (closed.end - t0) * 1e6, None))
+            args: dict[str, object] = {
+                "trace_id": span.trace_id,
+                "span_id": span.span_id,
+            }
+            if span.parent_id is not None:
+                args["parent_id"] = span.parent_id
+            args.update(span.attributes)
+            if span.error is not None:
+                args["error"] = span.error
+            events.append(_event(span, "B", (span.start - t0) * 1e6, args))
+            stack.append(span)
+        while stack:
+            closed = stack.pop()
+            events.append(_event(closed, "E", (closed.end - t0) * 1e6, None))
+    return events
+
+
+def chrome_trace(spans: Sequence[Span]) -> dict[str, object]:
+    """The full ``chrome://tracing`` / Perfetto document."""
+    return {
+        "traceEvents": chrome_trace_events(spans),
+        "displayTimeUnit": "ms",
+    }
+
+
+def write_chrome_trace(spans: Sequence[Span], out: str | Path | IO[str]) -> int:
+    """Write the Chrome-trace JSON document; returns the span count."""
+    document = chrome_trace(spans)
+    if hasattr(out, "write"):
+        stream: IO[str] = out  # type: ignore[assignment]
+        json.dump(document, stream)
+        return len(spans)
+    with Path(out).open("w") as handle:
+        json.dump(document, handle)
+    return len(spans)
+
+
+def write_trace(spans: Sequence[Span], out: str | Path) -> int:
+    """Write a trace file, picking the format from the suffix.
+
+    ``.jsonl`` writes JSON-lines; anything else writes the Chrome
+    ``trace_event`` document (the ``chrome://tracing`` default).
+    """
+    path = Path(out)
+    if path.suffix == ".jsonl":
+        return write_jsonl(spans, path)
+    return write_chrome_trace(spans, path)
+
+
+# ---------------------------------------------------------------------------
+# the text profile
+# ---------------------------------------------------------------------------
+
+def top_spans_report(spans: Sequence[Span], limit: int = 20) -> str:
+    """Aggregate spans by name into a "top spans" text profile.
+
+    ``self`` is total time minus the time of direct children, i.e. the
+    span's own work — the column to sort by when hunting a hot spot.
+    """
+    if not spans:
+        return "no spans recorded\n"
+    children_time: dict[int, float] = {}
+    for span in spans:
+        if span.parent_id is not None:
+            children_time[span.parent_id] = (
+                children_time.get(span.parent_id, 0.0) + span.duration
+            )
+
+    totals: dict[str, list[float]] = {}
+    for span in spans:
+        own = max(0.0, span.duration - children_time.get(span.span_id, 0.0))
+        entry = totals.setdefault(span.name, [0.0, 0.0, 0.0, 0.0])
+        entry[0] += 1  # calls
+        entry[1] += span.duration  # total
+        entry[2] += own  # self
+        entry[3] = max(entry[3], span.duration)  # max
+
+    rows = sorted(totals.items(), key=lambda kv: -kv[1][2])[:limit]
+    name_width = max(4, *(len(name) for name, _ in rows))
+    lines = [
+        f"{'span':<{name_width}}  {'calls':>7}  {'total ms':>10}  "
+        f"{'self ms':>10}  {'mean ms':>9}  {'max ms':>9}"
+    ]
+    for name, (calls, total, own, peak) in rows:
+        lines.append(
+            f"{name:<{name_width}}  {int(calls):>7d}  {total * 1e3:>10.2f}  "
+            f"{own * 1e3:>10.2f}  {total * 1e3 / calls:>9.3f}  "
+            f"{peak * 1e3:>9.3f}"
+        )
+    lines.append(f"({len(spans)} spans, {len(totals)} distinct names)")
+    return "\n".join(lines) + "\n"

@@ -23,6 +23,8 @@ from dataclasses import dataclass
 from time import monotonic
 from typing import Callable, Generic, Sequence, TypeVar
 
+from repro import obs
+
 logger = logging.getLogger("repro.serve.batching")
 
 T = TypeVar("T")
@@ -155,7 +157,12 @@ class BatchingExecutor(Generic[T, R]):
     def _run_batch(self, batch: list) -> None:
         items = [item for item, _ in batch]
         try:
-            results = list(self._handler(items))
+            # The batch span is a root on the worker thread: a batch may
+            # mix items from several traces, so it cannot belong to any
+            # one of them.  Handlers restore each item's own captured
+            # context (see ClassificationService._handle_batch).
+            with obs.span("serve.batch", size=len(items)):
+                results = list(self._handler(items))
             if len(results) != len(items):
                 raise RuntimeError(
                     f"handler returned {len(results)} results "

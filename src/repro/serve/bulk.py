@@ -17,6 +17,7 @@ from glob import glob
 from pathlib import Path
 from typing import IO, Sequence
 
+from repro import obs
 from repro.core.pipeline import MetadataPipeline
 from repro.serve.batching import BatchingConfig, BatchingExecutor
 from repro.serve.cache import LRUCache
@@ -158,21 +159,28 @@ def classify_paths(
     instead of aborting the run, so a bad file in a 10k-table batch
     costs one line, not the batch.
     """
-    if metrics is not None and pipeline.stage_hook is None:
-        pipeline.stage_hook = metrics.observe_stage
+    if metrics is not None:
+        # Composes with any hook the caller already installed (tracing,
+        # a second metrics sink) instead of silently replacing it.
+        pipeline.add_stage_hook(metrics.observe_stage)
 
     def _one(path: Path) -> dict:
         start = time.perf_counter()
-        try:
-            table = table_from_path(path)
-            annotation, hit = classify_cached(
-                pipeline, table, cache, model=model
-            )
-        except Exception as exc:  # noqa: BLE001 - per-file isolation
-            logger.warning("failed on %s: %s", path, exc)
-            if metrics is not None:
-                metrics.inc("bulk_errors_total")
-            return {"source": str(path), "error": str(exc)}
+        # The root span of a bulk run's unit of work: parse + cache
+        # lookup + classification all nest under one "table" span.
+        with obs.span("table", source=str(path)) as table_span:
+            try:
+                with obs.span("parse"):
+                    table = table_from_path(path)
+                annotation, hit = classify_cached(
+                    pipeline, table, cache, model=model
+                )
+            except Exception as exc:  # noqa: BLE001 - per-file isolation
+                logger.warning("failed on %s: %s", path, exc)
+                if metrics is not None:
+                    metrics.inc("bulk_errors_total")
+                return {"source": str(path), "error": str(exc)}
+            table_span.set(table=table.name, cached=hit)
         elapsed = time.perf_counter() - start
         if metrics is not None:
             metrics.inc("bulk_tables_total")

@@ -30,6 +30,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Sequence
 from urllib.parse import parse_qs, urlsplit
 
+from repro import obs
 from repro.serve.batching import BatchingConfig, BatchingExecutor
 from repro.serve.bulk import classify_cached, result_record, table_from_text
 from repro.serve.cache import LRUCache
@@ -61,7 +62,10 @@ class ClassificationService:
         self.metrics = metrics or ServiceMetrics()
         self.cache: LRUCache = LRUCache(cache_capacity)
         for name in registry.names():
-            registry.get(name).stage_hook = self.metrics.observe_stage
+            # add_stage_hook composes with hooks the caller installed
+            # (e.g. a tracing or bulk-metrics subscriber) instead of
+            # clobbering them; see MetadataPipeline.add_stage_hook.
+            registry.get(name).add_stage_hook(self.metrics.observe_stage)
         self._executor: BatchingExecutor = BatchingExecutor(
             self._handle_batch, batching, on_batch=self._record_batch
         )
@@ -74,37 +78,55 @@ class ClassificationService:
     # ------------------------------------------------------------------
     # classification
     # ------------------------------------------------------------------
-    def _handle_batch(self, items: list[tuple[str, Table]]) -> list[object]:
+    def _handle_batch(
+        self, items: list[tuple[str, Table, obs.TraceContext | None]]
+    ) -> list[object]:
         # Each item is handled independently: an exception instance in
         # the result list fails only that item's future (see
         # BatchingExecutor), so one bad model name or pathological table
         # can't poison unrelated requests sharing the micro-batch.
+        #
+        # The third tuple element is the trace context captured on the
+        # submitting thread; restoring it here re-parents the per-item
+        # span (and everything the pipeline emits under it) to the
+        # request's trace across the thread-pool boundary.
         out: list[object] = []
-        for model_name, table in items:
-            try:
-                pipeline = self.registry.get(model_name or None)
-                resolved = model_name or self.registry.default_name or ""
-                annotation, hit = classify_cached(
-                    pipeline, table, self.cache, model=resolved
-                )
-            except Exception as exc:  # noqa: BLE001 - per-item isolation
-                logger.warning("classification failed for %r: %s",
-                               table.name, exc)
-                out.append(exc)
-                continue
+        for model_name, table, ctx in items:
+            with obs.use_context(ctx), obs.span(
+                "serve.item", table=table.name
+            ) as item_span:
+                try:
+                    pipeline = self.registry.get(model_name or None)
+                    resolved = model_name or self.registry.default_name or ""
+                    annotation, hit = classify_cached(
+                        pipeline, table, self.cache, model=resolved
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-item isolation
+                    logger.warning("classification failed for %r: %s",
+                                   table.name, exc)
+                    out.append(exc)
+                    continue
+                item_span.set(model=resolved, cached=hit)
             out.append(
                 result_record(table, annotation, model=resolved, cached=hit)
             )
         return out
 
     def classify_table(self, table: Table, *, model: str = "") -> dict:
-        """Classify one table through the queue; blocks for the result."""
-        return self._executor.submit((model, table)).result()
+        """Classify one table through the queue; blocks for the result.
+
+        The caller's trace context is captured here and travels with the
+        item, so spans recorded on the worker thread stay children of
+        the submitting request's trace.
+        """
+        ctx = obs.capture_context()
+        return self._executor.submit((model, table, ctx)).result()
 
     def classify_many(
         self, tables: Sequence[Table], *, model: str = ""
     ) -> list[dict]:
-        futures = [self._executor.submit((model, t)) for t in tables]
+        ctx = obs.capture_context()
+        futures = [self._executor.submit((model, t, ctx)) for t in tables]
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------
@@ -194,6 +216,12 @@ class _Handler(BaseHTTPRequestHandler):
     server_version = "repro-serve/1.0"
     protocol_version = "HTTP/1.1"
 
+    #: Per-request trace id, minted at the top of each do_* method and
+    #: echoed back in the ``X-Trace-Id`` response header.  Minted even
+    #: when tracing is disabled so clients can always correlate a
+    #: response with the server log line.
+    _trace_id = ""
+
     @property
     def service(self) -> ClassificationService:
         return self.server.service  # type: ignore[attr-defined]
@@ -206,6 +234,8 @@ class _Handler(BaseHTTPRequestHandler):
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if self._trace_id:
+            self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
         self.service.metrics.inc("responses_total", code=str(code))
@@ -222,19 +252,26 @@ class _Handler(BaseHTTPRequestHandler):
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
         path = urlsplit(self.path).path
+        self._trace_id = obs.new_trace_id()
         self.service.metrics.inc(
             "requests_total", endpoint=_endpoint_label(path)
         )
-        if path == "/healthz":
-            self._send_json(200, self.service.health())
-        elif path == "/metrics":
-            self._send(
-                200,
-                self.service.metrics_text().encode(),
-                "text/plain; version=0.0.4",
-            )
-        else:
-            self._send_json(404, {"error": f"no such endpoint {path}"})
+        with obs.span(
+            "http.request",
+            trace_id=self._trace_id,
+            method="GET",
+            endpoint=_endpoint_label(path),
+        ):
+            if path == "/healthz":
+                self._send_json(200, self.service.health())
+            elif path == "/metrics":
+                self._send(
+                    200,
+                    self.service.metrics_text().encode(),
+                    "text/plain; version=0.0.4",
+                )
+            else:
+                self._send_json(404, {"error": f"no such endpoint {path}"})
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib handler API
         split = urlsplit(self.path)
@@ -242,37 +279,52 @@ class _Handler(BaseHTTPRequestHandler):
         query = parse_qs(split.query)
         model = query.get("model", [""])[0]
         name = query.get("name", [""])[0]
+        self._trace_id = obs.new_trace_id()
         self.service.metrics.inc(
             "requests_total", endpoint=_endpoint_label(path)
         )
         start = time.perf_counter()
+        # One root span per request.  The explicit trace_id ties the
+        # recorded trace to the X-Trace-Id response header and the log
+        # line below, so a slow response can be looked up in the trace.
         try:
-            if path == "/classify":
-                table = _parse_table(
-                    self._read_body(),
-                    self.headers.get("Content-Type", ""),
-                    name,
-                )
-                record = self.service.classify_table(table, model=model)
-                self._send_json(200, record)
-            elif path == "/classify/batch":
-                tables = _parse_batch(self._read_body())
-                records = self.service.classify_many(tables, model=model)
-                self._send_json(
-                    200, {"count": len(records), "results": records}
-                )
-            else:
-                self._send_json(404, {"error": f"no such endpoint {path}"})
-                return
+            with obs.span(
+                "http.request",
+                trace_id=self._trace_id,
+                method="POST",
+                endpoint=_endpoint_label(path),
+            ):
+                if path == "/classify":
+                    table = _parse_table(
+                        self._read_body(),
+                        self.headers.get("Content-Type", ""),
+                        name,
+                    )
+                    record = self.service.classify_table(table, model=model)
+                    self._send_json(200, record)
+                elif path == "/classify/batch":
+                    tables = _parse_batch(self._read_body())
+                    records = self.service.classify_many(tables, model=model)
+                    self._send_json(
+                        200, {"count": len(records), "results": records}
+                    )
+                else:
+                    self._send_json(404, {"error": f"no such endpoint {path}"})
+                    return
         except BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
         except KeyError as exc:
             self._send_json(404, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 - last-resort 500
-            logger.exception("request failed")
+            logger.exception("request failed (trace_id=%s)", self._trace_id)
             self._send_json(500, {"error": str(exc)})
         finally:
-            self.service.metrics.observe_request(time.perf_counter() - start)
+            elapsed = time.perf_counter() - start
+            self.service.metrics.observe_request(elapsed)
+            logger.info(
+                "POST %s trace_id=%s %.1fms", path, self._trace_id,
+                elapsed * 1000.0,
+            )
 
 
 def make_server(

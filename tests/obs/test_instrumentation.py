@@ -1,0 +1,145 @@
+"""The baked-in instrumentation: span trees from real pipeline runs."""
+
+from __future__ import annotations
+
+from repro import obs
+
+
+def _span_tree(spans):
+    """Map span_id -> span and name -> list of parent names."""
+    by_id = {s.span_id: s for s in spans}
+    parents: dict[str, set] = {}
+    for s in spans:
+        parent = by_id.get(s.parent_id)
+        parents.setdefault(s.name, set()).add(
+            parent.name if parent is not None else None
+        )
+    return by_id, parents
+
+
+class TestClassifyInstrumentation:
+    def test_classify_root_nests_pipeline_stages(self, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        with obs.tracing() as tracer:
+            hashed_pipeline.classify(table)
+        spans = tracer.spans()
+        names = {s.name for s in spans}
+        assert {"classify", "embed", "tokenize", "aggregate", "lookup"} <= names
+        _, parents = _span_tree(spans)
+        assert parents["embed"] == {"classify"}
+        assert parents["tokenize"] == {"embed"}
+        assert parents["aggregate"] == {"embed"}
+        assert parents["lookup"] == {"embed"}
+        assert parents["angle_walk"] == {"classify"}
+        assert parents["classify"] == {None}
+        # one trace for the whole classify call
+        assert len({s.trace_id for s in spans}) == 1
+
+    def test_classify_span_attributes(self, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        with obs.tracing() as tracer:
+            hashed_pipeline.classify(table)
+        root = next(s for s in tracer.spans() if s.name == "classify")
+        assert root.attributes["table"] == table.name
+        assert root.attributes["rows"] == table.n_rows
+        assert root.attributes["cols"] == table.n_cols
+        embed = next(s for s in tracer.spans() if s.name == "embed")
+        assert embed.attributes["tokens"] > 0
+        assert embed.attributes["unique_tokens"] > 0
+
+    def test_lookup_span_counts_cache_hits(self, hashed_pipeline, ckg_eval):
+        table = ckg_eval[0].table
+        hashed_pipeline.classify(table)  # warm the token cache
+        with obs.tracing() as tracer:
+            hashed_pipeline.classify(table)
+        lookup = next(s for s in tracer.spans() if s.name == "lookup")
+        attrs = lookup.attributes
+        assert attrs["n_tokens"] >= attrs["unique"] > 0
+        assert attrs["cache_hits"] + attrs["cache_misses"] == attrs["unique"]
+        assert attrs["cache_hits"] > 0  # second pass hits the warm cache
+
+    def test_scalar_path_emits_aggregate_span(self, hashed_pipeline, ckg_eval):
+        from dataclasses import replace
+
+        from repro.core.classifier import MetadataClassifier
+
+        clf = hashed_pipeline.classifier
+        scalar = MetadataClassifier(
+            clf.embedder,
+            clf.row_centroids,
+            clf.col_centroids,
+            projection=clf.projection,
+            config=replace(clf.config, vectorized=False),
+        )
+        with obs.tracing() as tracer:
+            scalar.classify(ckg_eval[0].table)
+        _, parents = _span_tree(tracer.spans())
+        assert parents["aggregate"] == {"classify"}
+
+
+class TestFitInstrumentation:
+    def test_fit_span_nests_stages(self, ckg_train):
+        from repro.core.pipeline import MetadataPipeline, PipelineConfig
+        from repro.corpus.vocabularies import get_domain
+
+        config = PipelineConfig(
+            embedding="hashed",
+            hashed_fields=get_domain("biomedical").field_map(),
+            n_pairs=40,
+            use_contrastive=True,
+        )
+        with obs.tracing() as tracer:
+            MetadataPipeline(config).fit(ckg_train[:10])
+        spans = tracer.spans()
+        names = {s.name for s in spans}
+        assert {
+            "fit", "fit.embedding", "fit.bootstrap",
+            "fit.contrastive", "fit.centroids", "contrastive.fit",
+        } <= names
+        _, parents = _span_tree(spans)
+        assert parents["fit.bootstrap"] == {"fit"}
+        assert parents["contrastive.fit"] == {"fit.contrastive"}
+        fit = next(s for s in spans if s.name == "fit")
+        assert fit.attributes["n_tables"] == 10
+
+
+class TestStageHookCompose:
+    """Regression: installing a second stage hook must not clobber the first."""
+
+    def test_add_stage_hook_composes(self, hashed_pipeline, ckg_eval):
+        first: list[str] = []
+        second: list[str] = []
+        hook_a = lambda stage, seconds: first.append(stage)  # noqa: E731
+        hook_b = lambda stage, seconds: second.append(stage)  # noqa: E731
+        hashed_pipeline.add_stage_hook(hook_a)
+        hashed_pipeline.add_stage_hook(hook_b)
+        try:
+            hashed_pipeline.classify(ckg_eval[0].table)
+        finally:
+            hashed_pipeline.remove_stage_hook(hook_a)
+            hashed_pipeline.remove_stage_hook(hook_b)
+        assert first == second
+        assert "classify" in first
+
+    def test_legacy_setter_still_works(self, hashed_pipeline, ckg_eval):
+        calls: list[str] = []
+        hook = lambda stage, seconds: calls.append(stage)  # noqa: E731
+        hashed_pipeline.stage_hook = hook
+        try:
+            assert hashed_pipeline.stage_hook is hook
+            hashed_pipeline.classify(ckg_eval[0].table)
+        finally:
+            hashed_pipeline.stage_hook = None
+        assert "classify" in calls
+        assert hashed_pipeline.stage_hook is None
+
+    def test_add_is_idempotent(self, hashed_pipeline):
+        calls: list[str] = []
+        hook = lambda stage, seconds: calls.append(stage)  # noqa: E731
+        hashed_pipeline.add_stage_hook(hook)
+        hashed_pipeline.add_stage_hook(hook)
+        try:
+            hashed_pipeline._emit_stage("probe", 0.0)
+        finally:
+            hashed_pipeline.remove_stage_hook(hook)
+        assert calls == ["probe"]

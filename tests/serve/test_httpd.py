@@ -186,8 +186,8 @@ class TestErrors:
         )
         try:
             table = ckg_eval[0].table
-            bad = svc._executor.submit(("ghost", table))
-            good = svc._executor.submit(("", table))
+            bad = svc._executor.submit(("ghost", table, None))
+            good = svc._executor.submit(("", table, None))
             with pytest.raises(KeyError, match="ghost"):
                 bad.result(timeout=10)
             record = good.result(timeout=10)

@@ -211,6 +211,97 @@ class TestBatch:
         assert "1 errors" in err
 
 
+class TestTrace:
+    @pytest.fixture
+    def model_path(self, hashed_pipeline, tmp_path):
+        return save_pipeline(hashed_pipeline, tmp_path / "model.npz")
+
+    def test_trace_prints_records_and_profile(
+        self, model_path, tmp_path, ckg_eval, capsys
+    ):
+        import json
+
+        path = tmp_path / "t.csv"
+        path.write_text(table_to_csv(ckg_eval[0].table))
+        assert main(["trace", str(path), "--model", str(model_path)]) == 0
+        captured = capsys.readouterr()
+        record = json.loads(captured.out.strip())
+        assert record["row_labels"]
+        # the top-spans profile lands on stderr
+        assert "classify" in captured.err
+        assert "self ms" in captured.err
+
+    def test_trace_out_writes_chrome_trace(
+        self, model_path, tmp_path, ckg_eval, capsys
+    ):
+        import json
+
+        path = tmp_path / "t.csv"
+        path.write_text(table_to_csv(ckg_eval[0].table))
+        out = tmp_path / "trace.json"
+        assert (
+            main(["trace", str(path), "--model", str(model_path),
+                  "--out", str(out)])
+            == 0
+        )
+        document = json.loads(out.read_text())
+        events = document["traceEvents"]
+        names = {e["name"] for e in events if e["ph"] == "B"}
+        assert {"table", "classify", "embed", "tokenize"} <= names
+        assert sum(1 for e in events if e["ph"] == "B") == sum(
+            1 for e in events if e["ph"] == "E"
+        )
+
+    def test_trace_leaves_tracing_disabled(self, model_path, tmp_path, ckg_eval):
+        from repro import obs
+
+        path = tmp_path / "t.csv"
+        path.write_text(table_to_csv(ckg_eval[0].table))
+        assert main(["trace", str(path), "--model", str(model_path)]) == 0
+        assert not obs.get_tracer().enabled
+
+    def test_batch_trace_out(self, model_path, tmp_path, ckg_eval, capsys):
+        import json
+
+        table_dir = tmp_path / "tables"
+        table_dir.mkdir()
+        for i in range(3):
+            (table_dir / f"t{i}.csv").write_text(
+                table_to_csv(ckg_eval[i].table)
+            )
+        out = tmp_path / "results.jsonl"
+        trace_out = tmp_path / "trace.json"
+        assert (
+            main(["batch", str(table_dir), "--model", str(model_path),
+                  "--out", str(out), "--trace-out", str(trace_out)])
+            == 0
+        )
+        assert "wrote" in capsys.readouterr().err
+        document = json.loads(trace_out.read_text())
+        begins = [e for e in document["traceEvents"] if e["ph"] == "B"]
+        names = {e["name"] for e in begins}
+        assert {"serve.batch", "table", "parse", "classify"} <= names
+        # one root "table" span per input file
+        assert sum(1 for e in begins if e["name"] == "table") == 3
+
+    def test_batch_trace_out_jsonl(self, model_path, tmp_path, ckg_eval):
+        import json
+
+        path = tmp_path / "t.csv"
+        path.write_text(table_to_csv(ckg_eval[0].table))
+        trace_out = tmp_path / "spans.jsonl"
+        assert (
+            main(["batch", str(path), "--model", str(model_path),
+                  "--out", str(tmp_path / "r.jsonl"),
+                  "--trace-out", str(trace_out)])
+            == 0
+        )
+        records = [
+            json.loads(line) for line in trace_out.read_text().splitlines()
+        ]
+        assert any(r["name"] == "classify" for r in records)
+
+
 class TestVerbose:
     def test_verbose_flag_accepted(self, capsys):
         assert main(["-v", "datasets"]) == 0

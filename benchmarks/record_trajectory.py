@@ -11,10 +11,18 @@ Measures three numbers on the current tree:
   (~1x on this tiny-table workload, where the GIL binds; tracked so a
   collapse or an improvement both show up in the series);
 * **p95 seconds** — the request-latency 95th percentile of the service
-  run, straight from :class:`~repro.serve.metrics.ServiceMetrics`.
+  run, straight from :class:`~repro.serve.metrics.ServiceMetrics`;
+* **batch procs tables/sec** — the same 120 tables through
+  :class:`~repro.parallel.ShardedPool` (``repro batch --procs``) with
+  as many worker processes as the machine allows (capped at 4),
+  steady-state, worker caches off;
+* **model cold-load ms** — best-of-three :func:`load_pipeline` wall
+  time for the directory store vs the ``.npz`` archive of the same
+  model, the number the zero-copy store exists to shrink.
 
 One JSON entry ``{commit, date, classify_tables_per_sec,
-serve_batch_speedup, p95_seconds}`` is appended to the trajectory file
+serve_batch_speedup, p95_seconds, batch_procs_tables_per_sec,
+model_cold_load_ms}`` is appended to the trajectory file
 (default ``BENCH_trajectory.json``, uploaded as a CI artifact) so the
 perf history of the project is a machine-readable series.
 
@@ -31,6 +39,7 @@ import argparse
 import json
 import subprocess
 import sys
+import tempfile
 import time
 from concurrent.futures import ThreadPoolExecutor
 from datetime import datetime, timezone
@@ -135,12 +144,16 @@ def measure(verbose: bool = True) -> dict:
     latencies = sorted(metrics.latency.snapshot())
     p95 = quantile(latencies, 0.95) if latencies else 0.0
 
+    procs_tables_per_sec, cold_load_ms = _measure_parallel(pipeline, tables)
+
     entry = {
         "commit": _git_commit(),
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "classify_tables_per_sec": round(tables_per_sec, 2),
         "serve_batch_speedup": round(speedup, 3),
         "p95_seconds": round(p95, 6),
+        "batch_procs_tables_per_sec": round(procs_tables_per_sec, 2),
+        "model_cold_load_ms": cold_load_ms,
     }
     if verbose:
         print(
@@ -148,10 +161,61 @@ def measure(verbose: bool = True) -> dict:
             f"({len(tables)} tables, best of {CLASSIFY_REPS})\n"
             f"serve:    {speedup:.2f}x vs serial "
             f"({SERVE_WORKERS} workers, {CLIENT_THREADS} clients), "
-            f"p95 {p95 * 1000:.1f}ms",
+            f"p95 {p95 * 1000:.1f}ms\n"
+            f"procs:    {procs_tables_per_sec:.1f} tables/sec "
+            f"(ShardedPool)\n"
+            f"cold load: dir {cold_load_ms['dir']:.1f}ms, "
+            f"npz {cold_load_ms['npz']:.1f}ms",
             file=sys.stderr,
         )
     return entry
+
+
+def _measure_parallel(pipeline, tables) -> tuple[float, dict]:
+    """(ShardedPool tables/sec, {dir,npz} cold-load milliseconds)."""
+    from repro.core.persistence import (
+        load_pipeline,
+        save_pipeline,
+        save_pipeline_dir,
+    )
+    from repro.parallel import ShardedPool, cpu_worker_default
+    from repro.tables.csvio import table_to_csv
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        store = save_pipeline_dir(pipeline, root / "model")
+        npz = save_pipeline(pipeline, root / "model.npz")
+
+        table_dir = root / "tables"
+        table_dir.mkdir()
+        paths = []
+        for i, table in enumerate(tables):
+            path = table_dir / f"t{i:04d}.csv"
+            path.write_text(table_to_csv(table))
+            paths.append(str(path))
+
+        procs = cpu_worker_default(ceiling=4)
+        with ShardedPool(
+            {"bench": store}, procs=procs, default="bench", cache_capacity=0
+        ) as pool:
+            list(pool.map_paths(paths))  # warm worker imports + model pages
+            start = time.perf_counter()
+            records = list(pool.map_paths(paths))
+            elapsed = time.perf_counter() - start
+        if any("error" in r for r in records):
+            raise SystemExit("procs benchmark saw classification errors")
+        procs_tables_per_sec = len(tables) / elapsed
+
+        def _cold_ms(path) -> float:
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                load_pipeline(path)
+                best = min(best, time.perf_counter() - start)
+            return round(best * 1000, 3)
+
+        cold_load_ms = {"dir": _cold_ms(store), "npz": _cold_ms(npz)}
+    return procs_tables_per_sec, cold_load_ms
 
 
 def append_trajectory(entry: dict, path: Path) -> None:

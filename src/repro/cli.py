@@ -75,7 +75,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080)
-    serve.add_argument("--workers", type=int, default=4)
+    serve.add_argument(
+        "--workers", type=int, default=None,
+        help="thread workers (default: CPU count, capped at 8)",
+    )
+    serve.add_argument(
+        "--procs", type=int, default=None,
+        help="shard classification across N worker processes instead of "
+             "threads (each loads the model once; directory stores are "
+             "memory-mapped and shared)",
+    )
     serve.add_argument("--max-batch-size", type=int, default=16)
     serve.add_argument(
         "--max-delay-ms", type=float, default=5.0,
@@ -95,13 +104,40 @@ def _build_parser() -> argparse.ArgumentParser:
         "inputs", nargs="+", help="table files, directories, or glob patterns"
     )
     batch.add_argument("--model", required=True, help="saved .npz archive")
-    batch.add_argument("--workers", type=int, default=4)
+    batch.add_argument(
+        "--workers", type=int, default=None,
+        help="thread workers (default: CPU count, capped at 8)",
+    )
+    batch.add_argument(
+        "--procs", type=int, default=None,
+        help="classify on N worker processes (true CPU parallelism; "
+             "the model loads once per process, memory-mapped for "
+             "directory stores)",
+    )
+    batch.add_argument(
+        "--unordered", action="store_true",
+        help="with --procs: emit records in completion order instead of "
+             "input order (first results sooner, lower peak memory)",
+    )
     batch.add_argument("--out", help="output JSONL path (default: stdout)")
     batch.add_argument("--cache-size", type=int, default=4096)
     batch.add_argument(
         "--trace-out", metavar="PATH",
         help="trace the run and write spans (.jsonl: span lines; "
-             "else Chrome trace_event JSON for chrome://tracing / Perfetto)",
+             "else Chrome trace_event JSON for chrome://tracing / Perfetto). "
+             "With --procs, per-worker spans are merged into one timeline "
+             "(worker pid = tid)",
+    )
+
+    convert = commands.add_parser(
+        "convert",
+        help="convert a saved pipeline between .npz and the directory store",
+    )
+    convert.add_argument("src", help="saved pipeline (.npz or directory)")
+    convert.add_argument(
+        "dest",
+        help="destination: *.npz writes a compressed archive, anything "
+             "else writes a zero-copy directory store",
     )
 
     trace = commands.add_parser(
@@ -236,6 +272,7 @@ def _cmd_classify(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.parallel.pool import cpu_worker_default
     from repro.serve.batching import BatchingConfig
     from repro.serve.httpd import ClassificationService, serve
     from repro.serve.registry import ModelRegistry
@@ -243,18 +280,24 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     registry = ModelRegistry()
     for spec in args.model:
         registry.register(spec)
+    workers = args.workers if args.workers is not None else cpu_worker_default()
     service = ClassificationService(
         registry,
         batching=BatchingConfig(
             max_batch_size=args.max_batch_size,
             max_delay=args.max_delay_ms / 1000.0,
-            workers=args.workers,
+            workers=workers,
         ),
         cache_capacity=args.cache_size,
+        procs=args.procs,
+    )
+    backend = (
+        f"{args.procs} processes" if args.procs is not None
+        else f"{workers} workers"
     )
     print(
         f"serving {', '.join(registry.names())} on "
-        f"http://{args.host}:{args.port} ({args.workers} workers)",
+        f"http://{args.host}:{args.port} ({backend})",
         file=sys.stderr,
     )
     if args.trace_out:
@@ -280,23 +323,47 @@ def _write_trace_file(tracer, path: str) -> None:
 def _cmd_batch(args: argparse.Namespace) -> int:
     from repro.serve.bulk import run_bulk
 
-    def _run() -> list[dict]:
+    def _run(trace_dir: str | None = None) -> list[dict]:
         return run_bulk(
             args.model,
             args.inputs,
             workers=args.workers,
+            procs=args.procs,
             out=args.out,
             cache_capacity=args.cache_size,
+            ordered=not args.unordered,
+            trace_dir=trace_dir,
         )
 
-    if args.trace_out:
-        from repro import obs
+    try:
+        if args.trace_out:
+            from repro import obs
 
-        with obs.tracing() as tracer:
+            if args.procs is not None:
+                # Worker processes flush their spans to per-pid files;
+                # merge them with the parent's spans into one timeline.
+                import tempfile
+
+                from repro.parallel.traces import merge_traces
+
+                with tempfile.TemporaryDirectory() as trace_dir:
+                    with obs.tracing() as tracer:
+                        records = _run(trace_dir)
+                    spans = merge_traces(tracer.spans(), trace_dir)
+                obs.write_trace(spans, args.trace_out)
+                print(
+                    f"wrote {len(spans)} spans to {args.trace_out}",
+                    file=sys.stderr,
+                )
+            else:
+                with obs.tracing() as tracer:
+                    records = _run()
+                _write_trace_file(tracer, args.trace_out)
+        else:
             records = _run()
-        _write_trace_file(tracer, args.trace_out)
-    else:
-        records = _run()
+    except KeyboardInterrupt:
+        print("repro batch: interrupted", file=sys.stderr)
+        return 130
     errors = sum(1 for r in records if "error" in r)
     destination = f" -> {args.out}" if args.out else ""
     print(
@@ -305,6 +372,20 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         file=sys.stderr,
     )
     return 1 if errors else 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from repro.core.persistence import save_pipeline_dir
+
+    pipeline = load_pipeline(args.src)
+    if args.dest.endswith(".npz"):
+        written = save_pipeline(pipeline, args.dest)
+        kind = "npz archive"
+    else:
+        written = save_pipeline_dir(pipeline, args.dest)
+        kind = "directory store"
+    print(f"converted {args.src} -> {written} ({kind})")
+    return 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -424,6 +505,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args)
     if args.command == "batch":
         return _cmd_batch(args)
+    if args.command == "convert":
+        return _cmd_convert(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "corpus":

@@ -147,47 +147,82 @@ def _nonzero(vec: np.ndarray) -> bool:
     return bool(np.linalg.norm(vec) > _EPS)
 
 
-def estimate_centroids(
+@dataclass
+class CentroidSamples:
+    """The per-table observations :func:`estimate_centroids` pools.
+
+    This is the *map* half of centroid estimation: plain picklable lists
+    and dicts, so shards of the bootstrap corpus can be collected in
+    worker processes and merged in the parent
+    (:func:`merge_centroid_samples`) before :func:`finalize_centroids`
+    turns the pool into a :class:`CentroidSet`.  Merging preserves shard
+    order, so ``merge(collect(shard) for shard in split(corpus))``
+    equals ``collect(corpus)`` exactly for any shard count.
+    """
+
+    mde_samples: list[float] = field(default_factory=list)
+    de_samples: list[float] = field(default_factory=list)
+    mde_de_samples: list[float] = field(default_factory=list)
+    meta_vectors: list[np.ndarray] = field(default_factory=list)
+    data_vectors: list[np.ndarray] = field(default_factory=list)
+    # per level depth: list of delta-to-previous-meta / delta-to-data
+    prev_deltas: dict[int, list[float]] = field(default_factory=dict)
+    data_deltas: dict[int, list[float]] = field(default_factory=dict)
+    # per level depth: number of tables exhibiting that depth
+    level_tables: dict[int, int] = field(default_factory=dict)
+    n_tables: int = 0
+
+
+def merge_centroid_samples(
+    parts: Iterable[CentroidSamples],
+) -> CentroidSamples:
+    """Reduce shard sample pools into one, preserving shard order."""
+    merged = CentroidSamples()
+    for part in parts:
+        merged.mde_samples.extend(part.mde_samples)
+        merged.de_samples.extend(part.de_samples)
+        merged.mde_de_samples.extend(part.mde_de_samples)
+        merged.meta_vectors.extend(part.meta_vectors)
+        merged.data_vectors.extend(part.data_vectors)
+        for depth, values in part.prev_deltas.items():
+            merged.prev_deltas.setdefault(depth, []).extend(values)
+        for depth, values in part.data_deltas.items():
+            merged.data_deltas.setdefault(depth, []).extend(values)
+        for depth, count in part.level_tables.items():
+            merged.level_tables[depth] = merged.level_tables.get(depth, 0) + count
+        merged.n_tables += part.n_tables
+    return merged
+
+
+def collect_centroid_samples(
     embedder: TermEmbedder,
     labeled: Iterable[BootstrapLabels],
     *,
     axis: str = "rows",
     aggregation: AggregationConfig = DEFAULT_AGGREGATION,
-    trim: float = 0.05,
     max_levels: int = 5,
     max_data_levels_per_table: int = 20,
     transform: Callable[[np.ndarray], np.ndarray] | None = None,
-    min_range_width: float = 10.0,
-    seed: int = 0,
-) -> CentroidSet:
-    """Estimate a :class:`CentroidSet` from bootstrap-labeled tables.
+) -> CentroidSamples:
+    """Collect per-table angle samples and level vectors (the map phase).
 
-    ``axis`` selects rows (HMD) or columns (VMD).  Angle samples are
-    collected *within* each table (the definitions compare levels of a
-    table), then pooled across the corpus and trimmed into ranges.
-    ``max_data_levels_per_table`` caps the quadratic data-data pair count
-    on tall tables.  ``transform`` (e.g. a fitted contrastive projection)
-    is applied to every aggregated vector before angles are measured, so
-    the ranges live in the same space the classifier will use.  ``seed``
-    (normally the pipeline's configured seed) drives the cross-table
-    pair sampling below; it must never be derived from the data, or the
-    sampled ranges silently change whenever the corpus grows.
+    Iteration order over ``labeled`` is the only order dependency, so
+    sharding the corpus into contiguous chunks and merging the chunk
+    results reproduces the serial pool bit-for-bit.
     """
     if axis not in ("rows", "cols"):
         raise ValueError("axis must be 'rows' or 'cols'")
 
-    mde_samples: list[float] = []
-    de_samples: list[float] = []
-    mde_de_samples: list[float] = []
-    meta_vectors: list[np.ndarray] = []
-    data_vectors: list[np.ndarray] = []
-    # per level depth: list of delta-to-previous-meta, delta-to-data
-    prev_deltas: dict[int, list[float]] = {}
-    data_deltas: dict[int, list[float]] = {}
-    level_tables: dict[int, set[int]] = {}
-    n_tables = 0
+    samples = CentroidSamples()
+    mde_samples = samples.mde_samples
+    de_samples = samples.de_samples
+    mde_de_samples = samples.mde_de_samples
+    meta_vectors = samples.meta_vectors
+    data_vectors = samples.data_vectors
+    prev_deltas = samples.prev_deltas
+    data_deltas = samples.data_deltas
 
-    for table_index, item in enumerate(labeled):
+    for item in labeled:
         table = item.table
         if axis == "rows":
             meta_idx = list(item.metadata_row_indices)
@@ -200,7 +235,7 @@ def estimate_centroids(
 
         if not meta_idx and not data_idx:
             continue
-        n_tables += 1
+        samples.n_tables += 1
         meta_idx = meta_idx[:max_levels]
         data_idx = data_idx[:max_data_levels_per_table]
 
@@ -241,7 +276,7 @@ def estimate_centroids(
         first_data = data_vecs[len(data_vecs) // 2] if data_vecs else None
         for depth0, mv in enumerate(meta_vecs):
             depth = depth0 + 1
-            level_tables.setdefault(depth, set()).add(table_index)
+            samples.level_tables[depth] = samples.level_tables.get(depth, 0) + 1
             if depth0 > 0:
                 prev_deltas.setdefault(depth, []).append(
                     angle_between(meta_vecs[depth0 - 1], mv)
@@ -251,12 +286,39 @@ def estimate_centroids(
                     angle_between(mv, first_data)
                 )
 
+    return samples
+
+
+def finalize_centroids(
+    samples: CentroidSamples,
+    *,
+    fallback_dim: int,
+    trim: float = 0.05,
+    min_range_width: float = 10.0,
+    seed: int = 0,
+) -> CentroidSet:
+    """Turn a pooled :class:`CentroidSamples` into a :class:`CentroidSet`.
+
+    This is the reduce phase: reference purification, the cross-table
+    pair-sampling fallbacks (single RNG stream seeded from ``seed`` —
+    deliberately run in the parent so the draw sequence is independent of
+    how the corpus was sharded), range trimming, and level statistics.
+    """
+    mde_samples = list(samples.mde_samples)
+    de_samples = list(samples.de_samples)
+    mde_de_samples = samples.mde_de_samples
+    meta_vectors = samples.meta_vectors
+    data_vectors = samples.data_vectors
+    prev_deltas = samples.prev_deltas
+    data_deltas = samples.data_deltas
+    n_tables = samples.n_tables
+
     if meta_vectors:
         ref_dim = meta_vectors[0].shape[0]
     elif data_vectors:
         ref_dim = data_vectors[0].shape[0]
     else:
-        ref_dim = embedder.dim
+        ref_dim = fallback_dim
     meta_ref, data_ref = _purified_refs(meta_vectors, data_vectors, ref_dim)
 
     # First-level bootstrap corpora (SAUS/CIUS) mark a single metadata
@@ -311,7 +373,8 @@ def estimate_centroids(
         return estimated
 
     level_stats = []
-    for depth in sorted(set(prev_deltas) | set(data_deltas) | set(level_tables)):
+    depths = set(prev_deltas) | set(data_deltas) | set(samples.level_tables)
+    for depth in sorted(depths):
         prev_list = prev_deltas.get(depth, [])
         data_list = data_deltas.get(depth, [])
         level_stats.append(
@@ -319,7 +382,7 @@ def estimate_centroids(
                 level=depth,
                 delta_prev_meta=float(np.mean(prev_list)) if prev_list else None,
                 delta_to_data=float(np.mean(data_list)) if data_list else None,
-                n_tables=len(level_tables.get(depth, set())),
+                n_tables=samples.level_tables.get(depth, 0),
             )
         )
 
@@ -337,4 +400,53 @@ def estimate_centroids(
         data_ref=data_ref,
         level_stats=tuple(level_stats),
         n_tables=n_tables,
+    )
+
+
+def estimate_centroids(
+    embedder: TermEmbedder,
+    labeled: Iterable[BootstrapLabels],
+    *,
+    axis: str = "rows",
+    aggregation: AggregationConfig = DEFAULT_AGGREGATION,
+    trim: float = 0.05,
+    max_levels: int = 5,
+    max_data_levels_per_table: int = 20,
+    transform: Callable[[np.ndarray], np.ndarray] | None = None,
+    min_range_width: float = 10.0,
+    seed: int = 0,
+) -> CentroidSet:
+    """Estimate a :class:`CentroidSet` from bootstrap-labeled tables.
+
+    ``axis`` selects rows (HMD) or columns (VMD).  Angle samples are
+    collected *within* each table (the definitions compare levels of a
+    table), then pooled across the corpus and trimmed into ranges.
+    ``max_data_levels_per_table`` caps the quadratic data-data pair count
+    on tall tables.  ``transform`` (e.g. a fitted contrastive projection)
+    is applied to every aggregated vector before angles are measured, so
+    the ranges live in the same space the classifier will use.  ``seed``
+    (normally the pipeline's configured seed) drives the cross-table
+    pair sampling in :func:`finalize_centroids`; it must never be
+    derived from the data, or the sampled ranges silently change
+    whenever the corpus grows.
+
+    Implemented as collect + finalize; ``repro.parallel`` runs the
+    collect phase sharded over worker processes and merges, which yields
+    the identical result for any worker count.
+    """
+    samples = collect_centroid_samples(
+        embedder,
+        labeled,
+        axis=axis,
+        aggregation=aggregation,
+        max_levels=max_levels,
+        max_data_levels_per_table=max_data_levels_per_table,
+        transform=transform,
+    )
+    return finalize_centroids(
+        samples,
+        fallback_dim=embedder.dim,
+        trim=trim,
+        min_range_width=min_range_width,
+        seed=seed,
     )

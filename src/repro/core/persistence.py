@@ -1,11 +1,21 @@
 """Save and load fitted pipelines.
 
 Training takes minutes; classification takes milliseconds — a production
-deployment fits once and serves many times.  This module serializes a
-fitted :class:`~repro.core.pipeline.MetadataPipeline` (embedding model,
-centroid sets, contrastive projection, config) to a single ``.npz``
-archive with no pickling: arrays go in as arrays, structured state as a
-JSON string, so archives are portable and safe to load.
+deployment fits once and serves many times.  Two on-disk formats share
+one payload layout (named arrays + a JSON state record), and neither
+ever pickles:
+
+* ``.npz`` archive (:func:`save_pipeline`) — a single compressed file,
+  the portable interchange format;
+* directory store (:func:`save_pipeline_dir`) — ``state.json`` plus one
+  raw ``.npy`` file per array.  Raw arrays need no decompression and can
+  be opened with ``np.load(..., mmap_mode="r")``, so a pool of worker
+  processes shares one physical copy of the embedding and projection
+  matrices through the OS page cache instead of each inflating its own.
+
+:func:`load_pipeline` auto-detects both (a directory is a directory
+store; a file is an ``.npz`` archive), and ``repro convert`` translates
+between them.
 
 Supported embedding backends: ``word2vec``, ``ppmi``, ``contextual``,
 ``hashed``.
@@ -16,6 +26,7 @@ from __future__ import annotations
 import json
 from collections import Counter
 from pathlib import Path
+from typing import Mapping
 
 import numpy as np
 
@@ -196,9 +207,8 @@ def _load_embedding(state: dict, data: np.lib.npyio.NpzFile):
 # public API
 # ---------------------------------------------------------------------------
 
-def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
-    """Serialize a fitted pipeline to ``path`` (``.npz`` appended if
-    missing).  Returns the written path."""
+def _pipeline_payload(pipeline: MetadataPipeline) -> tuple[dict, dict]:
+    """``(arrays, state)`` — the format-independent payload of a pipeline."""
     if not pipeline.is_fitted:
         raise PersistenceError("cannot save an unfitted pipeline")
     # Explicit (not asserts): these hold for any pipeline that went
@@ -219,10 +229,6 @@ def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
         raise PersistenceError(
             f"pipeline is missing {', '.join(missing)}; cannot save it"
         )
-
-    path = Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(path.suffix + ".npz")
 
     arrays: dict = {
         "row_meta_ref": pipeline.row_centroids.meta_ref,
@@ -257,50 +263,38 @@ def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
     state["has_centering"] = centering is not None
 
     _save_embedding(pipeline.embedder.model, arrays, state)
-
-    np.savez_compressed(
-        path, __state__=np.frombuffer(json.dumps(state).encode(), dtype=np.uint8),
-        **arrays,
-    )
-    return path
+    return arrays, state
 
 
-def load_pipeline(path: str | Path) -> MetadataPipeline:
-    """Load a pipeline saved by :func:`save_pipeline`.
+def _assemble_pipeline(state: dict, data: Mapping) -> MetadataPipeline:
+    """Rebuild a pipeline from its ``(state, arrays)`` payload.
 
-    The returned pipeline classifies identically to the saved one;
-    ``fit_report`` and the training corpus are not restored.
+    ``data`` is any mapping of array name to array — an open
+    :class:`~numpy.lib.npyio.NpzFile` or a :class:`_DirArrays` view over
+    a directory store.
     """
-    path = Path(path)
-    if not path.exists():
-        raise PersistenceError(f"no such archive: {path}")
-    with np.load(path, allow_pickle=False) as data:
-        try:
-            state = json.loads(bytes(data["__state__"]).decode())
-        except KeyError as exc:
-            raise PersistenceError("archive has no state record") from exc
-        if state.get("format_version") != FORMAT_VERSION:
-            raise PersistenceError(
-                f"unsupported format version {state.get('format_version')!r}"
-            )
-
-        model = _load_embedding(state, data)
-        centering = data["centering"] if state["has_centering"] else None
-        embedder = TermEmbedder(model, centering=centering)
-
-        projection = None
-        if state["has_projection"]:
-            config = ContrastiveConfig(**state["projection_config"])
-            weights = data["projection_weights"]
-            projection = ContrastiveProjection(weights.shape[1], config)
-            projection.weights = weights
-
-        row_centroids = _centroids_from_obj(
-            state["row_centroids"], data["row_meta_ref"], data["row_data_ref"]
+    if state.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported format version {state.get('format_version')!r}"
         )
-        col_centroids = _centroids_from_obj(
-            state["col_centroids"], data["col_meta_ref"], data["col_data_ref"]
-        )
+
+    model = _load_embedding(state, data)
+    centering = data["centering"] if state["has_centering"] else None
+    embedder = TermEmbedder(model, centering=centering)
+
+    projection = None
+    if state["has_projection"]:
+        config = ContrastiveConfig(**state["projection_config"])
+        weights = data["projection_weights"]
+        projection = ContrastiveProjection(weights.shape[1], config)
+        projection.weights = weights
+
+    row_centroids = _centroids_from_obj(
+        state["row_centroids"], data["row_meta_ref"], data["row_data_ref"]
+    )
+    col_centroids = _centroids_from_obj(
+        state["col_centroids"], data["col_meta_ref"], data["col_data_ref"]
+    )
 
     aggregation = AggregationConfig(**state["aggregation"])
     classifier_config = ClassifierConfig(
@@ -320,3 +314,126 @@ def load_pipeline(path: str | Path) -> MetadataPipeline:
         config=classifier_config,
     )
     return pipeline
+
+
+def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
+    """Serialize a fitted pipeline to ``path`` (``.npz`` appended if
+    missing).  Returns the written path."""
+    arrays, state = _pipeline_payload(pipeline)
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    np.savez_compressed(
+        path, __state__=np.frombuffer(json.dumps(state).encode(), dtype=np.uint8),
+        **arrays,
+    )
+    return path
+
+
+#: Name of the JSON state record inside a directory store.
+STATE_FILE = "state.json"
+
+
+class _DirArrays:
+    """Lazy array mapping over a directory store.
+
+    Each lookup opens the named ``.npy`` file; with ``mmap`` the result
+    is an ``np.memmap`` backed by the OS page cache, so N worker
+    processes opening the same model share one physical copy of every
+    matrix.
+    """
+
+    def __init__(self, root: Path, *, mmap: bool) -> None:
+        self._root = root
+        self._mode = "r" if mmap else None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        file = self._root / f"{name}.npy"
+        if not file.is_file():
+            raise PersistenceError(
+                f"directory store {self._root} is missing array {name!r} "
+                "(partial or corrupted save?)"
+            )
+        try:
+            return np.load(file, mmap_mode=self._mode, allow_pickle=False)
+        except ValueError as exc:
+            raise PersistenceError(f"cannot read array {file}: {exc}") from exc
+
+
+def is_pipeline_dir(path: str | Path) -> bool:
+    """True when ``path`` looks like a directory store."""
+    return (Path(path) / STATE_FILE).is_file()
+
+
+def save_pipeline_dir(pipeline: MetadataPipeline, path: str | Path) -> Path:
+    """Serialize a fitted pipeline as an uncompressed directory store.
+
+    Layout: ``<path>/state.json`` plus one raw ``<name>.npy`` per array.
+    Raw ``.npy`` files load without decompression and support
+    ``mmap_mode="r"`` — the format :class:`repro.parallel.ShardedPool`
+    workers open so the model costs one page-cached copy per machine,
+    not one inflated copy per process.  Returns the directory path.
+    """
+    arrays, state = _pipeline_payload(pipeline)
+    path = Path(path)
+    if path.exists() and not path.is_dir():
+        raise PersistenceError(
+            f"{path} exists and is not a directory; refusing to overwrite"
+        )
+    path.mkdir(parents=True, exist_ok=True)
+    for name, array in arrays.items():
+        np.save(path / f"{name}.npy", np.ascontiguousarray(array))
+    state["arrays"] = sorted(arrays)
+    # state.json lands last: a crashed save leaves a directory without a
+    # state record, which load_pipeline_dir rejects outright instead of
+    # serving half a model.
+    (path / STATE_FILE).write_text(json.dumps(state, indent=1))
+    return path
+
+
+def load_pipeline_dir(
+    path: str | Path, *, mmap: bool = True
+) -> MetadataPipeline:
+    """Load a directory store written by :func:`save_pipeline_dir`.
+
+    With ``mmap`` (the default) every array is an ``np.memmap`` view —
+    nothing is copied at load time, making cold loads cheap and letting
+    concurrent processes share pages.  Pass ``mmap=False`` to read the
+    arrays into process-private memory instead.
+    """
+    path = Path(path)
+    state_file = path / STATE_FILE
+    if not path.is_dir():
+        raise PersistenceError(f"no such model directory: {path}")
+    if not state_file.is_file():
+        raise PersistenceError(
+            f"{path} has no {STATE_FILE}; not a pipeline directory store "
+            "(or the save was interrupted)"
+        )
+    try:
+        state = json.loads(state_file.read_text())
+    except ValueError as exc:
+        raise PersistenceError(f"malformed {state_file}: {exc}") from exc
+    return _assemble_pipeline(state, _DirArrays(path, mmap=mmap))
+
+
+def load_pipeline(path: str | Path, *, mmap: bool = True) -> MetadataPipeline:
+    """Load a pipeline saved by :func:`save_pipeline` or
+    :func:`save_pipeline_dir` (auto-detected by path type).
+
+    ``mmap`` applies to directory stores only; ``.npz`` archives are
+    compressed and always decompress into memory.  The returned pipeline
+    classifies identically to the saved one; ``fit_report`` and the
+    training corpus are not restored.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return load_pipeline_dir(path, mmap=mmap)
+    if not path.exists():
+        raise PersistenceError(f"no such archive: {path}")
+    with np.load(path, allow_pickle=False) as data:
+        try:
+            state = json.loads(bytes(data["__state__"]).decode())
+        except KeyError as exc:
+            raise PersistenceError("archive has no state record") from exc
+        return _assemble_pipeline(state, data)

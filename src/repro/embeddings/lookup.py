@@ -102,6 +102,27 @@ class TermEmbedder:
         return self.model.dim
 
     # ------------------------------------------------------------------
+    # pickling (repro.parallel ships embedders to worker processes)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Pickle without the lock and cache.
+
+        The token LRU is pure memoization, so a worker process starting
+        cold is correct (just briefly slower); the lock is rebuilt in
+        :meth:`__setstate__`.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = OrderedDict()
+        state["_hits"] = 0
+        state["_misses"] = 0
+        del state["_cache_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cache_lock = threading.Lock()
+
+    # ------------------------------------------------------------------
     # single token
     # ------------------------------------------------------------------
     def vector(self, token: str) -> np.ndarray:

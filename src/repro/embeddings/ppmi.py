@@ -22,13 +22,41 @@ from typing import Iterable, Sequence
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse.linalg import svds
 
 from repro.embeddings.vocab import Vocabulary
 from repro.text import TokenKind, classify_token
 
 NUM_BUCKET = "<NUM>"
 PCT_BUCKET = "<PCT>"
+
+#: Vocabularies up to this size are factorized with a dense exact SVD.
+_DENSE_SVD_MAX = 1024
+
+
+def _truncated_svd(
+    ppmi: sparse.csr_matrix, k: int, *, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Top-``k`` left singular vectors and values, deterministically.
+
+    ARPACK (``scipy.sparse.linalg.svds``) is *not* reproducible even
+    with a fixed ``v0``: its restart residuals come from an internal
+    Fortran RNG whose state persists across calls within a process, so
+    the second fit in a process can differ from the first.  Small
+    matrices take an exact dense SVD instead (also faster there); large
+    ones take seeded randomized subspace iteration, whose only
+    randomness is the locally-seeded Gaussian sketch.
+    """
+    n = min(ppmi.shape)
+    if n <= _DENSE_SVD_MAX:
+        u, s, _ = np.linalg.svd(ppmi.toarray(), full_matrices=False)
+        return u[:, :k], s[:k]
+    rng = np.random.default_rng(seed)
+    sketch = ppmi @ rng.standard_normal((ppmi.shape[1], k + 10))
+    for _ in range(4):  # power iterations sharpen the top spectrum
+        sketch, _ = np.linalg.qr(ppmi @ (ppmi.T @ sketch))
+    q, _ = np.linalg.qr(sketch)
+    u_small, s, _ = np.linalg.svd(q.T @ ppmi, full_matrices=False)
+    return (q @ u_small)[:, :k], s[:k]
 
 
 @dataclass(frozen=True)
@@ -73,20 +101,26 @@ class PpmiSvdEmbedding:
             return NUM_BUCKET
         return token
 
-    def fit(self, sentences: Iterable[Sequence[str]]) -> "PpmiSvdEmbedding":
-        corpus = [[self._bucket(t) for t in s] for s in sentences]
-        self.vocab = Vocabulary.from_sentences(
-            corpus, min_count=self.config.min_count
-        )
-        n = len(self.vocab)
-        if n == 0:
-            return self
-        encoded = [self.vocab.encode(s) for s in corpus]
+    def bucket_sentences(
+        self, sentences: Iterable[Sequence[str]]
+    ) -> list[list[str]]:
+        """Apply number bucketing to a corpus (the pre-count transform)."""
+        return [[self._bucket(t) for t in s] for s in sentences]
 
-        # Symmetric windowed co-occurrence counts.
+    @staticmethod
+    def count_cooccurrence(
+        encoded: Sequence[Sequence[int]], window: int, n: int
+    ) -> sparse.csr_matrix:
+        """One-directional windowed co-occurrence counts as an ``n x n`` CSR.
+
+        Counting is additive over sentences, so partial matrices from
+        disjoint sentence shards sum to the full-corpus matrix exactly
+        (integer counts in float64) — the property ``repro.parallel``
+        exploits to map-reduce this, the most expensive pure-Python loop
+        of the PPMI fit, across worker processes.
+        """
         rows: list[int] = []
         cols: list[int] = []
-        window = self.config.window
         for sentence in encoded:
             length = len(sentence)
             for pos, center in enumerate(sentence):
@@ -94,13 +128,39 @@ class PpmiSvdEmbedding:
                 for ctx_pos in range(pos + 1, hi):
                     rows.append(center)
                     cols.append(sentence[ctx_pos])
-        if not rows:
+        data = np.ones(len(rows), dtype=np.float64)
+        return sparse.coo_matrix(
+            (data, (np.asarray(rows, dtype=np.int64),
+                    np.asarray(cols, dtype=np.int64))),
+            shape=(n, n),
+        ).tocsr()
+
+    def fit(self, sentences: Iterable[Sequence[str]]) -> "PpmiSvdEmbedding":
+        corpus = self.bucket_sentences(sentences)
+        vocab = Vocabulary.from_sentences(
+            corpus, min_count=self.config.min_count
+        )
+        n = len(vocab)
+        if n == 0:
+            self.vocab = vocab
+            return self
+        encoded = [vocab.encode(s) for s in corpus]
+        counts = self.count_cooccurrence(encoded, self.config.window, n)
+        return self.fit_from_counts(vocab, counts)
+
+    def fit_from_counts(
+        self, vocab: Vocabulary, counts: sparse.csr_matrix
+    ) -> "PpmiSvdEmbedding":
+        """The reduce phase: PPMI weighting + truncated SVD over pooled
+        one-directional co-occurrence counts (as produced by
+        :meth:`count_cooccurrence`, possibly summed across shards)."""
+        self.vocab = vocab
+        n = len(vocab)
+        if n == 0:
+            return self
+        if counts.nnz == 0:
             self._vectors = np.zeros((n, self.config.dim))
             return self
-        data = np.ones(len(rows), dtype=np.float64)
-        counts = sparse.coo_matrix(
-            (data, (np.asarray(rows), np.asarray(cols))), shape=(n, n)
-        ).tocsr()
         counts = counts + counts.T  # symmetrize
 
         # Shifted PPMI: max(0, log(p(w,c) / (p(w) p(c))) - log k).
@@ -121,12 +181,7 @@ class PpmiSvdEmbedding:
         if k < 1 or ppmi.nnz == 0:
             self._vectors = np.zeros((n, self.config.dim))
             return self
-        # svds needs a deterministic start vector for reproducibility.
-        rng = np.random.default_rng(self.config.seed)
-        v0 = rng.normal(size=min(ppmi.shape))
-        u, s, _ = svds(ppmi.astype(np.float64), k=k, v0=v0)
-        order = np.argsort(-s)
-        u, s = u[:, order], s[order]
+        u, s = _truncated_svd(ppmi, k, seed=self.config.seed)
         weighted = u * (s ** self.config.eigenvalue_weighting)
         vectors = np.zeros((n, self.config.dim))
         vectors[:, :k] = weighted

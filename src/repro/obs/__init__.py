@@ -29,6 +29,7 @@ trace in Perfetto.
 from repro.obs.exporters import (
     chrome_trace,
     chrome_trace_events,
+    span_from_dict,
     span_to_dict,
     top_spans_report,
     write_chrome_trace,
@@ -63,6 +64,7 @@ __all__ = [
     "new_trace_id",
     "set_tracer",
     "span",
+    "span_from_dict",
     "span_to_dict",
     "top_spans_report",
     "tracing",

@@ -48,6 +48,33 @@ def span_to_dict(span: Span) -> dict[str, object]:
     return record
 
 
+def span_from_dict(record: Mapping[str, object]) -> Span:
+    """Rebuild a :class:`Span` from its :func:`span_to_dict` document.
+
+    The inverse used when merging per-process trace files
+    (``repro.parallel.traces``): unknown keys are ignored, so records
+    carrying extra fields (e.g. a worker ``pid``) parse unchanged.
+    """
+    return Span(
+        name=str(record["name"]),
+        trace_id=str(record["trace_id"]),
+        span_id=int(record["span_id"]),  # type: ignore[arg-type]
+        parent_id=(
+            int(record["parent_id"])  # type: ignore[arg-type]
+            if record.get("parent_id") is not None
+            else None
+        ),
+        start=float(record["start"]),  # type: ignore[arg-type]
+        end=float(record["end"]),  # type: ignore[arg-type]
+        attributes=dict(record.get("attributes") or {}),  # type: ignore[call-overload]
+        thread_id=int(record.get("thread_id") or 0),  # type: ignore[arg-type]
+        thread_name=str(record.get("thread_name") or ""),
+        error=(
+            str(record["error"]) if record.get("error") is not None else None
+        ),
+    )
+
+
 def write_jsonl(spans: Sequence[Span], out: str | Path | IO[str]) -> int:
     """Write one JSON document per span; returns the span count."""
     if hasattr(out, "write"):

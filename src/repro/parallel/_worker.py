@@ -1,0 +1,278 @@
+"""Worker-process entry points for ``repro.parallel``.
+
+Every function here is a top-level callable — the spawn start method
+pickles tasks by reference, so nothing in this module may be a closure
+or a bound method.  Two families live here:
+
+* **pool workers** (:func:`init_classify_worker` + the ``*_chunk``
+  functions): per-process state is module-global — the initializer loads
+  every model once (memory-mapped for directory stores, so N workers
+  share one page-cached copy of the matrices) and optionally installs a
+  recording tracer whose spans are flushed to a per-pid JSONL file after
+  every chunk;
+* **fit workers** (stateless ``fit_*`` functions): map-phase payloads
+  for the parallel fit — tokenization, PPMI co-occurrence counting,
+  bootstrap labeling, and centroid sample collection — each a pure
+  function of its pickled arguments, merged order-preservingly in the
+  parent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro import obs
+from repro.core.pipeline import MetadataPipeline
+
+# Per-process pool-worker state, assigned once by init_classify_worker.
+_MODELS: dict[str, MetadataPipeline] = {}
+_DEFAULT_MODEL = ""
+_TRACE_DIR: str | None = None
+_CACHE: Any = None
+
+
+def init_classify_worker(
+    specs: Mapping[str, str],
+    default: str,
+    trace_dir: str | None,
+    mmap: bool,
+    cache_capacity: int,
+) -> None:
+    """Pool initializer: load every model once, arm tracing if asked.
+
+    Directory stores load with ``mmap_mode="r"`` so the embedding and
+    centroid matrices are OS-page-cache-backed views shared across all
+    workers; ``.npz`` archives decompress into process-private memory.
+    """
+    global _DEFAULT_MODEL, _TRACE_DIR, _CACHE
+    from repro.core.persistence import load_pipeline
+    from repro.serve.cache import LRUCache
+
+    for name, path in specs.items():
+        _MODELS[name] = load_pipeline(path, mmap=mmap)
+    _DEFAULT_MODEL = default
+    _TRACE_DIR = trace_dir
+    _CACHE = LRUCache(cache_capacity) if cache_capacity else None
+    if trace_dir is not None:
+        obs.set_tracer(obs.Tracer())
+
+
+def _flush_spans() -> None:
+    """Append this process's finished spans to its per-pid trace file."""
+    tracer = obs.get_tracer()
+    if _TRACE_DIR is None or not tracer.enabled:
+        return
+    spans = tracer.spans()  # type: ignore[attr-defined]
+    tracer.clear()  # type: ignore[attr-defined]
+    if not spans:
+        return
+    pid = os.getpid()
+    path = Path(_TRACE_DIR) / f"trace-{pid}.jsonl"
+    with path.open("a") as handle:
+        for span in spans:
+            record = {"pid": pid, **obs.span_to_dict(span)}
+            handle.write(json.dumps(record) + "\n")
+
+
+class _StageTotals:
+    """Accumulates ``(stage, seconds)`` hook calls into (sum, count)."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, list[float]] = {}
+
+    def __call__(self, stage: str, seconds: float) -> None:
+        entry = self.totals.setdefault(stage, [0.0, 0])
+        entry[0] += seconds
+        entry[1] += 1
+
+    def as_dict(self) -> dict[str, tuple[float, int]]:
+        return {k: (v[0], int(v[1])) for k, v in self.totals.items()}
+
+
+def _resolve(model: str) -> tuple[str, MetadataPipeline]:
+    name = model or _DEFAULT_MODEL
+    try:
+        return name, _MODELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; worker loaded: {sorted(_MODELS)}"
+        ) from None
+
+
+def classify_paths_chunk(model: str, paths: Sequence[str]) -> dict:
+    """Classify one shard of table files (the ``repro batch`` hot path).
+
+    Per-item error isolation mirrors the thread path: a bad file yields
+    one ``{"error": ...}`` record, never a failed chunk.  Returns the
+    records plus this chunk's per-stage timing totals so the parent can
+    aggregate :class:`~repro.serve.metrics.ServiceMetrics` across
+    workers.
+    """
+    from repro.serve.bulk import classify_cached, result_record, table_from_path
+
+    resolved, pipeline = _resolve(model)
+    stages = _StageTotals()
+    pipeline.add_stage_hook(stages)
+    records: list[dict] = []
+    try:
+        for path in paths:
+            start = time.perf_counter()
+            with obs.span("table", source=str(path), pid=os.getpid()) as span:
+                try:
+                    with obs.span("parse"):
+                        table = table_from_path(path)
+                    annotation, hit = classify_cached(
+                        pipeline, table, _CACHE, model=resolved
+                    )
+                except Exception as exc:  # noqa: BLE001 - per-file isolation
+                    records.append({"source": str(path), "error": str(exc)})
+                    continue
+                span.set(table=table.name, cached=hit)
+            records.append(
+                result_record(
+                    table, annotation, model=resolved, cached=hit,
+                    seconds=time.perf_counter() - start, source=str(path),
+                )
+            )
+    finally:
+        pipeline.remove_stage_hook(stages)
+        _flush_spans()
+    return {"records": records, "stages": stages.as_dict()}
+
+
+def classify_tables_chunk(
+    items: Sequence[tuple[str, Any]],
+) -> dict:
+    """Classify pickled ``(model, table)`` items (serve ``--procs`` mode).
+
+    Each result slot is ``("ok", record)`` or ``("err", message)`` — the
+    parent-side executor translates errors back into per-future
+    exceptions, matching the thread path's isolation contract.
+    """
+    from repro.serve.bulk import classify_cached, result_record
+
+    stages = _StageTotals()
+    results: list[tuple[str, object]] = []
+    hooked: list[MetadataPipeline] = []
+    try:
+        for model, table in items:
+            try:
+                resolved, pipeline = _resolve(model)
+                if pipeline not in hooked:
+                    pipeline.add_stage_hook(stages)
+                    hooked.append(pipeline)
+                with obs.span("serve.item", table=table.name, pid=os.getpid()):
+                    annotation, hit = classify_cached(
+                        pipeline, table, _CACHE, model=resolved
+                    )
+            except Exception as exc:  # noqa: BLE001 - per-item isolation
+                results.append(("err", f"{type(exc).__name__}: {exc}"))
+                continue
+            results.append(
+                ("ok", result_record(table, annotation, model=resolved, cached=hit))
+            )
+    finally:
+        for pipeline in hooked:
+            pipeline.remove_stage_hook(stages)
+        _flush_spans()
+    return {"results": results, "stages": stages.as_dict()}
+
+
+def probe_models() -> dict:
+    """Report how this worker's model arrays are backed (tests, debug)."""
+    import numpy as np
+
+    out: dict[str, object] = {"pid": os.getpid()}
+    for name, pipeline in _MODELS.items():
+        if pipeline.row_centroids is None:
+            continue  # unfitted pipelines never reach a worker
+        out[name] = {
+            "meta_ref_memmap": isinstance(
+                pipeline.row_centroids.meta_ref, np.memmap
+            ),
+            "data_ref_memmap": isinstance(
+                pipeline.row_centroids.data_ref, np.memmap
+            ),
+        }
+    return out
+
+
+def crash_worker() -> None:  # pragma: no cover - exercised via subprocess
+    """Kill this worker abruptly (tests of BrokenProcessPool handling)."""
+    os._exit(13)
+
+
+# ---------------------------------------------------------------------------
+# parallel-fit map phases (stateless: pure functions of their payloads)
+# ---------------------------------------------------------------------------
+
+def fit_sentences_chunk(tables: Sequence[Any]) -> list[list[str]]:
+    """Tokenize one shard of tables into training sentences."""
+    from repro.embeddings.sentences import sentences_from_tables
+
+    return list(sentences_from_tables(tables))
+
+
+def fit_ppmi_tokenize_chunk(
+    tables: Sequence[Any], config: Any
+) -> tuple[list[list[str]], Counter]:
+    """Tokenize + number-bucket one shard; also count tokens for the vocab."""
+    from repro.embeddings.ppmi import PpmiSvdEmbedding
+    from repro.embeddings.sentences import sentences_from_tables
+
+    model = PpmiSvdEmbedding(config)
+    bucketed = model.bucket_sentences(sentences_from_tables(tables))
+    counts: Counter = Counter()
+    for sentence in bucketed:
+        counts.update(sentence)
+    return bucketed, counts
+
+
+def fit_ppmi_count_chunk(
+    bucketed: Sequence[Sequence[str]], vocab: Any, window: int
+) -> Any:
+    """Windowed co-occurrence counts for one shard (partial CSR matrix)."""
+    from repro.embeddings.ppmi import PpmiSvdEmbedding
+
+    encoded = [vocab.encode(s) for s in bucketed]
+    return PpmiSvdEmbedding.count_cooccurrence(encoded, window, len(vocab))
+
+
+def fit_bootstrap_chunk(items: Sequence[Any], mode: str) -> list[Any]:
+    """Weak-label one shard of corpus items."""
+    from repro.core.bootstrap import (
+        bootstrap_corpus,
+        bootstrap_first_level,
+    )
+    from repro.tables.model import AnnotatedTable
+
+    if mode == "first_level":
+        return [
+            bootstrap_first_level(
+                item.table if isinstance(item, AnnotatedTable) else item
+            )
+            for item in items
+        ]
+    return bootstrap_corpus(items)
+
+
+def fit_centroid_chunk(
+    embedder: Any,
+    labeled: Sequence[Any],
+    axis: str,
+    aggregation: Any,
+    projection: Any,
+) -> Any:
+    """Collect centroid angle samples for one shard (map phase)."""
+    from repro.core.centroids import collect_centroid_samples
+
+    transform = projection.transform if projection is not None else None
+    return collect_centroid_samples(
+        embedder, labeled, axis=axis, aggregation=aggregation,
+        transform=transform,
+    )

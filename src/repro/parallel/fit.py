@@ -1,0 +1,213 @@
+"""Map-reduce pipeline fitting across worker processes.
+
+:func:`parallel_fit` reproduces :meth:`repro.core.pipeline.
+MetadataPipeline.fit` **bit-for-bit** while fanning the pure-Python
+corpus passes out to worker processes:
+
+* **tokenization** — tables are sharded contiguously; each worker runs
+  the sentence generator over its shard; shard outputs concatenate in
+  shard order, which *is* the serial sentence order;
+* **PPMI co-occurrence counting** — workers count windowed pairs over
+  their sentence shards; the parent sums the partial sparse matrices
+  (exact: integer counts in float64) and runs PPMI + SVD once;
+* **bootstrap labeling** — per-table, so shards merge trivially;
+* **centroid sample collection** — the map half of
+  :func:`repro.core.centroids.estimate_centroids`; the parent merges
+  shard pools in order and runs the finalize phase (including the
+  cross-table pair sampling, a single RNG stream seeded from the
+  pipeline seed — deliberately parent-side so the draw sequence never
+  depends on sharding).
+
+SGD-style training (word2vec, the contrastive projection, the
+contextual encoder) stays in the parent: those updates are inherently
+sequential, and splitting them would change the result.  The
+determinism guarantee is therefore *stronger* than the issue asks for:
+``parallel_fit(config, corpus, procs=k)`` equals serial ``fit`` for
+every ``k``, not merely for a fixed one.  Worker-side randomness, if a
+future stage needs it, must come from
+:func:`repro.parallel.sharding.shard_seed`.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Sequence
+
+from repro.core.centroids import finalize_centroids, merge_centroid_samples
+from repro.core.classifier import ClassifierConfig, MetadataClassifier
+from repro.core.pipeline import FitReport, MetadataPipeline, PipelineConfig
+from repro.embeddings.lookup import TermEmbedder, corpus_mean_vector
+from repro.embeddings.vocab import Vocabulary
+from repro.parallel import _worker
+from repro.parallel.sharding import split_shards
+from repro.tables.model import AnnotatedTable, Table
+
+logger = logging.getLogger("repro.parallel.fit")
+
+
+def parallel_fit(
+    config: PipelineConfig,
+    corpus: Sequence[AnnotatedTable | Table],
+    *,
+    procs: int | None = None,
+) -> MetadataPipeline:
+    """Fit a :class:`MetadataPipeline` with corpus passes on a process pool.
+
+    Returns a pipeline identical to ``MetadataPipeline(config).fit(corpus)``
+    for any ``procs`` value.  ``procs`` defaults to the CPU-aware worker
+    count; ``procs=1`` still exercises the process path (one worker).
+    """
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing import get_context
+
+    from repro.parallel.pool import cpu_worker_default
+
+    if not corpus:
+        raise ValueError("cannot fit on an empty corpus")
+    procs = procs if procs is not None else cpu_worker_default()
+    if procs < 1:
+        raise ValueError("procs must be >= 1")
+
+    pipeline = MetadataPipeline(config)
+    report = FitReport(n_tables=len(corpus))
+    tables = [
+        item.table if isinstance(item, AnnotatedTable) else item
+        for item in corpus
+    ]
+    logger.info(
+        "parallel fit: %d tables on %d procs, embedding=%s",
+        len(corpus), procs, config.embedding,
+    )
+
+    with ProcessPoolExecutor(
+        max_workers=procs, mp_context=get_context("spawn")
+    ) as pool:
+        start = time.perf_counter()
+        pipeline.embedder = _fit_embeddings(pool, config, tables)
+        report.embedding_seconds = time.perf_counter() - start
+        pipeline._emit_stage("fit.embedding", report.embedding_seconds)
+
+        start = time.perf_counter()
+        shards = split_shards(corpus, procs)
+        labeled_parts = _map_ordered(
+            pool, _worker.fit_bootstrap_chunk,
+            [(shard, config.bootstrap) for shard in shards],
+        )
+        labeled = [item for part in labeled_parts for item in part]
+        report.bootstrap_seconds = time.perf_counter() - start
+        pipeline._emit_stage("fit.bootstrap", report.bootstrap_seconds)
+
+        start = time.perf_counter()
+        pipeline.projection = (
+            pipeline._fit_projection(labeled) if config.use_contrastive else None
+        )
+        report.contrastive_seconds = time.perf_counter() - start
+        pipeline._emit_stage("fit.contrastive", report.contrastive_seconds)
+
+        start = time.perf_counter()
+        labeled_shards = split_shards(labeled, procs)
+        for axis, attr in (("rows", "row_centroids"), ("cols", "col_centroids")):
+            parts = _map_ordered(
+                pool, _worker.fit_centroid_chunk,
+                [
+                    (pipeline.embedder, shard, axis, config.aggregation,
+                     pipeline.projection)
+                    for shard in labeled_shards
+                ],
+            )
+            centroids = finalize_centroids(
+                merge_centroid_samples(parts),
+                fallback_dim=pipeline.embedder.dim,
+                trim=config.centroid_trim,
+                seed=config.seed,
+            )
+            setattr(pipeline, attr, centroids)
+        report.centroid_seconds = time.perf_counter() - start
+        pipeline._emit_stage("fit.centroids", report.centroid_seconds)
+
+    classifier_config = config.classifier or ClassifierConfig(
+        aggregation=config.aggregation
+    )
+    pipeline.classifier = MetadataClassifier(
+        pipeline.embedder,
+        pipeline.row_centroids,
+        pipeline.col_centroids,
+        projection=pipeline.projection,
+        config=classifier_config,
+    )
+    pipeline.fit_report = report
+    logger.info(
+        "parallel fit done in %.2fs (embedding %.2fs, bootstrap %.2fs, "
+        "contrastive %.2fs, centroids %.2fs)",
+        report.total_seconds, report.embedding_seconds,
+        report.bootstrap_seconds, report.contrastive_seconds,
+        report.centroid_seconds,
+    )
+    return pipeline
+
+
+def _map_ordered(pool, fn, payloads: Sequence[tuple]) -> list:
+    """Submit one task per payload; results in payload order."""
+    futures = [pool.submit(fn, *payload) for payload in payloads]
+    return [f.result() for f in futures]
+
+
+def _fit_embeddings(pool, config: PipelineConfig, tables: Sequence[Table]):
+    """The parallel twin of ``MetadataPipeline._fit_embeddings``."""
+    from repro.embeddings.contextual import ContextualEncoder
+    from repro.embeddings.hashed import HashedEmbedding
+    from repro.embeddings.ppmi import PpmiSvdEmbedding
+    from repro.embeddings.word2vec import Word2Vec
+
+    backend = config.embedding
+    if backend == "hashed":
+        model = HashedEmbedding(config.hashed_dim, fields=config.hashed_fields)
+        return TermEmbedder(model)
+
+    shards = split_shards(tables, _n_workers(pool))
+    if backend == "ppmi":
+        model = PpmiSvdEmbedding(config.ppmi)
+        # Round 1: tokenize + bucket per shard, counting tokens as we go.
+        parts = _map_ordered(
+            pool, _worker.fit_ppmi_tokenize_chunk,
+            [(shard, config.ppmi) for shard in shards],
+        )
+        merged_counts = sum((counts for _, counts in parts), start=_counter())
+        vocab = Vocabulary(merged_counts, min_count=config.ppmi.min_count)
+        if len(vocab) == 0:
+            model.vocab = vocab
+            return TermEmbedder(model, centering=corpus_mean_vector(model))
+        # Round 2: count co-occurrence per shard; sum the partial CSRs.
+        partials = _map_ordered(
+            pool, _worker.fit_ppmi_count_chunk,
+            [(bucketed, vocab, config.ppmi.window) for bucketed, _ in parts],
+        )
+        total = partials[0]
+        for partial in partials[1:]:
+            total = total + partial
+        model.fit_from_counts(vocab, total)
+        return TermEmbedder(model, centering=corpus_mean_vector(model))
+
+    # word2vec / contextual: tokenization fans out; the sequential SGD
+    # training runs in the parent on the order-preserving merged corpus.
+    parts = _map_ordered(
+        pool, _worker.fit_sentences_chunk, [(shard,) for shard in shards]
+    )
+    sentences = [sentence for part in parts for sentence in part]
+    if backend == "word2vec":
+        model = Word2Vec(config.word2vec)
+    else:
+        model = ContextualEncoder(config.contextual)
+    model.fit(sentences)
+    return TermEmbedder(model, centering=corpus_mean_vector(model))
+
+
+def _counter():
+    from collections import Counter
+
+    return Counter()
+
+
+def _n_workers(pool) -> int:
+    return pool._max_workers

@@ -1,0 +1,264 @@
+"""ShardedPool: a spawn-safe process pool for classification.
+
+The multiprocess counterpart of
+:class:`~repro.serve.batching.BatchingExecutor` — same ``submit`` /
+``map`` / ``shutdown(drain=...)`` surface, but work runs in worker
+*processes*, so pure-Python parsing and tokenization scale past the GIL.
+Each worker's initializer loads the model(s) exactly once; with a
+directory model store (:func:`repro.core.persistence.save_pipeline_dir`)
+the matrices are opened ``mmap_mode="r"`` and shared via the OS page
+cache, so N workers cost one physical copy of the model, not N.
+
+Path-driven bulk work goes through :meth:`map_paths`, which shards the
+path list into chunks, streams records back as chunks complete (in input
+order by default, completion order with ``ordered=False``), and isolates
+per-file errors inside the worker.  A crashed worker surfaces as one
+:class:`WorkerPoolError` instead of a hung pool, and KeyboardInterrupt
+cancels queued chunks promptly.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from pathlib import Path
+from typing import Iterator, Mapping, Sequence
+
+from repro.parallel import _worker
+from repro.parallel.sharding import split_shards
+
+logger = logging.getLogger("repro.parallel.pool")
+
+
+class WorkerPoolError(RuntimeError):
+    """A worker process died or the pool is unusable."""
+
+
+def cpu_worker_default(*, floor: int = 1, ceiling: int = 8) -> int:
+    """CPU-aware default worker/process count, bounded to ``ceiling``.
+
+    Respects the scheduler affinity mask (cgroup/container CPU limits)
+    where available, falling back to :func:`os.cpu_count`.
+    """
+    import os
+
+    try:
+        usable = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux platforms
+        usable = os.cpu_count() or floor
+    return max(floor, min(ceiling, usable))
+
+
+class ShardedPool:
+    """Process pool with per-worker warm models.
+
+    ``model_specs`` maps model names to saved-pipeline paths (``.npz``
+    archives or directory stores); ``default`` names the model used when
+    an item carries none.  Matches the
+    :class:`~repro.serve.batching.BatchingExecutor` executor interface
+    so the serving layer can swap thread workers for CPU shards.
+    """
+
+    def __init__(
+        self,
+        model_specs: Mapping[str, str | Path],
+        *,
+        procs: int | None = None,
+        default: str | None = None,
+        chunk_size: int = 16,
+        cache_capacity: int = 4096,
+        mmap: bool = True,
+        trace_dir: str | Path | None = None,
+    ) -> None:
+        if not model_specs:
+            raise ValueError("ShardedPool needs at least one model")
+        if chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
+        self.procs = procs if procs is not None else cpu_worker_default()
+        if self.procs < 1:
+            raise ValueError("procs must be >= 1")
+        self.chunk_size = chunk_size
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
+        if self.trace_dir is not None:
+            self.trace_dir.mkdir(parents=True, exist_ok=True)
+        specs = {name: str(path) for name, path in model_specs.items()}
+        self.default_model = default if default is not None else next(iter(specs))
+        if self.default_model not in specs:
+            raise ValueError(f"default model {self.default_model!r} not in specs")
+        # spawn, not fork: forking a process with live worker threads
+        # (the serving layer always has them) deadlocks on held locks.
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.procs,
+            mp_context=get_context("spawn"),
+            initializer=_worker.init_classify_worker,
+            initargs=(
+                specs,
+                self.default_model,
+                str(self.trace_dir) if self.trace_dir is not None else None,
+                mmap,
+                cache_capacity,
+            ),
+        )
+        self._closed = False
+        self._stage_lock = threading.Lock()
+        self._stage_totals: dict[str, list[float]] = {}  # guarded-by: _stage_lock
+
+    # ------------------------------------------------------------------
+    # bulk path interface (repro batch)
+    # ------------------------------------------------------------------
+    def map_paths(
+        self,
+        paths: Sequence[str | Path],
+        *,
+        model: str = "",
+        ordered: bool = True,
+        stage_totals: dict[str, list[float]] | None = None,
+    ) -> Iterator[dict]:
+        """Classify table files, yielding one record per path.
+
+        Paths are sharded into ``chunk_size`` chunks across the pool;
+        records stream back as chunks finish — in input order by default,
+        in completion order with ``ordered=False`` (lower peak memory,
+        first results sooner).  ``stage_totals`` (optional) accumulates
+        per-stage ``[seconds_sum, count]`` merged across all workers.
+        """
+        chunks = split_shards([str(p) for p in paths], self._chunk_count(len(paths)))
+        futures = [
+            self._executor.submit(_worker.classify_paths_chunk, model, chunk)
+            for chunk in chunks
+        ]
+        pending = set(futures)
+        try:
+            if ordered:
+                for future in futures:
+                    yield from self._drain_chunk(future, stage_totals)
+                    pending.discard(future)
+            else:
+                while pending:
+                    done, pending = wait(pending, return_when="FIRST_COMPLETED")
+                    for future in done:
+                        yield from self._drain_chunk(future, stage_totals)
+        except (KeyboardInterrupt, GeneratorExit):
+            for future in pending:
+                future.cancel()
+            raise
+
+    def _drain_chunk(
+        self,
+        future: Future,
+        stage_totals: dict[str, list[float]] | None,
+    ) -> Iterator[dict]:
+        try:
+            payload = future.result()
+        except BrokenProcessPool as exc:
+            raise WorkerPoolError(
+                "a worker process died mid-run (OOM or hard crash); "
+                "results before the crash were already streamed"
+            ) from exc
+        if stage_totals is not None:
+            for stage, (total, count) in payload["stages"].items():
+                entry = stage_totals.setdefault(stage, [0.0, 0])
+                entry[0] += total
+                entry[1] += count
+        yield from payload["records"]
+
+    def _chunk_count(self, n_items: int) -> int:
+        if n_items == 0:
+            return 1
+        # Enough chunks that every worker stays busy, bounded below by
+        # the requested chunk size so per-task IPC stays amortized.
+        by_size = max(1, -(-n_items // self.chunk_size))
+        return max(min(by_size, n_items), min(self.procs, n_items))
+
+    # ------------------------------------------------------------------
+    # executor interface (serve --procs)
+    # ------------------------------------------------------------------
+    def submit(self, item: tuple) -> Future:
+        """Submit one ``(model, table, ...)`` item; returns a Future of
+        its record.  Extra tuple elements (the thread path's trace
+        context) are ignored — cross-process trace continuity is handled
+        by the per-worker trace files instead.
+        """
+        model, table = item[0], item[1]
+        inner = self._executor.submit(
+            _worker.classify_tables_chunk, [(model, table)]
+        )
+        outer: Future = Future()
+        inner.add_done_callback(lambda f: self._complete_one(f, outer))
+        return outer
+
+    def _complete_one(self, inner: Future, outer: Future) -> None:
+        if outer.cancelled():
+            return
+        exc = inner.exception()
+        if exc is not None:
+            if isinstance(exc, BrokenProcessPool):
+                exc = WorkerPoolError("a worker process died")
+            outer.set_exception(exc)
+            return
+        payload = inner.result()
+        self._merge_stages(payload["stages"])
+        status, value = payload["results"][0]
+        if status == "err":
+            outer.set_exception(RuntimeError(str(value)))
+        else:
+            outer.set_result(value)
+
+    def map(self, items: Sequence[tuple]) -> list:
+        """Submit every item, block until all complete, return in order."""
+        futures = [self.submit(item) for item in items]
+        return [f.result() for f in futures]
+
+    def _merge_stages(self, stages: Mapping[str, tuple[float, int]]) -> None:
+        # Completion callbacks run on executor-internal threads, so the
+        # shared totals dict takes the lock.
+        with self._stage_lock:
+            for stage, (total, count) in stages.items():
+                entry = self._stage_totals.setdefault(stage, [0.0, 0])
+                entry[0] += total
+                entry[1] += count
+
+    def drain_stage_totals(self) -> dict[str, tuple[float, int]]:
+        """Pop the per-stage timing totals (sum, count) merged across
+        workers; the serving layer folds them into ServiceMetrics."""
+        with self._stage_lock:
+            totals = self._stage_totals
+            self._stage_totals = {}
+        return {k: (v[0], int(v[1])) for k, v in totals.items()}
+
+    # ------------------------------------------------------------------
+    # diagnostics & lifecycle
+    # ------------------------------------------------------------------
+    def probe_workers(self) -> list[dict]:
+        """One :func:`repro.parallel._worker.probe_models` report per
+        submitted probe (used by tests to assert memmap backing)."""
+        futures = [
+            self._executor.submit(_worker.probe_models)
+            for _ in range(self.procs)
+        ]
+        return [f.result() for f in futures]
+
+    def worker_spans(self) -> list:
+        """Merged spans from every per-worker trace file (if tracing)."""
+        if self.trace_dir is None:
+            return []
+        from repro.parallel.traces import read_worker_traces
+
+        return read_worker_traces(self.trace_dir)
+
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop the pool; with ``drain`` finish queued work first."""
+        if self._closed:
+            return
+        self._closed = True
+        self._executor.shutdown(wait=drain, cancel_futures=not drain)
+
+    def __enter__(self) -> "ShardedPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        # Interrupted runs cancel queued chunks instead of draining.
+        self.shutdown(drain=exc_info[0] is None)

@@ -1,0 +1,60 @@
+"""Deterministic work sharding for the multiprocess layer.
+
+Two invariants everything in ``repro.parallel`` leans on:
+
+* **Order-preserving contiguous shards** — :func:`split_shards` cuts a
+  sequence into at most ``n`` contiguous chunks whose concatenation is
+  the original sequence.  Map-reduce stages that merge shard results in
+  shard order therefore reproduce the serial iteration order exactly,
+  for *any* shard count — which is what makes parallel fit bit-identical
+  to serial fit.
+* **Salted per-shard seeds** — :func:`shard_seed` derives one
+  independent, stable seed per ``(seed, shard_index)`` via
+  :class:`numpy.random.SeedSequence`, so any worker-side randomness is
+  (a) decorrelated across shards and (b) a pure function of the caller's
+  seed and the shard's position, never of pool scheduling.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+import numpy as np
+
+T = TypeVar("T")
+
+
+def split_shards(items: Sequence[T], n: int) -> list[list[T]]:
+    """Cut ``items`` into at most ``n`` contiguous, near-even shards.
+
+    Empty shards are never produced; fewer than ``n`` shards come back
+    when there are fewer items than shards.  ``concat(split_shards(x, n))
+    == list(x)`` for every ``n >= 1``.
+    """
+    if n < 1:
+        raise ValueError("shard count must be >= 1")
+    total = len(items)
+    if total == 0:
+        return []
+    n = min(n, total)
+    base, remainder = divmod(total, n)
+    shards: list[list[T]] = []
+    start = 0
+    for index in range(n):
+        size = base + (1 if index < remainder else 0)
+        shards.append(list(items[start:start + size]))
+        start += size
+    return shards
+
+
+def shard_seed(seed: int, shard_index: int) -> int:
+    """A stable, decorrelated seed for one shard of a seeded run.
+
+    Uses ``SeedSequence(seed).spawn()`` semantics via explicit keying:
+    the result depends only on ``(seed, shard_index)``, changes when
+    either changes, and is safe to hand to
+    :func:`numpy.random.default_rng` in a worker process.
+    """
+    if shard_index < 0:
+        raise ValueError("shard_index must be >= 0")
+    return int(np.random.SeedSequence((seed, shard_index)).generate_state(1)[0])

@@ -1,0 +1,69 @@
+"""Merging per-worker trace files into one timeline.
+
+Pool workers (see :func:`repro.parallel._worker.init_classify_worker`)
+append their finished spans to ``<trace_dir>/trace-<pid>.jsonl`` after
+every chunk.  This module reads those files back into
+:class:`~repro.obs.spans.Span` objects with the **worker pid as the
+thread id**, so the Chrome ``trace_event`` export
+(:func:`repro.obs.chrome_trace`) renders one lane per worker process
+next to the parent's threads.
+
+Span times are ``perf_counter`` seconds; on Linux that clock is
+system-wide (CLOCK_MONOTONIC), so spans from different processes on one
+machine share a timeline and merge cleanly.  On platforms without a
+shared monotonic clock, lanes are individually correct but may be offset
+against each other.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from pathlib import Path
+
+from repro.obs import Span, span_from_dict
+
+logger = logging.getLogger("repro.parallel.traces")
+
+#: Worker trace files are named ``trace-<pid>.jsonl``.
+TRACE_GLOB = "trace-*.jsonl"
+
+
+def read_worker_traces(trace_dir: str | Path) -> list[Span]:
+    """Load every worker span under ``trace_dir``, pid as thread id.
+
+    Unreadable lines are skipped with a warning — a worker killed
+    mid-write must not make the rest of the trace unreadable.
+    """
+    spans: list[Span] = []
+    for path in sorted(Path(trace_dir).glob(TRACE_GLOB)):
+        for line_no, line in enumerate(
+            path.read_text().splitlines(), start=1
+        ):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+                pid = int(record.get("pid", 0))
+                span = span_from_dict(record)
+            except (ValueError, KeyError, TypeError) as exc:
+                logger.warning(
+                    "skipping bad span at %s:%d: %s", path, line_no, exc
+                )
+                continue
+            if pid:
+                span.thread_id = pid
+                span.thread_name = f"worker-{pid}"
+            spans.append(span)
+    return spans
+
+
+def merge_traces(
+    parent_spans: list[Span], trace_dir: str | Path | None
+) -> list[Span]:
+    """Parent spans + every worker span, ordered by start time."""
+    merged = list(parent_spans)
+    if trace_dir is not None:
+        merged.extend(read_worker_traces(trace_dir))
+    merged.sort(key=lambda s: (s.start, s.span_id))
+    return merged

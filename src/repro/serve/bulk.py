@@ -28,18 +28,21 @@ from repro.tables.model import Table
 logger = logging.getLogger("repro.serve.bulk")
 
 #: Suffixes picked up when a directory is given as an input.
-TABLE_SUFFIXES = (".csv", ".json", ".md", ".markdown")
+TABLE_SUFFIXES = (".csv", ".json", ".md", ".markdown", ".html", ".htm")
 
 
 def table_from_path(path: str | Path) -> Table:
-    """Load a table file by suffix: ``.json``, ``.md``, else CSV."""
+    """Load a table file by suffix: ``.json``/``.md``/``.html``, else CSV."""
     path = Path(path)
-    text = path.read_text()
+    # Real-world table corpora mix encodings (agency portals love
+    # latin-1); replacing undecodable bytes costs one mojibake cell,
+    # while the default strict decode costs the whole file.
+    text = path.read_text(encoding="utf-8", errors="replace")
     return table_from_text(text, suffix=path.suffix.lower(), name=path.stem)
 
 
 def table_from_text(text: str, *, suffix: str = "", name: str = "") -> Table:
-    """Parse table text; JSON/markdown by suffix, CSV otherwise."""
+    """Parse table text; JSON/markdown/HTML by suffix, CSV otherwise."""
     if suffix == ".json":
         from repro.tables.jsonio import table_from_json
 
@@ -48,6 +51,10 @@ def table_from_text(text: str, *, suffix: str = "", name: str = "") -> Table:
         from repro.tables.markdown import table_from_markdown
 
         return table_from_markdown(text, name=name)
+    if suffix in (".html", ".htm"):
+        from repro.tables.html import parse_html_table
+
+        return parse_html_table(text).to_table(name=name)
     from repro.tables.csvio import table_from_csv
 
     return table_from_csv(text, name=name)
@@ -147,7 +154,7 @@ def classify_paths(
     pipeline: MetadataPipeline,
     paths: Sequence[str | Path],
     *,
-    workers: int = 4,
+    workers: int | None = 4,
     batching: BatchingConfig | None = None,
     cache: LRUCache | None = None,
     metrics: ServiceMetrics | None = None,
@@ -190,6 +197,10 @@ def classify_paths(
             seconds=elapsed, source=str(path),
         )
 
+    if workers is None:
+        from repro.parallel.pool import cpu_worker_default
+
+        workers = cpu_worker_default()
     config = batching or BatchingConfig(workers=workers)
     expanded = [Path(p) for p in paths]
     logger.info("bulk classifying %d tables on %d workers",
@@ -218,20 +229,47 @@ def run_bulk(
     model_path: str | Path,
     inputs: Sequence[str],
     *,
-    workers: int = 4,
+    workers: int | None = 4,
+    procs: int | None = None,
     out: str | Path | None = None,
     cache_capacity: int = 4096,
+    ordered: bool = True,
+    trace_dir: str | Path | None = None,
 ) -> list[dict]:
-    """The ``repro batch`` entry point: load once, classify many."""
+    """The ``repro batch`` entry point: load once, classify many.
+
+    ``workers`` sizes the in-process thread pool (``None`` = CPU-aware
+    default).  ``procs`` switches to the multiprocess path: the model is
+    loaded once per worker process (memory-mapped when ``model_path`` is
+    a directory store) and file shards classify truly concurrently.
+    ``ordered=False`` streams records as chunks finish instead of in
+    input order.  ``trace_dir`` (procs only) collects per-worker span
+    files for :func:`repro.parallel.traces.merge_traces`.
+    """
     from repro.core.persistence import load_pipeline
 
     paths = iter_table_paths(inputs)
-    pipeline = load_pipeline(model_path)
-    cache = LRUCache(cache_capacity) if cache_capacity else None
-    records = classify_paths(
-        pipeline, paths, workers=workers, cache=cache,
-        model=Path(model_path).stem,
-    )
+    if procs is not None:
+        from repro.parallel import ShardedPool
+
+        name = Path(model_path).stem
+        records = []
+        with ShardedPool(
+            {name: model_path}, procs=procs, default=name,
+            cache_capacity=cache_capacity, trace_dir=trace_dir,
+        ) as pool:
+            logger.info("bulk classifying %d tables on %d processes",
+                        len(paths), pool.procs)
+            records = list(
+                pool.map_paths([str(p) for p in paths], ordered=ordered)
+            )
+    else:
+        pipeline = load_pipeline(model_path)
+        cache = LRUCache(cache_capacity) if cache_capacity else None
+        records = classify_paths(
+            pipeline, paths, workers=workers, cache=cache,
+            model=Path(model_path).stem,
+        )
     if out is not None:
         write_jsonl(records, out)
     else:

@@ -46,7 +46,16 @@ class BadRequest(ValueError):
 
 
 class ClassificationService:
-    """Warm models + cache + metrics + micro-batched worker pool."""
+    """Warm models + cache + metrics + micro-batched worker pool.
+
+    ``procs`` switches the execution backend from the in-process thread
+    pool to a :class:`~repro.parallel.pool.ShardedPool` of worker
+    *processes* (each with its own warm copy of the models — shared via
+    the OS page cache for directory stores).  Threads overlap I/O only;
+    processes shard the classification math itself across CPUs.  In
+    procs mode results are cached per worker process, so the parent
+    ``cache`` stays empty.
+    """
 
     def __init__(
         self,
@@ -55,20 +64,44 @@ class ClassificationService:
         batching: BatchingConfig | None = None,
         cache_capacity: int = 4096,
         metrics: ServiceMetrics | None = None,
+        procs: int | None = None,
     ) -> None:
         if len(registry) == 0:
             raise ValueError("the service needs at least one loaded model")
         self.registry = registry
         self.metrics = metrics or ServiceMetrics()
         self.cache: LRUCache = LRUCache(cache_capacity)
+        self.procs = procs
+        self.workers = (batching or BatchingConfig()).workers
         for name in registry.names():
             # add_stage_hook composes with hooks the caller installed
             # (e.g. a tracing or bulk-metrics subscriber) instead of
             # clobbering them; see MetadataPipeline.add_stage_hook.
             registry.get(name).add_stage_hook(self.metrics.observe_stage)
-        self._executor: BatchingExecutor = BatchingExecutor(
-            self._handle_batch, batching, on_batch=self._record_batch
-        )
+        if procs is not None:
+            from repro.parallel import ShardedPool
+
+            specs: dict[str, str] = {}
+            for name in registry.names():
+                path = registry.info(name).path
+                # Path("") has no parts — an in-memory registry entry
+                # (ModelRegistry.add) that workers cannot re-load.
+                if not path.parts:
+                    raise ValueError(
+                        f"model {name!r} has no on-disk path; serve --procs "
+                        "needs saved models the workers can load themselves"
+                    )
+                specs[name] = str(path)
+            self._executor: BatchingExecutor | ShardedPool = ShardedPool(
+                specs,
+                procs=procs,
+                default=registry.default_name,
+                cache_capacity=cache_capacity,
+            )
+        else:
+            self._executor = BatchingExecutor(
+                self._handle_batch, batching, on_batch=self._record_batch
+            )
         self._closed = False
 
     def _record_batch(self, size: int) -> None:
@@ -133,6 +166,12 @@ class ClassificationService:
     # observability
     # ------------------------------------------------------------------
     def metrics_text(self) -> str:
+        if self.procs is not None:
+            # Scrape-time aggregation: fold the per-stage timings the
+            # worker processes accumulated since the last scrape.
+            drain = getattr(self._executor, "drain_stage_totals", None)
+            if drain is not None:
+                self.metrics.merge_stage_totals(drain())
         stats = self.cache.stats()
         return self.metrics.render(
             extra={
@@ -141,6 +180,8 @@ class ClassificationService:
                 "cache_hit_ratio": stats.hit_ratio,
                 "cache_size": stats.size,
                 "models_loaded": len(self.registry),
+                "workers": self.workers,
+                "procs": self.procs if self.procs is not None else 0,
             }
         )
 

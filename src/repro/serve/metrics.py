@@ -113,6 +113,23 @@ class ServiceMetrics:
     def observe_request(self, seconds: float) -> None:
         self.latency.observe(seconds)
 
+    def merge_stage_totals(
+        self, totals: Mapping[str, tuple[float, int]]
+    ) -> None:
+        """Fold pre-aggregated per-stage ``(sum, count)`` pairs in.
+
+        The multiprocess path (:class:`repro.parallel.pool.ShardedPool`)
+        accumulates stage timings inside worker processes and ships the
+        totals back in bulk; this merges them as if ``observe_stage``
+        had been called per event.
+        """
+        with self._lock:
+            for stage, (total, count) in totals.items():
+                self._stage_sum[stage] = self._stage_sum.get(stage, 0.0) + total
+                self._stage_count[stage] = (
+                    self._stage_count.get(stage, 0) + int(count)
+                )
+
     # ------------------------------------------------------------------
     # rendering
     # ------------------------------------------------------------------

@@ -149,3 +149,99 @@ class TestErrors:
         )
         with pytest.raises(PersistenceError, match="version"):
             load_pipeline(path)
+
+
+class TestDirectoryStore:
+    """The zero-copy directory store: byte-identical to .npz loads."""
+
+    @pytest.mark.parametrize("backend", sorted(BACKEND_CONFIGS))
+    def test_npz_and_dir_loads_classify_identically(
+        self, backend, ckg_train, ckg_eval, tmp_path
+    ):
+        from repro.core.persistence import load_pipeline_dir, save_pipeline_dir
+
+        pipeline = MetadataPipeline(BACKEND_CONFIGS[backend]).fit(
+            ckg_train[:15]
+        )
+        npz = save_pipeline(pipeline, tmp_path / f"{backend}.npz")
+        store = save_pipeline_dir(pipeline, tmp_path / f"{backend}_dir")
+        from_npz = load_pipeline(npz)
+        from_dir = load_pipeline_dir(store)
+        for item in ckg_eval[:10]:
+            left = from_npz.classify(item.table)
+            right = from_dir.classify(item.table)
+            assert left == right, item.table.name
+
+    def test_load_pipeline_autodetects_directories(
+        self, hashed_pipeline, tmp_path
+    ):
+        from repro.core.persistence import save_pipeline_dir
+
+        store = save_pipeline_dir(hashed_pipeline, tmp_path / "store")
+        loaded = load_pipeline(store)
+        assert loaded.is_fitted
+
+    def test_mmap_views_by_default(self, hashed_pipeline, tmp_path):
+        from repro.core.persistence import load_pipeline_dir, save_pipeline_dir
+
+        store = save_pipeline_dir(hashed_pipeline, tmp_path / "store")
+        mapped = load_pipeline_dir(store)
+        assert isinstance(mapped.row_centroids.meta_ref, np.memmap)
+        eager = load_pipeline_dir(store, mmap=False)
+        assert not isinstance(eager.row_centroids.meta_ref, np.memmap)
+        np.testing.assert_array_equal(
+            np.asarray(mapped.row_centroids.meta_ref),
+            eager.row_centroids.meta_ref,
+        )
+
+    def test_refuses_to_overwrite_a_file(self, hashed_pipeline, tmp_path):
+        from repro.core.persistence import save_pipeline_dir
+
+        target = tmp_path / "occupied"
+        target.write_text("something else")
+        with pytest.raises(PersistenceError, match="not a directory"):
+            save_pipeline_dir(hashed_pipeline, target)
+
+
+class TestDirectoryStoreCorruption:
+    @pytest.fixture
+    def store(self, hashed_pipeline, tmp_path):
+        from repro.core.persistence import save_pipeline_dir
+
+        return save_pipeline_dir(hashed_pipeline, tmp_path / "store")
+
+    def test_missing_directory(self, tmp_path):
+        from repro.core.persistence import load_pipeline_dir
+
+        with pytest.raises(PersistenceError, match="no such model directory"):
+            load_pipeline_dir(tmp_path / "absent")
+
+    def test_interrupted_save_has_no_state_file(self, store):
+        from repro.core.persistence import load_pipeline_dir
+
+        (store / "state.json").unlink()
+        with pytest.raises(PersistenceError, match="state.json"):
+            load_pipeline_dir(store)
+
+    def test_malformed_state_json(self, store):
+        from repro.core.persistence import load_pipeline_dir
+
+        (store / "state.json").write_text("{broken")
+        with pytest.raises(PersistenceError, match="malformed"):
+            load_pipeline_dir(store)
+
+    def test_missing_array_file(self, store):
+        from repro.core.persistence import load_pipeline_dir
+
+        victim = next(store.glob("*.npy"))
+        victim.unlink()
+        with pytest.raises(PersistenceError, match="missing array"):
+            load_pipeline_dir(store)
+
+    def test_truncated_array_file(self, store):
+        from repro.core.persistence import load_pipeline_dir
+
+        victim = next(store.glob("*.npy"))
+        victim.write_bytes(b"\x93NUMPY junk")
+        with pytest.raises(PersistenceError):
+            load_pipeline_dir(store)

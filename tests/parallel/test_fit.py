@@ -1,0 +1,95 @@
+"""parallel_fit must be bit-identical to serial fit, for any procs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import MetadataPipeline, PipelineConfig
+from repro.embeddings.ppmi import PpmiConfig
+from repro.embeddings.word2vec import Word2VecConfig
+from repro.parallel import parallel_fit
+from tests.parallel.conftest import make_table
+
+CONFIGS = {
+    "hashed": PipelineConfig(
+        embedding="hashed", bootstrap="first_level", n_pairs=100
+    ),
+    "ppmi": PipelineConfig(
+        embedding="ppmi",
+        ppmi=PpmiConfig(dim=16, min_count=1),
+        bootstrap="first_level",
+        n_pairs=100,
+    ),
+    "word2vec": PipelineConfig(
+        embedding="word2vec",
+        word2vec=Word2VecConfig(dim=16, epochs=1, seed=0),
+        bootstrap="first_level",
+        n_pairs=100,
+    ),
+}
+
+
+def _assert_identical(a: MetadataPipeline, b: MetadataPipeline) -> None:
+    for attr in ("row_centroids", "col_centroids"):
+        left, right = getattr(a, attr), getattr(b, attr)
+        assert left.mde == right.mde, attr
+        assert left.de == right.de, attr
+        assert left.mde_de == right.mde_de, attr
+        assert left.level_stats == right.level_stats, attr
+        assert left.n_tables == right.n_tables, attr
+        assert np.array_equal(
+            np.asarray(left.meta_ref), np.asarray(right.meta_ref)
+        ), attr
+        assert np.array_equal(
+            np.asarray(left.data_ref), np.asarray(right.data_ref)
+        ), attr
+    probe = make_table(99)
+    assert a.classify(probe) == b.classify(probe)
+
+
+class TestSerialEquivalence:
+    @pytest.mark.parametrize("backend", sorted(CONFIGS))
+    def test_matches_serial_fit(self, backend, small_corpus):
+        config = CONFIGS[backend]
+        serial = MetadataPipeline(config).fit(small_corpus)
+        parallel = parallel_fit(config, small_corpus, procs=2)
+        _assert_identical(serial, parallel)
+
+    def test_worker_count_invariant(self, small_corpus):
+        # Contiguous order-preserving shards + ordered merges: the
+        # result may not depend on how many workers split the corpus.
+        config = CONFIGS["ppmi"]
+        one = parallel_fit(config, small_corpus, procs=1)
+        three = parallel_fit(config, small_corpus, procs=3)
+        _assert_identical(one, three)
+
+    def test_deterministic_across_runs(self, small_corpus):
+        config = CONFIGS["hashed"]
+        first = parallel_fit(config, small_corpus, procs=2)
+        second = parallel_fit(config, small_corpus, procs=2)
+        _assert_identical(first, second)
+
+
+class TestFitSurface:
+    def test_rejects_empty_corpus(self):
+        with pytest.raises(ValueError):
+            parallel_fit(CONFIGS["hashed"], [], procs=1)
+
+    def test_rejects_bad_procs(self, small_corpus):
+        with pytest.raises(ValueError):
+            parallel_fit(CONFIGS["hashed"], small_corpus, procs=0)
+
+    def test_fit_report_and_classifier_present(self, small_corpus):
+        pipeline = parallel_fit(CONFIGS["hashed"], small_corpus, procs=2)
+        assert pipeline.is_fitted
+        assert pipeline.fit_report is not None
+        assert pipeline.fit_report.n_tables == len(small_corpus)
+        assert pipeline.fit_report.total_seconds > 0.0
+
+    def test_report_stage_breakdown(self, small_corpus):
+        fitted = parallel_fit(CONFIGS["hashed"], small_corpus, procs=1)
+        report = fitted.fit_report
+        assert report.embedding_seconds >= 0.0
+        assert report.bootstrap_seconds >= 0.0
+        assert report.centroid_seconds >= 0.0

@@ -1,0 +1,69 @@
+"""Tests for per-worker trace files and the merged timeline."""
+
+from __future__ import annotations
+
+import json
+
+from repro import obs
+from repro.parallel.traces import merge_traces, read_worker_traces
+
+
+def _span_record(pid: int, name: str, start: float, end: float) -> str:
+    span = obs.Span(
+        name=name, trace_id="t" * 32, span_id=int(start * 1000) + pid,
+        parent_id=None, start=start, end=end,
+    )
+    return json.dumps({"pid": pid, **obs.span_to_dict(span)})
+
+
+class TestReadWorkerTraces:
+    def test_pid_becomes_thread_identity(self, tmp_path):
+        (tmp_path / "trace-101.jsonl").write_text(
+            _span_record(101, "table", 1.0, 2.0) + "\n"
+        )
+        (tmp_path / "trace-202.jsonl").write_text(
+            _span_record(202, "parse", 1.5, 1.8) + "\n"
+        )
+        spans = read_worker_traces(tmp_path)
+        by_name = {s.name: s for s in spans}
+        assert by_name["table"].thread_id == 101
+        assert by_name["table"].thread_name == "worker-101"
+        assert by_name["parse"].thread_id == 202
+
+    def test_bad_lines_skipped(self, tmp_path):
+        path = tmp_path / "trace-7.jsonl"
+        path.write_text(
+            "not json\n"
+            + _span_record(7, "ok", 0.0, 1.0) + "\n"
+            + '{"pid": 7, "missing": "fields"}\n'
+        )
+        spans = read_worker_traces(tmp_path)
+        assert [s.name for s in spans] == ["ok"]
+
+    def test_empty_dir(self, tmp_path):
+        assert read_worker_traces(tmp_path) == []
+
+
+class TestMergeTraces:
+    def test_sorted_global_timeline(self, tmp_path):
+        (tmp_path / "trace-11.jsonl").write_text(
+            _span_record(11, "late", 5.0, 6.0) + "\n"
+        )
+        parent = obs.Span(
+            name="early", trace_id="p" * 32, span_id=1,
+            parent_id=None, start=0.5, end=7.0,
+        )
+        merged = merge_traces([parent], tmp_path)
+        assert [s.name for s in merged] == ["early", "late"]
+
+    def test_chrome_export_keeps_worker_tids(self, tmp_path):
+        (tmp_path / "trace-11.jsonl").write_text(
+            _span_record(11, "a", 1.0, 2.0) + "\n"
+        )
+        (tmp_path / "trace-22.jsonl").write_text(
+            _span_record(22, "b", 1.2, 1.9) + "\n"
+        )
+        merged = merge_traces([], tmp_path)
+        events = obs.chrome_trace_events(merged)
+        tids = {e["tid"] for e in events}
+        assert tids == {11, 22}

@@ -191,3 +191,66 @@ class TestCorpusStageHook:
         assert all(seconds >= 0 for _, seconds in classify_stages)
         for annotation, table in zip(annotations, tables):
             assert annotation == pipeline.classify(table)
+
+
+class TestEncodingTolerance:
+    """Non-UTF-8 table files must load, not crash the batch."""
+
+    def test_latin1_csv_loads_with_replacement(self, tmp_path):
+        path = tmp_path / "latin.csv"
+        path.write_bytes("rég,année,café\nvaleur,2001,3\n".encode("latin-1"))
+        table = table_from_path(path)
+        assert table.n_rows == 2 and table.n_cols == 3
+        # undecodable bytes degrade to U+FFFD, never to an exception
+        assert "�" in "".join(table.row(0))
+
+    def test_utf8_unchanged(self, tmp_path):
+        path = tmp_path / "utf8.csv"
+        path.write_text("rég,année\ncafé,2\n", encoding="utf-8")
+        table = table_from_path(path)
+        assert table.row(0) == ("rég", "année")
+
+    def test_batch_with_mixed_encodings(self, tmp_path, hashed_pipeline):
+        (tmp_path / "ok.csv").write_text("a,b\n1,2\n")
+        (tmp_path / "latin.csv").write_bytes(
+            "tête,corps\nxyz,1\n".encode("latin-1")
+        )
+        records = classify_paths(
+            hashed_pipeline, iter_table_paths([tmp_path]), workers=1
+        )
+        assert len(records) == 2
+        assert all("error" not in r for r in records)
+
+
+class TestHtmlIngestion:
+    """.html/.htm route through the span-expanding HTML parser."""
+
+    MARKUP = (
+        "<table><tr><th colspan=\"2\">Population</th><th>Year</th></tr>"
+        "<tr><td>City</td><td>County</td><td>2020</td></tr>"
+        "<tr><td>12</td><td>34</td><td>56</td></tr></table>"
+    )
+
+    def test_html_suffixes_are_picked_up(self, tmp_path):
+        (tmp_path / "page.html").write_text(self.MARKUP)
+        (tmp_path / "page2.htm").write_text(self.MARKUP)
+        (tmp_path / "skip.txt").write_text("not a table")
+        paths = iter_table_paths([tmp_path])
+        assert [p.name for p in paths] == ["page.html", "page2.htm"]
+
+    def test_colspan_expands_onto_the_grid(self, tmp_path):
+        (tmp_path / "page.html").write_text(self.MARKUP)
+        table = table_from_path(tmp_path / "page.html")
+        assert table.n_cols == 3
+        # colspan=2 expands: value in the anchor cell, blank continuation
+        assert table.row(0)[0] == "Population"
+        assert table.row(0)[2] == "Year"
+
+    def test_html_classifies_in_bulk(self, tmp_path, hashed_pipeline):
+        (tmp_path / "page.html").write_text(self.MARKUP)
+        records = classify_paths(
+            hashed_pipeline, iter_table_paths([tmp_path]), workers=1
+        )
+        assert len(records) == 1
+        assert "error" not in records[0]
+        assert records[0]["name"] == "page"

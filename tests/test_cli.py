@@ -306,3 +306,91 @@ class TestVerbose:
     def test_verbose_flag_accepted(self, capsys):
         assert main(["-v", "datasets"]) == 0
         assert "ckg" in capsys.readouterr().out
+
+
+class TestConvert:
+    @pytest.fixture
+    def model_path(self, hashed_pipeline, tmp_path):
+        return save_pipeline(hashed_pipeline, tmp_path / "model.npz")
+
+    def test_npz_to_directory_and_back(
+        self, model_path, tmp_path, ckg_eval, capsys
+    ):
+        from repro.core.persistence import is_pipeline_dir, load_pipeline
+
+        store = tmp_path / "store"
+        assert main(["convert", str(model_path), str(store)]) == 0
+        assert is_pipeline_dir(store)
+        assert "directory store" in capsys.readouterr().out
+
+        back = tmp_path / "back.npz"
+        assert main(["convert", str(store), str(back)]) == 0
+        assert "npz archive" in capsys.readouterr().out
+
+        table = ckg_eval[0].table
+        assert (
+            load_pipeline(store).classify(table)
+            == load_pipeline(back).classify(table)
+        )
+
+    def test_missing_source_is_an_error(self, tmp_path, capsys):
+        from repro.core.persistence import PersistenceError
+
+        with pytest.raises(PersistenceError):
+            main(["convert", str(tmp_path / "absent.npz"), str(tmp_path / "d")])
+
+
+class TestBatchProcs:
+    @pytest.fixture
+    def model_dir(self, hashed_pipeline, tmp_path):
+        from repro.core.persistence import save_pipeline_dir
+
+        return save_pipeline_dir(hashed_pipeline, tmp_path / "model_dir")
+
+    @pytest.fixture
+    def table_dir(self, tmp_path, ckg_eval):
+        d = tmp_path / "tables"
+        d.mkdir()
+        for i, item in enumerate(ckg_eval[:6]):
+            (d / f"t{i}.csv").write_text(table_to_csv(item.table))
+        return d
+
+    def test_procs_matches_thread_path(
+        self, model_dir, table_dir, tmp_path, capsys
+    ):
+        import json
+
+        out_procs = tmp_path / "procs.jsonl"
+        out_threads = tmp_path / "threads.jsonl"
+        assert main([
+            "batch", str(table_dir), "--model", str(model_dir),
+            "--procs", "2", "--cache-size", "0", "--out", str(out_procs),
+        ]) == 0
+        assert main([
+            "batch", str(table_dir), "--model", str(model_dir),
+            "--workers", "2", "--cache-size", "0", "--out", str(out_threads),
+        ]) == 0
+
+        def normalize(path):
+            records = [json.loads(l) for l in path.read_text().splitlines()]
+            for record in records:
+                record.pop("seconds", None)
+                record.pop("cached", None)
+            return records
+
+        assert normalize(out_procs) == normalize(out_threads)
+
+    def test_procs_trace_out_merges_worker_spans(
+        self, model_dir, table_dir, tmp_path, capsys
+    ):
+        import json
+
+        trace = tmp_path / "trace.json"
+        assert main([
+            "batch", str(table_dir), "--model", str(model_dir),
+            "--procs", "2", "--out", str(tmp_path / "o.jsonl"),
+            "--trace-out", str(trace),
+        ]) == 0
+        document = json.loads(trace.read_text())
+        names = {e["name"] for e in document["traceEvents"]}
+        assert "table" in names  # worker-side spans made it into the merge

@@ -10,7 +10,11 @@ every table is an LRU cache hit.
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
 
 from repro.core.persistence import load_pipeline, save_pipeline
 from repro.corpus.registry import build_corpus
@@ -19,6 +23,7 @@ from repro.serve.cache import LRUCache
 from repro.tables.csvio import table_to_csv
 
 N_TABLES = 120
+USABLE_CPUS = len(os.sched_getaffinity(0))
 
 
 def _write_tables(tmp_path, pipeline_source="ckg"):
@@ -58,6 +63,69 @@ def test_bench_bulk_vs_oneshot_loop(tmp_path, warm_pipelines):
         f"({N_TABLES / t_oneshot:.0f}/s) vs repro batch --workers 4 "
         f"{t_bulk:.2f}s ({N_TABLES / t_bulk:.0f}/s) — "
         f"{t_oneshot / t_bulk:.1f}x speedup"
+    )
+
+
+@pytest.mark.skipif(
+    USABLE_CPUS < 4, reason=f"needs >=4 usable CPUs, have {USABLE_CPUS}"
+)
+def test_bench_serve_concurrent_speedup(warm_pipelines):
+    """Pin the serve-path amortization: 32 concurrent clients against a
+    4-worker micro-batching service must beat the serial loop by >=1.5x.
+    This is the ``serve_batch_speedup`` trajectory number as a gate, so
+    a batching regression fails the bench job instead of only drifting
+    the series."""
+    from repro.serve.batching import BatchingConfig
+    from repro.serve.httpd import ClassificationService
+    from repro.serve.registry import ModelRegistry
+
+    pipeline = warm_pipelines["ckg"]
+    tables = [
+        item.table for item in build_corpus("ckg", n_tables=N_TABLES, seed=11)
+    ]
+    # Warm shared caches so both measurements see the same steady state.
+    for table in tables:
+        pipeline.classify(table)
+
+    serial_best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for table in tables:
+            pipeline.classify(table)
+        serial_best = min(serial_best, time.perf_counter() - start)
+
+    registry = ModelRegistry()
+    registry.add("bench", pipeline)
+    service = ClassificationService(
+        registry,
+        batching=BatchingConfig(workers=4),
+        cache_capacity=0,  # measure classification, not the result cache
+    )
+    try:
+        def _concurrent_pass() -> float:
+            with ThreadPoolExecutor(max_workers=32) as clients:
+                start = time.perf_counter()
+                list(
+                    clients.map(
+                        lambda t: service.classify_table(t, model="bench"),
+                        tables,
+                    )
+                )
+                return time.perf_counter() - start
+
+        _concurrent_pass()  # warm the worker pool
+        concurrent_best = min(_concurrent_pass() for _ in range(3))
+    finally:
+        service.close()
+
+    speedup = serial_best / concurrent_best
+    print(
+        f"\nserial {serial_best:.2f}s vs concurrent {concurrent_best:.2f}s "
+        f"— {speedup:.2f}x speedup"
+    )
+    assert speedup >= 1.5, (
+        f"serve speedup {speedup:.2f}x fell below the 1.5x floor "
+        f"(serial {serial_best:.2f}s, concurrent {concurrent_best:.2f}s)"
     )
 
 

@@ -1,0 +1,73 @@
+"""repro.fleet — a multi-process serving tier behind one router.
+
+The thread-pool serving path (``repro.serve``) tops out at one
+process's worth of Python; ``repro.fleet`` scales past it and adds the
+operational properties a long-lived service needs:
+
+* a **router** process speaking a length-prefixed JSON protocol
+  (:mod:`repro.fleet.protocol`) over local ``AF_UNIX`` sockets to a
+  fleet of **worker** processes, each mmap-loading the model store
+  once so N workers share one page cache;
+* **consistent routing** (rendezvous hashing on table content) so
+  per-worker result caches shard the key space, with least-loaded
+  routing when caches are off;
+* **admission control**: bounded per-worker queues and a deadline on
+  predicted wait — overload answers with an immediate 503 +
+  ``Retry-After`` instead of collapsing into timeouts;
+* **self-healing**: worker crashes fail only in-flight requests,
+  re-route the queued ones, and are respawned by a health monitor;
+* **blue/green reloads**: a standby generation warms up, takes a
+  canary slice of traffic, and either atomically replaces the live
+  fleet (which drains and retires) or is aborted — zero dropped
+  requests either way.
+
+Wired into the HTTP layer via ``repro serve --fleet N`` (see
+``docs/FLEET.md``); usable directly::
+
+    from repro.fleet import FleetConfig, FleetRouter
+
+    with FleetRouter({"model": "model_dir"}, config=FleetConfig(workers=4)) as fleet:
+        record = fleet.submit(("model", table, None)).result()
+        fleet.reload("model_v2_dir", name="model")   # blue/green swap
+"""
+
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+    table_from_wire,
+    table_to_wire,
+)
+from repro.fleet.router import (
+    FleetConfig,
+    FleetError,
+    FleetRouter,
+    Launcher,
+    ProcessLauncher,
+    ReloadInProgress,
+    WorkerCrashed,
+    WorkerHandle,
+    probe_worker,
+)
+from repro.fleet.worker import WorkerServer, worker_main
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "FleetConfig",
+    "FleetError",
+    "FleetRouter",
+    "Launcher",
+    "ProcessLauncher",
+    "ProtocolError",
+    "ReloadInProgress",
+    "WorkerCrashed",
+    "WorkerHandle",
+    "WorkerServer",
+    "probe_worker",
+    "recv_message",
+    "send_message",
+    "table_from_wire",
+    "table_to_wire",
+    "worker_main",
+]

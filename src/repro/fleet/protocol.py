@@ -1,0 +1,125 @@
+"""Length-prefixed JSON framing for the router <-> worker sockets.
+
+One frame is a 4-byte big-endian length header followed by that many
+bytes of UTF-8 JSON encoding a single object.  The framing is symmetric
+(both sides speak it) and self-delimiting, so a reader can never confuse
+two messages no matter how the kernel splits the stream into segments.
+
+Message shapes (all plain JSON objects; ``id`` correlates a reply with
+its request on a pipelined connection):
+
+* ``{"op": "ping", "id": n}`` →
+  ``{"ok": true, "op": "ping", "id": n, "pid": ..., "models": [...],
+  "generation": g, "served": n_requests}``
+* ``{"op": "classify", "id": n, "model": "...", "table": {...},
+  "trace": {"trace_id": ..., "span_id": ...} | absent}`` →
+  ``{"ok": true, "id": n, "record": {...}, "stages": {...},
+  "spans": [...], "clock": {...}}`` or
+  ``{"ok": false, "id": n, "error": "...", "kind": "ValueError"}``
+* ``{"op": "shutdown", "id": n}`` → ``{"ok": true, "op": "shutdown"}``
+  and the worker exits its serve loop.
+
+``trace`` is only present when the router has tracing enabled; the
+worker then records its spans for the request and ships them back in
+``spans`` (see :func:`repro.obs.tracer.Tracer.adopt_spans`), with
+``clock`` carrying the worker's wall/perf epoch pair so the router can
+rebase the monotonic timestamps onto its own clock.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Mapping
+
+from repro.tables.model import Table
+
+#: Upper bound on one frame; a single table should be orders of
+#: magnitude smaller, so anything bigger is a corrupt stream.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """Malformed, oversized, or truncated frame on a fleet socket."""
+
+
+def send_message(sock: socket.socket, message: Mapping[str, object]) -> None:
+    """Serialize ``message`` and write it as one frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode()
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"refusing to send a {len(payload)}-byte frame "
+            f"(limit {MAX_FRAME_BYTES})"
+        )
+    # One sendall for header+payload: fewer syscalls, and the kernel
+    # never sees a header without at least the start of its payload.
+    sock.sendall(_HEADER.pack(len(payload)) + payload)
+
+
+def recv_message(sock: socket.socket) -> dict | None:
+    """Read one frame; ``None`` means the peer closed cleanly between
+    frames.  A close *inside* a frame is a :class:`ProtocolError`."""
+    header = _recv_exact(sock, _HEADER.size, eof_ok=True)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds the limit")
+    payload = _recv_exact(sock, length, eof_ok=False)
+    if payload is None:  # pragma: no cover - eof_ok=False always raises
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        message = json.loads(payload)
+    except ValueError as exc:
+        raise ProtocolError(f"bad frame payload: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"frame payload is {type(message).__name__}, expected an object"
+        )
+    return message
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, *, eof_ok: bool
+) -> bytes | None:
+    """Read exactly ``n`` bytes.  EOF before the first byte returns
+    ``None`` when ``eof_ok``; EOF anywhere else raises."""
+    buf = bytearray()
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            if not buf and eof_ok:
+                return None
+            raise ProtocolError(
+                f"connection closed after {len(buf)}/{n} bytes of a frame"
+            )
+        buf.extend(chunk)
+    return bytes(buf)
+
+
+# ---------------------------------------------------------------------------
+# table wire form
+# ---------------------------------------------------------------------------
+
+def table_to_wire(table: Table) -> dict:
+    """The JSON-serializable form of a table for the classify op."""
+    return {
+        "rows": [list(row) for row in table.rows],
+        "name": table.name,
+        "source": table.source,
+    }
+
+
+def table_from_wire(obj: Mapping[str, object]) -> Table:
+    """Rebuild a :class:`Table` from :func:`table_to_wire` output."""
+    rows = obj.get("rows")
+    if not isinstance(rows, list):
+        raise ProtocolError("classify request carries no 'table.rows' list")
+    return Table(
+        rows,
+        name=str(obj.get("name", "")),
+        source=str(obj.get("source", "")),
+    )

@@ -1,0 +1,1069 @@
+"""Fleet router: consistent routing, admission control, blue/green.
+
+The router is the stateful half of the fleet.  It spawns and watches
+the worker processes, holds one long-lived socket per worker, and maps
+``submit((model, table, context))`` calls onto them:
+
+* **routing** — rendezvous (highest-random-weight) hashing on
+  ``model|content_hash`` when per-worker result caches are on, so a
+  repeated table always lands on the worker whose cache holds it;
+  least-loaded otherwise.
+* **admission control** — per-worker queues are bounded, and a request
+  whose estimated wait (queue depth x EWMA service time) exceeds the
+  deadline is shed *at submit time* with
+  :class:`~repro.serve.batching.ServiceOverloaded`, which the HTTP
+  layer turns into a fast ``503`` + ``Retry-After``.  A saturated
+  fleet answers "come back later" in microseconds instead of making
+  every client wait out a timeout.
+* **self-healing** — a worker crash fails only the requests in flight
+  on its socket; everything still queued is re-routed to surviving
+  workers, and a monitor thread respawns the dead worker (bounded by
+  ``max_restarts``).
+* **blue/green reload** — :meth:`FleetRouter.reload` spawns a standby
+  generation, optionally dials a canary fraction of live traffic onto
+  it, compares error rate and tail latency against the live
+  generation, then either atomically flips routing to the standby and
+  drains/retires the old workers, or aborts and kills the standby.
+  In-flight and queued requests are never dropped in either direction.
+
+Worker processes use the ``spawn`` start method: the router lives in a
+threaded parent (HTTP handlers, dispatchers, the monitor), and ``fork``
+from a threaded process is a deadlock lottery.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import multiprocessing
+import queue
+import socket
+import tempfile
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Protocol, Sequence
+
+from repro import obs
+from repro.fleet.protocol import (
+    ProtocolError,
+    recv_message,
+    send_message,
+    table_to_wire,
+)
+from repro.fleet.worker import worker_main
+from repro.obs.spans import TraceContext
+from repro.serve.batching import ServiceOverloaded
+from repro.tables.model import Table
+
+logger = logging.getLogger("repro.fleet.router")
+
+_STOP = object()
+
+#: EWMA smoothing for per-worker service time; ~10 requests of memory.
+_EWMA_ALPHA = 0.2
+#: Service-time estimate before the first completion (seconds).
+_EWMA_SEED = 0.01
+
+
+class FleetError(RuntimeError):
+    """Fleet lifecycle failure (spawn timeout, no live workers)."""
+
+
+class WorkerCrashed(FleetError):
+    """The worker died with this request in flight on its socket."""
+
+
+class ReloadInProgress(FleetError):
+    """A blue/green reload is already running; one at a time."""
+
+
+@dataclass(frozen=True)
+class FleetConfig:
+    """Knobs for the router.
+
+    ``deadline`` is the admission bound: a request predicted to wait
+    longer than this in a worker queue is shed immediately.
+    ``canary_fraction`` of live traffic is dialed onto a standby
+    generation during :meth:`FleetRouter.reload` (0 skips the canary
+    and flips after readiness alone).
+    """
+
+    workers: int = 2
+    queue_depth: int = 64
+    deadline: float = 2.0
+    health_interval: float = 0.5
+    spawn_timeout: float = 30.0
+    max_restarts: int = 3
+    cache_capacity: int = 0
+    canary_fraction: float = 0.1
+    canary_min_requests: int = 20
+    canary_timeout: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if not 0.0 <= self.canary_fraction < 1.0:
+            raise ValueError("canary_fraction must be in [0, 1)")
+
+
+class WorkerProcess(Protocol):
+    """What a launcher hands back: the OS-process half of a worker."""
+
+    @property
+    def pid(self) -> int: ...
+
+    def alive(self) -> bool: ...
+
+    def stop(self) -> None: ...
+
+    def join(self, timeout: float) -> None: ...
+
+
+class Launcher(Protocol):
+    """Starts worker entry points; swapped for threads in unit tests."""
+
+    def launch(
+        self,
+        worker_id: int,
+        socket_path: str,
+        specs: Mapping[str, str],
+        default: str,
+        *,
+        generation: int,
+        cache_capacity: int,
+    ) -> WorkerProcess: ...
+
+
+class _SpawnedProcess:
+    """A spawn-context :class:`multiprocessing.Process` as a WorkerProcess."""
+
+    def __init__(self, process: "multiprocessing.process.BaseProcess") -> None:
+        self._process = process
+
+    @property
+    def pid(self) -> int:
+        return self._process.pid or 0
+
+    def alive(self) -> bool:
+        return self._process.is_alive()
+
+    def stop(self) -> None:
+        if self._process.is_alive():
+            self._process.terminate()
+
+    def join(self, timeout: float) -> None:
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.kill()
+            self._process.join(1.0)
+
+
+class ProcessLauncher:
+    """The real launcher: one spawned process per worker."""
+
+    def __init__(self) -> None:
+        self._context = multiprocessing.get_context("spawn")
+
+    def launch(
+        self,
+        worker_id: int,
+        socket_path: str,
+        specs: Mapping[str, str],
+        default: str,
+        *,
+        generation: int,
+        cache_capacity: int,
+    ) -> WorkerProcess:
+        process = self._context.Process(
+            target=worker_main,
+            args=(worker_id, socket_path, dict(specs), default),
+            kwargs={
+                "generation": generation,
+                "cache_capacity": cache_capacity,
+            },
+            daemon=True,
+            name=f"repro-fleet-w{generation}-{worker_id}",
+        )
+        process.start()
+        return _SpawnedProcess(process)
+
+
+class WorkerHandle:
+    """Router-side state for one worker: queue, socket, dispatcher.
+
+    The dispatch thread *owns* the socket — it is the only thing that
+    ever sends or receives on it, so the frame stream needs no lock.
+    Everything else (EWMA, counts, latency ring) sits behind a small
+    stats lock that is never held across a blocking call.
+    """
+
+    def __init__(
+        self,
+        router: "FleetRouter",
+        worker_id: int,
+        generation: int,
+        socket_path: Path,
+        process: WorkerProcess,
+        *,
+        queue_depth: int,
+        restarts: int = 0,
+    ) -> None:
+        self.router = router
+        self.worker_id = worker_id
+        self.generation = generation
+        self.socket_path = socket_path
+        self.process = process
+        self.restarts = restarts
+        self.queue: "queue.Queue[object]" = queue.Queue(queue_depth)
+        self.dead = threading.Event()
+        self.closing = False
+        self._sock: socket.socket | None = None
+        self._thread: threading.Thread | None = None
+        self._stats_lock = threading.Lock()
+        self.ewma = _EWMA_SEED  # guarded-by: _stats_lock
+        self.inflight = 0  # guarded-by: _stats_lock
+        self.served = 0  # guarded-by: _stats_lock
+        self.errors = 0  # guarded-by: _stats_lock
+        self.latencies: deque[float] = deque(maxlen=512)  # guarded-by: _stats_lock
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self, timeout: float) -> None:
+        """Wait for the worker's socket to answer a ping, then connect
+        the long-lived dispatch connection and start the dispatcher."""
+        deadline = time.monotonic() + timeout
+        last_error: Exception | None = None
+        ready = False
+        while time.monotonic() < deadline:
+            if not self.process.alive():
+                raise FleetError(
+                    f"worker {self.worker_id} (gen {self.generation}) "
+                    "exited before becoming ready"
+                )
+            try:
+                reply = probe_worker(self.socket_path, timeout=2.0)
+            except (OSError, ProtocolError) as exc:
+                last_error = exc
+                time.sleep(0.05)
+                continue
+            if reply.get("ok"):
+                ready = True
+                break
+            last_error = FleetError(f"bad ping reply: {reply}")
+            time.sleep(0.05)
+        if not ready:
+            self.process.stop()
+            raise FleetError(
+                f"worker {self.worker_id} (gen {self.generation}) not ready "
+                f"after {timeout:.0f}s: {last_error}"
+            )
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.connect(str(self.socket_path))
+        self._sock = sock
+        self._thread = threading.Thread(
+            target=self._dispatch_loop,
+            name=f"repro-fleet-dispatch-{self.generation}-{self.worker_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def join(self, timeout: float = 10.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+        self.process.join(timeout)
+        self.socket_path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # load accounting (all O(1), never blocking)
+    # ------------------------------------------------------------------
+    def load_estimate(self) -> float:
+        """Predicted wait for a new request: backlog x service time."""
+        with self._stats_lock:
+            backlog = self.inflight + self.queue.qsize()
+            return backlog * self.ewma
+
+    def counts(self) -> tuple[int, int]:
+        """``(served, errors)`` so far on this worker's dispatch socket."""
+        with self._stats_lock:
+            return self.served, self.errors
+
+    def stats(self) -> dict[str, object]:
+        with self._stats_lock:
+            return {
+                "id": self.worker_id,
+                "generation": self.generation,
+                "pid": self.process.pid,
+                "alive": not self.dead.is_set(),
+                "inflight": self.inflight,
+                "queued": self.queue.qsize(),
+                "ewma_ms": round(self.ewma * 1e3, 3),
+                "served": self.served,
+                "errors": self.errors,
+                "restarts": self.restarts,
+            }
+
+    def error_rate(self) -> float:
+        served, errors = self.counts()
+        total = served + errors
+        return errors / total if total else 0.0
+
+    def latency_p95(self) -> float:
+        with self._stats_lock:
+            sample = sorted(self.latencies)
+        if not sample:
+            return 0.0
+        return sample[min(len(sample) - 1, int(0.95 * len(sample)))]
+
+    # ------------------------------------------------------------------
+    # the dispatcher
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        sock = self._sock
+        if sock is None:  # pragma: no cover - start() always sets it
+            return
+        while True:
+            item = self.queue.get()
+            if item is _STOP:
+                self._graceful_close(sock)
+                return
+            request, future, context = item  # type: ignore[misc]
+            if not future.set_running_or_notify_cancel():
+                continue
+            with self._stats_lock:
+                self.inflight += 1
+            try:
+                self._dispatch_one(sock, request, future, context)
+            except (OSError, ProtocolError) as exc:
+                self._on_socket_death(future, exc)
+                return
+            finally:
+                with self._stats_lock:
+                    self.inflight -= 1
+
+    def _dispatch_one(
+        self,
+        sock: socket.socket,
+        request: dict,
+        future: "Future[dict]",
+        context: TraceContext | None,
+    ) -> None:
+        tracer = obs.get_tracer()
+        started = time.perf_counter()
+        if tracer.enabled and context is not None:
+            reply = self._roundtrip_traced(sock, request, context, tracer)
+        else:
+            send_message(sock, request)
+            maybe = recv_message(sock)
+            if maybe is None:
+                raise ProtocolError("worker closed mid-request")
+            reply = maybe
+        elapsed = time.perf_counter() - started
+        ok = bool(reply.get("ok"))
+        with self._stats_lock:
+            self.ewma += _EWMA_ALPHA * (elapsed - self.ewma)
+            self.latencies.append(elapsed)
+            if ok:
+                self.served += 1
+            else:
+                self.errors += 1
+        stages = reply.get("stages")
+        if isinstance(stages, dict):
+            self.router._merge_stages(stages)
+        if ok:
+            future.set_result(reply["record"])
+        else:
+            future.set_exception(_rebuild_error(reply))
+
+    def _roundtrip_traced(
+        self,
+        sock: socket.socket,
+        request: dict,
+        context: TraceContext,
+        tracer: obs.TracerLike,
+    ) -> dict:
+        """The send/recv round trip under a router-side rpc span; worker
+        spans shipped in the reply are grafted beneath it."""
+        with obs.use_context(context):
+            with obs.span(
+                "fleet.rpc",
+                worker=self.worker_id,
+                generation=self.generation,
+                model=str(request.get("model", "")),
+            ) as rpc:
+                rpc_context = rpc.context()
+                request["trace"] = {
+                    "trace_id": rpc_context.trace_id,
+                    "span_id": rpc_context.span_id,
+                }
+                send_message(sock, request)
+                reply = recv_message(sock)
+                if reply is None:
+                    raise ProtocolError("worker closed mid-request")
+                spans = reply.get("spans")
+                clock = reply.get("clock")
+                if isinstance(spans, list) and isinstance(tracer, obs.Tracer):
+                    tracer.adopt_spans(
+                        spans,
+                        parent=rpc_context,
+                        clock=clock if isinstance(clock, dict) else None,
+                    )
+        return reply
+
+    def _graceful_close(self, sock: socket.socket) -> None:
+        """Queue is drained; tell the worker to exit and hang up."""
+        try:
+            send_message(sock, {"op": "shutdown", "id": -1})
+            recv_message(sock)
+        except (OSError, ProtocolError):
+            # Already gone; the goal was its exit either way.
+            pass
+        sock.close()
+
+    def _on_socket_death(
+        self, inflight: "Future[dict]", exc: Exception
+    ) -> None:
+        """The worker vanished.  Fail ONLY the in-flight request; every
+        queued request re-routes to a surviving worker."""
+        self.dead.set()
+        logger.warning(
+            "worker %d (gen %d) connection lost: %s",
+            self.worker_id, self.generation, exc,
+        )
+        if not inflight.cancelled():
+            inflight.set_exception(
+                WorkerCrashed(
+                    f"worker {self.worker_id} died with this request "
+                    f"in flight: {exc}"
+                )
+            )
+        if self._sock is not None:
+            self._sock.close()
+        stranded: list[object] = []
+        while True:
+            try:
+                stranded.append(self.queue.get_nowait())
+            except queue.Empty:
+                break
+        requeued = 0
+        for item in stranded:
+            if item is _STOP:
+                continue
+            self.router._requeue(item)
+            requeued += 1
+        if requeued:
+            logger.info(
+                "re-routed %d queued request(s) off dead worker %d",
+                requeued, self.worker_id,
+            )
+        self.router._notify_death()
+
+
+def probe_worker(socket_path: Path | str, *, timeout: float = 2.0) -> dict:
+    """One-shot health probe: connect, ping, return the reply.
+
+    Used by the readiness wait, the health monitor, and tests; raises
+    ``OSError`` when the worker is not accepting connections."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout)
+    try:
+        sock.connect(str(socket_path))
+        send_message(sock, {"op": "ping", "id": 0})
+        reply = recv_message(sock)
+    finally:
+        sock.close()
+    if reply is None:
+        raise ProtocolError("worker closed the probe connection")
+    return reply
+
+
+def _rebuild_error(reply: Mapping[str, object]) -> Exception:
+    """Turn a worker's error reply back into a typed exception.
+
+    Only kinds with distinct HTTP semantics are rebuilt specifically
+    (``KeyError`` -> 404 for unknown models, ``ValueError`` -> 400);
+    everything else surfaces as ``RuntimeError`` -> 500."""
+    message = str(reply.get("error", "worker error"))
+    kind = reply.get("kind")
+    if kind == "KeyError":
+        return KeyError(message)
+    if kind == "ValueError":
+        return ValueError(message)
+    return RuntimeError(message)
+
+
+def _rendezvous_score(key: str, worker_key: str) -> int:
+    digest = hashlib.blake2b(
+        f"{key}#{worker_key}".encode(), digest_size=8
+    ).digest()
+    return int.from_bytes(digest, "big")
+
+
+@dataclass
+class _CanaryState:
+    """Routing-time state while a standby generation takes a traffic
+    slice: every ``every``-th admitted request diverts to the standby."""
+
+    handles: list[WorkerHandle]
+    every: int
+    count: int = field(default=0)
+
+
+class FleetRouter:
+    """The executor facade over a worker fleet.
+
+    Drop-in for the serving layer's executor contract:
+    ``submit((model, table, context)) -> Future[record]``, ``map``,
+    ``drain_stage_totals()``, ``shutdown(drain=)``.  Construction
+    blocks until every worker of generation 0 answers a ping (models
+    loaded), so a router that exists can serve.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, str | Path],
+        *,
+        default: str | None = None,
+        config: FleetConfig | None = None,
+        socket_dir: str | Path | None = None,
+        launcher: Launcher | None = None,
+    ) -> None:
+        if not specs:
+            raise ValueError("fleet needs at least one model spec")
+        self.config = config or FleetConfig()
+        self._specs: dict[str, str] = {
+            name: str(path) for name, path in specs.items()
+        }
+        self._default = default or next(iter(self._specs))
+        if self._default not in self._specs:
+            raise ValueError(f"default model {self._default!r} not in specs")
+        self._launcher: Launcher = launcher or ProcessLauncher()
+        self._own_socket_dir = socket_dir is None
+        self._socket_dir = Path(
+            socket_dir
+            if socket_dir is not None
+            else tempfile.mkdtemp(prefix="repro-fleet-")
+        )
+        self._route_lock = threading.Lock()
+        self._workers: list[WorkerHandle] = []  # guarded-by: _route_lock
+        self._generation = 0  # guarded-by: _route_lock
+        self._canary: _CanaryState | None = None  # guarded-by: _route_lock
+        self._closed = False  # guarded-by: _route_lock
+        self._request_counter = 0  # guarded-by: _route_lock
+        self._shed_total = 0  # guarded-by: _route_lock
+        self._requests_total = 0  # guarded-by: _route_lock
+        self._reload_lock = threading.Lock()
+        self._stages_lock = threading.Lock()
+        self._stage_totals: dict[str, list[float]] = {}  # guarded-by: _stages_lock
+        self._monitor_stop = threading.Event()
+        self._death_wakeup = threading.Event()
+
+        handles = self._spawn_generation(0, self._specs)
+        with self._route_lock:
+            self._workers = handles
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="repro-fleet-monitor", daemon=True
+        )
+        self._monitor.start()
+        logger.info(
+            "fleet up: %d worker(s), %d model(s), sockets in %s",
+            len(handles), len(self._specs), self._socket_dir,
+        )
+
+    # ------------------------------------------------------------------
+    # spawning
+    # ------------------------------------------------------------------
+    def _spawn_worker(
+        self,
+        worker_id: int,
+        generation: int,
+        specs: Mapping[str, str],
+        *,
+        restarts: int = 0,
+    ) -> WorkerHandle:
+        socket_path = self._socket_dir / f"w{generation}-{worker_id}.sock"
+        process = self._launcher.launch(
+            worker_id,
+            str(socket_path),
+            dict(specs),
+            self._default,
+            generation=generation,
+            cache_capacity=self.config.cache_capacity,
+        )
+        handle = WorkerHandle(
+            self,
+            worker_id,
+            generation,
+            socket_path,
+            process,
+            queue_depth=self.config.queue_depth,
+            restarts=restarts,
+        )
+        handle.start(self.config.spawn_timeout)
+        return handle
+
+    def _spawn_generation(
+        self, generation: int, specs: Mapping[str, str]
+    ) -> list[WorkerHandle]:
+        handles: list[WorkerHandle] = []
+        try:
+            for worker_id in range(self.config.workers):
+                handles.append(
+                    self._spawn_worker(worker_id, generation, specs)
+                )
+        except Exception:  # noqa: BLE001 - reap partial generation, re-raise
+            for handle in handles:
+                handle.process.stop()
+            raise
+        return handles
+
+    # ------------------------------------------------------------------
+    # the executor contract
+    # ------------------------------------------------------------------
+    def submit(
+        self, item: tuple[str, Table, TraceContext | None]
+    ) -> "Future[dict]":
+        """Route one request; sheds with :class:`ServiceOverloaded`."""
+        model, table, context = item
+        name = model or self._default
+        request = {
+            "op": "classify",
+            "id": 0,
+            "model": name,
+            "table": table_to_wire(table),
+        }
+        key: str | None = None
+        if self.config.cache_capacity > 0:
+            key = f"{name}|{table.content_hash()}"
+        future: "Future[dict]" = Future()
+        with self._route_lock:
+            if self._closed:
+                raise RuntimeError("fleet router is shut down")
+            self._request_counter += 1
+            self._requests_total += 1
+            request["id"] = self._request_counter
+            handle = self._pick_worker_locked(key)
+            if handle is None:
+                self._shed_total += 1
+                raise ServiceOverloaded(
+                    "no live fleet workers", retry_after=1.0
+                )
+            estimate = handle.load_estimate()
+            if estimate > self.config.deadline:
+                self._shed_total += 1
+                raise ServiceOverloaded(
+                    f"fleet saturated: predicted wait {estimate:.2f}s "
+                    f"exceeds the {self.config.deadline:.2f}s deadline",
+                    retry_after=max(0.05, estimate - self.config.deadline),
+                )
+            try:
+                handle.queue.put_nowait((request, future, context))
+            except queue.Full:
+                self._shed_total += 1
+                raise ServiceOverloaded(
+                    f"fleet worker {handle.worker_id} queue is full",
+                    retry_after=max(0.05, handle.load_estimate()),
+                ) from None
+        return future
+
+    def map(
+        self, items: Sequence[tuple[str, Table, TraceContext | None]]
+    ) -> list[dict]:
+        futures = [self.submit(item) for item in items]
+        return [f.result() for f in futures]
+
+    def _pick_worker_locked(self, key: str | None) -> WorkerHandle | None:
+        """Choose a live worker.  Caller holds ``_route_lock`` (every
+        call site is lexically inside ``with self._route_lock``)."""
+        # repro-lint: disable=guarded-attr - _canary/_workers reads here
+        # run under _route_lock, held by every caller (see submit()).
+        canary = self._canary
+        if canary is not None:
+            canary.count += 1
+            if canary.count % canary.every == 0:
+                standby = [
+                    h for h in canary.handles if not h.dead.is_set()
+                ]
+                choice = self._least_loaded(standby)
+                if choice is not None:
+                    return choice
+                # Standby fleet all dead: fall through to live routing;
+                # the reload comparison will abort on its error stats.
+        # repro-lint: disable=guarded-attr - same _route_lock argument.
+        alive = [h for h in self._workers if not h.dead.is_set()]
+        if not alive:
+            return None
+        if key is None:
+            return self._least_loaded(alive)
+        return max(
+            alive,
+            key=lambda h: _rendezvous_score(
+                key, f"{h.generation}:{h.worker_id}"
+            ),
+        )
+
+    @staticmethod
+    def _least_loaded(handles: list[WorkerHandle]) -> WorkerHandle | None:
+        if not handles:
+            return None
+        return min(handles, key=lambda h: h.load_estimate())
+
+    def _requeue(self, item: object) -> None:
+        """Re-route a request stranded on a dead worker's queue."""
+        request, future, context = item  # type: ignore[misc]
+        with self._route_lock:
+            alive = sorted(
+                (h for h in self._workers if not h.dead.is_set()),
+                key=lambda h: h.load_estimate(),
+            )
+            routed = False
+            for handle in alive:
+                try:
+                    handle.queue.put_nowait((request, future, context))
+                    routed = True
+                    break
+                except queue.Full:
+                    continue
+            if not routed:
+                self._shed_total += 1
+        if not routed and not future.cancelled():
+            future.set_exception(
+                ServiceOverloaded(
+                    "worker died and no surviving worker has queue space",
+                    retry_after=1.0,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # health + restart
+    # ------------------------------------------------------------------
+    def _notify_death(self) -> None:
+        """A dispatcher noticed its worker die; wake the monitor so the
+        respawn starts now instead of at the next health tick."""
+        self._death_wakeup.set()
+
+    def _monitor_loop(self) -> None:
+        while True:
+            self._death_wakeup.wait(self.config.health_interval)
+            self._death_wakeup.clear()
+            if self._monitor_stop.is_set():
+                return
+            with self._route_lock:
+                snapshot = list(self._workers)
+                generation = self._generation
+                specs = dict(self._specs)
+            for handle in snapshot:
+                if handle.closing or handle.generation != generation:
+                    continue
+                if not handle.dead.is_set():
+                    # Idle crashes leave the dispatcher blocked on an
+                    # empty queue with no way to notice; probe the
+                    # process so a dead-but-idle worker is detected
+                    # within one health interval.
+                    if handle.process.alive():
+                        continue
+                    handle.dead.set()
+                    logger.warning(
+                        "worker %d (gen %d) process exited; failing over",
+                        handle.worker_id, handle.generation,
+                    )
+                self._respawn(handle, generation, specs)
+
+    def _respawn(
+        self,
+        dead: WorkerHandle,
+        generation: int,
+        specs: Mapping[str, str],
+    ) -> None:
+        if dead.restarts >= self.config.max_restarts:
+            logger.error(
+                "worker %d hit the restart limit (%d); leaving it down",
+                dead.worker_id, self.config.max_restarts,
+            )
+            with self._route_lock:
+                if dead in self._workers:
+                    self._workers.remove(dead)
+            return
+        dead.process.stop()
+        # Wait for the old process to be fully gone before reusing its
+        # socket path: a terminated worker's cleanup unlinks the path,
+        # and racing that against the replacement's bind would delete
+        # the new socket out from under it.
+        dead.process.join(5.0)
+        dead.socket_path.unlink(missing_ok=True)
+        try:
+            replacement = self._spawn_worker(
+                dead.worker_id, generation, specs,
+                restarts=dead.restarts + 1,
+            )
+        except FleetError as exc:
+            logger.error(
+                "respawn of worker %d failed: %s", dead.worker_id, exc
+            )
+            return
+        with self._route_lock:
+            try:
+                index = self._workers.index(dead)
+            except ValueError:
+                # The generation flipped while we were spawning; the
+                # replacement belongs to a retired fleet.  Kill it.
+                stale = True
+            else:
+                self._workers[index] = replacement
+                stale = False
+        if stale:
+            replacement.process.stop()
+            return
+        logger.info(
+            "worker %d respawned (restart %d)",
+            replacement.worker_id, replacement.restarts,
+        )
+
+    # ------------------------------------------------------------------
+    # blue/green reload
+    # ------------------------------------------------------------------
+    def reload(
+        self,
+        path: str | Path,
+        *,
+        name: str | None = None,
+        canary: float | None = None,
+        wait: bool = True,
+    ) -> dict:
+        """Swap ``name`` to the model at ``path`` with zero downtime.
+
+        Spawns a full standby generation with the new spec, optionally
+        dials ``canary`` (default ``config.canary_fraction``) of live
+        traffic onto it, compares error rate and p95 latency against
+        the live generation, then flips routing atomically and retires
+        the old workers — draining their queues and in-flight requests
+        first, so nothing is dropped.  A standby that fails the canary
+        comparison is killed and the live generation keeps serving.
+
+        Returns a status dict: ``{"status": "flipped", ...}`` or
+        ``{"status": "aborted", "reason": ...}``.  With ``wait=False``
+        the canary/flip runs on a background thread and the call
+        returns ``{"status": "started"}`` immediately.
+        """
+        if not self._reload_lock.acquire(blocking=False):
+            raise ReloadInProgress("a blue/green reload is already running")
+        try:
+            model = name or Path(path).stem
+            if model not in self._specs:
+                raise KeyError(
+                    f"unknown model {model!r}; fleet serves: "
+                    f"{sorted(self._specs)}"
+                )
+            new_specs = dict(self._specs)
+            new_specs[model] = str(path)
+            with self._route_lock:
+                generation = self._generation + 1
+            logger.info(
+                "blue/green: spawning standby generation %d for model %r",
+                generation, model,
+            )
+            standby = self._spawn_generation(generation, new_specs)
+        except BaseException:  # noqa: BLE001 - release reload lock, re-raise
+            self._reload_lock.release()
+            raise
+        if wait:
+            try:
+                return self._canary_and_flip(
+                    standby, generation, new_specs, canary
+                )
+            finally:
+                self._reload_lock.release()
+
+        def _background() -> None:
+            try:
+                self._canary_and_flip(standby, generation, new_specs, canary)
+            except Exception:  # noqa: BLE001 - background thread must not die silently
+                logger.exception("background blue/green reload failed")
+            finally:
+                self._reload_lock.release()
+
+        threading.Thread(
+            target=_background, name="repro-fleet-reload", daemon=True
+        ).start()
+        return {"status": "started", "generation": generation}
+
+    def _canary_and_flip(
+        self,
+        standby: list[WorkerHandle],
+        generation: int,
+        new_specs: dict[str, str],
+        canary: float | None,
+    ) -> dict:
+        fraction = (
+            canary if canary is not None else self.config.canary_fraction
+        )
+        if fraction > 0:
+            verdict = self._run_canary(standby, fraction)
+            if verdict is not None:
+                logger.warning("canary failed (%s); killing standby", verdict)
+                self._retire(standby, drain=False)
+                return {
+                    "status": "aborted",
+                    "reason": verdict,
+                    "generation": generation,
+                }
+        with self._route_lock:
+            retired = self._workers
+            self._workers = standby
+            self._generation = generation
+            self._specs = new_specs
+            self._canary = None
+            for handle in retired:
+                handle.closing = True
+        logger.info("blue/green: flipped to generation %d", generation)
+        self._retire(retired, drain=True)
+        canary_served = sum(h.counts()[0] for h in standby)
+        return {
+            "status": "flipped",
+            "generation": generation,
+            "canary_served": canary_served,
+        }
+
+    def _run_canary(
+        self, standby: list[WorkerHandle], fraction: float
+    ) -> str | None:
+        """Dial ``fraction`` of traffic onto the standby; ``None`` means
+        it passed, else the abort reason."""
+        state = _CanaryState(
+            handles=standby, every=max(1, round(1.0 / fraction))
+        )
+        with self._route_lock:
+            self._canary = state
+        deadline = time.monotonic() + self.config.canary_timeout
+        try:
+            while time.monotonic() < deadline:
+                served = sum(h.counts()[0] for h in standby)
+                errors = sum(h.counts()[1] for h in standby)
+                if served + errors >= self.config.canary_min_requests:
+                    break
+                time.sleep(0.02)
+        finally:
+            with self._route_lock:
+                self._canary = None
+        with self._route_lock:
+            live = list(self._workers)
+        served = sum(h.counts()[0] for h in standby)
+        errors = sum(h.counts()[1] for h in standby)
+        if served + errors == 0:
+            # No traffic arrived during the window (idle service); the
+            # standby proved readiness at spawn, so flip on that.
+            return None
+        standby_rate = errors / (served + errors)
+        live_rate = max((h.error_rate() for h in live), default=0.0)
+        if standby_rate > live_rate + 0.05:
+            return (
+                f"standby error rate {standby_rate:.1%} vs live "
+                f"{live_rate:.1%}"
+            )
+        live_p95 = max((h.latency_p95() for h in live), default=0.0)
+        standby_p95 = max((h.latency_p95() for h in standby), default=0.0)
+        if live_p95 > 0 and standby_p95 > 5.0 * live_p95:
+            return (
+                f"standby p95 {standby_p95 * 1e3:.1f}ms vs live "
+                f"{live_p95 * 1e3:.1f}ms"
+            )
+        return None
+
+    def _retire(self, handles: list[WorkerHandle], *, drain: bool) -> None:
+        """Shut a generation down; with ``drain``, everything already
+        queued or in flight completes first (the STOP sentinel sits
+        behind every accepted request in each worker's FIFO queue)."""
+        for handle in handles:
+            handle.closing = True
+            if not drain:
+                handle.dead.set()
+                handle.process.stop()
+                continue
+            try:
+                handle.queue.put(_STOP, timeout=5.0)
+            except queue.Full:
+                handle.process.stop()
+        for handle in handles:
+            handle.join(10.0)
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def status(self) -> dict:
+        """Fleet snapshot for ``/metrics`` and the readiness probe."""
+        with self._route_lock:
+            workers = [h.stats() for h in self._workers]
+            generation = self._generation
+            shed = self._shed_total
+            total = self._requests_total
+            canary_active = self._canary is not None
+        alive = sum(1 for w in workers if w["alive"])
+        return {
+            "generation": generation,
+            "workers": workers,
+            "alive": alive,
+            "total": len(workers),
+            "quorum": len(workers) // 2 + 1,
+            "shed_total": shed,
+            "requests_total": total,
+            "canary_active": canary_active,
+            "reload_in_progress": self._reload_lock.locked(),
+        }
+
+    def ready(self) -> bool:
+        """A quorum (majority) of the live generation is up."""
+        status = self.status()
+        alive = int(status["alive"])
+        quorum = int(status["quorum"])
+        return int(status["total"]) > 0 and alive >= quorum
+
+    def _merge_stages(self, stages: Mapping[str, Sequence[float]]) -> None:
+        with self._stages_lock:
+            for stage, totals in stages.items():
+                entry = self._stage_totals.setdefault(stage, [0.0, 0])
+                entry[0] += float(totals[0])
+                entry[1] += int(totals[1])
+
+    def drain_stage_totals(self) -> dict[str, tuple[float, int]]:
+        """Per-stage (seconds, calls) accumulated since the last drain."""
+        with self._stages_lock:
+            out = {
+                k: (v[0], int(v[1])) for k, v in self._stage_totals.items()
+            }
+            self._stage_totals.clear()
+        return out
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self, *, drain: bool = True) -> None:
+        """Stop the fleet; with ``drain`` finish everything accepted."""
+        with self._route_lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._workers)
+            self._workers = []
+        self._monitor_stop.set()
+        self._death_wakeup.set()
+        self._monitor.join(5.0)
+        self._retire(handles, drain=drain)
+        if self._own_socket_dir:
+            import shutil
+
+            shutil.rmtree(self._socket_dir, ignore_errors=True)
+        logger.info("fleet shut down")
+
+    def __enter__(self) -> "FleetRouter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()

@@ -1,0 +1,319 @@
+"""Fleet worker: one process, every model warm, a Unix socket in front.
+
+A worker is deliberately dumb: it loads its models once (memory-mapped
+for directory stores, so N workers share one page-cached copy of the
+matrices), binds an ``AF_UNIX`` socket, and answers one request per
+frame on each accepted connection.  Routing, batching, admission
+control, health tracking, and blue/green orchestration all live in the
+router — a worker that crashes mid-request loses exactly the requests
+in flight on its sockets, nothing more.
+
+The logic is split so tests can drive it without processes:
+
+* :class:`WorkerServer` — pure request handling (``dict`` in, ``dict``
+  out), constructed from in-memory pipelines or paths; unit tests call
+  :meth:`WorkerServer.handle` directly or speak frames over a
+  ``socket.socketpair()``.
+* :func:`worker_main` — the top-level process entry point (spawn
+  pickles it by reference, so it must not be a closure): build the
+  server, bind the socket, accept until told to shut down.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import socket
+import threading
+import time
+from pathlib import Path
+from typing import Mapping
+
+from repro import obs
+from repro.core.pipeline import MetadataPipeline
+from repro.fleet.protocol import (
+    ProtocolError,
+    recv_message,
+    send_message,
+    table_from_wire,
+)
+from repro.obs.spans import TraceContext
+from repro.serve.bulk import classify_cached, result_record
+from repro.serve.cache import LRUCache
+
+logger = logging.getLogger("repro.fleet.worker")
+
+
+class _StageTotals:
+    """Accumulates ``(stage, seconds)`` hook calls into ``[sum, count]``."""
+
+    def __init__(self) -> None:
+        self.totals: dict[str, list[float]] = {}
+
+    def __call__(self, stage: str, seconds: float) -> None:
+        entry = self.totals.setdefault(stage, [0.0, 0])
+        entry[0] += seconds
+        entry[1] += 1
+
+    def snapshot(self) -> dict[str, list[float]]:
+        out = {k: list(v) for k, v in self.totals.items()}
+        self.totals.clear()
+        return out
+
+
+class WorkerServer:
+    """The request handler of one fleet worker.
+
+    ``specs`` maps model name to archive/directory path; every model is
+    loaded at construction so the router's readiness ping only succeeds
+    once the worker can actually classify.  A per-worker result cache
+    (``cache_capacity > 0``) composes with the router's consistent
+    routing: the router sends a given ``(model, table)`` to the same
+    worker, so per-worker caches shard the key space instead of
+    duplicating it.
+    """
+
+    def __init__(
+        self,
+        specs: Mapping[str, str],
+        default: str,
+        *,
+        worker_id: int = 0,
+        generation: int = 0,
+        cache_capacity: int = 0,
+        mmap: bool = True,
+    ) -> None:
+        from repro.core.persistence import load_pipeline
+
+        self.worker_id = worker_id
+        self.generation = generation
+        self.models: dict[str, MetadataPipeline] = {
+            name: load_pipeline(path, mmap=mmap)
+            for name, path in specs.items()
+        }
+        self.default = default
+        self.cache = LRUCache(cache_capacity) if cache_capacity > 0 else None
+        self._stages = _StageTotals()
+        for pipeline in self.models.values():
+            pipeline.add_stage_hook(self._stages)
+        self.served = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def handle(self, request: dict) -> dict:
+        """One request dict in, one reply dict out; never raises.
+
+        Any exception becomes an ``{"ok": false, "kind": ..., "error":
+        ...}`` reply — per-request isolation, mirroring the thread and
+        process serving paths.  The ``kind`` (exception class name)
+        lets the router re-raise semantically: a worker-side
+        ``KeyError`` for an unknown model surfaces as HTTP 404, not 500.
+        """
+        op = request.get("op")
+        rid = request.get("id")
+        try:
+            if op == "ping":
+                return self._ping(rid)
+            if op == "classify":
+                return self._classify(request, rid)
+            if op == "shutdown":
+                return {"ok": True, "op": "shutdown", "id": rid}
+            if op == "crash":  # test hook: die like a real crash would
+                logger.warning("worker %d told to crash", self.worker_id)
+                os._exit(13)
+            raise ValueError(f"unknown op {op!r}")
+        except Exception as exc:  # noqa: BLE001 - per-request isolation
+            self.errors += 1
+            return {
+                "ok": False,
+                "id": rid,
+                "error": str(exc),
+                "kind": type(exc).__name__,
+            }
+
+    def _ping(self, rid: object) -> dict:
+        return {
+            "ok": True,
+            "op": "ping",
+            "id": rid,
+            "pid": os.getpid(),
+            "worker_id": self.worker_id,
+            "generation": self.generation,
+            "models": sorted(self.models),
+            "served": self.served,
+            "errors": self.errors,
+        }
+
+    def _classify(self, request: dict, rid: object) -> dict:
+        name = str(request.get("model") or self.default)
+        try:
+            pipeline = self.models[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {name!r}; worker loaded: {sorted(self.models)}"
+            ) from None
+        table_obj = request.get("table")
+        if not isinstance(table_obj, dict):
+            raise ValueError("classify request carries no 'table' object")
+        table = table_from_wire(table_obj)
+        trace = request.get("trace")
+        start = time.perf_counter()
+        if isinstance(trace, dict):
+            record, spans, clock = self._classify_traced(
+                pipeline, table, name, trace
+            )
+        else:
+            annotation, hit = classify_cached(
+                pipeline, table, self.cache, model=name
+            )
+            record = result_record(table, annotation, model=name, cached=hit)
+            spans, clock = None, None
+        self.served += 1
+        reply: dict = {
+            "ok": True,
+            "id": rid,
+            "record": record,
+            "seconds": round(time.perf_counter() - start, 6),
+            "stages": self._stages.snapshot(),
+        }
+        if spans is not None:
+            reply["spans"] = spans
+            reply["clock"] = clock
+        return reply
+
+    def _classify_traced(
+        self,
+        pipeline: MetadataPipeline,
+        table: object,
+        name: str,
+        trace: dict,
+    ) -> tuple[dict, list[dict], dict]:
+        """Classify under a request-scoped tracer; ship the spans back.
+
+        The worker's spans keep the *router's* trace id (carried in the
+        request) so they already belong to the right trace; the router
+        re-parents and rebases them via ``Tracer.adopt_spans``.
+        """
+        with obs.tracing() as tracer:
+            with obs.span(
+                "fleet.worker",
+                trace_id=str(trace.get("trace_id") or "") or None,
+                worker=self.worker_id,
+                pid=os.getpid(),
+                table=getattr(table, "name", ""),
+            ):
+                annotation, hit = classify_cached(
+                    pipeline, table, self.cache, model=name  # type: ignore[arg-type]
+                )
+            record = result_record(
+                table, annotation, model=name, cached=hit  # type: ignore[arg-type]
+            )
+            spans = [obs.span_to_dict(s) for s in tracer.spans()]
+            clock = {"wall": tracer.wall_epoch, "perf": tracer.perf_epoch}
+        return record, spans, clock
+
+    # ------------------------------------------------------------------
+    # the socket face
+    # ------------------------------------------------------------------
+    def serve_connection(self, conn: socket.socket) -> bool:
+        """Answer frames on ``conn`` until EOF or a shutdown op.
+
+        Returns ``True`` when the peer asked the *server* to shut down
+        (the accept loop should exit), ``False`` on a plain disconnect.
+        """
+        try:
+            while True:
+                try:
+                    request = recv_message(conn)
+                except ProtocolError as exc:
+                    logger.warning(
+                        "worker %d: bad frame, dropping connection: %s",
+                        self.worker_id, exc,
+                    )
+                    return False
+                if request is None:
+                    return False
+                reply = self.handle(request)
+                send_message(conn, reply)
+                if request.get("op") == "shutdown":
+                    return True
+        except OSError as exc:
+            # The router vanished mid-conversation (its crash or a
+            # restart); this connection is dead but the worker is fine.
+            logger.info(
+                "worker %d: connection lost: %s", self.worker_id, exc
+            )
+            return False
+        finally:
+            conn.close()
+
+
+def worker_main(
+    worker_id: int,
+    socket_path: str,
+    specs: Mapping[str, str],
+    default: str,
+    *,
+    generation: int = 0,
+    cache_capacity: int = 0,
+) -> None:
+    """Process entry point: load models, bind the socket, serve.
+
+    Binds *before* loading would race the router's connect-retry loop
+    into talking to a worker with no models, so the order is load →
+    bind → accept: the socket's existence is the readiness signal.
+    Each accepted connection gets its own thread — the router holds one
+    long-lived connection per worker, but health probes and canary
+    dials arrive on separate short-lived ones.
+    """
+    logging.basicConfig(
+        level=logging.INFO,
+        format=f"[fleet-worker-{worker_id}] %(levelname)s %(message)s",
+    )
+    server = WorkerServer(
+        specs,
+        default,
+        worker_id=worker_id,
+        generation=generation,
+        cache_capacity=cache_capacity,
+    )
+    path = Path(socket_path)
+    path.unlink(missing_ok=True)
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(str(path))
+    listener.listen(8)
+    logger.info(
+        "worker %d ready: %d model(s), generation %d, socket %s",
+        worker_id, len(server.models), generation, socket_path,
+    )
+    stop = threading.Event()
+
+    def _serve(conn: socket.socket) -> None:
+        if server.serve_connection(conn):
+            stop.set()
+            # Unblock accept() so the loop notices the stop flag.
+            try:
+                poke = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                poke.connect(str(path))
+                poke.close()
+            except OSError:
+                pass
+
+    try:
+        while not stop.is_set():
+            try:
+                conn, _ = listener.accept()
+            except OSError:
+                break
+            if stop.is_set():
+                conn.close()
+                break
+            threading.Thread(
+                target=_serve, args=(conn,), daemon=True
+            ).start()
+    finally:
+        listener.close()
+        path.unlink(missing_ok=True)
+        logger.info("worker %d exiting", worker_id)

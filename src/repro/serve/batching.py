@@ -8,6 +8,14 @@ batch to a :class:`~concurrent.futures.ThreadPoolExecutor`.
 Classification is NumPy-bound, so worker threads release the GIL inside
 BLAS and concurrent clients amortize warm-up instead of serializing.
 
+Batching is **adaptive**: the collector drains whatever is already
+queued, and only waits out the ``max_delay`` deadline for further
+batchmates while every pool worker is busy — time that costs nothing,
+because no worker could start the batch anyway.  The moment there is
+idle worker capacity a partial batch dispatches immediately, so a
+lightly loaded service never trades latency (or throughput) for batch
+size it cannot use.
+
 ``shutdown(drain=True)`` is graceful: the queue stops accepting new
 work, everything already enqueued is dispatched and completed, and only
 then do the collector and pool exit.
@@ -31,6 +39,21 @@ T = TypeVar("T")
 R = TypeVar("R")
 
 _SENTINEL = object()
+
+
+class ServiceOverloaded(RuntimeError):
+    """The service cannot meet its queue deadline — shed, don't queue.
+
+    Raised by admission control (the fleet router, and any executor
+    that bounds its queue by deadline) instead of letting a request sit
+    in a queue it would only time out of.  The HTTP layer maps it to a
+    fast ``503`` with a ``Retry-After`` header built from
+    ``retry_after`` (seconds).
+    """
+
+    def __init__(self, message: str, *, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = max(0.0, retry_after)
 
 
 @dataclass(frozen=True)
@@ -126,18 +149,34 @@ class BatchingExecutor(Generic[T, R]):
             batch = [entry]
             deadline = monotonic() + self.config.max_delay
             while len(batch) < self.config.max_batch_size:
-                remaining = deadline - monotonic()
-                if remaining <= 0:
-                    break
                 try:
-                    entry = self._queue.get(timeout=remaining)
+                    # Greedy: anything already queued joins the batch
+                    # for free.
+                    entry = self._queue.get_nowait()
                 except queue.Empty:
-                    break
+                    # Nothing waiting.  Holding the batch open for
+                    # stragglers is only worthwhile while every worker
+                    # is busy (the wait costs nothing — no worker could
+                    # start us anyway); with idle capacity, waiting
+                    # just adds latency, so dispatch what we have.
+                    if not self._workers_busy():
+                        break
+                    remaining = deadline - monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        entry = self._queue.get(timeout=remaining)
+                    except queue.Empty:
+                        break
                 if entry is _SENTINEL:
                     self._dispatch(batch)
                     return
                 batch.append(entry)
             self._dispatch(batch)
+
+    def _workers_busy(self) -> bool:
+        with self._inflight_lock:
+            return len(self._inflight) >= self.config.workers
 
     def _dispatch(self, batch: list) -> None:
         logger.debug("dispatching batch of %d", len(batch))

@@ -8,15 +8,26 @@ Endpoints:
   entry (default: the first registered model).
 * ``POST /classify/batch`` — JSON ``{"tables": [...]}`` (or a bare
   list); each element is a table object or a plain rows list.
-* ``GET /healthz`` — liveness plus the loaded model names.
+* ``GET /healthz`` — liveness plus the loaded model names;
+  ``GET /healthz?ready=1`` is the *readiness* probe, answering 503
+  until every model is loaded and (under ``--fleet``) a quorum of
+  workers is up.
 * ``GET /metrics`` — Prometheus text format: request counts, cache hit
-  ratio, p50/p95 latency, per-stage timings.
+  ratio, p50/p95 latency, per-stage timings, fleet health.
+* ``POST /admin/reload`` — blue/green model reload: body
+  ``{"path": ..., "name"?: ..., "canary"?: fraction, "wait"?: bool}``;
+  200 on flip, 409 when the canary aborts or a reload is already
+  running.
 
 :class:`ClassificationService` is the transport-independent core: it
 owns the registry, the LRU result cache, the metrics, and the
-micro-batching executor.  The HTTP layer just parses bodies and
-serializes records, so tests (and future transports) can drive the
-service directly.
+execution backend — a micro-batching thread pool by default, a
+:class:`~repro.parallel.pool.ShardedPool` with ``procs``, or a
+:class:`~repro.fleet.router.FleetRouter` worker fleet with ``fleet``.
+The HTTP layer just parses bodies and serializes records, so tests
+(and future transports) can drive the service directly.  When the
+fleet sheds load (:class:`~repro.serve.batching.ServiceOverloaded`)
+the HTTP layer answers a fast ``503`` with a ``Retry-After`` header.
 """
 
 from __future__ import annotations
@@ -27,11 +38,21 @@ import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Sequence
 from urllib.parse import parse_qs, urlsplit
 
+if TYPE_CHECKING:
+    from repro.fleet.router import FleetConfig, FleetRouter
+    from repro.parallel.pool import ShardedPool
+
 from repro import obs
-from repro.serve.batching import BatchingConfig, BatchingExecutor
+from repro.core.pipeline import MetadataPipeline
+from repro.serve.batching import (
+    BatchingConfig,
+    BatchingExecutor,
+    ServiceOverloaded,
+)
 from repro.serve.bulk import classify_cached, result_record, table_from_text
 from repro.serve.cache import LRUCache
 from repro.serve.metrics import ServiceMetrics
@@ -55,6 +76,15 @@ class ClassificationService:
     processes shard the classification math itself across CPUs.  In
     procs mode results are cached per worker process, so the parent
     ``cache`` stays empty.
+
+    ``fleet`` runs the socket-routed worker fleet
+    (:class:`~repro.fleet.router.FleetRouter`): like procs it shards
+    the math across worker processes, and it adds admission control
+    (load shedding under overload), automatic restart of crashed
+    workers, and zero-downtime blue/green reloads via :meth:`reload`.
+    ``procs`` and ``fleet`` are mutually exclusive.  In fleet mode
+    results are cached per worker (consistent routing keeps the shards
+    disjoint), so the parent cache is disabled.
     """
 
     def __init__(
@@ -65,44 +95,79 @@ class ClassificationService:
         cache_capacity: int = 4096,
         metrics: ServiceMetrics | None = None,
         procs: int | None = None,
+        fleet: int | None = None,
+        fleet_config: "FleetConfig | None" = None,
     ) -> None:
         if len(registry) == 0:
             raise ValueError("the service needs at least one loaded model")
+        if procs is not None and fleet is not None:
+            raise ValueError("procs and fleet are mutually exclusive")
         self.registry = registry
         self.metrics = metrics or ServiceMetrics()
-        self.cache: LRUCache = LRUCache(cache_capacity)
+        # capacity <= 0 disables the result cache entirely: no content
+        # hashing, no cache lock on the per-item hot path (LRUCache(0)
+        # would still pay both just to record a miss).  Worker-process
+        # backends cache inside the workers, so the parent cache is off.
+        self.cache: LRUCache | None = (
+            LRUCache(cache_capacity)
+            if cache_capacity > 0 and fleet is None
+            else None
+        )
         self.procs = procs
+        self.fleet = fleet
         self.workers = (batching or BatchingConfig()).workers
         for name in registry.names():
             # add_stage_hook composes with hooks the caller installed
             # (e.g. a tracing or bulk-metrics subscriber) instead of
             # clobbering them; see MetadataPipeline.add_stage_hook.
             registry.get(name).add_stage_hook(self.metrics.observe_stage)
+        self._router: "FleetRouter | None" = None
+        self._executor: "BatchingExecutor | ShardedPool | FleetRouter"
         if procs is not None:
             from repro.parallel import ShardedPool
 
-            specs: dict[str, str] = {}
-            for name in registry.names():
-                path = registry.info(name).path
-                # Path("") has no parts — an in-memory registry entry
-                # (ModelRegistry.add) that workers cannot re-load.
-                if not path.parts:
-                    raise ValueError(
-                        f"model {name!r} has no on-disk path; serve --procs "
-                        "needs saved models the workers can load themselves"
-                    )
-                specs[name] = str(path)
-            self._executor: BatchingExecutor | ShardedPool = ShardedPool(
-                specs,
+            self._executor = ShardedPool(
+                self._model_specs("--procs"),
                 procs=procs,
                 default=registry.default_name,
                 cache_capacity=cache_capacity,
             )
+        elif fleet is not None:
+            from repro.fleet.router import FleetConfig, FleetRouter
+
+            config = fleet_config or FleetConfig()
+            if config.workers != fleet or config.cache_capacity != cache_capacity:
+                from dataclasses import replace
+
+                config = replace(
+                    config, workers=fleet, cache_capacity=cache_capacity
+                )
+            self._router = FleetRouter(
+                self._model_specs("--fleet"),
+                default=registry.default_name,
+                config=config,
+            )
+            self._executor = self._router
         else:
             self._executor = BatchingExecutor(
                 self._handle_batch, batching, on_batch=self._record_batch
             )
         self._closed = False
+
+    def _model_specs(self, flag: str) -> dict[str, str]:
+        """Every model's on-disk path, for worker-process backends."""
+        specs: dict[str, str] = {}
+        for name in self.registry.names():
+            path = self.registry.info(name).path
+            # Path("") has no parts — an in-memory registry entry
+            # (ModelRegistry.add) that workers cannot re-load.
+            if not path.parts:
+                raise ValueError(
+                    f"model {name!r} has no on-disk path; serve {flag} "
+                    "needs saved models the workers can load themselves"
+                )
+            specs[name] = str(path)
+        return specs
 
     def _record_batch(self, size: int) -> None:
         self.metrics.inc("batches_total")
@@ -124,13 +189,24 @@ class ClassificationService:
         # span (and everything the pipeline emits under it) to the
         # request's trace across the thread-pool boundary.
         out: list[object] = []
+        # Resolve each distinct model name once per batch, not once per
+        # item — registry lookups take the registry lock, and a batch is
+        # usually all one model.
+        resolved_models: dict[str, tuple[str, MetadataPipeline]] = {}
         for model_name, table, ctx in items:
             with obs.use_context(ctx), obs.span(
                 "serve.item", table=table.name
             ) as item_span:
                 try:
-                    pipeline = self.registry.get(model_name or None)
-                    resolved = model_name or self.registry.default_name or ""
+                    hit_entry = resolved_models.get(model_name)
+                    if hit_entry is None:
+                        pipeline = self.registry.get(model_name or None)
+                        resolved = (
+                            model_name or self.registry.default_name or ""
+                        )
+                        resolved_models[model_name] = (resolved, pipeline)
+                    else:
+                        resolved, pipeline = hit_entry
                     annotation, hit = classify_cached(
                         pipeline, table, self.cache, model=resolved
                     )
@@ -163,34 +239,136 @@ class ClassificationService:
         return [f.result() for f in futures]
 
     # ------------------------------------------------------------------
+    # model lifecycle
+    # ------------------------------------------------------------------
+    def reload(
+        self,
+        path: str,
+        *,
+        name: str | None = None,
+        canary: float | None = None,
+        wait: bool = True,
+    ) -> dict:
+        """Hot-swap a model to the archive/store at ``path``.
+
+        Fleet mode runs the full blue/green dance (standby generation,
+        canary slice, compare, atomic flip, retire) — see
+        :meth:`repro.fleet.router.FleetRouter.reload`.  Thread mode
+        swaps the registry generation atomically and drops stale cached
+        results.  Not supported with ``--procs`` (the sharded pool has
+        no standby machinery); use ``--fleet`` for reloadable
+        multi-process serving.
+        """
+        if self.procs is not None:
+            raise ValueError(
+                "model reload is not supported with --procs; "
+                "use --fleet for reloadable multi-process serving"
+            )
+        if self._router is not None:
+            outcome = self._router.reload(
+                path, name=name, canary=canary, wait=wait
+            )
+            if outcome.get("status") == "flipped":
+                # Keep the parent registry's view (names, paths,
+                # generation in /healthz and /metrics) in step with
+                # what the workers now serve.
+                self.registry.reload(path, name=name)
+                self.metrics.inc("reloads_total", outcome="flipped")
+            elif outcome.get("status") == "aborted":
+                self.metrics.inc("reloads_total", outcome="aborted")
+            return outcome
+        new_pipeline, _retired = self.registry.reload(path, name=name)
+        new_pipeline.add_stage_hook(self.metrics.observe_stage)
+        if self.cache is not None:
+            # Cached annotations were produced by the retired
+            # generation; serving them as the new model's answers would
+            # make the reload a lie for every warm table.
+            self.cache.clear()
+        self.metrics.inc("reloads_total", outcome="flipped")
+        resolved = name or Path(path).stem
+        return {
+            "status": "flipped",
+            "generation": self.registry.info(resolved).generation,
+        }
+
+    def ready(self) -> bool:
+        """Readiness (vs liveness): can this service answer a classify
+        request *right now*?  False until every model is loaded and,
+        under ``--fleet``, a quorum of workers is up."""
+        if self._closed or len(self.registry) == 0:
+            return False
+        if self._router is not None:
+            return self._router.ready()
+        return True
+
+    # ------------------------------------------------------------------
     # observability
     # ------------------------------------------------------------------
     def metrics_text(self) -> str:
-        if self.procs is not None:
-            # Scrape-time aggregation: fold the per-stage timings the
-            # worker processes accumulated since the last scrape.
-            drain = getattr(self._executor, "drain_stage_totals", None)
-            if drain is not None:
-                self.metrics.merge_stage_totals(drain())
-        stats = self.cache.stats()
-        return self.metrics.render(
-            extra={
-                "cache_hits_total": stats.hits,
-                "cache_misses_total": stats.misses,
-                "cache_hit_ratio": stats.hit_ratio,
-                "cache_size": stats.size,
-                "models_loaded": len(self.registry),
-                "workers": self.workers,
-                "procs": self.procs if self.procs is not None else 0,
+        # Scrape-time aggregation: fold the per-stage timings worker
+        # processes accumulated since the last scrape (procs and fleet
+        # backends; the thread backend feeds metrics directly).
+        drain = getattr(self._executor, "drain_stage_totals", None)
+        if drain is not None:
+            self.metrics.merge_stage_totals(drain())
+        extra: dict[str, float] = {
+            "models_loaded": len(self.registry),
+            "workers": self.workers,
+            "procs": self.procs if self.procs is not None else 0,
+        }
+        if self.cache is not None:
+            stats = self.cache.stats()
+            extra.update(
+                cache_hits_total=stats.hits,
+                cache_misses_total=stats.misses,
+                cache_hit_ratio=stats.hit_ratio,
+                cache_size=stats.size,
+            )
+        labeled: dict[str, list[tuple[dict[str, str], float]]] | None = None
+        if self._router is not None:
+            status = self._router.status()
+            extra.update(
+                fleet_generation=float(status["generation"]),
+                fleet_workers_alive=float(status["alive"]),
+                fleet_workers_total=float(status["total"]),
+                fleet_shed_total=float(status["shed_total"]),
+                fleet_requests_total=float(status["requests_total"]),
+                fleet_reload_in_progress=float(
+                    bool(status["reload_in_progress"])
+                ),
+            )
+            labeled = {
+                "fleet_worker_up": [],
+                "fleet_worker_inflight": [],
+                "fleet_worker_restarts": [],
             }
-        )
+            for worker in status["workers"]:
+                label = {"worker": str(worker["id"])}
+                labeled["fleet_worker_up"].append(
+                    (label, 1.0 if worker["alive"] else 0.0)
+                )
+                labeled["fleet_worker_inflight"].append(
+                    (label, float(worker["inflight"]) + float(worker["queued"]))
+                )
+                labeled["fleet_worker_restarts"].append(
+                    (label, float(worker["restarts"]))
+                )
+        return self.metrics.render(extra=extra, labeled=labeled)
 
     def health(self) -> dict:
-        return {
+        payload = {
             "status": "ok",
             "models": self.registry.names(),
             "default": self.registry.default_name,
         }
+        if self._router is not None:
+            status = self._router.status()
+            payload["fleet"] = {
+                "generation": status["generation"],
+                "alive": status["alive"],
+                "total": status["total"],
+            }
+        return payload
 
     def close(self) -> None:
         """Drain in-flight requests, then stop the worker pool."""
@@ -245,12 +423,54 @@ def _parse_batch(body: bytes) -> list[Table]:
 #: else (scanners, typos) is folded into "other" so arbitrary request
 #: paths can't grow the label set without bound.
 _KNOWN_ENDPOINTS = frozenset(
-    {"/classify", "/classify/batch", "/healthz", "/metrics"}
+    {"/classify", "/classify/batch", "/healthz", "/metrics", "/admin/reload"}
 )
 
 
 def _endpoint_label(path: str) -> str:
     return path if path in _KNOWN_ENDPOINTS else "other"
+
+
+class _InflightGauge:
+    """Counts HTTP requests currently being handled.
+
+    Keep-alive connections make the *connection* count useless for
+    draining — an idle persistent connection never closes — so graceful
+    shutdown waits on this gauge instead: zero means every accepted
+    request has written its response.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._count = 0  # guarded-by: _cond
+
+    def enter(self) -> None:
+        with self._cond:
+            self._count += 1
+
+    def leave(self) -> None:
+        with self._cond:
+            self._count -= 1
+            if self._count <= 0:
+                self._cond.notify_all()
+
+    def active(self) -> int:
+        with self._cond:
+            return self._count
+
+    def wait_idle(self, timeout: float) -> bool:
+        """Block until no request is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._count > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                # Condition.wait releases the underlying lock while
+                # blocked — that's the primitive's whole contract, so
+                # this cannot deadlock against enter()/leave().
+                self._cond.wait(remaining)
+        return True
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -267,23 +487,47 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> ClassificationService:
         return self.server.service  # type: ignore[attr-defined]
 
+    @property
+    def inflight(self) -> _InflightGauge:
+        return self.server.inflight  # type: ignore[attr-defined]
+
     # -- plumbing ------------------------------------------------------
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
 
-    def _send(self, code: int, body: bytes, content_type: str) -> None:
+    def _send(
+        self,
+        code: int,
+        body: bytes,
+        content_type: str,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         self.send_response(code)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if retry_after is not None:
+            # Retry-After is delta-seconds, integral per RFC 9110;
+            # round up so "0.2s from now" never becomes "now".
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         if self._trace_id:
             self.send_header("X-Trace-Id", self._trace_id)
         self.end_headers()
         self.wfile.write(body)
         self.service.metrics.inc("responses_total", code=str(code))
 
-    def _send_json(self, code: int, payload: dict) -> None:
+    def _send_json(
+        self,
+        code: int,
+        payload: dict,
+        *,
+        retry_after: float | None = None,
+    ) -> None:
         self._send(
-            code, json.dumps(payload).encode(), "application/json"
+            code,
+            json.dumps(payload).encode(),
+            "application/json",
+            retry_after=retry_after,
         )
 
     def _read_body(self) -> bytes:
@@ -292,11 +536,20 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - stdlib handler API
-        path = urlsplit(self.path).path
+        split = urlsplit(self.path)
+        path = split.path
+        query = parse_qs(split.query)
         self._trace_id = obs.new_trace_id()
         self.service.metrics.inc(
             "requests_total", endpoint=_endpoint_label(path)
         )
+        self.inflight.enter()
+        try:
+            self._do_get(path, query)
+        finally:
+            self.inflight.leave()
+
+    def _do_get(self, path: str, query: dict[str, list[str]]) -> None:
         with obs.span(
             "http.request",
             trace_id=self._trace_id,
@@ -304,7 +557,20 @@ class _Handler(BaseHTTPRequestHandler):
             endpoint=_endpoint_label(path),
         ):
             if path == "/healthz":
-                self._send_json(200, self.service.health())
+                payload = self.service.health()
+                if query.get("ready", ["0"])[0] in ("1", "true"):
+                    # Readiness, not liveness: a live-but-unready
+                    # service (models still loading, fleet below
+                    # quorum) must be taken out of rotation, so the
+                    # probe answers 503 rather than a softer body.
+                    if self.service.ready():
+                        payload["ready"] = True
+                        self._send_json(200, payload)
+                    else:
+                        payload.update(status="unavailable", ready=False)
+                        self._send_json(503, payload, retry_after=1.0)
+                else:
+                    self._send_json(200, payload)
             elif path == "/metrics":
                 self._send(
                     200,
@@ -325,6 +591,7 @@ class _Handler(BaseHTTPRequestHandler):
             "requests_total", endpoint=_endpoint_label(path)
         )
         start = time.perf_counter()
+        self.inflight.enter()
         # One root span per request.  The explicit trace_id ties the
         # recorded trace to the X-Trace-Id response header and the log
         # line below, so a slow response can be looked up in the trace.
@@ -349,9 +616,18 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_json(
                         200, {"count": len(records), "results": records}
                     )
+                elif path == "/admin/reload":
+                    self._handle_reload()
                 else:
                     self._send_json(404, {"error": f"no such endpoint {path}"})
                     return
+        except ServiceOverloaded as exc:
+            # Deliberate load shedding, not a failure: a fast 503 with
+            # Retry-After tells well-behaved clients when to come back.
+            self.service.metrics.inc("requests_shed_total")
+            self._send_json(
+                503, {"error": str(exc)}, retry_after=exc.retry_after
+            )
         except BadRequest as exc:
             self._send_json(400, {"error": str(exc)})
         except KeyError as exc:
@@ -360,12 +636,47 @@ class _Handler(BaseHTTPRequestHandler):
             logger.exception("request failed (trace_id=%s)", self._trace_id)
             self._send_json(500, {"error": str(exc)})
         finally:
+            self.inflight.leave()
             elapsed = time.perf_counter() - start
             self.service.metrics.observe_request(elapsed)
             logger.info(
                 "POST %s trace_id=%s %.1fms", path, self._trace_id,
                 elapsed * 1000.0,
             )
+
+    def _handle_reload(self) -> None:
+        """``POST /admin/reload`` — blue/green model swap."""
+        from repro.fleet.router import ReloadInProgress
+
+        try:
+            payload = json.loads(self._read_body().decode() or "{}")
+        except ValueError as exc:
+            raise BadRequest(f"bad JSON body: {exc}") from exc
+        if not isinstance(payload, dict) or not payload.get("path"):
+            raise BadRequest("reload body needs a 'path' field")
+        canary = payload.get("canary")
+        if canary is not None and not isinstance(canary, (int, float)):
+            raise BadRequest("'canary' must be a number in [0, 1)")
+        try:
+            outcome = self.service.reload(
+                str(payload["path"]),
+                name=(
+                    str(payload["name"]) if payload.get("name") else None
+                ),
+                canary=float(canary) if canary is not None else None,
+                wait=bool(payload.get("wait", True)),
+            )
+        except ReloadInProgress as exc:
+            self._send_json(409, {"error": str(exc)})
+            return
+        except ValueError as exc:
+            raise BadRequest(str(exc)) from exc
+        if outcome.get("status") == "aborted":
+            # The canary failed and the old generation kept serving —
+            # the request did not achieve its effect, so not a 2xx.
+            self._send_json(409, outcome)
+        else:
+            self._send_json(200, outcome)
 
 
 def make_server(
@@ -375,6 +686,7 @@ def make_server(
     server = ThreadingHTTPServer((host, port), _Handler)
     server.daemon_threads = True
     server.service = service  # type: ignore[attr-defined]
+    server.inflight = _InflightGauge()  # type: ignore[attr-defined]
     return server
 
 
@@ -399,9 +711,23 @@ def serve(
     except KeyboardInterrupt:
         logger.info("interrupt received, draining ...")
     finally:
+        # Graceful shutdown, in order: stop accepting (shutdown +
+        # server_close), let every accepted request finish writing its
+        # response (the in-flight gauge — keep-alive sockets make
+        # thread counts useless for this), then drain the execution
+        # backend.  Trace flushing happens in the caller (the CLI
+        # writes --trace-out after serve() returns), so it observes the
+        # fully drained service.
         server.shutdown()
         server.server_close()
+        gauge: _InflightGauge = server.inflight  # type: ignore[attr-defined]
+        if not gauge.wait_idle(15.0):
+            logger.warning(
+                "graceful shutdown timed out with %d request(s) still "
+                "in flight", gauge.active(),
+            )
         service.close()
+        logger.info("drained; service closed")
 
 
 def _raise_keyboard_interrupt(signum: int, frame: object) -> None:

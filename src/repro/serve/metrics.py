@@ -12,7 +12,7 @@ stock Prometheus scraper can consume ``GET /metrics`` unchanged.
 from __future__ import annotations
 
 import threading
-from typing import Iterable, Mapping
+from typing import Iterable, Mapping, Sequence
 
 _NAMESPACE = "repro"
 
@@ -168,8 +168,19 @@ class ServiceMetrics:
                 f"{quantile(values, q):.6f}"
             )
 
-    def render(self, extra: Mapping[str, float] | None = None) -> str:
-        """Render the scrape body; ``extra`` adds one-off gauges."""
+    def render(
+        self,
+        extra: Mapping[str, float] | None = None,
+        labeled: Mapping[str, Sequence[tuple[Mapping[str, str], float]]]
+        | None = None,
+    ) -> str:
+        """Render the scrape body.
+
+        ``extra`` adds one-off plain gauges; ``labeled`` adds gauge
+        families with per-sample labels (e.g. the fleet's per-worker
+        ``repro_fleet_worker_up{worker="0"}`` series), each rendered
+        under a single ``# TYPE`` header.
+        """
         lines: list[str] = []
         lines.extend(self._counter_lines())
         lines.extend(self._stage_lines())
@@ -178,4 +189,9 @@ class ServiceMetrics:
             full = f"{_NAMESPACE}_{name}"
             lines.append(f"# TYPE {full} gauge")
             lines.append(f"{full} {value:g}")
+        for name, samples in sorted((labeled or {}).items()):
+            full = f"{_NAMESPACE}_{name}"
+            lines.append(f"# TYPE {full} gauge")
+            for labels, value in samples:
+                lines.append(f"{full}{_fmt_labels(labels)} {value:g}")
         return "\n".join(lines) + "\n"

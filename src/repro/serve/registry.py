@@ -33,13 +33,18 @@ class ModelInfo:
     path: Path
     load_seconds: float
     embedding_kind: str
+    generation: int = 0
 
 
 class ModelRegistry:
     """Named collection of warm pipelines.
 
     The first model registered becomes the default, used when a request
-    names no model.
+    names no model.  :meth:`reload` swaps a name to a new *generation*
+    (a freshly loaded pipeline) atomically: a concurrent ``get()``
+    observes either the old pipeline or the new one, both fully loaded,
+    never a partial state — deserialization happens entirely outside the
+    registry lock.
     """
 
     def __init__(self) -> None:
@@ -84,6 +89,53 @@ class ModelRegistry:
                 self._default = name
         logger.info("loaded model %r from %s in %.3fs", name, path, elapsed)
         return pipeline
+
+    def reload(
+        self, path: str | Path, *, name: str | None = None
+    ) -> tuple[MetadataPipeline, MetadataPipeline | None]:
+        """Load ``path`` and atomically swap it in as ``name``'s new
+        generation (blue/green hot reload).
+
+        Returns ``(new_pipeline, retired_pipeline)``.  The retired
+        pipeline — the generation that was live when the swap happened —
+        is handed back exactly once, to exactly the caller whose swap
+        displaced it, so retirement work (closing mmaps, dropping
+        caches) can never run twice; it is ``None`` when the name was
+        previously unregistered.  Requests racing the swap see the old
+        generation until the single atomic flip, then the new one;
+        neither is ever half-loaded because :func:`load_pipeline` runs
+        entirely outside the registry lock.
+        """
+        path = Path(path)
+        name = name or path.stem
+        start = time.perf_counter()
+        pipeline = load_pipeline(path)
+        elapsed = time.perf_counter() - start
+        if pipeline.embedder is None:
+            raise RuntimeError(
+                f"archive {path} loaded without an embedder; it was not "
+                "produced by save_pipeline()"
+            )
+        kind = type(pipeline.embedder.model).__name__
+        with self._lock:
+            retired = self._pipelines.get(name)
+            previous = self._info.get(name)
+            generation = previous.generation + 1 if previous is not None else 0
+            self._pipelines[name] = pipeline
+            self._info[name] = ModelInfo(
+                name=name,
+                path=path,
+                load_seconds=elapsed,
+                embedding_kind=kind,
+                generation=generation,
+            )
+            if self._default is None:
+                self._default = name
+        logger.info(
+            "reloaded model %r generation %d from %s in %.3fs",
+            name, generation, path, elapsed,
+        )
+        return pipeline, retired
 
     def add(self, name: str, pipeline: MetadataPipeline) -> None:
         """Register an already-fitted in-memory pipeline (tests, notebooks)."""

@@ -1,0 +1,169 @@
+"""Fleet fixtures: directory-store models and a thread-backed launcher.
+
+The router is tested two ways: unit tests inject :class:`ThreadLauncher`
+(same wire protocol over real ``AF_UNIX`` sockets, but workers run on
+threads — no spawn cost, and tests can reach into ``server`` to gate or
+break request handling), while ``test_fleet_e2e.py`` uses the default
+:class:`~repro.fleet.router.ProcessLauncher` with real processes.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from pathlib import Path
+from typing import Mapping
+
+import pytest
+
+from repro.core.persistence import save_pipeline_dir
+from repro.fleet.worker import WorkerServer
+
+
+@pytest.fixture(scope="session")
+def model_dir(hashed_pipeline, tmp_path_factory) -> Path:
+    """The session pipeline saved once as a zero-copy directory store."""
+    path = tmp_path_factory.mktemp("fleet") / "model_a"
+    return Path(save_pipeline_dir(hashed_pipeline, path))
+
+
+@pytest.fixture(scope="session")
+def model_dir_v2(hashed_pipeline, tmp_path_factory) -> Path:
+    """A second store of the same pipeline — the reload target."""
+    path = tmp_path_factory.mktemp("fleet") / "model_b"
+    return Path(save_pipeline_dir(hashed_pipeline, path))
+
+
+class ThreadWorker:
+    """A fleet worker on threads instead of a process.
+
+    Satisfies the router's ``WorkerProcess`` protocol; ``stop()`` dies
+    like a killed process would (sockets vanish mid-conversation), which
+    is what the death/respawn tests need.
+    """
+
+    def __init__(
+        self,
+        worker_id: int,
+        socket_path: str,
+        specs: Mapping[str, str],
+        default: str,
+        *,
+        generation: int,
+        cache_capacity: int,
+    ) -> None:
+        self.worker_id = worker_id
+        self.generation = generation
+        self.path = Path(socket_path)
+        self.server = WorkerServer(
+            dict(specs),
+            default,
+            worker_id=worker_id,
+            generation=generation,
+            cache_capacity=cache_capacity,
+        )
+        self.path.unlink(missing_ok=True)
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(str(self.path))
+        self._listener.listen(8)
+        self._stopped = threading.Event()
+        self._conns: list[socket.socket] = []
+        self._thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"thread-worker-{generation}-{worker_id}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            self._conns.append(conn)
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn: socket.socket) -> None:
+        if self.server.serve_connection(conn):
+            # Graceful shutdown op: mirror worker_main's exit.
+            self.stop()
+
+    # -- the WorkerProcess protocol ------------------------------------
+    @property
+    def pid(self) -> int:
+        return 0
+
+    def alive(self) -> bool:
+        return not self._stopped.is_set()
+
+    def stop(self) -> None:
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        # Unlink before closing connections: the EOFs trigger the
+        # router's respawn, and the replacement binds this same path —
+        # a late unlink here would delete *its* socket.
+        self.path.unlink(missing_ok=True)
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        for conn in list(self._conns):
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def join(self, timeout: float) -> None:
+        self._thread.join(timeout)
+
+
+class ThreadLauncher:
+    """Injectable launcher: every worker is a :class:`ThreadWorker`.
+
+    ``break_generation`` sabotages classify on workers of that
+    generation (pings still answer, so spawn readiness passes) — the
+    canary-abort tests use it to make a standby fleet look broken.
+    """
+
+    def __init__(self) -> None:
+        self.launched: list[ThreadWorker] = []
+        self.break_generation: int | None = None
+
+    def launch(
+        self,
+        worker_id: int,
+        socket_path: str,
+        specs: Mapping[str, str],
+        default: str,
+        *,
+        generation: int,
+        cache_capacity: int,
+    ) -> ThreadWorker:
+        worker = ThreadWorker(
+            worker_id,
+            socket_path,
+            specs,
+            default,
+            generation=generation,
+            cache_capacity=cache_capacity,
+        )
+        if generation == self.break_generation:
+            def broken_classify(request: dict, rid: object) -> dict:
+                raise RuntimeError("standby model is broken")
+
+            worker.server._classify = broken_classify  # type: ignore[method-assign]
+        self.launched.append(worker)
+        return worker
+
+
+@pytest.fixture
+def launcher() -> ThreadLauncher:
+    return ThreadLauncher()

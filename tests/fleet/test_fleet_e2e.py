@@ -1,0 +1,322 @@
+"""End-to-end fleet tests: real spawned worker processes.
+
+These exercise the full stack — ``ProcessLauncher`` spawning workers,
+the socket protocol, crash recovery with ``os.kill``, blue/green
+reloads under live traffic, overload shedding, and the HTTP front-end
+(``/healthz?ready=1``, ``/metrics`` fleet series, ``/admin/reload``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.fleet import FleetConfig, FleetRouter
+from repro.serve.batching import ServiceOverloaded
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        [
+            ["State", "City", "Enrollment"],
+            ["NY", "Ithaca", "19,639"],
+            ["NY", "Albany", "17,434"],
+        ],
+        name="e2e",
+    )
+
+
+def _config(**overrides) -> FleetConfig:
+    settings = dict(
+        workers=2,
+        spawn_timeout=120.0,
+        health_interval=0.2,
+        canary_min_requests=4,
+        canary_timeout=20.0,
+    )
+    settings.update(overrides)
+    return FleetConfig(**settings)
+
+
+def _wait_until(predicate, timeout: float = 30.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.05)
+    raise AssertionError("condition not reached in time")
+
+
+class _Pump:
+    """Background request pump; collects unexpected errors."""
+
+    def __init__(self, fleet: FleetRouter, table: Table, threads: int = 3):
+        self.fleet = fleet
+        self.table = table
+        self.stop = threading.Event()
+        self.errors: list[Exception] = []
+        self.crashed: list[Exception] = []
+        self.done = 0
+        self._threads = [
+            threading.Thread(target=self._run, daemon=True)
+            for _ in range(threads)
+        ]
+
+    def _run(self) -> None:
+        from repro.fleet import WorkerCrashed
+
+        while not self.stop.is_set():
+            try:
+                self.fleet.submit(("m", self.table, None)).result(timeout=30)
+                self.done += 1
+            except ServiceOverloaded:
+                time.sleep(0.01)  # shed: back off, not an error
+            except WorkerCrashed as exc:
+                self.crashed.append(exc)
+            except Exception as exc:  # noqa: BLE001
+                self.errors.append(exc)
+
+    def __enter__(self) -> "_Pump":
+        for t in self._threads:
+            t.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop.set()
+        for t in self._threads:
+            t.join(30)
+
+
+class TestFleetProcesses:
+    def test_serves_and_propagates_traces(
+        self, model_dir, hashed_pipeline, table
+    ):
+        with obs.tracing() as tracer:
+            with FleetRouter({"m": model_dir}, config=_config()) as fleet:
+                with obs.span("client") as root:
+                    record = fleet.submit(
+                        ("m", table, root.context())
+                    ).result(timeout=30)
+                futures = [
+                    fleet.submit(("", table, None)) for _ in range(10)
+                ]
+                for future in futures:
+                    assert future.result(timeout=30)["row_labels"]
+                assert fleet.status()["requests_total"] == 11
+        direct = hashed_pipeline.classify(table)
+        assert record["row_labels"] == [str(l) for l in direct.row_labels]
+        # The worker's spans crossed the socket and were grafted under
+        # the router-side rpc span, in the client's trace.
+        spans = tracer.spans()
+        rpc = [s for s in spans if s.name == "fleet.rpc"]
+        worker_spans = [s for s in spans if s.name == "fleet.worker"]
+        assert len(rpc) == 1 and len(worker_spans) == 1
+        assert worker_spans[0].parent_id == rpc[0].span_id
+        assert worker_spans[0].trace_id == rpc[0].trace_id
+        stage = next(s for s in spans if s.name == "classify")
+        assert stage.trace_id == rpc[0].trace_id
+
+    def test_killed_worker_restarts_without_collateral(
+        self, model_dir, table
+    ):
+        with FleetRouter({"m": model_dir}, config=_config()) as fleet:
+            with _Pump(fleet, table) as pump:
+                _wait_until(lambda: pump.done >= 5, timeout=60)
+                victim_pid = fleet.status()["workers"][0]["pid"]
+                os.kill(victim_pid, signal.SIGKILL)
+                _wait_until(
+                    lambda: fleet.status()["alive"] == 2
+                    and any(
+                        w["restarts"] == 1
+                        for w in fleet.status()["workers"]
+                    ),
+                    timeout=120,
+                )
+                before = pump.done
+                _wait_until(lambda: pump.done >= before + 5, timeout=60)
+            # Only requests in flight on the dead socket may fail, and
+            # there is at most one in flight per socket.
+            assert pump.errors == []
+            assert len(pump.crashed) <= 1
+
+    def test_blue_green_reload_drops_nothing(
+        self, model_dir, model_dir_v2, table
+    ):
+        with FleetRouter({"m": model_dir}, config=_config()) as fleet:
+            with _Pump(fleet, table) as pump:
+                _wait_until(lambda: pump.done >= 3, timeout=60)
+                outcome = fleet.reload(model_dir_v2, name="m", canary=0.25)
+                after_flip = pump.done
+                _wait_until(
+                    lambda: pump.done >= after_flip + 3, timeout=60
+                )
+            assert outcome["status"] == "flipped"
+            assert outcome["generation"] == 1
+            assert pump.errors == []
+            assert pump.crashed == []
+            status = fleet.status()
+            assert status["generation"] == 1
+            assert status["alive"] == 2
+
+    def test_overload_sheds_fast_and_serves_the_rest(
+        self, model_dir, table
+    ):
+        config = _config(workers=1, queue_depth=2, deadline=30.0)
+        with FleetRouter({"m": model_dir}, config=config) as fleet:
+            accepted = []
+            shed = 0
+            slowest_shed = 0.0
+            for _ in range(200):
+                started = time.perf_counter()
+                try:
+                    accepted.append(fleet.submit(("m", table, None)))
+                except ServiceOverloaded as exc:
+                    shed += 1
+                    slowest_shed = max(
+                        slowest_shed, time.perf_counter() - started
+                    )
+                    assert exc.retry_after > 0
+            assert shed > 0
+            assert fleet.status()["shed_total"] == shed
+            # Shedding is a synchronous fast-path rejection.
+            assert slowest_shed < 0.25
+            # Everything admitted completes.
+            for future in accepted:
+                assert future.result(timeout=60)["row_labels"]
+
+
+def _get(url: str) -> tuple[int, dict | str, dict]:
+    try:
+        with urllib.request.urlopen(url, timeout=30) as response:
+            body = response.read().decode()
+            headers = dict(response.headers)
+            status = response.status
+    except urllib.error.HTTPError as err:
+        body = err.read().decode()
+        headers = dict(err.headers)
+        status = err.code
+    try:
+        return status, json.loads(body), headers
+    except ValueError:
+        return status, body, headers
+
+
+def _post(url: str, payload: dict | bytes, content_type: str):
+    body = (
+        payload if isinstance(payload, bytes)
+        else json.dumps(payload).encode()
+    )
+    request = urllib.request.Request(
+        url, data=body, headers={"Content-Type": content_type}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=60) as response:
+            return response.status, json.load(response)
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read().decode())
+
+
+def _metric(text: str, needle: str) -> float:
+    for line in text.splitlines():
+        if line.startswith(needle):
+            return float(line.rsplit(" ", 1)[1])
+    raise AssertionError(f"metric {needle!r} not found")
+
+
+class TestFleetOverHTTP:
+    @pytest.fixture
+    def fleet_service(self, model_dir):
+        from repro.serve.httpd import ClassificationService
+        from repro.serve.registry import ModelRegistry
+
+        registry = ModelRegistry()
+        registry.register(model_dir, name="m")
+        service = ClassificationService(
+            registry,
+            fleet=2,
+            fleet_config=_config(canary_fraction=0.0),
+        )
+        yield service
+        service.close()
+
+    @pytest.fixture
+    def base_url(self, fleet_service):
+        from repro.serve.httpd import make_server
+
+        server = make_server(fleet_service, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        yield f"http://{host}:{port}"
+        server.shutdown()
+        server.server_close()
+
+    def test_full_http_lifecycle(
+        self, base_url, fleet_service, model_dir_v2, table
+    ):
+        # Readiness: quorum is up, so the probe says in-rotation.
+        status, payload, _ = _get(f"{base_url}/healthz?ready=1")
+        assert status == 200 and payload["ready"] is True
+        assert payload["fleet"]["alive"] == 2
+
+        # Classification flows through the worker fleet.
+        body = json.dumps(
+            {"name": table.name, "rows": [list(r) for r in table.rows]}
+        ).encode()
+        status, record = _post(
+            f"{base_url}/classify", body, "application/json"
+        )
+        assert status == 200 and record["row_labels"]
+
+        # The scrape carries fleet gauges and per-worker series.
+        status, metrics, _ = _get(f"{base_url}/metrics")
+        assert status == 200
+        assert _metric(metrics, "repro_fleet_generation") == 0
+        assert _metric(metrics, "repro_fleet_workers_alive") == 2
+        assert _metric(metrics, 'repro_fleet_worker_up{worker="0"}') == 1
+        assert 'repro_stage_seconds_count{stage="classify"}' in metrics
+
+        # Blue/green over HTTP: flip, then the scrape shows the new
+        # generation and the same request still classifies.
+        status, outcome = _post(
+            f"{base_url}/admin/reload",
+            {"path": str(model_dir_v2), "name": "m", "canary": 0},
+            "application/json",
+        )
+        assert status == 200, outcome
+        assert outcome["status"] == "flipped"
+        assert outcome["generation"] == 1
+        status, metrics, _ = _get(f"{base_url}/metrics")
+        assert _metric(metrics, "repro_fleet_generation") == 1
+        status, record = _post(
+            f"{base_url}/classify", body, "application/json"
+        )
+        assert status == 200 and record["row_labels"]
+
+    def test_reload_rejects_bad_requests(self, base_url, model_dir_v2):
+        status, payload = _post(
+            f"{base_url}/admin/reload", {}, "application/json"
+        )
+        assert status == 400 and "path" in payload["error"]
+        status, payload = _post(
+            f"{base_url}/admin/reload",
+            {"path": str(model_dir_v2), "canary": "lots"},
+            "application/json",
+        )
+        assert status == 400
+        status, payload = _post(
+            f"{base_url}/admin/reload",
+            {"path": str(model_dir_v2), "name": "ghost"},
+            "application/json",
+        )
+        assert status == 404

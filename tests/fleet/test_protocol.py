@@ -1,0 +1,118 @@
+"""Framing tests for the length-prefixed JSON socket protocol."""
+
+from __future__ import annotations
+
+import socket
+import struct
+
+import pytest
+
+from repro.fleet.protocol import (
+    MAX_FRAME_BYTES,
+    ProtocolError,
+    recv_message,
+    send_message,
+    table_from_wire,
+    table_to_wire,
+)
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFraming:
+    def test_round_trip(self, pair):
+        left, right = pair
+        message = {"op": "ping", "id": 7, "nested": {"a": [1, 2, 3]}}
+        send_message(left, message)
+        assert recv_message(right) == message
+
+    def test_multiple_frames_stay_delimited(self, pair):
+        left, right = pair
+        for i in range(5):
+            send_message(left, {"id": i})
+        for i in range(5):
+            assert recv_message(right) == {"id": i}
+
+    def test_fragmented_stream_reassembles(self, pair):
+        # The reader must cope with arbitrary kernel segmentation, so
+        # drip the frame onto the wire one byte at a time.
+        left, right = pair
+        payload = b'{"op":"ping","id":1}'
+        frame = struct.pack(">I", len(payload)) + payload
+        for i in range(len(frame)):
+            left.sendall(frame[i:i + 1])
+        assert recv_message(right) == {"op": "ping", "id": 1}
+
+    def test_clean_eof_returns_none(self, pair):
+        left, right = pair
+        left.close()
+        assert recv_message(right) is None
+
+    def test_eof_mid_frame_raises(self, pair):
+        left, right = pair
+        payload = b'{"op":"ping"}'
+        frame = struct.pack(">I", len(payload)) + payload
+        left.sendall(frame[:6])  # header + 2 payload bytes, then gone
+        left.close()
+        with pytest.raises(ProtocolError, match="closed after"):
+            recv_message(right)
+
+    def test_eof_mid_header_raises(self, pair):
+        left, right = pair
+        left.sendall(b"\x00\x00")
+        left.close()
+        with pytest.raises(ProtocolError, match="closed after"):
+            recv_message(right)
+
+    def test_oversized_send_refused(self, pair):
+        left, _ = pair
+        with pytest.raises(ProtocolError, match="refusing to send"):
+            send_message(left, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_oversized_incoming_header_raises(self, pair):
+        left, right = pair
+        left.sendall(struct.pack(">I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="exceeds the limit"):
+            recv_message(right)
+
+    def test_bad_json_payload_raises(self, pair):
+        left, right = pair
+        payload = b"{not json"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="bad frame payload"):
+            recv_message(right)
+
+    def test_non_object_payload_raises(self, pair):
+        left, right = pair
+        payload = b"[1,2,3]"
+        left.sendall(struct.pack(">I", len(payload)) + payload)
+        with pytest.raises(ProtocolError, match="expected an object"):
+            recv_message(right)
+
+
+class TestTableWire:
+    def test_round_trip(self):
+        table = Table(
+            [["a", "b"], ["1", "2"]], name="wire", source="unit.csv"
+        )
+        rebuilt = table_from_wire(table_to_wire(table))
+        assert [list(r) for r in rebuilt.rows] == [["a", "b"], ["1", "2"]]
+        assert rebuilt.name == "wire"
+        assert rebuilt.source == "unit.csv"
+
+    def test_wire_form_is_json_safe(self):
+        import json
+
+        table = Table([["x"]], name="t")
+        json.dumps(table_to_wire(table))  # must not raise
+
+    def test_missing_rows_raises(self):
+        with pytest.raises(ProtocolError, match="rows"):
+            table_from_wire({"name": "broken"})

@@ -1,0 +1,370 @@
+"""FleetRouter tests on the thread-backed launcher (no processes).
+
+Covers routing, admission control, death/re-route/respawn, and the
+blue/green reload state machine; the real-process path lives in
+``test_fleet_e2e.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.fleet import (
+    FleetConfig,
+    FleetRouter,
+    ReloadInProgress,
+    WorkerCrashed,
+)
+from repro.serve.batching import ServiceOverloaded
+from repro.tables.model import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        [
+            ["State", "City", "Enrollment"],
+            ["NY", "Ithaca", "19,639"],
+            ["NY", "Albany", "17,434"],
+        ],
+        name="router-test",
+    )
+
+
+def _make_router(model_dir, launcher, tmp_path, **overrides) -> FleetRouter:
+    settings = dict(
+        workers=2,
+        spawn_timeout=10.0,
+        health_interval=0.05,
+        canary_timeout=5.0,
+        canary_min_requests=4,
+    )
+    settings.update(overrides)
+    return FleetRouter(
+        {"m": model_dir},
+        config=FleetConfig(**settings),
+        socket_dir=tmp_path,
+        launcher=launcher,
+    )
+
+
+def _gate_classify(worker) -> threading.Event:
+    """Park the worker's classify handling until the event is set."""
+    gate = threading.Event()
+    original = worker.server.handle
+
+    def gated(request: dict) -> dict:
+        if request.get("op") == "classify":
+            assert gate.wait(30), "test never released the gate"
+        return original(request)
+
+    worker.server.handle = gated  # type: ignore[method-assign]
+    return gate
+
+
+def _wait_until(predicate, timeout: float = 10.0) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(0.02)
+    raise AssertionError("condition not reached in time")
+
+
+class TestRouting:
+    def test_submit_round_trip(
+        self, model_dir, launcher, tmp_path, hashed_pipeline, table
+    ):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            record = fleet.submit(("m", table, None)).result(timeout=10)
+            direct = hashed_pipeline.classify(table)
+            assert record["row_labels"] == [
+                str(l) for l in direct.row_labels
+            ]
+            # The empty model name routes to the default.
+            default = fleet.submit(("", table, None)).result(timeout=10)
+            assert default["row_labels"] == record["row_labels"]
+
+    def test_map_preserves_order(self, model_dir, launcher, tmp_path):
+        tables = [
+            Table([["h"], [f"row-{i}"]], name=f"t{i}") for i in range(6)
+        ]
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            records = fleet.map([("m", t, None) for t in tables])
+        assert [r["name"] for r in records] == [t.name for t in tables]
+
+    def test_unknown_model_raises_keyerror(
+        self, model_dir, launcher, tmp_path, table
+    ):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            with pytest.raises(KeyError, match="ghost"):
+                fleet.submit(("ghost", table, None)).result(timeout=10)
+
+    def test_consistent_routing_shards_the_cache(
+        self, model_dir, launcher, tmp_path, table
+    ):
+        with _make_router(
+            model_dir, launcher, tmp_path, cache_capacity=32
+        ) as fleet:
+            records = [
+                fleet.submit(("m", table, None)).result(timeout=10)
+                for _ in range(8)
+            ]
+            # Rendezvous hashing pins the table to one worker, so its
+            # cache answers every repeat.
+            assert records[0]["cached"] is False
+            assert all(r["cached"] for r in records[1:])
+            served = [h.counts()[0] for h in fleet._workers]
+            assert sorted(served) == [0, 8]
+
+
+class TestAdmissionControl:
+    def test_predicted_wait_sheds_with_retry_after(
+        self, model_dir, launcher, tmp_path, table
+    ):
+        with _make_router(
+            model_dir, launcher, tmp_path, workers=1, deadline=0.5
+        ) as fleet:
+            handle = fleet._workers[0]
+            with handle._stats_lock:
+                handle.ewma = 10.0
+                handle.inflight = 1
+            with pytest.raises(ServiceOverloaded) as err:
+                fleet.submit(("m", table, None))
+            assert err.value.retry_after > 0
+            assert fleet.status()["shed_total"] == 1
+            # Back to normal once the backlog clears.
+            with handle._stats_lock:
+                handle.ewma = 0.001
+                handle.inflight = 0
+            record = fleet.submit(("m", table, None)).result(timeout=10)
+            assert record["row_labels"]
+
+    def test_full_queue_sheds(self, model_dir, launcher, tmp_path, table):
+        with _make_router(
+            model_dir, launcher, tmp_path, workers=1, queue_depth=2
+        ) as fleet:
+            gate = _gate_classify(launcher.launched[0])
+            try:
+                handle = fleet._workers[0]
+                first = fleet.submit(("m", table, None))
+                _wait_until(lambda: handle.inflight == 1)
+                queued = [fleet.submit(("m", table, None)) for _ in range(2)]
+                with pytest.raises(ServiceOverloaded, match="queue is full"):
+                    fleet.submit(("m", table, None))
+                assert fleet.status()["shed_total"] == 1
+            finally:
+                gate.set()
+            for future in [first, *queued]:
+                assert future.result(timeout=10)["row_labels"]
+
+
+class TestSelfHealing:
+    def test_death_fails_only_inflight_and_respawns(
+        self, model_dir, launcher, tmp_path, table
+    ):
+        with _make_router(
+            model_dir, launcher, tmp_path, cache_capacity=32, queue_depth=8
+        ) as fleet:
+            # Warm up and find the worker this table routes to.
+            fleet.submit(("m", table, None)).result(timeout=10)
+            target = next(
+                h for h in fleet._workers if h.counts()[0] == 1
+            )
+            victim = next(
+                w for w in launcher.launched
+                if w.worker_id == target.worker_id
+            )
+            gate = _gate_classify(victim)
+            inflight = fleet.submit(("m", table, None))
+            _wait_until(lambda: target.inflight == 1)
+            queued = [fleet.submit(("m", table, None)) for _ in range(3)]
+
+            victim.stop()  # die like SIGKILL
+
+            # Exactly the in-flight request fails; the queued ones
+            # re-route to the survivor and complete.
+            with pytest.raises(WorkerCrashed):
+                inflight.result(timeout=10)
+            for future in queued:
+                assert future.result(timeout=10)["row_labels"]
+            gate.set()
+
+            # The monitor respawns the dead worker.
+            _wait_until(lambda: fleet.status()["alive"] == 2)
+            restarts = [w["restarts"] for w in fleet.status()["workers"]]
+            assert sorted(restarts) == [0, 1]
+            # And the fleet serves at full strength again.
+            assert fleet.submit(("m", table, None)).result(timeout=10)
+
+    def test_idle_crash_detected_by_probe(
+        self, model_dir, launcher, tmp_path, table
+    ):
+        # No request in flight: the dispatcher is parked on its queue,
+        # so only the monitor's process probe can notice the death.
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            launcher.launched[0].stop()
+            _wait_until(
+                lambda: any(
+                    w["restarts"] == 1 for w in fleet.status()["workers"]
+                )
+            )
+            assert fleet.status()["alive"] == 2
+
+    def test_restart_limit_removes_the_worker(
+        self, model_dir, launcher, tmp_path
+    ):
+        with _make_router(
+            model_dir, launcher, tmp_path, max_restarts=0
+        ) as fleet:
+            launcher.launched[0].stop()
+            _wait_until(lambda: fleet.status()["total"] == 1)
+            # One of two workers is gone but quorum (1 of 1) holds.
+            assert fleet.ready()
+
+
+class TestBlueGreen:
+    def test_flip_without_canary(
+        self, model_dir, model_dir_v2, launcher, tmp_path, table
+    ):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            fleet.submit(("m", table, None)).result(timeout=10)
+            old = list(fleet._workers)
+            outcome = fleet.reload(model_dir_v2, name="m", canary=0.0)
+            assert outcome["status"] == "flipped"
+            assert outcome["generation"] == 1
+            status = fleet.status()
+            assert status["generation"] == 1
+            assert all(
+                w["generation"] == 1 for w in status["workers"]
+            )
+            # The retired generation drained and shut down.
+            assert all(h.closing for h in old)
+            record = fleet.submit(("m", table, None)).result(timeout=10)
+            assert record["row_labels"]
+
+    def test_flip_under_load_drops_nothing(
+        self, model_dir, model_dir_v2, launcher, tmp_path, table
+    ):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            stop = threading.Event()
+            errors: list[Exception] = []
+            done = [0]
+
+            def pump() -> None:
+                while not stop.is_set():
+                    try:
+                        fleet.submit(("m", table, None)).result(timeout=10)
+                        done[0] += 1
+                    except ServiceOverloaded:
+                        pass  # admission control, not a drop
+                    except Exception as exc:  # noqa: BLE001
+                        errors.append(exc)
+
+            threads = [threading.Thread(target=pump) for _ in range(3)]
+            for t in threads:
+                t.start()
+            try:
+                outcome = fleet.reload(model_dir_v2, name="m", canary=0.25)
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join(10)
+            assert outcome["status"] == "flipped"
+            assert errors == []
+            assert done[0] > 0
+            assert fleet.status()["generation"] == 1
+
+    def test_canary_abort_keeps_live_generation(
+        self, model_dir, model_dir_v2, launcher, tmp_path, table
+    ):
+        launcher.break_generation = 1
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            stop = threading.Event()
+
+            def pump() -> None:
+                while not stop.is_set():
+                    try:
+                        fleet.submit(("m", table, None)).result(timeout=10)
+                    except Exception:  # noqa: BLE001 - canary errors expected
+                        pass
+
+            threads = [threading.Thread(target=pump) for _ in range(3)]
+            for t in threads:
+                t.start()
+            try:
+                outcome = fleet.reload(model_dir_v2, name="m", canary=0.5)
+            finally:
+                stop.set()
+                for t in threads:
+                    t.join(10)
+            assert outcome["status"] == "aborted"
+            assert "error rate" in outcome["reason"]
+            status = fleet.status()
+            assert status["generation"] == 0
+            # The broken standby is dead, the live fleet still serves.
+            standby = [
+                w for w in launcher.launched if w.generation == 1
+            ]
+            assert standby and all(not w.alive() for w in standby)
+            record = fleet.submit(("m", table, None)).result(timeout=10)
+            assert record["row_labels"]
+
+    def test_reload_unknown_model_raises_and_releases_lock(
+        self, model_dir, model_dir_v2, launcher, tmp_path
+    ):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            with pytest.raises(KeyError, match="ghost"):
+                fleet.reload(model_dir_v2, name="ghost")
+            # The reload lock was released on the failure path.
+            outcome = fleet.reload(model_dir_v2, name="m", canary=0.0)
+            assert outcome["status"] == "flipped"
+
+    def test_concurrent_reload_rejected(
+        self, model_dir, model_dir_v2, launcher, tmp_path
+    ):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            assert fleet._reload_lock.acquire(blocking=False)
+            try:
+                with pytest.raises(ReloadInProgress):
+                    fleet.reload(model_dir_v2, name="m")
+            finally:
+                fleet._reload_lock.release()
+
+
+class TestIntrospection:
+    def test_status_shape(self, model_dir, launcher, tmp_path, table):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            fleet.submit(("m", table, None)).result(timeout=10)
+            status = fleet.status()
+            assert status["generation"] == 0
+            assert status["alive"] == status["total"] == 2
+            assert status["quorum"] == 2
+            assert status["requests_total"] == 1
+            assert status["shed_total"] == 0
+            assert status["canary_active"] is False
+            assert status["reload_in_progress"] is False
+            worker = status["workers"][0]
+            assert {"id", "pid", "alive", "ewma_ms", "served"} <= set(worker)
+            assert fleet.ready()
+
+    def test_stage_totals_drain(self, model_dir, launcher, tmp_path, table):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            fleet.submit(("m", table, None)).result(timeout=10)
+            totals = fleet.drain_stage_totals()
+            assert "classify" in totals
+            seconds, count = totals["classify"]
+            assert seconds > 0 and count == 1
+            assert fleet.drain_stage_totals() == {}
+
+    def test_shutdown_is_idempotent_and_final(
+        self, model_dir, launcher, tmp_path, table
+    ):
+        fleet = _make_router(model_dir, launcher, tmp_path)
+        fleet.shutdown()
+        fleet.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            fleet.submit(("m", table, None))

@@ -1,0 +1,178 @@
+"""WorkerServer tests: request handling without any processes."""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+import pytest
+
+from repro.fleet.protocol import recv_message, send_message, table_to_wire
+from repro.fleet.worker import WorkerServer
+from repro.tables.model import Table
+
+
+@pytest.fixture(scope="module")
+def server(model_dir) -> WorkerServer:
+    return WorkerServer(
+        {"m": str(model_dir)}, "m", worker_id=3, generation=1
+    )
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        [
+            ["State", "City", "Enrollment"],
+            ["NY", "Ithaca", "19,639"],
+            ["NY", "Albany", "17,434"],
+        ],
+        name="worker-test",
+    )
+
+
+def _classify_request(table: Table, *, model: str = "", rid: int = 1) -> dict:
+    return {
+        "op": "classify",
+        "id": rid,
+        "model": model,
+        "table": table_to_wire(table),
+    }
+
+
+class TestHandle:
+    def test_ping(self, server):
+        reply = server.handle({"op": "ping", "id": 9})
+        assert reply["ok"] is True
+        assert reply["id"] == 9
+        assert reply["worker_id"] == 3
+        assert reply["generation"] == 1
+        assert reply["models"] == ["m"]
+
+    def test_classify_matches_direct(self, server, hashed_pipeline, table):
+        reply = server.handle(_classify_request(table))
+        assert reply["ok"] is True
+        record = reply["record"]
+        direct = hashed_pipeline.classify(table)
+        assert record["row_labels"] == [str(l) for l in direct.row_labels]
+        assert record["col_labels"] == [str(l) for l in direct.col_labels]
+        assert reply["seconds"] >= 0
+        assert "classify" in reply["stages"]
+
+    def test_stages_drain_per_reply(self, server, table):
+        server.handle(_classify_request(table))
+        reply = server.handle({"op": "ping", "id": 0})
+        assert reply["ok"]
+        # A second classify carries only its own stage totals.
+        again = server.handle(_classify_request(table))
+        assert again["stages"]["classify"][1] == 1
+
+    def test_unknown_model_is_keyerror_reply(self, server, table):
+        reply = server.handle(_classify_request(table, model="ghost"))
+        assert reply["ok"] is False
+        assert reply["kind"] == "KeyError"
+        assert "ghost" in reply["error"]
+
+    def test_missing_table_is_valueerror_reply(self, server):
+        reply = server.handle({"op": "classify", "id": 1, "model": "m"})
+        assert reply["ok"] is False
+        assert reply["kind"] == "ValueError"
+
+    def test_unknown_op_is_valueerror_reply(self, server):
+        reply = server.handle({"op": "dance", "id": 1})
+        assert reply["ok"] is False
+        assert reply["kind"] == "ValueError"
+
+    def test_errors_do_not_poison_the_server(self, server, table):
+        before = server.errors
+        server.handle({"op": "classify", "id": 1, "model": "ghost"})
+        after = server.handle(_classify_request(table))
+        assert server.errors == before + 1
+        assert after["ok"] is True
+
+    def test_shutdown_acknowledged(self, server):
+        reply = server.handle({"op": "shutdown", "id": 4})
+        assert reply == {"ok": True, "op": "shutdown", "id": 4}
+
+
+class TestTracedClassify:
+    def test_spans_and_clock_shipped(self, model_dir, table):
+        server = WorkerServer({"m": str(model_dir)}, "m", worker_id=0)
+        request = _classify_request(table)
+        request["trace"] = {"trace_id": "cafe1234cafe1234", "span_id": 42}
+        reply = server.handle(request)
+        assert reply["ok"] is True
+        spans = reply["spans"]
+        names = {s["name"] for s in spans}
+        assert "fleet.worker" in names
+        assert "classify" in names
+        root = next(s for s in spans if s["name"] == "fleet.worker")
+        assert root["trace_id"] == "cafe1234cafe1234"
+        assert set(reply["clock"]) == {"wall", "perf"}
+
+    def test_untraced_request_ships_no_spans(self, server, table):
+        reply = server.handle(_classify_request(table))
+        assert "spans" not in reply
+
+
+class TestResultCache:
+    def test_repeat_classify_is_cached(self, model_dir, table):
+        server = WorkerServer(
+            {"m": str(model_dir)}, "m", cache_capacity=8
+        )
+        first = server.handle(_classify_request(table))
+        second = server.handle(_classify_request(table))
+        assert first["record"]["cached"] is False
+        assert second["record"]["cached"] is True
+        assert second["record"]["row_labels"] == first["record"]["row_labels"]
+
+
+class TestServeConnection:
+    def test_frames_over_socketpair(self, server, table):
+        left, right = socket.socketpair()
+        done: list[bool] = []
+        thread = threading.Thread(
+            target=lambda: done.append(server.serve_connection(right)),
+            daemon=True,
+        )
+        thread.start()
+        try:
+            send_message(left, {"op": "ping", "id": 1})
+            assert recv_message(left)["ok"] is True
+            send_message(left, _classify_request(table, rid=2))
+            reply = recv_message(left)
+            assert reply["ok"] is True and reply["id"] == 2
+            send_message(left, {"op": "shutdown", "id": 3})
+            assert recv_message(left)["op"] == "shutdown"
+        finally:
+            thread.join(10)
+            left.close()
+        # The shutdown op asks the accept loop to exit.
+        assert done == [True]
+
+    def test_plain_disconnect_returns_false(self, server):
+        left, right = socket.socketpair()
+        done: list[bool] = []
+        thread = threading.Thread(
+            target=lambda: done.append(server.serve_connection(right)),
+            daemon=True,
+        )
+        thread.start()
+        left.close()
+        thread.join(10)
+        assert done == [False]
+
+    def test_bad_frame_drops_connection_not_server(self, server, table):
+        left, right = socket.socketpair()
+        done: list[bool] = []
+        thread = threading.Thread(
+            target=lambda: done.append(server.serve_connection(right)),
+            daemon=True,
+        )
+        thread.start()
+        left.sendall(b"\x00\x00\x00\x03{x}")  # unparsable payload
+        thread.join(10)
+        left.close()
+        assert done == [False]
+        # The server itself keeps answering.
+        assert server.handle({"op": "ping", "id": 1})["ok"] is True

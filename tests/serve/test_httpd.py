@@ -224,6 +224,110 @@ class TestServiceDirect:
         svc.close()  # idempotent
 
 
+class TestReadiness:
+    def test_ready_probe_answers_200_when_serving(self, base_url):
+        status, body = _get(f"{base_url}/healthz?ready=1")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["ready"] is True
+        assert payload["status"] == "ok"
+
+    def test_liveness_stays_200_without_ready_flag(self, base_url):
+        status, body = _get(f"{base_url}/healthz")
+        assert status == 200
+        assert "ready" not in json.loads(body)
+
+    def test_unready_service_answers_503_with_retry_after(
+        self, registry
+    ):
+        svc = ClassificationService(
+            registry, batching=BatchingConfig(workers=1)
+        )
+        server = make_server(svc, port=0)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        host, port = server.server_address[:2]
+        try:
+            svc.close()  # a closed service must leave rotation
+            with pytest.raises(urllib.error.HTTPError) as err:
+                _get(f"http://{host}:{port}/healthz?ready=1")
+            assert err.value.code == 503
+            assert err.value.headers["Retry-After"] == "1"
+            payload = json.loads(err.value.read().decode())
+            assert payload["ready"] is False
+            # Liveness still answers 200: the process is up.
+            status, _body = _get(f"http://{host}:{port}/healthz")
+            assert status == 200
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_service_ready_reflects_close(self, registry):
+        svc = ClassificationService(
+            registry, batching=BatchingConfig(workers=1)
+        )
+        assert svc.ready() is True
+        svc.close()
+        assert svc.ready() is False
+
+
+class TestAdminReload:
+    @pytest.fixture
+    def archive_v2(self, hashed_pipeline, tmp_path):
+        from repro.core.persistence import save_pipeline
+
+        return save_pipeline(hashed_pipeline, tmp_path / "v2.npz")
+
+    def test_thread_mode_reload_flips_generation(
+        self, base_url, service, archive_v2, ckg_eval
+    ):
+        body = table_to_csv(ckg_eval[5].table).encode()
+        first = _post(f"{base_url}/classify", body, "text/csv")
+        outcome = _post(
+            f"{base_url}/admin/reload",
+            json.dumps(
+                {"path": str(archive_v2), "name": "default"}
+            ).encode(),
+            "application/json",
+        )
+        assert outcome["status"] == "flipped"
+        assert outcome["generation"] == 1
+        # Stale cached results were dropped with the old generation.
+        again = _post(f"{base_url}/classify", body, "text/csv")
+        assert again["cached"] is False
+        assert again["row_labels"] == first["row_labels"]
+        _, metrics = _get(f"{base_url}/metrics")
+        assert (
+            _metric(metrics, 'repro_reloads_total{outcome="flipped"}') == 1
+        )
+
+    def test_reload_without_path_is_400(self, base_url):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(f"{base_url}/admin/reload", b"{}", "application/json")
+        assert err.value.code == 400
+
+    def test_reload_bad_canary_is_400(self, base_url, archive_v2):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _post(
+                f"{base_url}/admin/reload",
+                json.dumps(
+                    {"path": str(archive_v2), "canary": "lots"}
+                ).encode(),
+                "application/json",
+            )
+        assert err.value.code == 400
+
+    def test_reload_with_procs_backend_is_400(
+        self, registry, model_archive
+    ):
+        svc = ClassificationService(registry, procs=1)
+        try:
+            with pytest.raises(ValueError, match="--fleet"):
+                svc.reload(str(model_archive))
+        finally:
+            svc.close()
+
+
 class TestDegenerateTables:
     """Degenerate tables over the wire must classify, not 500."""
 

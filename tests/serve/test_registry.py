@@ -106,3 +106,67 @@ class TestRegistry:
         for t in threads:
             t.join()
         assert len({id(p) for p in seen}) == 1
+
+
+class TestConcurrentReload:
+    def test_reload_swaps_atomically(self, model_archive):
+        reg = ModelRegistry()
+        old = reg.register(model_archive, name="m")
+        new, retired = reg.reload(model_archive, name="m")
+        assert retired is old
+        assert new is not old
+        assert reg.get("m") is new
+        assert reg.info("m").generation == 1
+
+    def test_reload_of_unregistered_name_retires_nothing(
+        self, model_archive
+    ):
+        reg = ModelRegistry()
+        pipeline, retired = reg.reload(model_archive, name="fresh")
+        assert retired is None
+        assert reg.get("fresh") is pipeline
+        assert reg.info("fresh").generation == 0
+
+    def test_gets_never_see_a_half_loaded_model(self, model_archive):
+        # 8 reader threads hammer get() while reloads swap generations
+        # underneath them: every observed pipeline must be fully loaded
+        # (an embedder exists), and each displaced generation must be
+        # handed back to exactly one reload call.
+        reg = ModelRegistry()
+        reg.register(model_archive, name="m")
+        stop = threading.Event()
+        bad: list[str] = []
+
+        def reader() -> None:
+            while not stop.is_set():
+                pipeline = reg.get("m")
+                if pipeline.embedder is None or not pipeline.is_fitted:
+                    bad.append("half-loaded pipeline observed")
+
+        readers = [threading.Thread(target=reader) for _ in range(8)]
+        for t in readers:
+            t.start()
+        retired: list[MetadataPipeline] = []
+        retired_lock = threading.Lock()
+
+        def reloader() -> None:
+            _new, old = reg.reload(model_archive, name="m")
+            assert old is not None
+            with retired_lock:
+                retired.append(old)
+
+        reloaders = [threading.Thread(target=reloader) for _ in range(4)]
+        for t in reloaders:
+            t.start()
+        for t in reloaders:
+            t.join()
+        stop.set()
+        for t in readers:
+            t.join()
+        assert bad == []
+        # Four swaps displaced four distinct generations — no pipeline
+        # was retired twice, none was lost.
+        assert len(retired) == 4
+        assert len({id(p) for p in retired}) == 4
+        assert reg.info("m").generation == 4
+        assert reg.get("m").embedder is not None

@@ -34,11 +34,17 @@ class AggregationConfig:
     ``contextual`` — when the backend is a
     :class:`~repro.embeddings.contextual.ContextualEncoder`, aggregate
     its context-aware vectors instead of static lookups.
+
+    ``lowercase`` — the tokenizer setting used when cells are split into
+    terms (see :func:`repro.text.tokenize`).  Part of the aggregation
+    config so every path — scalar, vectorized, fused — tokenizes the
+    same way, and so caches can key on it.
     """
 
     mode: str = "sum"
     concat_terms: int = 8
     contextual: bool = False
+    lowercase: bool = True
 
     def __post_init__(self) -> None:
         if self.mode not in ("sum", "mean", "concat"):
@@ -60,7 +66,7 @@ def aggregate_level(
     Empty levels yield the zero vector, which the angle layer treats as
     "no direction" (90 degrees to everything).
     """
-    tokens = tokenize_cells(cells)
+    tokens = tokenize_cells(cells, lowercase=config.lowercase)
     if config.contextual and hasattr(embedder.model, "encode_sentence"):
         matrix = embedder.model.encode_sentence([t.text for t in tokens])
         if matrix.shape[0] == 0:

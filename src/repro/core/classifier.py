@@ -20,6 +20,8 @@ can render the annotated example of the paper's Fig. 5.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.aggregate import (
@@ -27,7 +29,7 @@ from repro.core.aggregate import (
     aggregate_cols,
     aggregate_rows,
 )
-from repro.core.angles import angle_between, walk_angles
+from repro.core.angles import AngleRange, angle_between, walk_angles
 from repro.core.embedding_plane import embed_table
 from repro import obs
 from repro.core.centroids import CentroidSet
@@ -45,6 +47,9 @@ class ClassifierConfig:
     max_vmd_depth: int = 3  # deepest VMD the paper observes
     detect_cmd: bool = True  # central metadata rows (rows only)
     vectorized: bool = True  # one-pass table embedding (False: scalar path)
+    fused: bool = True  # corpus-level fusion on classify_corpus batches
+    fused_dtype: str = "float32"  # matmul dtype on the fused path
+    fused_quantize: bool = False  # int8 token matrices (per-row scales)
     range_margin: float = 2.0  # degrees of slack on centroid ranges
     ref_slack: float = 10.0  # reference-angle tolerance in overlap ties
     ref_override: float = 10.0  # min ref-angle gap to overrule a range hit
@@ -55,6 +60,27 @@ class ClassifierConfig:
             raise ValueError("depth limits must be positive")
         if self.range_margin < 0:
             raise ValueError("range_margin cannot be negative")
+        if self.fused_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"fused_dtype must be float32 or float64, got "
+                f"{self.fused_dtype!r}"
+            )
+
+
+# Labels are frozen value objects and the walk emits thousands per
+# corpus batch; a tiny interning table skips the dataclass construction
+# (and its __post_init__ validation) for the handful of distinct values.
+# Races just build an equal instance twice — dict writes are atomic.
+_LABEL_CACHE: dict[tuple[LevelKind, int], LevelLabel] = {}
+
+
+def _label(kind: LevelKind, level: int) -> LevelLabel:
+    key = (kind, level)
+    cached = _LABEL_CACHE.get(key)
+    if cached is None:
+        cached = LevelLabel(kind, level)
+        _LABEL_CACHE[key] = cached
+    return cached
 
 
 @dataclass(frozen=True)
@@ -120,6 +146,25 @@ class MetadataClassifier:
     def classify_result(self, table: Table) -> ClassificationResult:
         """Classify with full per-level evidence (Fig. 5 annotations)."""
         return self._classify(table, with_evidence=True)
+
+    def classify_corpus(self, tables: Sequence[Table]) -> list[TableAnnotation]:
+        """Classify a whole batch as one fused shard (labels only).
+
+        Routes through :mod:`repro.core.fused` when ``config.fused`` and
+        the aggregation mode support it: one corpus-wide intern pass, one
+        batched token lookup, segment-scatter aggregation, and a batched
+        angle walk.  Labels are identical to a per-table :meth:`classify`
+        loop (the decision walk is shared); modes the fused plane cannot
+        express — and ``fused=False`` — fall back to that loop.
+        """
+        tables = list(tables)
+        if not tables:
+            return []
+        if self.config.fused and self.config.vectorized:
+            from repro.core import fused
+
+            return fused.classify_corpus(self, tables)
+        return [self.classify(t) for t in tables]
 
     def _classify(
         self, table: Table, *, with_evidence: bool
@@ -195,11 +240,6 @@ class MetadataClassifier:
         detect_cmd: bool,
         with_evidence: bool = True,
     ) -> tuple[list[LevelLabel], list[LevelEvidence]]:
-        margin = self.config.range_margin
-        c_mde = centroids.mde.widened(margin)
-        c_de = centroids.de.widened(margin)
-        c_mde_de = centroids.mde_de.widened(margin)
-
         # All reference angles and adjacent-level deltas come out of one
         # fused batch pass; the walk below only reads them.  The scalar
         # per-level calls are kept behind ``vectorized=False`` as the
@@ -224,6 +264,87 @@ class MetadataClassifier:
                 ],
                 dtype=np.float64,
             )
+        return self._walk_axis(
+            meta_angles,
+            data_angles,
+            deltas,
+            centroids,
+            max_depth=max_depth,
+            metadata_kind=metadata_kind,
+            detect_cmd=detect_cmd,
+            with_evidence=with_evidence,
+        )
+
+    def axis_ranges(
+        self, centroids: CentroidSet
+    ) -> tuple[AngleRange, AngleRange, AngleRange]:
+        """The margin-widened ``(C_MDE, C_DE, C_MDE-DE)`` triple.
+
+        Pure and cheap, but called once per axis per table on the walk;
+        corpus callers compute it once per batch and pass it through
+        :meth:`_walk_axis`'s ``ranges``.
+        """
+        margin = self.config.range_margin
+        return (
+            centroids.mde.widened(margin),
+            centroids.de.widened(margin),
+            centroids.mde_de.widened(margin),
+        )
+
+    def _walk_axis(
+        self,
+        meta_angles: np.ndarray | Sequence[float],
+        data_angles: np.ndarray | Sequence[float],
+        deltas: np.ndarray | Sequence[float],
+        centroids: CentroidSet,
+        *,
+        max_depth: int,
+        metadata_kind: LevelKind,
+        detect_cmd: bool,
+        with_evidence: bool = True,
+        ranges: tuple[AngleRange, AngleRange, AngleRange] | None = None,
+    ) -> tuple[list[LevelLabel], list[LevelEvidence]]:
+        """The sequential decision walk over precomputed angle arrays.
+
+        This is the single source of the label semantics: the per-table
+        path (:meth:`_classify_axis`) and the fused corpus path
+        (:mod:`repro.core.fused`) both land here, so a batch classified
+        through either produces identical labels by construction.
+
+        ``ranges`` lets a corpus caller pass the widened
+        ``(C_MDE, C_DE, C_MDE-DE)`` triple once (see
+        :meth:`axis_ranges`) instead of re-widening per table.
+        """
+        if ranges is None:
+            ranges = self.axis_ranges(centroids)
+        c_mde, c_de, c_mde_de = ranges
+        # Plain-float bounds: the loop below tests range membership a few
+        # times per level, and an ``AngleRange.__contains__`` method call
+        # per test is measurable at corpus scale.
+        mde_lo, mde_hi = c_mde.lo, c_mde.hi
+        de_lo, de_hi = c_de.lo, c_de.hi
+        mm_lo, mm_hi = c_mde_de.lo, c_mde_de.hi
+        mde_mid = centroids.mde.midpoint
+        mm_mid = centroids.mde_de.midpoint
+        ref_slack = self.config.ref_slack
+        ref_override = self.config.ref_override
+
+        # One bulk conversion to Python floats: the walk below is a pure
+        # Python state machine, and per-element numpy scalar extraction
+        # would dominate it.  Corpus callers pass pre-converted lists.
+        meta_list: list[float] = (
+            meta_angles
+            if type(meta_angles) is list
+            else np.asarray(meta_angles).tolist()
+        )
+        data_list: list[float] = (
+            data_angles
+            if type(data_angles) is list
+            else np.asarray(data_angles).tolist()
+        )
+        delta_list: list[float] = (
+            deltas if type(deltas) is list else np.asarray(deltas).tolist()
+        )
 
         labels: list[LevelLabel] = []
         evidence: list[LevelEvidence] = []
@@ -231,10 +352,10 @@ class MetadataClassifier:
         transitioned = False  # have we crossed the metadata->data boundary?
         prev_is_meta = False
 
-        for index in range(vectors.shape[0]):
-            a_meta = float(meta_angles[index])
-            a_data = float(data_angles[index])
-            delta = float(deltas[index - 1]) if index > 0 else None
+        for index in range(len(meta_list)):
+            a_meta = meta_list[index]
+            a_data = data_list[index]
+            delta = delta_list[index - 1] if index > 0 else None
             # Rule strings exist for Fig. 5 rendering only; the labels-only
             # path skips formatting them (they are pure reporting).
             rule = ""
@@ -247,8 +368,8 @@ class MetadataClassifier:
                     rule = "first level: nearest reference"
             elif prev_is_meta and not transitioned:
                 assert delta is not None
-                in_mde = delta in c_mde
-                in_mde_de = delta in c_mde_de
+                in_mde = mde_lo <= delta <= mde_hi
+                in_mde_de = mm_lo <= delta <= mm_hi
                 if depth >= max_depth:
                     is_meta = False
                     if with_evidence:
@@ -261,12 +382,10 @@ class MetadataClassifier:
                     # Overlapping ranges: the nearest range midpoint
                     # decides, with a soft reference guard — a level far
                     # closer to the data reference is data regardless.
-                    to_mde = abs(delta - centroids.mde.midpoint)
-                    to_mde_de = abs(delta - centroids.mde_de.midpoint)
-                    refs_allow_meta = a_meta <= a_data + self.config.ref_slack
-                    refs_force_meta = (
-                        a_meta + self.config.ref_override < a_data
-                    )
+                    to_mde = abs(delta - mde_mid)
+                    to_mde_de = abs(delta - mm_mid)
+                    refs_allow_meta = a_meta <= a_data + ref_slack
+                    refs_force_meta = a_meta + ref_override < a_data
                     is_meta = (
                         to_mde < to_mde_de and refs_allow_meta
                     ) or refs_force_meta
@@ -283,13 +402,13 @@ class MetadataClassifier:
                     # sub-vocabularies can sit this far apart too; when
                     # the references *clearly* side with metadata, trust
                     # them over the range.
-                    is_meta = a_meta + self.config.ref_override < a_data
+                    is_meta = a_meta + ref_override < a_data
                     if with_evidence:
                         rule = (
                             f"Δ={delta:.0f}° ∈ C_MDE-DE {centroids.mde_de}"
                             + (", refs overrule: metadata" if is_meta else "")
                         )
-                elif delta in c_de and a_data < a_meta:
+                elif de_lo <= delta <= de_hi and a_data < a_meta:
                     # Rare: two near-identical levels after a mislabeled
                     # first level; defer to the references.
                     is_meta = False
@@ -301,11 +420,11 @@ class MetadataClassifier:
                         rule = "Δ in no range: nearest reference"
             else:
                 assert delta is not None
-                if delta in c_de:
+                if de_lo <= delta <= de_hi:
                     is_meta = False
                     if with_evidence:
                         rule = f"Δ={delta:.0f}° ∈ C_DE {centroids.de}"
-                elif detect_cmd and delta in c_mde_de and a_meta < a_data:
+                elif detect_cmd and mm_lo <= delta <= mm_hi and a_meta < a_data:
                     is_meta = True  # central metadata restarts a block
                     if with_evidence:
                         rule = f"Δ={delta:.0f}° ∈ C_MDE-DE from data: CMD"
@@ -318,11 +437,11 @@ class MetadataClassifier:
 
             if is_meta and not transitioned:
                 depth += 1
-                label = LevelLabel(metadata_kind, depth)
+                label = _label(metadata_kind, depth)
             elif is_meta and transitioned:
-                label = LevelLabel.cmd(1)
+                label = _label(LevelKind.CMD, 1)
             else:
-                label = LevelLabel.data()
+                label = _label(LevelKind.DATA, 0)
                 if prev_is_meta or index == 0:
                     transitioned = True
 

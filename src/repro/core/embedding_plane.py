@@ -53,17 +53,20 @@ _DENSE_COUNT_LIMIT = 1 << 22
 
 
 @lru_cache(maxsize=131_072)
-def _cell_token_texts(cell: str) -> tuple[str, ...]:
+def _cell_token_texts(cell: str, lowercase: bool = True) -> tuple[str, ...]:
     """Memoized tokenization of one cell string.
 
     Cell contents repeat heavily both within a table (blanks, repeated
     categories) and across a served corpus (shared headers), and regex
     tokenization is the single most expensive per-cell step, so the memo
-    is process-global.  ``lru_cache`` is thread safe, bounded, and keyed
-    on the already-normalized cell text — tokenization is a pure
-    function of it.
+    is process-global.  ``lru_cache`` is thread safe and bounded; the key
+    is the (cell text, tokenizer fingerprint) pair — tokenization is a
+    pure function of the cell *and* the tokenizer configuration, so two
+    pipelines with different ``lowercase`` settings in one process must
+    not share entries.  ``lowercase`` is currently the tokenizer's whole
+    configuration surface; a new tokenizer knob must join this key.
     """
-    return tuple(token.text for token in tokenize(cell))
+    return tuple(token.text for token in tokenize(cell, lowercase=lowercase))
 
 
 @dataclass(frozen=True)
@@ -97,23 +100,27 @@ def _counts_matmul(
     matrix and matmul.  Large tables go through a scipy COO matrix so the
     count matrix never materializes densely; without scipy, a scatter-add
     over the occurrence rows does the same work.
+
+    The accumulation dtype follows ``vectors.dtype`` (float64 on the
+    per-table path, float32 on the fused corpus path).
     """
     n_unique = vectors.shape[0]
+    dtype = vectors.dtype if vectors.dtype.kind == "f" else np.float64
     if level_idx.size == 0:
-        return np.zeros((n_levels, vectors.shape[1]))
+        return np.zeros((n_levels, vectors.shape[1]), dtype=dtype)
     if n_levels * n_unique <= _DENSE_COUNT_LIMIT:
         counts = np.bincount(
             level_idx * n_unique + token_idx, minlength=n_levels * n_unique
         ).reshape(n_levels, n_unique)
-        return counts.astype(np.float64) @ vectors
+        return counts.astype(dtype) @ vectors
     try:
         from scipy import sparse
     except ImportError:  # pragma: no cover - scipy ships with the env
-        out = np.zeros((n_levels, vectors.shape[1]))
+        out = np.zeros((n_levels, vectors.shape[1]), dtype=dtype)
         np.add.at(out, level_idx, vectors[token_idx])
         return out
     counts = sparse.coo_matrix(
-        (np.ones(level_idx.size), (level_idx, token_idx)),
+        (np.ones(level_idx.size, dtype=dtype), (level_idx, token_idx)),
         shape=(n_levels, n_unique),
     ).tocsr()
     return np.asarray(counts @ vectors)
@@ -175,7 +182,7 @@ def embed_table(
             occ_cells: list[int] = []
             occ_toks: list[int] = []
             for cell_id, cell in enumerate(cell_ids):
-                for text in _cell_token_texts(cell):
+                for text in _cell_token_texts(cell, config.lowercase):
                     occ_cells.append(cell_id)
                     occ_toks.append(token_ids.setdefault(text, len(token_ids)))
 
@@ -248,7 +255,7 @@ def level_vectors(
         for index, cells in enumerate(levels):
             for cell in cells:
                 text = cell if isinstance(cell, str) else "" if cell is None else str(cell)
-                for token_text in _cell_token_texts(text):
+                for token_text in _cell_token_texts(text, config.lowercase):
                     occ_levels.append(index)
                     occ_toks.append(token_ids.setdefault(token_text, len(token_ids)))
 

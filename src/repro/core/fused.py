@@ -1,0 +1,752 @@
+"""Corpus-level fused classification.
+
+The vectorized plane (:mod:`repro.core.embedding_plane`) collapsed the
+per-*level* Python work of one table into scatter matmuls, but a corpus
+run still pays per-table overhead a hundred times over: a tokenize
+pass, a locked cache sweep, a dozen small array allocations, and an
+angle walk per table.  This module moves the fusion boundary to the
+shard, following TabVec's framing of tables as points in one shared
+embedding space:
+
+1. **intern** — one corpus-wide pass builds a global unique-cell table
+   and resolves each distinct cell against the process-global token-id
+   vocabulary (:class:`_TokenVocab`).  A cell string tokenizes once per
+   process (not once per table, not once per shard), and its token-id
+   array comes back from a memo as a ready-made index block;
+2. **pack** — the shard becomes flat COO blocks: ``(cell, token-id)``
+   occurrence pairs over the unique cells, plus per-table grids of
+   global ``(row, col, cell)`` indices with table-offset bookkeeping
+   (:class:`CorpusPack`).  Both blocks come out *segment-sorted* — by
+   cell on the occurrence side, by global row on the grid side, with a
+   precomputed column-major permutation for the column axis — so the
+   aggregation below is pure gather + segment-reduce;
+3. **aggregate** — every row aggregate and every column aggregate of
+   every table comes out of segment-scatter reductions across table
+   boundaries (Def. 8 for the whole shard in two gather/reduce chains),
+   in float32 by default, optionally through an int8-quantized token
+   matrix with per-row scales;
+4. **walk** — one batched angle pass
+   (:func:`repro.core.angles.segmented_walk_angles`) computes every
+   reference angle and adjacent delta of the corpus, and the
+   classifier's shared decision walk
+   (:meth:`~repro.core.classifier.MetadataClassifier._walk_axis`)
+   assigns labels per table from the precomputed views.
+
+Because the decision walk is literally the same code the per-table path
+runs, labels are identical to a ``classify`` loop whenever the angles
+are (float64 mode reproduces them; float32 holds in practice because
+decisions sit far from range boundaries — the equivalence suite pins
+this, and ``fused_dtype="float64"`` is the escape hatch).
+
+Token vectors resolve three ways, fastest first: a per-embedder
+float32 row matrix indexed by global token id (:class:`_TokenRowCache`
+— a warm shard's token matrix is one fancy-index gather), a packed
+vocabulary matrix from the model store
+(:class:`repro.embeddings.lookup.PackedVocabulary`, memory-mapped, so
+fleet/parallel workers page-share it), or the embedder's batched
+lookup for everything else.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.aggregate import AggregationConfig
+from repro.core.angles import segmented_walk_angles
+from repro.core.embedding_plane import _cell_token_texts, supports_fast_path
+from repro.embeddings.lookup import TermEmbedder, quantize_rows
+from repro.tables.labels import LevelKind, TableAnnotation
+from repro.tables.model import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.classifier import MetadataClassifier
+
+
+#: Hard cap on the process-global token vocabulary.  Token vocabularies
+#: plateau (shared headers, shared value spaces), so reaching this means
+#: a pathological stream; packs then fall back to shard-local interning
+#: rather than growing without bound.
+_VOCAB_LIMIT = 1 << 20
+
+#: Largest global token id the per-embedder row cache will back.  At
+#: dim 64 / float32 a full cache is ~32 MiB per embedder.
+_TOKEN_ROWS_LIMIT = 131_072
+
+
+class _TokenVocab:
+    """Process-global token-text -> token-id intern table.
+
+    Ids are dense, stable for the process lifetime, and shared across
+    every pack and every embedder — which is what lets the fused path
+    trade string hashing for integer gathers.  ``intern`` returns
+    ``None`` once the vocabulary is full (see :data:`_VOCAB_LIMIT`).
+    """
+
+    def __init__(self) -> None:
+        self.ids: dict[str, int] = {}
+        self.texts: list[str] = []
+        self._lock = threading.Lock()
+
+    def intern(self, texts: Sequence[str]) -> np.ndarray | None:
+        ids = self.ids
+        out = np.empty(len(texts), dtype=np.intp)
+        for i, text in enumerate(texts):
+            known = ids.get(text, -1)
+            if known < 0:
+                break
+            out[i] = known
+        else:
+            out.setflags(write=False)
+            return out
+        with self._lock:
+            for i, text in enumerate(texts):
+                known = ids.get(text)
+                if known is None:
+                    if len(ids) >= _VOCAB_LIMIT:
+                        return None
+                    known = len(ids)
+                    ids[text] = known
+                    self.texts.append(text)
+                out[i] = known
+        out.setflags(write=False)
+        return out
+
+
+_VOCAB = _TokenVocab()
+
+
+@lru_cache(maxsize=131_072)
+def _cell_token_ids(cell: str, lowercase: bool) -> np.ndarray | None:
+    """Memoized cell -> read-only array of global token ids.
+
+    Keyed like ``_cell_token_texts`` — by (cell text, tokenizer
+    fingerprint) — so two pipelines with different ``lowercase``
+    settings never share entries.  The ids themselves are
+    tokenizer-agnostic (same text, same id).  Returns ``None`` when the
+    global vocabulary is full; callers fall back to local interning.
+    """
+    return _VOCAB.intern(_cell_token_texts(cell, lowercase))
+
+
+class _TokenRowCache:
+    """Per-embedder float32 rows indexed by *global token id*.
+
+    ``TermEmbedder.vectors`` already dedups and caches per token, but
+    its warm path still hashes strings and stacks thousands of small
+    float64 arrays per shard.  Here the matrix row index IS the global
+    token id, so a warm shard's token matrix is one fancy-index gather
+    with no per-token Python at all; only unseen ids go through the
+    embedder.  Safe because an embedder's token->vector map is
+    immutable (backend and OOV back-off are deterministic, centering is
+    fixed at construction).
+    """
+
+    def __init__(self, dim: int) -> None:
+        self._matrix = np.zeros((1024, dim), dtype=np.float32)
+        self._known = np.zeros(1024, dtype=bool)
+        self._lock = threading.Lock()
+
+    def ensure(
+        self, embedder: TermEmbedder, used_ids: np.ndarray
+    ) -> np.ndarray | None:
+        """Back every id in sorted ``used_ids``; returns the id-indexed
+        matrix, or ``None`` when an id exceeds :data:`_TOKEN_ROWS_LIMIT`
+        (callers fall back to a compact per-shard matrix)."""
+        if used_ids.size == 0:
+            return self._matrix
+        top = int(used_ids[-1]) + 1
+        if top > _TOKEN_ROWS_LIMIT:
+            return None
+        with self._lock:
+            capacity = self._matrix.shape[0]
+            if top > capacity:
+                grown = np.zeros(
+                    (max(top, 2 * capacity), self._matrix.shape[1]),
+                    dtype=np.float32,
+                )
+                grown[:capacity] = self._matrix
+                self._matrix = grown
+                known = np.zeros(grown.shape[0], dtype=bool)
+                known[:capacity] = self._known
+                self._known = known
+            missing = used_ids[~self._known[used_ids]]
+            if missing.size:
+                texts = [_VOCAB.texts[i] for i in missing]
+                self._matrix[missing] = embedder.vectors(texts).astype(
+                    np.float32
+                )
+                self._known[missing] = True
+            return self._matrix
+
+
+_ROW_CACHES: "weakref.WeakKeyDictionary[TermEmbedder, _TokenRowCache]" = (
+    weakref.WeakKeyDictionary()
+)
+_ROW_CACHES_LOCK = threading.Lock()
+
+
+def _row_cache(embedder: TermEmbedder) -> _TokenRowCache:
+    with _ROW_CACHES_LOCK:
+        cache = _ROW_CACHES.get(embedder)
+        if cache is None:
+            cache = _ROW_CACHES[embedder] = _TokenRowCache(embedder.dim)
+        return cache
+
+
+@dataclass(frozen=True)
+class _TableFragment:
+    """One table's pack contribution, in the global token-id space.
+
+    Cells are deduplicated within the table; ``occ_toks`` concatenates
+    the token-id block of each distinct cell in first-seen order,
+    ``counts[c]`` is the block length of cell ``c``, and ``grid`` maps
+    every row-major grid position to its table-local cell id.  The
+    arrays are read-only — fragments are memoized per :class:`Table`
+    (tables are immutable) and shared across packs, so a warm shard
+    packs by array concatenation alone.
+    """
+
+    shape: tuple[int, int]
+    n_cells: int
+    occ_toks: np.ndarray
+    counts: np.ndarray
+    grid: np.ndarray
+
+
+_FRAGMENTS: "weakref.WeakKeyDictionary[Table, dict[bool, _TableFragment]]" = (
+    weakref.WeakKeyDictionary()
+)
+_FRAGMENTS_LOCK = threading.Lock()
+
+
+def _build_fragment(table: Table, lowercase: bool) -> _TableFragment | None:
+    """Tokenize one table into a fragment; None on vocabulary overflow."""
+    ids: dict[str, int] = {}
+    parts: list[np.ndarray] = []
+    grid: list[int] = []
+    for row in table.rows:
+        for cell in row:
+            idx = ids.get(cell)
+            if idx is None:
+                idx = len(ids)
+                ids[cell] = idx
+                part = _cell_token_ids(cell, lowercase)
+                if part is None:
+                    return None
+                parts.append(part)
+            grid.append(idx)
+    counts = np.fromiter(
+        (p.size for p in parts), dtype=np.intp, count=len(parts)
+    )
+    occ = (
+        np.concatenate(parts) if parts else np.empty(0, dtype=np.intp)
+    )
+    grid_arr = np.asarray(grid, dtype=np.intp)
+    for arr in (counts, occ, grid_arr):
+        arr.setflags(write=False)
+    return _TableFragment(table.shape, len(ids), occ, counts, grid_arr)
+
+
+def _table_fragment(table: Table, lowercase: bool) -> _TableFragment | None:
+    entry = _FRAGMENTS.get(table)
+    if entry is not None:
+        frag = entry.get(lowercase)
+        if frag is not None:
+            return frag
+    frag = _build_fragment(table, lowercase)
+    if frag is None:
+        return None
+    with _FRAGMENTS_LOCK:
+        _FRAGMENTS.setdefault(table, {})[lowercase] = frag
+    return frag
+
+
+@dataclass(frozen=True)
+class CorpusPack:
+    """A shard of tables interned and packed into flat COO blocks.
+
+    ``occ_cells``/``occ_toks`` pair cell ids with token ids (one entry
+    per token occurrence inside a distinct cell, sorted by cell; cells
+    are deduplicated per table by the fragment memo); ``grid_cells``
+    holds every grid position of every table in row-major table order,
+    as cell ids; ``col_perm`` permutes that flat grid into per-table
+    column-major order.
+    ``row_offsets``/``col_offsets`` are the ``(n_tables + 1,)`` prefix
+    arrays over global row/column indices that slice any corpus-level
+    result back into per-table blocks.
+
+    ``occ_toks`` lives in the process-global id space when
+    ``token_space == "global"`` (``used_token_ids`` lists the distinct
+    ids, sorted); on vocabulary overflow it falls back to a dense
+    shard-``"local"`` space enumerated by ``local_tokens``.
+    """
+
+    shapes: tuple[tuple[int, int], ...]
+    row_offsets: np.ndarray
+    col_offsets: np.ndarray
+    n_cells: int
+    occ_cells: np.ndarray
+    occ_toks: np.ndarray
+    grid_cells: np.ndarray
+    col_perm: np.ndarray
+    token_space: str
+    used_token_ids: np.ndarray
+    local_tokens: tuple[str, ...]
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.shapes)
+
+    @property
+    def total_rows(self) -> int:
+        return int(self.row_offsets[-1])
+
+    @property
+    def total_cols(self) -> int:
+        return int(self.col_offsets[-1])
+
+    @property
+    def n_tokens(self) -> int:
+        if self.token_space == "local":
+            return len(self.local_tokens)
+        return int(self.used_token_ids.size)
+
+    def token_texts(self) -> tuple[str, ...]:
+        """The distinct token texts of the shard, in id order."""
+        if self.token_space == "local":
+            return self.local_tokens
+        texts = _VOCAB.texts
+        return tuple(texts[i] for i in self.used_token_ids)
+
+    def compact_occ_toks(self) -> np.ndarray:
+        """``occ_toks`` re-based onto ``range(n_tokens)`` in the order
+        of :meth:`token_texts` (what a per-shard matrix is indexed by).
+        """
+        if self.token_space == "local":
+            return self.occ_toks
+        return np.searchsorted(self.used_token_ids, self.occ_toks)
+
+    def level_widths(self) -> tuple[np.ndarray, np.ndarray]:
+        """Grid entries per global row / per global column.
+
+        ``row_widths[r]`` is the number of grid cells global row ``r``
+        owns (its table's column count); likewise for columns.  These
+        are the segment lengths of ``grid_cells`` (row-major) and
+        ``grid_cells[col_perm]`` (column-major).
+        """
+        shapes = np.asarray(self.shapes, dtype=np.intp).reshape(-1, 2)
+        n_rows, n_cols = shapes[:, 0], shapes[:, 1]
+        return np.repeat(n_cols, n_rows), np.repeat(n_rows, n_cols)
+
+
+def pack_corpus(
+    tables: Sequence[Table],
+    config: AggregationConfig = AggregationConfig(),
+) -> CorpusPack:
+    """Intern and pack a shard of tables (stages 1 and 2).
+
+    Degenerate tables (zero rows, zero columns, all-blank grids) pack as
+    empty blocks and classify to the same empty/zero-vector annotations
+    the per-table path produces.
+    """
+    with obs.span("fused.intern", n_tables=len(tables)):
+        # Per-table fragments come from a memo keyed by the (immutable)
+        # table, so a warm shard does no per-cell Python work at all:
+        # the merge below is pure array concatenation plus offset
+        # arithmetic.  A cold table tokenizes once, ever.
+        lowercase = config.lowercase
+        empty = np.empty(0, dtype=np.intp)
+        token_space = "global"
+        local_tokens: tuple[str, ...] = ()
+        fragments: list[_TableFragment] = []
+        for table in tables:
+            frag = _table_fragment(table, lowercase)
+            if frag is None:
+                token_space = "local"
+                break
+            fragments.append(frag)
+        if token_space == "global":
+            shapes = [f.shape for f in fragments]
+            n = len(fragments)
+            per_table_cells = np.fromiter(
+                (f.n_cells for f in fragments), dtype=np.intp, count=n
+            )
+            cell_starts = np.zeros(n, dtype=np.intp)
+            if n > 1:
+                np.cumsum(per_table_cells[:-1], out=cell_starts[1:])
+            n_cells = int(per_table_cells.sum())
+            occ_toks = (
+                np.concatenate([f.occ_toks for f in fragments])
+                if n
+                else empty
+            )
+            all_counts = (
+                np.concatenate([f.counts for f in fragments]) if n else empty
+            )
+            # Fragment occurrences are ordered by table-local cell, so
+            # the concatenation is ordered by global cell id — the
+            # segment-sorted layout aggregation relies on.
+            occ_cells = np.repeat(np.arange(n_cells, dtype=np.intp), all_counts)
+            grid_cells = (
+                np.concatenate([f.grid for f in fragments]) if n else empty
+            )
+            frag_sizes = np.fromiter(
+                (f.grid.size for f in fragments), dtype=np.intp, count=n
+            )
+            grid_cells = grid_cells + np.repeat(cell_starts, frag_sizes)
+            used_token_ids = np.unique(occ_toks)
+        else:
+            # Global vocabulary overflow: intern shard-locally instead
+            # (corpus-wide cell dedup, uncached — correctness fallback,
+            # not a fast path).
+            shapes = []
+            flat_cells: list[str] = []
+            for table in tables:
+                shapes.append(table.shape)
+                for row in table.rows:
+                    flat_cells.extend(row)
+            cell_ids: dict[str, int] = {}
+            flat_grid = [
+                cell_ids.setdefault(cell, len(cell_ids))
+                for cell in flat_cells
+            ]
+            grid_cells = np.asarray(flat_grid, dtype=np.intp)
+            n_cells = len(cell_ids)
+            token_ids: dict[str, int] = {}
+            occ_cells_list: list[int] = []
+            occ_toks_list: list[int] = []
+            for cell_id, cell in enumerate(cell_ids):
+                texts = _cell_token_texts(cell, lowercase)
+                if texts:
+                    occ_cells_list.extend([cell_id] * len(texts))
+                    occ_toks_list.extend(
+                        token_ids.setdefault(t, len(token_ids))
+                        for t in texts
+                    )
+            occ_cells = np.asarray(occ_cells_list, dtype=np.intp)
+            occ_toks = np.asarray(occ_toks_list, dtype=np.intp)
+            used_token_ids = empty
+            local_tokens = tuple(token_ids)
+
+    with obs.span("fused.pack", cells=n_cells, tokens=occ_toks.size):
+        n = len(shapes)
+        shapes_arr = np.asarray(shapes, dtype=np.intp).reshape(n, 2)
+        n_rows, n_cols = shapes_arr[:, 0], shapes_arr[:, 1]
+        row_offsets = np.zeros(n + 1, dtype=np.intp)
+        col_offsets = np.zeros(n + 1, dtype=np.intp)
+        np.cumsum(n_rows, out=row_offsets[1:])
+        np.cumsum(n_cols, out=col_offsets[1:])
+
+        # Column-major permutation of the flat row-major grid: element
+        # ``j`` of table ``t``'s column-major enumeration lives at
+        # row-major position ``start_t + (j % n_rows_t) * n_cols_t +
+        # j // n_rows_t``.  All closed-form array arithmetic — no
+        # per-table Python loop.
+        grid_sizes = n_rows * n_cols
+        total_grid = int(grid_sizes.sum())
+        grid_starts = np.zeros(n, dtype=np.intp)
+        if n > 1:
+            np.cumsum(grid_sizes[:-1], out=grid_starts[1:])
+        pos = np.arange(total_grid, dtype=np.intp) - np.repeat(
+            grid_starts, grid_sizes
+        )
+        rows_rep = np.repeat(n_rows, grid_sizes)
+        cols_rep = np.repeat(n_cols, grid_sizes)
+        col_perm = (
+            np.repeat(grid_starts, grid_sizes)
+            + (pos % rows_rep) * cols_rep
+            + pos // rows_rep
+        )
+        return CorpusPack(
+            shapes=tuple(shapes),
+            row_offsets=row_offsets,
+            col_offsets=col_offsets,
+            n_cells=n_cells,
+            occ_cells=occ_cells,
+            occ_toks=occ_toks,
+            grid_cells=grid_cells,
+            col_perm=col_perm,
+            token_space=token_space,
+            used_token_ids=used_token_ids,
+            local_tokens=local_tokens,
+        )
+
+
+def _indexed_segment_sum(
+    values: np.ndarray,
+    indices: np.ndarray,
+    lengths: np.ndarray,
+    n_segments: int,
+) -> np.ndarray:
+    """Gather-and-segment-sum fused: ``out[s] = Σ values[indices[j]]``
+    over block ``s``'s slice of ``indices`` -> ``(n_segments, dim)``.
+
+    Block ``s`` spans ``lengths[s]`` consecutive entries of ``indices``;
+    empty blocks yield zero rows.  This is the scatter-aggregation core
+    of the fused plane: the segment-sum operator IS a CSR matrix whose
+    indptr is the length prefix array and whose column indices are the
+    gather indices, so every Def. 8 summation is one direct-CSR matmul
+    — no COO sort, and crucially no materialized ``values[indices]``
+    intermediate (the corpus-sized gathers dominate memory traffic
+    otherwise).  Without scipy it degrades to gather +
+    ``np.add.reduceat``.  Accumulation dtype follows ``values.dtype``.
+    """
+    n = indices.shape[0]
+    if n == 0:
+        return np.zeros((n_segments, values.shape[1]), dtype=values.dtype)
+    try:
+        from scipy import sparse
+    except ImportError:  # pragma: no cover - scipy ships with the env
+        out = np.zeros((n_segments, values.shape[1]), dtype=values.dtype)
+        occupied = lengths > 0
+        if not np.any(occupied):
+            return out
+        starts = np.zeros(lengths.size, dtype=np.intp)
+        np.cumsum(lengths[:-1], out=starts[1:])
+        out[occupied] = np.add.reduceat(
+            values[indices], starts[occupied], axis=0
+        )
+        return out
+    indptr = np.zeros(n_segments + 1, dtype=np.intp)
+    np.cumsum(lengths, out=indptr[1:])
+    summer = sparse.csr_matrix(
+        (
+            np.ones(n, dtype=values.dtype),
+            np.asarray(indices, dtype=np.intp),
+            indptr,
+        ),
+        shape=(n_segments, values.shape[0]),
+    )
+    return np.asarray(summer @ values)
+
+
+def token_matrix(
+    embedder: TermEmbedder,
+    tokens: Sequence[str],
+    dtype: np.dtype | type = np.float32,
+    *,
+    quantize: bool = False,
+) -> np.ndarray:
+    """Resolve a token vocabulary by text -> ``(n_tokens, dim)``.
+
+    Prefers the embedder's packed vocabulary matrix when one is attached
+    (known tokens gather from the memory-mapped rows; OOV tokens fall
+    back to one batched embedder call).  ``quantize`` pushes the matrix
+    through int8-with-per-row-scales and back — the same arithmetic a
+    ``q8`` packed store applies — so quantized accuracy is testable
+    without a store on disk.  A ``q8`` packed matrix is already
+    quantized; it is not quantized twice.
+    """
+    packed = embedder.packed
+    already_quantized = False
+    if packed is None:
+        matrix = embedder.vectors(list(tokens)).astype(dtype, copy=False)
+    else:
+        already_quantized = packed.kind == "q8"
+        out = np.zeros((len(tokens), embedder.dim), dtype=np.float32)
+        known_pos: list[int] = []
+        known_ids: list[int] = []
+        oov_pos: list[int] = []
+        for pos, token in enumerate(tokens):
+            token_id = packed.id_of(token)
+            if token_id is None:
+                oov_pos.append(pos)
+            else:
+                known_pos.append(pos)
+                known_ids.append(token_id)
+        if known_pos:
+            out[np.asarray(known_pos, dtype=np.intp)] = packed.rows(
+                np.asarray(known_ids, dtype=np.intp)
+            )
+        if oov_pos:
+            oov_tokens = [tokens[i] for i in oov_pos]
+            out[np.asarray(oov_pos, dtype=np.intp)] = embedder.vectors(
+                oov_tokens
+            ).astype(np.float32)
+        matrix = out.astype(dtype, copy=False)
+    if quantize and not already_quantized and matrix.size:
+        q, scales = quantize_rows(matrix.astype(np.float32, copy=False))
+        matrix = q.astype(dtype) * scales.astype(dtype)[:, None]
+    return matrix
+
+
+def _token_rows(
+    embedder: TermEmbedder,
+    pack: CorpusPack,
+    dtype: np.dtype,
+    quantize: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The shard's token vectors, unmaterialized: ``(rows, occ_idx)``.
+
+    ``rows[occ_idx[j]]`` is the vector of token occurrence ``j`` — the
+    caller feeds both straight into :func:`_indexed_segment_sum` so the
+    per-occurrence matrix never exists.  Fast path: the id-indexed
+    per-embedder row cache with ``occ_idx = pack.occ_toks`` (float32,
+    no quantization, no packed store); everything else resolves a
+    compact per-shard :func:`token_matrix`.
+    """
+    if (
+        pack.token_space == "global"
+        and dtype == np.float32
+        and not quantize
+        and embedder.packed is None
+    ):
+        full = _row_cache(embedder).ensure(embedder, pack.used_token_ids)
+        if full is not None:
+            return full, pack.occ_toks
+    matrix = token_matrix(
+        embedder, pack.token_texts(), dtype, quantize=quantize
+    )
+    return matrix, pack.compact_occ_toks()
+
+
+def fused_level_matrices(
+    embedder: TermEmbedder,
+    pack: CorpusPack,
+    config: AggregationConfig = AggregationConfig(),
+    *,
+    dtype: np.dtype | type = np.float32,
+    quantize: bool = False,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Every row and column aggregate of the shard (stage 3).
+
+    Returns ``(row_matrix, col_matrix)`` of shapes
+    ``(pack.total_rows, dim)`` / ``(pack.total_cols, dim)``; slice with
+    ``pack.row_offsets`` / ``pack.col_offsets`` to recover one table's
+    blocks.  The same two-stage scatter as the per-table plane — token
+    vectors sum into unique-cell vectors, cell vectors scatter over the
+    grids — but with *global* row/column segments, so one gather/reduce
+    chain crosses every table boundary in the shard.
+    """
+    dim = embedder.dim
+    out_dtype = np.dtype(dtype)
+    if pack.occ_toks.size == 0:
+        return (
+            np.zeros((pack.total_rows, dim), dtype=out_dtype),
+            np.zeros((pack.total_cols, dim), dtype=out_dtype),
+        )
+    token_rows, occ_idx = _token_rows(embedder, pack, out_dtype, quantize)
+
+    cell_counts = np.bincount(pack.occ_cells, minlength=pack.n_cells)
+    cell_vecs = _indexed_segment_sum(
+        token_rows, occ_idx, cell_counts, pack.n_cells
+    )
+
+    row_widths, col_widths = pack.level_widths()
+    col_cells = pack.grid_cells[pack.col_perm]
+    row_vecs = _indexed_segment_sum(
+        cell_vecs, pack.grid_cells, row_widths, pack.total_rows
+    )
+    col_vecs = _indexed_segment_sum(
+        cell_vecs, col_cells, col_widths, pack.total_cols
+    )
+    if config.mode == "mean":
+        per_cell = cell_counts.astype(out_dtype)[:, None]
+        row_totals = _indexed_segment_sum(
+            per_cell, pack.grid_cells, row_widths, pack.total_rows
+        )[:, 0]
+        col_totals = _indexed_segment_sum(
+            per_cell, col_cells, col_widths, pack.total_cols
+        )[:, 0]
+        _mean_in_place(row_vecs, row_totals)
+        _mean_in_place(col_vecs, col_totals)
+    return row_vecs, col_vecs
+
+
+def _mean_in_place(summed: np.ndarray, totals: np.ndarray) -> None:
+    occupied = totals > 0
+    summed[occupied] /= totals[occupied, None]
+
+
+def classify_corpus(
+    classifier: "MetadataClassifier", tables: Sequence[Table]
+) -> list[TableAnnotation]:
+    """Classify a shard of tables through the fused corpus plane.
+
+    The entry point :meth:`MetadataClassifier.classify_corpus` routes
+    here when ``config.fused`` allows it; aggregation modes the fast
+    path cannot express (``concat``, contextual encoders) fall back to
+    the per-table loop.
+    """
+    config = classifier.config
+    if not supports_fast_path(classifier.embedder, config.aggregation):
+        return [classifier.classify(t) for t in tables]
+    dtype = np.float32 if config.fused_dtype == "float32" else np.float64
+
+    # The root keeps the per-table path's span name — one "classify"
+    # covering the whole shard, so trace consumers (and the CLI trace
+    # profile) see classification work under the same label either way.
+    with obs.span("classify", n_tables=len(tables), fused=True) as root:
+        pack = pack_corpus(tables, config.aggregation)
+        with obs.span("fused.aggregate", dtype=str(np.dtype(dtype))):
+            row_matrix, col_matrix = fused_level_matrices(
+                classifier.embedder,
+                pack,
+                config.aggregation,
+                dtype=dtype,
+                quantize=config.fused_quantize,
+            )
+            if classifier.projection is not None:
+                row_matrix = classifier.projection.transform(row_matrix)
+                col_matrix = classifier.projection.transform(col_matrix)
+
+        with obs.span("fused.walk"):
+            row_centroids = classifier.row_centroids
+            col_centroids = classifier.col_centroids
+            row_segments = segmented_walk_angles(
+                row_matrix,
+                row_centroids.meta_ref,
+                row_centroids.data_ref,
+                pack.row_offsets,
+                tolist=True,
+            )
+            col_segments = segmented_walk_angles(
+                col_matrix,
+                col_centroids.meta_ref,
+                col_centroids.data_ref,
+                pack.col_offsets,
+                tolist=True,
+            )
+            row_ranges = classifier.axis_ranges(row_centroids)
+            col_ranges = classifier.axis_ranges(col_centroids)
+            annotations: list[TableAnnotation] = []
+            walk = classifier._walk_axis
+            for (r_meta, r_data, r_delta), (c_meta, c_data, c_delta) in zip(
+                row_segments, col_segments
+            ):
+                row_labels, _ = walk(
+                    r_meta,
+                    r_data,
+                    r_delta,
+                    row_centroids,
+                    max_depth=config.max_hmd_depth,
+                    metadata_kind=LevelKind.HMD,
+                    detect_cmd=config.detect_cmd,
+                    with_evidence=False,
+                    ranges=row_ranges,
+                )
+                col_labels, _ = walk(
+                    c_meta,
+                    c_data,
+                    c_delta,
+                    col_centroids,
+                    max_depth=config.max_vmd_depth,
+                    metadata_kind=LevelKind.VMD,
+                    detect_cmd=False,  # CMD is defined for rows only
+                    with_evidence=False,
+                    ranges=col_ranges,
+                )
+                annotations.append(
+                    TableAnnotation.from_trusted(
+                        tuple(row_labels), tuple(col_labels)
+                    )
+                )
+        root.set(cells=pack.n_cells, tokens=pack.n_tokens)
+    return annotations

@@ -38,7 +38,11 @@ from repro.core.contrastive import ContrastiveConfig, ContrastiveProjection
 from repro.core.pipeline import MetadataPipeline, PipelineConfig
 from repro.embeddings.contextual import ContextualConfig, ContextualEncoder
 from repro.embeddings.hashed import HashedEmbedding
-from repro.embeddings.lookup import TermEmbedder
+from repro.embeddings.lookup import (
+    PackedVocabulary,
+    TermEmbedder,
+    pack_vocabulary,
+)
 from repro.embeddings.ppmi import PpmiConfig, PpmiSvdEmbedding
 from repro.embeddings.vocab import Vocabulary
 from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
@@ -207,8 +211,20 @@ def _load_embedding(state: dict, data: np.lib.npyio.NpzFile):
 # public API
 # ---------------------------------------------------------------------------
 
-def _pipeline_payload(pipeline: MetadataPipeline) -> tuple[dict, dict]:
-    """``(arrays, state)`` — the format-independent payload of a pipeline."""
+def _pipeline_payload(
+    pipeline: MetadataPipeline, *, pack: str | None = None
+) -> tuple[dict, dict]:
+    """``(arrays, state)`` — the format-independent payload of a pipeline.
+
+    ``pack`` additionally resolves the embedder's whole vocabulary into
+    a packed embedding matrix (``"f32"``, or ``"q8"`` for int8 rows with
+    per-row scales) stored as ordinary payload arrays — in a directory
+    store these memory-map like everything else, so fleet/parallel
+    workers page-share one physical copy and the fused corpus path
+    gathers token rows without re-resolving through the per-token cache.
+    """
+    if pack not in (None, "f32", "q8"):
+        raise PersistenceError(f"unknown pack kind {pack!r}")
     if not pipeline.is_fitted:
         raise PersistenceError("cannot save an unfitted pipeline")
     # Explicit (not asserts): these hold for any pipeline that went
@@ -250,6 +266,9 @@ def _pipeline_payload(pipeline: MetadataPipeline) -> tuple[dict, dict]:
             "ref_slack": classifier_config.ref_slack,
             "ref_override": classifier_config.ref_override,
             "vectorized": classifier_config.vectorized,
+            "fused": classifier_config.fused,
+            "fused_dtype": classifier_config.fused_dtype,
+            "fused_quantize": classifier_config.fused_quantize,
         },
         "has_projection": pipeline.projection is not None,
     }
@@ -263,6 +282,20 @@ def _pipeline_payload(pipeline: MetadataPipeline) -> tuple[dict, dict]:
     state["has_centering"] = centering is not None
 
     _save_embedding(pipeline.embedder.model, arrays, state)
+
+    if pack is not None:
+        try:
+            packed = pack_vocabulary(
+                pipeline.embedder, quantize=pack == "q8"
+            )
+        except ValueError as exc:
+            raise PersistenceError(str(exc)) from exc
+        arrays["packed_rows"] = packed.matrix
+        if packed.scales is not None:
+            arrays["packed_scales"] = packed.scales
+        # Token order is the vocabulary's id order, which state["vocab"]
+        # already records — only the kind needs a state entry.
+        state["packed_kind"] = packed.kind
     return arrays, state
 
 
@@ -281,6 +314,19 @@ def _assemble_pipeline(state: dict, data: Mapping) -> MetadataPipeline:
     model = _load_embedding(state, data)
     centering = data["centering"] if state["has_centering"] else None
     embedder = TermEmbedder(model, centering=centering)
+
+    packed_kind = state.get("packed_kind")
+    if packed_kind is not None:
+        if packed_kind not in ("f32", "q8"):
+            raise PersistenceError(f"unknown pack kind {packed_kind!r}")
+        if "vocab" not in state:
+            raise PersistenceError(
+                "archive has a packed matrix but no vocabulary"
+            )
+        scales = data["packed_scales"] if packed_kind == "q8" else None
+        embedder.packed = PackedVocabulary(
+            state["vocab"]["tokens"], data["packed_rows"], scales
+        )
 
     projection = None
     if state["has_projection"]:
@@ -316,10 +362,16 @@ def _assemble_pipeline(state: dict, data: Mapping) -> MetadataPipeline:
     return pipeline
 
 
-def save_pipeline(pipeline: MetadataPipeline, path: str | Path) -> Path:
+def save_pipeline(
+    pipeline: MetadataPipeline,
+    path: str | Path,
+    *,
+    pack: str | None = None,
+) -> Path:
     """Serialize a fitted pipeline to ``path`` (``.npz`` appended if
-    missing).  Returns the written path."""
-    arrays, state = _pipeline_payload(pipeline)
+    missing).  ``pack`` ("f32"/"q8") additionally embeds the packed
+    vocabulary matrix.  Returns the written path."""
+    arrays, state = _pipeline_payload(pipeline, pack=pack)
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
@@ -365,16 +417,24 @@ def is_pipeline_dir(path: str | Path) -> bool:
     return (Path(path) / STATE_FILE).is_file()
 
 
-def save_pipeline_dir(pipeline: MetadataPipeline, path: str | Path) -> Path:
+def save_pipeline_dir(
+    pipeline: MetadataPipeline,
+    path: str | Path,
+    *,
+    pack: str | None = None,
+) -> Path:
     """Serialize a fitted pipeline as an uncompressed directory store.
 
     Layout: ``<path>/state.json`` plus one raw ``<name>.npy`` per array.
     Raw ``.npy`` files load without decompression and support
     ``mmap_mode="r"`` — the format :class:`repro.parallel.ShardedPool`
     workers open so the model costs one page-cached copy per machine,
-    not one inflated copy per process.  Returns the directory path.
+    not one inflated copy per process.  ``pack`` ("f32"/"q8") adds the
+    packed vocabulary matrix as a ``packed_rows.npy`` (plus
+    ``packed_scales.npy`` for "q8") that workers page-share the same
+    way.  Returns the directory path.
     """
-    arrays, state = _pipeline_payload(pipeline)
+    arrays, state = _pipeline_payload(pipeline, pack=pack)
     path = Path(path)
     if path.exists() and not path.is_dir():
         raise PersistenceError(

@@ -379,7 +379,10 @@ class WorkerHandle:
         if isinstance(stages, dict):
             self.router._merge_stages(stages)
         if ok:
-            future.set_result(reply["record"])
+            if request.get("op") == "classify_batch":
+                future.set_result(reply["records"])
+            else:
+                future.set_result(reply["record"])
         else:
             future.set_exception(_rebuild_error(reply))
 
@@ -643,6 +646,15 @@ class FleetRouter:
         key: str | None = None
         if self.config.cache_capacity > 0:
             key = f"{name}|{table.content_hash()}"
+        return self._route(request, key, context)
+
+    def _route(
+        self,
+        request: dict,
+        key: str | None,
+        context: TraceContext | None,
+    ) -> "Future[dict]":
+        """Pick a worker and enqueue ``request``; sheds when saturated."""
         future: "Future[dict]" = Future()
         with self._route_lock:
             if self._closed:
@@ -679,6 +691,42 @@ class FleetRouter:
     ) -> list[dict]:
         futures = [self.submit(item) for item in items]
         return [f.result() for f in futures]
+
+    def classify_batch(
+        self, tables: Sequence[Table], *, model: str = ""
+    ) -> list[dict]:
+        """Bulk classify: shard ``tables`` across live workers, one
+        corpus request per shard.
+
+        Each worker classifies its whole shard as one fused corpus
+        batch (when the model's classifier enables it), so both the
+        socket round trip and the per-table Python overhead are paid
+        per *shard*.  Records come back in input order; per-table
+        failures surface as ``{"error": ...}`` records, matching the
+        bulk path's isolation contract.
+        """
+        tables = list(tables)
+        if not tables:
+            return []
+        name = model or self._default
+        with self._route_lock:
+            live = sum(1 for h in self._workers if not h.dead.is_set())
+        n_shards = max(1, min(len(tables), live or 1))
+        size = -(-len(tables) // n_shards)  # ceil division
+        futures: list["Future[dict]"] = []
+        for lo in range(0, len(tables), size):
+            shard = tables[lo : lo + size]
+            request = {
+                "op": "classify_batch",
+                "id": 0,
+                "model": name,
+                "tables": [table_to_wire(t) for t in shard],
+            }
+            futures.append(self._route(request, None, None))
+        records: list[dict] = []
+        for future in futures:
+            records.extend(future.result())
+        return records
 
     def _pick_worker_locked(self, key: str | None) -> WorkerHandle | None:
         """Choose a live worker.  Caller holds ``_route_lock`` (every

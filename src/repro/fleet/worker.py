@@ -118,6 +118,8 @@ class WorkerServer:
                 return self._ping(rid)
             if op == "classify":
                 return self._classify(request, rid)
+            if op == "classify_batch":
+                return self._classify_batch(request, rid)
             if op == "shutdown":
                 return {"ok": True, "op": "shutdown", "id": rid}
             if op == "crash":  # test hook: die like a real crash would
@@ -134,7 +136,7 @@ class WorkerServer:
             }
 
     def _ping(self, rid: object) -> dict:
-        return {
+        reply = {
             "ok": True,
             "op": "ping",
             "id": rid,
@@ -145,6 +147,21 @@ class WorkerServer:
             "served": self.served,
             "errors": self.errors,
         }
+        # Cache introspection: a long-lived worker's result cache is
+        # bounded, and the ping proves it — size can never pass
+        # capacity, and evictions count the entries aged out.
+        if self.cache is not None:
+            stats = self.cache.stats()
+            reply["cache"] = {
+                "size": stats.size,
+                "capacity": stats.capacity,
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "evictions": stats.evictions,
+            }
+        else:
+            reply["cache"] = None
+        return reply
 
     def _classify(self, request: dict, rid: object) -> dict:
         name = str(request.get("model") or self.default)
@@ -182,6 +199,59 @@ class WorkerServer:
             reply["spans"] = spans
             reply["clock"] = clock
         return reply
+
+    def _classify_batch(self, request: dict, rid: object) -> dict:
+        """Classify a whole shard of tables as one fused corpus batch.
+
+        The router's bulk path sends one of these per worker shard, so
+        the socket round trip and the per-table Python overhead are
+        both amortized across the shard.  Per-item isolation holds: a
+        malformed wire table or a failing classification yields one
+        ``{"error": ...}`` record, never a failed shard.
+        """
+        from repro.serve.bulk import classify_tables_cached
+
+        name = str(request.get("model") or self.default)
+        try:
+            pipeline = self.models[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown model {name!r}; worker loaded: {sorted(self.models)}"
+            ) from None
+        wire = request.get("tables")
+        if not isinstance(wire, list):
+            raise ValueError(
+                "classify_batch request carries no 'tables' list"
+            )
+        start = time.perf_counter()
+        records: list[dict | None] = [None] * len(wire)
+        parsed_idx: list[int] = []
+        tables = []
+        for i, obj in enumerate(wire):
+            try:
+                tables.append(table_from_wire(obj))
+            except Exception as exc:  # noqa: BLE001 - per-item isolation
+                records[i] = {"error": str(exc)}
+                continue
+            parsed_idx.append(i)
+        outcomes = classify_tables_cached(
+            pipeline, tables, self.cache, model=name
+        )
+        for i, table, (annotation, hit) in zip(parsed_idx, tables, outcomes):
+            if isinstance(annotation, Exception):
+                records[i] = {"name": table.name, "error": str(annotation)}
+            else:
+                records[i] = result_record(
+                    table, annotation, model=name, cached=hit
+                )
+        self.served += len(wire)
+        return {
+            "ok": True,
+            "id": rid,
+            "records": [r for r in records if r is not None],
+            "seconds": round(time.perf_counter() - start, 6),
+            "stages": self._stages.snapshot(),
+        }
 
     def _classify_traced(
         self,

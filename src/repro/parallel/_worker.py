@@ -113,36 +113,56 @@ def classify_paths_chunk(model: str, paths: Sequence[str]) -> dict:
     aggregate :class:`~repro.serve.metrics.ServiceMetrics` across
     workers.
     """
-    from repro.serve.bulk import classify_cached, result_record, table_from_path
+    from repro.serve.bulk import (
+        classify_tables_cached,
+        result_record,
+        table_from_path,
+    )
 
     resolved, pipeline = _resolve(model)
     stages = _StageTotals()
     pipeline.add_stage_hook(stages)
-    records: list[dict] = []
+    records: list[dict | None] = [None] * len(paths)
     try:
-        for path in paths:
-            start = time.perf_counter()
+        # Parse per file (isolated), then classify the survivors as one
+        # fused shard — the chunk is already a natural shard boundary.
+        start = time.perf_counter()
+        parsed_idx: list[int] = []
+        parsed = []
+        for i, path in enumerate(paths):
             with obs.span("table", source=str(path), pid=os.getpid()) as span:
                 try:
                     with obs.span("parse"):
                         table = table_from_path(path)
-                    annotation, hit = classify_cached(
-                        pipeline, table, _CACHE, model=resolved
-                    )
                 except Exception as exc:  # noqa: BLE001 - per-file isolation
-                    records.append({"source": str(path), "error": str(exc)})
+                    records[i] = {"source": str(path), "error": str(exc)}
                     continue
-                span.set(table=table.name, cached=hit)
-            records.append(
-                result_record(
-                    table, annotation, model=resolved, cached=hit,
-                    seconds=time.perf_counter() - start, source=str(path),
-                )
+                span.set(table=table.name)
+            parsed_idx.append(i)
+            parsed.append(table)
+        outcomes = classify_tables_cached(
+            pipeline, parsed, _CACHE, model=resolved
+        )
+        per_table = (
+            (time.perf_counter() - start) / len(parsed) if parsed else 0.0
+        )
+        for i, table, (annotation, hit) in zip(parsed_idx, parsed, outcomes):
+            if isinstance(annotation, Exception):
+                records[i] = {
+                    "source": str(paths[i]), "error": str(annotation),
+                }
+                continue
+            records[i] = result_record(
+                table, annotation, model=resolved, cached=hit,
+                seconds=per_table, source=str(paths[i]),
             )
     finally:
         pipeline.remove_stage_hook(stages)
         _flush_spans()
-    return {"records": records, "stages": stages.as_dict()}
+    return {
+        "records": [r for r in records if r is not None],
+        "stages": stages.as_dict(),
+    }
 
 
 def classify_tables_chunk(
@@ -154,33 +174,58 @@ def classify_tables_chunk(
     parent-side executor translates errors back into per-future
     exceptions, matching the thread path's isolation contract.
     """
-    from repro.serve.bulk import classify_cached, result_record
+    from repro.serve.bulk import classify_tables_cached, result_record
 
     stages = _StageTotals()
-    results: list[tuple[str, object]] = []
+    results: list[tuple[str, object] | None] = [None] * len(items)
     hooked: list[MetadataPipeline] = []
+    # Group per model so each group classifies as one fused shard while
+    # keeping result order and per-item error isolation.
+    groups: dict[str, tuple[MetadataPipeline, list[int]]] = {}
     try:
-        for model, table in items:
+        for i, (model, table) in enumerate(items):
             try:
                 resolved, pipeline = _resolve(model)
-                if pipeline not in hooked:
-                    pipeline.add_stage_hook(stages)
-                    hooked.append(pipeline)
-                with obs.span("serve.item", table=table.name, pid=os.getpid()):
-                    annotation, hit = classify_cached(
-                        pipeline, table, _CACHE, model=resolved
-                    )
             except Exception as exc:  # noqa: BLE001 - per-item isolation
-                results.append(("err", f"{type(exc).__name__}: {exc}"))
+                results[i] = ("err", f"{type(exc).__name__}: {exc}")
                 continue
-            results.append(
-                ("ok", result_record(table, annotation, model=resolved, cached=hit))
-            )
+            if pipeline not in hooked:
+                pipeline.add_stage_hook(stages)
+                hooked.append(pipeline)
+            groups.setdefault(resolved, (pipeline, []))[1].append(i)
+        for resolved, (pipeline, idx) in groups.items():
+            tables = [items[i][1] for i in idx]
+            with obs.span(
+                "serve.chunk", model=resolved, tables=len(tables),
+                pid=os.getpid(),
+            ):
+                outcomes = classify_tables_cached(
+                    pipeline, tables, _CACHE, model=resolved
+                )
+            for i, table, (annotation, hit) in zip(idx, tables, outcomes):
+                if isinstance(annotation, Exception):
+                    results[i] = (
+                        "err",
+                        f"{type(annotation).__name__}: {annotation}",
+                    )
+                else:
+                    results[i] = (
+                        "ok",
+                        result_record(
+                            table, annotation, model=resolved, cached=hit
+                        ),
+                    )
     finally:
         for pipeline in hooked:
             pipeline.remove_stage_hook(stages)
         _flush_spans()
-    return {"results": results, "stages": stages.as_dict()}
+    return {
+        "results": [
+            r if r is not None else ("err", "RuntimeError: not classified")
+            for r in results
+        ],
+        "stages": stages.as_dict(),
+    }
 
 
 def probe_models() -> dict:

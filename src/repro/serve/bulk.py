@@ -9,10 +9,12 @@ JSON record per table (JSONL when written to a file).
 
 from __future__ import annotations
 
+import itertools
 import json
 import logging
 import sys
 import time
+import weakref
 from glob import glob
 from pathlib import Path
 from typing import IO, Sequence
@@ -131,6 +133,26 @@ def result_record(
     return record
 
 
+# Every pipeline instance gets a distinct small-int token for result
+# cache keys.  The model *name* alone is not an identity: two pipelines
+# can share a cache under the same name — bulk runs default to
+# ``model=""``, and a hot reload rebinds a name to a new pipeline — and
+# annotations cached for one must never answer for the other.  Weak
+# keys keep retired pipelines collectable; their tokens (and thus their
+# cache entries) are never reissued.
+_PIPELINE_TOKENS: "weakref.WeakKeyDictionary[MetadataPipeline, int]" = (
+    weakref.WeakKeyDictionary()
+)
+_TOKEN_COUNTER = itertools.count()
+
+
+def _pipeline_cache_token(pipeline: MetadataPipeline) -> int:
+    token = _PIPELINE_TOKENS.get(pipeline)
+    if token is None:
+        token = _PIPELINE_TOKENS.setdefault(pipeline, next(_TOKEN_COUNTER))
+    return token
+
+
 def classify_cached(
     pipeline: MetadataPipeline,
     table: Table,
@@ -138,16 +160,83 @@ def classify_cached(
     *,
     model: str = "",
 ) -> tuple[TableAnnotation, bool]:
-    """Classify through the result cache; returns ``(annotation, hit)``."""
+    """Classify through the result cache; returns ``(annotation, hit)``.
+
+    Keys carry ``(model, pipeline token, content hash)`` — the pipeline
+    token makes entries from a different pipeline object unreachable
+    even when the model name collides (see
+    :func:`_pipeline_cache_token`).
+    """
     if cache is None:
         return pipeline.classify(table), False
-    key = (model, table.content_hash())
+    key = (model, _pipeline_cache_token(pipeline), table.content_hash())
     annotation = cache.get(key)
     if annotation is not None:
         return annotation, True
     annotation = pipeline.classify(table)
     cache.put(key, annotation)
     return annotation, False
+
+
+def classify_tables_cached(
+    pipeline: MetadataPipeline,
+    tables: Sequence[Table],
+    cache: LRUCache | None,
+    *,
+    model: str = "",
+) -> list[tuple[TableAnnotation | Exception, bool]]:
+    """Batch form of :func:`classify_cached`: one fused shard per batch.
+
+    Cache hits resolve up front; the misses classify together through
+    :meth:`~repro.core.pipeline.MetadataPipeline.classify_corpus` — the
+    fused corpus path when the classifier allows it — so a bulk run
+    pays per-shard, not per-table, Python overhead.  Per-item isolation
+    is preserved: if the shard raises, the misses re-classify one by
+    one and only the failing tables carry their exception (in the
+    annotation slot) back to the caller.
+    """
+    results: list[tuple[TableAnnotation | Exception, bool] | None] = [
+        None
+    ] * len(tables)
+    keys: list[tuple | None] = [None] * len(tables)
+    miss_idx: list[int] = []
+    miss_tables: list[Table] = []
+    token = _pipeline_cache_token(pipeline) if cache is not None else 0
+    for i, table in enumerate(tables):
+        if cache is not None:
+            key = (model, token, table.content_hash())
+            keys[i] = key
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = (hit, True)
+                continue
+        miss_idx.append(i)
+        miss_tables.append(table)
+    if miss_tables:
+        annotations: list[TableAnnotation | Exception]
+        try:
+            annotations = list(pipeline.classify_corpus(miss_tables))
+        except Exception:  # noqa: BLE001 - fall back to per-item isolation
+            annotations = []
+            for table in miss_tables:
+                try:
+                    annotations.append(pipeline.classify(table))
+                except Exception as exc:  # noqa: BLE001
+                    annotations.append(exc)
+        for i, annotation in zip(miss_idx, annotations):
+            if isinstance(annotation, Exception):
+                results[i] = (annotation, False)
+                continue
+            key = keys[i]
+            if cache is not None and key is not None:
+                cache.put(key, annotation)
+            results[i] = (annotation, False)
+    # Every slot is filled (hit up front, or via miss_idx); the guard
+    # keeps a length-preserving result even if that invariant breaks.
+    return [
+        r if r is not None else (RuntimeError("table was not classified"), False)
+        for r in results
+    ]
 
 
 def classify_paths(
@@ -171,31 +260,48 @@ def classify_paths(
         # a second metrics sink) instead of silently replacing it.
         pipeline.add_stage_hook(metrics.observe_stage)
 
-    def _one(path: Path) -> dict:
+    def _batch(batch: Sequence[Path]) -> list[dict]:
+        # Parse each file under its own "table" span (per-file error
+        # isolation), then classify the parsed survivors as ONE fused
+        # shard — per-shard Python overhead instead of per-table.
         start = time.perf_counter()
-        # The root span of a bulk run's unit of work: parse + cache
-        # lookup + classification all nest under one "table" span.
-        with obs.span("table", source=str(path)) as table_span:
-            try:
-                with obs.span("parse"):
-                    table = table_from_path(path)
-                annotation, hit = classify_cached(
-                    pipeline, table, cache, model=model
-                )
-            except Exception as exc:  # noqa: BLE001 - per-file isolation
-                logger.warning("failed on %s: %s", path, exc)
+        records: list[dict | None] = [None] * len(batch)
+        parsed_idx: list[int] = []
+        parsed: list[Table] = []
+        for i, path in enumerate(batch):
+            with obs.span("table", source=str(path)) as table_span:
+                try:
+                    with obs.span("parse"):
+                        table = table_from_path(path)
+                except Exception as exc:  # noqa: BLE001 - per-file isolation
+                    logger.warning("failed on %s: %s", path, exc)
+                    if metrics is not None:
+                        metrics.inc("bulk_errors_total")
+                    records[i] = {"source": str(path), "error": str(exc)}
+                    continue
+                table_span.set(table=table.name)
+            parsed_idx.append(i)
+            parsed.append(table)
+        outcomes = classify_tables_cached(pipeline, parsed, cache, model=model)
+        per_table = (
+            (time.perf_counter() - start) / len(parsed) if parsed else 0.0
+        )
+        for i, table, (annotation, hit) in zip(parsed_idx, parsed, outcomes):
+            path = batch[i]
+            if isinstance(annotation, Exception):
+                logger.warning("failed on %s: %s", path, annotation)
                 if metrics is not None:
                     metrics.inc("bulk_errors_total")
-                return {"source": str(path), "error": str(exc)}
-            table_span.set(table=table.name, cached=hit)
-        elapsed = time.perf_counter() - start
-        if metrics is not None:
-            metrics.inc("bulk_tables_total")
-            metrics.observe_request(elapsed)
-        return result_record(
-            table, annotation, model=model, cached=hit,
-            seconds=elapsed, source=str(path),
-        )
+                records[i] = {"source": str(path), "error": str(annotation)}
+                continue
+            if metrics is not None:
+                metrics.inc("bulk_tables_total")
+                metrics.observe_request(per_table)
+            records[i] = result_record(
+                table, annotation, model=model, cached=hit,
+                seconds=per_table, source=str(path),
+            )
+        return [r for r in records if r is not None]
 
     if workers is None:
         from repro.parallel.pool import cpu_worker_default
@@ -205,9 +311,7 @@ def classify_paths(
     expanded = [Path(p) for p in paths]
     logger.info("bulk classifying %d tables on %d workers",
                 len(expanded), config.workers)
-    with BatchingExecutor(
-        lambda batch: [_one(p) for p in batch], config
-    ) as executor:
+    with BatchingExecutor(_batch, config) as executor:
         return executor.map(expanded)
 
 

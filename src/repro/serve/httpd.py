@@ -234,6 +234,11 @@ class ClassificationService:
     def classify_many(
         self, tables: Sequence[Table], *, model: str = ""
     ) -> list[dict]:
+        if self._router is not None:
+            # Fleet bulk path: one corpus-shard request per worker
+            # instead of one socket round trip per table; each worker
+            # classifies its shard through the fused plane.
+            return self._router.classify_batch(tables, model=model)
         ctx = obs.capture_context()
         futures = [self._executor.submit((model, t, ctx)) for t in tables]
         return [f.result() for f in futures]

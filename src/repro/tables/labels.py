@@ -169,6 +169,26 @@ class TableAnnotation:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
+    def from_trusted(
+        cls,
+        row_labels: tuple[LevelLabel, ...],
+        col_labels: tuple[LevelLabel, ...],
+    ) -> "TableAnnotation":
+        """Construct without coercion or validation.
+
+        For callers that build the label tuples themselves and already
+        guarantee the invariants (``LevelLabel`` instances only, no VMD
+        rows, no HMD/CMD columns) — the classifier's corpus walk emits
+        thousands of annotations per batch and the ``__post_init__``
+        re-validation is pure overhead there.  Everything else should use
+        the normal constructor.
+        """
+        annotation = object.__new__(cls)
+        object.__setattr__(annotation, "row_labels", row_labels)
+        object.__setattr__(annotation, "col_labels", col_labels)
+        return annotation
+
+    @classmethod
     def from_depths(
         cls,
         n_rows: int,

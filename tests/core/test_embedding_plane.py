@@ -194,3 +194,39 @@ class TestClassifierEquivalence:
         assert hashed_pipeline.classifier.classify(
             ckg_eval[0].table
         ) == result.annotation
+
+
+class TestTokenMemoKeying:
+    """Regression: the ``_cell_token_texts`` memo is keyed by the
+    tokenizer fingerprint (``lowercase``), not the cell text alone —
+    two pipelines with different casing configs in one process must not
+    serve each other stale token lists."""
+
+    def test_two_lowercase_configs_in_one_process(self, embedder):
+        table = Table(
+            [["MIXED Case HEADER", "Another COLUMN"],
+             ["DataValue", "MORE data"]],
+            name="casing",
+        )
+        lowered = AggregationConfig(lowercase=True)
+        preserved = AggregationConfig(lowercase=False)
+        # Interleave the two configs so a mis-keyed memo would serve
+        # the first config's tokens to the second.
+        for config in (lowered, preserved, lowered, preserved):
+            embedded = embed_table(embedder, table, config)
+            np.testing.assert_allclose(
+                embedded.row_vectors,
+                aggregate_rows(embedder, table, config),
+                atol=1e-9,
+            )
+            np.testing.assert_allclose(
+                embedded.col_vectors,
+                aggregate_cols(embedder, table, config),
+                atol=1e-9,
+            )
+        # Hashed vectors are case-sensitive, so the configs genuinely
+        # disagree — the equality above is not vacuous.
+        assert not np.allclose(
+            embed_table(embedder, table, lowered).row_vectors,
+            embed_table(embedder, table, preserved).row_vectors,
+        )

@@ -103,6 +103,30 @@ class TestRouting:
             with pytest.raises(KeyError, match="ghost"):
                 fleet.submit(("ghost", table, None)).result(timeout=10)
 
+    def test_classify_batch_shards_across_workers(
+        self, model_dir, launcher, tmp_path, hashed_pipeline
+    ):
+        tables = [
+            Table([["h", "v"], [f"row-{i}", str(i)]], name=f"b{i}")
+            for i in range(7)
+        ]
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            records = fleet.classify_batch(tables, model="m")
+            # Order-preserving, and both workers saw a shard.
+            assert [r["name"] for r in records] == [t.name for t in tables]
+            # One shard request per worker, not one request per table.
+            served = sorted(h.counts()[0] for h in fleet._workers)
+            assert served == [1, 1]
+        for table, record in zip(tables, records):
+            direct = hashed_pipeline.classify(table)
+            assert record["row_labels"] == [
+                str(l) for l in direct.row_labels
+            ]
+
+    def test_classify_batch_empty(self, model_dir, launcher, tmp_path):
+        with _make_router(model_dir, launcher, tmp_path) as fleet:
+            assert fleet.classify_batch([]) == []
+
     def test_consistent_routing_shards_the_cache(
         self, model_dir, launcher, tmp_path, table
     ):

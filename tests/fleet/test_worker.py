@@ -176,3 +176,80 @@ class TestServeConnection:
         assert done == [False]
         # The server itself keeps answering.
         assert server.handle({"op": "ping", "id": 1})["ok"] is True
+
+
+def _batch_request(tables, *, model: str = "", rid: int = 7) -> dict:
+    return {
+        "op": "classify_batch",
+        "id": rid,
+        "model": model,
+        "tables": [table_to_wire(t) for t in tables],
+    }
+
+
+class TestClassifyBatch:
+    def test_matches_per_table_classify(self, server, hashed_pipeline):
+        tables = [
+            Table([["A", "B"], [str(i), str(i + 1)]], name=f"batch-{i}")
+            for i in range(4)
+        ]
+        reply = server.handle(_batch_request(tables))
+        assert reply["ok"] is True
+        assert len(reply["records"]) == len(tables)
+        for table, record in zip(tables, reply["records"]):
+            direct = hashed_pipeline.classify(table)
+            assert record["row_labels"] == [str(l) for l in direct.row_labels]
+            assert record["col_labels"] == [str(l) for l in direct.col_labels]
+
+    def test_bad_wire_item_is_isolated(self, server, table):
+        request = _batch_request([table])
+        request["tables"].insert(0, {"rows": "not-a-grid"})
+        reply = server.handle(request)
+        assert reply["ok"] is True
+        assert len(reply["records"]) == 2
+        assert "error" in reply["records"][0]
+        assert reply["records"][1]["row_labels"]
+
+    def test_missing_tables_is_valueerror(self, server):
+        reply = server.handle({"op": "classify_batch", "id": 1, "model": "m"})
+        assert reply["ok"] is False
+        assert reply["kind"] == "ValueError"
+
+    def test_unknown_model_is_keyerror(self, server, table):
+        reply = server.handle(_batch_request([table], model="ghost"))
+        assert reply["ok"] is False
+        assert reply["kind"] == "KeyError"
+
+
+class TestCacheBounds:
+    """Regression: a long-lived worker's result cache is bounded LRU,
+    and the ping reply exposes its size so the router can see it."""
+
+    def test_cache_never_exceeds_capacity(self, model_dir):
+        server = WorkerServer({"m": str(model_dir)}, "m", cache_capacity=2)
+        tables = [
+            Table([["H", "V"], [f"cell-{i}", str(i)]], name=f"evict-{i}")
+            for i in range(5)
+        ]
+        for t in tables:
+            server.handle(_classify_request(t))
+        stats = server.handle({"op": "ping", "id": 1})["cache"]
+        assert stats["capacity"] == 2
+        assert stats["size"] <= 2
+        assert stats["evictions"] >= 3
+        assert stats["misses"] >= 5
+
+    def test_batch_path_shares_the_bound(self, model_dir):
+        server = WorkerServer({"m": str(model_dir)}, "m", cache_capacity=2)
+        tables = [
+            Table([["H", "V"], [f"bulk-{i}", str(i)]], name=f"bulk-{i}")
+            for i in range(6)
+        ]
+        server.handle(_batch_request(tables))
+        stats = server.handle({"op": "ping", "id": 1})["cache"]
+        assert stats["size"] <= 2
+        assert stats["evictions"] >= 4
+
+    def test_ping_reports_none_when_disabled(self, server):
+        reply = server.handle({"op": "ping", "id": 2})
+        assert reply["cache"] is None

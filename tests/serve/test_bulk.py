@@ -77,6 +77,80 @@ class TestClassifyCached:
         assert not hit
         assert annotation.row_labels
 
+    def test_two_models_never_share_entries(self, hashed_pipeline, ckg_eval):
+        """The key carries the model name: the same table under two
+        registered model names must resolve independently."""
+        cache = LRUCache(16)
+        table = ckg_eval[0].table
+        _, hit_a = classify_cached(hashed_pipeline, table, cache, model="a")
+        _, hit_b = classify_cached(hashed_pipeline, table, cache, model="b")
+        assert (hit_a, hit_b) == (False, False)
+        assert classify_cached(
+            hashed_pipeline, table, cache, model="a"
+        )[1] is True
+
+    def test_two_pipelines_never_share_entries(self, hashed_pipeline, ckg_eval):
+        """Regression: cache keys carry a pipeline identity token, so a
+        second pipeline under the *same model name* must not be served
+        the first pipeline's annotations."""
+        from repro.core.pipeline import MetadataPipeline, PipelineConfig
+
+        other = MetadataPipeline(
+            PipelineConfig(
+                embedding="hashed", hashed_dim=16, n_pairs=50,
+                use_contrastive=False,
+            )
+        ).fit([item.table for item in ckg_eval[:12]])
+        cache = LRUCache(16)
+        table = ckg_eval[0].table
+        first, hit1 = classify_cached(
+            hashed_pipeline, table, cache, model="m"
+        )
+        second, hit2 = classify_cached(other, table, cache, model="m")
+        assert (hit1, hit2) == (False, False)
+        assert second == other.classify(table)
+        # Each pipeline still hits its own entries afterwards.
+        assert classify_cached(hashed_pipeline, table, cache, model="m") == (
+            first, True
+        )
+        assert classify_cached(other, table, cache, model="m") == (
+            second, True
+        )
+
+
+class TestClassifyTablesCached:
+    def test_mixed_hits_and_misses(self, hashed_pipeline, ckg_eval):
+        from repro.serve.bulk import classify_tables_cached
+
+        tables = [item.table for item in ckg_eval[:4]]
+        cache = LRUCache(16)
+        classify_cached(hashed_pipeline, tables[0], cache)
+        outcomes = classify_tables_cached(hashed_pipeline, tables, cache)
+        assert len(outcomes) == len(tables)
+        assert [hit for _, hit in outcomes] == [True, False, False, False]
+        for table, (annotation, _) in zip(tables, outcomes):
+            assert annotation == hashed_pipeline.classify(table)
+
+    def test_failing_table_is_isolated(self, hashed_pipeline, ckg_eval):
+        from repro.serve.bulk import classify_tables_cached
+        from repro.tables.model import Table
+
+        good = ckg_eval[0].table
+
+        class _Poison(Table):
+            def __init__(self):  # skip the frozen-dataclass init
+                pass
+
+            @property
+            def rows(self):  # trip the corpus pass and the retry
+                raise RuntimeError("poisoned grid")
+
+        outcomes = classify_tables_cached(
+            hashed_pipeline, [good, _Poison()], None
+        )
+        assert outcomes[0][0] == hashed_pipeline.classify(good)
+        assert isinstance(outcomes[1][0], Exception)
+
 
 class TestClassifyPaths:
     def test_matches_direct_classification(

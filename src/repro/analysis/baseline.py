@@ -141,3 +141,26 @@ class Baseline:
             else:
                 fresh.append(finding)
         return fresh, known
+
+    def stale_entries(self, findings: Sequence[Finding]) -> list[dict]:
+        """Entries that matched nothing in ``findings``.
+
+        A stale entry means the grandfathered line was fixed, moved, or
+        rewritten — the debt it recorded no longer exists, and leaving
+        the entry around would silently grandfather a *future* finding
+        that happens to produce the same fingerprint.  CI fails on
+        stale entries so the baseline shrinks in the same commit as the
+        fix (``--check-stale``).
+        """
+        live = {fp for _, fp in _fingerprint_all(findings)}
+        stale: list[dict] = []
+        for entry in self.entries:
+            fingerprint = (
+                entry["rule"],
+                _normalize_path(entry["path"]),
+                entry.get("content", ""),
+                int(entry.get("occurrence", 0)),
+            )
+            if fingerprint not in live:
+                stale.append(entry)
+        return stale

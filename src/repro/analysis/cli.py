@@ -1,10 +1,18 @@
-"""The ``repro lint`` subcommand.
+"""The ``repro lint`` and ``repro analyze`` subcommands.
 
-Kept in the analysis package so ``repro.cli`` only wires the subparser;
-everything lint-specific (flags, exit codes, reporters) lives here.
+Kept in the analysis package so ``repro.cli`` only wires the
+subparsers; everything analysis-specific (flags, exit codes, reporters)
+lives here.
 
-Exit codes: 0 clean (modulo baseline/suppressions), 1 findings, 2 usage
-or I/O error.
+``lint`` runs the per-file rules; ``analyze`` runs the whole-program
+passes (call graph, lock order, spawn safety, mmap writes, wire
+schema); ``lint --deep`` runs both over one parse of the tree.
+
+Exit codes: 0 clean (modulo baseline/suppressions), 1 findings (or
+stale baseline entries under ``--check-stale``), 2 usage or I/O error.
+The text reporter's summary line always ends with the verdict
+(``-- ok`` / ``-- FAIL (...)``) so the output and the exit code can
+never tell different stories.
 """
 
 from __future__ import annotations
@@ -14,13 +22,61 @@ import sys
 from pathlib import Path
 
 from repro.analysis.baseline import Baseline
+from repro.analysis.passes import all_passes
 from repro.analysis.registry import all_rules
 from repro.analysis.reporters import render_json, render_text
-from repro.analysis.runner import lint_paths, select_rules
+from repro.analysis.runner import (
+    LintReport,
+    analyze_paths,
+    lint_paths,
+    select_passes,
+    select_rules,
+)
 
 #: Default baseline location, resolved against the working directory —
 #: the committed repo-root file when running from a checkout.
 DEFAULT_BASELINE = "lint-baseline.json"
+
+
+def _add_shared_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to check (default: src)",
+    )
+    parser.add_argument(
+        "--format", choices=["text", "json"], default="text",
+        help="report format",
+    )
+    parser.add_argument(
+        "--baseline", default=DEFAULT_BASELINE,
+        help=f"baseline file of grandfathered findings (default: "
+             f"{DEFAULT_BASELINE}; missing file = empty baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore the baseline; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write all current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--select", metavar="IDS",
+        help="comma-separated rule/pass ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="IDS",
+        help="comma-separated rule/pass ids to skip",
+    )
+    parser.add_argument(
+        "--show-baselined", action="store_true",
+        help="also print grandfathered findings (text format)",
+    )
+    parser.add_argument(
+        "--check-stale", action="store_true",
+        help="fail (exit 1) when baseline entries no longer match any "
+             "finding — the fixed debt must leave the baseline too",
+    )
 
 
 def add_lint_parser(commands: argparse._SubParsersAction) -> None:
@@ -33,42 +89,36 @@ def add_lint_parser(commands: argparse._SubParsersAction) -> None:
             "contracts, determinism, API hygiene. See docs/LINTING.md."
         ),
     )
+    _add_shared_arguments(lint)
     lint.add_argument(
-        "paths", nargs="*", default=["src"],
-        help="files or directories to lint (default: src)",
-    )
-    lint.add_argument(
-        "--format", choices=["text", "json"], default="text",
-        help="report format",
-    )
-    lint.add_argument(
-        "--baseline", default=DEFAULT_BASELINE,
-        help=f"baseline file of grandfathered findings (default: "
-             f"{DEFAULT_BASELINE}; missing file = empty baseline)",
-    )
-    lint.add_argument(
-        "--no-baseline", action="store_true",
-        help="ignore the baseline; report every finding",
-    )
-    lint.add_argument(
-        "--write-baseline", action="store_true",
-        help="write all current findings to the baseline file and exit 0",
-    )
-    lint.add_argument(
-        "--select", metavar="RULES",
-        help="comma-separated rule ids to run (default: all)",
-    )
-    lint.add_argument(
-        "--ignore", metavar="RULES",
-        help="comma-separated rule ids to skip",
-    )
-    lint.add_argument(
-        "--show-baselined", action="store_true",
-        help="also print grandfathered findings (text format)",
+        "--deep", action="store_true",
+        help="also build the whole-program model and run the analyze "
+             "passes (lock order, spawn safety, mmap writes, wire "
+             "schema)",
     )
     lint.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit",
+    )
+
+
+def add_analyze_parser(commands: argparse._SubParsersAction) -> None:
+    """Attach the ``analyze`` subparser to the main CLI."""
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the whole-program concurrency/process-safety passes",
+        description=(
+            "Builds an intra-package call graph over the given paths "
+            "and runs the whole-program passes: lock-order deadlock "
+            "detection, spawn-boundary pickle safety, mmap write "
+            "safety, and router/worker wire-schema conformance. See "
+            "docs/LINTING.md."
+        ),
+    )
+    _add_shared_arguments(analyze)
+    analyze.add_argument(
+        "--list-passes", action="store_true",
+        help="print the pass catalogue and exit",
     )
 
 
@@ -80,46 +130,102 @@ def _list_rules() -> int:
     return 0
 
 
-def run_lint_command(args: argparse.Namespace) -> int:
-    if args.list_rules:
-        return _list_rules()
-    try:
-        rules = select_rules(
-            select=args.select.split(",") if args.select else None,
-            ignore=args.ignore.split(",") if args.ignore else None,
-        )
-    except KeyError as exc:
-        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
-        return 2
+def _list_passes() -> int:
+    for program_pass in all_passes():
+        print(f"{program_pass.id}  [{program_pass.family}]")
+        print(f"    {program_pass.description}")
+    return 0
 
-    baseline_path = Path(args.baseline)
+
+def _split(raw: str | None) -> list[str] | None:
+    return raw.split(",") if raw else None
+
+
+def _load_baseline(args: argparse.Namespace) -> Baseline | None | int:
+    """The baseline to use, ``None`` to skip, or an exit code on error."""
     if args.no_baseline or args.write_baseline:
-        baseline = None
-    else:
-        try:
-            baseline = Baseline.load(baseline_path)
-        except ValueError as exc:
-            print(f"repro lint: {exc}", file=sys.stderr)
-            return 2
-
-    report = lint_paths(args.paths, baseline=baseline, rules=rules)
-    if report.errors and report.n_files == 0:
-        for message in report.errors:
-            print(f"repro lint: {message}", file=sys.stderr)
+        return None
+    try:
+        return Baseline.load(Path(args.baseline))
+    except ValueError as exc:
+        print(f"repro {args.command}: {exc}", file=sys.stderr)
         return 2
 
+
+def _emit(args: argparse.Namespace, report: LintReport) -> int:
     if args.write_baseline:
         written = Baseline.from_findings(
-            report.findings, path=baseline_path
+            report.findings, path=Path(args.baseline)
         ).save()
         print(
             f"wrote {len(report.findings)} finding(s) to {written}",
             file=sys.stderr,
         )
         return 0
-
+    stale_fails = bool(args.check_stale and report.stale_baseline)
     if args.format == "json":
         print(render_json(report))
     else:
         print(render_text(report, show_baselined=args.show_baselined))
-    return 0 if report.ok else 1
+        if stale_fails:
+            for entry in report.stale_baseline:
+                print(
+                    f"stale baseline entry: {entry['rule']} at "
+                    f"{entry['path']} ({entry.get('content', '')!r}) "
+                    "matches nothing — remove it",
+                    file=sys.stderr,
+                )
+    if not report.ok:
+        return 1
+    return 1 if stale_fails else 0
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        return _list_rules()
+    try:
+        rules = select_rules(
+            select=_split(args.select), ignore=_split(args.ignore)
+        )
+    except KeyError as exc:
+        print(f"repro lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = _load_baseline(args)
+    if isinstance(baseline, int):
+        return baseline
+
+    if args.deep:
+        report = analyze_paths(
+            args.paths, baseline=baseline, rules=rules, with_rules=True
+        )
+    else:
+        report = lint_paths(args.paths, baseline=baseline, rules=rules)
+    if report.errors and report.n_files == 0:
+        for message in report.errors:
+            print(f"repro lint: {message}", file=sys.stderr)
+        return 2
+    return _emit(args, report)
+
+
+def run_analyze_command(args: argparse.Namespace) -> int:
+    if args.list_passes:
+        return _list_passes()
+    try:
+        passes = select_passes(
+            select=_split(args.select), ignore=_split(args.ignore)
+        )
+    except KeyError as exc:
+        print(f"repro analyze: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+    baseline = _load_baseline(args)
+    if isinstance(baseline, int):
+        return baseline
+
+    report = analyze_paths(args.paths, baseline=baseline, passes=passes)
+    if report.errors and report.n_files == 0:
+        for message in report.errors:
+            print(f"repro analyze: {message}", file=sys.stderr)
+        return 2
+    return _emit(args, report)

@@ -1,0 +1,483 @@
+"""Whole-program lock-order analysis.
+
+Builds a lock-acquisition-order graph across the entire analyzed file
+set and reports:
+
+* ``lock-order-cycle`` (error) — two or more locks are acquired in
+  inconsistent orders somewhere in the program: thread 1 can hold A
+  waiting for B while thread 2 holds B waiting for A.  This is the
+  shape of the original serve submit/collector deadlock, which the
+  per-file rules could not see because the two acquisitions lived in
+  different functions.
+* ``lock-reacquire-via-call`` (error) — a function holding lock L calls
+  (possibly transitively) into a function that acquires L again.
+  ``threading.Lock`` is not reentrant; this deadlocks the calling
+  thread against itself the first time the path executes.
+* ``lock-held-call-acquires`` (warning) — a function holding lock L
+  calls into a function that acquires some other lock M.  Not a bug by
+  itself (a consistent global order is fine), but every such edge is a
+  deadlock ingredient, so the analyzer reports it observe-only; bless
+  deliberate orderings with a suppression + rationale at the call site.
+
+Lock identity is ``<class qualname>.<attr>`` for ``with self.<attr>``
+acquisitions (two classes' ``_lock`` attributes are different locks)
+and ``<module>.<name>`` for module-level locks.  An attribute counts as
+a lock when its name matches ``lock|mutex|gate`` or when it appears as
+the target of a ``# guarded-by: <name>`` annotation in its class.
+
+Cycle suppression semantics: a cycle is one defect reported once,
+anchored at its first witness site — but a ``# repro-lint:
+disable=lock-order-cycle`` on *any* edge's ``with``/call line dismisses
+the cycle, because blessing one edge is an assertion the ordering is
+intentional (and reviewed) there.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.analysis.callgraph import FunctionInfo, ProgramModel
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.passes import register_pass
+from repro.analysis.rules._ast_util import DEFERRED_NODES, self_attr
+
+_LOCK_NAME = re.compile(r"lock|mutex|gate", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class LockEdge:
+    """Held ``src``, acquired ``dst`` — directly or through a call."""
+
+    src: str
+    dst: str
+    #: function in whose body the edge is witnessed
+    func: str
+    path: str
+    line: int
+    col: int
+    #: call chain from the witness to the acquisition ("" when direct)
+    chain: str
+    #: line of the ``with`` statement holding ``src`` — a suppression
+    #: there dismisses the edge too (the witness line of a held-call
+    #: edge is the call, but the ordering decision lives at the with)
+    with_line: int
+
+
+@dataclass
+class _FunctionLocks:
+    """One function's lock behaviour, from a single lexical scan."""
+
+    info: FunctionInfo
+    #: every lock acquired directly in this body
+    acquired: set[str]
+    #: (held (lock, with line) pairs, nested acquisition expr, key)
+    nested: list[tuple[tuple[tuple[str, int], ...], ast.expr, str]]
+    #: (held (lock, with line) pairs, call node) — calls under a lock
+    held_calls: list[tuple[tuple[tuple[str, int], ...], ast.Call]]
+
+
+def _declared_locks(info: FunctionInfo) -> frozenset[str]:
+    """Lock attribute names declared via guarded-by in this class."""
+    if info.cls is None:
+        return frozenset()
+    return frozenset(info.cls.guarded_by.values())
+
+
+def lock_key(
+    expr: ast.expr,
+    info: FunctionInfo,
+    imports: Mapping[str, str] | None = None,
+) -> tuple[str, str] | None:
+    """``(identity key, display name)`` when ``expr`` is a lock use.
+
+    Module-level names resolve through the file's import table, so
+    ``from app.left import LEFT_LOCK`` unifies with the defining
+    module's ``app.left.LEFT_LOCK`` key across files.
+    """
+    attr = self_attr(expr)
+    if attr is not None:
+        if _LOCK_NAME.search(attr) or attr in _declared_locks(info):
+            if info.cls is not None:
+                return f"{info.cls.qualname}.{attr}", f"{info.cls.name}.{attr}"
+            return f"{info.context.path}.self.{attr}", f"self.{attr}"
+        return None
+    if isinstance(expr, ast.Name) and _LOCK_NAME.search(expr.id):
+        if imports is not None:
+            imported = imports.get(expr.id)
+            if imported is not None:
+                return imported, expr.id
+        module = info.module or info.context.path
+        return f"{module}.{expr.id}", expr.id
+    return None
+
+
+def _scan_function(
+    info: FunctionInfo, imports: Mapping[str, str]
+) -> _FunctionLocks:
+    """One lexical walk tracking the held-lock stack; nested ``def`` and
+    ``lambda`` bodies are skipped (they run later, without the lock)."""
+    scan = _FunctionLocks(info=info, acquired=set(), nested=[], held_calls=[])
+    held: list[tuple[str, int]] = []
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, DEFERRED_NODES):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            newly: list[tuple[str, int]] = []
+            for item in node.items:
+                resolved = lock_key(item.context_expr, info, imports)
+                if resolved is None:
+                    continue
+                key, _ = resolved
+                scan.acquired.add(key)
+                if any(key == holder for holder, _ in held):
+                    continue
+                if held:
+                    scan.nested.append(
+                        (tuple(held), item.context_expr, key)
+                    )
+                newly.append((key, node.lineno))
+            held.extend(newly)
+            for stmt in node.body:
+                visit(stmt)
+            if newly:
+                del held[-len(newly):]
+            return
+        if isinstance(node, ast.Call) and held:
+            scan.held_calls.append((tuple(held), node))
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    for stmt in info.node.body:
+        visit(stmt)
+    return scan
+
+
+class LockModel:
+    """Scans, footprints, and the order graph for one program model."""
+
+    def __init__(self, model: ProgramModel) -> None:
+        self.model = model
+        self.scans: dict[str, _FunctionLocks] = {
+            name: _scan_function(info, model.imports_for(info.context))
+            for name, info in model.functions.items()
+        }
+        self.display: dict[str, str] = {}
+        for name, info in model.functions.items():
+            imports = model.imports_for(info.context)
+            for node in ast.walk(info.node):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    for item in node.items:
+                        resolved = lock_key(item.context_expr, info, imports)
+                        if resolved is not None:
+                            self.display.setdefault(*resolved)
+        self._callees: dict[str, set[str]] = {
+            name: {
+                site.target.qualname
+                for site in info.calls
+                if site.target is not None
+            }
+            for name, info in model.functions.items()
+        }
+        self.footprints = self._fixpoint_footprints()
+        self.edges = self._collect_edges()
+
+    # ------------------------------------------------------------------
+    def _fixpoint_footprints(self) -> dict[str, set[str]]:
+        """``function -> every lock it may acquire, transitively``."""
+        footprints = {
+            name: set(scan.acquired) for name, scan in self.scans.items()
+        }
+        changed = True
+        while changed:
+            changed = False
+            for name, callees in self._callees.items():
+                mine = footprints[name]
+                before = len(mine)
+                for callee in callees:
+                    mine |= footprints.get(callee, set())
+                if len(mine) != before:
+                    changed = True
+        return footprints
+
+    def _call_chain(self, start: str, target_lock: str) -> str:
+        """Shortest ``f -> g -> h`` chain from ``start`` to a function
+        that directly acquires ``target_lock`` (for messages)."""
+        queue = deque([(start, [start])])
+        seen = {start}
+        while queue:
+            name, path = queue.popleft()
+            scan = self.scans.get(name)
+            if scan is not None and target_lock in scan.acquired:
+                return " -> ".join(
+                    part.rsplit(".", 1)[-1] for part in path
+                )
+            for callee in self._callees.get(name, ()):
+                if callee not in seen:
+                    seen.add(callee)
+                    queue.append((callee, path + [callee]))
+        return start.rsplit(".", 1)[-1]
+
+    def _collect_edges(self) -> list[LockEdge]:
+        edges: list[LockEdge] = []
+        for name, scan in self.scans.items():
+            path = scan.info.context.path
+            for held, expr, key in scan.nested:
+                for holder, holder_line in held:
+                    if holder != key:
+                        edges.append(
+                            LockEdge(
+                                src=holder,
+                                dst=key,
+                                func=name,
+                                path=path,
+                                line=expr.lineno,
+                                col=expr.col_offset,
+                                chain="",
+                                with_line=holder_line,
+                            )
+                        )
+            for held, call in scan.held_calls:
+                targets = self._targets_of(scan.info, call)
+                for target in targets:
+                    for acquired in self.footprints.get(target, ()):
+                        for holder, holder_line in held:
+                            edges.append(
+                                LockEdge(
+                                    src=holder,
+                                    dst=acquired,
+                                    func=name,
+                                    path=path,
+                                    line=call.lineno,
+                                    col=call.col_offset,
+                                    chain=self._call_chain(
+                                        target, acquired
+                                    ),
+                                    with_line=holder_line,
+                                )
+                            )
+        return edges
+
+    def _targets_of(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> list[str]:
+        out = []
+        for site in info.calls:
+            if site.node is call and site.target is not None:
+                out.append(site.target.qualname)
+        return out
+
+    # ------------------------------------------------------------------
+    def order_graph(self) -> dict[str, set[str]]:
+        graph: dict[str, set[str]] = {}
+        for edge in self.edges:
+            graph.setdefault(edge.src, set()).add(edge.dst)
+            graph.setdefault(edge.dst, set())
+        return graph
+
+    def cycles(self) -> list[list[str]]:
+        """Strongly connected components with >= 2 locks, as ordered
+        lock lists (deterministic: smallest lock first)."""
+        graph = self.order_graph()
+        index: dict[str, int] = {}
+        lowlink: dict[str, int] = {}
+        on_stack: set[str] = set()
+        stack: list[str] = []
+        counter = [0]
+        sccs: list[list[str]] = []
+
+        def strongconnect(v: str) -> None:
+            # Iterative Tarjan: recursion depth is bounded by lock count
+            # but an explicit stack keeps pathological inputs safe.
+            work = [(v, iter(sorted(graph[v])))]
+            index[v] = lowlink[v] = counter[0]
+            counter[0] += 1
+            stack.append(v)
+            on_stack.add(v)
+            while work:
+                node, it = work[-1]
+                advanced = False
+                for w in it:
+                    if w not in index:
+                        index[w] = lowlink[w] = counter[0]
+                        counter[0] += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(sorted(graph[w]))))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        lowlink[node] = min(lowlink[node], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component = []
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.append(w)
+                        if w == node:
+                            break
+                    if len(component) > 1:
+                        sccs.append(sorted(component))
+
+        for v in sorted(graph):
+            if v not in index:
+                strongconnect(v)
+        return sorted(sccs)
+
+    def show(self, key: str) -> str:
+        return self.display.get(key, key)
+
+
+def _lock_model(model: ProgramModel) -> LockModel:
+    """One scan/footprint computation shared by the three lock passes."""
+    cached = getattr(model, "_lock_model_cache", None)
+    if cached is None:
+        cached = LockModel(model)
+        model._lock_model_cache = cached  # type: ignore[attr-defined]
+    return cached
+
+
+def _edge_suppressed(model: ProgramModel, edge: LockEdge, rule: str) -> bool:
+    """A suppression on the witness line *or* on the ``with`` statement
+    holding the edge's source lock dismisses the edge."""
+    context = model.by_path.get(edge.path)
+    if context is None:
+        return False
+    return context.suppressions.is_suppressed(
+        rule, edge.line
+    ) or context.suppressions.is_suppressed(rule, edge.with_line)
+
+
+def _finding_at(
+    model: ProgramModel,
+    rule: str,
+    edge: LockEdge,
+    message: str,
+    *,
+    severity: Severity = Severity.ERROR,
+) -> Finding:
+    context = model.by_path[edge.path]
+    return Finding(
+        rule=rule,
+        path=edge.path,
+        line=edge.line,
+        col=edge.col,
+        message=message,
+        line_content=context.line_content(edge.line),
+        severity=severity,
+    )
+
+
+@register_pass(
+    "lock-order-cycle",
+    family="concurrency",
+    description=(
+        "two or more locks are acquired in inconsistent orders across "
+        "the program (a potential deadlock); reported once per cycle, "
+        "anchored at its first witness site"
+    ),
+)
+def check_lock_order_cycle(model: ProgramModel) -> Iterator[Finding]:
+    locks = _lock_model(model)
+    for component in locks.cycles():
+        members = set(component)
+        witnesses = sorted(
+            (
+                e
+                for e in locks.edges
+                if e.src in members and e.dst in members
+            ),
+            key=lambda e: (e.path, e.line, e.col),
+        )
+        if not witnesses:  # pragma: no cover - SCC implies edges
+            continue
+        if any(
+            _edge_suppressed(model, e, "lock-order-cycle")
+            for e in witnesses
+        ):
+            continue
+        steps = "; ".join(
+            f"{locks.show(e.src)} -> {locks.show(e.dst)} at "
+            f"{e.path}:{e.line}"
+            + (f" (via {e.chain})" if e.chain else "")
+            for e in witnesses[:4]
+        )
+        cycle_names = " <-> ".join(locks.show(k) for k in component)
+        yield _finding_at(
+            model,
+            "lock-order-cycle",
+            witnesses[0],
+            f"lock-order cycle between {cycle_names}: {steps}; two "
+            "threads taking these paths concurrently can deadlock — "
+            "pick one global order and restructure the other side",
+        )
+
+
+@register_pass(
+    "lock-reacquire-via-call",
+    family="concurrency",
+    description=(
+        "a function holding a non-reentrant lock calls (transitively) "
+        "into a function that acquires the same lock — self-deadlock"
+    ),
+)
+def check_lock_reacquire(model: ProgramModel) -> Iterator[Finding]:
+    locks = _lock_model(model)
+    seen: set[tuple[str, str, int]] = set()
+    for edge in locks.edges:
+        if edge.src != edge.dst or not edge.chain:
+            continue
+        dedup = (edge.path, edge.func, edge.line)
+        if dedup in seen:
+            continue
+        seen.add(dedup)
+        yield _finding_at(
+            model,
+            "lock-reacquire-via-call",
+            edge,
+            f"{locks.show(edge.src)} is already held here, and the call "
+            f"chain {edge.chain} acquires it again; threading.Lock is "
+            "not reentrant, so this path deadlocks against itself",
+        )
+
+
+@register_pass(
+    "lock-held-call-acquires",
+    family="concurrency",
+    description=(
+        "a function holding one lock calls into code that acquires "
+        "another (observe-only: each such edge is a deadlock "
+        "ingredient; bless deliberate orderings with a suppression)"
+    ),
+)
+def check_lock_held_call(model: ProgramModel) -> Iterator[Finding]:
+    locks = _lock_model(model)
+    reported: set[tuple[str, str]] = set()
+    for edge in sorted(
+        locks.edges, key=lambda e: (e.path, e.line, e.col)
+    ):
+        if not edge.chain or edge.src == edge.dst:
+            continue
+        pair = (edge.src, edge.dst)
+        if pair in reported:
+            continue
+        reported.add(pair)
+        yield _finding_at(
+            model,
+            "lock-held-call-acquires",
+            edge,
+            f"holding {locks.show(edge.src)}, this call reaches "
+            f"{edge.chain}, which acquires {locks.show(edge.dst)}; "
+            "fine only while every thread orders them this way",
+            severity=Severity.WARNING,
+        )

@@ -26,8 +26,23 @@ def render_text(report: "LintReport", *, show_baselined: bool = False) -> str:
     )
     if report.errors:
         lines.extend(f"error: {message}" for message in report.errors)
-    lines.append(summary)
+    # The summary states the verdict explicitly.  Counts alone can look
+    # clean while the run still fails (parse errors with zero findings,
+    # or warnings padding the count while errors hide among them) — the
+    # exit code and the last line must never disagree.
+    lines.append(summary + f" -- {_status(report)}")
     return "\n".join(lines)
+
+
+def _status(report: "LintReport") -> str:
+    if report.ok:
+        return "ok"
+    reasons = []
+    if report.gating:
+        reasons.append(f"{len(report.gating)} gating")
+    if report.errors:
+        reasons.append(f"{len(report.errors)} error(s)")
+    return f"FAIL ({', '.join(reasons)})"
 
 
 def render_json(report: "LintReport") -> str:
@@ -37,6 +52,8 @@ def render_json(report: "LintReport") -> str:
         "suppressed": report.n_suppressed,
         "files_checked": report.n_files,
         "errors": list(report.errors),
+        "stale_baseline": list(report.stale_baseline),
+        "ok": report.ok,
         "by_rule": dict(
             Counter(finding.rule for finding in report.findings)
         ),

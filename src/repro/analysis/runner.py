@@ -1,15 +1,25 @@
-"""Drive the rules over files and fold in suppressions + baseline."""
+"""Drive the rules over files and fold in suppressions + baseline.
+
+Two entry points share all the machinery: :func:`lint_paths` runs the
+per-file rules (``repro lint``), and :func:`analyze_paths` additionally
+builds one :class:`~repro.analysis.callgraph.ProgramModel` over every
+parsed file and runs the registered whole-program passes over it
+(``repro analyze`` / ``repro lint --deep``).  Pass findings anchor to
+concrete file/line sites, so the same suppression and baseline
+machinery applies to both.
+"""
 
 from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import Iterable, Mapping, Sequence
 
 from repro.analysis.baseline import Baseline
 from repro.analysis.context import FileContext
 from repro.analysis.findings import Finding, Severity
+from repro.analysis.passes import ProgramPass, all_passes
 from repro.analysis.registry import Rule, all_rules
 
 logger = logging.getLogger("repro.analysis.runner")
@@ -27,6 +37,9 @@ class LintReport:
     n_suppressed: int = 0
     n_files: int = 0
     errors: list[str] = field(default_factory=list)
+    #: Baseline entries that matched no finding this run (the flagged
+    #: line was fixed or rewritten); gated by ``--check-stale``.
+    stale_baseline: list[dict] = field(default_factory=list)
 
     @property
     def gating(self) -> list[Finding]:
@@ -71,6 +84,23 @@ def select_rules(
     return rules
 
 
+def select_passes(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> list[ProgramPass]:
+    """Resolve ``--select``/``--ignore`` ids against the pass registry."""
+    from repro.analysis.passes import get_pass
+
+    if select:
+        passes = [get_pass(pass_id) for pass_id in select]
+    else:
+        passes = all_passes()
+    if ignore:
+        dropped = {get_pass(pass_id).id for pass_id in ignore}
+        passes = [p for p in passes if p.id not in dropped]
+    return passes
+
+
 def _check_context(
     context: FileContext, rules: Sequence[Rule]
 ) -> tuple[list[Finding], int]:
@@ -105,6 +135,38 @@ def lint_source(
     return findings
 
 
+def _load_contexts(
+    paths: Sequence[str | Path], report: LintReport
+) -> list[FileContext]:
+    """Parse every collected file, folding failures into ``report``."""
+    contexts: list[FileContext] = []
+    for file_path in collect_files(paths):
+        try:
+            contexts.append(FileContext.from_path(file_path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            report.errors.append(f"{file_path}: {exc}")
+            continue
+        report.n_files += 1
+    return contexts
+
+
+def _finish(
+    report: LintReport, raw: list[Finding], baseline: Baseline | None
+) -> LintReport:
+    raw.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if baseline is not None:
+        report.findings, report.baselined = baseline.filter(raw)
+        report.stale_baseline = baseline.stale_entries(raw)
+    else:
+        report.findings = raw
+    logger.debug(
+        "checked %d files: %d findings, %d baselined, %d suppressed",
+        report.n_files, len(report.findings), len(report.baselined),
+        report.n_suppressed,
+    )
+    return report
+
+
 def lint_paths(
     paths: Sequence[str | Path],
     *,
@@ -115,23 +177,90 @@ def lint_paths(
     report = LintReport()
     active = list(rules) if rules is not None else all_rules()
     raw: list[Finding] = []
-    for file_path in collect_files(paths):
-        try:
-            context = FileContext.from_path(file_path)
-        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
-            report.errors.append(f"{file_path}: {exc}")
-            continue
-        report.n_files += 1
+    for context in _load_contexts(paths, report):
         findings, suppressed = _check_context(context, active)
         raw.extend(findings)
         report.n_suppressed += suppressed
-    if baseline is not None:
-        report.findings, report.baselined = baseline.filter(raw)
-    else:
-        report.findings = raw
-    logger.debug(
-        "linted %d files: %d findings, %d baselined, %d suppressed",
-        report.n_files, len(report.findings), len(report.baselined),
-        report.n_suppressed,
-    )
-    return report
+    return _finish(report, raw, baseline)
+
+
+def _run_passes(
+    contexts: Sequence[FileContext],
+    passes: Sequence[ProgramPass],
+    report: LintReport,
+) -> list[Finding]:
+    """Build one program model over ``contexts`` and run every pass.
+
+    Suppressions are honoured at each finding's anchor line, exactly as
+    for per-file rules — a pass may additionally consult annotations on
+    other lines of its witness chain (see ``locks._edge_suppressed``).
+    """
+    from repro.analysis.callgraph import ProgramModel
+
+    by_path = {context.path: context for context in contexts}
+    model = ProgramModel(contexts)
+    kept: list[Finding] = []
+    for program_pass in passes:
+        for finding in program_pass.check(model):
+            context = by_path.get(finding.path)
+            if context is not None and context.suppressions.is_suppressed(
+                finding.rule, finding.line
+            ):
+                report.n_suppressed += 1
+            else:
+                kept.append(finding)
+    return kept
+
+
+def analyze_paths(
+    paths: Sequence[str | Path],
+    *,
+    baseline: Baseline | None = None,
+    passes: Sequence[ProgramPass] | None = None,
+    rules: Sequence[Rule] | None = None,
+    with_rules: bool = False,
+) -> LintReport:
+    """Whole-program analysis over files/directories.
+
+    Runs the registered :class:`ProgramPass` set over one shared
+    :class:`ProgramModel`; with ``with_rules`` the per-file rules run
+    too (the ``repro lint --deep`` behaviour), sharing one parse of the
+    tree.
+    """
+    report = LintReport()
+    contexts = _load_contexts(paths, report)
+    raw: list[Finding] = []
+    if with_rules:
+        active_rules = list(rules) if rules is not None else all_rules()
+        for context in contexts:
+            findings, suppressed = _check_context(context, active_rules)
+            raw.extend(findings)
+            report.n_suppressed += suppressed
+    active = list(passes) if passes is not None else all_passes()
+    raw.extend(_run_passes(contexts, active, report))
+    return _finish(report, raw, baseline)
+
+
+def analyze_sources(
+    sources: Mapping[str, str],
+    *,
+    passes: Sequence[ProgramPass] | None = None,
+) -> list[Finding]:
+    """Run whole-program passes over in-memory sources — the entry
+    point multi-file fixture tests use.  Keys are pseudo-paths (used
+    for module naming and finding anchors); suppressions apply, no
+    baseline is involved.
+    """
+    from repro.analysis.context import module_name_for
+
+    report = LintReport()
+    contexts = [
+        FileContext.from_source(
+            source, path=path, module=module_name_for(Path(path))
+        )
+        for path, source in sources.items()
+    ]
+    active = list(passes) if passes is not None else all_passes()
+    findings = _run_passes(contexts, active, report)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

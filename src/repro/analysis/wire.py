@@ -1,0 +1,409 @@
+"""Router/worker wire-schema conformance pass.
+
+The fleet speaks length-prefixed JSON frames (``repro.fleet.protocol``)
+between two codebases that never import each other's message shapes:
+the router builds request dicts and reads reply fields; the worker
+dispatches on ``request["op"]`` and builds reply dicts.  Nothing but
+convention keeps the two sides aligned, so a renamed field or a dropped
+handler ships as a latent runtime failure — the receiving side just
+sees ``None`` (``.get``) or a ``KeyError``.
+
+This pass recovers both halves of the schema from the AST and fails on
+asymmetry:
+
+* **client side** — any module containing a dict literal with an
+  ``"op"`` key bound to a string constant (and no ``"ok"`` key, which
+  marks replies).  Produced ops and request fields come from those
+  literals plus ``request["field"] = ...`` stores on variables that
+  hold a request literal or flow into ``send_message``.  Consumed
+  reply fields are ``.get("f")``/``["f"]`` reads on variables bound
+  from ``recv_message`` (or parameters named ``reply``).
+* **worker side** — any module that dispatches on the op (compares a
+  value read from ``<request>["op"]``/``.get("op")`` against string
+  constants) without producing request literals of its own.  Consumed
+  ops come from those comparisons; consumed request fields from reads
+  on request-rooted variables (``recv_message`` results, parameters
+  named ``request``); produced reply fields from dict literals carrying
+  an ``"ok"`` key plus subscript stores on variables holding one.
+
+Both sides must be in the analyzed file set for the pass to report
+anything — analyzing the router alone proves nothing about the worker.
+Four asymmetries are findings:
+
+1. an op the client produces that no worker handles;
+2. an op a worker handles that no client produces (dead handler — or a
+   deliberate test hook, which should carry a suppression + rationale);
+3. a request field a worker reads that no client ever sends;
+4. a reply field the client reads that no worker ever sends.
+
+Extra *produced* fields are not findings: senders may enrich messages
+ahead of readers.  The nested table payload (``table_to_wire`` /
+``table_from_wire``) lives in one shared module by design and is out
+of scope here.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.analysis.callgraph import FunctionInfo, ProgramModel
+from repro.analysis.context import FileContext
+from repro.analysis.findings import Finding
+from repro.analysis.passes import register_pass
+from repro.analysis.rules._ast_util import dotted_name
+
+_SEND = "send_message"
+_RECV = "recv_message"
+
+
+@dataclass
+class _Use:
+    """One field/op occurrence, anchored for reporting."""
+
+    name: str
+    node: ast.AST
+    context: FileContext
+
+
+@dataclass
+class _Schema:
+    """What the analyzed set produces and consumes, per direction."""
+
+    produced_ops: list[_Use] = field(default_factory=list)
+    consumed_ops: list[_Use] = field(default_factory=list)
+    produced_request_fields: set[str] = field(default_factory=set)
+    consumed_request_fields: list[_Use] = field(default_factory=list)
+    produced_reply_fields: set[str] = field(default_factory=set)
+    consumed_reply_fields: list[_Use] = field(default_factory=list)
+    has_client: bool = False
+    has_worker: bool = False
+
+
+def _literal_keys(node: ast.Dict) -> dict[str, ast.expr]:
+    """String-constant keys of a dict literal (computed keys skipped)."""
+    keys: dict[str, ast.expr] = {}
+    for key, value in zip(node.keys, node.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            keys[key.value] = value
+    return keys
+
+
+def _is_request_literal(keys: dict[str, ast.expr]) -> bool:
+    """``{"op": "<const>", ...}`` with no ``"ok"`` (reply marker)."""
+    if "ok" in keys or "op" not in keys:
+        return False
+    value = keys["op"]
+    return isinstance(value, ast.Constant) and isinstance(value.value, str)
+
+
+def _subscript_key(node: ast.Subscript) -> str | None:
+    if isinstance(node.slice, ast.Constant) and isinstance(
+        node.slice.value, str
+    ):
+        return node.slice.value
+    return None
+
+
+def _get_key(call: ast.Call) -> tuple[str, str] | None:
+    """``(receiver name, key)`` for ``<name>.get("key", ...)``."""
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "get"
+        and isinstance(func.value, ast.Name)
+        and call.args
+        and isinstance(call.args[0], ast.Constant)
+        and isinstance(call.args[0].value, str)
+    ):
+        return func.value.id, call.args[0].value
+    return None
+
+
+def _call_tail(call: ast.Call) -> str | None:
+    name = dotted_name(call.func)
+    return name.split(".")[-1] if name else None
+
+
+class _FunctionScan:
+    """Name-rooted dataflow inside one function body."""
+
+    def __init__(self, info: FunctionInfo) -> None:
+        self.info = info
+        self.nodes = [
+            n
+            for n in ast.walk(info.node)
+            if not isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+            or n is info.node
+        ]
+
+    def names_bound_from(self, predicate) -> set[str]:
+        """Names assigned (directly or via name-to-name copies) from a
+        value matching ``predicate``."""
+        rooted: set[str] = set()
+        # Two sweeps pick up one level of name-to-name copy in either
+        # source order (``reply = maybe`` after ``maybe = recv(...)``).
+        for _ in range(2):
+            for node in self.nodes:
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                hit = predicate(value) or (
+                    isinstance(value, ast.Name) and value.id in rooted
+                )
+                if not hit:
+                    continue
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        rooted.add(target.id)
+        return rooted
+
+    def params(self) -> set[str]:
+        args = self.info.node.args
+        return {
+            a.arg
+            for a in [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        }
+
+    def reads_on(self, rooted: set[str]) -> Iterator[tuple[str, ast.AST]]:
+        """``(key, node)`` for every ``x["k"]`` load / ``x.get("k")``
+        where ``x`` is a rooted name."""
+        for node in self.nodes:
+            if (
+                isinstance(node, ast.Subscript)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in rooted
+            ):
+                key = _subscript_key(node)
+                if key is not None:
+                    yield key, node
+            elif isinstance(node, ast.Call):
+                got = _get_key(node)
+                if got is not None and got[0] in rooted:
+                    yield got[1], node
+
+    def stores_on(self, rooted: set[str]) -> Iterator[str]:
+        """Keys of ``x["k"] = ...`` stores on rooted names."""
+        for node in self.nodes:
+            if not isinstance(node, (ast.Assign, ast.AugAssign)):
+                continue
+            targets = (
+                node.targets
+                if isinstance(node, ast.Assign)
+                else [node.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Subscript)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in rooted
+                ):
+                    key = _subscript_key(target)
+                    if key is not None:
+                        yield key
+
+
+def _module_has_request_literals(
+    model: ProgramModel, context: FileContext
+) -> bool:
+    for info in model.functions_in(context):
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Dict) and _is_request_literal(
+                _literal_keys(node)
+            ):
+                return True
+    return False
+
+
+def _scan_client(
+    model: ProgramModel, context: FileContext, schema: _Schema
+) -> None:
+    schema.has_client = True
+    for info in model.functions_in(context):
+        scan = _FunctionScan(info)
+        request_vars: set[str] = set()
+        sent_vars: set[str] = set()
+        for node in scan.nodes:
+            if isinstance(node, ast.Dict):
+                keys = _literal_keys(node)
+                op = keys.get("op")
+                if (
+                    _is_request_literal(keys)
+                    and isinstance(op, ast.Constant)
+                    and isinstance(op.value, str)
+                ):
+                    schema.produced_ops.append(
+                        _Use(op.value, node, context)
+                    )
+                    schema.produced_request_fields.update(keys)
+            elif isinstance(node, ast.Call):
+                tail = _call_tail(node)
+                if tail == _SEND and len(node.args) >= 2:
+                    message = node.args[1]
+                    if isinstance(message, ast.Name):
+                        sent_vars.add(message.id)
+        request_vars = scan.names_bound_from(
+            lambda v: isinstance(v, ast.Dict)
+            and _is_request_literal(_literal_keys(v))
+        )
+        schema.produced_request_fields.update(
+            scan.stores_on(request_vars | sent_vars)
+        )
+        reply_vars = scan.names_bound_from(
+            lambda v: isinstance(v, ast.Call) and _call_tail(v) == _RECV
+        )
+        reply_vars |= scan.params() & {"reply"}
+        for key, node in scan.reads_on(reply_vars):
+            schema.consumed_reply_fields.append(_Use(key, node, context))
+
+
+def _scan_worker(
+    model: ProgramModel, context: FileContext, schema: _Schema
+) -> None:
+    found_dispatch = False
+    for info in model.functions_in(context):
+        scan = _FunctionScan(info)
+        request_vars = scan.names_bound_from(
+            lambda v: isinstance(v, ast.Call) and _call_tail(v) == _RECV
+        )
+        request_vars |= scan.params() & {"request"}
+        if not request_vars:
+            continue
+        # op values: names bound from <request>["op"] / .get("op"),
+        # plus the expressions themselves when compared inline.
+        def _reads_op(value: ast.expr) -> bool:
+            if isinstance(value, ast.Call):
+                got = _get_key(value)
+                return (
+                    got is not None
+                    and got[0] in request_vars
+                    and got[1] == "op"
+                )
+            if isinstance(value, ast.Subscript) and isinstance(
+                value.value, ast.Name
+            ):
+                return (
+                    value.value.id in request_vars
+                    and _subscript_key(value) == "op"
+                )
+            return False
+
+        op_names = scan.names_bound_from(_reads_op)
+        for node in scan.nodes:
+            if not isinstance(node, ast.Compare):
+                continue
+            left = node.left
+            left_is_op = _reads_op(left) or (
+                isinstance(left, ast.Name) and left.id in op_names
+            )
+            if not left_is_op:
+                continue
+            for op_node, comparator in zip(node.ops, node.comparators):
+                if not isinstance(op_node, (ast.Eq, ast.NotEq)):
+                    continue
+                if isinstance(comparator, ast.Constant) and isinstance(
+                    comparator.value, str
+                ):
+                    found_dispatch = True
+                    schema.consumed_ops.append(
+                        _Use(comparator.value, node, context)
+                    )
+        for key, node in scan.reads_on(request_vars):
+            schema.consumed_request_fields.append(_Use(key, node, context))
+        # reply production: literals with an "ok" key + stores on
+        # variables holding one.
+        reply_vars = scan.names_bound_from(
+            lambda v: isinstance(v, ast.Dict) and "ok" in _literal_keys(v)
+        )
+        for node in scan.nodes:
+            if isinstance(node, ast.Dict):
+                keys = _literal_keys(node)
+                if "ok" in keys:
+                    schema.produced_reply_fields.update(keys)
+        schema.produced_reply_fields.update(scan.stores_on(reply_vars))
+    if found_dispatch:
+        schema.has_worker = True
+
+
+def _build_schema(model: ProgramModel) -> _Schema:
+    schema = _Schema()
+    for context in model.contexts:
+        if _module_has_request_literals(model, context):
+            _scan_client(model, context, schema)
+        else:
+            _scan_worker(model, context, schema)
+    return schema
+
+
+@register_pass(
+    "wire-asymmetry",
+    family="wire-schema",
+    description=(
+        "router and worker disagree about the fleet wire schema: an op "
+        "one side produces/handles without a counterpart, or a field "
+        "one side reads that the other never sends"
+    ),
+)
+def check_wire_asymmetry(model: ProgramModel) -> Iterator[Finding]:
+    schema = _build_schema(model)
+    if not (schema.has_client and schema.has_worker):
+        # Only one side of the protocol is in the analyzed set; there
+        # is no pair of schemas to compare.
+        return
+    produced_ops = {u.name for u in schema.produced_ops}
+    consumed_ops = {u.name for u in schema.consumed_ops}
+
+    seen: set[tuple[str, str, int]] = set()
+
+    def once(kind: str, use: _Use) -> bool:
+        key = (kind + use.name, use.context.path, use.node.lineno)
+        if key in seen:
+            return False
+        seen.add(key)
+        return True
+
+    for use in schema.produced_ops:
+        if use.name not in consumed_ops and once("p-op:", use):
+            yield use.context.finding(
+                "wire-asymmetry",
+                use.node,
+                f"client produces op {use.name!r} but no analyzed "
+                "worker handles it; the request would come back "
+                "ok=false ('unknown op')",
+            )
+    for use in schema.consumed_ops:
+        if use.name not in produced_ops and once("c-op:", use):
+            yield use.context.finding(
+                "wire-asymmetry",
+                use.node,
+                f"worker handles op {use.name!r} but no analyzed "
+                "client produces it; dead handler, or an intentional "
+                "hook that should carry a suppression with a rationale",
+            )
+    for use in schema.consumed_request_fields:
+        if use.name not in schema.produced_request_fields and once(
+            "c-req:", use
+        ):
+            yield use.context.finding(
+                "wire-asymmetry",
+                use.node,
+                f"worker reads request field {use.name!r} that no "
+                "analyzed client ever sends; the read is always "
+                "None/KeyError",
+            )
+    for use in schema.consumed_reply_fields:
+        if use.name not in schema.produced_reply_fields and once(
+            "c-rep:", use
+        ):
+            yield use.context.finding(
+                "wire-asymmetry",
+                use.node,
+                f"client reads reply field {use.name!r} that no "
+                "analyzed worker ever sends; the read is always "
+                "None/KeyError",
+            )

@@ -13,6 +13,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.invariants import not_none
+
 
 @dataclass(frozen=True)
 class TreeConfig:
@@ -164,11 +166,12 @@ class DecisionTree:
         for i, row in enumerate(X):
             node = self._root
             while not node.is_leaf:
-                assert node.left is not None and node.right is not None
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            assert node.counts is not None
-            total = node.counts.sum()
-            out[i] = node.counts / total if total > 0 else 1.0 / self.n_classes
+                left = not_none(node.left, "non-leaf node's left child")
+                right = not_none(node.right, "non-leaf node's right child")
+                node = left if row[node.feature] <= node.threshold else right
+            counts = not_none(node.counts, "leaf node's class counts")
+            total = counts.sum()
+            out[i] = counts / total if total > 0 else 1.0 / self.n_classes
         return out
 
     def predict(self, X: np.ndarray) -> np.ndarray:

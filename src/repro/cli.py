@@ -254,9 +254,10 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--scale", choices=["smoke", "paper"], default="smoke")
     experiment.add_argument("--out", help="also write the rendering to a file")
 
-    from repro.analysis.cli import add_lint_parser
+    from repro.analysis.cli import add_analyze_parser, add_lint_parser
 
     add_lint_parser(commands)
+    add_analyze_parser(commands)
     return parser
 
 
@@ -623,6 +624,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.analysis.cli import run_lint_command
 
         return run_lint_command(args)
+    if args.command == "analyze":
+        from repro.analysis.cli import run_analyze_command
+
+        return run_analyze_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

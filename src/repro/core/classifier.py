@@ -35,6 +35,7 @@ from repro import obs
 from repro.core.centroids import CentroidSet
 from repro.core.contrastive import ContrastiveProjection
 from repro.embeddings.lookup import TermEmbedder
+from repro.invariants import not_none
 from repro.tables.labels import LevelKind, LevelLabel, TableAnnotation
 from repro.tables.model import Table
 
@@ -367,7 +368,7 @@ class MetadataClassifier:
                 if with_evidence:
                     rule = "first level: nearest reference"
             elif prev_is_meta and not transitioned:
-                assert delta is not None
+                delta = not_none(delta, "inter-level angle past level 0")
                 in_mde = mde_lo <= delta <= mde_hi
                 in_mde_de = mm_lo <= delta <= mm_hi
                 if depth >= max_depth:
@@ -419,7 +420,7 @@ class MetadataClassifier:
                     if with_evidence:
                         rule = "Δ in no range: nearest reference"
             else:
-                assert delta is not None
+                delta = not_none(delta, "inter-level angle past level 0")
                 if de_lo <= delta <= de_hi:
                     is_meta = False
                     if with_evidence:

@@ -179,6 +179,10 @@ class _TokenRowCache:
             missing = used_ids[~self._known[used_ids]]
             if missing.size:
                 texts = [_VOCAB.texts[i] for i in missing]
+                # One-way ordering by construction: the embedder's
+                # cache lock never calls back into a row cache, so
+                # _lock -> _cache_lock can never invert.
+                # repro-lint: disable=lock-held-call-acquires
                 self._matrix[missing] = embedder.vectors(texts).astype(
                     np.float32
                 )

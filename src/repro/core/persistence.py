@@ -312,7 +312,7 @@ def _assemble_pipeline(state: dict, data: Mapping) -> MetadataPipeline:
         )
 
     model = _load_embedding(state, data)
-    centering = data["centering"] if state["has_centering"] else None
+    centering = data["centering"] if state["has_centering"] else None  # mmap-backed
     embedder = TermEmbedder(model, centering=centering)
 
     packed_kind = state.get("packed_kind")
@@ -323,7 +323,7 @@ def _assemble_pipeline(state: dict, data: Mapping) -> MetadataPipeline:
             raise PersistenceError(
                 "archive has a packed matrix but no vocabulary"
             )
-        scales = data["packed_scales"] if packed_kind == "q8" else None
+        scales = data["packed_scales"] if packed_kind == "q8" else None  # mmap-backed
         embedder.packed = PackedVocabulary(
             state["vocab"]["tokens"], data["packed_rows"], scales
         )
@@ -331,6 +331,7 @@ def _assemble_pipeline(state: dict, data: Mapping) -> MetadataPipeline:
     projection = None
     if state["has_projection"]:
         config = ContrastiveConfig(**state["projection_config"])
+        # mmap-backed: a directory store hands back read-only views.
         weights = data["projection_weights"]
         projection = ContrastiveProjection(weights.shape[1], config)
         projection.weights = weights

@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.core.bootstrap import BootstrapLabels
+from repro.invariants import not_none
 from repro.core.centroids import estimate_centroids
 from repro.core.classifier import MetadataClassifier
 from repro.core.pipeline import MetadataPipeline
@@ -64,7 +65,7 @@ def refine_self_training(
         raise ValueError("self-training needs a fitted pipeline")
     if iterations < 1:
         raise ValueError("iterations must be positive")
-    assert pipeline.embedder is not None
+    embedder = not_none(pipeline.embedder, "fitted pipeline's embedder")
 
     tables = [
         item.table if isinstance(item, AnnotatedTable) else item
@@ -74,10 +75,9 @@ def refine_self_training(
         raise ValueError("cannot self-train on an empty corpus")
 
     refined = MetadataPipeline(pipeline.config)
-    refined.embedder = pipeline.embedder
+    refined.embedder = embedder
     refined.projection = pipeline.projection
-    classifier = pipeline.classifier
-    assert classifier is not None
+    classifier = not_none(pipeline.classifier, "fitted pipeline's classifier")
     transform = (
         pipeline.projection.transform if pipeline.projection is not None else None
     )
@@ -86,7 +86,7 @@ def refine_self_training(
     for _ in range(iterations):
         labeled = [predicted_bootstrap(classifier, table) for table in tables]
         refined.row_centroids = estimate_centroids(
-            pipeline.embedder,
+            embedder,
             labeled,
             axis="rows",
             aggregation=aggregation,
@@ -94,7 +94,7 @@ def refine_self_training(
             seed=pipeline.config.seed,
         )
         refined.col_centroids = estimate_centroids(
-            pipeline.embedder,
+            embedder,
             labeled,
             axis="cols",
             aggregation=aggregation,
@@ -102,7 +102,7 @@ def refine_self_training(
             seed=pipeline.config.seed,
         )
         classifier = MetadataClassifier(
-            pipeline.embedder,
+            embedder,
             refined.row_centroids,
             refined.col_centroids,
             projection=pipeline.projection,

@@ -14,6 +14,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.invariants import not_none
 from repro.tables.model import AnnotatedTable
 
 
@@ -48,7 +49,7 @@ class CorpusStatistics:
             return 0.0
         if hmd is not None:
             return self.hmd_depth_counts.get(hmd, 0) / self.n_tables
-        assert vmd is not None
+        vmd = not_none(vmd, "vmd= argument (guard above excludes None)")
         return self.vmd_depth_counts.get(vmd, 0) / self.n_tables
 
 

@@ -27,6 +27,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.embeddings.vocab import MASK, Vocabulary
+from repro.invariants import not_none
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -103,8 +104,9 @@ class ContextualEncoder:
         if not encoded:
             return self
         neg_probs = self.vocab.negative_sampling_probs()
-        mask_id = self.vocab.id_of(MASK)
-        assert mask_id is not None
+        mask_id = not_none(
+            self.vocab.id_of(MASK), "MASK token id in a built vocabulary"
+        )
 
         for _ in range(self.config.epochs):
             for sentence_index in rng.permutation(len(encoded)):
@@ -118,10 +120,12 @@ class ContextualEncoder:
         neg_probs: np.ndarray,
         rng: np.random.Generator,
     ) -> None:
-        emb, pos = self._emb, self._pos
-        wq, wk, wo, out = self._wq, self._wk, self._wo, self._out
-        assert emb is not None and pos is not None
-        assert wq is not None and wk is not None and wo is not None and out is not None
+        emb = not_none(self._emb, "fitted token embedding matrix")
+        pos = not_none(self._pos, "fitted positional matrix")
+        wq = not_none(self._wq, "fitted query projection")
+        wk = not_none(self._wk, "fitted key projection")
+        wo = not_none(self._wo, "fitted output projection")
+        out = not_none(self._out, "fitted output embedding")
 
         n = len(ids)
         id_arr = np.asarray(ids, dtype=np.int64)
@@ -202,8 +206,7 @@ class ContextualEncoder:
             if token_id is None:
                 out.append(None)
             else:
-                assert rows is not None
-                out.append(rows[cursor])
+                out.append(not_none(rows, "rows for in-vocabulary ids")[cursor])
                 cursor += 1
         return out
 
@@ -217,10 +220,12 @@ class ContextualEncoder:
         ids = self.vocab.encode(list(tokens)[: self.config.max_len])
         if not ids:
             return np.empty((0, self.config.dim))
-        assert self._pos is not None and self._wq is not None
-        assert self._wk is not None and self._wo is not None
+        pos = not_none(self._pos, "fitted positional matrix")
+        wq = not_none(self._wq, "fitted query projection")
+        wk = not_none(self._wk, "fitted key projection")
+        wo = not_none(self._wo, "fitted output projection")
         id_arr = np.asarray(ids, dtype=np.int64)
-        x = self._emb[id_arr] + self._pos[: len(ids)]
-        scores = (x @ self._wq) @ (x @ self._wk).T / np.sqrt(self.config.attention_dim)
+        x = self._emb[id_arr] + pos[: len(ids)]
+        scores = (x @ wq) @ (x @ wk).T / np.sqrt(self.config.attention_dim)
         attn = _softmax(scores, axis=-1)
-        return x + (attn @ x) @ self._wo
+        return x + (attn @ x) @ wo

@@ -24,6 +24,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.embeddings.vocab import Vocabulary
+from repro.invariants import not_none
 from repro.text import TokenKind, classify_token
 
 NUM_BUCKET = "<NUM>"
@@ -223,7 +224,6 @@ class PpmiSvdEmbedding:
             if token_id is None:
                 out.append(None)
             else:
-                assert rows is not None
-                out.append(rows[cursor])
+                out.append(not_none(rows, "rows for in-vocabulary ids")[cursor])
                 cursor += 1
         return out

@@ -16,6 +16,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.embeddings.vocab import Vocabulary
+from repro.invariants import not_none
 
 
 def _sigmoid(x: np.ndarray) -> np.ndarray:
@@ -132,7 +133,8 @@ class Word2Vec:
         lr: float,
         rng: np.random.Generator,
     ) -> None:
-        assert self._w_in is not None and self._w_out is not None
+        not_none(self._w_in, "fitted input matrix (fit() builds it)")
+        not_none(self._w_out, "fitted output matrix (fit() builds it)")
         batch = self.config.batch_size
         for start in range(0, centers.size, batch):
             c = centers[start : start + batch]
@@ -146,8 +148,8 @@ class Word2Vec:
         self, centers: np.ndarray, contexts: np.ndarray, negatives: np.ndarray, lr: float
     ) -> None:
         """One mini-batch of SGNS updates (binary logistic loss)."""
-        w_in, w_out = self._w_in, self._w_out
-        assert w_in is not None and w_out is not None
+        w_in = not_none(self._w_in, "fitted input matrix")
+        w_out = not_none(self._w_out, "fitted output matrix")
         v = w_in[centers]  # (B, d)
         u_pos = w_out[contexts]  # (B, d)
         u_neg = w_out[negatives]  # (B, K, d)
@@ -202,8 +204,7 @@ class Word2Vec:
             if token_id is None:
                 out.append(None)
             else:
-                assert rows is not None
-                out.append(rows[cursor])
+                out.append(not_none(rows, "rows for in-vocabulary ids")[cursor])
                 cursor += 1
         return out
 

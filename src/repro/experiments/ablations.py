@@ -28,6 +28,7 @@ from repro.core.metrics import evaluate_corpus
 from repro.core.pipeline import HybridClassifier, MetadataPipeline
 from repro.experiments.centroid_tables import ExperimentResult
 from repro.experiments.reporting import percent
+from repro.invariants import not_none
 from repro.experiments.runner import (
     ExperimentScale,
     SMOKE,
@@ -161,8 +162,7 @@ def run_ablation_similarity(
     from repro.experiments.runner import fitted_pipeline
 
     pipeline = fitted_pipeline(dataset, scale)
-    embedder = pipeline.embedder
-    assert embedder is not None
+    embedder = not_none(pipeline.embedder, "fitted pipeline's embedder")
     labeled = bootstrap_corpus(train_corpus_for(dataset, scale)[:60])
 
     measures = ("angle", "euclidean", "jaccard")

@@ -16,6 +16,7 @@ from typing import Sequence
 from repro.core.centroids import CentroidSet
 from repro.corpus.profiles import get_profile
 from repro.experiments.reporting import ascii_table
+from repro.invariants import not_none
 from repro.experiments.runner import (
     ExperimentScale,
     SMOKE,
@@ -89,8 +90,10 @@ def run_table1(scale: ExperimentScale = SMOKE) -> ExperimentResult:
     for level in sorted(HMD_LEVEL_DATASETS):
         for dataset in HMD_LEVEL_DATASETS[level]:
             pipeline = _deep_stats_pipeline(dataset, scale)
-            assert pipeline.row_centroids is not None
-            rows.append(_deep_level_row(dataset, level, pipeline.row_centroids))
+            centroids = not_none(
+                pipeline.row_centroids, "fitted pipeline's row centroids"
+            )
+            rows.append(_deep_level_row(dataset, level, centroids))
     return ExperimentResult(
         table_id="table1",
         title="Table I: Centroid and Angles for Identifying Levels 2-5 of HMD",
@@ -113,10 +116,10 @@ def _level1_rows(
     rows = []
     for dataset in datasets:
         pipeline = fitted_pipeline(dataset, scale)
-        centroids = (
-            pipeline.row_centroids if axis == "rows" else pipeline.col_centroids
+        centroids = not_none(
+            pipeline.row_centroids if axis == "rows" else pipeline.col_centroids,
+            "fitted pipeline's centroids",
         )
-        assert centroids is not None
         stats = centroids.stats_for_level(1)
         rows.append(
             (
@@ -155,8 +158,10 @@ def run_table4(scale: ExperimentScale = SMOKE) -> ExperimentResult:
     for level in sorted(VMD_LEVEL_DATASETS):
         for dataset in VMD_LEVEL_DATASETS[level]:
             pipeline = _deep_stats_pipeline(dataset, scale)
-            assert pipeline.col_centroids is not None
-            rows.append(_deep_level_row(dataset, level, pipeline.col_centroids))
+            centroids = not_none(
+                pipeline.col_centroids, "fitted pipeline's column centroids"
+            )
+            rows.append(_deep_level_row(dataset, level, centroids))
     return ExperimentResult(
         table_id="table4",
         title="Table IV: Centroid and Angle Calculations for VMD Levels 2-3",

@@ -21,6 +21,7 @@ from repro.core.metrics import table_level_accuracy
 from repro.corpus.profiles import get_profile
 from repro.corpus.registry import build_level_stratified
 from repro.experiments.reporting import ascii_bar_chart, percent
+from repro.invariants import not_none
 from repro.experiments.runner import (
     ExperimentScale,
     SMOKE,
@@ -81,8 +82,7 @@ def run_figure5(scale: ExperimentScale = SMOKE, *, dataset: str = "ckg") -> Figu
             f"  row {evidence.index}: {str(evidence.label):5s} {delta}  "
             f"[{evidence.rule}]"
         )
-    centroids = pipeline.row_centroids
-    assert centroids is not None
+    centroids = not_none(pipeline.row_centroids, "fitted pipeline's row centroids")
     lines.append("")
     lines.append(
         f"Centroid ranges: C_MDE={centroids.mde}  C_DE={centroids.de}  "

@@ -662,6 +662,11 @@ class FleetRouter:
             self._request_counter += 1
             self._requests_total += 1
             request["id"] = self._request_counter
+            # One-way ordering by construction: _route_lock ->
+            # _stats_lock everywhere (load_estimate/stats), and no
+            # _stats_lock holder ever calls into the router, so the
+            # order can never invert.
+            # repro-lint: disable=lock-held-call-acquires
             handle = self._pick_worker_locked(key)
             if handle is None:
                 self._shed_total += 1

@@ -122,7 +122,11 @@ class WorkerServer:
                 return self._classify_batch(request, rid)
             if op == "shutdown":
                 return {"ok": True, "op": "shutdown", "id": rid}
-            if op == "crash":  # test hook: die like a real crash would
+            # Test-only hook: resilience tests open a raw socket and
+            # send it to make a worker die like a real crash would; no
+            # production client ever produces it.
+            # repro-lint: disable=wire-asymmetry - intentional test hook
+            if op == "crash":
                 logger.warning("worker %d told to crash", self.worker_id)
                 os._exit(13)
             raise ValueError(f"unknown op {op!r}")

@@ -1,0 +1,42 @@
+"""Typed internal-invariant checks (the ``assert`` replacement).
+
+Library code used to spell "this cannot be ``None`` here" with a bare
+``assert``.  Asserts vanish under ``python -O``, so the guard they
+documented silently stops guarding, and when they *do* fire they raise
+an :class:`AssertionError` with no message — useless at a distance
+(``repro-lint``'s ``assert-in-library`` rule now gates them).
+
+:func:`not_none` is the replacement: it survives ``-O``, raises a
+typed, catchable error naming the violated invariant, and narrows
+``T | None`` to ``T`` for mypy exactly like the assert did::
+
+    classifier = not_none(pipeline.classifier, "fitted pipeline classifier")
+"""
+
+from __future__ import annotations
+
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+class InvariantError(RuntimeError):
+    """An internal "cannot happen" condition happened.
+
+    Distinct from ``ValueError``/``KeyError`` raised for bad *input*:
+    catching this means a bug in this library, not in the caller.
+    """
+
+
+def not_none(value: T | None, what: str) -> T:
+    """Return ``value``, raising :class:`InvariantError` if ``None``.
+
+    ``what`` names the invariant in the error message — say what was
+    expected to exist and why ("fitted word2vec input matrix"), not
+    just the variable name.
+    """
+    if value is None:
+        raise InvariantError(
+            f"internal invariant violated: {what} is unexpectedly None"
+        )
+    return value

@@ -68,9 +68,8 @@ def classify_token(text: str) -> TokenKind:
     """Classify one already-extracted token string."""
     if text.endswith("%"):
         return TokenKind.PERCENT
-    if _TOKEN_RE.fullmatch(text):
-        match = _TOKEN_RE.fullmatch(text)
-        assert match is not None
+    match = _TOKEN_RE.fullmatch(text)
+    if match is not None:
         for kind in ("percent", "number", "word", "symbol"):
             if match.group(kind):
                 return TokenKind(kind)

@@ -1,0 +1,163 @@
+"""Mmap write-safety pass (``mmap-write``).
+
+Taint flows from ``np.load(..., mmap_mode=...)`` calls and
+``# mmap-backed`` annotations to in-place mutation sinks; a mutation of
+a page-cache-shared array crashes on ``"r"`` maps and silently edits
+the model file on disk under every other worker on ``"r+"`` maps.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_sources
+from repro.analysis.passes import get_pass
+
+
+def _run(sources: dict[str, str], *pass_ids: str):
+    passes = [get_pass(p) for p in pass_ids]
+    return analyze_sources(sources, passes=passes)
+
+
+def test_augmented_assignment_on_mmap_load_is_flagged():
+    source = '''
+import numpy as np
+
+def scale(path):
+    weights = np.load(path, mmap_mode="r")
+    weights += 1.0
+    return weights
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "mmap-write"
+    assert "augmented assignment" in finding.message
+    assert "weights" in finding.message
+
+
+def test_slice_assignment_on_mmap_load_is_flagged():
+    source = '''
+import numpy as np
+
+def zero_row(path, idx):
+    weights = np.load(path, mmap_mode="r+")
+    weights[idx] = 0.0
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "slice assignment" in findings[0].message
+
+
+def test_out_argument_on_mmap_load_is_flagged():
+    source = '''
+import numpy as np
+
+def accumulate(path, delta):
+    weights = np.load(path, mmap_mode="r")
+    np.add(weights, delta, out=weights)
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "out= argument" in findings[0].message
+
+
+def test_mutating_method_on_mmap_load_is_flagged():
+    source = '''
+import numpy as np
+
+def reorder(path):
+    weights = np.load(path, mmap_mode="r")
+    weights.sort()
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "in-place sort" in findings[0].message
+
+
+def test_non_mmap_load_is_clean():
+    # No mmap_mode (or an explicit None) loads a private in-memory
+    # copy; mutating it is fine.
+    source = '''
+import numpy as np
+
+def scale(path):
+    a = np.load(path)
+    b = np.load(path, mmap_mode=None)
+    a += 1.0
+    b[0] = 2.0
+    return a, b
+'''
+    assert _run({"src/app/store.py": source}, "mmap-write") == []
+
+
+def test_mmap_backed_comment_taints_local():
+    # The human annotation covers indirections the dataflow cannot see
+    # (directory-store lookups); same line or the line above counts.
+    source = '''
+def scale(store):
+    weights = store.lookup("w")  # mmap-backed
+    weights += 1.0
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "augmented assignment" in findings[0].message
+
+
+def test_mmap_backed_attribute_taints_whole_class():
+    # Annotating the assignment in __init__ taints self._matrix in
+    # every method of the class.
+    source = '''
+class Plane:
+    def __init__(self, store):
+        # mmap-backed
+        self._matrix = store.get("matrix")
+
+    def poke(self, idx, value):
+        self._matrix[idx] = value
+'''
+    findings = _run({"src/app/plane.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "slice assignment" in findings[0].message
+
+
+def test_return_taint_crosses_one_call():
+    source = '''
+import numpy as np
+
+def open_weights(path):
+    return np.load(path, mmap_mode="r")
+
+def clobber(path):
+    weights = open_weights(path)
+    weights.fill(0.0)
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "in-place fill" in findings[0].message
+
+
+def test_setflags_write_true_is_flagged():
+    source = '''
+import numpy as np
+
+def unprotect(path):
+    weights = np.load(path, mmap_mode="r")
+    weights.setflags(write=True)
+    return weights
+'''
+    findings = _run({"src/app/store.py": source}, "mmap-write")
+    assert len(findings) == 1
+    assert "setflags(write=True)" in findings[0].message
+
+
+def test_suppression_with_rationale_dismisses():
+    source = '''
+import numpy as np
+
+def scale(path):
+    weights = np.load(path, mmap_mode="r")
+    # The store re-opens this copy-on-write before handing it out.
+    # repro-lint: disable=mmap-write
+    weights += 1.0
+    return weights
+'''
+    assert _run({"src/app/store.py": source}, "mmap-write") == []

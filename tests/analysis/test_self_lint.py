@@ -1,9 +1,11 @@
-"""The tree must pass its own linter, modulo the committed baseline.
+"""The tree must pass its own linter and analyzer, with no baseline.
 
-This is the PR's acceptance gate in test form: ``repro lint src`` exits
-0 from a checkout, and the baseline holds no stale entries (fixing a
-grandfathered site means regenerating the baseline so the debt count
-shrinks).
+This is the PR's acceptance gate in test form: ``repro lint src`` and
+``repro analyze src`` exit 0 from a checkout, the committed baseline is
+empty (the last grandfathered debt — library asserts — was converted to
+typed :class:`repro.invariants.InvariantError` raises), and it stays
+empty: new findings must be fixed or suppressed with a rationale, not
+grandfathered.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import Baseline, lint_paths
+from repro.analysis import Baseline, analyze_paths, lint_paths
 from repro.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -44,19 +46,37 @@ def test_baseline_has_no_stale_entries():
         "'repro lint src --write-baseline' so the grandfathered count "
         "shrinks as sites are fixed"
     )
+    assert baseline.stale_entries(report.findings + report.baselined) == []
 
 
 def test_cli_exits_zero_from_checkout(capsys):
     assert main(["lint", "src"]) == 0
     out = capsys.readouterr().out
     assert "0 finding(s)" in out
+    assert out.rstrip().endswith("-- ok")
 
 
-def test_committed_baseline_is_assert_debt_only():
-    # The concurrency/numpy/determinism fixes landed with the linter;
-    # only pre-existing library asserts were grandfathered.
+def test_analyze_cli_exits_zero_from_checkout(capsys):
+    # The whole-program passes (lock order, spawn safety, mmap writes,
+    # wire schema) must hold over the real tree with no baseline —
+    # by-design findings carry inline suppressions with rationales.
+    assert main(["analyze", "src", "--no-baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "0 finding(s)" in out
+
+
+def test_deep_lint_is_clean_from_checkout():
     baseline = Baseline.load(BASELINE)
-    assert len(baseline) > 0
-    assert {entry["rule"] for entry in baseline.entries} == {
-        "assert-in-library"
-    }
+    report = analyze_paths(["src"], baseline=baseline, with_rules=True)
+    assert report.errors == []
+    assert report.findings == [], "\n".join(
+        f.render() for f in report.findings
+    )
+
+
+def test_committed_baseline_is_empty():
+    # PR 8 paid down the last grandfathered debt (library asserts →
+    # repro.invariants.not_none).  The baseline stays empty: fix or
+    # suppress-with-rationale, don't grandfather.
+    baseline = Baseline.load(BASELINE)
+    assert len(baseline) == 0

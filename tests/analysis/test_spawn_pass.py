@@ -1,0 +1,179 @@
+"""Spawn-boundary pickle-safety pass (``spawn-unsafe-arg``).
+
+The must-fail fixture in ``test_lock_capture_via_initargs_is_detected``
+is the shape the analyzer exists to catch: an object transitively
+holding a ``threading.Lock`` handed to ``ProcessPoolExecutor``
+initargs, which either crashes the spawn (``cannot pickle``) or
+silently rebuilds thread-local state in the child.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_sources
+from repro.analysis.passes import get_pass
+
+
+def _run(sources: dict[str, str], *pass_ids: str):
+    passes = [get_pass(p) for p in pass_ids]
+    return analyze_sources(sources, passes=passes)
+
+
+LOCK_CAPTURE = '''
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+class SharedState:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.counts = {}
+
+def _init_worker(state):
+    return state
+
+def launch():
+    state = SharedState()
+    return ProcessPoolExecutor(
+        max_workers=2, initializer=_init_worker, initargs=(state,)
+    )
+'''
+
+
+def test_lock_capture_via_initargs_is_detected():
+    findings = _run({"src/app/pool.py": LOCK_CAPTURE}, "spawn-unsafe-arg")
+    assert len(findings) == 1
+    finding = findings[0]
+    assert finding.rule == "spawn-unsafe-arg"
+    assert "SharedState" in finding.message
+    assert "threading lock" in finding.message
+    assert "initargs=" in finding.message
+
+
+def test_lambda_initializer_is_flagged():
+    source = '''
+from concurrent.futures import ProcessPoolExecutor
+
+def launch():
+    return ProcessPoolExecutor(initializer=lambda: None)
+'''
+    findings = _run({"src/app/pool.py": source}, "spawn-unsafe-arg")
+    assert len(findings) == 1
+    assert "lambda" in findings[0].message
+
+
+def test_nested_function_target_is_flagged():
+    source = '''
+from multiprocessing import Process
+
+def launch():
+    def worker():
+        return None
+    return Process(target=worker, args=())
+'''
+    findings = _run({"src/app/proc.py": source}, "spawn-unsafe-arg")
+    assert len(findings) == 1
+    assert "nested function" in findings[0].message
+    assert "hoist" in findings[0].message
+
+
+def test_bound_method_submit_target_is_flagged():
+    source = '''
+from concurrent.futures import ProcessPoolExecutor
+
+class Runner:
+    def __init__(self):
+        self._pool = ProcessPoolExecutor()
+
+    def go(self):
+        return self._pool.submit(self._work, 1)
+
+    def _work(self, x):
+        return x
+'''
+    findings = _run({"src/app/runner.py": source}, "spawn-unsafe-arg")
+    assert len(findings) == 1
+    assert "bound method" in findings[0].message
+
+
+def test_thread_pool_submit_is_not_flagged():
+    # .submit on a *thread* pool crosses no pickle boundary; without
+    # constructor evidence of a ProcessPoolExecutor there is no finding
+    # even when the shipped value holds a lock.
+    source = '''
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+class Runner:
+    def __init__(self):
+        self._pool = ThreadPoolExecutor()
+        self._lock = threading.Lock()
+
+    def go(self):
+        return self._pool.submit(self._work, self._lock)
+
+    def _work(self, lock):
+        return lock
+'''
+    assert _run({"src/app/runner.py": source}, "spawn-unsafe-arg") == []
+
+
+def test_plain_data_args_are_clean():
+    source = '''
+from concurrent.futures import ProcessPoolExecutor
+
+def _init_worker(path, count):
+    return path
+
+def launch(path):
+    return ProcessPoolExecutor(
+        initializer=_init_worker, initargs=(path, 3)
+    )
+'''
+    assert _run({"src/app/pool.py": source}, "spawn-unsafe-arg") == []
+
+
+def test_transitively_unpicklable_instance_is_flagged():
+    # Engine holds no lock itself, but holds a Meter that does; the
+    # transitive closure must taint it.
+    source = '''
+import threading
+from multiprocessing import Process
+
+class Meter:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+class Engine:
+    def __init__(self):
+        self.meter = Meter()
+
+def _main(engine):
+    return engine
+
+def launch():
+    engine = Engine()
+    return Process(target=_main, args=(engine,))
+'''
+    findings = _run({"src/app/engine.py": source}, "spawn-unsafe-arg")
+    assert len(findings) == 1
+    assert "Engine" in findings[0].message
+    assert "Meter" in findings[0].message
+
+
+def test_shipping_self_from_tainted_class_is_flagged():
+    source = '''
+import threading
+from multiprocessing import Process
+
+def _main(owner):
+    return owner
+
+class Owner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def launch(self):
+        return Process(target=_main, args=(self,))
+'''
+    findings = _run({"src/app/owner.py": source}, "spawn-unsafe-arg")
+    assert len(findings) == 1
+    assert "'self'" in findings[0].message

@@ -1,0 +1,158 @@
+"""Router/worker wire-schema conformance pass (``wire-asymmetry``).
+
+Each fixture pairs a client module (builds request dicts, reads
+replies) with a worker module (dispatches on ``request["op"]``, builds
+replies) and asserts the pass recovers both schemas and fails only on
+genuine asymmetry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import analyze_sources
+from repro.analysis.passes import get_pass
+
+
+def _run(sources: dict[str, str], *pass_ids: str):
+    passes = [get_pass(p) for p in pass_ids]
+    return analyze_sources(sources, passes=passes)
+
+
+CLIENT = '''
+from app.protocol import send_message, recv_message
+
+def classify(sock, record):
+    request = {"op": "classify", "id": 7, "record": record}
+    send_message(sock, request)
+    reply = recv_message(sock)
+    return reply.get("labels")
+'''
+
+WORKER = '''
+from app.protocol import send_message, recv_message
+
+def serve(sock):
+    request = recv_message(sock)
+    op = request.get("op")
+    if op == "classify":
+        reply = {"ok": True, "labels": request["record"]}
+        send_message(sock, reply)
+'''
+
+
+def test_symmetric_schema_is_clean():
+    assert _run(
+        {"src/app/client.py": CLIENT, "src/app/worker.py": WORKER},
+        "wire-asymmetry",
+    ) == []
+
+
+def test_op_without_handler_is_flagged():
+    client = CLIENT + '''
+
+def shutdown(sock):
+    send_message(sock, {"op": "shutdown"})
+'''
+    findings = _run(
+        {"src/app/client.py": client, "src/app/worker.py": WORKER},
+        "wire-asymmetry",
+    )
+    assert len(findings) == 1
+    assert "'shutdown'" in findings[0].message
+    assert "no analyzed worker handles it" in findings[0].message
+
+
+def test_dead_handler_is_flagged():
+    worker = WORKER.replace(
+        'if op == "classify":',
+        'if op == "ping":\n'
+        '        send_message(sock, {"ok": True})\n'
+        '    elif op == "classify":',
+    )
+    findings = _run(
+        {"src/app/client.py": CLIENT, "src/app/worker.py": worker},
+        "wire-asymmetry",
+    )
+    assert len(findings) == 1
+    assert "'ping'" in findings[0].message
+    assert "dead handler" in findings[0].message
+
+
+def test_request_field_never_sent_is_flagged():
+    worker = WORKER.replace(
+        'request["record"]', 'request["record"] if request["trace"] else None'
+    )
+    findings = _run(
+        {"src/app/client.py": CLIENT, "src/app/worker.py": worker},
+        "wire-asymmetry",
+    )
+    assert len(findings) == 1
+    assert "'trace'" in findings[0].message
+    assert "no analyzed client ever sends" in findings[0].message
+
+
+def test_reply_field_never_sent_is_flagged():
+    client = CLIENT.replace(
+        'reply.get("labels")', 'reply.get("labels"), reply.get("spans")'
+    )
+    findings = _run(
+        {"src/app/client.py": client, "src/app/worker.py": WORKER},
+        "wire-asymmetry",
+    )
+    assert len(findings) == 1
+    assert "'spans'" in findings[0].message
+    assert "no analyzed worker ever sends" in findings[0].message
+
+
+def test_request_field_stored_via_subscript_counts_as_sent():
+    # Enrichment after the literal (request["trace"] = ...) must count
+    # as produced — the fleet router decorates requests this way.
+    client = CLIENT.replace(
+        "    send_message(sock, request)",
+        '    request["trace"] = True\n    send_message(sock, request)',
+    )
+    worker = WORKER.replace(
+        'request["record"]', 'request["record"] if request["trace"] else None'
+    )
+    assert _run(
+        {"src/app/client.py": client, "src/app/worker.py": worker},
+        "wire-asymmetry",
+    ) == []
+
+
+def test_single_side_alone_reports_nothing():
+    # Analyzing the client without any worker (or vice versa) proves
+    # nothing about the schema; the pass must stay silent.
+    assert _run({"src/app/client.py": CLIENT}, "wire-asymmetry") == []
+    assert _run({"src/app/worker.py": WORKER}, "wire-asymmetry") == []
+
+
+def test_suppressed_test_hook_is_dismissed():
+    worker = WORKER.replace(
+        'if op == "classify":',
+        "# Crash hook exists for supervision tests only; no client\n"
+        "    # produces it by design.\n"
+        "    # repro-lint: disable=wire-asymmetry\n"
+        '    if op == "crash":\n'
+        "        raise SystemExit(1)\n"
+        '    if op == "classify":',
+    )
+    assert _run(
+        {"src/app/client.py": CLIENT, "src/app/worker.py": worker},
+        "wire-asymmetry",
+    ) == []
+
+
+def test_extra_produced_fields_are_not_findings():
+    # Senders may enrich ahead of readers: extra request fields from
+    # the client and extra reply fields from the worker are fine.
+    client = CLIENT.replace(
+        '"record": record}', '"record": record, "deadline": 1.5}'
+    )
+    worker = WORKER.replace(
+        '"labels": request["record"]}',
+        '"labels": request["record"], "clock": 0.0}',
+    )
+    assert _run(
+        {"src/app/client.py": client, "src/app/worker.py": worker},
+        "wire-asymmetry",
+    ) == []

@@ -42,10 +42,22 @@ shed_rate_under_overload}`` is appended to the trajectory file
 (default ``BENCH_trajectory.json``, uploaded as a CI artifact) so the
 perf history of the project is a machine-readable series.
 
+The trajectory also carries **quality** numbers (PR 9): pass
+``--fuzz-report`` / ``--ablation-report`` with the JSON files that
+``repro fuzz --report`` and ``repro ablate --report`` emit and the
+entry gains fuzz crash/divergence/flip counts plus the ablation
+baseline accuracy and worst-knockout impact.  ``--quality-only`` skips
+the perf measurement entirely (the CI ``quality`` job appends its own
+entry without re-running the bench).
+
 ``--check`` compares classify and fused throughput against the
 committed ``benchmarks/BENCH_baseline.json`` and exits non-zero on a
 regression of more than 20%, or when the same-run fused speedup falls
-below :data:`FUSED_SPEEDUP_FLOOR` — the CI gate.  ``--write-baseline`` refreshes the
+below :data:`FUSED_SPEEDUP_FLOOR` — the CI gate.  Quality keys gate
+too: any fuzz crash/divergence/flip fails, and ``ablation_hmd1`` below
+:data:`REGRESSION_FLOOR` of the baseline fails.  Gates only fire for
+keys the entry actually has, so perf-only and quality-only entries
+coexist in one series.  ``--write-baseline`` refreshes the
 baseline from the current measurement (do this deliberately, on the
 machine class CI uses, when a legitimate perf change lands).
 """
@@ -317,6 +329,39 @@ def _measure_fleet(pipeline, tables) -> tuple[float, float]:
     return fleet_tables_per_sec, shed / attempts
 
 
+def quality_entry(
+    fuzz_report: Path | None, ablation_report: Path | None
+) -> dict:
+    """Fold quality-harness report files into trajectory keys.
+
+    Reads the JSON that ``repro fuzz --report`` and ``repro ablate
+    --report`` wrote; either side may be absent.  Malformed reports are
+    a hard error — a quality entry silently missing its counts would
+    neuter the gate.
+    """
+    entry: dict = {}
+    if fuzz_report is not None:
+        payload = json.loads(fuzz_report.read_text())
+        if payload.get("kind") != "fuzz-report":
+            raise SystemExit(f"{fuzz_report} is not a fuzz report")
+        counts = payload["counts"]
+        entry["fuzz_cases"] = sum(counts.values())
+        entry["fuzz_crashes"] = counts["crash"]
+        entry["fuzz_divergences"] = counts["divergence"]
+        entry["fuzz_flips"] = counts["flip"]
+    if ablation_report is not None:
+        payload = json.loads(ablation_report.read_text())
+        if payload.get("kind") != "ablation-report":
+            raise SystemExit(f"{ablation_report} is not an ablation report")
+        summary = payload["summary"]
+        if summary["baseline_hmd1"] is None:
+            raise SystemExit(f"{ablation_report} has no baseline accuracy")
+        entry["ablation_hmd1"] = round(summary["baseline_hmd1"], 4)
+        entry["ablation_worst_component"] = summary["worst_component"]
+        entry["ablation_worst_delta_hmd1"] = summary["worst_delta_hmd1"]
+    return entry
+
+
 def append_trajectory(entry: dict, path: Path) -> None:
     history: list[dict] = []
     if path.exists():
@@ -338,8 +383,8 @@ def check_regression(entry: dict, baseline_path: Path) -> int:
     baseline = json.loads(baseline_path.read_text())
     failures = 0
     for key in ("classify_tables_per_sec", "fused_tables_per_sec"):
-        if key not in baseline:
-            continue  # older baseline; the speedup gate still applies
+        if key not in baseline or key not in entry:
+            continue  # older baseline, or a quality-only entry
         floor = baseline[key] * REGRESSION_FLOOR
         measured = entry[key]
         if measured < floor:
@@ -359,21 +404,57 @@ def check_regression(entry: dict, baseline_path: Path) -> int:
             )
     # The fused speedup is a same-run ratio: both sides see the same
     # machine, so the gate holds even when CI hardware drifts.
-    speedup = entry["fused_speedup"]
-    if speedup < FUSED_SPEEDUP_FLOOR:
-        print(
-            f"PERF REGRESSION: fused speedup {speedup:.2f}x fell below "
-            f"the {FUSED_SPEEDUP_FLOOR:.1f}x floor",
-            file=sys.stderr,
-        )
-        failures += 1
-    else:
-        print(
-            f"fused speedup OK: {speedup:.2f}x >= "
-            f"{FUSED_SPEEDUP_FLOOR:.1f}x",
-            file=sys.stderr,
-        )
+    if "fused_speedup" in entry:
+        speedup = entry["fused_speedup"]
+        if speedup < FUSED_SPEEDUP_FLOOR:
+            print(
+                f"PERF REGRESSION: fused speedup {speedup:.2f}x fell below "
+                f"the {FUSED_SPEEDUP_FLOOR:.1f}x floor",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"fused speedup OK: {speedup:.2f}x >= "
+                f"{FUSED_SPEEDUP_FLOOR:.1f}x",
+                file=sys.stderr,
+            )
+    failures += _check_quality(entry, baseline)
     return 1 if failures else 0
+
+
+def _check_quality(entry: dict, baseline: dict) -> int:
+    """Quality gates: zero fuzz failures, ablation accuracy holds."""
+    failures = 0
+    for key in ("fuzz_crashes", "fuzz_divergences", "fuzz_flips"):
+        if key not in entry:
+            continue
+        if entry[key] > 0:
+            print(
+                f"QUALITY REGRESSION: {entry[key]} {key.removeprefix('fuzz_')} "
+                f"in the fuzz campaign (see the fuzz report artifact)",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(f"fuzz OK: {key} == 0", file=sys.stderr)
+    if "ablation_hmd1" in entry and "ablation_hmd1" in baseline:
+        floor = baseline["ablation_hmd1"] * REGRESSION_FLOOR
+        measured = entry["ablation_hmd1"]
+        if measured < floor:
+            print(
+                f"QUALITY REGRESSION: ablation_hmd1 {measured:.3f} is below "
+                f"{REGRESSION_FLOOR:.0%} of the baseline "
+                f"{baseline['ablation_hmd1']:.3f}",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"ablation accuracy OK: {measured:.3f} >= {floor:.3f}",
+                file=sys.stderr,
+            )
+    return failures
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -400,9 +481,38 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="refresh the committed baseline from this measurement",
     )
+    parser.add_argument(
+        "--fuzz-report", metavar="PATH",
+        help="fold a `repro fuzz --report` JSON into the entry",
+    )
+    parser.add_argument(
+        "--ablation-report", metavar="PATH",
+        help="fold a `repro ablate --report` JSON into the entry",
+    )
+    parser.add_argument(
+        "--quality-only",
+        action="store_true",
+        help="skip the perf measurement; the entry carries only the "
+        "quality keys (requires at least one report flag)",
+    )
     args = parser.parse_args(argv)
 
-    entry = measure()
+    if args.quality_only and not (args.fuzz_report or args.ablation_report):
+        parser.error("--quality-only needs --fuzz-report or --ablation-report")
+
+    if args.quality_only:
+        entry = {
+            "commit": _git_commit(),
+            "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        }
+    else:
+        entry = measure()
+    entry.update(
+        quality_entry(
+            Path(args.fuzz_report) if args.fuzz_report else None,
+            Path(args.ablation_report) if args.ablation_report else None,
+        )
+    )
     print(json.dumps(entry, indent=2))
     append_trajectory(entry, Path(args.out))
     if args.write_baseline:

@@ -255,9 +255,12 @@ def _build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--out", help="also write the rendering to a file")
 
     from repro.analysis.cli import add_analyze_parser, add_lint_parser
+    from repro.quality.cli import add_ablate_parser, add_fuzz_parser
 
     add_lint_parser(commands)
     add_analyze_parser(commands)
+    add_fuzz_parser(commands)
+    add_ablate_parser(commands)
     return parser
 
 
@@ -628,6 +631,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.analysis.cli import run_analyze_command
 
         return run_analyze_command(args)
+    if args.command == "fuzz":
+        from repro.quality.cli import run_fuzz_command
+
+        return run_fuzz_command(args)
+    if args.command == "ablate":
+        from repro.quality.cli import run_ablate_command
+
+        return run_ablate_command(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -104,6 +104,15 @@ def _resolve(model: str) -> tuple[str, MetadataPipeline]:
         ) from None
 
 
+def get_model(model: str = "") -> MetadataPipeline:
+    """A worker-loaded pipeline by name ("" = the pool default).
+
+    The supported way for generic tasks (:meth:`ShardedPool.run_task`)
+    to reach the warm models the initializer loaded.
+    """
+    return _resolve(model)[1]
+
+
 def classify_paths_chunk(model: str, paths: Sequence[str]) -> dict:
     """Classify one shard of table files (the ``repro batch`` hot path).
 

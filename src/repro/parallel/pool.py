@@ -212,6 +212,22 @@ class ShardedPool:
         futures = [self.submit(item) for item in items]
         return [f.result() for f in futures]
 
+    # ------------------------------------------------------------------
+    # generic task interface (repro fuzz --procs)
+    # ------------------------------------------------------------------
+    def run_task(self, fn, /, *args) -> Future:
+        """Run an arbitrary top-level callable in a worker process.
+
+        ``fn`` must be importable by name (spawn pickles by reference);
+        inside the worker it can reach the preloaded pipelines through
+        :func:`repro.parallel._worker.get_model`.  The fuzz campaign
+        shards its case ranges this way — same warm-model pool, work
+        that is not a classify chunk.
+        """
+        if self._closed:
+            raise WorkerPoolError("pool is shut down")
+        return self._executor.submit(fn, *args)
+
     def _merge_stages(self, stages: Mapping[str, tuple[float, int]]) -> None:
         # Completion callbacks run on executor-internal threads, so the
         # shared totals dict takes the lock.

@@ -1,0 +1,152 @@
+"""Delta-debugging minimization of fuzz failures.
+
+Classic ddmin over a list of atoms (rows, lines), then a cheap cell
+simplification pass.  The predicate receives a candidate and answers
+"does the failure still reproduce?"; minimization only ever *keeps*
+candidates the predicate confirms, so the minimized artifact fails for
+the same reason the original did.
+
+Budgets are explicit: every public entry point takes ``max_checks`` and
+stops shrinking when the predicate has been consulted that many times,
+so a pathological failure cannot stall a fuzz campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+from repro.tables.model import Table
+
+T = TypeVar("T")
+
+
+class _Budget:
+    """Counts predicate checks; ``spent`` flips when the budget is gone."""
+
+    def __init__(self, max_checks: int) -> None:
+        self.remaining = max_checks
+
+    @property
+    def spent(self) -> bool:
+        return self.remaining <= 0
+
+    def charge(self) -> bool:
+        if self.spent:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _ddmin(
+    items: list[T],
+    predicate: Callable[[list[T]], bool],
+    budget: _Budget,
+) -> list[T]:
+    """Minimize ``items`` while ``predicate`` holds (ddmin, list form)."""
+    n = 2
+    while len(items) >= 2 and not budget.spent:
+        chunk = max(1, len(items) // n)
+        reduced = False
+        start = 0
+        while start < len(items) and not budget.spent:
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and budget.charge() and predicate(candidate):
+                items = candidate
+                reduced = True
+                # restart the scan at the same granularity
+                start = 0
+                continue
+            start += chunk
+        if reduced:
+            n = max(n - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            n = min(n * 2, len(items))
+    return items
+
+
+def ddmin(
+    items: Sequence[T],
+    predicate: Callable[[list[T]], bool],
+    *,
+    max_checks: int = 200,
+) -> list[T]:
+    """Public ddmin: smallest sublist of ``items`` still failing.
+
+    ``predicate(candidate)`` must be True for the full list; when it is
+    not (a flaky failure), the input comes back unchanged.
+    """
+    items = list(items)
+    budget = _Budget(max_checks)
+    if not items or not budget.charge() or not predicate(items):
+        return items
+    return _ddmin(items, predicate, budget)
+
+
+def minimize_table(
+    table: Table,
+    predicate: Callable[[Table], bool],
+    *,
+    max_checks: int = 200,
+) -> Table:
+    """Shrink a failing table: drop rows, then columns, then cell text.
+
+    ``predicate(candidate)`` answers "does the failure reproduce on this
+    candidate table?".  The result is row- and column-minimal up to the
+    check budget, with surviving long cells truncated where possible.
+    """
+    budget = _Budget(max_checks)
+    if not budget.charge() or not predicate(table):
+        return table
+
+    rows = [list(r) for r in table.rows]
+    rows = _ddmin(
+        rows, lambda rs: predicate(Table(rs, name=table.name)), budget
+    )
+
+    n_cols = max((len(r) for r in rows), default=0)
+    if n_cols >= 2 and not budget.spent:
+        col_idx = _ddmin(
+            list(range(n_cols)),
+            lambda cols: predicate(
+                Table(
+                    [[row[j] for j in cols if j < len(row)] for row in rows],
+                    name=table.name,
+                )
+            ),
+            budget,
+        )
+        rows = [[row[j] for j in col_idx if j < len(row)] for row in rows]
+
+    # Cell simplification: long surviving cells truncate to a prefix.
+    for i, row in enumerate(rows):
+        for j, cell in enumerate(row):
+            if len(cell) <= 8 or budget.spent:
+                continue
+            shortened = [list(r) for r in rows]
+            shortened[i][j] = cell[:8]
+            if budget.charge() and predicate(Table(shortened, name=table.name)):
+                rows = shortened
+    return Table(rows, name=table.name)
+
+
+def minimize_text(
+    text: str,
+    predicate: Callable[[str], bool],
+    *,
+    max_checks: int = 200,
+) -> str:
+    """Shrink failing serialized-table text line-wise, then char-chunk-wise."""
+    budget = _Budget(max_checks)
+    if not budget.charge() or not predicate(text):
+        return text
+    lines = text.split("\n")
+    if len(lines) >= 2:
+        lines = _ddmin(lines, lambda ls: predicate("\n".join(ls)), budget)
+        text = "\n".join(lines)
+    if len(text) > 16 and not budget.spent:
+        chars = list(text)
+        chars = _ddmin(chars, lambda cs: predicate("".join(cs)), budget)
+        text = "".join(chars)
+    return text

@@ -12,6 +12,14 @@ import io
 
 from repro.tables.model import Table
 
+# The stdlib default field limit (128 KiB) is smaller than cells that
+# legitimately occur in PDF-extracted corpora (CORD-19 abstracts pasted
+# into a cell) and turns them into a bare ``_csv.Error`` escaping the
+# parser.  Raise it once; anything past 16 MiB is rejected cleanly below.
+_FIELD_LIMIT = 16 * 1024 * 1024
+if csv.field_size_limit() < _FIELD_LIMIT:
+    csv.field_size_limit(_FIELD_LIMIT)
+
 
 def table_to_csv(table: Table) -> str:
     """Serialize to RFC-4180 CSV text (no trailing newline)."""
@@ -23,6 +31,15 @@ def table_to_csv(table: Table) -> str:
 
 
 def table_from_csv(text: str, *, name: str = "", source: str = "") -> Table:
-    """Parse CSV text into a :class:`Table` (ragged rows get padded)."""
+    """Parse CSV text into a :class:`Table` (ragged rows get padded).
+
+    Malformed CSV (a field past the 16 MiB limit, NUL-laden quoting the
+    reader chokes on) raises :class:`ValueError` — the ingestion layer's
+    clean-rejection contract — never a raw ``csv.Error``.
+    """
     reader = csv.reader(io.StringIO(text))
-    return Table(list(reader), name=name, source=source)
+    try:
+        rows = list(reader)
+    except csv.Error as exc:
+        raise ValueError(f"malformed CSV: {exc}") from exc
+    return Table(rows, name=name, source=source)

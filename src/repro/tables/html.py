@@ -35,7 +35,14 @@ def _header_row_cells(row: tuple[str, ...], *, use_colspan: bool) -> list[str]:
     j = 0
     while j < len(row):
         span = 1
-        while j + span < len(row) and row[j] and not row[j + span]:
+        # Stay under the parser's MAX_SPAN clamp so the round trip is
+        # exact even for absurdly wide spanning headers.
+        while (
+            j + span < len(row)
+            and span < MAX_SPAN
+            and row[j]
+            and not row[j + span]
+        ):
             span += 1
         text = _html.escape(row[j])
         if span > 1:
@@ -171,12 +178,20 @@ class ParsedHtmlTable:
         return blanks / total if total else 1.0
 
 
+#: Hard cap on a single colspan/rowspan value.  Real GST headers span a
+#: handful of columns; hostile markup like ``colspan="1000000"`` would
+#: otherwise expand into a million-cell grid row (and ``rowspan`` junk
+#: into a quadratic pending-continuation map) before classification
+#: ever sees the table.
+MAX_SPAN = 64
+
+
 def _span_attr(attrs, name: str) -> int:
     """Parse a colspan/rowspan attribute, tolerating garbage."""
     for key, value in attrs:
         if key == name and value is not None:
             try:
-                return max(1, int(value))
+                return min(max(1, int(value)), MAX_SPAN)
             except ValueError:
                 return 1
     return 1

@@ -26,12 +26,22 @@ def table_to_json(table: Table) -> str:
 
 
 def table_from_json(text: str) -> Table:
-    """Parse a CORD-19-style JSON table object."""
+    """Parse a CORD-19-style JSON table object.
+
+    Structurally wrong payloads (``rows`` not a list of lists) raise
+    :class:`ValueError`, not the ``TypeError`` the :class:`Table`
+    constructor would emit when asked to iterate an int.
+    """
     payload = json.loads(text)
     if not isinstance(payload, dict) or "rows" not in payload:
         raise ValueError("expected a JSON object with a 'rows' field")
+    rows = payload["rows"]
+    if not isinstance(rows, list) or any(
+        not isinstance(row, (list, tuple)) for row in rows
+    ):
+        raise ValueError("'rows' must be a list of cell lists")
     return Table(
-        payload["rows"],
+        rows,
         name=payload.get("name", ""),
         source=payload.get("source", ""),
     )

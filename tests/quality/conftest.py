@@ -1,0 +1,25 @@
+"""Shared fixtures for the quality-harness tests.
+
+The fitted harness is session-scoped: one small hashed-backend fit
+serves every test that needs to classify, which keeps the whole
+directory in the tier-1 time budget.
+"""
+
+import pytest
+
+from repro.quality.fuzzer import FuzzConfig, build_harness
+
+
+SMALL_CONFIG = FuzzConfig(
+    budget=30, seed=9, dataset="ckg", n_tables=24, n_train=40
+)
+
+
+@pytest.fixture(scope="session")
+def fuzz_config() -> FuzzConfig:
+    return SMALL_CONFIG
+
+
+@pytest.fixture(scope="session")
+def harness(fuzz_config):
+    return build_harness(fuzz_config, "hashed")

@@ -1,0 +1,83 @@
+"""Banked-fixture regression replay: every fixture must stay fixed.
+
+This is the test the banking workflow exists for — ``repro fuzz
+--bank`` writes a minimized reproducer, and from then on this module
+fails CI if the captured bug ever comes back.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.quality.bank import (
+    bank_case,
+    fixture_path,
+    load_fixtures,
+    replay_fixture,
+)
+from repro.quality.fuzzer import FuzzCase
+
+FIXTURES_DIR = Path(__file__).parent / "fixtures"
+
+
+def test_fixture_dir_has_the_ingestion_bug_fixtures():
+    fixtures = load_fixtures(FIXTURES_DIR)
+    assert len(fixtures) >= 3  # the PR-9 ingestion bugs at minimum
+    assert all(f["repro"] for f in fixtures)
+
+
+@pytest.mark.parametrize(
+    "fixture",
+    load_fixtures(FIXTURES_DIR),
+    ids=lambda f: Path(f["path"]).stem,
+)
+def test_banked_fixture_replays_clean(fixture, harness):
+    needs_harness = fixture["repro"]["kind"] in ("table", "roundtrip")
+    verdict = replay_fixture(
+        fixture, harness if needs_harness else None
+    )
+    assert verdict == "ok", (
+        f"banked bug regressed ({fixture['path']}): {fixture['detail']}"
+    )
+
+
+def _crash_case() -> FuzzCase:
+    return FuzzCase(
+        index=3, mutator="json-roundtrip", table_name="t",
+        verdict="crash", detail="d",
+        repro={"kind": "text", "suffix": ".json", "text": "{",
+               "exception": "ValueError"},
+    )
+
+
+def test_bank_case_dedups_by_content(tmp_path):
+    case = _crash_case()
+    first = bank_case(case, tmp_path, campaign_seed=1)
+    assert first is not None and first.exists()
+    assert bank_case(case, tmp_path, campaign_seed=1) is None  # dedup
+    assert fixture_path(case, tmp_path) == first
+    [fixture] = load_fixtures(tmp_path)
+    assert fixture["campaign_seed"] == 1
+    assert fixture["repro"]["text"] == "{"
+
+
+def test_bank_case_without_repro_rejected(tmp_path):
+    case = FuzzCase(
+        index=0, mutator="m", table_name="t", verdict="crash"
+    )
+    with pytest.raises(ValueError, match="no reproducer"):
+        bank_case(case, tmp_path)
+
+
+def test_replay_unknown_kind_rejected():
+    with pytest.raises(ValueError, match="unknown fixture kind"):
+        replay_fixture({"repro": {"kind": "nope"}})
+
+
+def test_replay_table_kind_needs_harness():
+    with pytest.raises(ValueError, match="needs a harness"):
+        replay_fixture({"repro": {"kind": "table", "rows": [["a"]]}})
+
+
+def test_load_fixtures_missing_dir_is_empty(tmp_path):
+    assert load_fixtures(tmp_path / "nope") == []

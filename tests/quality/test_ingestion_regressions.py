@@ -1,0 +1,84 @@
+"""Regression tests for ingestion crashes the fuzzer surfaced (PR 9).
+
+Each test pins a bug found by ``repro fuzz`` and fixed in this PR; the
+minimized inputs also live as banked fixtures under ``fixtures/``.
+"""
+
+import time
+
+import pytest
+
+from repro.serve.bulk import table_from_path, table_from_text
+from repro.tables.csvio import table_from_csv
+from repro.tables.html import MAX_SPAN, parse_html_table, render_html_table
+from repro.tables.jsonio import table_from_json
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+
+def test_csv_field_beyond_stdlib_default_limit_parses():
+    """csv.field_size_limit defaults to 128 KiB; a single oversized cell
+    used to escape as a raw _csv.Error."""
+    big = "x" * (128 * 1024 + 1)
+    table = table_from_csv(f"a,b\n{big},2\n")
+    assert table.rows[1][0] == big
+
+
+def test_csv_truly_malformed_raises_value_error():
+    with pytest.raises(ValueError, match="malformed CSV"):
+        table_from_csv('a,"' + "y" * (32 * 1024 * 1024) + "\n")
+
+
+@pytest.mark.parametrize("payload", ['{"rows": 42}', '{"rows": [42]}'])
+def test_json_rows_must_be_cell_lists(payload):
+    """Non-list rows used to escape as TypeError from Table()."""
+    with pytest.raises(ValueError, match="list of cell lists"):
+        table_from_json(payload)
+
+
+def test_html_hostile_spans_are_clamped():
+    """colspan=1000000 used to expand a million-cell grid (50s per
+    table); the parser now clamps spans to MAX_SPAN."""
+    markup = (
+        '<table><tr><td colspan="1000000" rowspan="999999">a</td></tr>'
+        "<tr><td>b</td></tr></table>"
+    )
+    start = time.monotonic()
+    parsed = parse_html_table(markup)
+    assert time.monotonic() - start < 1.0
+    table = parsed.to_table()
+    # the clamped rowspan column plus the second row's own cell
+    assert table.n_cols <= MAX_SPAN + 1
+    assert table.n_rows <= MAX_SPAN + 1
+
+
+def test_html_wide_colspan_round_trip_is_exact():
+    """Render-side span merging stays under the parser's clamp, so even
+    a header wider than MAX_SPAN survives a round trip unchanged."""
+    width = MAX_SPAN + 20
+    header = ["wide"] + [""] * (width - 1)
+    body = [f"c{j}" for j in range(width)]
+    table = Table([header, body], name="wide")
+    annotation = TableAnnotation.from_depths(
+        table.n_rows, table.n_cols, hmd_depth=1
+    )
+    markup = render_html_table(table, annotation, use_colspan=True)
+    assert parse_html_table(markup).to_table(name="wide").rows == table.rows
+
+
+def test_table_from_path_replaces_undecodable_bytes(tmp_path):
+    path = tmp_path / "latin.csv"
+    path.write_bytes(b"a,b\n\xff\xfe,2\n")
+    table = table_from_path(path)
+    assert table.rows[0] == ("a", "b")
+    assert table.rows[1][1] == "2"
+
+
+def test_table_from_text_dispatch_stays_value_error_only():
+    """The fuzzer's contract: parse rejection is ValueError, anything
+    else is a crash.  Hold every suffix to it on a hostile input."""
+    for suffix in (".json", ".md", ".html", ".csv"):
+        try:
+            table_from_text('{"rows": [42]}', suffix=suffix, name="t")
+        except ValueError:
+            pass

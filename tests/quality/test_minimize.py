@@ -1,0 +1,75 @@
+"""Delta-debugging minimizer tests."""
+
+from repro.quality.minimize import ddmin, minimize_table, minimize_text
+from repro.tables.model import Table
+
+
+def test_ddmin_finds_single_failing_atom():
+    items = list(range(50))
+    result = ddmin(items, lambda xs: 37 in xs)
+    assert result == [37]
+
+
+def test_ddmin_finds_failing_pair():
+    items = list(range(40))
+    result = ddmin(items, lambda xs: 3 in xs and 31 in xs)
+    assert sorted(result) == [3, 31]
+
+
+def test_ddmin_flaky_input_comes_back_unchanged():
+    items = [1, 2, 3]
+    assert ddmin(items, lambda xs: False) == items
+
+
+def test_ddmin_respects_check_budget():
+    checks = []
+
+    def predicate(xs):
+        checks.append(1)
+        return 0 in xs
+
+    ddmin(list(range(1000)), predicate, max_checks=25)
+    assert len(checks) <= 25
+
+
+def test_minimize_table_shrinks_rows_and_columns():
+    table = Table(
+        [[f"r{i}c{j}" for j in range(6)] for i in range(8)], name="t"
+    )
+
+    def fails(candidate: Table) -> bool:
+        return any("r4c2" in cell for row in candidate.rows for cell in row)
+
+    minimized = minimize_table(table, fails)
+    assert minimized.n_rows == 1
+    assert minimized.n_cols <= 2  # the trigger column (pairs allowed)
+    assert any(
+        "r4c2" in cell for row in minimized.rows for cell in row
+    )
+    assert minimized.name == "t"
+
+
+def test_minimize_table_truncates_long_cells():
+    table = Table([["x" * 100, "trigger-cell-y"]])
+
+    def fails(candidate: Table) -> bool:
+        return any(
+            "trigger" in cell for row in candidate.rows for cell in row
+        )
+
+    minimized = minimize_table(table, fails)
+    for row in minimized.rows:
+        for cell in row:
+            if "trigger" not in cell:
+                assert len(cell) <= 8
+
+
+def test_minimize_text_linewise_then_charwise():
+    text = "\n".join(f"line {i}" for i in range(30)) + "\nBOOM\nmore"
+    minimized = minimize_text(text, lambda s: "BOOM" in s, max_checks=400)
+    assert "BOOM" in minimized
+    assert len(minimized) <= len("BOOM") + 2
+
+
+def test_minimize_text_flaky_input_unchanged():
+    assert minimize_text("abc", lambda s: False) == "abc"

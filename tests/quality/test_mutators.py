@@ -1,0 +1,140 @@
+"""Mutator registry unit tests: determinism and declared contracts."""
+
+import numpy as np
+import pytest
+
+from repro.corpus.registry import build_corpus
+from repro.quality.mutators import (
+    Mutant,
+    apply_mutator,
+    get_mutators,
+    mutator_names,
+    register_mutator,
+)
+from repro.serve.bulk import table_from_text
+from repro.tables.model import Table
+
+
+@pytest.fixture(scope="module")
+def sample_tables():
+    return [
+        item.table for item in build_corpus("ckg", n_tables=6, seed=3)
+    ]
+
+
+def test_registry_is_nonempty_and_sorted():
+    names = mutator_names()
+    assert len(names) >= 15
+    assert names == sorted(names)
+    for spec in get_mutators():
+        assert spec.kind in ("grid", "text")
+        assert spec.relation in ("equal", "robust")
+        assert spec.description
+
+
+def test_unknown_mutator_rejected():
+    with pytest.raises(ValueError, match="unknown mutator"):
+        get_mutators(["no-such-mutator"])
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_mutator(
+            "transpose", kind="grid", relation="robust", description="dup"
+        )(lambda table, rng: None)
+
+
+def test_bad_kind_and_relation_rejected():
+    with pytest.raises(ValueError, match="kind"):
+        register_mutator(
+            "x-kind", kind="nope", relation="robust", description="d"
+        )
+    with pytest.raises(ValueError, match="relation"):
+        register_mutator(
+            "x-rel", kind="grid", relation="nope", description="d"
+        )
+
+
+def test_every_mutator_is_deterministic(sample_tables):
+    """Same (table, rng seed) => identical mutant, for every mutator."""
+    for spec in get_mutators():
+        for t_idx, table in enumerate(sample_tables):
+            seed = np.random.SeedSequence((17, t_idx))
+            a = apply_mutator(spec, table, np.random.default_rng(seed))
+            b = apply_mutator(spec, table, np.random.default_rng(seed))
+            if a is None:
+                assert b is None, spec.name
+                continue
+            assert b is not None, spec.name
+            assert a.kind == b.kind, spec.name
+            if a.kind == "grid":
+                assert a.table.rows == b.table.rows, spec.name
+            else:
+                assert a.text == b.text, spec.name
+                assert a.suffix == b.suffix, spec.name
+
+
+def test_grid_mutants_are_wellformed_tables(sample_tables):
+    """Grid mutants come back as rectangular, non-degenerate Tables."""
+    rng = np.random.default_rng(5)
+    for spec in get_mutators():
+        if spec.kind != "grid":
+            continue
+        for table in sample_tables:
+            mutant = apply_mutator(spec, table, rng)
+            if mutant is None:
+                continue
+            assert isinstance(mutant.table, Table), spec.name
+            widths = {len(row) for row in mutant.table.rows}
+            assert len(widths) <= 1, f"{spec.name}: ragged Table leaked"
+
+
+def test_equal_mutants_roundtrip_the_exact_grid(sample_tables):
+    """relation="equal" means re-parsing recovers the identical grid —
+    the precondition for the fuzzer's label-flip claim."""
+    rng = np.random.default_rng(11)
+    for spec in get_mutators():
+        if spec.relation != "equal":
+            continue
+        for table in sample_tables:
+            mutant = apply_mutator(spec, table, rng)
+            if mutant is None:
+                continue
+            parsed = table_from_text(
+                mutant.text, suffix=mutant.suffix, name=table.name
+            )
+            assert parsed.rows == table.rows, (
+                f"{spec.name} round trip altered the grid"
+            )
+
+
+def test_robust_text_mutants_parse_or_reject_cleanly(sample_tables):
+    """Text mutants either parse or raise ValueError — never anything
+    else (the ingestion clean-rejection contract)."""
+    rng = np.random.default_rng(23)
+    for spec in get_mutators():
+        if spec.kind != "text" or spec.relation != "robust":
+            continue
+        for table in sample_tables:
+            for _ in range(3):  # a few draws per (mutator, table)
+                mutant = apply_mutator(spec, table, rng)
+                if mutant is None:
+                    continue
+                try:
+                    table_from_text(mutant.text, suffix=mutant.suffix)
+                except ValueError:
+                    pass  # clean rejection is allowed for robust mutants
+
+
+def test_markdown_roundtrip_declines_unrepresentable_rows():
+    [spec] = get_mutators(["markdown-roundtrip"])
+    rng = np.random.default_rng(0)
+    separator_lookalike = Table([["a", "b"], ["---", "----"], ["c", "d"]])
+    assert apply_mutator(spec, separator_lookalike, rng) is None
+    all_blank = Table([["a", "b"], ["", ""]])
+    assert apply_mutator(spec, all_blank, rng) is None
+
+
+def test_mutant_kind_property():
+    assert Mutant(table=Table([["a"]])).kind == "grid"
+    assert Mutant(text="a,b", suffix=".csv").kind == "text"

@@ -1,0 +1,115 @@
+"""Quality keys in the benchmark trajectory: parsing and gating."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "record_trajectory",
+    Path(__file__).resolve().parents[2]
+    / "benchmarks"
+    / "record_trajectory.py",
+)
+assert _SPEC is not None and _SPEC.loader is not None
+record_trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(record_trajectory)
+
+
+def _fuzz_report(tmp_path, **counts) -> Path:
+    payload = {
+        "kind": "fuzz-report",
+        "counts": {
+            "ok": 197, "skip": 0, "crash": 0,
+            "divergence": 0, "flip": 0, **counts,
+        },
+    }
+    path = tmp_path / "fuzz.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def _ablation_report(tmp_path, hmd1=0.79) -> Path:
+    payload = {
+        "kind": "ablation-report",
+        "summary": {
+            "baseline_hmd1": hmd1,
+            "worst_component": "contrastive",
+            "worst_delta_hmd1": -0.2,
+        },
+    }
+    path = tmp_path / "ablation.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_quality_entry_folds_both_reports(tmp_path):
+    entry = record_trajectory.quality_entry(
+        _fuzz_report(tmp_path, crash=1, flip=2),
+        _ablation_report(tmp_path, hmd1=0.81234),
+    )
+    assert entry["fuzz_cases"] == 200
+    assert entry["fuzz_crashes"] == 1
+    assert entry["fuzz_divergences"] == 0
+    assert entry["fuzz_flips"] == 2
+    assert entry["ablation_hmd1"] == 0.8123
+    assert entry["ablation_worst_component"] == "contrastive"
+
+
+def test_quality_entry_sides_are_optional(tmp_path):
+    entry = record_trajectory.quality_entry(None, _ablation_report(tmp_path))
+    assert "fuzz_cases" not in entry
+    assert entry["ablation_hmd1"] == 0.79
+    assert record_trajectory.quality_entry(None, None) == {}
+
+
+def test_quality_entry_rejects_wrong_kind(tmp_path):
+    with pytest.raises(SystemExit):
+        record_trajectory.quality_entry(
+            _ablation_report(tmp_path), None  # ablation where fuzz expected
+        )
+
+
+def _baseline(tmp_path) -> Path:
+    path = tmp_path / "BENCH_baseline.json"
+    path.write_text(json.dumps({
+        "commit": "abc123", "ablation_hmd1": 0.7917,
+    }))
+    return path
+
+
+def test_check_passes_clean_quality_entry(tmp_path, capsys):
+    entry = record_trajectory.quality_entry(
+        _fuzz_report(tmp_path), _ablation_report(tmp_path)
+    )
+    assert record_trajectory.check_regression(entry, _baseline(tmp_path)) == 0
+    err = capsys.readouterr().err
+    assert "fuzz OK" in err
+    assert "ablation accuracy OK" in err
+
+
+def test_check_fails_on_fuzz_crashes(tmp_path, capsys):
+    entry = record_trajectory.quality_entry(
+        _fuzz_report(tmp_path, crash=3), _ablation_report(tmp_path)
+    )
+    assert record_trajectory.check_regression(entry, _baseline(tmp_path)) == 1
+    assert "QUALITY REGRESSION" in capsys.readouterr().err
+
+
+def test_check_fails_on_ablation_accuracy_drop(tmp_path, capsys):
+    entry = record_trajectory.quality_entry(
+        None, _ablation_report(tmp_path, hmd1=0.50)
+    )
+    assert record_trajectory.check_regression(entry, _baseline(tmp_path)) == 1
+    assert "ablation_hmd1" in capsys.readouterr().err
+
+
+def test_quality_only_entry_skips_perf_gates(tmp_path, capsys):
+    """A quality-only entry has no throughput keys; the perf gates must
+    stay silent instead of crashing or failing."""
+    entry = record_trajectory.quality_entry(_fuzz_report(tmp_path), None)
+    assert record_trajectory.check_regression(entry, _baseline(tmp_path)) == 0
+    err = capsys.readouterr().err
+    assert "PERF REGRESSION" not in err
+    assert "throughput OK" not in err

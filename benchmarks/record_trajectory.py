@@ -33,12 +33,22 @@ Measures three numbers on the current tree:
 * **shed rate under overload** — fraction of 200 rapid-fire submits a
   deliberately tiny fleet (1 worker, queue depth 2) rejects with a
   fast 503 instead of queueing unboundedly; tracked so admission
-  control stays a fast path and keeps actually shedding.
+  control stays a fast path and keeps actually shedding;
+* **streaming tables/sec** — the same 120 tables through the pipelined
+  streaming plane (:func:`repro.connectors.pipelined.run_streaming`,
+  ``repro batch``'s default path), best of three; on machines with at
+  least 2 usable CPUs the entry also carries ``streaming_speedup``,
+  the same-run ratio against the strictly sequential
+  parse-then-classify loop;
+* **streaming peak RSS MB** — peak traced allocation (tracemalloc)
+  while windowed-classifying a 50k-row CSV under a 64-row window
+  budget; the bounded-memory claim as a number.
 
 One JSON entry ``{commit, date, classify_tables_per_sec,
 fused_tables_per_sec, fused_speedup, serve_batch_speedup, p95_seconds,
 batch_procs_tables_per_sec, model_cold_load_ms, fleet_tables_per_sec,
-shed_rate_under_overload}`` is appended to the trajectory file
+shed_rate_under_overload, streaming_tables_per_sec,
+streaming_peak_rss_mb}`` is appended to the trajectory file
 (default ``BENCH_trajectory.json``, uploaded as a CI artifact) so the
 perf history of the project is a machine-readable series.
 
@@ -50,10 +60,13 @@ baseline accuracy and worst-knockout impact.  ``--quality-only`` skips
 the perf measurement entirely (the CI ``quality`` job appends its own
 entry without re-running the bench).
 
-``--check`` compares classify and fused throughput against the
-committed ``benchmarks/BENCH_baseline.json`` and exits non-zero on a
-regression of more than 20%, or when the same-run fused speedup falls
-below :data:`FUSED_SPEEDUP_FLOOR` — the CI gate.  Quality keys gate
+``--check`` compares classify, fused, and streaming throughput against
+the committed ``benchmarks/BENCH_baseline.json`` and exits non-zero on
+a regression of more than 20%, when the same-run fused speedup falls
+below :data:`FUSED_SPEEDUP_FLOOR`, when the same-run streaming speedup
+falls below :data:`STREAMING_SPEEDUP_FLOOR` (only measured on >=2-CPU
+machines), or when the windowed streaming peak rises above
+:data:`STREAMING_PEAK_RSS_CEILING_MB` — the CI gate.  Quality keys gate
 too: any fuzz crash/divergence/flip fails, and ``ablation_hmd1`` below
 :data:`REGRESSION_FLOOR` of the baseline fails.  Gates only fire for
 keys the entry actually has, so perf-only and quality-only entries
@@ -86,6 +99,18 @@ REGRESSION_FLOOR = 0.8
 #: machines (the ratio cancels machine speed, unlike the absolute
 #: throughput gate).
 FUSED_SPEEDUP_FLOOR = 5.0
+
+#: ``--check`` fails when the pipelined streaming plane is not at least
+#: this many times faster than the sequential parse-then-classify loop
+#: in the same run.  The key is only emitted on machines with >=2
+#: usable CPUs — on one core there is nothing to overlap — so the gate
+#: arms itself exactly where the claim is testable.
+STREAMING_SPEEDUP_FLOOR = 1.3
+
+#: ``--check`` fails when the windowed streaming measurement peaks
+#: above this many MB of traced allocations.  The full 50k x 8 grid
+#: would cost >25 MB; the window path measures ~6 MB.
+STREAMING_PEAK_RSS_CEILING_MB = 12.0
 
 N_TABLES_PER_PROFILE = 30
 PROFILES = ("ckg", "saus", "cord19", "wdc")
@@ -197,6 +222,9 @@ def measure(verbose: bool = True) -> dict:
 
     procs_tables_per_sec, cold_load_ms = _measure_parallel(pipeline, tables)
     fleet_tables_per_sec, shed_rate = _measure_fleet(pipeline, tables)
+    streaming_tables_per_sec, streaming_peak_mb, streaming_speedup = (
+        _measure_streaming(pipeline, tables)
+    )
 
     entry = {
         "commit": _git_commit(),
@@ -210,7 +238,11 @@ def measure(verbose: bool = True) -> dict:
         "model_cold_load_ms": cold_load_ms,
         "fleet_tables_per_sec": round(fleet_tables_per_sec, 2),
         "shed_rate_under_overload": round(shed_rate, 3),
+        "streaming_tables_per_sec": round(streaming_tables_per_sec, 2),
+        "streaming_peak_rss_mb": round(streaming_peak_mb, 2),
     }
+    if streaming_speedup is not None:
+        entry["streaming_speedup"] = round(streaming_speedup, 2)
     if verbose:
         print(
             f"classify: {tables_per_sec:.1f} tables/sec "
@@ -226,7 +258,14 @@ def measure(verbose: bool = True) -> dict:
             f"cold load: dir {cold_load_ms['dir']:.1f}ms, "
             f"npz {cold_load_ms['npz']:.1f}ms\n"
             f"fleet:    {fleet_tables_per_sec:.1f} tables/sec, "
-            f"shed rate {shed_rate:.0%} under overload",
+            f"shed rate {shed_rate:.0%} under overload\n"
+            f"stream:   {streaming_tables_per_sec:.1f} tables/sec"
+            + (
+                f" ({streaming_speedup:.2f}x vs sequential)"
+                if streaming_speedup is not None
+                else " (1 CPU, no speedup measured)"
+            )
+            + f", windowed peak {streaming_peak_mb:.2f} MB",
             file=sys.stderr,
         )
     return entry
@@ -329,6 +368,80 @@ def _measure_fleet(pipeline, tables) -> tuple[float, float]:
     return fleet_tables_per_sec, shed / attempts
 
 
+def _measure_streaming(pipeline, tables) -> tuple[float, float, float | None]:
+    """(streaming tables/sec, windowed peak MB, same-run speedup or None).
+
+    The speedup side only runs (and the key is only emitted) when the
+    machine has at least 2 usable CPUs — the pipelined executor cannot
+    overlap parse with classify on one core, and a meaningless 1.0x
+    would trip the gate on every laptop container.
+    """
+    import os
+    import tracemalloc
+
+    from repro.connectors.pipelined import run_streaming
+    from repro.connectors.sources import build_sources
+    from repro.connectors.window import (
+        CsvRowStream,
+        WindowConfig,
+        classify_windowed,
+    )
+    from repro.serve.bulk import classify_paths
+    from repro.tables.csvio import table_to_csv
+
+    with tempfile.TemporaryDirectory() as tmp:
+        root = Path(tmp)
+        table_dir = root / "tables"
+        table_dir.mkdir()
+        paths = []
+        for i, table in enumerate(tables):
+            path = table_dir / f"t{i:04d}.csv"
+            path.write_text(table_to_csv(table))
+            paths.append(str(path))
+
+        def _stream_pass() -> float:
+            start = time.perf_counter()
+            records = run_streaming(
+                pipeline, build_sources(paths), parse_workers=4
+            )
+            elapsed = time.perf_counter() - start
+            if len(records) != len(paths):
+                raise SystemExit("streaming benchmark lost records")
+            return elapsed
+
+        _stream_pass()  # warm imports and token caches
+        stream_best = min(_stream_pass() for _ in range(3))
+        streaming_tables_per_sec = len(tables) / stream_best
+
+        speedup = None
+        if len(os.sched_getaffinity(0)) >= 2:
+            sequential_best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                classify_paths(pipeline, paths, workers=1)
+                sequential_best = min(
+                    sequential_best, time.perf_counter() - start
+                )
+            speedup = sequential_best / stream_best
+
+        # Bounded-memory windowed classify: 50k rows through a 64-row
+        # window budget, peak traced allocation as the claim's number.
+        big = root / "big.csv"
+        with big.open("w") as f:
+            f.write(",".join(f"col{c}" for c in range(8)) + "\n")
+            for r in range(49_999):
+                f.write(",".join(f"value-{r}-{c}" for c in range(8)) + "\n")
+        config = WindowConfig.from_budget(64)
+        classify_windowed(pipeline, CsvRowStream(big), config)  # warm
+        tracemalloc.start()
+        try:
+            classify_windowed(pipeline, CsvRowStream(big), config)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+    return streaming_tables_per_sec, peak / (1024 * 1024), speedup
+
+
 def quality_entry(
     fuzz_report: Path | None, ablation_report: Path | None
 ) -> dict:
@@ -382,7 +495,11 @@ def check_regression(entry: dict, baseline_path: Path) -> int:
         return 2
     baseline = json.loads(baseline_path.read_text())
     failures = 0
-    for key in ("classify_tables_per_sec", "fused_tables_per_sec"):
+    for key in (
+        "classify_tables_per_sec",
+        "fused_tables_per_sec",
+        "streaming_tables_per_sec",
+    ):
         if key not in baseline or key not in entry:
             continue  # older baseline, or a quality-only entry
         floor = baseline[key] * REGRESSION_FLOOR
@@ -417,6 +534,40 @@ def check_regression(entry: dict, baseline_path: Path) -> int:
             print(
                 f"fused speedup OK: {speedup:.2f}x >= "
                 f"{FUSED_SPEEDUP_FLOOR:.1f}x",
+                file=sys.stderr,
+            )
+    # Streaming gates: the pipelining speedup is a same-run ratio (only
+    # present on multi-core machines), the windowed peak is an absolute
+    # ceiling — bounded memory does not get to drift with the baseline.
+    if "streaming_speedup" in entry:
+        speedup = entry["streaming_speedup"]
+        if speedup < STREAMING_SPEEDUP_FLOOR:
+            print(
+                f"PERF REGRESSION: streaming speedup {speedup:.2f}x fell "
+                f"below the {STREAMING_SPEEDUP_FLOOR:.1f}x floor",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"streaming speedup OK: {speedup:.2f}x >= "
+                f"{STREAMING_SPEEDUP_FLOOR:.1f}x",
+                file=sys.stderr,
+            )
+    if "streaming_peak_rss_mb" in entry:
+        peak = entry["streaming_peak_rss_mb"]
+        if peak > STREAMING_PEAK_RSS_CEILING_MB:
+            print(
+                f"PERF REGRESSION: windowed streaming peaked at "
+                f"{peak:.2f} MB, above the "
+                f"{STREAMING_PEAK_RSS_CEILING_MB:.0f} MB ceiling",
+                file=sys.stderr,
+            )
+            failures += 1
+        else:
+            print(
+                f"streaming memory OK: {peak:.2f} MB <= "
+                f"{STREAMING_PEAK_RSS_CEILING_MB:.0f} MB",
                 file=sys.stderr,
             )
     failures += _check_quality(entry, baseline)
@@ -472,9 +623,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--check",
         action="store_true",
-        help="fail (exit 1) if classify/fused throughput fell >20%% vs "
-        "baseline, or the fused same-run speedup fell below "
-        f"{FUSED_SPEEDUP_FLOOR:.0f}x",
+        help="fail (exit 1) if classify/fused/streaming throughput fell "
+        ">20%% vs baseline, the fused same-run speedup fell below "
+        f"{FUSED_SPEEDUP_FLOOR:.0f}x, the streaming speedup fell below "
+        f"{STREAMING_SPEEDUP_FLOOR:.1f}x, or the windowed peak rose "
+        f"above {STREAMING_PEAK_RSS_CEILING_MB:.0f} MB",
     )
     parser.add_argument(
         "--write-baseline",

@@ -160,15 +160,17 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_fleet_arguments(fleet_cmd, workers_flag=True)
 
     batch = commands.add_parser(
-        "batch", help="bulk-classify files/directories/globs to JSONL"
+        "batch", help="bulk-classify streaming sources to JSONL or a DB sink"
     )
     batch.add_argument(
-        "inputs", nargs="+", help="table files, directories, or glob patterns"
+        "inputs", nargs="+",
+        help="table files, directories, glob patterns, 'sql:db#query', "
+             "'jsonl:path', 'xlsx:path', or '-' for content-sniffed stdin",
     )
     batch.add_argument("--model", required=True, help="saved .npz archive")
     batch.add_argument(
         "--workers", type=int, default=None,
-        help="thread workers (default: CPU count, capped at 8)",
+        help="parse/classify thread workers (default: CPU count, capped)",
     )
     batch.add_argument(
         "--procs", type=int, default=None,
@@ -178,11 +180,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     batch.add_argument(
         "--unordered", action="store_true",
-        help="with --procs: emit records in completion order instead of "
-             "input order (first results sooner, lower peak memory)",
+        help="emit records in completion order instead of input order "
+             "(first results sooner, lower peak memory)",
     )
-    batch.add_argument("--out", help="output JSONL path (default: stdout)")
+    batch.add_argument(
+        "--out",
+        help="output: JSONL path, 'sql:db#table' sink spec, or stdout "
+             "by default",
+    )
     batch.add_argument("--cache-size", type=int, default=4096)
+    batch.add_argument(
+        "--window-rows", type=int, default=None, metavar="K",
+        help="bounded-memory windowed classification for row-streamable "
+             "sources (CSV files, sql: cursors, stdin CSV): classify the "
+             "first/last K rows plus a K-row reservoir body slab and "
+             "stream DATA labels for the rest — tables larger than RAM "
+             "stay classifiable",
+    )
+    batch.add_argument(
+        "--window-cols", type=int, default=None, metavar="K",
+        help="with --window-rows: keep only the leftmost K columns in "
+             "the window",
+    )
+    batch.add_argument(
+        "--no-stream", action="store_true",
+        help="use the legacy parse-all-then-classify path (plain file "
+             "inputs only; no pipelining, windows, or special specs)",
+    )
     batch.add_argument(
         "--trace-out", metavar="PATH",
         help="trace the run and write spans (.jsonl: span lines; "
@@ -300,11 +324,9 @@ def _load_input(spec: str) -> Table:
     from repro.serve.bulk import table_from_path, table_from_text
 
     if spec == "-":
-        text = sys.stdin.read()
-        try:  # stdin carries no suffix: sniff JSON, fall back to CSV
-            return table_from_text(text, suffix=".json", name="stdin")
-        except ValueError:
-            return table_from_text(text, name="stdin")
+        # stdin carries no suffix; table_from_text content-sniffs
+        # (json / jsonl / html / markdown / csv).
+        return table_from_text(sys.stdin.read(), name="stdin")
     return table_from_path(Path(spec))
 
 
@@ -437,6 +459,9 @@ def _cmd_batch(args: argparse.Namespace) -> int:
             cache_capacity=args.cache_size,
             ordered=not args.unordered,
             trace_dir=trace_dir,
+            streaming=not args.no_stream,
+            window_rows=args.window_rows,
+            window_cols=args.window_cols,
         )
 
     try:

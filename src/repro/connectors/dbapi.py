@@ -1,0 +1,179 @@
+"""DB-API batch-cursor connector (``sql:`` specs, stdlib sqlite3).
+
+The flipsmash exemplar in SNIPPETS.md is the shape: open a cursor, pull
+rows in ``fetchmany`` batches, classify, move on — the database never
+hands over more than one batch at a time.  The spec grammar::
+
+    sql:corpus.db                   # every user table in the database
+    sql:corpus.db#measurements      # one named table
+    sql:corpus.db#SELECT a,b FROM t # any query (leading SELECT/WITH)
+
+Each table/query yields one :class:`SourceItem` whose grid is the
+cursor's header row (``cursor.description``) followed by the stringified
+result rows.  For windowed classification, :meth:`DbSource.row_streams`
+exposes the same cursors as :class:`~repro.connectors.window.RowStream`
+objects, so a billion-row table classifies while only ever holding one
+fetch batch plus the window.
+
+``DbSource`` takes any zero-argument DB-API ``connect`` factory; the
+``sql:`` spec wires it to :func:`sqlite3.connect`, the only driver in
+the stdlib.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Callable, Iterator, Sequence
+
+from repro import obs
+from repro.connectors.chunks import SourceItem
+from repro.connectors.sources import TableSource
+from repro.connectors.window import RowStream
+from repro.tables.model import Table
+
+#: Rows pulled per ``fetchmany`` call — the connector's memory unit.
+DEFAULT_BATCH_ROWS = 512
+
+_LIST_TABLES_SQL = (
+    "SELECT name FROM sqlite_master "
+    "WHERE type = 'table' AND name NOT LIKE 'sqlite_%' ORDER BY name"
+)
+
+
+def _quote_ident(name: str) -> str:
+    return '"' + name.replace('"', '""') + '"'
+
+
+def _is_query(fragment: str) -> bool:
+    head = fragment.lstrip().split(None, 1)
+    return bool(head) and head[0].lower() in ("select", "with")
+
+
+def _cell(value: object) -> str:
+    return "" if value is None else str(value)
+
+
+class DbRowStream(RowStream):
+    """Stream header + rows off a DB cursor in ``fetchmany`` batches."""
+
+    def __init__(
+        self,
+        connect: Callable[[], "sqlite3.Connection"],
+        query: str,
+        *,
+        name: str,
+        source: str,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> None:
+        self._connect = connect
+        self._query = query
+        self.name = name
+        self.source = source
+        self.batch_rows = batch_rows
+
+    def rows(self) -> Iterator[Sequence[str]]:
+        connection = self._connect()
+        try:
+            cursor = connection.cursor()
+            cursor.execute(self._query)
+            if cursor.description is not None:
+                yield [column[0] for column in cursor.description]
+            while True:
+                batch = cursor.fetchmany(self.batch_rows)
+                if not batch:
+                    return
+                for row in batch:
+                    yield [_cell(value) for value in row]
+        finally:
+            connection.close()
+
+
+class DbSource(TableSource):
+    """Tables behind a DB-API connection, one item per table/query."""
+
+    def __init__(
+        self,
+        connect: Callable[[], "sqlite3.Connection"],
+        *,
+        queries: Sequence[tuple[str, str]] | None = None,
+        spec: str = "db",
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ) -> None:
+        """``queries`` is ``(name, sql)`` pairs; ``None`` = discover every
+        user table at iteration time (sqlite only)."""
+        self._connect = connect
+        self._queries = list(queries) if queries is not None else None
+        self.spec = spec
+        self.batch_rows = batch_rows
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "DbSource":
+        """Parse ``sql:PATH[#TABLE-OR-QUERY]`` into a sqlite source."""
+        rest = spec[len("sql:"):]
+        path, _, fragment = rest.partition("#")
+        if not path:
+            raise ValueError(f"empty database path in {spec!r}")
+
+        def connect() -> sqlite3.Connection:
+            # A typo'd path must fail, not be created as an empty DB.
+            return sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+
+        queries: list[tuple[str, str]] | None = None
+        if fragment:
+            if _is_query(fragment):
+                queries = [("query", fragment)]
+            else:
+                queries = [
+                    (fragment, f"SELECT * FROM {_quote_ident(fragment)}")
+                ]
+        return cls(connect, queries=queries, spec=spec)
+
+    def _resolved_queries(self) -> list[tuple[str, str]]:
+        if self._queries is not None:
+            return self._queries
+        connection = self._connect()
+        try:
+            names = [
+                row[0]
+                for row in connection.execute(_LIST_TABLES_SQL).fetchall()
+            ]
+        finally:
+            connection.close()
+        return [
+            (name, f"SELECT * FROM {_quote_ident(name)}") for name in names
+        ]
+
+    def items(self) -> Iterator[SourceItem]:
+        try:
+            queries = self._resolved_queries()
+        except Exception as exc:  # noqa: BLE001 - per-source isolation
+            yield SourceItem(source=self.spec, error=str(exc))
+            return
+        for name, sql in queries:
+            source = f"{self.spec}#{name}" if "#" not in self.spec else self.spec
+            stream = DbRowStream(
+                self._connect, sql, name=name, source=source,
+                batch_rows=self.batch_rows,
+            )
+            try:
+                with obs.span("ingest.parse", source=source):
+                    table = Table(
+                        list(stream.rows()), name=name, source=source
+                    )
+            except Exception as exc:  # noqa: BLE001 - per-table isolation
+                yield SourceItem(source=source, error=str(exc))
+                continue
+            yield SourceItem(source=source, table=table)
+
+    def row_streams(self) -> Iterator[RowStream] | None:
+        def generate() -> Iterator[RowStream]:
+            for name, sql in self._resolved_queries():
+                source = (
+                    f"{self.spec}#{name}" if "#" not in self.spec else self.spec
+                )
+                yield DbRowStream(
+                    self._connect, sql, name=name, source=source,
+                    batch_rows=self.batch_rows,
+                )
+
+        return generate()

@@ -1,0 +1,133 @@
+"""Result sinks: where classified records land.
+
+The sink contract is the mirror image of the source protocol and
+deliberately tiny: ``write(record)`` accepts one result document (a
+classified table *or* an isolated ``{"source", "error"}`` record —
+error isolation flows through, never aborts the sink), ``close()``
+flushes and releases, and both compose with ``with``.  ``build_sink``
+speaks the same spec grammar as the sources::
+
+    results.jsonl           # JSONL file (the default shape)
+    sql:results.db#labels   # sqlite table, one row per record
+    -                       # stdout
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import sys
+from pathlib import Path
+from typing import IO
+
+
+class Sink:
+    """Base sink: consume one result record at a time."""
+
+    def write(self, record: dict) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:  # noqa: B027 - optional hook
+        pass
+
+    def __enter__(self) -> "Sink":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class JsonlSink(Sink):
+    """One JSON document per line, to a path or an open text stream."""
+
+    def __init__(self, out: str | Path | IO[str]) -> None:
+        if hasattr(out, "write"):
+            self._stream: IO[str] = out  # type: ignore[assignment]
+            self._owned = False
+        else:
+            self._stream = Path(out).open("w")
+            self._owned = True
+        self.count = 0
+
+    def write(self, record: dict) -> None:
+        self._stream.write(json.dumps(record) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        if self._owned:
+            self._stream.close()
+        else:
+            self._stream.flush()
+
+
+class StdoutSink(JsonlSink):
+    """JSONL to stdout — the ``repro batch`` default."""
+
+    def __init__(self) -> None:
+        super().__init__(sys.stdout)
+
+
+class SqliteSink(Sink):
+    """One row per record in a sqlite table (``sql:PATH#TABLE`` specs).
+
+    Scalar record fields become columns; structured fields (label
+    lists, windowed runs) are stored as JSON text in a ``payload``
+    column, so downstream SQL can filter on shape and depth while the
+    full record stays recoverable.
+    """
+
+    COLUMNS = (
+        ("name", "TEXT"),
+        ("source", "TEXT"),
+        ("n_rows", "INTEGER"),
+        ("n_cols", "INTEGER"),
+        ("hmd_depth", "INTEGER"),
+        ("vmd_depth", "INTEGER"),
+        ("error", "TEXT"),
+        ("payload", "TEXT"),
+    )
+
+    def __init__(self, path: str | Path, table: str = "results") -> None:
+        self.table = table
+        self._connection = sqlite3.connect(str(path))
+        quoted = self._quoted_table()
+        columns = ", ".join(f'"{name}" {kind}' for name, kind in self.COLUMNS)
+        self._connection.execute(
+            f"CREATE TABLE IF NOT EXISTS {quoted} ({columns})"
+        )
+        placeholders = ", ".join("?" for _ in self.COLUMNS)
+        self._insert = f"INSERT INTO {quoted} VALUES ({placeholders})"
+        self.count = 0
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "SqliteSink":
+        rest = spec[len("sql:"):]
+        path, _, table = rest.partition("#")
+        if not path:
+            raise ValueError(f"empty database path in {spec!r}")
+        return cls(path, table or "results")
+
+    def _quoted_table(self) -> str:
+        return '"' + self.table.replace('"', '""') + '"'
+
+    def write(self, record: dict) -> None:
+        scalar_keys = {name for name, _ in self.COLUMNS[:-1]}
+        payload = {k: v for k, v in record.items() if k not in scalar_keys}
+        row = tuple(
+            record.get(name) for name, _ in self.COLUMNS[:-1]
+        ) + (json.dumps(payload, sort_keys=True),)
+        self._connection.execute(self._insert, row)
+        self.count += 1
+
+    def close(self) -> None:
+        self._connection.commit()
+        self._connection.close()
+
+
+def build_sink(spec: str) -> Sink:
+    """Turn an output spec into a sink (JSONL path, ``sql:``, or ``-``)."""
+    if spec == "-":
+        return StdoutSink()
+    if spec.startswith("sql:"):
+        return SqliteSink.from_spec(spec)
+    return JsonlSink(spec)

@@ -1,0 +1,73 @@
+"""Content sniffing for tables that arrive without a file extension.
+
+Extension dispatch fails exactly where streaming ingestion matters most:
+stdin, DB blobs, and extensionless exports.  ``sniff_format`` inspects
+the text itself and returns one of ``"json"``, ``"jsonl"``, ``"html"``,
+``"markdown"``, ``"csv"`` — the same vocabulary the suffix dispatcher in
+:func:`repro.serve.bulk.table_from_text` speaks.
+
+The checks run cheapest-and-most-specific first; CSV is the fallback
+because almost any line-oriented text parses as *some* CSV, so it can
+never be detected, only defaulted to.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+#: How much of the payload the structural probes look at.
+_PROBE_CHARS = 4096
+
+_HTML_MARKERS = ("<table", "<html", "<!doctype html", "<tr", "<thead")
+_MD_SEPARATOR_RE = re.compile(r"^\s*\|?\s*:?-{3,}:?\s*(\|\s*:?-{3,}:?\s*)*\|?\s*$")
+
+
+def _is_json_value(line: str) -> bool:
+    try:
+        json.loads(line)
+    except (ValueError, RecursionError):
+        return False
+    return True
+
+
+def sniff_format(text: str) -> str:
+    """Classify table text as json / jsonl / html / markdown / csv."""
+    stripped = text.lstrip()
+    if not stripped:
+        return "csv"
+    probe = stripped[:_PROBE_CHARS]
+    lowered = probe.lower()
+    if any(marker in lowered for marker in _HTML_MARKERS):
+        return "html"
+    if stripped[0] in "{[":
+        lines = [line for line in stripped.splitlines() if line.strip()]
+        if len(lines) > 1 and all(
+            line.lstrip().startswith(("{", "[")) for line in lines
+        ):
+            # Several JSON documents, one per line: a JSONL stream —
+            # but only if the first line really is a complete document
+            # (a pretty-printed single object also starts every line
+            # with ``{`` only on line one, so this check suffices).
+            if _is_json_value(lines[0]):
+                return "jsonl"
+        if _is_json_value(stripped):
+            return "json"
+        return "csv"
+    # A markdown pipe table needs a separator row under a pipe row.
+    lines = probe.splitlines()
+    for prev, line in zip(lines, lines[1:]):
+        if "|" in prev and _MD_SEPARATOR_RE.match(line):
+            return "markdown"
+    return "csv"
+
+
+def suffix_for(format_name: str) -> str:
+    """The file suffix :func:`repro.serve.bulk.table_from_text` expects."""
+    return {
+        "json": ".json",
+        "jsonl": ".jsonl",
+        "html": ".html",
+        "markdown": ".md",
+        "csv": ".csv",
+    }[format_name]

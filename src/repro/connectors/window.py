@@ -1,0 +1,319 @@
+"""Windowed classification: bounded-memory labels for huge tables.
+
+A table larger than RAM cannot take the in-memory path, but its
+*metadata frontier* — the structure the classifier actually decides on —
+lives almost entirely at the edges: header rows on top, footers and
+totals at the bottom, and a body whose levels are data.  The windowed
+path therefore classifies a bounded **window** of the row stream:
+
+* the first ``head_rows`` rows (where HMD lives),
+* the last ``tail_rows`` rows (footnotes, totals),
+* a seeded reservoir sample of ``sample_rows`` body rows (evidence that
+  the body really is data, and the VMD signal down the left columns),
+
+optionally truncated to the leftmost ``max_cols`` columns.  Peak memory
+is the window, never the table.  The window classifies as one ordinary
+grid; window rows carry their classified labels back at their original
+indices and every unseen body row streams a ``DATA`` label, emitted as
+run-length ``[start, stop, label]`` runs so the output stays bounded
+too.
+
+When the stream ends before anything was dropped — every row fits the
+window and no column was truncated — the window *is* the table and the
+result is byte-identical to the in-memory path (the equivalence tests
+pin this).
+"""
+
+from __future__ import annotations
+
+import csv
+import random
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, IO, Iterator, Sequence
+
+from repro import obs
+from repro.tables.labels import TableAnnotation
+from repro.tables.model import Table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.pipeline import MetadataPipeline
+
+
+class RowStream:
+    """A named, iterate-once stream of table rows.
+
+    The windowed path's input protocol: anything that can hand out rows
+    one at a time without materializing the grid (CSV files, DB-API
+    cursors, stdin) wraps itself in one of these.
+    """
+
+    name: str = ""
+    source: str = ""
+
+    def rows(self) -> Iterator[Sequence[str]]:
+        raise NotImplementedError
+
+
+class CsvRowStream(RowStream):
+    """Stream rows out of a CSV file without reading it whole."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.name = self.path.stem
+        self.source = str(path)
+
+    def rows(self) -> Iterator[Sequence[str]]:
+        with self.path.open(encoding="utf-8", errors="replace", newline="") as f:
+            yield from csv.reader(f)
+
+
+class TextCsvRowStream(RowStream):
+    """Stream rows out of an already-open text stream (stdin)."""
+
+    def __init__(self, stream: IO[str], *, name: str = "stdin") -> None:
+        self._stream = stream
+        self.name = name
+        self.source = name
+
+    def rows(self) -> Iterator[Sequence[str]]:
+        yield from csv.reader(self._stream)
+
+
+class ListRowStream(RowStream):
+    """Rows already in memory (tests and the DB connector's fallback)."""
+
+    def __init__(
+        self, rows: Sequence[Sequence[str]], *, name: str = "", source: str = ""
+    ) -> None:
+        self._rows = rows
+        self.name = name
+        self.source = source or name
+
+    def rows(self) -> Iterator[Sequence[str]]:
+        return iter(self._rows)
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Row/column budget of the classification window.
+
+    ``from_budget`` maps the CLI's ``--window-rows K`` to ``head = tail
+    = sample = K`` (first K, last K, K-row body slab — peak memory is
+    ~3K rows), and ``--window-cols`` to the leftmost-column cap.
+    ``seed`` drives the body reservoir, so a rerun samples the same
+    rows.
+    """
+
+    head_rows: int = 64
+    tail_rows: int = 64
+    sample_rows: int = 64
+    max_cols: int | None = None
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.head_rows < 1:
+            raise ValueError("head_rows must be >= 1")
+        if self.tail_rows < 0 or self.sample_rows < 0:
+            raise ValueError("tail/sample row budgets cannot be negative")
+        if self.max_cols is not None and self.max_cols < 1:
+            raise ValueError("max_cols must be >= 1 when set")
+
+    @classmethod
+    def from_budget(
+        cls,
+        window_rows: int,
+        window_cols: int | None = None,
+        *,
+        seed: int = 0,
+    ) -> "WindowConfig":
+        if window_rows < 1:
+            raise ValueError("--window-rows must be >= 1")
+        return cls(
+            head_rows=window_rows,
+            tail_rows=window_rows,
+            sample_rows=window_rows,
+            max_cols=window_cols,
+            seed=seed,
+        )
+
+
+@dataclass(frozen=True)
+class WindowPlan:
+    """A classified-ready window plus the bookkeeping to map it back.
+
+    ``window`` is the bounded grid to classify; ``row_indices[i]`` is the
+    original position of window row ``i``; ``exact`` means the window is
+    the whole table (no row dropped, no column truncated).
+    """
+
+    window: Table
+    row_indices: tuple[int, ...]
+    total_rows: int
+    total_cols: int
+    sampled_rows: int
+    exact: bool
+    truncated_cols: bool
+    source: str
+
+
+def build_window(stream: RowStream, config: WindowConfig) -> WindowPlan:
+    """One pass over the stream: head + tail ring + body reservoir."""
+    rng = random.Random(config.seed)
+    head: list[tuple[int, Sequence[str]]] = []
+    tail: deque[tuple[int, Sequence[str]]] = deque(
+        maxlen=max(1, config.tail_rows)
+    )
+    reservoir: list[tuple[int, Sequence[str]]] = []
+    total_cols = 0
+    truncated = False
+    dropped = False
+    body_seen = 0
+    n_rows = 0
+
+    with obs.span("ingest.read", source=stream.source, windowed=True):
+        for i, raw in enumerate(stream.rows()):
+            n_rows += 1
+            total_cols = max(total_cols, len(raw))
+            row: Sequence[str] = raw
+            if config.max_cols is not None and len(raw) > config.max_cols:
+                row = list(raw)[: config.max_cols]
+                truncated = True
+            if len(head) < config.head_rows:
+                head.append((i, row))
+                continue
+            if config.tail_rows == 0:
+                evicted: tuple[int, Sequence[str]] | None = (i, row)
+            elif len(tail) == config.tail_rows:
+                evicted = tail.popleft()
+                tail.append((i, row))
+            else:
+                tail.append((i, row))
+                evicted = None
+            if evicted is None:
+                continue
+            # The evicted row can never re-enter the tail: it is a body
+            # row, and body rows reservoir-sample (Algorithm R).
+            body_seen += 1
+            if len(reservoir) < config.sample_rows:
+                reservoir.append(evicted)
+            else:
+                dropped = True
+                j = rng.randrange(body_seen)
+                if j < config.sample_rows:
+                    reservoir[j] = evicted
+
+    reservoir.sort(key=lambda entry: entry[0])
+    tail_rows = list(tail) if config.tail_rows > 0 else []
+    selected = head + reservoir + tail_rows
+    indices = tuple(i for i, _ in selected)
+    window = Table([row for _, row in selected], name=stream.name)
+    exact = not dropped and not truncated and len(indices) == n_rows
+    return WindowPlan(
+        window=window,
+        row_indices=indices,
+        total_rows=n_rows,
+        total_cols=total_cols,
+        sampled_rows=len(reservoir),
+        exact=exact,
+        truncated_cols=truncated,
+        source=stream.source,
+    )
+
+
+def label_runs(
+    indices: Sequence[int], labels: Sequence[str], total: int
+) -> list[list[object]]:
+    """Run-length encode full-axis labels from the window's slice.
+
+    ``indices``/``labels`` cover the window positions; every other
+    position is ``DATA``.  Returns ``[start, stop, label]`` half-open
+    runs covering ``[0, total)`` — bounded by the window size, not the
+    table, which is what lets a 10M-row result stay a few hundred bytes.
+    """
+    runs: list[list[object]] = []
+
+    def emit(start: int, stop: int, label: str) -> None:
+        if stop <= start:
+            return
+        if runs and runs[-1][2] == label and runs[-1][1] == start:
+            runs[-1][1] = stop
+        else:
+            runs.append([start, stop, label])
+
+    cursor = 0
+    for index, label in zip(indices, labels):
+        emit(cursor, index, "DATA")
+        emit(index, index + 1, label)
+        cursor = index + 1
+    emit(cursor, total, "DATA")
+    return runs
+
+
+def windowed_record(
+    plan: WindowPlan, annotation: TableAnnotation, *, model: str = ""
+) -> dict:
+    """The one-per-table JSON document of the windowed path.
+
+    Mirrors :func:`repro.serve.bulk.result_record` where the in-memory
+    path has an equivalent field, and adds the window evidence: which
+    rows were classified, what they were labeled, and run-length label
+    runs covering the full (never materialized) table.
+    """
+    row_labels = [str(label) for label in annotation.row_labels]
+    col_labels = [str(label) for label in annotation.col_labels]
+    record: dict = {
+        "name": plan.window.name,
+        "n_rows": plan.total_rows,
+        "n_cols": plan.total_cols,
+        "hmd_depth": annotation.hmd_depth,
+        "vmd_depth": annotation.vmd_depth,
+        "windowed": True,
+        "window_exact": plan.exact,
+        "window_rows": len(plan.row_indices),
+        "sampled_body_rows": plan.sampled_rows,
+        "row_label_runs": label_runs(
+            plan.row_indices, row_labels, plan.total_rows
+        ),
+        "col_label_runs": label_runs(
+            range(len(col_labels)), col_labels, plan.total_cols
+        ),
+        "window_row_labels": [
+            [index, label]
+            for index, label in zip(plan.row_indices, row_labels)
+        ],
+        "source": plan.source,
+    }
+    if model:
+        record["model"] = model
+    return record
+
+
+@dataclass(frozen=True)
+class WindowedResult:
+    """What :func:`classify_windowed` hands back.
+
+    ``annotation`` is the *window* annotation; when ``record["window_exact"]``
+    is true it is also the exact full-table annotation, byte-identical
+    to what the in-memory path would produce.
+    """
+
+    record: dict
+    annotation: TableAnnotation
+
+
+def classify_windowed(
+    pipeline: "MetadataPipeline",
+    stream: RowStream,
+    config: WindowConfig,
+    *,
+    model: str = "",
+) -> WindowedResult:
+    """Stream, window, classify — without ever holding the full grid."""
+    plan = build_window(stream, config)
+    annotation = pipeline.classify(plan.window)
+    return WindowedResult(
+        record=windowed_record(plan, annotation, model=model),
+        annotation=annotation,
+    )

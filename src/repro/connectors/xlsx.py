@@ -1,0 +1,160 @@
+"""xlsx workbooks through stdlib ``zipfile`` + ``xml.etree`` only.
+
+An ``.xlsx`` file is a zip of XML parts; the subset a table classifier
+needs is tiny: the sheet list from ``xl/workbook.xml`` (resolved through
+the workbook relationships so renamed sheet parts still load), the
+shared-string pool, and each sheet's ``<row>``/``<c>`` grid.  Cells
+carry their ``A1``-style reference, so sparse rows land in the right
+columns and skipped rows stay as blank levels — blanks are meaningful
+in generally structured tables and must survive ingestion.
+
+One workbook yields one :class:`~repro.connectors.chunks.SourceItem`
+per sheet (``book.xlsx!Sheet1``); a malformed sheet is one error item,
+never a failed workbook, and a malformed zip is one error item, never a
+failed run.
+"""
+
+from __future__ import annotations
+
+import zipfile
+from pathlib import Path
+from typing import Iterator
+from xml.etree import ElementTree
+
+from repro import obs
+from repro.connectors.chunks import SourceItem
+from repro.connectors.sources import TableSource
+from repro.tables.model import Table
+
+_MAIN_NS = "http://schemas.openxmlformats.org/spreadsheetml/2006/main"
+_REL_NS = (
+    "http://schemas.openxmlformats.org/officeDocument/2006/relationships"
+)
+_PKG_REL_NS = "http://schemas.openxmlformats.org/package/2006/relationships"
+
+
+def column_index(ref: str) -> int | None:
+    """0-based column of an ``A1``-style cell reference (``"BA7"`` -> 52)."""
+    n = 0
+    for ch in ref:
+        if ch.isalpha():
+            n = n * 26 + (ord(ch.upper()) - ord("A") + 1)
+        else:
+            break
+    return n - 1 if n else None
+
+
+def _shared_strings(archive: zipfile.ZipFile) -> list[str]:
+    try:
+        data = archive.read("xl/sharedStrings.xml")
+    except KeyError:
+        return []
+    root = ElementTree.fromstring(data)
+    strings = []
+    for si in root.iter(f"{{{_MAIN_NS}}}si"):
+        # Either one <t> or several rich-text runs <r><t>; iter() gets
+        # every text node of the item either way.
+        strings.append("".join(t.text or "" for t in si.iter(f"{{{_MAIN_NS}}}t")))
+    return strings
+
+
+def _sheet_parts(archive: zipfile.ZipFile) -> list[tuple[str, str]]:
+    """``(sheet name, archive member)`` pairs in workbook order."""
+    rels: dict[str, str] = {}
+    try:
+        rel_root = ElementTree.fromstring(
+            archive.read("xl/_rels/workbook.xml.rels")
+        )
+    except KeyError:
+        rel_root = None
+    if rel_root is not None:
+        for rel in rel_root.iter(f"{{{_PKG_REL_NS}}}Relationship"):
+            target = rel.get("Target", "")
+            if target.startswith("/"):
+                target = target.lstrip("/")
+            else:
+                target = f"xl/{target}"
+            rels[rel.get("Id", "")] = target
+    book = ElementTree.fromstring(archive.read("xl/workbook.xml"))
+    parts = []
+    for i, sheet in enumerate(book.iter(f"{{{_MAIN_NS}}}sheet"), start=1):
+        name = sheet.get("name", f"Sheet{i}")
+        rel_id = sheet.get(f"{{{_REL_NS}}}id", "")
+        member = rels.get(rel_id, f"xl/worksheets/sheet{i}.xml")
+        parts.append((name, member))
+    return parts
+
+
+def _cell_value(cell: ElementTree.Element, strings: list[str]) -> str:
+    kind = cell.get("t", "n")
+    if kind == "inlineStr":
+        node = cell.find(f"{{{_MAIN_NS}}}is")
+        if node is None:
+            return ""
+        return "".join(t.text or "" for t in node.iter(f"{{{_MAIN_NS}}}t"))
+    value = cell.findtext(f"{{{_MAIN_NS}}}v", default="")
+    if kind == "s":
+        try:
+            return strings[int(value)]
+        except (ValueError, IndexError):
+            return value
+    if kind == "b":
+        return "TRUE" if value.strip() == "1" else "FALSE"
+    return value
+
+
+def _sheet_rows(data: bytes, strings: list[str]) -> list[list[str]]:
+    root = ElementTree.fromstring(data)
+    rows: list[list[str]] = []
+    for row_el in root.iter(f"{{{_MAIN_NS}}}row"):
+        # Honor the declared row number so skipped rows stay blank.
+        declared = row_el.get("r")
+        if declared is not None and declared.isdigit():
+            while len(rows) < int(declared) - 1:
+                rows.append([])
+        cells: list[str] = []
+        for cell in row_el.iter(f"{{{_MAIN_NS}}}c"):
+            col = column_index(cell.get("r", ""))
+            if col is None:
+                col = len(cells)
+            while len(cells) <= col:
+                cells.append("")
+            cells[col] = _cell_value(cell, strings)
+        rows.append(cells)
+    # Trailing fully-blank rows are xlsx formatting residue, not levels.
+    while rows and not any(cell for cell in rows[-1]):
+        rows.pop()
+    return rows
+
+
+class XlsxSource(TableSource):
+    """One table per worksheet of an ``.xlsx`` workbook."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+        self.spec = str(path)
+
+    def items(self) -> Iterator[SourceItem]:
+        try:
+            with obs.span("ingest.read", source=self.spec):
+                archive = zipfile.ZipFile(self.path)
+        except (OSError, zipfile.BadZipFile) as exc:
+            yield SourceItem(source=self.spec, error=str(exc))
+            return
+        with archive:
+            try:
+                strings = _shared_strings(archive)
+                parts = _sheet_parts(archive)
+            except Exception as exc:  # noqa: BLE001 - per-source isolation
+                yield SourceItem(source=self.spec, error=str(exc))
+                return
+            for name, member in parts:
+                source = f"{self.spec}!{name}"
+                try:
+                    with obs.span("ingest.parse", source=source):
+                        rows = _sheet_rows(archive.read(member), strings)
+                        table = Table(rows, name=name, source=source)
+                except Exception as exc:  # noqa: BLE001 - per-sheet isolation
+                    yield SourceItem(source=source, error=str(exc))
+                    continue
+                yield SourceItem(source=source, table=table)

@@ -237,6 +237,30 @@ def classify_tables_chunk(
     }
 
 
+def classify_stream_chunk(model: str, items: Sequence[Any]) -> dict:
+    """Classify one streaming :class:`TableChunk`'s items (``--procs``).
+
+    ``items`` is the chunk's pickled
+    :class:`~repro.connectors.chunks.SourceItem` sequence; the shared
+    chunk classifier (:func:`repro.connectors.pipelined.classify_chunk_items`)
+    keeps the record shapes — including windowed records and isolated
+    error records — identical to the in-process consumer's.
+    """
+    from repro.connectors.pipelined import classify_chunk_items
+
+    resolved, pipeline = _resolve(model)
+    stages = _StageTotals()
+    pipeline.add_stage_hook(stages)
+    try:
+        records = classify_chunk_items(
+            pipeline, items, _CACHE, model=resolved
+        )
+    finally:
+        pipeline.remove_stage_hook(stages)
+        _flush_spans()
+    return {"records": records, "stages": stages.as_dict()}
+
+
 def probe_models() -> dict:
     """Report how this worker's model arrays are backed (tests, debug)."""
     import numpy as np

@@ -207,6 +207,39 @@ class ShardedPool:
         else:
             outer.set_result(value)
 
+    def submit_tables(
+        self, items: Sequence, *, model: str = ""
+    ) -> Future:
+        """Submit one streaming chunk's ``SourceItem``s as a fused shard.
+
+        Returns a Future of the chunk's record list (one record per
+        item, error items included); per-stage timings merge into
+        :meth:`drain_stage_totals` like every other chunk path.  This is
+        the process-pool classify stage of
+        :func:`repro.connectors.pipelined.run_streaming_pool`.
+        """
+        inner = self._executor.submit(
+            _worker.classify_stream_chunk, model, list(items)
+        )
+        outer: Future = Future()
+        inner.add_done_callback(
+            lambda f: self._complete_stream_chunk(f, outer)
+        )
+        return outer
+
+    def _complete_stream_chunk(self, inner: Future, outer: Future) -> None:
+        if outer.cancelled():
+            return
+        exc = inner.exception()
+        if exc is not None:
+            if isinstance(exc, BrokenProcessPool):
+                exc = WorkerPoolError("a worker process died")
+            outer.set_exception(exc)
+            return
+        payload = inner.result()
+        self._merge_stages(payload["stages"])
+        outer.set_result(payload["records"])
+
     def map(self, items: Sequence[tuple]) -> list:
         """Submit every item, block until all complete, return in order."""
         futures = [self.submit(item) for item in items]

@@ -34,7 +34,7 @@ TABLE_SUFFIXES = (".csv", ".json", ".md", ".markdown", ".html", ".htm")
 
 
 def table_from_path(path: str | Path) -> Table:
-    """Load a table file by suffix: ``.json``/``.md``/``.html``, else CSV."""
+    """Load a table file: known suffixes dispatch, the rest content-sniff."""
     path = Path(path)
     # Real-world table corpora mix encodings (agency portals love
     # latin-1); replacing undecodable bytes costs one mojibake cell,
@@ -43,12 +43,59 @@ def table_from_path(path: str | Path) -> Table:
     return table_from_text(text, suffix=path.suffix.lower(), name=path.stem)
 
 
+def _table_from_jsonl(text: str, *, name: str = "") -> Table:
+    """One table out of NDJSON text: a row per line.
+
+    Array lines are cell rows; object lines are records whose keys
+    become the (first line's) header.  Rejections are ``ValueError`` —
+    the fuzzer's parse contract.
+    """
+    rows: list[list[object]] = []
+    header: list[str] | None = None
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            value = json.loads(line)
+        except ValueError as exc:
+            raise ValueError(f"line {i} is not JSON: {exc}") from exc
+        if isinstance(value, list):
+            rows.append(value)
+        elif isinstance(value, dict):
+            if header is None:
+                header = [str(k) for k in value]
+                rows.append(list(header))
+            rows.append([value.get(k, "") for k in header])
+        else:
+            raise ValueError(
+                f"line {i}: JSONL rows must be arrays or objects"
+            )
+    if not rows:
+        raise ValueError("no rows in JSONL text")
+    return Table(rows, name=name)
+
+
 def table_from_text(text: str, *, suffix: str = "", name: str = "") -> Table:
-    """Parse table text; JSON/markdown/HTML by suffix, CSV otherwise."""
+    """Parse table text: known suffixes dispatch, the rest content-sniff.
+
+    Extension-only dispatch fails exactly where ingestion matters most —
+    stdin and extensionless paths — so an unrecognized ``suffix`` routes
+    through :func:`repro.connectors.sniff.sniff_format` instead of being
+    force-fed to the CSV parser.
+    """
+    if suffix not in (
+        ".json", ".jsonl", ".ndjson", ".md", ".markdown", ".html", ".htm",
+        ".csv",
+    ):
+        from repro.connectors.sniff import sniff_format, suffix_for
+
+        suffix = suffix_for(sniff_format(text))
     if suffix == ".json":
         from repro.tables.jsonio import table_from_json
 
         return table_from_json(text)
+    if suffix in (".jsonl", ".ndjson"):
+        return _table_from_jsonl(text, name=name)
     if suffix in (".md", ".markdown"):
         from repro.tables.markdown import table_from_markdown
 
@@ -95,11 +142,20 @@ def iter_table_paths(specs: Sequence[str | Path]) -> list[Path]:
                     out.extend(_dir_table_files(match))
                 elif match.is_file():
                     out.append(match)
+    # Dedupe by *resolved* path: overlapping globs and dir arguments
+    # reach the same file through different spellings (``tables/a.csv``
+    # vs ``./tables//a.csv`` vs a symlink), and raw Path equality used
+    # to emit such a table once per spelling.  Order-stable: first
+    # occurrence wins.
     seen: set[Path] = set()
     unique = []
     for p in out:
-        if p not in seen:
-            seen.add(p)
+        try:
+            key = p.resolve()
+        except OSError:  # unresolvable (racing unlink): literal fallback
+            key = p
+        if key not in seen:
+            seen.add(key)
             unique.append(p)
     return unique
 
@@ -339,24 +395,83 @@ def run_bulk(
     cache_capacity: int = 4096,
     ordered: bool = True,
     trace_dir: str | Path | None = None,
+    streaming: bool = True,
+    window_rows: int | None = None,
+    window_cols: int | None = None,
+    metrics: ServiceMetrics | None = None,
 ) -> list[dict]:
     """The ``repro batch`` entry point: load once, classify many.
 
-    ``workers`` sizes the in-process thread pool (``None`` = CPU-aware
-    default).  ``procs`` switches to the multiprocess path: the model is
-    loaded once per worker process (memory-mapped when ``model_path`` is
-    a directory store) and file shards classify truly concurrently.
-    ``ordered=False`` streams records as chunks finish instead of in
-    input order.  ``trace_dir`` (procs only) collects per-worker span
-    files for :func:`repro.parallel.traces.merge_traces`.
+    The default path is the pipelined streaming plane
+    (:mod:`repro.connectors`): parse threads feed the fused classify
+    stage through a backpressured bounded queue, inputs may be files,
+    dirs, globs, ``sql:``/``jsonl:``/``xlsx:`` specs, or ``-`` (stdin,
+    content-sniffed), and ``out`` may be a JSONL path or a
+    ``sql:db#table`` sink spec.  ``window_rows``/``window_cols`` switch
+    row-streamable sources (CSV files, DB cursors, stdin CSV) to
+    bounded-memory windowed classification.  ``streaming=False`` takes
+    the legacy parse-all-then-classify path (plain file inputs only).
+
+    ``workers`` sizes the parse/classify thread pool (``None`` =
+    CPU-aware default).  ``procs`` switches the classify stage to worker
+    processes: the model is loaded once per worker (memory-mapped when
+    ``model_path`` is a directory store) and chunks classify truly
+    concurrently.  ``ordered=False`` emits records as chunks finish
+    instead of in input order.  ``trace_dir`` (procs only) collects
+    per-worker span files for :func:`repro.parallel.traces.merge_traces`.
     """
     from repro.core.persistence import load_pipeline
 
+    name = Path(model_path).stem
+    window = None
+    if window_rows is not None or window_cols is not None:
+        from repro.connectors.window import WindowConfig
+
+        window = WindowConfig.from_budget(window_rows or 64, window_cols)
+    if streaming:
+        from repro.connectors.pipelined import run_streaming, run_streaming_pool
+        from repro.connectors.sinks import build_sink
+        from repro.connectors.sources import build_sources
+
+        sources = build_sources(inputs)
+        sink = build_sink(str(out)) if out is not None else build_sink("-")
+        try:
+            if procs is not None:
+                from repro.parallel import ShardedPool
+
+                with ShardedPool(
+                    {name: model_path}, procs=procs, default=name,
+                    cache_capacity=cache_capacity, trace_dir=trace_dir,
+                ) as pool:
+                    logger.info(
+                        "streaming %d sources onto %d processes",
+                        len(sources), pool.procs,
+                    )
+                    records = run_streaming_pool(
+                        pool, sources, model=name, parse_workers=workers,
+                        window=window, metrics=metrics, ordered=ordered,
+                        sink=sink,
+                    )
+                    if metrics is not None:
+                        metrics.merge_stage_totals(pool.drain_stage_totals())
+            else:
+                pipeline = load_pipeline(model_path)
+                cache = LRUCache(cache_capacity) if cache_capacity else None
+                logger.info("streaming %d sources", len(sources))
+                records = run_streaming(
+                    pipeline, sources, cache=cache, model=name,
+                    parse_workers=workers, window=window, metrics=metrics,
+                    ordered=ordered, sink=sink,
+                )
+        finally:
+            sink.close()
+        return records
+    if window is not None:
+        raise ValueError("windowed classification requires streaming mode")
     paths = iter_table_paths(inputs)
     if procs is not None:
         from repro.parallel import ShardedPool
 
-        name = Path(model_path).stem
         records = []
         with ShardedPool(
             {name: model_path}, procs=procs, default=name,
@@ -371,8 +486,7 @@ def run_bulk(
         pipeline = load_pipeline(model_path)
         cache = LRUCache(cache_capacity) if cache_capacity else None
         records = classify_paths(
-            pipeline, paths, workers=workers, cache=cache,
-            model=Path(model_path).stem,
+            pipeline, paths, workers=workers, cache=cache, model=name,
         )
     if out is not None:
         write_jsonl(records, out)

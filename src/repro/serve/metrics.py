@@ -89,6 +89,7 @@ class ServiceMetrics:
         self._counters: dict[_CounterKey, float] = {}  # guarded-by: _lock
         self._stage_sum: dict[str, float] = {}  # guarded-by: _lock
         self._stage_count: dict[str, int] = {}  # guarded-by: _lock
+        self._gauges: dict[str, float] = {}  # guarded-by: _lock
         self.latency = LatencyRing(ring_size)
 
     # ------------------------------------------------------------------
@@ -103,6 +104,15 @@ class ServiceMetrics:
         key = (name, tuple(sorted(labels.items())))
         with self._lock:
             return self._counters.get(key, 0.0)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set a last-value-wins gauge (e.g. the ingest queue depth)."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def gauge(self, name: str, default: float = 0.0) -> float:
+        with self._lock:
+            return self._gauges.get(name, default)
 
     def observe_stage(self, stage: str, seconds: float) -> None:
         """Pipeline ``stage_hook`` adapter — accumulate per-stage time."""
@@ -181,10 +191,16 @@ class ServiceMetrics:
         ``repro_fleet_worker_up{worker="0"}`` series), each rendered
         under a single ``# TYPE`` header.
         """
+        with self._lock:
+            gauges = dict(self._gauges)
         lines: list[str] = []
         lines.extend(self._counter_lines())
         lines.extend(self._stage_lines())
         lines.extend(self._latency_lines())
+        for name, value in sorted(gauges.items()):
+            full = f"{_NAMESPACE}_{name}"
+            lines.append(f"# TYPE {full} gauge")
+            lines.append(f"{full} {value:g}")
         for name, value in sorted((extra or {}).items()):
             full = f"{_NAMESPACE}_{name}"
             lines.append(f"# TYPE {full} gauge")

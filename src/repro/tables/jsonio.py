@@ -26,13 +26,19 @@ def table_to_json(table: Table) -> str:
 
 
 def table_from_json(text: str) -> Table:
-    """Parse a CORD-19-style JSON table object.
+    """Parse a CORD-19-style JSON table object, or a bare grid.
 
-    Structurally wrong payloads (``rows`` not a list of lists) raise
-    :class:`ValueError`, not the ``TypeError`` the :class:`Table`
-    constructor would emit when asked to iterate an int.
+    A top-level JSON array of cell lists (``json.dump(rows)``, the
+    shape single-line streamed exports arrive in) is accepted as the
+    grid itself.  Structurally wrong payloads (``rows`` not a list of
+    lists) raise :class:`ValueError`, not the ``TypeError`` the
+    :class:`Table` constructor would emit when asked to iterate an int.
     """
     payload = json.loads(text)
+    if isinstance(payload, list):
+        if any(not isinstance(row, (list, tuple)) for row in payload):
+            raise ValueError("a JSON array table must be a list of cell lists")
+        return Table(payload)
     if not isinstance(payload, dict) or "rows" not in payload:
         raise ValueError("expected a JSON object with a 'rows' field")
     rows = payload["rows"]

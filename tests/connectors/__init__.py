@@ -1,0 +1,1 @@
+"""Streaming connectors test package."""

@@ -1,0 +1,97 @@
+"""Chunk protocol tests: items, ordering keys, the backpressured queue."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.connectors.chunks import ChunkQueue, SourceItem, TableChunk
+from repro.serve.metrics import ServiceMetrics
+from repro.tables.model import Table
+
+
+def _item(n: int = 0) -> SourceItem:
+    return SourceItem(source=f"s{n}", table=Table([["a"], ["1"]]))
+
+
+class TestSourceItem:
+    def test_table_xor_error(self):
+        with pytest.raises(ValueError):
+            SourceItem(source="s")
+        with pytest.raises(ValueError):
+            SourceItem(source="s", table=Table([["a"]]), error="boom")
+
+    def test_error_item(self):
+        item = SourceItem(source="s", error="bad parse")
+        assert item.table is None
+
+
+class TestTableChunk:
+    def test_tables_excludes_errors(self):
+        chunk = TableChunk(
+            rank=0, index=0,
+            items=(_item(), SourceItem(source="e", error="x"), _item(1)),
+        )
+        assert len(chunk) == 3
+        assert len(chunk.tables) == 2
+
+
+class TestChunkQueue:
+    def test_iteration_ends_when_all_producers_done(self):
+        q = ChunkQueue(capacity=4)
+        q.add_producer()
+        q.add_producer()
+        q.put(TableChunk(rank=0, index=0, items=(_item(),)))
+        q.producer_done()
+        q.put(TableChunk(rank=1, index=0, items=(_item(),)))
+        q.producer_done()
+        assert len(list(q)) == 2
+
+    def test_put_blocks_at_capacity_and_counts_backpressure(self):
+        metrics = ServiceMetrics()
+        q = ChunkQueue(capacity=1, metrics=metrics)
+        q.add_producer()
+        q.put(TableChunk(rank=0, index=0, items=(_item(),)))
+        blocked_done = threading.Event()
+
+        def producer():
+            q.put(TableChunk(rank=0, index=1, items=(_item(),)))
+            q.producer_done()
+            blocked_done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        time.sleep(0.05)
+        # The second put is blocked: the queue held it back.
+        assert not blocked_done.is_set()
+        assert metrics.counter("ingest_backpressure_waits_total") >= 1
+        seen = list(q)
+        thread.join(timeout=5)
+        assert blocked_done.is_set()
+        assert [c.index for c in seen] == [0, 1]
+
+    def test_queue_depth_gauge(self):
+        metrics = ServiceMetrics()
+        q = ChunkQueue(capacity=4, metrics=metrics)
+        q.add_producer()
+        q.put(TableChunk(rank=0, index=0, items=(_item(),)))
+        q.put(TableChunk(rank=0, index=1, items=(_item(),)))
+        assert metrics.gauge("ingest_queue_depth") == 2.0
+        assert "repro_ingest_queue_depth 2" in metrics.render()
+        q.producer_done()
+        list(q)
+        assert metrics.gauge("ingest_queue_depth") <= 1.0
+
+    def test_producer_done_without_add_raises(self):
+        q = ChunkQueue()
+        with pytest.raises(RuntimeError):
+            q.producer_done()
+
+    def test_closed_queue_rejects_new_producers(self):
+        q = ChunkQueue()
+        q.add_producer()
+        q.producer_done()
+        with pytest.raises(RuntimeError):
+            q.add_producer()

@@ -1,0 +1,90 @@
+"""DB-API connector tests: spec grammar, batch cursors, row streams."""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro.connectors.dbapi import DbRowStream, DbSource
+
+
+@pytest.fixture
+def db(tmp_path):
+    path = tmp_path / "corpus.db"
+    conn = sqlite3.connect(path)
+    conn.execute("CREATE TABLE measurements (name TEXT, value INT)")
+    conn.executemany(
+        "INSERT INTO measurements VALUES (?, ?)",
+        [(f"m{i}", i) for i in range(10)],
+    )
+    conn.execute("CREATE TABLE empty_notes (body TEXT)")
+    conn.commit()
+    conn.close()
+    return path
+
+
+class TestFromSpec:
+    def test_table_fragment(self, db):
+        source = DbSource.from_spec(f"sql:{db}#measurements")
+        items = list(source.items())
+        assert len(items) == 1
+        table = items[0].table
+        assert table.rows[0] == ("name", "value")
+        assert table.n_rows == 11
+        assert table.name == "measurements"
+
+    def test_query_fragment(self, db):
+        source = DbSource.from_spec(
+            f"sql:{db}#SELECT name FROM measurements WHERE value < 3"
+        )
+        table = next(source.items()).table
+        assert table.rows == (("name",), ("m0",), ("m1",), ("m2",))
+
+    def test_no_fragment_discovers_all_tables(self, db):
+        source = DbSource.from_spec(f"sql:{db}")
+        names = [item.table.name for item in source.items()]
+        assert names == ["empty_notes", "measurements"]
+
+    def test_missing_db_is_one_error_item(self, tmp_path):
+        source = DbSource.from_spec(f"sql:{tmp_path / 'absent.db'}#t")
+        items = list(source.items())
+        assert len(items) == 1 and items[0].error is not None
+        # And the typo'd path was NOT created as an empty database.
+        assert not (tmp_path / "absent.db").exists()
+
+    def test_empty_path_raises(self):
+        with pytest.raises(ValueError):
+            DbSource.from_spec("sql:#t")
+
+    def test_null_cells_become_blank(self, db):
+        conn = sqlite3.connect(db)
+        conn.execute("INSERT INTO measurements VALUES (NULL, NULL)")
+        conn.commit()
+        conn.close()
+        table = next(
+            DbSource.from_spec(f"sql:{db}#measurements").items()
+        ).table
+        assert table.rows[-1] == ("", "")
+
+
+class TestDbRowStream:
+    def test_fetchmany_batches(self, db):
+        stream = DbRowStream(
+            lambda: sqlite3.connect(db),
+            "SELECT * FROM measurements",
+            name="measurements",
+            source="t",
+            batch_rows=3,
+        )
+        rows = list(stream.rows())
+        assert rows[0] == ["name", "value"]
+        assert len(rows) == 11
+
+    def test_row_streams_surface(self, db):
+        source = DbSource.from_spec(f"sql:{db}#measurements")
+        streams = source.row_streams()
+        assert streams is not None
+        stream = next(iter(streams))
+        assert stream.name == "measurements"
+        assert len(list(stream.rows())) == 11

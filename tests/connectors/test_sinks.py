@@ -1,0 +1,111 @@
+"""Sink tests: JSONL, sqlite, and the spec dispatcher."""
+
+from __future__ import annotations
+
+import io
+import json
+import sqlite3
+
+import pytest
+
+from repro.connectors.sinks import (
+    JsonlSink,
+    SqliteSink,
+    StdoutSink,
+    build_sink,
+)
+
+
+RECORD = {
+    "name": "t1",
+    "source": "t1.csv",
+    "n_rows": 4,
+    "n_cols": 2,
+    "hmd_depth": 1,
+    "vmd_depth": 0,
+    "row_labels": ["HMD", "DATA", "DATA", "DATA"],
+}
+
+
+class TestJsonlSink:
+    def test_writes_one_line_per_record(self, tmp_path):
+        out = tmp_path / "o.jsonl"
+        with JsonlSink(out) as sink:
+            sink.write(RECORD)
+            sink.write({"source": "bad", "error": "boom"})
+            assert sink.count == 2
+        lines = out.read_text().splitlines()
+        assert json.loads(lines[0]) == RECORD
+        assert json.loads(lines[1])["error"] == "boom"
+
+    def test_wraps_existing_stream_without_closing_it(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.write(RECORD)
+        sink.close()
+        assert json.loads(buf.getvalue()) == RECORD
+        assert not buf.closed
+
+
+class TestSqliteSink:
+    def test_schema_and_payload(self, tmp_path):
+        db = tmp_path / "o.db"
+        with SqliteSink(db) as sink:
+            sink.write(RECORD)
+            sink.write({"source": "bad.csv", "error": "boom"})
+        conn = sqlite3.connect(db)
+        try:
+            rows = conn.execute(
+                "SELECT name, source, n_rows, error, payload "
+                "FROM results ORDER BY rowid"
+            ).fetchall()
+        finally:
+            conn.close()
+        assert rows[0][:3] == ("t1", "t1.csv", 4)
+        assert rows[0][3] is None
+        # Non-scalar fields round-trip through the JSON payload column.
+        assert json.loads(rows[0][4])["row_labels"] == RECORD["row_labels"]
+        assert rows[1][3] == "boom"
+
+    def test_custom_table_name(self, tmp_path):
+        db = tmp_path / "o.db"
+        with SqliteSink(db, table="labels") as sink:
+            sink.write(RECORD)
+        conn = sqlite3.connect(db)
+        try:
+            (count,) = conn.execute("SELECT COUNT(*) FROM labels").fetchone()
+        finally:
+            conn.close()
+        assert count == 1
+
+    def test_from_spec(self, tmp_path):
+        sink = SqliteSink.from_spec(f"sql:{tmp_path / 'o.db'}#runs")
+        with sink:
+            sink.write(RECORD)
+        conn = sqlite3.connect(tmp_path / "o.db")
+        try:
+            (count,) = conn.execute("SELECT COUNT(*) FROM runs").fetchone()
+        finally:
+            conn.close()
+        assert count == 1
+
+
+class TestBuildSink:
+    def test_dash_is_stdout(self):
+        assert isinstance(build_sink("-"), StdoutSink)
+
+    def test_sql_spec(self, tmp_path):
+        sink = build_sink(f"sql:{tmp_path / 'o.db'}#t")
+        assert isinstance(sink, SqliteSink)
+        sink.close()
+
+    def test_default_is_jsonl(self, tmp_path):
+        sink = build_sink(str(tmp_path / "o.jsonl"))
+        assert isinstance(sink, JsonlSink)
+        sink.close()
+
+
+@pytest.mark.parametrize("spec", ["sql:", "sql:#t"])
+def test_bad_sql_specs_raise(spec):
+    with pytest.raises(ValueError):
+        SqliteSink.from_spec(spec)

@@ -1,0 +1,61 @@
+"""Content-sniffing tests: extensionless dispatch (satellite fix)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.connectors.sniff import sniff_format, suffix_for
+
+
+class TestSniffFormat:
+    def test_csv(self):
+        assert sniff_format("a,b,c\n1,2,3\n") == "csv"
+
+    def test_empty_defaults_to_csv(self):
+        assert sniff_format("") == "csv"
+        assert sniff_format("   \n  ") == "csv"
+
+    def test_json_object(self):
+        assert sniff_format('{"rows": [["a"], ["1"]]}') == "json"
+
+    def test_json_pretty_printed(self):
+        text = '{\n  "rows": [\n    ["a"],\n    ["1"]\n  ]\n}'
+        assert sniff_format(text) == "json"
+
+    def test_jsonl(self):
+        assert sniff_format('{"rows": [["a"]]}\n{"rows": [["b"]]}\n') == "jsonl"
+
+    def test_jsonl_of_arrays(self):
+        assert sniff_format('["a","b"]\n["1","2"]\n') == "jsonl"
+
+    def test_html(self):
+        assert sniff_format("<table><tr><td>x</td></tr></table>") == "html"
+
+    def test_html_document(self):
+        assert sniff_format("<!DOCTYPE html>\n<html>...</html>") == "html"
+
+    def test_markdown_pipe_table(self):
+        assert sniff_format("| a | b |\n|---|---|\n| 1 | 2 |\n") == "markdown"
+
+    def test_markdown_needs_separator_row(self):
+        # Pipes alone are legal CSV content; only the separator row
+        # under a pipe row marks a markdown table.
+        assert sniff_format("a|b\n1|2\n") == "csv"
+
+    def test_brace_start_but_not_json_is_csv(self):
+        assert sniff_format("{not json at all\nx,y\n") == "csv"
+
+
+class TestSuffixFor:
+    @pytest.mark.parametrize(
+        ("format_name", "suffix"),
+        [
+            ("json", ".json"),
+            ("jsonl", ".jsonl"),
+            ("html", ".html"),
+            ("markdown", ".md"),
+            ("csv", ".csv"),
+        ],
+    )
+    def test_mapping(self, format_name, suffix):
+        assert suffix_for(format_name) == suffix

@@ -1,0 +1,151 @@
+"""Source connector tests: spec grammar, lazy parse, error isolation."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.connectors.sources import (
+    FilesSource,
+    JsonlSource,
+    StdinSource,
+    TextSource,
+    build_sources,
+    expand_path_specs,
+)
+
+
+@pytest.fixture
+def csv_dir(tmp_path):
+    for i in range(5):
+        (tmp_path / f"t{i}.csv").write_text(f"h1,h2\n{i},{i + 1}\n")
+    (tmp_path / "notes.txt").write_text("not a table")
+    return tmp_path
+
+
+class TestExpandPathSpecs:
+    def test_overlapping_glob_and_dir_dedupes(self, csv_dir):
+        # The satellite bug: the same file reached through a glob AND
+        # the directory used to be emitted twice.
+        paths = expand_path_specs([str(csv_dir / "t*.csv"), str(csv_dir)])
+        assert len(paths) == 5
+
+    def test_different_spellings_dedupe(self, csv_dir):
+        spelled = csv_dir / ".." / csv_dir.name / "t0.csv"
+        paths = expand_path_specs([csv_dir / "t0.csv", spelled])
+        assert len(paths) == 1
+
+    def test_order_stable_first_occurrence_wins(self, csv_dir):
+        one = csv_dir / "t3.csv"
+        paths = expand_path_specs([one, csv_dir])
+        assert paths[0] == one
+        assert len(paths) == 5
+
+    def test_missing_glob_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            expand_path_specs([str(tmp_path / "absent-*.csv")])
+
+
+class TestFilesSource:
+    def test_items_in_path_order(self, csv_dir):
+        source = FilesSource(sorted(csv_dir.glob("t*.csv")))
+        names = [item.table.name for item in source.items()]
+        assert names == [f"t{i}" for i in range(5)]
+
+    def test_split_preserves_order(self, csv_dir):
+        source = FilesSource(sorted(csv_dir.glob("t*.csv")))
+        subs = source.split(2)
+        assert len(subs) == 2
+        names = [
+            item.table.name for sub in subs for item in sub.items()
+        ]
+        assert names == [f"t{i}" for i in range(5)]
+
+    def test_bad_file_is_one_error_item(self, tmp_path):
+        (tmp_path / "good.csv").write_text("a,b\n1,2\n")
+        (tmp_path / "bad.json").write_text("{not json")
+        source = FilesSource(
+            [tmp_path / "good.csv", tmp_path / "bad.json"]
+        )
+        items = list(source.items())
+        assert items[0].table is not None
+        assert items[1].error is not None
+
+    def test_row_streams_only_for_all_csv(self, csv_dir, tmp_path):
+        all_csv = FilesSource(sorted(csv_dir.glob("t*.csv")))
+        assert all_csv.row_streams() is not None
+        (tmp_path / "a.md").write_text("| a |\n|---|\n| 1 |\n")
+        mixed = FilesSource([csv_dir / "t0.csv", tmp_path / "a.md"])
+        assert mixed.row_streams() is None
+
+
+class TestJsonlSource:
+    def test_per_line_isolation(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '[["a","b"],["1","2"]]\n'
+            "garbage\n"
+            '{"rows": [["x"],["9"]]}\n'
+        )
+        items = list(JsonlSource(path).items())
+        assert [item.error is None for item in items] == [True, False, True]
+        assert items[0].source.endswith("#L1")
+        assert items[1].source.endswith("#L2")
+
+    def test_missing_file_is_one_error(self, tmp_path):
+        items = list(JsonlSource(tmp_path / "absent.jsonl").items())
+        assert len(items) == 1 and items[0].error is not None
+
+
+class TestTextAndStdin:
+    def test_text_source_sniffs_csv(self):
+        items = list(TextSource("a,b\n1,2\n", name="stdin").items())
+        assert items[0].table.rows == (("a", "b"), ("1", "2"))
+
+    def test_text_source_sniffs_jsonl(self):
+        items = list(TextSource('[["a"]]\n[["b"]]\n').items())
+        assert len(items) == 2
+
+    def test_text_source_csv_row_stream(self):
+        streams = TextSource("a,b\n1,2\n", name="stdin").row_streams()
+        assert streams is not None
+        rows = list(next(iter(streams)).rows())
+        assert rows == [["a", "b"], ["1", "2"]]
+
+    def test_stdin_source_reads_lazily(self):
+        source = StdinSource(io.StringIO("x,y\n3,4\n"))
+        items = list(source.items())
+        assert items[0].table.rows == (("x", "y"), ("3", "4"))
+        assert items[0].source == "stdin"
+
+
+class TestBuildSources:
+    def test_grammar(self, csv_dir, tmp_path):
+        (tmp_path / "t.jsonl").write_text('[["a"]]\n')
+        sources = build_sources(
+            [
+                str(csv_dir),
+                f"jsonl:{tmp_path / 't.jsonl'}",
+                "-",
+            ],
+            stdin_factory=lambda: TextSource("a\n1\n", name="stdin"),
+        )
+        kinds = [type(s).__name__ for s in sources]
+        assert kinds == ["FilesSource", "JsonlSource", "TextSource"]
+
+    def test_path_runs_coalesce(self, csv_dir):
+        sources = build_sources([str(csv_dir / "t0.csv"), str(csv_dir / "t1.csv")])
+        assert len(sources) == 1
+        assert len(sources[0].paths) == 2
+
+    def test_sql_spec(self, tmp_path):
+        import sqlite3
+
+        db = tmp_path / "d.db"
+        conn = sqlite3.connect(db)
+        conn.execute("CREATE TABLE t (a TEXT)")
+        conn.commit()
+        conn.close()
+        sources = build_sources([f"sql:{db}#t"])
+        assert type(sources[0]).__name__ == "DbSource"

@@ -1,0 +1,240 @@
+"""Windowed classification tests: reservoir, runs, memory contract."""
+
+from __future__ import annotations
+
+import json
+import tracemalloc
+from collections.abc import Iterator, Sequence
+
+import pytest
+
+from repro.connectors.window import (
+    ListRowStream,
+    RowStream,
+    WindowConfig,
+    build_window,
+    classify_windowed,
+    label_runs,
+)
+
+
+def grid(n_rows: int, n_cols: int = 4) -> list[list[str]]:
+    rows = [[f"col{c}" for c in range(n_cols)]]
+    rows += [[f"r{r}c{c}" for c in range(n_cols)] for r in range(n_rows - 1)]
+    return rows
+
+
+class GeneratedRowStream(RowStream):
+    """Rows produced on demand — nothing is ever materialized."""
+
+    def __init__(self, n_rows: int, n_cols: int) -> None:
+        self.n_rows = n_rows
+        self.n_cols = n_cols
+        self.name = "generated"
+        self.source = "generated"
+
+    def rows(self) -> Iterator[Sequence[str]]:
+        yield [f"col{c}" for c in range(self.n_cols)]
+        for r in range(self.n_rows - 1):
+            yield [f"value-{r}-{c}" for c in range(self.n_cols)]
+
+
+class TestWindowConfig:
+    def test_from_budget(self):
+        config = WindowConfig.from_budget(16, 8)
+        assert (config.head_rows, config.tail_rows, config.sample_rows) == (
+            16,
+            16,
+            16,
+        )
+        assert config.max_cols == 8
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"head_rows": 0},
+            {"tail_rows": -1},
+            {"sample_rows": -1},
+            {"max_cols": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            WindowConfig(**kwargs)
+
+
+class TestBuildWindow:
+    def test_small_table_is_exact(self):
+        plan = build_window(
+            ListRowStream(grid(10), name="t"), WindowConfig.from_budget(8)
+        )
+        assert plan.exact
+        assert plan.total_rows == 10
+        assert plan.row_indices == tuple(range(10))
+        assert plan.window.n_rows == 10
+
+    def test_window_composition_head_body_tail(self):
+        plan = build_window(
+            ListRowStream(grid(1000), name="t"),
+            WindowConfig(head_rows=8, tail_rows=8, sample_rows=8),
+        )
+        assert not plan.exact
+        assert plan.total_rows == 1000
+        assert len(plan.row_indices) == 24
+        # Head is the first 8, tail is the last 8, body sits between.
+        assert plan.row_indices[:8] == tuple(range(8))
+        assert plan.row_indices[-8:] == tuple(range(992, 1000))
+        body = plan.row_indices[8:-8]
+        assert all(8 <= i < 992 for i in body)
+        # Indices are strictly increasing: the window preserves order.
+        assert list(plan.row_indices) == sorted(plan.row_indices)
+
+    def test_reservoir_is_seed_deterministic(self):
+        rows = grid(5000)
+        plans = [
+            build_window(
+                ListRowStream(rows, name="t"),
+                WindowConfig(head_rows=4, tail_rows=4, sample_rows=4, seed=7),
+            )
+            for _ in range(2)
+        ]
+        assert plans[0].row_indices == plans[1].row_indices
+        other = build_window(
+            ListRowStream(rows, name="t"),
+            WindowConfig(head_rows=4, tail_rows=4, sample_rows=4, seed=8),
+        )
+        assert other.row_indices != plans[0].row_indices
+
+    def test_max_cols_truncates_and_clears_exact(self):
+        plan = build_window(
+            ListRowStream(grid(6, n_cols=10), name="t"),
+            WindowConfig(head_rows=8, tail_rows=8, sample_rows=8, max_cols=3),
+        )
+        assert plan.truncated_cols
+        assert not plan.exact
+        assert plan.total_cols == 10
+        assert plan.window.n_cols == 3
+
+    def test_window_grid_matches_selected_rows(self):
+        rows = grid(200)
+        plan = build_window(
+            ListRowStream(rows, name="t"),
+            WindowConfig(head_rows=4, tail_rows=4, sample_rows=4, seed=1),
+        )
+        for pos, original_index in enumerate(plan.row_indices):
+            assert list(plan.window.rows[pos]) == rows[original_index]
+
+
+class TestLabelRuns:
+    def test_contiguous_prefix(self):
+        runs = label_runs([0, 1, 2], ["HMD", "HMD", "DATA"], 10)
+        assert runs == [[0, 2, "HMD"], [2, 10, "DATA"]]
+
+    def test_gaps_fill_with_data(self):
+        runs = label_runs([0, 7, 9], ["HMD", "DATA", "VMD"], 10)
+        assert runs == [[0, 1, "HMD"], [1, 9, "DATA"], [9, 10, "VMD"]]
+
+    def test_runs_tile_the_axis(self):
+        runs = label_runs([0, 1, 500, 998, 999], ["A", "A", "B", "A", "C"], 1000)
+        assert runs[0][0] == 0
+        assert runs[-1][1] == 1000
+        for left, right in zip(runs, runs[1:]):
+            assert left[1] == right[0]
+
+    def test_empty_window(self):
+        assert label_runs([], [], 5) == [[0, 5, "DATA"]]
+
+
+class TestWindowedEquivalence:
+    def test_exact_window_labels_byte_identical(self, hashed_pipeline, ckg_eval):
+        """Satellite contract: a table that fits one window classifies
+        byte-identically to the in-memory path."""
+        for annotated in ckg_eval[:6]:
+            table = annotated.table
+            stream = ListRowStream(
+                [list(row) for row in table.rows], name=table.name
+            )
+            result = classify_windowed(
+                hashed_pipeline, stream, WindowConfig.from_budget(256)
+            )
+            full = hashed_pipeline.classify(table)
+            assert result.record["window_exact"]
+            windowed_labels = json.dumps(
+                [
+                    [str(x) for x in result.annotation.row_labels],
+                    [str(x) for x in result.annotation.col_labels],
+                ]
+            ).encode()
+            memory_labels = json.dumps(
+                [
+                    [str(x) for x in full.row_labels],
+                    [str(x) for x in full.col_labels],
+                ]
+            ).encode()
+            assert windowed_labels == memory_labels
+
+    def test_windowed_record_shape(self, hashed_pipeline):
+        stream = GeneratedRowStream(2000, 6)
+        result = classify_windowed(
+            hashed_pipeline,
+            stream,
+            WindowConfig.from_budget(16),
+            model="m",
+        )
+        record = result.record
+        assert record["windowed"] is True
+        assert record["window_exact"] is False
+        assert record["n_rows"] == 2000
+        assert record["n_cols"] == 6
+        assert record["window_rows"] == 48
+        assert record["model"] == "m"
+        # Row runs tile [0, 2000) despite the table never being held.
+        row_runs = record["row_label_runs"]
+        assert row_runs[0][0] == 0 and row_runs[-1][1] == 2000
+        assert sum(stop - start for start, stop, _ in row_runs) == 2000
+        assert len(record["window_row_labels"]) == 48
+
+
+class TestMemoryContract:
+    """Satellite contract: table >=10x the window budget, pinned ceiling."""
+
+    N_ROWS = 50_000
+    N_COLS = 8
+    # Classifying a 192-row window peaks ~2 MB; materializing the full
+    # 50k x 8 grid costs >25 MB.  The ceiling pins the bounded-memory
+    # claim with >3x headroom on both sides.
+    CEILING_BYTES = 8 * 1024 * 1024
+
+    def test_windowed_classify_stays_under_ceiling(self, hashed_pipeline):
+        stream = GeneratedRowStream(self.N_ROWS, self.N_COLS)
+        config = WindowConfig.from_budget(64)
+        assert self.N_ROWS >= 10 * (3 * 64)
+        # Warm lazy imports/caches outside the measured region.
+        classify_windowed(
+            hashed_pipeline, GeneratedRowStream(1000, self.N_COLS), config
+        )
+        tracemalloc.start()
+        try:
+            result = classify_windowed(hashed_pipeline, stream, config)
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert result.record["n_rows"] == self.N_ROWS
+        assert result.record["window_rows"] == 192
+        assert peak < self.CEILING_BYTES, (
+            f"windowed classify peaked at {peak / 1e6:.1f} MB"
+        )
+
+    def test_full_materialization_would_blow_the_ceiling(self):
+        """Sanity check that the ceiling actually discriminates."""
+        tracemalloc.start()
+        try:
+            rows = [
+                [f"value-{r}-{c}" for c in range(self.N_COLS)]
+                for r in range(self.N_ROWS)
+            ]
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        assert len(rows) == self.N_ROWS
+        assert peak > 2 * self.CEILING_BYTES

@@ -1,0 +1,152 @@
+"""xlsx connector tests (stdlib zip + xml, no openpyxl)."""
+
+from __future__ import annotations
+
+import zipfile
+
+import pytest
+
+from repro.connectors.xlsx import XlsxSource, column_index
+
+_MAIN = 'xmlns="http://schemas.openxmlformats.org/spreadsheetml/2006/main"'
+_RELNS = (
+    'xmlns:r="http://schemas.openxmlformats.org/officeDocument/2006/'
+    'relationships"'
+)
+
+
+def write_xlsx(path, sheets, shared=(), rels=True):
+    """Minimal hand-rolled workbook: sheets = [(name, sheet_xml)]."""
+    with zipfile.ZipFile(path, "w") as z:
+        entries = "".join(
+            f'<sheet name="{name}" sheetId="{i}" r:id="rId{i}"/>'
+            for i, (name, _) in enumerate(sheets, start=1)
+        )
+        z.writestr(
+            "xl/workbook.xml",
+            f"<workbook {_MAIN} {_RELNS}><sheets>{entries}</sheets></workbook>",
+        )
+        if rels:
+            rel_entries = "".join(
+                f'<Relationship Id="rId{i}" Type="x" '
+                f'Target="worksheets/data{i}.xml"/>'
+                for i in range(1, len(sheets) + 1)
+            )
+            z.writestr(
+                "xl/_rels/workbook.xml.rels",
+                '<Relationships xmlns="http://schemas.openxmlformats.org/'
+                f'package/2006/relationships">{rel_entries}</Relationships>',
+            )
+        if shared:
+            items = "".join(f"<si><t>{s}</t></si>" for s in shared)
+            z.writestr(
+                "xl/sharedStrings.xml", f"<sst {_MAIN}>{items}</sst>"
+            )
+        for i, (_, xml) in enumerate(sheets, start=1):
+            member = f"xl/worksheets/data{i}.xml" if rels else (
+                f"xl/worksheets/sheet{i}.xml"
+            )
+            z.writestr(member, xml)
+    return path
+
+
+def sheet_xml(rows):
+    """rows = [[(ref, t, v), ...], ...] -> worksheet XML."""
+    body = ""
+    for r, cells in enumerate(rows, start=1):
+        cell_xml = ""
+        for ref, t, v in cells:
+            t_attr = f' t="{t}"' if t else ""
+            cell_xml += f'<c r="{ref}"{t_attr}><v>{v}</v></c>'
+        body += f'<row r="{r}">{cell_xml}</row>'
+    return f"<worksheet {_MAIN}><sheetData>{body}</sheetData></worksheet>"
+
+
+class TestColumnIndex:
+    @pytest.mark.parametrize(
+        ("ref", "index"),
+        [("A1", 0), ("B7", 1), ("Z3", 25), ("AA1", 26), ("BA7", 52)],
+    )
+    def test_a1_refs(self, ref, index):
+        assert column_index(ref) == index
+
+    def test_no_letters_is_none(self):
+        assert column_index("") is None
+
+
+class TestXlsxSource:
+    def test_shared_strings_and_grid(self, tmp_path):
+        path = write_xlsx(
+            tmp_path / "b.xlsx",
+            [("Data", sheet_xml([
+                [("A1", "s", 0), ("B1", "s", 1)],
+                [("A2", None, 1), ("B2", None, 2)],
+            ]))],
+            shared=("col1", "col2"),
+        )
+        items = list(XlsxSource(path).items())
+        assert len(items) == 1
+        table = items[0].table
+        assert table.rows == (("col1", "col2"), ("1", "2"))
+        assert items[0].source == f"{path}!Data"
+
+    def test_sparse_cells_land_in_their_columns(self, tmp_path):
+        path = write_xlsx(
+            tmp_path / "b.xlsx",
+            [("S", sheet_xml([
+                [("A1", None, 1), ("C1", None, 3)],
+                [("B2", None, 2)],
+            ]))],
+        )
+        table = next(XlsxSource(path).items()).table
+        assert table.rows == (("1", "", "3"), ("", "2", ""))
+
+    def test_skipped_rows_stay_blank(self, tmp_path):
+        xml = (
+            f"<worksheet {_MAIN}><sheetData>"
+            '<row r="1"><c r="A1"><v>top</v></c></row>'
+            '<row r="3"><c r="A3"><v>bottom</v></c></row>'
+            "</sheetData></worksheet>"
+        )
+        path = write_xlsx(tmp_path / "b.xlsx", [("S", xml)])
+        table = next(XlsxSource(path).items()).table
+        assert table.n_rows == 3
+        assert table.rows[1] == ("",)
+
+    def test_multiple_sheets_yield_multiple_items(self, tmp_path):
+        path = write_xlsx(
+            tmp_path / "b.xlsx",
+            [
+                ("One", sheet_xml([[("A1", None, 1)]])),
+                ("Two", sheet_xml([[("A1", None, 2)]])),
+            ],
+        )
+        items = list(XlsxSource(path).items())
+        assert [i.table.name for i in items] == ["One", "Two"]
+
+    def test_missing_rels_falls_back_to_conventional_names(self, tmp_path):
+        path = write_xlsx(
+            tmp_path / "b.xlsx",
+            [("S", sheet_xml([[("A1", None, 7)]]))],
+            rels=False,
+        )
+        table = next(XlsxSource(path).items()).table
+        assert table.rows == (("7",),)
+
+    def test_not_a_zip_is_one_error_item(self, tmp_path):
+        bad = tmp_path / "b.xlsx"
+        bad.write_text("this is not a zip")
+        items = list(XlsxSource(bad).items())
+        assert len(items) == 1 and items[0].error is not None
+
+    def test_bad_sheet_is_isolated(self, tmp_path):
+        path = write_xlsx(
+            tmp_path / "b.xlsx",
+            [
+                ("Good", sheet_xml([[("A1", None, 1)]])),
+                ("Bad", "<worksheet><unclosed"),
+            ],
+        )
+        items = list(XlsxSource(path).items())
+        assert items[0].table is not None
+        assert items[1].error is not None

@@ -12,6 +12,7 @@ from repro.serve.bulk import (
     iter_table_paths,
     result_record,
     table_from_path,
+    table_from_text,
     write_jsonl,
 )
 from repro.serve.cache import LRUCache
@@ -46,6 +47,24 @@ class TestPathExpansion:
         with pytest.raises(FileNotFoundError):
             iter_table_paths([tmp_path / "absent-*.csv"])
 
+    def test_overlapping_glob_and_dir_dedupes(self, table_dir):
+        # Regression: a file reached through both a glob and its parent
+        # directory used to be classified (and billed) twice.
+        paths = iter_table_paths([str(table_dir / "*.csv"), str(table_dir)])
+        assert len(paths) == 6
+        assert len(set(paths)) == 6
+
+    def test_spelling_variants_dedupe(self, table_dir):
+        dotted = table_dir / "." / "t00.csv"
+        paths = iter_table_paths([table_dir / "t00.csv", dotted])
+        assert len(paths) == 1
+
+    def test_dedupe_is_order_stable(self, table_dir):
+        favorite = table_dir / "t03.csv"
+        paths = iter_table_paths([favorite, table_dir])
+        assert paths[0] == favorite
+        assert len(paths) == 6
+
 
 class TestTableLoading:
     def test_csv_json_markdown(self, tmp_path, ckg_eval):
@@ -59,6 +78,55 @@ class TestTableLoading:
         for name in ("a.csv", "a.json", "a.md"):
             loaded = table_from_path(tmp_path / name)
             assert loaded.shape == table.shape
+
+    def test_extensionless_path_content_sniffs(self, tmp_path, ckg_eval):
+        # Regression: dispatch used to be extension-only, so stdin and
+        # extensionless files always parsed as CSV.
+        from repro.tables.jsonio import table_to_json
+        from repro.tables.markdown import table_to_markdown
+
+        table = ckg_eval[0].table
+        for i, text in enumerate(
+            (table_to_json(table), table_to_markdown(table))
+        ):
+            path = tmp_path / f"payload{i}"
+            path.write_text(text)
+            assert table_from_path(path).shape == table.shape
+
+    def test_text_sniffs_html(self):
+        loaded = table_from_text(
+            "<table><tr><td>a</td><td>b</td></tr></table>", name="stdin"
+        )
+        assert loaded.rows == (("a", "b"),)
+
+    def test_text_sniffs_jsonl_as_one_table(self):
+        loaded = table_from_text('["h1","h2"]\n["1","2"]\n["3","4"]\n')
+        assert loaded.rows == (("h1", "h2"), ("1", "2"), ("3", "4"))
+
+    def test_jsonl_objects_project_onto_first_keys(self):
+        text = (
+            '{"name": "a", "value": "1"}\n'
+            '{"name": "b"}\n'
+            '{"value": "2", "name": "c", "extra": "x"}\n'
+        )
+        loaded = table_from_text(text, suffix=".jsonl")
+        assert loaded.rows == (
+            ("name", "value"),
+            ("a", "1"),
+            ("b", ""),
+            ("c", "2"),
+        )
+
+    def test_jsonl_rejections_are_value_errors(self):
+        # The fuzzer contract: every malformed input raises ValueError.
+        for text in ('{"a": 1}\n[', '"scalar"\n', "\n \n"):
+            with pytest.raises(ValueError):
+                table_from_text(text, suffix=".jsonl")
+
+    def test_unknown_suffix_falls_back_to_sniffing(self, tmp_path):
+        path = tmp_path / "export.dat"
+        path.write_text("x,y\n1,2\n")
+        assert table_from_path(path).rows == (("x", "y"), ("1", "2"))
 
 
 class TestClassifyCached:
@@ -328,3 +396,83 @@ class TestHtmlIngestion:
         assert len(records) == 1
         assert "error" not in records[0]
         assert records[0]["name"] == "page"
+
+
+class TestRunBulkStreaming:
+    """run_bulk wiring: the batch entry point rides the streaming plane."""
+
+    @pytest.fixture
+    def model(self, hashed_pipeline, tmp_path_factory):
+        from repro.core.persistence import save_pipeline_dir
+
+        path = tmp_path_factory.mktemp("store") / "model"
+        return save_pipeline_dir(hashed_pipeline, path)
+
+    def test_streaming_matches_legacy_path(self, model, table_dir, tmp_path):
+        from repro.serve.bulk import run_bulk
+
+        streamed = run_bulk(
+            model, [str(table_dir)], out=tmp_path / "s.jsonl"
+        )
+        legacy = run_bulk(
+            model,
+            [str(table_dir)],
+            out=tmp_path / "l.jsonl",
+            streaming=False,
+        )
+
+        def norm(record):
+            skip = ("seconds", "cached", "source", "model")
+            return {k: v for k, v in record.items() if k not in skip}
+
+        assert [norm(r) for r in streamed] == [norm(r) for r in legacy]
+
+    def test_windowed_batch(self, model, table_dir, tmp_path):
+        from repro.serve.bulk import run_bulk
+
+        out = tmp_path / "o.jsonl"
+        records = run_bulk(
+            model, [str(table_dir)], out=out, window_rows=128
+        )
+        assert len(records) == 6
+        assert all(r["windowed"] and r["window_exact"] for r in records)
+        assert len(out.read_text().splitlines()) == 6
+
+    def test_windowed_requires_streaming(self, model, table_dir, tmp_path):
+        from repro.serve.bulk import run_bulk
+
+        with pytest.raises(ValueError):
+            run_bulk(
+                model,
+                [str(table_dir)],
+                out=tmp_path / "o.jsonl",
+                window_rows=16,
+                streaming=False,
+            )
+
+    def test_sqlite_sink_spec(self, model, table_dir, tmp_path):
+        import sqlite3
+
+        from repro.serve.bulk import run_bulk
+
+        db = tmp_path / "results.db"
+        run_bulk(model, [str(table_dir)], out=f"sql:{db}#results")
+        conn = sqlite3.connect(db)
+        try:
+            (count,) = conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+        finally:
+            conn.close()
+        assert count == 6
+
+    def test_metrics_wiring(self, model, table_dir, tmp_path):
+        from repro.serve.bulk import run_bulk
+
+        metrics = ServiceMetrics()
+        run_bulk(
+            model, [str(table_dir)], out=tmp_path / "o.jsonl", metrics=metrics
+        )
+        assert metrics.counter("ingest_tables_total") == 6
+        rendered = metrics.render()
+        assert "repro_ingest_queue_depth" in rendered

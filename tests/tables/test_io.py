@@ -54,6 +54,11 @@ class TestJsonTable:
         with pytest.raises(ValueError):
             table_from_json(json.dumps([1, 2, 3]))
 
+    def test_bare_array_grid(self):
+        # A single-line JSON array document (stdin exports) is a grid.
+        back = table_from_json('[["a","b"],["1","2"]]')
+        assert back.rows == (("a", "b"), ("1", "2"))
+
 
 class TestJsonAnnotated:
     def test_round_trip(self, hierarchical_table, hierarchical_annotation):

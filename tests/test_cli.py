@@ -280,7 +280,11 @@ class TestTrace:
         document = json.loads(trace_out.read_text())
         begins = [e for e in document["traceEvents"] if e["ph"] == "B"]
         names = {e["name"] for e in begins}
-        assert {"serve.batch", "table", "parse", "classify"} <= names
+        # The streaming plane's span vocabulary: per-file "table" roots
+        # with read/parse stages inside, chunk packing, fused classify.
+        assert {
+            "table", "ingest.read", "ingest.parse", "ingest.pack", "classify",
+        } <= names
         # one root "table" span per input file
         assert sum(1 for e in begins if e["name"] == "table") == 3
 
